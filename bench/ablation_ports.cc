@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: "why not just add collector ports?" (paper Sec. II: "the
+ * cost of a port is extremely high when considering the width of a
+ * warp register"). Compares the single-ported baseline, hypothetical
+ * 2- and 4-ported baselines, and single-ported BOW-WR: bypassing
+ * should recover most of what extra (expensive, 128-byte-wide) ports
+ * would buy, at a fraction of the cost.
+ */
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+using namespace bow;
+
+int
+main()
+{
+    const auto suite = bench::loadSuite(
+        "Ablation - collector ports vs bypassing");
+
+    Table t("IPC relative to the 1-port baseline - suite averages");
+    t.setHeader({"configuration", "IPC vs baseline", "hardware cost"});
+
+    std::vector<double> base1;
+    for (const auto &wl : suite) {
+        base1.push_back(
+            bench::runOne(wl, Architecture::Baseline).stats.ipc());
+    }
+
+    struct Cfg
+    {
+        const char *name;
+        Architecture arch;
+        unsigned ports;
+        const char *cost;
+    };
+    const Cfg cfgs[] = {
+        {"baseline, 2 ports", Architecture::Baseline, 2,
+         "2x 128B-wide ports per OCU"},
+        {"baseline, 4 ports", Architecture::Baseline, 4,
+         "4x 128B-wide ports per OCU"},
+        {"BOW-WR-opt, 1 port", Architecture::BOW_WR_OPT, 1,
+         "12KB of buffering (half-size BOC)"},
+    };
+    for (const Cfg &c : cfgs) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            SimConfig config = configFor(c.arch, 3,
+                                         c.arch == Architecture::
+                                                 BOW_WR_OPT
+                                             ? 6
+                                             : 0);
+            config.collectorPorts = c.ports;
+            const auto res = Simulator(config).run(suite[i].launch);
+            acc += improvementPct(res.stats.ipc(), base1[i]);
+        }
+        t.beginRow().cell(c.name)
+            .cell(formatFixed(acc / static_cast<double>(suite.size()),
+                              1) + "%")
+            .cell(c.cost);
+    }
+    t.print(std::cout);
+
+    std::cout << "# expected shape: single-ported BOW-WR approaches "
+                 "(or beats) the multi-\n"
+                 "# ported baselines while avoiding the wide-port "
+                 "cost the paper rules out.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation of the bypass-aware compiler scheduling pass (the paper's
+ * footnote-1 future work): reuse opportunity and IPC with and without
+ * reordering, under BOW-WR-opt at IW=3.
+ */
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "compiler/reorder.h"
+#include "compiler/reuse.h"
+#include "sm/functional.h"
+
+using namespace bow;
+
+int
+main()
+{
+    const auto suite = bench::loadSuite(
+        "Ablation - bypass-aware instruction reordering (IW=3)");
+
+    Table t("Reordering effect per benchmark");
+    t.setHeader({"benchmark", "reads bypassed", "after reorder",
+                 "IPC gain", "after reorder "});
+
+    double accR0 = 0.0;
+    double accR1 = 0.0;
+    double accI0 = 0.0;
+    double accI1 = 0.0;
+    for (const auto &wl : suite) {
+        const double baseIpc =
+            bench::runOne(wl, Architecture::Baseline).stats.ipc();
+
+        const auto fn0 = runFunctional(wl.launch);
+        const double r0 =
+            analyzeReuse(wl.launch.kernel, fn0.traces, 3)
+                .readFraction();
+        const double i0 = improvementPct(
+            bench::runOne(wl, Architecture::BOW_WR_OPT, 3).stats.ipc(),
+            baseIpc);
+
+        Workload moved = wl;
+        reorderForBypass(moved.launch.kernel, 3);
+        const auto fn1 = runFunctional(moved.launch);
+        const double r1 =
+            analyzeReuse(moved.launch.kernel, fn1.traces, 3)
+                .readFraction();
+        const double i1 = improvementPct(
+            bench::runOne(moved, Architecture::BOW_WR_OPT, 3)
+                .stats.ipc(),
+            baseIpc);
+
+        t.beginRow().cell(wl.name).pct(r0).pct(r1)
+            .cell(formatFixed(i0, 1) + "%")
+            .cell(formatFixed(i1, 1) + "%");
+        accR0 += r0;
+        accR1 += r1;
+        accI0 += i0;
+        accI1 += i1;
+    }
+    const double n = static_cast<double>(suite.size());
+    t.beginRow().cell("AVG").pct(accR0 / n).pct(accR1 / n)
+        .cell(formatFixed(accI0 / n, 1) + "%")
+        .cell(formatFixed(accI1 / n, 1) + "%");
+    t.print(std::cout);
+
+    std::cout << "# the scheduler pulls consumers toward producers, "
+                 "raising the bypassable\n"
+                 "# read fraction (energy win), but packing dependent "
+                 "chains together also\n"
+                 "# costs instruction-level parallelism, so the IPC "
+                 "effect can go either way -\n"
+                 "# the locality/ILP tension is likely why the paper "
+                 "left this to future work.\n";
+    return 0;
+}

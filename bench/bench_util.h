@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared scaffolding for the bench harnesses: workload iteration and
+ * result caching so each binary reads as the experiment it encodes.
+ */
+
+#ifndef BOWSIM_BENCH_BENCH_UTIL_H
+#define BOWSIM_BENCH_BENCH_UTIL_H
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace bench {
+
+/** Build all benchmarks at the harness scale and print the banner. */
+inline std::vector<Workload>
+loadSuite(const std::string &title)
+{
+    const double scale = benchScale();
+    std::cout << "==================================================="
+                 "=============\n";
+    std::cout << "bowsim bench: " << title << "\n";
+    printConfigBanner(std::cout, SimConfig::titanXPascal());
+    std::cout << "# workload scale " << scale
+              << " (set BOWSIM_BENCH_SCALE to change)\n";
+    std::cout << "==================================================="
+                 "=============\n\n";
+    return workloads::makeAll(scale);
+}
+
+/** Run one workload under (arch, iw, bocEntries). */
+inline SimResult
+runOne(const Workload &wl, Architecture arch, unsigned iw = 3,
+       unsigned bocEntries = 0)
+{
+    Simulator sim(configFor(arch, iw, bocEntries));
+    return sim.run(wl.launch);
+}
+
+} // namespace bench
+} // namespace bow
+
+#endif // BOWSIM_BENCH_BENCH_UTIL_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: the distribution of write destinations
+ * under BOW-WR with compiler hints (IW = 3) — values written only to
+ * the RF banks, values staged in the BOC and later written back, and
+ * transient values that never reach the RF.
+ */
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+using namespace bow;
+
+int
+main()
+{
+    const auto suite = bench::loadSuite(
+        "Figure 7 - write-destination distribution (BOW-WR-opt, "
+        "IW=3)");
+
+    Table t("Figure 7 - dynamic write destinations");
+    t.setHeader({"benchmark", "RF only", "BOC then RF",
+                 "BOC only (transient)"});
+
+    double accRf = 0.0;
+    double accBoth = 0.0;
+    double accBoc = 0.0;
+    for (const auto &wl : suite) {
+        const auto res = bench::runOne(wl, Architecture::BOW_WR_OPT,
+                                       3);
+        const auto &s = res.stats;
+        const double total = static_cast<double>(
+            s.destRfOnly + s.destBocOnly + s.destBocAndRf);
+        const double rf =
+            total ? static_cast<double>(s.destRfOnly) / total : 0.0;
+        const double both =
+            total ? static_cast<double>(s.destBocAndRf) / total : 0.0;
+        const double boc =
+            total ? static_cast<double>(s.destBocOnly) / total : 0.0;
+        t.beginRow().cell(wl.name).pct(rf).pct(both).pct(boc);
+        accRf += rf;
+        accBoth += both;
+        accBoc += boc;
+    }
+    const double n = static_cast<double>(suite.size());
+    t.beginRow().cell("AVG").pct(accRf / n).pct(accBoth / n)
+        .pct(accBoc / n);
+    t.print(std::cout);
+
+    std::cout << "# paper reference (IW=3 averages): 21% RF-only, "
+                 "27% BOC-then-RF, 52% transient.\n";
+    return 0;
+}

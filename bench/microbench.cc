@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of bowsim's hot structures: BOC
+ * insertion/forwarding, register-file arbitration, the assembler,
+ * liveness analysis and whole-kernel simulation throughput. These
+ * measure the simulator itself (cycles simulated per wall-second),
+ * not the modelled GPU.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/liveness.h"
+#include "compiler/writeback_tagger.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "isa/assembler.h"
+#include "workloads/registry.h"
+#include "workloads/snippets.h"
+
+namespace {
+
+using namespace bow;
+
+void
+BM_BocInsertForward(benchmark::State &state)
+{
+    Boc boc(Architecture::BOW_WR, 3, 12);
+    std::vector<RegId> srcs = {1, 2, 3};
+    SeqNum seq = 0;
+    for (auto _ : state) {
+        auto res = boc.insert(seq, srcs);
+        for (RegId r : res.toFetch)
+            boc.fetchComplete(r);
+        boc.writeResult(seq, static_cast<RegId>(4 + (seq % 8)),
+                        WritebackHint::BocAndRf);
+        ++seq;
+        benchmark::DoNotOptimize(res.forwarded);
+    }
+}
+BENCHMARK(BM_BocInsertForward);
+
+void
+BM_RegisterFileTick(benchmark::State &state)
+{
+    const SimConfig config = SimConfig::titanXPascal();
+    RegisterFile rf(config);
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        rf.pushRead(static_cast<WarpId>(i % 32),
+                    static_cast<RegId>(i % 64), 0);
+        auto served = rf.tick();
+        benchmark::DoNotOptimize(served.size());
+        ++i;
+    }
+}
+BENCHMARK(BM_RegisterFileTick);
+
+void
+BM_AssembleFig6(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Kernel k = assemble(snippets::btreeSnippetAsm(), "fig6");
+        benchmark::DoNotOptimize(k.size());
+    }
+}
+BENCHMARK(BM_AssembleFig6);
+
+void
+BM_LivenessAnalysis(benchmark::State &state)
+{
+    const auto wl = workloads::make("SAD", 0.05);
+    for (auto _ : state) {
+        Cfg cfg(wl.launch.kernel);
+        Liveness lv(cfg);
+        benchmark::DoNotOptimize(lv.liveIn(0));
+    }
+}
+BENCHMARK(BM_LivenessAnalysis);
+
+void
+BM_TagWritebacks(benchmark::State &state)
+{
+    auto wl = workloads::make("SAD", 0.05);
+    for (auto _ : state) {
+        auto stats = tagWritebacks(wl.launch.kernel, 3);
+        benchmark::DoNotOptimize(stats.total());
+    }
+}
+BENCHMARK(BM_TagWritebacks);
+
+void
+BM_SimulateKernel(benchmark::State &state)
+{
+    const auto arch = static_cast<Architecture>(state.range(0));
+    const auto wl = workloads::make("VECTORADD", 0.05);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        Simulator sim(configFor(arch, 3));
+        const auto res = sim.run(wl.launch);
+        cycles += res.stats.cycles;
+        benchmark::DoNotOptimize(res.stats.ipc());
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateKernel)
+    ->Arg(static_cast<int>(Architecture::Baseline))
+    ->Arg(static_cast<int>(Architecture::BOW))
+    ->Arg(static_cast<int>(Architecture::BOW_WR_OPT));
+
+} // namespace
+
+BENCHMARK_MAIN();

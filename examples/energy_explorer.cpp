@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Energy explorer: run any of the 15 Table III benchmarks (or the
+ * whole suite) across all five architectures and print an
+ * energy/performance scorecard.
+ *
+ * Usage:
+ *   ./build/examples/energy_explorer           # whole suite summary
+ *   ./build/examples/energy_explorer SAD       # one benchmark
+ *   ./build/examples/energy_explorer SAD 0.5   # at half scale
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "workloads/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bow;
+
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+    std::vector<Workload> suite;
+    if (argc > 1) {
+        suite.push_back(workloads::make(argv[1], scale));
+    } else {
+        suite = workloads::makeAll(scale);
+    }
+
+    const Architecture arches[] = {
+        Architecture::Baseline, Architecture::RFC, Architecture::BOW,
+        Architecture::BOW_WR, Architecture::BOW_WR_OPT};
+
+    for (const auto &wl : suite) {
+        Table t(wl.name + " (" + wl.suite + "): " + wl.description);
+        t.setHeader({"architecture", "cycles", "IPC", "IPC gain",
+                     "RF reads", "RF writes", "norm. energy"});
+        EnergyBreakdown baseEnergy;
+        double baseIpc = 0.0;
+        for (Architecture arch : arches) {
+            Simulator sim(configFor(arch, 3));
+            const SimResult res = sim.run(wl.launch);
+            if (arch == Architecture::Baseline) {
+                baseEnergy = res.energy;
+                baseIpc = res.stats.ipc();
+            }
+            t.beginRow().cell(res.arch).cell(res.stats.cycles)
+                .cell(res.stats.ipc(), 3)
+                .cell(formatFixed(improvementPct(res.stats.ipc(),
+                                                 baseIpc), 1) + "%")
+                .cell(res.stats.rfReads).cell(res.stats.rfWrites)
+                .pct(res.energy.normalizedTo(baseEnergy));
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: assemble a small kernel from text, run it on the
+ * baseline SM and on BOW-WR with compiler hints, and compare cycles,
+ * IPC, register-file traffic and dynamic energy.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "isa/assembler.h"
+
+int
+main()
+{
+    using namespace bow;
+
+    // A SASS-flavoured kernel: each warp sums a strided array.
+    const char *source = R"(
+        mov $r0, %warpid;
+        shl $r0, $r0, 12;       // per-warp base offset
+        add $r0, $r0, 0x1000;
+        mov $r1, 0;             // i
+        mov $r2, 64;            // n
+        mov $r4, 0;             // acc
+    loop:
+        shl $r3, $r1, 2;
+        add $r3, $r3, $r0;
+        ld.global $r5, [$r3];
+        add $r4, $r4, $r5;
+        add $r1, $r1, 1;
+        setp.lt.s32 $p0, $r1, $r2;
+        @$p0 bra loop;
+        st.global [$r0], $r4;   // publish the sum
+        exit;
+    )";
+
+    Launch launch;
+    launch.kernel = assemble(source, "strided_sum");
+    launch.numWarps = 32;
+
+    std::cout << "bowsim quickstart: 'strided_sum' on one Pascal "
+                 "SM, 32 warps\n\n";
+
+    for (auto arch : {Architecture::Baseline,
+                      Architecture::BOW_WR_OPT}) {
+        Simulator sim(configFor(arch, /*iw=*/3));
+        const SimResult res = sim.run(launch);
+        std::cout << "--- " << res.arch << " ---\n";
+        std::cout << "  cycles:           " << res.stats.cycles
+                  << "\n";
+        std::cout << "  instructions:     " << res.stats.instructions
+                  << "\n";
+        std::cout << "  IPC:              " << res.stats.ipc()
+                  << "\n";
+        std::cout << "  RF bank reads:    " << res.stats.rfReads
+                  << "\n";
+        std::cout << "  RF bank writes:   " << res.stats.rfWrites
+                  << "\n";
+        std::cout << "  operands forwarded: "
+                  << res.stats.bocForwards << "\n";
+        std::cout << "  RF dynamic energy: "
+                  << res.energy.totalPj / 1e6 << " uJ\n\n";
+    }
+
+    std::cout << "BOW-WR bypasses most of the loop's register "
+                 "traffic: every operand of\n"
+                 "the address/accumulate chain is produced and "
+                 "consumed inside a 3-wide\n"
+                 "instruction window.\n";
+    return 0;
+}

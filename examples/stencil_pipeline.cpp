@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Domain scenario: a 1-D three-point stencil built programmatically
+ * with KernelBuilder (the LPS-style workload the paper's intro
+ * motivates), swept across window sizes to expose the IW=3 knee.
+ *
+ * Usage: ./build/examples/stencil_pipeline [warps] [elements]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "workloads/builder.h"
+
+namespace {
+
+/** out[i] = (in[i-1] + 2*in[i] + in[i+1]) for i in [1, n-1). */
+bow::Launch
+makeStencil(unsigned warps, unsigned elems)
+{
+    using namespace bow;
+    KernelBuilder kb("stencil3");
+    // r0 in base, r1 out base, r2 = i, r3 = n-1, r8.. temps
+    kb.movSpecial(6, SpecialReg::WARP_ID);
+    kb.alu2Imm(Opcode::SHL, 6, 6, 14);
+    kb.movImm(0, 0x10000);
+    kb.alu2(Opcode::ADD, 0, 0, 6);
+    kb.movImm(1, 0x800000);
+    kb.alu2(Opcode::ADD, 1, 1, 6);
+    kb.movImm(2, 1);
+    kb.movImm(3, elems - 1);
+    auto loop = kb.newLabel();
+    kb.bind(loop);
+    kb.alu2Imm(Opcode::SHL, 8, 2, 2);       // byte offset i*4
+    kb.alu2(Opcode::ADD, 9, 8, 0);          // &in[i]
+    kb.load(Opcode::LD_GLOBAL, 10, 9, -4);  // in[i-1]
+    kb.load(Opcode::LD_GLOBAL, 11, 9, 0);   // in[i]
+    kb.load(Opcode::LD_GLOBAL, 12, 9, 4);   // in[i+1]
+    kb.alu2Imm(Opcode::SHL, 11, 11, 1);     // 2*in[i]
+    kb.alu2(Opcode::ADD, 10, 10, 11);
+    kb.alu2(Opcode::ADD, 10, 10, 12);       // stencil sum
+    kb.alu2(Opcode::ADD, 13, 8, 1);         // &out[i]
+    kb.store(Opcode::ST_GLOBAL, 13, 0, 10);
+    kb.alu2Imm(Opcode::ADD, 2, 2, 1);
+    kb.setp(CondCode::LT, predReg(0), 2, 3);
+    kb.bra(loop, predReg(0));
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = warps;
+    return launch;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bow;
+
+    const unsigned warps = argc > 1
+        ? static_cast<unsigned>(std::atoi(argv[1])) : 32;
+    const unsigned elems = argc > 2
+        ? static_cast<unsigned>(std::atoi(argv[2])) : 48;
+
+    const Launch launch = makeStencil(warps, elems);
+    std::cout << "3-point stencil, " << warps << " warps x " << elems
+              << " elements\n\n";
+
+    Simulator base(configFor(Architecture::Baseline));
+    const auto baseRes = base.run(launch);
+
+    Table t("Window-size sweep (BOW-WR with compiler hints)");
+    t.setHeader({"config", "cycles", "IPC", "IPC gain", "RF reads",
+                 "RF writes", "norm. energy"});
+    t.beginRow().cell("baseline").cell(baseRes.stats.cycles)
+        .cell(baseRes.stats.ipc(), 3).cell("-")
+        .cell(baseRes.stats.rfReads).cell(baseRes.stats.rfWrites)
+        .cell("100.0%");
+
+    for (unsigned iw = 2; iw <= 6; ++iw) {
+        Simulator sim(configFor(Architecture::BOW_WR_OPT, iw));
+        const auto res = sim.run(launch);
+        t.beginRow().cell("BOW-WR IW" + std::to_string(iw))
+            .cell(res.stats.cycles).cell(res.stats.ipc(), 3)
+            .cell(formatFixed(improvementPct(res.stats.ipc(),
+                                             baseRes.stats.ipc()),
+                              1) + "%")
+            .cell(res.stats.rfReads).cell(res.stats.rfWrites)
+            .pct(res.energy.normalizedTo(baseRes.energy));
+    }
+    t.print(std::cout);
+
+    std::cout << "The stencil's load/shift/add chain reuses every "
+                 "operand within two or\n"
+                 "three instructions - the sweet spot the paper "
+                 "picks IW=3 for.\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace bow {
+
+namespace {
+bool verboseEnabled = false;
+} // namespace
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseEnabled)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled = verbose;
+}
+
+} // namespace bow

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for internal
+ * simulator bugs (aborts), fatal() for user/configuration errors
+ * (clean exit via exception so tests can assert on it), warn() and
+ * inform() for status messages.
+ */
+
+#ifndef BOWSIM_COMMON_LOG_H
+#define BOWSIM_COMMON_LOG_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bow {
+
+/** Exception thrown by fatal(): a user-caused, recoverable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by panic(): an internal simulator invariant broke. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/**
+ * Report an unrecoverable user error (bad configuration, malformed
+ * assembly, impossible parameter combination).
+ *
+ * @param msg Human-readable description of what the user did wrong.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report a broken internal invariant; this is always a bowsim bug.
+ *
+ * @param msg Description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr; simulation continues. */
+void inform(const std::string &msg);
+
+/** Enable or disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** Build a message from stream-style pieces: strf("x=", x, " y=", y). */
+template <typename... Args>
+std::string
+strf(Args &&...args)
+{
+    std::ostringstream os;
+    ((os << std::forward<Args>(args)), ...);
+    return os.str();
+}
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_LOG_H

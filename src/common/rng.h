@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Small deterministic PRNG (xoshiro256**) used by the workload
+ * generators. Deterministic across platforms so that every benchmark
+ * run and test reproduces the identical kernel for a given seed.
+ */
+
+#ifndef BOWSIM_COMMON_RNG_H
+#define BOWSIM_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace bow {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Not cryptographic; chosen for speed, quality, and a tiny, fully
+ * deterministic implementation independent of the standard library's
+ * distribution objects (which vary between implementations).
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed always yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // splitmix64 to fill the state from a single word.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit word. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift range reduction (Lemire); bias is negligible
+        // for simulation workload shaping.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_RNG_H

@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+Histogram::Histogram(std::size_t buckets)
+    : counts_(buckets + 1, 0)
+{
+    if (buckets == 0)
+        fatal("Histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t weight)
+{
+    const std::size_t exact = counts_.size() - 1;
+    const std::size_t b = (v < exact) ? static_cast<std::size_t>(v) : exact;
+    counts_[b] += weight;
+    total_ += weight;
+    weightedSum_ += static_cast<double>(weight) *
+        static_cast<double>(v < exact ? v : exact);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    total_ = 0;
+    weightedSum_ = 0.0;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t b) const
+{
+    if (b >= counts_.size())
+        panic("Histogram::bucket out of range");
+    return counts_[b];
+}
+
+double
+Histogram::fraction(std::size_t b) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(bucket(b)) / static_cast<double>(total_);
+}
+
+double
+Histogram::fractionAtLeast(std::uint64_t v) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t n = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        if (b >= v)
+            n += counts_[b];
+    }
+    return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    return total_ ? weightedSum_ / static_cast<double>(total_) : 0.0;
+}
+
+Counter &
+StatGroup::counter(const std::string &key)
+{
+    return counters_[key];
+}
+
+Average &
+StatGroup::average(const std::string &key)
+{
+    return averages_[key];
+}
+
+Histogram &
+StatGroup::histogram(const std::string &key, std::size_t buckets)
+{
+    auto it = histograms_.find(key);
+    if (it == histograms_.end())
+        it = histograms_.emplace(key, Histogram(buckets)).first;
+    return it->second;
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : averages_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+} // namespace bow

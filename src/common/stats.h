@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named scalar counters, scalar
+ * averages, and fixed-bucket histograms. Every hardware model in
+ * bowsim owns a StatGroup and registers its counters there so the
+ * benches can dump them uniformly.
+ */
+
+#ifndef BOWSIM_COMMON_STATS_H
+#define BOWSIM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bow {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { count_ += n; }
+    void reset() { count_ = 0; }
+    std::uint64_t value() const { return count_; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Running mean of a stream of samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++n_;
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        n_ = 0;
+    }
+
+    std::uint64_t samples() const { return n_; }
+    double sum() const { return sum_; }
+
+    /** Mean of all samples, or 0 when empty. */
+    double
+    mean() const
+    {
+        return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t n_ = 0;
+};
+
+/**
+ * Histogram over small non-negative integer values. Values at or above
+ * the bucket count accumulate in the final (overflow) bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param buckets Number of exact buckets [0, buckets-1] + overflow. */
+    explicit Histogram(std::size_t buckets = 16);
+
+    /** Record one observation of @p v. */
+    void sample(std::uint64_t v, std::uint64_t weight = 1);
+
+    void reset();
+
+    /** Total number of recorded observations. */
+    std::uint64_t total() const { return total_; }
+
+    /** Raw count in bucket @p b (the last bucket holds the overflow). */
+    std::uint64_t bucket(std::size_t b) const;
+
+    /** Number of buckets including the overflow bucket. */
+    std::size_t size() const { return counts_.size(); }
+
+    /** Fraction of observations in bucket @p b (0 when empty). */
+    double fraction(std::size_t b) const;
+
+    /** Fraction of observations with value >= v (0 when empty). */
+    double fractionAtLeast(std::uint64_t v) const;
+
+    /** Mean observed value (overflow bucket counted at its floor). */
+    double mean() const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double weightedSum_ = 0.0;
+};
+
+/**
+ * A named collection of counters owned by one hardware model.
+ * Lookup auto-creates, so models can write
+ * `stats.counter("rf.read_accesses").inc()` without registration code.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &key);
+    Average &average(const std::string &key);
+    Histogram &histogram(const std::string &key, std::size_t buckets = 16);
+
+    /** Read-only counter value; 0 if never touched. */
+    std::uint64_t counterValue(const std::string &key) const;
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    void resetAll();
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_STATS_H

@@ -1,0 +1,152 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace bow {
+
+std::string
+formatPct(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << "%";
+    return os.str();
+}
+
+std::string
+formatFixed(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size())
+        panic(strf("Table '", title_, "': row width ", row.size(),
+                   " != header width ", header_.size()));
+    rows_.push_back(std::move(row));
+}
+
+Table &
+Table::beginRow()
+{
+    flushPending();
+    hasPending_ = true;
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    pending_.push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(formatFixed(v, precision));
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::pct(double fraction, int precision)
+{
+    return cell(formatPct(fraction, precision));
+}
+
+void
+Table::flushPending()
+{
+    if (hasPending_) {
+        addRow(std::move(pending_));
+        pending_.clear();
+        hasPending_ = false;
+    }
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    // A const-friendly copy flush: render pending row too if present.
+    std::vector<std::vector<std::string>> rows = rows_;
+    if (hasPending_)
+        rows.push_back(pending_);
+
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows)
+        widen(r);
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows)
+        emit(r);
+    os << "\n";
+
+    if (std::getenv("BOWSIM_CSV")) {
+        os << "#csv " << title_ << "\n";
+        printCsv(os);
+        os << "#endcsv\n\n";
+    }
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ",";
+            os << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    if (hasPending_)
+        emit(pending_);
+}
+
+} // namespace bow

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench harnesses to emit the
+ * same rows/series the paper's tables and figures report. Supports
+ * aligned ASCII output and CSV.
+ */
+
+#ifndef BOWSIM_COMMON_TABLE_H
+#define BOWSIM_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bow {
+
+/** A rectangular table of strings with a header row and a title. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers; defines the expected row width. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a pre-formatted row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Start a new row builder. */
+    Table &beginRow();
+    /** Append one cell to the row under construction. */
+    Table &cell(const std::string &text);
+    /** Append a formatted numeric cell (fixed, @p precision digits). */
+    Table &cell(double v, int precision = 2);
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t v);
+    /** Append a percentage cell ("12.3%"). */
+    Table &pct(double fraction, int precision = 1);
+
+    /**
+     * Render as aligned ASCII art. When the BOWSIM_CSV environment
+     * variable is set, a machine-readable CSV block (fenced by
+     * `#csv <title>` / `#endcsv`) follows the table so bench output
+     * can be piped straight into plotting scripts.
+     */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows, no title). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    void flushPending();
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+    bool hasPending_ = false;
+};
+
+/** Format a fraction as a percent string, e.g. 0.123 -> "12.3%". */
+std::string formatPct(double fraction, int precision = 1);
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double v, int precision = 2);
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_TABLE_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every bowsim module.
+ */
+
+#ifndef BOWSIM_COMMON_TYPES_H
+#define BOWSIM_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace bow {
+
+/** Simulation time, measured in SM core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Architectural warp-register identifier ($r0 .. $r254). */
+using RegId = std::uint16_t;
+
+/** Hardware warp slot index within an SM (0 .. warpsPerSm-1). */
+using WarpId = std::uint16_t;
+
+/** Register-file bank index (0 .. numBanks-1). */
+using BankId = std::uint16_t;
+
+/** Index of an instruction within a kernel's flat instruction list. */
+using InstIdx = std::uint32_t;
+
+/** Monotonic per-warp dynamic instruction sequence number. */
+using SeqNum = std::uint64_t;
+
+/** A 32-bit warp-uniform register value (thread lanes are lock-step). */
+using Value = std::uint32_t;
+
+/** Sentinel meaning "no register operand present". */
+inline constexpr RegId kNoReg = std::numeric_limits<RegId>::max();
+
+/** Sentinel meaning "invalid / not-yet-assigned instruction index". */
+inline constexpr InstIdx kNoInst = std::numeric_limits<InstIdx>::max();
+
+/** Sentinel cycle value meaning "never / unset". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_TYPES_H

@@ -1,0 +1,67 @@
+#include "compiler/cfg.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bow {
+
+Cfg::Cfg(const Kernel &kernel)
+    : kernel_(&kernel)
+{
+    if (!kernel.finalized())
+        panic("Cfg: kernel not finalized");
+
+    const auto &leaders = kernel.leaders();
+    blocks_.reserve(leaders.size());
+    for (std::size_t b = 0; b < leaders.size(); ++b) {
+        BasicBlock blk;
+        blk.first = leaders[b];
+        blk.last = (b + 1 < leaders.size())
+            ? leaders[b + 1] - 1
+            : static_cast<InstIdx>(kernel.size() - 1);
+        blocks_.push_back(blk);
+    }
+
+    blockOf_.assign(kernel.size(), 0);
+    for (unsigned b = 0; b < blocks_.size(); ++b) {
+        for (InstIdx i = blocks_[b].first; i <= blocks_[b].last; ++i)
+            blockOf_[i] = b;
+    }
+
+    for (unsigned b = 0; b < blocks_.size(); ++b) {
+        const Instruction &term = kernel.inst(blocks_[b].last);
+        auto link = [&](unsigned succ) {
+            blocks_[b].succs.push_back(succ);
+            blocks_[succ].preds.push_back(b);
+        };
+        if (term.endsWarp())
+            continue;
+        if (term.isBranch()) {
+            link(blockOf_[term.branchTarget]);
+            // A guarded branch falls through when the predicate fails.
+            if (term.pred != kNoReg && b + 1 < blocks_.size())
+                link(b + 1);
+        } else if (b + 1 < blocks_.size()) {
+            link(b + 1);
+        }
+    }
+}
+
+const BasicBlock &
+Cfg::block(unsigned b) const
+{
+    if (b >= blocks_.size())
+        panic(strf("Cfg::block: index ", b, " out of range"));
+    return blocks_[b];
+}
+
+unsigned
+Cfg::blockOf(InstIdx i) const
+{
+    if (i >= blockOf_.size())
+        panic(strf("Cfg::blockOf: instruction ", i, " out of range"));
+    return blockOf_[i];
+}
+
+} // namespace bow

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Control-flow graph over a finalized Kernel: basic blocks with
+ * predecessor/successor edges, used by the liveness analysis.
+ */
+
+#ifndef BOWSIM_COMPILER_CFG_H
+#define BOWSIM_COMPILER_CFG_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "isa/kernel.h"
+
+namespace bow {
+
+/** One basic block: the half-open instruction range [first, last]. */
+struct BasicBlock
+{
+    InstIdx first = 0;          ///< index of the leader instruction
+    InstIdx last = 0;           ///< index of the final instruction
+    std::vector<unsigned> succs;
+    std::vector<unsigned> preds;
+
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(last) - first + 1;
+    }
+};
+
+/** Control-flow graph of a kernel. */
+class Cfg
+{
+  public:
+    /** Build the CFG; @p kernel must be finalized. */
+    explicit Cfg(const Kernel &kernel);
+
+    const Kernel &kernel() const { return *kernel_; }
+    std::size_t numBlocks() const { return blocks_.size(); }
+    const BasicBlock &block(unsigned b) const;
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block index containing instruction @p i. */
+    unsigned blockOf(InstIdx i) const;
+
+  private:
+    const Kernel *kernel_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<unsigned> blockOf_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_COMPILER_CFG_H

@@ -1,0 +1,106 @@
+#include "compiler/liveness.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+bool
+Liveness::isStrongDef(const Instruction &inst)
+{
+    return inst.hasDest() && inst.pred == kNoReg;
+}
+
+Liveness::Liveness(const Cfg &cfg)
+    : cfg_(&cfg)
+{
+    const Kernel &kernel = cfg.kernel();
+    const std::size_t nb = cfg.numBlocks();
+
+    // Per-block use (upward-exposed reads) and def (strong kills).
+    std::vector<RegSet> use(nb);
+    std::vector<RegSet> def(nb);
+    for (unsigned b = 0; b < nb; ++b) {
+        const BasicBlock &blk = cfg.block(b);
+        for (InstIdx i = blk.first; i <= blk.last; ++i) {
+            const Instruction &inst = kernel.inst(i);
+            for (RegId r : inst.srcRegs()) {
+                if (!def[b].test(r))
+                    use[b].set(r);
+            }
+            if (isStrongDef(inst))
+                def[b].set(inst.dst);
+        }
+    }
+
+    // Iterate liveIn/liveOut to a fixed point.
+    liveIn_.assign(nb, RegSet());
+    liveOut_.assign(nb, RegSet());
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (unsigned b = nb; b-- > 0;) {
+            RegSet out;
+            for (unsigned s : cfg.block(b).succs)
+                out |= liveIn_[s];
+            RegSet in = use[b] | (out & ~def[b]);
+            if (out != liveOut_[b] || in != liveIn_[b]) {
+                liveOut_[b] = out;
+                liveIn_[b] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // Per-instruction sets by a backwards in-block sweep.
+    instLiveAfter_.assign(kernel.size(), RegSet());
+    instLiveBefore_.assign(kernel.size(), RegSet());
+    for (unsigned b = 0; b < nb; ++b) {
+        const BasicBlock &blk = cfg.block(b);
+        RegSet live = liveOut_[b];
+        for (InstIdx i = blk.last + 1; i-- > blk.first;) {
+            const Instruction &inst = kernel.inst(i);
+            instLiveAfter_[i] = live;
+            if (isStrongDef(inst))
+                live.reset(inst.dst);
+            for (RegId r : inst.srcRegs())
+                live.set(r);
+            instLiveBefore_[i] = live;
+            if (i == blk.first)
+                break;
+        }
+    }
+}
+
+const RegSet &
+Liveness::liveAfter(InstIdx i) const
+{
+    if (i >= instLiveAfter_.size())
+        panic("Liveness::liveAfter: out of range");
+    return instLiveAfter_[i];
+}
+
+const RegSet &
+Liveness::liveBefore(InstIdx i) const
+{
+    if (i >= instLiveBefore_.size())
+        panic("Liveness::liveBefore: out of range");
+    return instLiveBefore_[i];
+}
+
+const RegSet &
+Liveness::liveIn(unsigned b) const
+{
+    if (b >= liveIn_.size())
+        panic("Liveness::liveIn: out of range");
+    return liveIn_[b];
+}
+
+const RegSet &
+Liveness::liveOut(unsigned b) const
+{
+    if (b >= liveOut_.size())
+        panic("Liveness::liveOut: out of range");
+    return liveOut_[b];
+}
+
+} // namespace bow

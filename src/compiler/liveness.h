@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Classic backwards dataflow liveness analysis over the kernel CFG.
+ *
+ * Produces per-instruction "live after" sets used by the write-back
+ * tagger (paper Sec. IV-B) to decide whether a destination value must
+ * eventually reach the register file.
+ */
+
+#ifndef BOWSIM_COMPILER_LIVENESS_H
+#define BOWSIM_COMPILER_LIVENESS_H
+
+#include <bitset>
+#include <vector>
+
+#include "compiler/cfg.h"
+
+namespace bow {
+
+/** Register set: one bit per architectural register id. */
+using RegSet = std::bitset<256>;
+
+/** Result of the liveness analysis for one kernel. */
+class Liveness
+{
+  public:
+    /** Run the analysis to a fixed point. */
+    explicit Liveness(const Cfg &cfg);
+
+    /** Registers live immediately *after* instruction @p i executes. */
+    const RegSet &liveAfter(InstIdx i) const;
+
+    /** Registers live immediately *before* instruction @p i executes. */
+    const RegSet &liveBefore(InstIdx i) const;
+
+    /** Registers live on entry to block @p b. */
+    const RegSet &liveIn(unsigned b) const;
+
+    /** Registers live on exit from block @p b. */
+    const RegSet &liveOut(unsigned b) const;
+
+    /**
+     * True when instruction @p i writes its destination
+     * unconditionally (an unguarded instruction with a destination);
+     * guarded writes are weak defs that do not kill liveness.
+     */
+    static bool isStrongDef(const Instruction &inst);
+
+  private:
+    const Cfg *cfg_;
+    std::vector<RegSet> liveIn_;
+    std::vector<RegSet> liveOut_;
+    std::vector<RegSet> instLiveAfter_;
+    std::vector<RegSet> instLiveBefore_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_COMPILER_LIVENESS_H

@@ -1,0 +1,207 @@
+#include "compiler/reorder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.h"
+#include "compiler/cfg.h"
+
+namespace bow {
+
+namespace {
+
+/** True when instruction order between @p a and @p b must be kept. */
+bool
+mustOrder(const Instruction &a, const Instruction &b)
+{
+    // Barriers order against everything.
+    if (a.op == Opcode::BAR || b.op == Opcode::BAR)
+        return true;
+    // Memory operations keep their program order (the SM dispatches
+    // them in order; reordering loads past stores would need alias
+    // analysis we do not have).
+    if (a.isMemory() && b.isMemory())
+        return true;
+
+    auto writes = [](const Instruction &i, RegId r) {
+        return i.hasDest() && i.dst == r;
+    };
+    // RAW: b reads something a writes.
+    for (RegId r : b.srcRegs()) {
+        if (writes(a, r))
+            return true;
+    }
+    // WAR: b writes something a reads.
+    if (b.hasDest()) {
+        for (RegId r : a.srcRegs()) {
+            if (r == b.dst)
+                return true;
+        }
+    }
+    // WAW.
+    if (a.hasDest() && b.hasDest() && a.dst == b.dst)
+        return true;
+    return false;
+}
+
+/** Greedy bypass-aware list scheduling of one block's instructions.
+ *  @return the chosen permutation (indices into @p insts). */
+std::vector<std::size_t>
+scheduleBlock(const std::vector<Instruction> &insts,
+              unsigned windowSize)
+{
+    const std::size_t n = insts.size();
+    std::vector<std::vector<std::size_t>> succs(n);
+    std::vector<unsigned> preds(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (mustOrder(insts[i], insts[j])) {
+                succs[i].push_back(j);
+                ++preds[j];
+            }
+        }
+    }
+
+    // Pin a terminating instruction last by making everything its
+    // predecessor.
+    if (n > 0 &&
+        (insts[n - 1].isBranch() || insts[n - 1].endsWarp())) {
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            if (std::find(succs[i].begin(), succs[i].end(), n - 1) ==
+                succs[i].end()) {
+                succs[i].push_back(n - 1);
+                ++preds[n - 1];
+            }
+        }
+    }
+
+    // lastWrite[r]: position (in the new order) of the latest write.
+    std::vector<std::int64_t> lastWrite(256, -1);
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::vector<bool> scheduled(n, false);
+
+    for (std::size_t step = 0; step < n; ++step) {
+        const auto pos = static_cast<std::int64_t>(step);
+        std::size_t best = n;
+        std::int64_t bestScore = -1;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (scheduled[c] || preds[c] != 0)
+                continue;
+            // Score: prefer consumers of freshly produced values;
+            // the fresher the producer, the better.
+            std::int64_t score = 0;
+            for (RegId r : insts[c].uniqueSrcRegs()) {
+                if (lastWrite[r] < 0)
+                    continue;
+                const std::int64_t dist = pos - lastWrite[r];
+                if (dist < static_cast<std::int64_t>(windowSize))
+                    score += 2 * (static_cast<std::int64_t>(
+                                      windowSize) - dist);
+            }
+            // Stable tie-break: earliest original position wins, so
+            // an all-zero scoring keeps program order.
+            if (score > bestScore) {
+                bestScore = score;
+                best = c;
+            }
+        }
+        if (best == n)
+            panic("reorderForBypass: dependence cycle in a basic "
+                  "block");
+        scheduled[best] = true;
+        order.push_back(best);
+        for (std::size_t s : succs[best])
+            --preds[s];
+        if (insts[best].hasDest())
+            lastWrite[insts[best].dst] = pos;
+    }
+    return order;
+}
+
+/**
+ * Static bypassability estimate of an ordering: reads whose distance
+ * from the previous access of the same register (chain semantics)
+ * is below the window size.
+ */
+std::uint64_t
+inWindowReads(const std::vector<Instruction> &insts,
+              const std::vector<std::size_t> &order,
+              unsigned windowSize)
+{
+    std::vector<std::int64_t> lastAccess(256, -1);
+    std::uint64_t hits = 0;
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const Instruction &inst = insts[order[pos]];
+        for (RegId r : inst.uniqueSrcRegs()) {
+            const auto p = static_cast<std::int64_t>(pos);
+            if (lastAccess[r] >= 0 &&
+                p - lastAccess[r] <
+                    static_cast<std::int64_t>(windowSize)) {
+                ++hits;
+            }
+            lastAccess[r] = p;
+        }
+        if (inst.hasDest())
+            lastAccess[inst.dst] = static_cast<std::int64_t>(pos);
+    }
+    return hits;
+}
+
+} // namespace
+
+ReorderStats
+reorderForBypass(Kernel &kernel, unsigned windowSize)
+{
+    if (windowSize < 2)
+        fatal("reorderForBypass: window size must be at least 2");
+    if (!kernel.finalized())
+        panic("reorderForBypass: kernel not finalized");
+
+    ReorderStats stats;
+    const Cfg cfg(kernel);
+
+    for (unsigned b = 0; b < cfg.numBlocks(); ++b) {
+        const BasicBlock &blk = cfg.block(b);
+        ++stats.blocksVisited;
+        if (blk.size() < 3)
+            continue;
+
+        std::vector<Instruction> insts;
+        insts.reserve(blk.size());
+        for (InstIdx i = blk.first; i <= blk.last; ++i)
+            insts.push_back(kernel.inst(i));
+
+        const auto order = scheduleBlock(insts, windowSize);
+
+        // Keep the original order unless the schedule strictly
+        // improves the static in-window read count: never regress
+        // code the compiler already laid out well.
+        std::vector<std::size_t> identity(insts.size());
+        for (std::size_t k = 0; k < identity.size(); ++k)
+            identity[k] = k;
+        if (inWindowReads(insts, order, windowSize) <=
+            inWindowReads(insts, identity, windowSize)) {
+            continue;
+        }
+
+        bool changed = false;
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            if (order[k] != k) {
+                changed = true;
+                ++stats.instsMoved;
+            }
+        }
+        if (!changed)
+            continue;
+        ++stats.blocksChanged;
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            kernel.inst(blk.first + static_cast<InstIdx>(k)) =
+                insts[order[k]];
+        }
+    }
+    kernel.finalize();
+    return stats;
+}
+
+} // namespace bow

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Bypass-aware instruction scheduling — the compiler optimisation the
+ * paper leaves as future work (Sec. IV footnote: "further compiler
+ * optimizations to reorder instructions to increase bypassing
+ * opportunities are possible").
+ *
+ * Within each basic block, independent instructions are greedily
+ * list-scheduled so that consumers move closer to their producers,
+ * shrinking operand reuse distances below the BOC window size. All
+ * register (RAW/WAR/WAW, including guard predicates) and memory
+ * dependences are preserved, barriers are kept in place, and block
+ * terminators stay terminal, so the transformed kernel is
+ * functionally identical.
+ */
+
+#ifndef BOWSIM_COMPILER_REORDER_H
+#define BOWSIM_COMPILER_REORDER_H
+
+#include "isa/kernel.h"
+
+namespace bow {
+
+/** Summary of a reordering pass. */
+struct ReorderStats
+{
+    unsigned blocksVisited = 0;
+    unsigned blocksChanged = 0;
+    unsigned instsMoved = 0;    ///< instructions at a new position
+};
+
+/**
+ * Reorder @p kernel in place to improve bypassing for windows of
+ * @p windowSize instructions. The kernel is re-finalized before
+ * returning. Run this *before* tagWritebacks().
+ */
+ReorderStats reorderForBypass(Kernel &kernel, unsigned windowSize);
+
+} // namespace bow
+
+#endif // BOWSIM_COMPILER_REORDER_H

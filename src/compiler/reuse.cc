@@ -1,0 +1,116 @@
+#include "compiler/reuse.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+ReuseStats &
+ReuseStats::operator+=(const ReuseStats &o)
+{
+    totalReads += o.totalReads;
+    bypassedReads += o.bypassedReads;
+    totalWrites += o.totalWrites;
+    bypassedWrites += o.bypassedWrites;
+    return *this;
+}
+
+namespace {
+
+/**
+ * Per-register bookkeeping while scanning one warp's dynamic stream.
+ *
+ * A write's fate is decided lazily: it stays "pending" until either a
+ * consumer falls out of the residency chain (the value had to be
+ * fetched from the RF, so the write could not be bypassed), or the
+ * value is redefined / the warp ends while every consumer so far
+ * stayed inside the chain (the write never needed to reach the RF).
+ */
+struct RegState
+{
+    std::uint64_t lastAccess = 0;   ///< dynamic position of last access
+    bool touched = false;           ///< any access seen yet
+    bool pendingWrite = false;      ///< a write awaits its verdict
+};
+
+} // namespace
+
+ReuseStats
+analyzeReuse(const Kernel &kernel, const std::vector<WarpTrace> &traces,
+             unsigned windowSize)
+{
+    if (windowSize < 2)
+        fatal("analyzeReuse: window size must be at least 2");
+
+    ReuseStats stats;
+    std::vector<RegState> regs;
+
+    for (const WarpTrace &trace : traces) {
+        regs.assign(256, RegState());
+
+        for (std::uint64_t t = 0; t < trace.insts.size(); ++t) {
+            const DynInst &dyn = trace.insts[t];
+            const Instruction &inst = kernel.inst(dyn.idx);
+
+            // Reads first (sources are consumed before the destination
+            // is produced).
+            for (RegId r : inst.uniqueSrcRegs()) {
+                RegState &st = regs[r];
+                ++stats.totalReads;
+                const bool resident = st.touched &&
+                    (t - st.lastAccess) < windowSize;
+                if (resident) {
+                    ++stats.bypassedReads;
+                } else if (st.pendingWrite) {
+                    // This consumer had to refetch the value from the
+                    // register file, so the pending write was forced
+                    // to reach the RF: verdict "not bypassed".
+                    st.pendingWrite = false;
+                }
+                st.lastAccess = t;
+                st.touched = true;
+            }
+
+            // Then the write.
+            if (inst.hasDest() && dyn.wrote) {
+                RegState &st = regs[inst.dst];
+                ++stats.totalWrites;
+                // If the previous write is still pending, every read
+                // of its value (if any) stayed inside the residency
+                // chain, and it is now superseded: the RF write was
+                // avoidable.
+                if (st.pendingWrite)
+                    ++stats.bypassedWrites;
+                st.pendingWrite = true;
+                st.lastAccess = t;
+                st.touched = true;
+            }
+        }
+
+        // Warp finished: a still-pending write's value is dead, so its
+        // RF write-back was avoidable.
+        for (RegState &st : regs) {
+            if (st.pendingWrite)
+                ++stats.bypassedWrites;
+        }
+    }
+    return stats;
+}
+
+std::vector<std::uint64_t>
+sourceOperandHistogram(const Kernel &kernel,
+                       const std::vector<WarpTrace> &traces)
+{
+    std::vector<std::uint64_t> counts(4, 0);
+    for (const WarpTrace &trace : traces) {
+        for (const DynInst &dyn : trace.insts) {
+            const Instruction &inst = kernel.inst(dyn.idx);
+            unsigned n = inst.numRegSrcs();
+            if (n > 3)
+                n = 3;
+            ++counts[n];
+        }
+    }
+    return counts;
+}
+
+} // namespace bow

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dynamic operand-reuse analysis over executed warp traces: the
+ * characterisation behind the paper's Figure 3 (fraction of register
+ * read and write requests that operand bypassing can eliminate, as a
+ * function of the instruction-window size).
+ *
+ * The model matches the BOC's sliding *extended* window semantics:
+ * a value becomes resident in the bypass buffer when it is accessed
+ * (written, or fetched by a read) and stays resident as long as each
+ * subsequent access to it falls within `windowSize` dynamic
+ * instructions of the previous access.
+ */
+
+#ifndef BOWSIM_COMPILER_REUSE_H
+#define BOWSIM_COMPILER_REUSE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/kernel.h"
+
+namespace bow {
+
+/** One executed instruction in a warp's dynamic stream. */
+struct DynInst
+{
+    InstIdx idx = 0;    ///< static instruction index
+    bool wrote = false; ///< destination was actually written
+                        ///< (false when a guard predicate failed)
+};
+
+/** The full dynamic instruction stream of one warp. */
+struct WarpTrace
+{
+    std::vector<DynInst> insts;
+};
+
+/** Counts of bypassable register-file requests in a trace. */
+struct ReuseStats
+{
+    std::uint64_t totalReads = 0;
+    std::uint64_t bypassedReads = 0;
+    std::uint64_t totalWrites = 0;
+    std::uint64_t bypassedWrites = 0;
+
+    double
+    readFraction() const
+    {
+        return totalReads
+            ? static_cast<double>(bypassedReads) /
+              static_cast<double>(totalReads)
+            : 0.0;
+    }
+
+    double
+    writeFraction() const
+    {
+        return totalWrites
+            ? static_cast<double>(bypassedWrites) /
+              static_cast<double>(totalWrites)
+            : 0.0;
+    }
+
+    ReuseStats &operator+=(const ReuseStats &o);
+};
+
+/**
+ * Analyze the bypassing opportunity of @p traces for @p windowSize.
+ *
+ * A *read* of register r is bypassable when the previous access to r
+ * in the same warp happened fewer than `windowSize` dynamic
+ * instructions earlier (the operand is still in the sliding window).
+ *
+ * A *write* to register r is bypassable (never needs to reach the RF)
+ * when every read of that value before its next redefinition stays
+ * inside the residency chain, i.e. no consumer ever has to refetch it
+ * from the register file. Values still resident when the warp exits
+ * are dead and count as bypassed.
+ *
+ * @param kernel     The static kernel the traces executed.
+ * @param traces     Per-warp dynamic instruction streams.
+ * @param windowSize Instruction-window size (IW >= 2).
+ */
+ReuseStats analyzeReuse(const Kernel &kernel,
+                        const std::vector<WarpTrace> &traces,
+                        unsigned windowSize);
+
+/**
+ * Per-instruction source-register-operand count histogram over a
+ * trace (the paper's Figure 8: baseline OCU entry occupancy 0..3).
+ *
+ * @return counts[k] = dynamic instructions with k register sources.
+ */
+std::vector<std::uint64_t>
+sourceOperandHistogram(const Kernel &kernel,
+                       const std::vector<WarpTrace> &traces);
+
+} // namespace bow
+
+#endif // BOWSIM_COMPILER_REUSE_H

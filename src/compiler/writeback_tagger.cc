@@ -1,0 +1,142 @@
+#include "compiler/writeback_tagger.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "compiler/cfg.h"
+#include "compiler/liveness.h"
+
+namespace bow {
+
+namespace {
+
+/**
+ * True when instruction @p inst is guaranteed to read its sources
+ * when reached. Guarded instructions may be suppressed entirely, so
+ * their reads cannot be relied on to extend a residency chain — with
+ * the exception of branches, which always read their guard predicate
+ * to decide direction.
+ */
+bool
+readsUnconditionally(const Instruction &inst)
+{
+    return inst.pred == kNoReg || inst.op == Opcode::BRA;
+}
+
+bool
+reads(const Instruction &inst, RegId r)
+{
+    for (RegId s : inst.srcRegs()) {
+        if (s == r)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TagStats
+tagWritebacks(Kernel &kernel, unsigned windowSize)
+{
+    if (windowSize < 2)
+        fatal("tagWritebacks: window size must be at least 2");
+
+    const Cfg cfg(kernel);
+    const Liveness liveness(cfg);
+    TagStats stats;
+
+    for (InstIdx i = 0; i < kernel.size(); ++i) {
+        Instruction &inst = kernel.inst(i);
+        if (!inst.hasDest())
+            continue;
+        const RegId d = inst.dst;
+        const BasicBlock &blk = cfg.block(cfg.blockOf(i));
+
+        // Walk the residency chain of the value defined at i, exactly
+        // mirroring the BOC's sliding *extended* window: the value
+        // stays buffered while consecutive accesses are fewer than
+        // windowSize instructions apart (paper: "immediate reuse
+        // distance across all the accesses is always less than IW").
+        // The walk is intra-block; dynamic distances across branches
+        // are unknown to the compiler, so liveness at the block end
+        // decides conservatively.
+        InstIdx lastAccess = i;     // guaranteed chain anchor
+        bool usedNear = false;      // some read reachable via chain
+        bool brokenRead = false;    // some read falls off the chain
+        bool killed = false;        // strong redefinition ends life
+        InstIdx scanEnd = blk.last;
+
+        for (InstIdx j = i + 1; j <= blk.last; ++j) {
+            const Instruction &next = kernel.inst(j);
+            if (reads(next, d)) {
+                if (j - lastAccess < windowSize) {
+                    usedNear = true;
+                    if (readsUnconditionally(next))
+                        lastAccess = j;
+                } else {
+                    brokenRead = true;
+                }
+            }
+            if (Liveness::isStrongDef(next) && next.dst == d) {
+                killed = true;
+                scanEnd = j;
+                break;
+            }
+        }
+
+        const bool liveBeyond =
+            !killed && liveness.liveAfter(scanEnd).test(d);
+        const bool needsRf = brokenRead || liveBeyond;
+
+        if (!usedNear) {
+            inst.hint = WritebackHint::RfOnly;
+            ++stats.rfOnly;
+        } else if (!needsRf) {
+            inst.hint = WritebackHint::BocOnly;
+            ++stats.bocOnly;
+        } else {
+            inst.hint = WritebackHint::BocAndRf;
+            ++stats.bocAndRf;
+        }
+    }
+    return stats;
+}
+
+void
+clearWritebackHints(Kernel &kernel)
+{
+    for (InstIdx i = 0; i < kernel.size(); ++i)
+        kernel.inst(i).hint = WritebackHint::BocAndRf;
+}
+
+RfDemand
+analyzeRfDemand(const Kernel &kernel)
+{
+    const Cfg cfg(kernel);
+    const Liveness liveness(cfg);
+
+    RfDemand out;
+    out.totalGprs = kernel.numGprs();
+
+    for (unsigned r = 0; r < out.totalGprs; ++r) {
+        // Live-in registers hold launch parameters: they must exist
+        // in the RF before the first instruction runs.
+        if (liveness.liveIn(0).test(r))
+            continue;
+        bool everWritten = false;
+        bool needsRf = false;
+        for (InstIdx i = 0; i < kernel.size() && !needsRf; ++i) {
+            const Instruction &inst = kernel.inst(i);
+            if (inst.hasDest() && inst.dst == r) {
+                everWritten = true;
+                if (inst.hint != WritebackHint::BocOnly)
+                    needsRf = true;
+            }
+        }
+        if (everWritten && !needsRf)
+            ++out.rfFreeGprs;
+    }
+    return out;
+}
+
+} // namespace bow

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Compiler-guided write-back destination tagging (paper Sec. IV-B).
+ *
+ * For every instruction that produces a destination register the
+ * tagger encodes one of three policies in the instruction's two
+ * write-back hint bits:
+ *
+ *  - RfOnly:   the value has no reuse inside the instruction window,
+ *              so writing it to the BOC would be wasted work;
+ *  - BocOnly:  the value is *transient* — every use happens inside
+ *              the window and it is dead afterwards, so it never
+ *              needs a register-file write (or an RF allocation);
+ *  - BocAndRf: reused inside the window and still live beyond it.
+ *
+ * The analysis is conservative across basic-block boundaries: reuse
+ * is only recognised inside the straight-line window, and liveness
+ * beyond the window comes from the global dataflow analysis, so a
+ * BocOnly tag is always safe.
+ */
+
+#ifndef BOWSIM_COMPILER_WRITEBACK_TAGGER_H
+#define BOWSIM_COMPILER_WRITEBACK_TAGGER_H
+
+#include <cstdint>
+
+#include "isa/kernel.h"
+
+namespace bow {
+
+/** Static tagging summary for one kernel. */
+struct TagStats
+{
+    std::uint64_t rfOnly = 0;    ///< instructions tagged RfOnly
+    std::uint64_t bocOnly = 0;   ///< instructions tagged BocOnly
+    std::uint64_t bocAndRf = 0;  ///< instructions tagged BocAndRf
+
+    std::uint64_t
+    total() const
+    {
+        return rfOnly + bocOnly + bocAndRf;
+    }
+};
+
+/**
+ * Run liveness + window-reuse analysis and set the WritebackHint of
+ * every destination-producing instruction in @p kernel.
+ *
+ * @param kernel      Finalized kernel; hints are updated in place.
+ * @param windowSize  The BOC instruction-window size (IW >= 2).
+ * @return Static counts of each tag kind.
+ */
+TagStats tagWritebacks(Kernel &kernel, unsigned windowSize);
+
+/**
+ * Clear all hints back to the default (BocAndRf), the behaviour of
+ * BOW-WR without compiler support.
+ */
+void clearWritebackHints(Kernel &kernel);
+
+/**
+ * Effective register-file demand after bypassing (paper Sec. IV-B:
+ * transient values "no longer need to be allocated a register in the
+ * RF", reducing the effective RF size).
+ */
+struct RfDemand
+{
+    unsigned totalGprs = 0;   ///< GPRs the kernel names (baseline
+                              ///< allocation)
+    unsigned rfFreeGprs = 0;  ///< GPRs that never need an RF slot
+
+    /** Fraction of the allocation that can be elided. */
+    double
+    reduction() const
+    {
+        return totalGprs
+            ? static_cast<double>(rfFreeGprs) /
+              static_cast<double>(totalGprs)
+            : 0.0;
+    }
+};
+
+/**
+ * Count GPRs that never require RF storage: every write to them is
+ * tagged BocOnly and they are not live into the kernel (never read
+ * before first written). Call after tagWritebacks(). The estimate is
+ * static and assumes the nominal window (capacity-pressure safety
+ * write-backs fall back to a reserved spill range in a real design).
+ */
+RfDemand analyzeRfDemand(const Kernel &kernel);
+
+} // namespace bow
+
+#endif // BOWSIM_COMPILER_WRITEBACK_TAGGER_H

@@ -1,0 +1,71 @@
+#include "core/replay.h"
+
+#include "common/log.h"
+#include "sm/boc.h"
+
+namespace bow {
+
+ReplayResult
+replayWritebacks(const Kernel &kernel, const WarpTrace &trace,
+                 Architecture arch, unsigned windowSize,
+                 unsigned capacity)
+{
+    ReplayResult out;
+    const unsigned cap = capacity ? capacity : 4 * windowSize;
+
+    if (arch == Architecture::Baseline || arch == Architecture::BOW) {
+        // Write-through: every executed destination write reaches the
+        // RF (BOW additionally writes the BOC).
+        for (const DynInst &dyn : trace.insts) {
+            const Instruction &inst = kernel.inst(dyn.idx);
+            if (inst.hasDest() && dyn.wrote) {
+                ++out.rfWritesPerReg[inst.dst];
+                ++out.totalRfWrites;
+                if (arch == Architecture::BOW)
+                    ++out.totalBocWrites;
+            }
+        }
+        return out;
+    }
+    if (arch != Architecture::BOW_WR &&
+        arch != Architecture::BOW_WR_OPT) {
+        fatal("replayWritebacks: unsupported architecture");
+    }
+
+    Boc boc(arch, windowSize, cap);
+    auto handle = [&](const BocEviction &ev) {
+        if (ev.needsRfWrite) {
+            ++out.rfWritesPerReg[ev.reg];
+            ++out.totalRfWrites;
+        }
+    };
+
+    SeqNum seq = 0;
+    for (const DynInst &dyn : trace.insts) {
+        const Instruction &inst = kernel.inst(dyn.idx);
+        auto res = boc.insert(seq, inst.uniqueSrcRegs());
+        // Replay has no RF latency: fetches land instantly.
+        for (RegId r : res.toFetch)
+            boc.fetchComplete(r);
+        for (const auto &ev : res.evictions)
+            handle(ev);
+
+        if (inst.hasDest() && dyn.wrote) {
+            auto wres = boc.writeResult(seq, inst.dst, inst.hint);
+            if (wres.wroteBoc)
+                ++out.totalBocWrites;
+            if (wres.writeRfNow) {
+                ++out.rfWritesPerReg[inst.dst];
+                ++out.totalRfWrites;
+            }
+            for (const auto &ev : wres.evictions)
+                handle(ev);
+        }
+        ++seq;
+    }
+    for (const auto &ev : boc.flush())
+        handle(ev);
+    return out;
+}
+
+} // namespace bow

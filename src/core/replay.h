@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Write-back replay: drives a dynamic warp trace through the BOC
+ * write policies in isolation and counts the register-file writes
+ * each architectural register causes. This is exactly the paper's
+ * Table I experiment (RF write counts for the Fig. 6 listing under
+ * write-through, write-back, and compiler-optimised write-back).
+ */
+
+#ifndef BOWSIM_CORE_REPLAY_H
+#define BOWSIM_CORE_REPLAY_H
+
+#include <map>
+
+#include "compiler/reuse.h"
+#include "isa/kernel.h"
+#include "sm/sim_config.h"
+
+namespace bow {
+
+/** Per-register RF write counts produced by a replay. */
+struct ReplayResult
+{
+    std::map<RegId, std::uint64_t> rfWritesPerReg;
+    std::uint64_t totalRfWrites = 0;
+    std::uint64_t totalBocWrites = 0;
+
+    std::uint64_t
+    writesTo(RegId reg) const
+    {
+        auto it = rfWritesPerReg.find(reg);
+        return it == rfWritesPerReg.end() ? 0 : it->second;
+    }
+};
+
+/**
+ * Replay @p trace through the write policy of @p arch.
+ *
+ * For Architecture::BOW_WR_OPT the kernel must already carry
+ * compiler hints (run tagWritebacks first). Baseline and BOW count
+ * one RF write per executed destination write (write-through).
+ *
+ * @param kernel     The static kernel the trace executed.
+ * @param trace      One warp's dynamic stream.
+ * @param arch       Write policy to model.
+ * @param windowSize IW.
+ * @param capacity   BOC capacity (0 = conservative 4 x IW).
+ */
+ReplayResult replayWritebacks(const Kernel &kernel,
+                              const WarpTrace &trace,
+                              Architecture arch, unsigned windowSize,
+                              unsigned capacity = 0);
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_REPLAY_H

@@ -1,0 +1,77 @@
+#include "core/simulator.h"
+
+#include "common/log.h"
+#include "isa/disassembler.h"
+
+namespace bow {
+
+Simulator::Simulator(SimConfig config)
+    : config_(config)
+{
+    config_.validate();
+}
+
+SimResult
+Simulator::run(const Launch &launch) const
+{
+    SimResult out;
+    out.arch = archName(config_.arch);
+    out.windowSize = config_.windowSize;
+
+    const Launch *toRun = &launch;
+    Launch tagged;
+    if (config_.arch == Architecture::BOW_WR_OPT) {
+        tagged = launch;
+        if (tagged.warpKernels.empty()) {
+            out.tags = tagWritebacks(tagged.kernel,
+                                     config_.windowSize);
+        } else {
+            for (Kernel &k : tagged.warpKernels) {
+                const TagStats s = tagWritebacks(k,
+                                                 config_.windowSize);
+                out.tags.rfOnly += s.rfOnly;
+                out.tags.bocOnly += s.bocOnly;
+                out.tags.bocAndRf += s.bocAndRf;
+            }
+        }
+        toRun = &tagged;
+    }
+
+    SmCore core(config_, *toRun);
+    out.stats = core.run();
+    out.energy = computeEnergy(out.stats, energyParams_);
+    out.finalRegs = core.finalRegs();
+    out.finalMem = core.memory();
+    return out;
+}
+
+void
+Simulator::verifyAgainstFunctional(const Launch &launch) const
+{
+    const SimResult timing = run(launch);
+    const FunctionalResult golden =
+        runFunctional(launch, 4'000'000, /*recordTraces=*/false);
+
+    if (timing.finalRegs.size() != golden.finalRegs.size())
+        panic("verifyAgainstFunctional: warp count mismatch");
+
+    for (std::size_t w = 0; w < golden.finalRegs.size(); ++w) {
+        for (unsigned r = 0; r < 256; ++r) {
+            if (timing.finalRegs[w][r] != golden.finalRegs[w][r]) {
+                panic(strf("verifyAgainstFunctional: kernel '",
+                           launch.kernel.name(), "', arch ",
+                           timing.arch, ": warp ", w, " register ",
+                           regName(static_cast<RegId>(r)),
+                           " diverged (timing=", timing.finalRegs[w][r],
+                           ", functional=", golden.finalRegs[w][r],
+                           ")"));
+            }
+        }
+    }
+    if (!timing.finalMem.contentsEqual(golden.finalMem))
+        panic(strf("verifyAgainstFunctional: kernel '",
+                   launch.kernel.name(), "', arch ", timing.arch,
+                   ": memory contents diverged"));
+}
+
+} // namespace bow

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * bowsim public API: the Simulator facade runs a Launch under a
+ * chosen architecture, applying the BOW-WR compiler pass when the
+ * configuration asks for it, and bundles timing + energy + tagging
+ * results. This is the entry point examples and benches use.
+ */
+
+#ifndef BOWSIM_CORE_SIMULATOR_H
+#define BOWSIM_CORE_SIMULATOR_H
+
+#include <string>
+
+#include "compiler/writeback_tagger.h"
+#include "energy/energy_model.h"
+#include "sm/functional.h"
+#include "sm/sm_core.h"
+
+namespace bow {
+
+/** Everything a single simulation produces. */
+struct SimResult
+{
+    std::string arch;           ///< architecture label
+    unsigned windowSize = 0;    ///< IW used (0 for baseline/RFC)
+    RunStats stats;             ///< timing + access counts
+    EnergyBreakdown energy;     ///< RF dynamic energy + overhead
+    TagStats tags;              ///< compiler tags (BOW_WR_OPT only)
+    std::vector<RegFileState> finalRegs;
+    MemoryStore finalMem;
+};
+
+/**
+ * Facade over SmCore + the compiler pass + the energy model.
+ *
+ * A Simulator is configured once and can run many launches; each
+ * run() builds a fresh SmCore so runs are independent.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(SimConfig config);
+
+    /**
+     * Run @p launch to completion.
+     *
+     * For Architecture::BOW_WR_OPT the launch's kernel is copied and
+     * the write-back tagger runs on the copy with the configured
+     * window size; other architectures execute the kernel as-is.
+     */
+    SimResult run(const Launch &launch) const;
+
+    const SimConfig &config() const { return config_; }
+
+    /**
+     * Correctness invariant used throughout the test suite: run
+     * @p launch under this configuration and compare the final
+     * architectural registers and memory against the functional
+     * (timing-free) golden model. panic()s on divergence.
+     */
+    void verifyAgainstFunctional(const Launch &launch) const;
+
+  private:
+    SimConfig config_;
+    EnergyParams energyParams_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_SIMULATOR_H

@@ -1,0 +1,61 @@
+#include "core/sweep.h"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace bow {
+
+SimConfig
+configFor(Architecture arch, unsigned iw, unsigned bocEntries)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.arch = arch;
+    config.windowSize = iw;
+    config.bocEntries = bocEntries;
+    return config;
+}
+
+double
+improvementPct(double value, double base)
+{
+    if (base == 0.0)
+        return 0.0;
+    return (value / base - 1.0) * 100.0;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+void
+printConfigBanner(std::ostream &os, const SimConfig &config)
+{
+    os << "# Simulated SM (NVIDIA TITAN X, Pascal; paper Table II): "
+       << config.numSchedulers << " schedulers x "
+       << config.issuePerScheduler << " issue, "
+       << config.maxResidentWarps << " warps, "
+       << config.numBanks << " RF banks ("
+       << config.rfBytesPerSm / 1024 << " KB), "
+       << config.numCollectors << " collectors, "
+       << schedName(config.schedPolicy) << " scheduling\n";
+}
+
+double
+benchScale()
+{
+    if (const char *env = std::getenv("BOWSIM_BENCH_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0.0)
+            return v;
+    }
+    return 1.0;
+}
+
+} // namespace bow

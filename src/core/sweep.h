@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses: configuration factories,
+ * improvement arithmetic, and the Table II banner every bench prints.
+ */
+
+#ifndef BOWSIM_CORE_SWEEP_H
+#define BOWSIM_CORE_SWEEP_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/simulator.h"
+
+namespace bow {
+
+/** A SimConfig for @p arch with window @p iw (Table II otherwise). */
+SimConfig configFor(Architecture arch, unsigned iw = 3,
+                    unsigned bocEntries = 0);
+
+/** Percentage improvement of @p value over @p base: (v/b - 1)*100. */
+double improvementPct(double value, double base);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Print the simulated machine banner (the paper's Table II echo). */
+void printConfigBanner(std::ostream &os, const SimConfig &config);
+
+/**
+ * Workload scale used by the bench harnesses; override with the
+ * BOWSIM_BENCH_SCALE environment variable (e.g. 0.25 for a quick
+ * pass, 4 for a long one).
+ */
+double benchScale();
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_SWEEP_H

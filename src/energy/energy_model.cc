@@ -1,0 +1,53 @@
+#include "energy/energy_model.h"
+
+namespace bow {
+
+EnergyBreakdown
+computeEnergy(const RunStats &stats, const EnergyParams &params)
+{
+    EnergyBreakdown out;
+
+    const double rfAccesses = static_cast<double>(stats.rfReads) +
+        static_cast<double>(stats.rfWrites);
+    out.rfDynamicPj = rfAccesses * params.rfBankAccessPj;
+
+    const double bocAccesses =
+        static_cast<double>(stats.bocForwards) +
+        static_cast<double>(stats.bocDeposits) +
+        static_cast<double>(stats.bocResultWrites);
+    const double rfcAccesses = static_cast<double>(stats.rfcReads) +
+        static_cast<double>(stats.rfcWrites);
+
+    out.overheadPj = bocAccesses * params.bocAccessPj +
+        rfcAccesses * params.rfcAccessPj;
+
+    // Modified-interconnect share. The synthesized BOC network
+    // (32x32 crossbar + arbiters + bus) draws 33.2 mW at 1 GHz with
+    // 50% write activity (paper Sec. V-A), i.e. 33.2 pJ per active
+    // cycle for the whole network. An active cycle carries roughly
+    // one access per scheduler-issued operand across the 8-wide SM
+    // front end plus write-backs (~12 accesses), so each access is
+    // charged its 1/12 share. The resulting ~5.5 pJ total per-access
+    // overhead reproduces the paper's ~3% overhead segment (Fig. 13).
+    const double networkPjPerCycle =
+        params.bocNetworkMw * 1e-3 / (params.clockGhz * 1e9) * 1e12;
+    const double accessesPerActiveCycle = 12.0;
+    out.overheadPj +=
+        bocAccesses * networkPjPerCycle / accessesPerActiveCycle;
+
+    out.totalPj = out.rfDynamicPj + out.overheadPj;
+    return out;
+}
+
+double
+leakagePj(std::uint64_t cycles, unsigned numBanks, unsigned numBocs,
+          const EnergyParams &params)
+{
+    const double seconds = static_cast<double>(cycles) /
+        (params.clockGhz * 1e9);
+    const double watts = numBanks * params.rfBankLeakageMw * 1e-3 +
+        numBocs * params.bocLeakageMw * 1e-3;
+    return watts * seconds * 1e12;
+}
+
+} // namespace bow

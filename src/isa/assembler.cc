@@ -1,0 +1,537 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/log.h"
+
+namespace bow {
+
+namespace {
+
+/** A statement split out of the source with its line for messages. */
+struct RawStmt
+{
+    std::string text;
+    unsigned line;
+};
+
+[[noreturn]] void
+syntaxError(unsigned line, const std::string &msg)
+{
+    fatal(strf("assembler: line ", line, ": ", msg));
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+lower(std::string s)
+{
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Split a mnemonic like "mul.wide.u16" into its dot-parts. */
+std::vector<std::string>
+splitDots(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t dot = s.find('.', start);
+        if (dot == std::string::npos) {
+            parts.push_back(s.substr(start));
+            break;
+        }
+        parts.push_back(s.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return parts;
+}
+
+/** Split operand list on top-level commas (not inside brackets). */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string cur;
+    for (char c : s) {
+        if (c == '[')
+            ++depth;
+        else if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::optional<std::int64_t>
+parseNumber(const std::string &tok)
+{
+    std::string t = tok;
+    bool neg = false;
+    if (!t.empty() && (t[0] == '-' || t[0] == '+')) {
+        neg = (t[0] == '-');
+        t = t.substr(1);
+    }
+    if (t.empty())
+        return std::nullopt;
+    int base = 10;
+    if (t.size() > 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+        base = 16;
+        t = t.substr(2);
+    }
+    std::int64_t v = 0;
+    for (char c : t) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return std::nullopt;
+        v = v * base + digit;
+    }
+    return neg ? -v : v;
+}
+
+/**
+ * Parse a register token: $rN (with optional .lo/.hi discarded),
+ * $pN (predicate), $oN (SASS bit-bucket, mapped to a scratch GPR).
+ * A compound destination "$p0/$o127" resolves to the part before '/'.
+ */
+std::optional<RegId>
+parseReg(const std::string &tok_in, unsigned line)
+{
+    std::string tok = tok_in;
+    const std::size_t slash = tok.find('/');
+    if (slash != std::string::npos)
+        tok = tok.substr(0, slash);
+    // Strip .lo/.hi half-register selectors.
+    const std::size_t dot = tok.find('.');
+    if (dot != std::string::npos)
+        tok = tok.substr(0, dot);
+    if (tok.size() < 3 || tok[0] != '$')
+        return std::nullopt;
+    const char cls = tok[1];
+    auto num = parseNumber(tok.substr(2));
+    if (!num || *num < 0)
+        syntaxError(line, strf("bad register '", tok_in, "'"));
+    switch (cls) {
+      case 'r':
+        if (*num >= kPredRegBase)
+            syntaxError(line, strf("GPR index out of range: ", tok_in));
+        return static_cast<RegId>(*num);
+      case 'p':
+        if (*num >= 16)
+            syntaxError(line, strf("predicate index out of range: ",
+                                   tok_in));
+        return predReg(static_cast<unsigned>(*num));
+      case 'o':
+        // SASS output bit-bucket; model as a scratch GPR so dataflow
+        // stays well-formed.
+        return static_cast<RegId>(kPredRegBase - 1);
+      default:
+        return std::nullopt;
+    }
+}
+
+/** Result of parsing one non-destination operand token. */
+struct ParsedSrc
+{
+    enum class Kind { VALUE, MEM_ADDR } kind = Kind::VALUE;
+    Operand operand;            ///< valid when kind == VALUE
+    RegId addrReg = kNoReg;     ///< valid when kind == MEM_ADDR
+    std::int32_t offset = 0;    ///< valid when kind == MEM_ADDR
+};
+
+ParsedSrc
+parseSrc(const std::string &tok, unsigned line)
+{
+    ParsedSrc out;
+    if (tok.empty())
+        syntaxError(line, "empty operand");
+
+    if (tok.front() == '[') {
+        // Memory address operand: [$rN], [$rN+imm], [$rN-imm], [imm].
+        if (tok.back() != ']')
+            syntaxError(line, strf("unterminated address '", tok, "'"));
+        std::string inner = trim(tok.substr(1, tok.size() - 2));
+        std::size_t split = inner.find_first_of("+-", 1);
+        std::string base = trim(split == std::string::npos
+                                ? inner : inner.substr(0, split));
+        std::int64_t off = 0;
+        if (split != std::string::npos) {
+            auto num = parseNumber(trim(inner.substr(split)));
+            if (!num)
+                syntaxError(line, strf("bad address offset in '", tok,
+                                       "'"));
+            off = *num;
+        }
+        out.kind = ParsedSrc::Kind::MEM_ADDR;
+        out.offset = static_cast<std::int32_t>(off);
+        if (auto reg = parseReg(base, line)) {
+            out.addrReg = *reg;
+        } else if (auto num = parseNumber(base)) {
+            // Absolute address: no base register.
+            out.addrReg = kNoReg;
+            out.offset = static_cast<std::int32_t>(*num + off);
+        } else {
+            syntaxError(line, strf("bad address base '", base, "'"));
+        }
+        return out;
+    }
+
+    if ((tok.front() == 's' || tok.front() == 'c') && tok.size() > 1 &&
+        tok[1] == '[') {
+        if (tok.back() != ']')
+            syntaxError(line, strf("unterminated const read '", tok,
+                                   "'"));
+        auto num = parseNumber(trim(tok.substr(2, tok.size() - 3)));
+        if (!num || *num < 0)
+            syntaxError(line, strf("bad const address '", tok, "'"));
+        out.operand = Operand::makeConstMem(
+            static_cast<std::uint32_t>(*num));
+        return out;
+    }
+
+    if (tok.front() == '%') {
+        const std::string name = lower(tok.substr(1));
+        if (name == "warpid" || name == "wid") {
+            out.operand = Operand::makeSpecial(SpecialReg::WARP_ID);
+        } else if (name == "nwarps" || name == "warpcount") {
+            out.operand = Operand::makeSpecial(SpecialReg::WARP_COUNT);
+        } else {
+            syntaxError(line, strf("unknown special register '", tok,
+                                   "'"));
+        }
+        return out;
+    }
+
+    if (auto reg = parseReg(tok, line)) {
+        out.operand = Operand::makeReg(*reg);
+        return out;
+    }
+    if (auto num = parseNumber(tok)) {
+        out.operand = Operand::makeImm(static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(*num)));
+        return out;
+    }
+    syntaxError(line, strf("cannot parse operand '", tok, "'"));
+}
+
+const std::map<std::string, Opcode> &
+mnemonicMap()
+{
+    static const std::map<std::string, Opcode> m = {
+        {"mov", Opcode::MOV},   {"add", Opcode::ADD},
+        {"sub", Opcode::SUB},   {"mul", Opcode::MUL},
+        {"mad", Opcode::MAD},   {"min", Opcode::MIN},
+        {"max", Opcode::MAX},   {"and", Opcode::AND},
+        {"or", Opcode::OR},     {"xor", Opcode::XOR},
+        {"shl", Opcode::SHL},   {"shr", Opcode::SHR},
+        {"abs", Opcode::ABS},   {"neg", Opcode::NEG},
+        {"cvt", Opcode::CVT},   {"set", Opcode::SET},
+        {"setp", Opcode::SETP}, {"rcp", Opcode::RCP},
+        {"sqrt", Opcode::SQRT}, {"sin", Opcode::SIN},
+        {"ex2", Opcode::EX2},   {"lg2", Opcode::LG2},
+        {"bra", Opcode::BRA},   {"ssy", Opcode::SSY},
+        {"bar", Opcode::BAR},   {"nop", Opcode::NOP},
+        {"ret", Opcode::RET},   {"exit", Opcode::EXIT},
+        {"ld.global", Opcode::LD_GLOBAL},
+        {"st.global", Opcode::ST_GLOBAL},
+        {"ld.shared", Opcode::LD_SHARED},
+        {"st.shared", Opcode::ST_SHARED},
+        {"ld.const", Opcode::LD_CONST},
+        {"ld.param", Opcode::LD_CONST},
+        {"ld.local", Opcode::LD_GLOBAL},
+        {"st.local", Opcode::ST_GLOBAL},
+    };
+    return m;
+}
+
+std::optional<CondCode>
+parseCond(const std::string &s)
+{
+    if (s == "eq") return CondCode::EQ;
+    if (s == "ne") return CondCode::NE;
+    if (s == "lt") return CondCode::LT;
+    if (s == "le") return CondCode::LE;
+    if (s == "gt") return CondCode::GT;
+    if (s == "ge") return CondCode::GE;
+    return std::nullopt;
+}
+
+bool
+isIdentifier(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_')
+        return false;
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Kernel
+assemble(const std::string &source, const std::string &name)
+{
+    // Pass 1: strip comments, split into label defs and statements.
+    std::vector<RawStmt> stmts;
+    std::map<std::string, InstIdx> labels;
+    // Pending labels bind to the next emitted instruction.
+    std::vector<std::pair<std::string, unsigned>> pendingLabels;
+    // Branch fixups: instruction -> (label, line).
+    std::vector<std::pair<InstIdx, std::pair<std::string, unsigned>>>
+        fixups;
+
+    Kernel kernel(name);
+
+    unsigned lineNo = 0;
+    std::string line;
+    std::size_t pos = 0;
+    auto nextLine = [&](std::string &out) -> bool {
+        if (pos >= source.size())
+            return false;
+        std::size_t nl = source.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = source.size();
+        out = source.substr(pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    };
+
+    auto emit = [&](Instruction inst, unsigned at_line,
+                    const std::string &target_label) {
+        const InstIdx idx = kernel.add(std::move(inst));
+        for (auto &lbl : pendingLabels) {
+            if (labels.count(lbl.first)) {
+                syntaxError(lbl.second,
+                            strf("duplicate label '", lbl.first, "'"));
+            }
+            labels[lbl.first] = idx;
+        }
+        pendingLabels.clear();
+        if (!target_label.empty())
+            fixups.push_back({idx, {target_label, at_line}});
+    };
+
+    while (nextLine(line)) {
+        ++lineNo;
+        // Strip comments.
+        for (const char *marker : {"//", "#"}) {
+            const std::size_t c = line.find(marker);
+            if (c != std::string::npos)
+                line = line.substr(0, c);
+        }
+        // A line may contain label definitions and ';'-separated
+        // statements.
+        std::string rest = line;
+        while (true) {
+            rest = trim(rest);
+            if (rest.empty())
+                break;
+            // Label definition?
+            const std::size_t colon = rest.find(':');
+            const std::size_t semi = rest.find(';');
+            if (colon != std::string::npos &&
+                (semi == std::string::npos || colon < semi)) {
+                std::string lbl = trim(rest.substr(0, colon));
+                if (!isIdentifier(lbl))
+                    syntaxError(lineNo, strf("bad label '", lbl, "'"));
+                pendingLabels.push_back({lbl, lineNo});
+                rest = rest.substr(colon + 1);
+                continue;
+            }
+            std::string stmt;
+            if (semi == std::string::npos) {
+                stmt = rest;
+                rest.clear();
+            } else {
+                stmt = trim(rest.substr(0, semi));
+                rest = rest.substr(semi + 1);
+            }
+            if (stmt.empty())
+                continue;
+
+            // Parse one statement.
+            Instruction inst;
+            std::string target_label;
+
+            // Optional guard predicate: @$p0 or @!$p0.
+            if (stmt[0] == '@') {
+                std::size_t sp = stmt.find_first_of(" \t");
+                if (sp == std::string::npos)
+                    syntaxError(lineNo, "guard predicate without "
+                                        "instruction");
+                std::string guard = stmt.substr(1, sp - 1);
+                stmt = trim(stmt.substr(sp));
+                if (!guard.empty() && guard[0] == '!') {
+                    inst.predNegate = true;
+                    guard = guard.substr(1);
+                }
+                auto reg = parseReg(guard, lineNo);
+                if (!reg || *reg < kPredRegBase)
+                    syntaxError(lineNo, strf("bad guard predicate '@",
+                                             guard, "'"));
+                inst.pred = *reg;
+            }
+
+            // Mnemonic token.
+            std::size_t sp = stmt.find_first_of(" \t");
+            std::string mnemonic = lower(
+                sp == std::string::npos ? stmt : stmt.substr(0, sp));
+            std::string opnds =
+                sp == std::string::npos ? "" : trim(stmt.substr(sp));
+
+            auto parts = splitDots(mnemonic);
+            std::string key = parts[0];
+            if ((key == "ld" || key == "st") && parts.size() >= 2)
+                key += "." + parts[1];
+            auto it = mnemonicMap().find(key);
+            if (it == mnemonicMap().end())
+                syntaxError(lineNo, strf("unknown mnemonic '", mnemonic,
+                                         "'"));
+            inst.op = it->second;
+
+            // Condition code for set/setp from the suffix.
+            if (inst.op == Opcode::SET || inst.op == Opcode::SETP) {
+                bool found = false;
+                for (std::size_t p = 1; p < parts.size(); ++p) {
+                    if (auto cc = parseCond(parts[p])) {
+                        inst.cc = *cc;
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    syntaxError(lineNo, strf("set/setp without condition "
+                                             "code: '", mnemonic, "'"));
+            }
+
+            const OpcodeInfo &info = opcodeInfo(inst.op);
+            auto tokens = splitOperands(opnds);
+
+            if (inst.op == Opcode::BRA) {
+                if (tokens.size() != 1 || !isIdentifier(tokens[0]))
+                    syntaxError(lineNo, "bra expects one label operand");
+                target_label = tokens[0];
+            } else if (inst.op == Opcode::SSY ||
+                       inst.op == Opcode::BAR) {
+                // Optional (ignored) operand: ssy label; bar.sync 0;
+                if (tokens.size() > 1)
+                    syntaxError(lineNo, strf(opcodeName(inst.op),
+                                             " takes at most one "
+                                             "operand"));
+            } else if (inst.op == Opcode::NOP ||
+                       inst.op == Opcode::EXIT ||
+                       inst.op == Opcode::RET) {
+                if (!tokens.empty())
+                    syntaxError(lineNo, strf(opcodeName(inst.op),
+                                             " takes no operands"));
+            } else if (info.isStore) {
+                // st.global [$addr], $data
+                if (tokens.size() != 2)
+                    syntaxError(lineNo, "store expects address and data "
+                                        "operands");
+                ParsedSrc addr = parseSrc(tokens[0], lineNo);
+                if (addr.kind != ParsedSrc::Kind::MEM_ADDR)
+                    syntaxError(lineNo, "store address must be "
+                                        "bracketed");
+                inst.memOffset = addr.offset;
+                inst.addSrc(addr.addrReg == kNoReg
+                            ? Operand::makeImm(0)
+                            : Operand::makeReg(addr.addrReg));
+                ParsedSrc data = parseSrc(tokens[1], lineNo);
+                if (data.kind != ParsedSrc::Kind::VALUE)
+                    syntaxError(lineNo, "store data must be a value "
+                                        "operand");
+                inst.addSrc(data.operand);
+            } else {
+                // Destination-first instructions.
+                if (tokens.empty())
+                    syntaxError(lineNo, strf(opcodeName(inst.op),
+                                             " needs operands"));
+                auto dst = parseReg(tokens[0], lineNo);
+                if (!dst)
+                    syntaxError(lineNo, strf("bad destination '",
+                                             tokens[0], "'"));
+                inst.dst = *dst;
+                for (std::size_t i = 1; i < tokens.size(); ++i) {
+                    ParsedSrc src = parseSrc(tokens[i], lineNo);
+                    if (src.kind == ParsedSrc::Kind::MEM_ADDR) {
+                        if (!info.isLoad)
+                            syntaxError(lineNo, "address operand on "
+                                                "non-memory "
+                                                "instruction");
+                        inst.memOffset = src.offset;
+                        inst.addSrc(src.addrReg == kNoReg
+                                    ? Operand::makeImm(0)
+                                    : Operand::makeReg(src.addrReg));
+                    } else {
+                        inst.addSrc(src.operand);
+                    }
+                }
+                if (inst.numSrcs != info.numSrcs)
+                    syntaxError(lineNo,
+                                strf(opcodeName(inst.op), " expects ",
+                                     static_cast<unsigned>(info.numSrcs),
+                                     " source operands, got ",
+                                     static_cast<unsigned>(
+                                         inst.numSrcs)));
+            }
+            emit(std::move(inst), lineNo, target_label);
+        }
+    }
+    (void)stmts;
+
+    if (!pendingLabels.empty()) {
+        syntaxError(pendingLabels.front().second,
+                    strf("label '", pendingLabels.front().first,
+                         "' at end of kernel binds to no instruction"));
+    }
+
+    // Pass 2: resolve branch targets.
+    for (auto &fix : fixups) {
+        auto it = labels.find(fix.second.first);
+        if (it == labels.end())
+            syntaxError(fix.second.second,
+                        strf("undefined label '", fix.second.first,
+                             "'"));
+        kernel.inst(fix.first).branchTarget = it->second;
+    }
+
+    kernel.finalize();
+    return kernel;
+}
+
+} // namespace bow

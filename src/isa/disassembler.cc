@@ -1,0 +1,120 @@
+#include "isa/disassembler.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace bow {
+
+std::string
+regName(RegId reg)
+{
+    if (reg == kNoReg)
+        return "$r?";
+    if (reg >= kPredRegBase)
+        return strf("$p", reg - kPredRegBase);
+    return strf("$r", reg);
+}
+
+namespace {
+
+std::string
+hexImm(std::uint32_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+std::string
+operandText(const Operand &o)
+{
+    switch (o.kind) {
+      case Operand::Kind::REG:
+        return regName(o.reg);
+      case Operand::Kind::IMM:
+        return hexImm(o.imm);
+      case Operand::Kind::SPECIAL:
+        return o.special == SpecialReg::WARP_ID ? "%warpid" : "%nwarps";
+      case Operand::Kind::CONST_MEM:
+        return strf("s[", hexImm(o.imm), "]");
+      case Operand::Kind::NONE:
+        return "<none>";
+    }
+    panic("operandText: bad operand kind");
+}
+
+std::string
+addressText(const Operand &base, std::int32_t offset)
+{
+    std::string inner;
+    if (base.isReg()) {
+        inner = regName(base.reg);
+        if (offset > 0)
+            inner += strf("+", hexImm(static_cast<std::uint32_t>(offset)));
+        else if (offset < 0)
+            inner += strf("-", hexImm(static_cast<std::uint32_t>(-offset)));
+    } else {
+        inner = hexImm(static_cast<std::uint32_t>(offset));
+    }
+    return "[" + inner + "]";
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    if (inst.pred != kNoReg)
+        os << "@" << (inst.predNegate ? "!" : "") << regName(inst.pred)
+           << " ";
+
+    os << opcodeName(inst.op);
+    if (inst.op == Opcode::SET || inst.op == Opcode::SETP)
+        os << "." << condName(inst.cc);
+
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+    std::vector<std::string> fields;
+
+    if (inst.op == Opcode::BRA) {
+        fields.push_back(strf("L", inst.branchTarget));
+    } else if (info.isStore) {
+        fields.push_back(addressText(inst.srcs[0], inst.memOffset));
+        fields.push_back(operandText(inst.srcs[1]));
+    } else {
+        if (inst.hasDest())
+            fields.push_back(regName(inst.dst));
+        for (unsigned i = 0; i < inst.numSrcs; ++i) {
+            if (info.isLoad && i == 0) {
+                fields.push_back(
+                    addressText(inst.srcs[0], inst.memOffset));
+            } else {
+                fields.push_back(operandText(inst.srcs[i]));
+            }
+        }
+    }
+    for (std::size_t i = 0; i < fields.size(); ++i)
+        os << (i ? ", " : " ") << fields[i];
+    return os.str();
+}
+
+std::string
+disassemble(const Kernel &kernel)
+{
+    std::set<InstIdx> targets;
+    for (const auto &inst : kernel.instructions()) {
+        if (inst.isBranch() && inst.branchTarget != kNoInst)
+            targets.insert(inst.branchTarget);
+    }
+    std::ostringstream os;
+    for (InstIdx i = 0; i < kernel.size(); ++i) {
+        if (targets.count(i))
+            os << "L" << i << ":\n";
+        os << "    " << disassemble(kernel.inst(i)) << ";\n";
+    }
+    return os.str();
+}
+
+} // namespace bow

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Disassembler: renders instructions and kernels back to the textual
+ * form the assembler accepts (round-trippable, used in tests and
+ * debug dumps).
+ */
+
+#ifndef BOWSIM_ISA_DISASSEMBLER_H
+#define BOWSIM_ISA_DISASSEMBLER_H
+
+#include <string>
+
+#include "isa/instruction.h"
+#include "isa/kernel.h"
+
+namespace bow {
+
+/** Render one instruction (no trailing semicolon, no label). */
+std::string disassemble(const Instruction &inst);
+
+/**
+ * Render a whole kernel with synthesised labels (`L<idx>:`) at branch
+ * targets; the output re-assembles to an equivalent kernel.
+ */
+std::string disassemble(const Kernel &kernel);
+
+/** Render a register id ("$r5" or "$p1"). */
+std::string regName(RegId reg);
+
+} // namespace bow
+
+#endif // BOWSIM_ISA_DISASSEMBLER_H

@@ -1,0 +1,58 @@
+#include "isa/instruction.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "isa/disassembler.h"
+
+namespace bow {
+
+void
+Instruction::addSrc(const Operand &o)
+{
+    if (numSrcs >= srcs.size())
+        panic(strf("Instruction::addSrc: too many sources for ",
+                   opcodeName(op)));
+    srcs[numSrcs++] = o;
+}
+
+std::vector<RegId>
+Instruction::srcRegs() const
+{
+    std::vector<RegId> regs;
+    for (unsigned i = 0; i < numSrcs; ++i) {
+        if (srcs[i].isReg())
+            regs.push_back(srcs[i].reg);
+    }
+    if (pred != kNoReg)
+        regs.push_back(pred);
+    return regs;
+}
+
+std::vector<RegId>
+Instruction::uniqueSrcRegs() const
+{
+    std::vector<RegId> regs = srcRegs();
+    std::sort(regs.begin(), regs.end());
+    regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+    return regs;
+}
+
+unsigned
+Instruction::numRegSrcs() const
+{
+    unsigned n = 0;
+    for (unsigned i = 0; i < numSrcs; ++i) {
+        if (srcs[i].isReg())
+            ++n;
+    }
+    return n;
+}
+
+std::string
+Instruction::toString() const
+{
+    return disassemble(*this);
+}
+
+} // namespace bow

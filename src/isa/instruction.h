@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Instruction and operand representation for the bowsim warp ISA.
+ */
+
+#ifndef BOWSIM_ISA_INSTRUCTION_H
+#define BOWSIM_ISA_INSTRUCTION_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace bow {
+
+/**
+ * Predicate registers ($p0..$p15) share the architectural register
+ * space with GPRs; they live in a reserved range starting here.
+ */
+inline constexpr RegId kPredRegBase = 224;
+
+/** Map a predicate index to its architectural register id. */
+inline RegId
+predReg(unsigned idx)
+{
+    return static_cast<RegId>(kPredRegBase + idx);
+}
+
+/** Special (read-only, non-RF) value sources. */
+enum class SpecialReg : std::uint8_t
+{
+    WARP_ID,    ///< hardware warp index within the launch
+    WARP_COUNT  ///< total warps in the launch
+};
+
+/**
+ * One source operand. Register operands generate register-file (or
+ * bypass) traffic; immediates, specials and inline const-memory reads
+ * (SASS `s[imm]` style) do not touch the RF.
+ */
+struct Operand
+{
+    enum class Kind : std::uint8_t
+    {
+        NONE,       ///< slot unused
+        REG,        ///< architectural register
+        IMM,        ///< inline immediate
+        SPECIAL,    ///< special register (%warpid, ...)
+        CONST_MEM   ///< inline constant-bank read s[imm]
+    };
+
+    Kind kind = Kind::NONE;
+    RegId reg = kNoReg;         ///< valid when kind == REG
+    std::uint32_t imm = 0;      ///< immediate value or const address
+    SpecialReg special = SpecialReg::WARP_ID;
+
+    static Operand
+    makeReg(RegId r)
+    {
+        Operand o;
+        o.kind = Kind::REG;
+        o.reg = r;
+        return o;
+    }
+
+    static Operand
+    makeImm(std::uint32_t v)
+    {
+        Operand o;
+        o.kind = Kind::IMM;
+        o.imm = v;
+        return o;
+    }
+
+    static Operand
+    makeSpecial(SpecialReg s)
+    {
+        Operand o;
+        o.kind = Kind::SPECIAL;
+        o.special = s;
+        return o;
+    }
+
+    static Operand
+    makeConstMem(std::uint32_t addr)
+    {
+        Operand o;
+        o.kind = Kind::CONST_MEM;
+        o.imm = addr;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::REG; }
+    bool isUsed() const { return kind != Kind::NONE; }
+};
+
+/**
+ * The compiler-assigned write-back destination hint (the paper's two
+ * extra instruction bits, Sec. IV-B). Ignored by the baseline and
+ * plain BOW pipelines; consumed by BOW-WR with compiler optimisation.
+ */
+enum class WritebackHint : std::uint8_t
+{
+    BocAndRf,   ///< default: reused in window and live beyond it
+    RfOnly,     ///< no reuse inside the window -> skip the BOC write
+    BocOnly     ///< transient: dead once it leaves the window
+};
+
+/** A single static warp instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    CondCode cc = CondCode::NE;     ///< for SET/SETP
+
+    RegId dst = kNoReg;             ///< destination register, if any
+    std::array<Operand, 3> srcs;    ///< up to three source operands
+    std::uint8_t numSrcs = 0;
+
+    /** Optional guard predicate (@$p0 bra ...); kNoReg when absent. */
+    RegId pred = kNoReg;
+    bool predNegate = false;
+
+    /** Address offset for memory operations ([$r8+0x10]). */
+    std::int32_t memOffset = 0;
+
+    /** Resolved branch target (instruction index); kNoInst otherwise. */
+    InstIdx branchTarget = kNoInst;
+
+    /** Compiler write-back destination hint (BOW-WR-opt only). */
+    WritebackHint hint = WritebackHint::BocAndRf;
+
+    /** Append a source operand; panics past three. */
+    void addSrc(const Operand &o);
+
+    /** Register ids read by this instruction (guard predicate
+     *  included, duplicates preserved in operand order). */
+    std::vector<RegId> srcRegs() const;
+
+    /** Distinct register ids read (duplicates removed). */
+    std::vector<RegId> uniqueSrcRegs() const;
+
+    /** Number of *register* source operands (what occupies OCU
+     *  entries; immediates and const reads do not). */
+    unsigned numRegSrcs() const;
+
+    bool hasDest() const { return dst != kNoReg; }
+    bool isMemory() const { return isMemoryOp(op); }
+    bool isBranch() const { return opcodeInfo(op).isBranch; }
+    bool endsWarp() const { return opcodeInfo(op).endsWarp; }
+
+    /** Render as assembly text (without trailing semicolon). */
+    std::string toString() const;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_ISA_INSTRUCTION_H

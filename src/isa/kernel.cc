@@ -1,0 +1,114 @@
+#include "isa/kernel.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bow {
+
+InstIdx
+Kernel::add(Instruction inst)
+{
+    finalized_ = false;
+    insts_.push_back(std::move(inst));
+    return static_cast<InstIdx>(insts_.size() - 1);
+}
+
+const Instruction &
+Kernel::inst(InstIdx i) const
+{
+    if (i >= insts_.size())
+        panic(strf("Kernel::inst: index ", i, " out of range in '",
+                   name_, "'"));
+    return insts_[i];
+}
+
+Instruction &
+Kernel::inst(InstIdx i)
+{
+    if (i >= insts_.size())
+        panic(strf("Kernel::inst: index ", i, " out of range in '",
+                   name_, "'"));
+    return insts_[i];
+}
+
+void
+Kernel::finalize()
+{
+    if (insts_.empty())
+        fatal(strf("kernel '", name_, "' has no instructions"));
+
+    bool hasEnd = false;
+    numGprs_ = 0;
+    for (InstIdx i = 0; i < insts_.size(); ++i) {
+        const Instruction &in = insts_[i];
+        const OpcodeInfo &info = opcodeInfo(in.op);
+
+        if (in.isBranch()) {
+            if (in.branchTarget == kNoInst ||
+                in.branchTarget >= insts_.size()) {
+                fatal(strf("kernel '", name_, "': instruction ", i,
+                           " has unresolved or out-of-range branch "
+                           "target"));
+            }
+        }
+        if (info.hasDest && in.dst == kNoReg)
+            fatal(strf("kernel '", name_, "': instruction ", i, " (",
+                       opcodeName(in.op), ") needs a destination"));
+        if (!info.hasDest && in.dst != kNoReg)
+            fatal(strf("kernel '", name_, "': instruction ", i, " (",
+                       opcodeName(in.op),
+                       ") must not have a destination"));
+        if (in.numSrcs != info.numSrcs)
+            fatal(strf("kernel '", name_, "': instruction ", i, " (",
+                       opcodeName(in.op), ") has ", in.numSrcs,
+                       " sources, expects ",
+                       static_cast<unsigned>(info.numSrcs)));
+        if (in.endsWarp())
+            hasEnd = true;
+
+        auto note_reg = [&](RegId r) {
+            if (r != kNoReg && r < kPredRegBase)
+                numGprs_ = std::max(numGprs_, static_cast<unsigned>(r) + 1);
+        };
+        note_reg(in.dst);
+        for (RegId r : in.srcRegs())
+            note_reg(r);
+    }
+    if (!hasEnd)
+        fatal(strf("kernel '", name_,
+                   "' never terminates (no exit/ret)"));
+
+    // Basic-block leaders: entry, every branch target, and every
+    // instruction following a branch or warp-terminating instruction.
+    leaderFlags_.assign(insts_.size(), false);
+    leaderFlags_[0] = true;
+    for (InstIdx i = 0; i < insts_.size(); ++i) {
+        const Instruction &in = insts_[i];
+        if (in.isBranch()) {
+            leaderFlags_[in.branchTarget] = true;
+            if (i + 1 < insts_.size())
+                leaderFlags_[i + 1] = true;
+        } else if (in.endsWarp() && i + 1 < insts_.size()) {
+            leaderFlags_[i + 1] = true;
+        }
+    }
+    leaders_.clear();
+    for (InstIdx i = 0; i < insts_.size(); ++i) {
+        if (leaderFlags_[i])
+            leaders_.push_back(i);
+    }
+    finalized_ = true;
+}
+
+bool
+Kernel::isLeader(InstIdx i) const
+{
+    if (!finalized_)
+        panic("Kernel::isLeader before finalize()");
+    if (i >= leaderFlags_.size())
+        panic("Kernel::isLeader: out of range");
+    return leaderFlags_[i];
+}
+
+} // namespace bow

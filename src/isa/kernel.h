@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A Kernel is a flat list of instructions (the unit of work launched
+ * onto the simulated SM) plus derived metadata: register usage and
+ * basic-block leader information.
+ */
+
+#ifndef BOWSIM_ISA_KERNEL_H
+#define BOWSIM_ISA_KERNEL_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace bow {
+
+/** A static kernel: the program every warp of a launch executes. */
+class Kernel
+{
+  public:
+    Kernel() = default;
+    explicit Kernel(std::string name) : name_(std::move(name)) {}
+
+    /** Append an instruction; returns its index. */
+    InstIdx add(Instruction inst);
+
+    /**
+     * Validate structural invariants (branch targets in range, source
+     * counts consistent with opcode traits, terminating instruction
+     * reachable) and compute derived metadata. fatal()s on malformed
+     * kernels. Must be called after construction and before use.
+     */
+    void finalize();
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    const Instruction &inst(InstIdx i) const;
+    Instruction &inst(InstIdx i);
+
+    const std::vector<Instruction> &instructions() const { return insts_; }
+
+    /** Highest GPR id referenced, plus one (excludes predicates). */
+    unsigned numGprs() const { return numGprs_; }
+
+    /** True when instruction @p i starts a basic block. */
+    bool isLeader(InstIdx i) const;
+
+    /** Indices of all basic-block leaders, ascending. */
+    const std::vector<InstIdx> &leaders() const { return leaders_; }
+
+    bool finalized() const { return finalized_; }
+
+  private:
+    std::string name_;
+    std::vector<Instruction> insts_;
+    std::vector<bool> leaderFlags_;
+    std::vector<InstIdx> leaders_;
+    unsigned numGprs_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_ISA_KERNEL_H

@@ -1,0 +1,106 @@
+#include "isa/opcode.h"
+
+#include <array>
+
+#include "common/log.h"
+
+namespace bow {
+
+namespace {
+
+constexpr std::size_t kNumOps =
+    static_cast<std::size_t>(Opcode::NUM_OPCODES);
+
+// Keep the order in exact sync with the Opcode enum.
+const std::array<OpcodeInfo, kNumOps> opcodeTable = {{
+    // mnemonic    unit            srcs dest  load   store  branch end
+    {"mov",        ExecUnit::ALU,  1,   true, false, false, false, false},
+    {"add",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"sub",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"mul",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"mad",        ExecUnit::ALU,  3,   true, false, false, false, false},
+    {"min",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"max",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"and",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"or",         ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"xor",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"shl",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"shr",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"abs",        ExecUnit::ALU,  1,   true, false, false, false, false},
+    {"neg",        ExecUnit::ALU,  1,   true, false, false, false, false},
+    {"cvt",        ExecUnit::ALU,  1,   true, false, false, false, false},
+    {"set",        ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"setp",       ExecUnit::ALU,  2,   true, false, false, false, false},
+    {"rcp",        ExecUnit::SFU,  1,   true, false, false, false, false},
+    {"sqrt",       ExecUnit::SFU,  1,   true, false, false, false, false},
+    {"sin",        ExecUnit::SFU,  1,   true, false, false, false, false},
+    {"ex2",        ExecUnit::SFU,  1,   true, false, false, false, false},
+    {"lg2",        ExecUnit::SFU,  1,   true, false, false, false, false},
+    {"ld.global",  ExecUnit::LDST, 1,   true, true,  false, false, false},
+    {"st.global",  ExecUnit::LDST, 2,   false, false, true, false, false},
+    {"ld.shared",  ExecUnit::LDST, 1,   true, true,  false, false, false},
+    {"st.shared",  ExecUnit::LDST, 2,   false, false, true, false, false},
+    {"ld.const",   ExecUnit::LDST, 1,   true, true,  false, false, false},
+    {"bra",        ExecUnit::CTRL, 0,   false, false, false, true, false},
+    {"ssy",        ExecUnit::CTRL, 0,   false, false, false, false, false},
+    {"bar",        ExecUnit::CTRL, 0,   false, false, false, false, false},
+    {"nop",        ExecUnit::CTRL, 0,   false, false, false, false, false},
+    {"ret",        ExecUnit::CTRL, 0,   false, false, false, false, true},
+    {"exit",       ExecUnit::CTRL, 0,   false, false, false, false, true},
+}};
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    if (idx >= kNumOps)
+        panic(strf("opcodeInfo: bad opcode ", idx));
+    return opcodeTable[idx];
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    return opcodeInfo(op).mnemonic;
+}
+
+bool
+isMemoryOp(Opcode op)
+{
+    const auto &info = opcodeInfo(op);
+    return info.isLoad || info.isStore;
+}
+
+std::string
+condName(CondCode cc)
+{
+    switch (cc) {
+      case CondCode::EQ: return "eq";
+      case CondCode::NE: return "ne";
+      case CondCode::LT: return "lt";
+      case CondCode::LE: return "le";
+      case CondCode::GT: return "gt";
+      case CondCode::GE: return "ge";
+    }
+    panic("condName: bad condition code");
+}
+
+bool
+evalCond(CondCode cc, std::uint32_t a, std::uint32_t b)
+{
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    switch (cc) {
+      case CondCode::EQ: return sa == sb;
+      case CondCode::NE: return sa != sb;
+      case CondCode::LT: return sa < sb;
+      case CondCode::LE: return sa <= sb;
+      case CondCode::GT: return sa > sb;
+      case CondCode::GE: return sa >= sb;
+    }
+    panic("evalCond: bad condition code");
+}
+
+} // namespace bow

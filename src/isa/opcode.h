@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The bowsim warp-level ISA opcode set and static opcode traits.
+ *
+ * The ISA is a compact SASS/PTX-flavoured instruction set: enough to
+ * express the register dataflow patterns of the paper's benchmarks
+ * (arithmetic chains, fused multiply-add, shifts/logic, comparisons
+ * and predicated branches, global/shared/const memory accesses, and
+ * transcendental SFU ops) while staying warp-uniform and fully
+ * deterministic so the simulator can execute kernels functionally.
+ */
+
+#ifndef BOWSIM_ISA_OPCODE_H
+#define BOWSIM_ISA_OPCODE_H
+
+#include <cstdint>
+#include <string>
+
+namespace bow {
+
+/** All warp-level opcodes understood by the simulator. */
+enum class Opcode : std::uint8_t
+{
+    // Integer / generic ALU.
+    MOV,    ///< dst = src0
+    ADD,    ///< dst = src0 + src1
+    SUB,    ///< dst = src0 - src1
+    MUL,    ///< dst = src0 * src1 (low 32 bits)
+    MAD,    ///< dst = src0 * src1 + src2
+    MIN,    ///< dst = min(src0, src1)
+    MAX,    ///< dst = max(src0, src1)
+    AND,    ///< dst = src0 & src1
+    OR,     ///< dst = src0 | src1
+    XOR,    ///< dst = src0 ^ src1
+    SHL,    ///< dst = src0 << (src1 & 31)
+    SHR,    ///< dst = src0 >> (src1 & 31)
+    ABS,    ///< dst = |src0| (two's complement)
+    NEG,    ///< dst = -src0
+    CVT,    ///< dst = src0 (type conversion; value-preserving here)
+    SET,    ///< dst = cond(src0, src1) ? 1 : 0
+    SETP,   ///< predicate dst = cond(src0, src1) ? 1 : 0
+
+    // Special function unit (transcendental) ops.
+    RCP,    ///< dst = pseudo-reciprocal(src0)
+    SQRT,   ///< dst = integer sqrt(src0)
+    SIN,    ///< dst = pseudo-sine(src0)
+    EX2,    ///< dst = pseudo-exp2(src0)
+    LG2,    ///< dst = floor(log2(src0))
+
+    // Memory.
+    LD_GLOBAL,  ///< dst = global[src0 + imm]
+    ST_GLOBAL,  ///< global[src0 + imm] = src1
+    LD_SHARED,  ///< dst = shared[src0 + imm]
+    ST_SHARED,  ///< shared[src0 + imm] = src1
+    LD_CONST,   ///< dst = const[src0 + imm] (src0 optional)
+
+    // Control flow and misc.
+    BRA,    ///< unconditional (or predicated) branch to target
+    SSY,    ///< reconvergence push marker (no dataflow effect)
+    BAR,    ///< barrier (modelled as a fixed-latency no-op per warp)
+    NOP,    ///< no operation
+    RET,    ///< return (treated like EXIT for a single-kernel warp)
+    EXIT,   ///< terminate the warp
+
+    NUM_OPCODES
+};
+
+/** Comparison condition used by SET/SETP. */
+enum class CondCode : std::uint8_t
+{
+    EQ, NE, LT, LE, GT, GE
+};
+
+/** Which execution unit an opcode dispatches to. */
+enum class ExecUnit : std::uint8_t
+{
+    ALU,    ///< integer/single-precision pipeline
+    SFU,    ///< special function unit
+    LDST,   ///< load/store unit
+    CTRL    ///< branch/barrier handling (executes in the ALU slot)
+};
+
+/** Static, per-opcode properties. */
+struct OpcodeInfo
+{
+    const char *mnemonic;   ///< canonical assembly mnemonic
+    ExecUnit unit;          ///< execution unit class
+    std::uint8_t numSrcs;   ///< architectural source-operand count
+    bool hasDest;           ///< produces a destination register
+    bool isLoad;            ///< reads memory
+    bool isStore;           ///< writes memory
+    bool isBranch;          ///< may redirect control flow
+    bool endsWarp;          ///< EXIT/RET terminate the warp
+};
+
+/** Look up the static traits of @p op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Canonical mnemonic string for @p op. */
+std::string opcodeName(Opcode op);
+
+/** True when @p op is a memory (load or store) instruction. */
+bool isMemoryOp(Opcode op);
+
+/** Canonical name for a condition code ("ne", "lt", ...). */
+std::string condName(CondCode cc);
+
+/** Evaluate a condition code over two signed 32-bit values. */
+bool evalCond(CondCode cc, std::uint32_t a, std::uint32_t b);
+
+} // namespace bow
+
+#endif // BOWSIM_ISA_OPCODE_H

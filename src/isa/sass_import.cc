@@ -1,0 +1,539 @@
+#include "isa/sass_import.h"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+#include "workloads/builder.h"
+
+namespace bow {
+
+namespace {
+
+/** Scratch GPR standing in for SASS's RZ/bit-bucket destinations. */
+constexpr RegId kScratchReg = 223;
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+bool
+isHexToken(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+std::optional<long long>
+parseInt(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 0);
+    if (end != s.c_str() + s.size())
+        return std::nullopt;
+    return v;
+}
+
+/** Parse a SASS operand token into a bowsim operand. */
+std::optional<Operand>
+parseSassOperand(const std::string &tok)
+{
+    if (tok == "RZ" || tok == "R255" || tok == "PT")
+        return Operand::makeImm(tok == "PT" ? 1 : 0);
+    if (tok.size() >= 2 && tok[0] == 'R' &&
+        std::isdigit(static_cast<unsigned char>(tok[1]))) {
+        const auto n = parseInt(tok.substr(1));
+        if (n && *n >= 0 && *n < kPredRegBase)
+            return Operand::makeReg(static_cast<RegId>(*n));
+        return Operand::makeReg(kScratchReg);
+    }
+    if (tok.size() >= 2 && tok[0] == 'P' &&
+        std::isdigit(static_cast<unsigned char>(tok[1]))) {
+        const auto n = parseInt(tok.substr(1));
+        if (n && *n >= 0 && *n < 16)
+            return Operand::makeReg(predReg(
+                static_cast<unsigned>(*n)));
+        return std::nullopt;
+    }
+    if (auto v = parseInt(tok))
+        return Operand::makeImm(static_cast<std::uint32_t>(*v));
+    // Float immediate: use its bit pattern (only dataflow matters).
+    char *end = nullptr;
+    const float f = std::strtof(tok.c_str(), &end);
+    if (end == tok.c_str() + tok.size()) {
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &f, sizeof bits);
+        return Operand::makeImm(bits);
+    }
+    return std::nullopt;
+}
+
+/** Base mnemonic up to the first '.', upper-cased as SASS emits it. */
+std::string
+baseMnemonic(const std::string &op)
+{
+    const std::size_t dot = op.find('.');
+    return dot == std::string::npos ? op : op.substr(0, dot);
+}
+
+std::optional<CondCode>
+sassCond(const std::string &op)
+{
+    for (const auto &[mod, cc] :
+         {std::pair<const char *, CondCode>{".LT", CondCode::LT},
+          {".LE", CondCode::LE},
+          {".GT", CondCode::GT},
+          {".GE", CondCode::GE},
+          {".EQ", CondCode::EQ},
+          {".NE", CondCode::NE},
+          {".NEU", CondCode::NE},
+          {".EQU", CondCode::EQ}}) {
+        if (op.find(mod) != std::string::npos)
+            return cc;
+    }
+    return std::nullopt;
+}
+
+/** How a SASS base mnemonic maps into the bowsim ISA. */
+enum class SassClass
+{
+    ALU,        ///< arity-dependent ALU op
+    SETP,       ///< predicate-setting comparison
+    SFU,        ///< MUFU transcendental (modifier selects which)
+    CVT,        ///< conversions
+    S2R,        ///< special-register read
+    LOAD_GLOBAL,
+    LOAD_SHARED,
+    LOAD_CONST,
+    STORE_GLOBAL,
+    STORE_SHARED,
+    EXIT,
+    BARRIER,
+    NOP,
+    CONTROL     ///< resolved control flow: dropped from the stream
+};
+
+const std::map<std::string, SassClass> &
+sassMap()
+{
+    static const std::map<std::string, SassClass> m = {
+        {"MOV", SassClass::ALU},     {"MOV32I", SassClass::ALU},
+        {"IMAD", SassClass::ALU},    {"XMAD", SassClass::ALU},
+        {"FFMA", SassClass::ALU},    {"DFMA", SassClass::ALU},
+        {"IADD", SassClass::ALU},    {"IADD3", SassClass::ALU},
+        {"FADD", SassClass::ALU},    {"DADD", SassClass::ALU},
+        {"IMUL", SassClass::ALU},    {"FMUL", SassClass::ALU},
+        {"DMUL", SassClass::ALU},    {"FMNMX", SassClass::ALU},
+        {"IMNMX", SassClass::ALU},   {"SHL", SassClass::ALU},
+        {"SHR", SassClass::ALU},     {"SHF", SassClass::ALU},
+        {"LOP", SassClass::ALU},     {"LOP3", SassClass::ALU},
+        {"LOP32I", SassClass::ALU},  {"AND", SassClass::ALU},
+        {"OR", SassClass::ALU},      {"XOR", SassClass::ALU},
+        {"SEL", SassClass::ALU},     {"FSEL", SassClass::ALU},
+        {"ISCADD", SassClass::ALU},  {"LEA", SassClass::ALU},
+        {"IABS", SassClass::ALU},    {"FABS", SassClass::ALU},
+        {"INEG", SassClass::ALU},    {"POPC", SassClass::ALU},
+        {"FLO", SassClass::ALU},     {"BFE", SassClass::ALU},
+        {"BFI", SassClass::ALU},     {"PRMT", SassClass::ALU},
+        {"VADD", SassClass::ALU},    {"VABSDIFF", SassClass::ALU},
+        {"VABSDIFF4", SassClass::ALU},
+        {"HADD2", SassClass::ALU},   {"HMUL2", SassClass::ALU},
+        {"HFMA2", SassClass::ALU},
+        {"ISETP", SassClass::SETP},  {"FSETP", SassClass::SETP},
+        {"DSETP", SassClass::SETP},  {"CSETP", SassClass::SETP},
+        {"ISET", SassClass::SETP},   {"FSET", SassClass::SETP},
+        {"MUFU", SassClass::SFU},    {"RRO", SassClass::SFU},
+        {"F2I", SassClass::CVT},     {"I2F", SassClass::CVT},
+        {"F2F", SassClass::CVT},     {"I2I", SassClass::CVT},
+        {"FRND", SassClass::CVT},
+        {"S2R", SassClass::S2R},     {"CS2R", SassClass::S2R},
+        {"LDG", SassClass::LOAD_GLOBAL},
+        {"LD", SassClass::LOAD_GLOBAL},
+        {"LDL", SassClass::LOAD_GLOBAL},
+        {"LDS", SassClass::LOAD_SHARED},
+        {"LDSM", SassClass::LOAD_SHARED},
+        {"LDC", SassClass::LOAD_CONST},
+        {"STG", SassClass::STORE_GLOBAL},
+        {"ST", SassClass::STORE_GLOBAL},
+        {"STL", SassClass::STORE_GLOBAL},
+        {"STS", SassClass::STORE_SHARED},
+        {"EXIT", SassClass::EXIT},   {"RET", SassClass::EXIT},
+        {"BAR", SassClass::BARRIER}, {"MEMBAR", SassClass::BARRIER},
+        {"DEPBAR", SassClass::BARRIER},
+        {"NOP", SassClass::NOP},
+        {"BRA", SassClass::CONTROL}, {"JMP", SassClass::CONTROL},
+        {"JMX", SassClass::CONTROL}, {"BRX", SassClass::CONTROL},
+        {"SSY", SassClass::CONTROL}, {"SYNC", SassClass::CONTROL},
+        {"BSSY", SassClass::CONTROL},{"BSYNC", SassClass::CONTROL},
+        {"BREAK", SassClass::CONTROL},
+        {"PBK", SassClass::CONTROL}, {"CAL", SassClass::CONTROL},
+        {"PRET", SassClass::CONTROL},
+        {"BMOV", SassClass::CONTROL},
+    };
+    return m;
+}
+
+/** One parsed trace line. */
+struct SassLine
+{
+    RegId dest = kNoReg;
+    std::string opcode;
+    std::vector<Operand> srcs;
+    unsigned memWidth = 0;
+    std::uint32_t address = 0;
+    bool hasAddress = false;
+};
+
+/** Parse an instruction line; @p lineNo for diagnostics. */
+SassLine
+parseLine(const std::vector<std::string> &toks, unsigned lineNo)
+{
+    // <pc> <mask> <ndest> [Rd..] <OPCODE> <nsrc> [src..]
+    //      [<mem-width> [<address>]]
+    SassLine out;
+    std::size_t i = 2;
+    auto need = [&](const char *what) -> const std::string & {
+        if (i >= toks.size())
+            fatal(strf("sass: line ", lineNo, ": truncated (missing ",
+                       what, ")"));
+        return toks[i++];
+    };
+
+    const auto ndest = parseInt(need("dest count"));
+    if (!ndest || *ndest < 0 || *ndest > 4)
+        fatal(strf("sass: line ", lineNo, ": bad destination count"));
+    for (long long d = 0; d < *ndest; ++d) {
+        const auto op = parseSassOperand(need("dest register"));
+        if (!op)
+            fatal(strf("sass: line ", lineNo,
+                       ": bad destination register"));
+        // Only the first register destination is modelled (wide
+        // results occupy register pairs; the second half adds no new
+        // reuse information). RZ destinations hit the scratch reg.
+        if (d == 0) {
+            out.dest = op->isReg() ? op->reg : kScratchReg;
+        }
+    }
+
+    out.opcode = need("opcode");
+    const auto nsrc = parseInt(need("source count"));
+    if (!nsrc || *nsrc < 0 || *nsrc > 8)
+        fatal(strf("sass: line ", lineNo, ": bad source count"));
+    for (long long s = 0; s < *nsrc; ++s) {
+        const auto op = parseSassOperand(need("source operand"));
+        if (!op)
+            fatal(strf("sass: line ", lineNo, ": bad source operand '",
+                       toks[i - 1], "'"));
+        out.srcs.push_back(*op);
+    }
+
+    if (i < toks.size()) {
+        const auto width = parseInt(toks[i]);
+        if (width && *width >= 0) {
+            ++i;
+            out.memWidth = static_cast<unsigned>(*width);
+            if (out.memWidth > 0 && i < toks.size()) {
+                const auto addr = parseInt(toks[i]);
+                if (addr) {
+                    out.address = static_cast<std::uint32_t>(*addr);
+                    out.hasAddress = true;
+                    ++i;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+/** First register source, if any. */
+std::optional<RegId>
+firstReg(const std::vector<Operand> &srcs)
+{
+    for (const auto &s : srcs) {
+        if (s.isReg())
+            return s.reg;
+    }
+    return std::nullopt;
+}
+
+/** Emit the bowsim instruction(s) for one parsed line. */
+void
+emitLine(KernelBuilder &kb, const SassLine &line, unsigned lineNo,
+         SassImportStats &stats)
+{
+    const std::string base = baseMnemonic(line.opcode);
+    auto it = sassMap().find(base);
+    SassClass cls;
+    if (it == sassMap().end()) {
+        ++stats.unknown;
+        // Unknown opcodes keep their register dataflow: synthesize a
+        // generic ALU op of matching arity.
+        cls = line.dest != kNoReg ? SassClass::ALU : SassClass::NOP;
+    } else {
+        cls = it->second;
+    }
+
+    auto dest = [&] {
+        return line.dest == kNoReg ? kScratchReg : line.dest;
+    };
+    auto padSrc = [&](std::size_t k) {
+        return k < line.srcs.size() ? line.srcs[k]
+                                    : Operand::makeImm(0);
+    };
+
+    switch (cls) {
+      case SassClass::ALU: {
+        Instruction inst;
+        inst.dst = dest();
+        std::size_t regSrcs = line.srcs.size();
+        if (regSrcs >= 3) {
+            inst.op = Opcode::MAD;
+            inst.addSrc(padSrc(0));
+            inst.addSrc(padSrc(1));
+            inst.addSrc(padSrc(2));
+        } else if (regSrcs == 2) {
+            inst.op = Opcode::ADD;
+            inst.addSrc(padSrc(0));
+            inst.addSrc(padSrc(1));
+        } else {
+            inst.op = Opcode::MOV;
+            inst.addSrc(padSrc(0));
+        }
+        kb.emit(inst);
+        ++stats.instructions;
+        break;
+      }
+      case SassClass::SETP: {
+        Instruction inst;
+        inst.op = Opcode::SETP;
+        inst.cc = sassCond(line.opcode).value_or(CondCode::NE);
+        inst.dst = line.dest != kNoReg ? line.dest : predReg(0);
+        inst.addSrc(padSrc(0));
+        inst.addSrc(padSrc(1));
+        kb.emit(inst);
+        ++stats.instructions;
+        break;
+      }
+      case SassClass::SFU: {
+        Opcode op = Opcode::RCP;
+        if (line.opcode.find(".SIN") != std::string::npos ||
+            line.opcode.find(".COS") != std::string::npos) {
+            op = Opcode::SIN;
+        } else if (line.opcode.find(".LG2") != std::string::npos) {
+            op = Opcode::LG2;
+        } else if (line.opcode.find(".EX2") != std::string::npos) {
+            op = Opcode::EX2;
+        } else if (line.opcode.find("SQ") != std::string::npos) {
+            op = Opcode::SQRT;
+        }
+        Instruction inst;
+        inst.op = op;
+        inst.dst = dest();
+        inst.addSrc(padSrc(0));
+        kb.emit(inst);
+        ++stats.instructions;
+        break;
+      }
+      case SassClass::CVT: {
+        Instruction inst;
+        inst.op = Opcode::CVT;
+        inst.dst = dest();
+        inst.addSrc(padSrc(0));
+        kb.emit(inst);
+        ++stats.instructions;
+        break;
+      }
+      case SassClass::S2R:
+        kb.movSpecial(dest(), SpecialReg::WARP_ID);
+        ++stats.instructions;
+        break;
+      case SassClass::LOAD_GLOBAL:
+      case SassClass::LOAD_SHARED:
+      case SassClass::LOAD_CONST: {
+        const Opcode op = cls == SassClass::LOAD_GLOBAL
+            ? Opcode::LD_GLOBAL
+            : cls == SassClass::LOAD_SHARED ? Opcode::LD_SHARED
+                                            : Opcode::LD_CONST;
+        Instruction inst;
+        inst.op = op;
+        inst.dst = dest();
+        // Prefer the address register for register-traffic fidelity;
+        // an absolute traced address is used when no register source
+        // is listed (see docs/ISA.md).
+        if (auto reg = firstReg(line.srcs)) {
+            inst.addSrc(Operand::makeReg(*reg));
+        } else {
+            inst.addSrc(Operand::makeImm(0));
+            inst.memOffset = static_cast<std::int32_t>(line.address);
+        }
+        kb.emit(inst);
+        ++stats.instructions;
+        break;
+      }
+      case SassClass::STORE_GLOBAL:
+      case SassClass::STORE_SHARED: {
+        const Opcode op = cls == SassClass::STORE_GLOBAL
+            ? Opcode::ST_GLOBAL
+            : Opcode::ST_SHARED;
+        Instruction inst;
+        inst.op = op;
+        if (auto reg = firstReg(line.srcs)) {
+            inst.addSrc(Operand::makeReg(*reg));
+        } else {
+            inst.addSrc(Operand::makeImm(0));
+            inst.memOffset = static_cast<std::int32_t>(line.address);
+        }
+        // Data operand: the last source that is not the address reg.
+        Operand data = Operand::makeImm(0);
+        for (auto rit = line.srcs.rbegin(); rit != line.srcs.rend();
+             ++rit) {
+            if (!(rit->isReg() && inst.srcs[0].isReg() &&
+                  rit->reg == inst.srcs[0].reg)) {
+                data = *rit;
+                break;
+            }
+        }
+        inst.addSrc(data);
+        kb.emit(inst);
+        ++stats.instructions;
+        break;
+      }
+      case SassClass::EXIT:
+        kb.exit();
+        ++stats.instructions;
+        break;
+      case SassClass::BARRIER:
+        kb.barSync();
+        ++stats.instructions;
+        break;
+      case SassClass::NOP:
+        kb.nop();
+        ++stats.instructions;
+        break;
+      case SassClass::CONTROL:
+        ++stats.dropped;
+        break;
+    }
+    (void)lineNo;
+}
+
+} // namespace
+
+Launch
+importSassTrace(const std::string &text, const std::string &name,
+                SassImportStats *statsOut)
+{
+    SassImportStats stats;
+
+    // Per-warp builders, created on 'warp = N' headers.
+    std::map<unsigned, KernelBuilder> builders;
+    KernelBuilder *current = nullptr;
+    std::map<unsigned, bool> sawExit;
+    unsigned currentWarp = 0;
+
+    std::istringstream is(text);
+    std::string line;
+    unsigned lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        const auto toks = tokenize(line);
+        if (toks.empty() || toks[0][0] == '#' || toks[0][0] == '-')
+            continue;
+
+        // 'warp = N' headers open a section.
+        if (toks[0] == "warp") {
+            if (toks.size() != 3 || toks[1] != "=")
+                fatal(strf("sass '", name, "': line ", lineNo,
+                           ": malformed warp header"));
+            const auto id = parseInt(toks[2]);
+            if (!id || *id < 0 || *id > 0xFFFF)
+                fatal(strf("sass '", name, "': line ", lineNo,
+                           ": bad warp id"));
+            currentWarp = static_cast<unsigned>(*id);
+            auto [bit, inserted] = builders.try_emplace(
+                currentWarp,
+                strf(name, ".warp", currentWarp));
+            if (!inserted)
+                fatal(strf("sass '", name, "': duplicate warp ",
+                           currentWarp));
+            current = &bit->second;
+            continue;
+        }
+
+        // Instruction lines start with a hex PC and a hex mask.
+        if (toks.size() >= 4 && isHexToken(toks[0]) &&
+            isHexToken(toks[1])) {
+            if (!current)
+                fatal(strf("sass '", name, "': line ", lineNo,
+                           ": instruction before any warp header"));
+            const SassLine parsed = parseLine(toks, lineNo);
+            emitLine(*current, parsed, lineNo, stats);
+            if (baseMnemonic(parsed.opcode) == "EXIT" ||
+                baseMnemonic(parsed.opcode) == "RET") {
+                sawExit[currentWarp] = true;
+            }
+            continue;
+        }
+
+        // Other metadata (kernel name, TB markers, insts = N, ...)
+        // is skipped.
+    }
+
+    if (builders.empty())
+        fatal(strf("sass '", name, "': no warp sections"));
+
+    unsigned maxWarp = 0;
+    for (const auto &kv : builders)
+        maxWarp = std::max(maxWarp, kv.first);
+
+    Launch launch;
+    launch.numWarps = maxWarp + 1;
+    launch.warpKernels.resize(launch.numWarps);
+    for (auto &[id, kb] : builders) {
+        if (!sawExit[id])
+            kb.exit();
+        launch.warpKernels[id] = kb.build();
+    }
+    for (unsigned w = 0; w < launch.numWarps; ++w) {
+        if (!builders.count(w))
+            fatal(strf("sass '", name, "': missing section for warp ",
+                       w));
+    }
+    launch.kernel = launch.warpKernels[0];
+
+    if (statsOut)
+        *statsOut = stats;
+    return launch;
+}
+
+Launch
+importSassTraceFile(const std::string &path, SassImportStats *stats)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strf("sass: cannot open '", path, "'"));
+    std::ostringstream text;
+    text << in.rdbuf();
+    return importSassTrace(text.str(), path, stats);
+}
+
+} // namespace bow

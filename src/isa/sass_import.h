@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Importer for Accel-Sim-style SASS instruction traces.
+ *
+ * Accel-Sim's tracer emits one line per executed warp instruction:
+ *
+ *     <pc> <active-mask> <ndest> [Rd..] <OPCODE[.MOD..]> <nsrc>
+ *          [operand..] <mem-width> [<address>]
+ *
+ * e.g.
+ *
+ *     0008 ffffffff 1 R4 IMAD.WIDE 2 R2 R3 0
+ *     0010 ffffffff 1 R5 LDG.E.SYS 1 R4 4 0x7f0010
+ *     0018 ffffffff 0 EXIT 0 0
+ *
+ * This importer consumes a documented subset of that format (see
+ * docs/ISA.md, "SASS trace import"): the common integer/float ALU,
+ * transcendental, memory and control opcodes, register operands
+ * `RN`/`PN`, immediates, and per-access addresses. Warps are
+ * introduced by `warp = N` headers (kernel/TB headers and `-` lines
+ * are skipped). Each warp's stream becomes a straight-line bowsim
+ * kernel:
+ *
+ *  - SASS mnemonics map onto bowsim opcodes (IMAD/FFMA -> mad,
+ *    IADD3/FADD -> add, ISETP.CC -> setp, MUFU.RCP -> rcp, ...);
+ *  - memory instructions take their *traced* address (absolute), so
+ *    replay reproduces the recorded access stream and cache
+ *    behaviour without needing the original values;
+ *  - control-flow opcodes (BRA/JMP/BSSY/...) are dropped — the trace
+ *    is already a resolved dynamic stream — while EXIT terminates
+ *    the warp;
+ *  - the active mask is parsed and ignored (bowsim models warps
+ *    uniformly; the paper's mechanism depends on register ids and
+ *    distances, not lane contents).
+ *
+ * The result is a per-warp-kernel Launch, directly runnable on every
+ * architecture variant.
+ */
+
+#ifndef BOWSIM_ISA_SASS_IMPORT_H
+#define BOWSIM_ISA_SASS_IMPORT_H
+
+#include <string>
+
+#include "sm/functional.h"
+
+namespace bow {
+
+/** Per-import diagnostics. */
+struct SassImportStats
+{
+    std::uint64_t instructions = 0; ///< imported instructions
+    std::uint64_t dropped = 0;      ///< control-flow lines dropped
+    std::uint64_t unknown = 0;      ///< unknown opcodes (mapped to
+                                    ///< ALU no-ops, counted here)
+};
+
+/**
+ * Import SASS trace @p text.
+ *
+ * @param text  Trace text (see file comment for the grammar).
+ * @param name  Diagnostic name.
+ * @param stats Optional out-parameter for import diagnostics.
+ * @throws FatalError on malformed lines or missing warp headers.
+ */
+Launch importSassTrace(const std::string &text,
+                       const std::string &name = "sass",
+                       SassImportStats *stats = nullptr);
+
+/** Read @p path and importSassTrace() its contents. */
+Launch importSassTraceFile(const std::string &path,
+                           SassImportStats *stats = nullptr);
+
+} // namespace bow
+
+#endif // BOWSIM_ISA_SASS_IMPORT_H

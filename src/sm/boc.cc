@@ -1,0 +1,253 @@
+#include "sm/boc.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+Boc::Boc(Architecture arch, unsigned windowSize, unsigned capacity,
+         bool extendedWindow)
+    : arch_(arch), windowSize_(windowSize), capacity_(capacity),
+      extendedWindow_(extendedWindow)
+{
+    if (arch != Architecture::BOW && arch != Architecture::BOW_WR &&
+        arch != Architecture::BOW_WR_OPT) {
+        panic("Boc: architecture without a BOC");
+    }
+    if (capacity < 2)
+        fatal("Boc: capacity must be at least 2");
+    if (extendedWindow && arch == Architecture::BOW_WR_OPT) {
+        fatal("Boc: extended-window bypassing cannot be combined "
+              "with compiler hints (their safety proof assumes the "
+              "nominal window; see paper Sec. IV-C)");
+    }
+    entries_.reserve(capacity);
+}
+
+BocEntry *
+Boc::find(RegId reg)
+{
+    for (auto &e : entries_) {
+        if (e.reg == reg)
+            return &e;
+    }
+    return nullptr;
+}
+
+BocEviction
+Boc::evictEntry(BocEntry &e, bool expired)
+{
+    BocEviction ev;
+    ev.reg = e.reg;
+    if (e.dirty) {
+        if (arch_ == Architecture::BOW_WR_OPT && e.noRfWb) {
+            if (expired) {
+                // Compiler proved the value dead beyond its window:
+                // the RF write (and allocation) is skipped entirely.
+                ev.transientDrop = true;
+            } else {
+                // Evicted early by capacity pressure while still in
+                // its window: later consumers may refetch from the
+                // RF, so the value must be saved (Sec. IV-C).
+                ev.needsRfWrite = true;
+                ev.safetyWrite = true;
+            }
+        } else {
+            ev.needsRfWrite = true;
+        }
+    }
+    return ev;
+}
+
+void
+Boc::expire(SeqNum seq, std::vector<BocEviction> &evictions)
+{
+    if (extendedWindow_)
+        return;     // residency limited only by capacity
+    for (std::size_t i = 0; i < entries_.size();) {
+        BocEntry &e = entries_[i];
+        // An entry expires when its last access slid out of the
+        // window: entries accessed at position p serve positions
+        // p+1 .. p+IW-1.
+        if (!e.fetching && e.lastUse + windowSize_ <= seq) {
+            evictions.push_back(evictEntry(e, true));
+            entries_.erase(entries_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+BocEntry *
+Boc::allocate(RegId reg, SeqNum seq, std::vector<BocEviction> &evictions)
+{
+    if (entries_.size() >= capacity_) {
+        // FIFO: evict the oldest-allocated non-fetching entry.
+        std::size_t victim = entries_.size();
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].fetching)
+                continue;
+            if (victim == entries_.size() ||
+                entries_[i].allocSeq < entries_[victim].allocSeq) {
+                victim = i;
+            }
+        }
+        if (victim == entries_.size()) {
+            // Every entry has a fetch in flight; the caller must
+            // retry later. Signalled by returning nullptr.
+            return nullptr;
+        }
+        evictions.push_back(evictEntry(entries_[victim], false));
+        entries_.erase(entries_.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+    }
+    BocEntry e;
+    e.reg = reg;
+    e.lastUse = seq;
+    e.allocSeq = seq;
+    entries_.push_back(e);
+    return &entries_.back();
+}
+
+BocInsertResult
+Boc::insert(SeqNum seq, const std::vector<RegId> &srcs)
+{
+    BocInsertResult out;
+    headSeq_ = seq;
+
+    // Slide the window first: a value whose last access is windowSize
+    // instructions back is no longer forwardable (its residency ends
+    // exactly where the compiler's chain analysis assumes it does).
+    expire(seq, out.evictions);
+
+    for (RegId r : srcs) {
+        BocEntry *e = find(r);
+        if (e && e->valid) {
+            ++out.forwarded;
+            e->lastUse = seq;
+        } else if (e && e->fetching) {
+            out.sharedFetch.push_back(r);
+            e->lastUse = seq;
+        } else {
+            BocEntry *fresh = allocate(r, seq, out.evictions);
+            if (fresh) {
+                fresh->fetching = true;
+                out.toFetch.push_back(r);
+            } else {
+                // No allocatable entry: fall back to a plain RF read
+                // that bypasses the buffer (rare worst case).
+                out.toFetch.push_back(r);
+            }
+        }
+    }
+
+    return out;
+}
+
+void
+Boc::fetchComplete(RegId reg)
+{
+    BocEntry *e = find(reg);
+    if (!e) {
+        // The fetch fell back to a plain RF read (allocation failed);
+        // nothing to mark.
+        return;
+    }
+    if (e->fetching) {
+        e->fetching = false;
+        e->valid = true;
+    }
+}
+
+BocWriteResult
+Boc::writeResult(SeqNum writerSeq, RegId reg, WritebackHint hint)
+{
+    BocWriteResult out;
+
+    if (arch_ == Architecture::BOW_WR_OPT &&
+        hint == WritebackHint::RfOnly) {
+        // No reuse in the window: send straight to the RF and drop
+        // any stale copy.
+        out.writeRfNow = true;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].reg == reg && !entries_[i].fetching) {
+                entries_.erase(entries_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+        return out;
+    }
+
+    BocEntry *e = find(reg);
+    if (e) {
+        if (e->dirty)
+            out.consolidatedPrev = true;
+        e->valid = true;
+        e->fetching = false;
+    } else {
+        e = allocate(reg, writerSeq, out.evictions);
+        if (!e) {
+            // Could not buffer the result at all: it must go to the
+            // RF directly to stay reachable.
+            out.writeRfNow = true;
+            return out;
+        }
+        e->valid = true;
+    }
+    e->lastUse = writerSeq;
+    out.wroteBoc = true;
+
+    switch (arch_) {
+      case Architecture::BOW:
+        // Write-through: the RF copy is updated in parallel.
+        e->dirty = false;
+        out.writeRfNow = true;
+        break;
+      case Architecture::BOW_WR:
+        e->dirty = true;
+        e->noRfWb = false;
+        break;
+      case Architecture::BOW_WR_OPT:
+        e->dirty = true;
+        e->noRfWb = (hint == WritebackHint::BocOnly);
+        break;
+      default:
+        panic("Boc::writeResult: bad architecture");
+    }
+    return out;
+}
+
+std::vector<BocEviction>
+Boc::flush()
+{
+    std::vector<BocEviction> out;
+    for (auto &e : entries_) {
+        if (e.dirty) {
+            // Kernel end: transient values are dead either way; only
+            // untagged dirty values must reach the RF (the hardware
+            // cannot prove deadness without the hint).
+            if (arch_ == Architecture::BOW_WR_OPT && e.noRfWb) {
+                BocEviction ev;
+                ev.reg = e.reg;
+                ev.transientDrop = true;
+                out.push_back(ev);
+            } else {
+                BocEviction ev;
+                ev.reg = e.reg;
+                ev.needsRfWrite = true;
+                out.push_back(ev);
+            }
+        }
+    }
+    entries_.clear();
+    return out;
+}
+
+unsigned
+Boc::occupied() const
+{
+    return static_cast<unsigned>(entries_.size());
+}
+
+} // namespace bow

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The Bypassing Operand Collector (BOC): the paper's central
+ * structure (Sec. IV). One BOC is dedicated to each warp and holds
+ * the register operands of the warp's sliding instruction window.
+ *
+ * This class models the *contents* and forwarding/eviction policy of
+ * one BOC; ports, request queues and the rest of the pipeline live in
+ * the SM core. Like the RF timing model it tracks which registers are
+ * resident, not their values (architectural values live in the Warp).
+ */
+
+#ifndef BOWSIM_SM_BOC_H
+#define BOWSIM_SM_BOC_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "sm/sim_config.h"
+
+namespace bow {
+
+/** One register entry inside a BOC. */
+struct BocEntry
+{
+    RegId reg = kNoReg;
+    bool valid = false;     ///< value present (fetch done or written)
+    bool fetching = false;  ///< RF fetch in flight
+    bool dirty = false;     ///< newer than the RF copy
+    bool noRfWb = false;    ///< compiler-tagged transient (BocOnly)
+    SeqNum lastUse = 0;     ///< window position of the last access
+    SeqNum allocSeq = 0;    ///< allocation order (FIFO victims)
+};
+
+/** Why and how an entry left the BOC. */
+struct BocEviction
+{
+    RegId reg = kNoReg;
+    bool needsRfWrite = false;  ///< dirty value must reach the RF
+    bool safetyWrite = false;   ///< forced write of a transient value
+                                ///< evicted early by capacity pressure
+    bool consolidated = false;  ///< dirty value superseded: RF write
+                                ///< bypassed entirely
+    bool transientDrop = false; ///< transient value expired: RF write
+                                ///< bypassed and never allocated
+};
+
+/** Effect of inserting one instruction into the window. */
+struct BocInsertResult
+{
+    /** Register operands this instruction must fetch from the RF. */
+    std::vector<RegId> toFetch;
+    /** Operands already being fetched on behalf of an earlier
+     *  instruction in the window (shared fetch; no extra RF read). */
+    std::vector<RegId> sharedFetch;
+    /** Operands forwarded immediately (valid in the BOC). */
+    unsigned forwarded = 0;
+    /** Entries pushed out by the window slide or capacity pressure. */
+    std::vector<BocEviction> evictions;
+};
+
+/** Effect of depositing an instruction's result. */
+struct BocWriteResult
+{
+    bool wroteBoc = false;  ///< result deposited into the BOC
+    bool writeRfNow = false;///< result must be sent to the RF now
+    bool consolidatedPrev = false; ///< a previous dirty value for the
+                                   ///< same register was superseded
+    std::vector<BocEviction> evictions; ///< capacity-pressure victims
+};
+
+/** One warp's bypassing operand collector. */
+class Boc
+{
+  public:
+    /**
+     * @param arch       BOW / BOW_WR / BOW_WR_OPT — selects the
+     *                   write-through vs write-back vs hint policy.
+     * @param windowSize IW, the sliding-window length.
+     * @param capacity   Register-entry capacity (12 = conservative,
+     *                   6 = the paper's half-size configuration).
+     * @param extendedWindow When true, entries never expire by
+     *                   window distance — residency is limited only
+     *                   by buffer capacity (the paper's future-work
+     *                   variant, Sec. IV-C). Incompatible with
+     *                   compiler hints, whose safety argument assumes
+     *                   the nominal window.
+     */
+    Boc(Architecture arch, unsigned windowSize, unsigned capacity,
+        bool extendedWindow = false);
+
+    /**
+     * Insert the instruction with window sequence number @p seq and
+     * unique source registers @p srcs. Slides the window (expiring
+     * stale entries) and classifies every operand.
+     */
+    BocInsertResult insert(SeqNum seq, const std::vector<RegId> &srcs);
+
+    /** An RF fetch for @p reg completed; the entry becomes valid. */
+    void fetchComplete(RegId reg);
+
+    /**
+     * Deposit the result of the instruction at window position
+     * @p writerSeq per the architecture's write policy and the
+     * instruction's compiler hint.
+     */
+    BocWriteResult writeResult(SeqNum writerSeq, RegId reg,
+                               WritebackHint hint);
+
+    /** Warp terminated: flush remaining dirty entries. */
+    std::vector<BocEviction> flush();
+
+    /** Number of occupied (valid or fetching) entries. */
+    unsigned occupied() const;
+
+    unsigned capacity() const { return capacity_; }
+
+  private:
+    BocEntry *find(RegId reg);
+    /** Allocate an entry, evicting a FIFO victim under pressure. */
+    BocEntry *allocate(RegId reg, SeqNum seq,
+                       std::vector<BocEviction> &evictions);
+    /** Expire entries that slid out of the window ending at @p seq. */
+    void expire(SeqNum seq, std::vector<BocEviction> &evictions);
+    /** Classify the eviction of @p e (window-expiry or capacity). */
+    BocEviction evictEntry(BocEntry &e, bool expired);
+
+    Architecture arch_;
+    unsigned windowSize_;
+    unsigned capacity_;
+    bool extendedWindow_;
+    std::vector<BocEntry> entries_;
+    SeqNum headSeq_ = 0;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_BOC_H

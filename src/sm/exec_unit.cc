@@ -1,0 +1,73 @@
+#include "sm/exec_unit.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+ExecUnits::ExecUnits(const SimConfig &config)
+    : config_(&config), stats_("exec")
+{
+}
+
+void
+ExecUnits::newCycle()
+{
+    aluUsed_ = 0;
+    sfuUsed_ = 0;
+    ldstUsed_ = 0;
+}
+
+bool
+ExecUnits::canDispatch(ExecUnit unit) const
+{
+    switch (unit) {
+      case ExecUnit::ALU:
+        return aluUsed_ < config_->aluWidth;
+      case ExecUnit::SFU:
+        return sfuUsed_ < config_->sfuWidth;
+      case ExecUnit::LDST:
+        return ldstUsed_ < config_->ldstWidth;
+      case ExecUnit::CTRL:
+        return aluUsed_ < config_->aluWidth; // shares the ALU slot
+    }
+    panic("ExecUnits::canDispatch: bad unit");
+}
+
+void
+ExecUnits::dispatch(ExecUnit unit)
+{
+    switch (unit) {
+      case ExecUnit::ALU:
+      case ExecUnit::CTRL:
+        ++aluUsed_;
+        stats_.counter("alu_dispatches").inc();
+        break;
+      case ExecUnit::SFU:
+        ++sfuUsed_;
+        stats_.counter("sfu_dispatches").inc();
+        break;
+      case ExecUnit::LDST:
+        ++ldstUsed_;
+        stats_.counter("ldst_dispatches").inc();
+        break;
+    }
+}
+
+unsigned
+ExecUnits::latency(Opcode op) const
+{
+    switch (opcodeInfo(op).unit) {
+      case ExecUnit::ALU:
+        return config_->aluLatency;
+      case ExecUnit::SFU:
+        return config_->sfuLatency;
+      case ExecUnit::CTRL:
+        return config_->ctrlLatency;
+      case ExecUnit::LDST:
+        // Memory latency added by the caller from MemoryTiming.
+        return 1;
+    }
+    panic("ExecUnits::latency: bad unit");
+}
+
+} // namespace bow

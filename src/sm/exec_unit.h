@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Execution-unit pools: per-cycle dispatch width for ALU, SFU and
+ * LD/ST pipelines plus the per-opcode latency model. Completion
+ * scheduling itself lives in the SM core's event queue.
+ */
+
+#ifndef BOWSIM_SM_EXEC_UNIT_H
+#define BOWSIM_SM_EXEC_UNIT_H
+
+#include "common/stats.h"
+#include "isa/opcode.h"
+#include "sm/sim_config.h"
+
+namespace bow {
+
+/** Tracks how many warp-instructions each unit accepted this cycle. */
+class ExecUnits
+{
+  public:
+    explicit ExecUnits(const SimConfig &config);
+
+    /** Reset per-cycle dispatch counters. */
+    void newCycle();
+
+    /** True when unit @p unit can accept another dispatch now. */
+    bool canDispatch(ExecUnit unit) const;
+
+    /** Consume one dispatch slot on @p unit. */
+    void dispatch(ExecUnit unit);
+
+    /** Pipeline latency of @p op, excluding memory service time. */
+    unsigned latency(Opcode op) const;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    const SimConfig *config_;
+    unsigned aluUsed_ = 0;
+    unsigned sfuUsed_ = 0;
+    unsigned ldstUsed_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_EXEC_UNIT_H

@@ -1,0 +1,88 @@
+#include "sm/functional.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+const Kernel &
+Launch::kernelOf(WarpId w) const
+{
+    if (warpKernels.empty())
+        return kernel;
+    if (w >= warpKernels.size())
+        panic(strf("Launch::kernelOf: warp ", w, " out of range"));
+    return warpKernels[w];
+}
+
+void
+Launch::validate() const
+{
+    if (numWarps == 0)
+        fatal("Launch: needs at least one warp");
+    if (!warpKernels.empty() && warpKernels.size() != numWarps) {
+        fatal(strf("Launch: ", warpKernels.size(),
+                   " per-warp kernels but ", numWarps, " warps"));
+    }
+    for (WarpId w = 0; w < numWarps; ++w) {
+        if (!kernelOf(w).finalized())
+            fatal(strf("Launch: kernel for warp ", w,
+                       " not finalized"));
+    }
+}
+
+void
+Launch::applyInit(RegFileState &regs, WarpId warpId,
+                  MemoryStore &mem) const
+{
+    regs.fill(0);
+    for (const auto &[reg, val] : initRegs)
+        regs[reg] = val;
+    (void)warpId;
+    (void)mem;
+}
+
+FunctionalResult
+runFunctional(const Launch &launch, std::uint64_t maxPerWarp,
+              bool recordTraces)
+{
+    launch.validate();
+
+    FunctionalResult out;
+    for (const auto &[space, addr, val] : launch.initMem)
+        out.finalMem.store(space, addr, val);
+
+    out.traces.resize(launch.numWarps);
+    out.finalRegs.resize(launch.numWarps);
+
+    for (WarpId w = 0; w < launch.numWarps; ++w) {
+        RegFileState &regs = out.finalRegs[w];
+        launch.applyInit(regs, w, out.finalMem);
+        const Kernel &kernel = launch.kernelOf(w);
+
+        InstIdx pc = 0;
+        std::uint64_t steps = 0;
+        while (true) {
+            if (steps++ >= maxPerWarp) {
+                fatal(strf("runFunctional: warp ", w, " of kernel '",
+                           kernel.name(), "' exceeded ", maxPerWarp,
+                           " dynamic instructions"));
+            }
+            const ExecEffect fx = evaluate(kernel, pc, regs, w,
+                                           launch.numWarps,
+                                           out.finalMem);
+            if (recordTraces) {
+                out.traces[w].insts.push_back(
+                    DynInst{pc, fx.wrote});
+            }
+            ++out.dynamicInsts;
+            if (fx.wrote)
+                regs[kernel.inst(pc).dst] = fx.result;
+            if (fx.warpDone)
+                break;
+            pc = fx.nextPc;
+        }
+    }
+    return out;
+}
+
+} // namespace bow

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Pure functional (timing-free) execution of a launch: runs every
+ * warp sequentially to completion, producing the dynamic instruction
+ * traces consumed by the reuse characterisation (Fig. 3) and the
+ * golden architectural state the timing simulator is checked against.
+ */
+
+#ifndef BOWSIM_SM_FUNCTIONAL_H
+#define BOWSIM_SM_FUNCTIONAL_H
+
+#include <vector>
+
+#include "compiler/reuse.h"
+#include "isa/kernel.h"
+#include "sm/memory_model.h"
+#include "sm/semantics.h"
+
+namespace bow {
+
+/** A kernel launch: the program plus its execution environment. */
+struct Launch
+{
+    /** The SPMD program every warp runs (unless warpKernels is set). */
+    Kernel kernel;
+    unsigned numWarps = 1;
+
+    /**
+     * Trace-driven mode: one program per warp (e.g. loaded from a
+     * SASS-style dynamic trace). When non-empty its size must equal
+     * numWarps and `kernel` is ignored.
+     */
+    std::vector<Kernel> warpKernels;
+
+    /** Initial architectural register values, applied to every warp. */
+    std::vector<std::pair<RegId, Value>> initRegs;
+    /** Initial memory image. */
+    std::vector<std::tuple<MemSpace, std::uint32_t, Value>> initMem;
+
+    /** The program warp @p w executes. */
+    const Kernel &kernelOf(WarpId w) const;
+
+    /** Check structural consistency; fatal()s when broken. */
+    void validate() const;
+
+    /** Seed registers/memory of a fresh simulation instance. */
+    void applyInit(RegFileState &regs, WarpId warpId,
+                   MemoryStore &mem) const;
+};
+
+/** Result of a functional run. */
+struct FunctionalResult
+{
+    std::vector<WarpTrace> traces;          ///< one per warp
+    std::vector<RegFileState> finalRegs;    ///< one per warp
+    MemoryStore finalMem;
+    std::uint64_t dynamicInsts = 0;
+};
+
+/**
+ * Execute @p launch functionally.
+ *
+ * @param launch       The kernel and its environment.
+ * @param maxPerWarp   Per-warp dynamic instruction budget; exceeded
+ *                     budgets are a fatal() (runaway kernel).
+ * @param recordTraces When false, traces are left empty (cheaper).
+ */
+FunctionalResult runFunctional(const Launch &launch,
+                               std::uint64_t maxPerWarp = 4'000'000,
+                               bool recordTraces = true);
+
+} // namespace bow
+
+#endif // BOWSIM_SM_FUNCTIONAL_H

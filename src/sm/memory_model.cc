@@ -1,0 +1,157 @@
+#include "sm/memory_model.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+namespace {
+
+/** Deterministic value for never-written memory locations. */
+Value
+defaultValue(MemSpace space, std::uint32_t addr)
+{
+    std::uint64_t x = (static_cast<std::uint64_t>(
+        static_cast<unsigned>(space) + 1) << 32) | addr;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return static_cast<Value>(x);
+}
+
+} // namespace
+
+const std::unordered_map<std::uint32_t, Value> &
+MemoryStore::spaceMap(MemSpace space) const
+{
+    switch (space) {
+      case MemSpace::Global: return global_;
+      case MemSpace::Shared: return shared_;
+      case MemSpace::Const:  return const_;
+    }
+    panic("MemoryStore: bad space");
+}
+
+std::unordered_map<std::uint32_t, Value> &
+MemoryStore::spaceMap(MemSpace space)
+{
+    return const_cast<std::unordered_map<std::uint32_t, Value> &>(
+        static_cast<const MemoryStore *>(this)->spaceMap(space));
+}
+
+Value
+MemoryStore::load(MemSpace space, std::uint32_t addr) const
+{
+    const auto &m = spaceMap(space);
+    auto it = m.find(addr);
+    return it == m.end() ? defaultValue(space, addr) : it->second;
+}
+
+void
+MemoryStore::store(MemSpace space, std::uint32_t addr, Value v)
+{
+    spaceMap(space)[addr] = v;
+}
+
+void
+MemoryStore::fill(MemSpace space, std::uint32_t addr,
+                  const std::vector<Value> &values)
+{
+    auto &m = spaceMap(space);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        m[addr + static_cast<std::uint32_t>(i * 4)] = values[i];
+}
+
+bool
+MemoryStore::contentsEqual(const MemoryStore &other) const
+{
+    return global_ == other.global_ && shared_ == other.shared_ &&
+        const_ == other.const_;
+}
+
+void
+MemoryTiming::CacheLevel::init(unsigned bytes, unsigned lineBytes,
+                               unsigned nways)
+{
+    lineShift = 0;
+    while ((1u << lineShift) < lineBytes)
+        ++lineShift;
+    const unsigned lines = bytes / lineBytes;
+    ways = nways;
+    sets = lines / nways;
+    if (sets == 0)
+        sets = 1;
+    tags.assign(static_cast<std::size_t>(sets) * ways, kNoTag);
+    lru.assign(static_cast<std::size_t>(sets) * ways, 0);
+    tick = 0;
+}
+
+bool
+MemoryTiming::CacheLevel::accessLine(std::uint32_t addr, bool allocate)
+{
+    const std::uint64_t line = addr >> lineShift;
+    const unsigned set = static_cast<unsigned>(line % sets);
+    const std::uint64_t tag = line / sets;
+    const std::size_t base = static_cast<std::size_t>(set) * ways;
+    ++tick;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (tags[base + w] == tag) {
+            lru[base + w] = tick;
+            return true;
+        }
+    }
+    if (allocate) {
+        unsigned victim = 0;
+        for (unsigned w = 1; w < ways; ++w) {
+            if (lru[base + w] < lru[base + victim])
+                victim = w;
+        }
+        tags[base + victim] = tag;
+        lru[base + victim] = tick;
+    }
+    return false;
+}
+
+MemoryTiming::MemoryTiming(const SimConfig &config)
+    : config_(&config), stats_("memory")
+{
+    l1_.init(config.l1Bytes, config.l1LineBytes, config.l1Ways);
+    l2_.init(config.l2Bytes, config.l2LineBytes, config.l2Ways);
+}
+
+unsigned
+MemoryTiming::access(MemSpace space, std::uint32_t addr, bool isStore)
+{
+    if (space == MemSpace::Shared) {
+        stats_.counter("shared_accesses").inc();
+        return config_->sharedLatency;
+    }
+    if (space == MemSpace::Const) {
+        stats_.counter("const_accesses").inc();
+        return config_->l1Latency;
+    }
+
+    stats_.counter(isStore ? "global_stores" : "global_loads").inc();
+    // Stores are write-through / no-allocate: they cost L1 latency on
+    // the warp and stream to L2 in the background.
+    if (isStore) {
+        l1_.accessLine(addr, false);
+        l2_.accessLine(addr, true);
+        return config_->l1Latency;
+    }
+    if (l1_.accessLine(addr, true)) {
+        stats_.counter("l1_hits").inc();
+        return config_->l1Latency;
+    }
+    stats_.counter("l1_misses").inc();
+    if (l2_.accessLine(addr, true)) {
+        stats_.counter("l2_hits").inc();
+        return config_->l1Latency + config_->l2Latency;
+    }
+    stats_.counter("l2_misses").inc();
+    return config_->l1Latency + config_->l2Latency +
+        config_->dramLatency;
+}
+
+} // namespace bow

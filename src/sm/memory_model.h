@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Memory subsystem: functional storage (MemoryStore) plus a timing
+ * model (MemoryTiming) with L1/L2 tag arrays and fixed service
+ * latencies per level. Addresses are 32-bit byte addresses; values
+ * are 32-bit words.
+ */
+
+#ifndef BOWSIM_SM_MEMORY_MODEL_H
+#define BOWSIM_SM_MEMORY_MODEL_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sm/sim_config.h"
+
+namespace bow {
+
+/** Which address space a memory instruction targets. */
+enum class MemSpace
+{
+    Global,
+    Shared,
+    Const
+};
+
+/**
+ * Functional memory contents. Sparse: unwritten locations read as a
+ * deterministic pseudo-random function of their address so loads from
+ * uninitialised memory are reproducible.
+ */
+class MemoryStore
+{
+  public:
+    /** Read a 32-bit word. */
+    Value load(MemSpace space, std::uint32_t addr) const;
+
+    /** Write a 32-bit word. */
+    void store(MemSpace space, std::uint32_t addr, Value v);
+
+    /** Bulk-initialise consecutive words starting at @p addr. */
+    void fill(MemSpace space, std::uint32_t addr,
+              const std::vector<Value> &values);
+
+    /** True when the two stores have identical written contents. */
+    bool contentsEqual(const MemoryStore &other) const;
+
+  private:
+    const std::unordered_map<std::uint32_t, Value> &
+    spaceMap(MemSpace space) const;
+    std::unordered_map<std::uint32_t, Value> &spaceMap(MemSpace space);
+
+    std::unordered_map<std::uint32_t, Value> global_;
+    std::unordered_map<std::uint32_t, Value> shared_;
+    std::unordered_map<std::uint32_t, Value> const_;
+};
+
+/**
+ * Timing model: a two-level tag-only cache hierarchy with LRU
+ * replacement. An access returns its total service latency; the
+ * functional value comes from MemoryStore independently.
+ */
+class MemoryTiming
+{
+  public:
+    explicit MemoryTiming(const SimConfig &config);
+
+    /**
+     * Account one access and return its latency in cycles.
+     *
+     * @param space   Address space (shared/const accesses bypass the
+     *                global cache hierarchy at fixed latency).
+     * @param addr    Byte address.
+     * @param isStore Stores are write-through/no-allocate.
+     */
+    unsigned access(MemSpace space, std::uint32_t addr, bool isStore);
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    /** One set-associative tag-only cache level. */
+    struct CacheLevel
+    {
+        unsigned sets = 0;
+        unsigned ways = 0;
+        unsigned lineShift = 0;
+        // tags[set * ways + way]; kNoTag means invalid.
+        std::vector<std::uint64_t> tags;
+        std::vector<std::uint64_t> lru;
+        std::uint64_t tick = 0;
+
+        static constexpr std::uint64_t kNoTag = ~0ull;
+
+        void init(unsigned bytes, unsigned lineBytes, unsigned nways);
+        /** Probe for @p addr; allocates on miss. @return hit? */
+        bool accessLine(std::uint32_t addr, bool allocate);
+    };
+
+    const SimConfig *config_;
+    CacheLevel l1_;
+    CacheLevel l2_;
+    StatGroup stats_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_MEMORY_MODEL_H

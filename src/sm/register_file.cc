@@ -1,0 +1,85 @@
+#include "sm/register_file.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+RegisterFile::RegisterFile(const SimConfig &config)
+    : config_(&config),
+      readQueues_(config.numBanks),
+      writeQueues_(config.numBanks),
+      stats_("rf")
+{
+}
+
+BankId
+RegisterFile::bankOf(WarpId warp, RegId reg) const
+{
+    return static_cast<BankId>(
+        (static_cast<unsigned>(reg) + warp) % config_->numBanks);
+}
+
+void
+RegisterFile::pushRead(WarpId warp, RegId reg, std::uint32_t collector,
+                       bool rfcHit)
+{
+    RfRequest req;
+    req.isWrite = false;
+    req.warp = warp;
+    req.reg = reg;
+    req.collector = collector;
+    req.rfcHit = rfcHit;
+    const BankId bank = bankOf(warp, reg);
+    if (!readQueues_[bank].empty() || !writeQueues_[bank].empty())
+        stats_.counter("read_conflicts").inc();
+    readQueues_[bank].push_back(req);
+    stats_.counter("read_requests").inc();
+}
+
+void
+RegisterFile::pushWrite(WarpId warp, RegId reg, bool releaseOnComplete)
+{
+    RfRequest req;
+    req.isWrite = true;
+    req.warp = warp;
+    req.reg = reg;
+    req.releaseOnComplete = releaseOnComplete;
+    const BankId bank = bankOf(warp, reg);
+    if (!readQueues_[bank].empty() || !writeQueues_[bank].empty())
+        stats_.counter("write_conflicts").inc();
+    writeQueues_[bank].push_back(req);
+    stats_.counter("write_requests").inc();
+}
+
+std::vector<RfRequest>
+RegisterFile::tick()
+{
+    std::vector<RfRequest> served;
+    for (unsigned bank = 0; bank < config_->numBanks; ++bank) {
+        auto &writes = writeQueues_[bank];
+        auto &reads = readQueues_[bank];
+        if (!writes.empty()) {
+            served.push_back(writes.front());
+            writes.pop_front();
+            stats_.counter("writes").inc();
+        } else if (!reads.empty()) {
+            served.push_back(reads.front());
+            reads.pop_front();
+            stats_.counter("reads").inc();
+        }
+    }
+    return served;
+}
+
+std::size_t
+RegisterFile::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &q : readQueues_)
+        n += q.size();
+    for (const auto &q : writeQueues_)
+        n += q.size();
+    return n;
+}
+
+} // namespace bow

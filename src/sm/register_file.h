@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Timing model of the banked register file (Fig. 2 of the paper):
+ * 32 single-ported banks behind a bank arbitrator. Warp-register
+ * (w, r) maps to bank (r + w) % numBanks — the GPGPU-Sim swizzle —
+ * and each bank serves one request per cycle from a FIFO queue, so
+ * conflicting accesses serialize exactly as in the baseline machine.
+ *
+ * The register file carries no values (architectural state lives in
+ * the Warp); it models ports, conflicts and access counts.
+ */
+
+#ifndef BOWSIM_SM_REGISTER_FILE_H
+#define BOWSIM_SM_REGISTER_FILE_H
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sm/sim_config.h"
+
+namespace bow {
+
+/** One queued register-bank access. */
+struct RfRequest
+{
+    bool isWrite = false;
+    WarpId warp = 0;
+    RegId reg = kNoReg;
+    /** Collector that issued a read; ~0u for writes. */
+    std::uint32_t collector = ~0u;
+    /** Release the scoreboard write reservation when this write
+     *  completes (baseline / RfOnly-tagged writes). */
+    bool releaseOnComplete = false;
+    /**
+     * The read will be served by the register-file cache. The RFC is
+     * organised like the RF (same banks, arbiter and collector port),
+     * so the access costs the same time but cheaper energy — the
+     * paper's explanation of why RFC saves power yet barely improves
+     * performance (Sec. V-A).
+     */
+    bool rfcHit = false;
+};
+
+/**
+ * The banked register file. Each bank serves one request per cycle;
+ * write-backs have priority over reads (as in GPGPU-Sim's operand
+ * collector arbitration), and each class is FIFO within itself.
+ * Write priority also guarantees a read never overtakes an earlier
+ * write to the same register.
+ */
+class RegisterFile
+{
+  public:
+    explicit RegisterFile(const SimConfig &config);
+
+    /** Bank holding register @p reg of warp @p warp. */
+    BankId bankOf(WarpId warp, RegId reg) const;
+
+    /** Enqueue a read; served FIFO within its bank. */
+    void pushRead(WarpId warp, RegId reg, std::uint32_t collector,
+                  bool rfcHit = false);
+
+    /** Enqueue a write-back. */
+    void pushWrite(WarpId warp, RegId reg, bool releaseOnComplete);
+
+    /**
+     * Advance one cycle: each bank serves at most one request.
+     * @return The requests served this cycle.
+     */
+    std::vector<RfRequest> tick();
+
+    /** Total queued requests across all banks. */
+    std::size_t pending() const;
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    const SimConfig *config_;
+    std::vector<std::deque<RfRequest>> readQueues_;
+    std::vector<std::deque<RfRequest>> writeQueues_;
+    StatGroup stats_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_REGISTER_FILE_H

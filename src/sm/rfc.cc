@@ -1,0 +1,69 @@
+#include "sm/rfc.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+Rfc::Rfc(unsigned entries)
+    : capacity_(entries)
+{
+    if (entries == 0)
+        fatal("Rfc: needs at least one entry");
+    entries_.reserve(entries);
+}
+
+bool
+Rfc::readHit(RegId reg) const
+{
+    for (const auto &e : entries_) {
+        if (e.reg == reg)
+            return true;
+    }
+    return false;
+}
+
+Rfc::WriteResult
+Rfc::write(RegId reg)
+{
+    WriteResult out;
+    ++tick_;
+    for (auto &e : entries_) {
+        if (e.reg == reg) {
+            e.dirty = true;
+            return out;
+        }
+    }
+    if (entries_.size() >= capacity_) {
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < entries_.size(); ++i) {
+            if (entries_[i].allocTick < entries_[victim].allocTick)
+                victim = i;
+        }
+        if (entries_[victim].dirty) {
+            out.evictedDirty = true;
+            out.evictedReg = entries_[victim].reg;
+        }
+        entries_.erase(entries_.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+    }
+    Entry e;
+    e.reg = reg;
+    e.dirty = true;
+    e.allocTick = tick_;
+    entries_.push_back(e);
+    return out;
+}
+
+std::vector<RegId>
+Rfc::flushDirty()
+{
+    std::vector<RegId> out;
+    for (const auto &e : entries_) {
+        if (e.dirty)
+            out.push_back(e.reg);
+    }
+    entries_.clear();
+    return out;
+}
+
+} // namespace bow

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Register-file cache (RFC) baseline, after Gebhart et al. (ISCA'11)
+ * as characterised in the paper's Sec. V-A comparison: a small
+ * per-warp cache organised like the RF. All computed results are
+ * written to the RFC (write-allocate); reads that hit skip the RF
+ * bank access (saving energy) but still traverse the collector's
+ * single port, so port contention is not relieved.
+ */
+
+#ifndef BOWSIM_SM_RFC_H
+#define BOWSIM_SM_RFC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bow {
+
+/** One warp's register-file cache. */
+class Rfc
+{
+  public:
+    explicit Rfc(unsigned entries);
+
+    /** Probe for a read; hits do not re-order the FIFO. */
+    bool readHit(RegId reg) const;
+
+    /** Result of a write allocation. */
+    struct WriteResult
+    {
+        bool evictedDirty = false;
+        RegId evictedReg = kNoReg;
+    };
+
+    /** Allocate/update @p reg on a result write (FIFO replacement). */
+    WriteResult write(RegId reg);
+
+    /** Warp ended: dirty registers that must be written to the RF. */
+    std::vector<RegId> flushDirty();
+
+  private:
+    struct Entry
+    {
+        RegId reg = kNoReg;
+        bool dirty = false;
+        std::uint64_t allocTick = 0;
+    };
+
+    unsigned capacity_;
+    std::uint64_t tick_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_RFC_H

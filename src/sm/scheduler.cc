@@ -1,0 +1,78 @@
+#include "sm/scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bow {
+
+WarpSchedulers::WarpSchedulers(const SimConfig &config)
+    : config_(&config),
+      greedy_(config.numSchedulers, static_cast<WarpId>(kNoReg)),
+      rotor_(config.numSchedulers, 0)
+{
+}
+
+std::vector<WarpId>
+WarpSchedulers::pickOrder(unsigned sid,
+                          const std::vector<Warp> &warps) const
+{
+    std::vector<WarpId> mine;
+    for (const Warp &w : warps) {
+        if (w.id % config_->numSchedulers == sid &&
+            w.state == WarpState::Active) {
+            mine.push_back(w.id);
+        }
+    }
+    if (mine.empty())
+        return mine;
+
+    switch (config_->schedPolicy) {
+      case SchedPolicy::GTO: {
+        // Oldest-first by activation time, with the greedy favourite
+        // hoisted to the front.
+        std::stable_sort(mine.begin(), mine.end(),
+                         [&](WarpId a, WarpId b) {
+                             return warps[a].activated <
+                                 warps[b].activated;
+                         });
+        const WarpId fav = greedy_[sid];
+        auto it = std::find(mine.begin(), mine.end(), fav);
+        if (it != mine.end())
+            std::rotate(mine.begin(), it, it + 1);
+        break;
+      }
+      case SchedPolicy::LRR: {
+        // LRR: rotate the candidate list.
+        const unsigned start = rotor_[sid] % mine.size();
+        std::rotate(mine.begin(), mine.begin() + start, mine.end());
+        break;
+      }
+      case SchedPolicy::TWO_LEVEL: {
+        // Active set first: warps with no outstanding loads, oldest
+        // first; memory-waiting warps trail in age order.
+        std::stable_sort(mine.begin(), mine.end(),
+                         [&](WarpId a, WarpId b) {
+                             const bool wa = warps[a].pendingLoads > 0;
+                             const bool wb = warps[b].pendingLoads > 0;
+                             if (wa != wb)
+                                 return !wa;
+                             return warps[a].activated <
+                                 warps[b].activated;
+                         });
+        break;
+      }
+    }
+    return mine;
+}
+
+void
+WarpSchedulers::noteIssue(unsigned sid, WarpId w)
+{
+    if (sid >= greedy_.size())
+        panic("WarpSchedulers::noteIssue: bad scheduler id");
+    greedy_[sid] = w;
+    ++rotor_[sid];
+}
+
+} // namespace bow

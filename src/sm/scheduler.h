@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Warp schedulers. Each SM has `numSchedulers` schedulers; warp w
+ * belongs to scheduler (w % numSchedulers). Each cycle a scheduler
+ * issues up to `issuePerScheduler` instructions, choosing warps by
+ * policy:
+ *
+ *  - GTO (greedy-then-oldest, Table II): keep issuing the warp that
+ *    issued last; when it stalls, fall back to the oldest ready warp.
+ *  - LRR (loose round-robin): rotate through ready warps.
+ */
+
+#ifndef BOWSIM_SM_SCHEDULER_H
+#define BOWSIM_SM_SCHEDULER_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "sm/sim_config.h"
+#include "sm/warp.h"
+
+namespace bow {
+
+/** All of an SM's warp schedulers. */
+class WarpSchedulers
+{
+  public:
+    explicit WarpSchedulers(const SimConfig &config);
+
+    /**
+     * Candidate issue order for scheduler @p sid this cycle; the SM
+     * core walks this order and issues from the first warps that
+     * pass the scoreboard/collector checks.
+     */
+    std::vector<WarpId> pickOrder(unsigned sid,
+                                  const std::vector<Warp> &warps) const;
+
+    /** Record that @p w issued (updates GTO greediness / LRR rotor). */
+    void noteIssue(unsigned sid, WarpId w);
+
+  private:
+    const SimConfig *config_;
+    std::vector<WarpId> greedy_;        ///< per-scheduler GTO favourite
+    std::vector<unsigned> rotor_;       ///< per-scheduler LRR position
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_SCHEDULER_H

@@ -1,0 +1,81 @@
+#include "sm/scoreboard.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+Scoreboard::Scoreboard(unsigned numWarps)
+    : warps_(numWarps)
+{
+}
+
+bool
+Scoreboard::canIssue(WarpId w, const Instruction &inst) const
+{
+    const PerWarp &pw = warps_.at(w);
+    for (RegId r : inst.srcRegs()) {
+        if (pw.pendingWrites[r])
+            return false;   // RAW
+    }
+    if (inst.hasDest()) {
+        if (pw.pendingWrites[inst.dst])
+            return false;   // WAW
+        if (pw.pendingReads[inst.dst])
+            return false;   // WAR
+    }
+    return true;
+}
+
+void
+Scoreboard::reserve(WarpId w, const Instruction &inst)
+{
+    PerWarp &pw = warps_.at(w);
+    for (RegId r : inst.uniqueSrcRegs()) {
+        if (pw.pendingReads[r] == 0xFF)
+            panic("Scoreboard: pendingReads overflow");
+        ++pw.pendingReads[r];
+    }
+    if (inst.hasDest()) {
+        if (pw.pendingWrites[inst.dst])
+            panic(strf("Scoreboard: WAW slipped through for warp ", w,
+                       " reg ", inst.dst));
+        pw.pendingWrites[inst.dst] = 1;
+    }
+}
+
+void
+Scoreboard::releaseReads(WarpId w, const Instruction &inst)
+{
+    PerWarp &pw = warps_.at(w);
+    for (RegId r : inst.uniqueSrcRegs()) {
+        if (pw.pendingReads[r] == 0)
+            panic(strf("Scoreboard: read release underflow, warp ", w,
+                       " reg ", r));
+        --pw.pendingReads[r];
+    }
+}
+
+void
+Scoreboard::releaseWrite(WarpId w, RegId dst)
+{
+    PerWarp &pw = warps_.at(w);
+    if (dst == kNoReg)
+        return;
+    if (!pw.pendingWrites[dst])
+        panic(strf("Scoreboard: write release without reservation, "
+                   "warp ", w, " reg ", dst));
+    pw.pendingWrites[dst] = 0;
+}
+
+bool
+Scoreboard::idle(WarpId w) const
+{
+    const PerWarp &pw = warps_.at(w);
+    for (unsigned r = 0; r < 256; ++r) {
+        if (pw.pendingWrites[r] || pw.pendingReads[r])
+            return false;
+    }
+    return true;
+}
+
+} // namespace bow

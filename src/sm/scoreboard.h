@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-warp scoreboard guarding register hazards at issue time.
+ *
+ * Tracks (a) destination registers with in-flight writes and (b) the
+ * number of in-flight, not-yet-executed readers of each register.
+ * Issue is blocked on RAW (source has a pending write), WAW
+ * (destination has a pending write) and WAR (destination has pending
+ * readers), which matches the paper's statement that two dependent
+ * instructions are never simultaneously in the operand-collection
+ * stage.
+ */
+
+#ifndef BOWSIM_SM_SCOREBOARD_H
+#define BOWSIM_SM_SCOREBOARD_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace bow {
+
+/** Scoreboard for every warp slot of one SM. */
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(unsigned numWarps);
+
+    /** True when @p inst of warp @p w has no register hazards. */
+    bool canIssue(WarpId w, const Instruction &inst) const;
+
+    /** Reserve registers at issue. */
+    void reserve(WarpId w, const Instruction &inst);
+
+    /** Release source-read reservations when the instruction has
+     *  consumed its operands (at execute). */
+    void releaseReads(WarpId w, const Instruction &inst);
+
+    /**
+     * Release the destination reservation once the value is visible
+     * to dependents (BOC write or RF write, per architecture).
+     * @p wrote distinguishes guarded-off instructions that never
+     * produced a value; the reservation is released either way.
+     */
+    void releaseWrite(WarpId w, RegId dst);
+
+    /** True when warp @p w has no reservations (quiesced). */
+    bool idle(WarpId w) const;
+
+  private:
+    struct PerWarp
+    {
+        std::array<std::uint8_t, 256> pendingWrites{};
+        std::array<std::uint8_t, 256> pendingReads{};
+    };
+
+    std::vector<PerWarp> warps_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_SCOREBOARD_H

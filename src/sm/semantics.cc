@@ -1,0 +1,245 @@
+#include "sm/semantics.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+namespace {
+
+/** Deterministic integer pseudo-transcendentals for the SFU ops. */
+Value
+sfuRcp(Value x)
+{
+    return x ? static_cast<Value>(0xFFFFFFFFu / x) : 0xFFFFFFFFu;
+}
+
+Value
+sfuSqrt(Value x)
+{
+    // Integer square root by Newton iteration; the descent variant
+    // terminates (plain fixed-point iteration can 2-cycle, e.g. x=3).
+    if (x < 2)
+        return x;
+    std::uint64_t r = x;
+    std::uint64_t next = (r + x / r) / 2;
+    while (next < r) {
+        r = next;
+        next = (r + x / r) / 2;
+    }
+    return static_cast<Value>(r);
+}
+
+Value
+sfuSin(Value x)
+{
+    // A deterministic odd-ish mixing function standing in for sine;
+    // only dataflow matters to the microarchitecture.
+    Value v = x * 2654435761u;
+    v ^= v >> 15;
+    return v;
+}
+
+Value
+sfuEx2(Value x)
+{
+    return static_cast<Value>(1u << (x & 31));
+}
+
+Value
+sfuLg2(Value x)
+{
+    Value r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+Value
+operandValue(const Operand &o, const RegFileState &regs, WarpId warpId,
+             unsigned numWarps, const MemoryStore &mem)
+{
+    switch (o.kind) {
+      case Operand::Kind::REG:
+        return regs[o.reg];
+      case Operand::Kind::IMM:
+        return o.imm;
+      case Operand::Kind::SPECIAL:
+        return o.special == SpecialReg::WARP_ID
+            ? static_cast<Value>(warpId)
+            : static_cast<Value>(numWarps);
+      case Operand::Kind::CONST_MEM:
+        return mem.load(MemSpace::Const, o.imm);
+      case Operand::Kind::NONE:
+        break;
+    }
+    panic("operandValue: unset operand");
+}
+
+MemSpace
+spaceOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::LD_GLOBAL:
+      case Opcode::ST_GLOBAL:
+        return MemSpace::Global;
+      case Opcode::LD_SHARED:
+      case Opcode::ST_SHARED:
+        return MemSpace::Shared;
+      case Opcode::LD_CONST:
+        return MemSpace::Const;
+      default:
+        panic("spaceOf: not a memory opcode");
+    }
+}
+
+} // namespace
+
+ExecEffect
+evaluate(const Kernel &kernel, InstIdx pc, const RegFileState &regs,
+         WarpId warpId, unsigned numWarps, MemoryStore &mem)
+{
+    const Instruction &inst = kernel.inst(pc);
+    ExecEffect fx;
+    fx.nextPc = pc + 1;
+
+    // Guard predicate: a false guard suppresses all effects.
+    if (inst.pred != kNoReg) {
+        const bool p = regs[inst.pred] != 0;
+        fx.guardPassed = inst.predNegate ? !p : p;
+        if (!fx.guardPassed)
+            return fx;
+    }
+
+    auto src = [&](unsigned i) {
+        return operandValue(inst.srcs[i], regs, warpId, numWarps, mem);
+    };
+
+    switch (inst.op) {
+      case Opcode::MOV:
+      case Opcode::CVT:
+        fx.wrote = true;
+        fx.result = src(0);
+        break;
+      case Opcode::ADD:
+        fx.wrote = true;
+        fx.result = src(0) + src(1);
+        break;
+      case Opcode::SUB:
+        fx.wrote = true;
+        fx.result = src(0) - src(1);
+        break;
+      case Opcode::MUL:
+        fx.wrote = true;
+        fx.result = src(0) * src(1);
+        break;
+      case Opcode::MAD:
+        fx.wrote = true;
+        fx.result = src(0) * src(1) + src(2);
+        break;
+      case Opcode::MIN: {
+        const auto a = static_cast<std::int32_t>(src(0));
+        const auto b = static_cast<std::int32_t>(src(1));
+        fx.wrote = true;
+        fx.result = static_cast<Value>(a < b ? a : b);
+        break;
+      }
+      case Opcode::MAX: {
+        const auto a = static_cast<std::int32_t>(src(0));
+        const auto b = static_cast<std::int32_t>(src(1));
+        fx.wrote = true;
+        fx.result = static_cast<Value>(a > b ? a : b);
+        break;
+      }
+      case Opcode::AND:
+        fx.wrote = true;
+        fx.result = src(0) & src(1);
+        break;
+      case Opcode::OR:
+        fx.wrote = true;
+        fx.result = src(0) | src(1);
+        break;
+      case Opcode::XOR:
+        fx.wrote = true;
+        fx.result = src(0) ^ src(1);
+        break;
+      case Opcode::SHL:
+        fx.wrote = true;
+        fx.result = src(0) << (src(1) & 31);
+        break;
+      case Opcode::SHR:
+        fx.wrote = true;
+        fx.result = src(0) >> (src(1) & 31);
+        break;
+      case Opcode::ABS: {
+        const auto a = static_cast<std::int32_t>(src(0));
+        fx.wrote = true;
+        fx.result = static_cast<Value>(a < 0 ? -a : a);
+        break;
+      }
+      case Opcode::NEG:
+        fx.wrote = true;
+        fx.result = static_cast<Value>(-static_cast<std::int32_t>(
+            src(0)));
+        break;
+      case Opcode::SET:
+      case Opcode::SETP:
+        fx.wrote = true;
+        fx.result = evalCond(inst.cc, src(0), src(1)) ? 1u : 0u;
+        break;
+      case Opcode::RCP:
+        fx.wrote = true;
+        fx.result = sfuRcp(src(0));
+        break;
+      case Opcode::SQRT:
+        fx.wrote = true;
+        fx.result = sfuSqrt(src(0));
+        break;
+      case Opcode::SIN:
+        fx.wrote = true;
+        fx.result = sfuSin(src(0));
+        break;
+      case Opcode::EX2:
+        fx.wrote = true;
+        fx.result = sfuEx2(src(0));
+        break;
+      case Opcode::LG2:
+        fx.wrote = true;
+        fx.result = sfuLg2(src(0));
+        break;
+      case Opcode::LD_GLOBAL:
+      case Opcode::LD_SHARED:
+      case Opcode::LD_CONST: {
+        fx.isMem = true;
+        fx.space = spaceOf(inst.op);
+        fx.addr = src(0) + static_cast<std::uint32_t>(inst.memOffset);
+        fx.wrote = true;
+        fx.result = mem.load(fx.space, fx.addr);
+        break;
+      }
+      case Opcode::ST_GLOBAL:
+      case Opcode::ST_SHARED: {
+        fx.isMem = true;
+        fx.space = spaceOf(inst.op);
+        fx.addr = src(0) + static_cast<std::uint32_t>(inst.memOffset);
+        mem.store(fx.space, fx.addr, src(1));
+        break;
+      }
+      case Opcode::BRA:
+        fx.branchTaken = true;
+        fx.nextPc = inst.branchTarget;
+        break;
+      case Opcode::SSY:
+      case Opcode::BAR:
+      case Opcode::NOP:
+        break;
+      case Opcode::RET:
+      case Opcode::EXIT:
+        fx.warpDone = true;
+        break;
+      case Opcode::NUM_OPCODES:
+        panic("evaluate: bad opcode");
+    }
+    return fx;
+}
+
+} // namespace bow

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Functional (architectural) semantics of the bowsim ISA: evaluate
+ * one instruction against a warp's register state and memory. Used
+ * by both the timing simulator's execute stage and the pure
+ * functional trace runner, guaranteeing the two agree by
+ * construction.
+ */
+
+#ifndef BOWSIM_SM_SEMANTICS_H
+#define BOWSIM_SM_SEMANTICS_H
+
+#include <array>
+
+#include "common/types.h"
+#include "isa/kernel.h"
+#include "sm/memory_model.h"
+
+namespace bow {
+
+/** A warp's architectural register state. */
+using RegFileState = std::array<Value, 256>;
+
+/** The architectural effect of executing one instruction. */
+struct ExecEffect
+{
+    bool guardPassed = true;    ///< guard predicate allowed execution
+    bool wrote = false;         ///< destination register was written
+    Value result = 0;           ///< value written when wrote
+    bool branchTaken = false;   ///< branch redirected control flow
+    InstIdx nextPc = 0;         ///< pc after this instruction
+    bool warpDone = false;      ///< warp terminated (exit/ret)
+    bool isMem = false;         ///< touched memory
+    MemSpace space = MemSpace::Global;
+    std::uint32_t addr = 0;     ///< effective address when isMem
+};
+
+/**
+ * Execute the instruction at @p pc functionally.
+ *
+ * Reads @p regs, applies stores/loads to @p mem, and returns the
+ * effect. The caller commits the register write
+ * (`regs[dst] = effect.result`) so timing models can delay it.
+ *
+ * @param kernel Finalized kernel.
+ * @param pc     Instruction index to execute.
+ * @param regs   The warp's architectural registers (read-only here).
+ * @param warpId Hardware warp id (feeds %warpid).
+ * @param numWarps Launch warp count (feeds %nwarps).
+ * @param mem    Functional memory (stores are applied immediately).
+ */
+ExecEffect evaluate(const Kernel &kernel, InstIdx pc,
+                    const RegFileState &regs, WarpId warpId,
+                    unsigned numWarps, MemoryStore &mem);
+
+} // namespace bow
+
+#endif // BOWSIM_SM_SEMANTICS_H

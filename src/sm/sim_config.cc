@@ -1,0 +1,108 @@
+#include "sm/sim_config.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+std::string
+archName(Architecture arch)
+{
+    switch (arch) {
+      case Architecture::Baseline:   return "baseline";
+      case Architecture::BOW:        return "bow";
+      case Architecture::BOW_WR:     return "bow-wr";
+      case Architecture::BOW_WR_OPT: return "bow-wr-opt";
+      case Architecture::RFC:        return "rfc";
+    }
+    panic("archName: bad architecture");
+}
+
+std::string
+schedName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::GTO: return "gto";
+      case SchedPolicy::LRR: return "lrr";
+      case SchedPolicy::TWO_LEVEL: return "two-level";
+    }
+    panic("schedName: bad scheduler policy");
+}
+
+void
+SimConfig::validate() const
+{
+    if (numSchedulers == 0 || issuePerScheduler == 0)
+        fatal("SimConfig: need at least one scheduler issuing at least "
+              "one instruction");
+    if (maxResidentWarps == 0 || maxResidentWarps > 64)
+        fatal("SimConfig: resident warps must be in [1, 64]");
+    if (numBanks == 0)
+        fatal("SimConfig: need at least one register bank");
+    if (numCollectors == 0)
+        fatal("SimConfig: need at least one operand collector");
+    if (collectorPorts == 0 || collectorPorts > 4)
+        fatal("SimConfig: collector ports must be in [1, 4]");
+    if (windowSize < 2 || windowSize > 16)
+        fatal("SimConfig: window size must be in [2, 16]");
+    if (bocEntries != 0 && bocEntries < 2)
+        fatal("SimConfig: BOC needs at least two register entries");
+    if (aluWidth == 0 || sfuWidth == 0 || ldstWidth == 0)
+        fatal("SimConfig: execution unit widths must be non-zero");
+    if (maxPendingLoads == 0)
+        fatal("SimConfig: MSHR limit must be non-zero");
+    if (l1LineBytes == 0 || (l1LineBytes & (l1LineBytes - 1)))
+        fatal("SimConfig: L1 line size must be a power of two");
+    if (l2LineBytes == 0 || (l2LineBytes & (l2LineBytes - 1)))
+        fatal("SimConfig: L2 line size must be a power of two");
+    if ((arch == Architecture::BOW || arch == Architecture::BOW_WR ||
+         arch == Architecture::BOW_WR_OPT) &&
+        numCollectors < maxResidentWarps) {
+        fatal("SimConfig: BOW needs one BOC per resident warp");
+    }
+    if (arch == Architecture::RFC && rfcEntriesPerWarp == 0)
+        fatal("SimConfig: RFC needs at least one entry per warp");
+    if (extendedWindow && arch == Architecture::BOW_WR_OPT) {
+        fatal("SimConfig: extended-window bypassing is incompatible "
+              "with compiler write-back hints");
+    }
+}
+
+SimConfig
+SimConfig::titanXPascal()
+{
+    return SimConfig{};
+}
+
+SimConfig
+SimConfig::fermi()
+{
+    SimConfig c;
+    c.numSchedulers = 2;
+    c.issuePerScheduler = 1;
+    c.maxResidentWarps = 48;
+    c.numBanks = 16;
+    c.rfBytesPerSm = 128 * 1024;
+    c.numCollectors = 48;
+    c.aluWidth = 1;
+    c.l1Bytes = 16 * 1024;
+    c.l2Bytes = 768 * 1024;
+    return c;
+}
+
+SimConfig
+SimConfig::volta()
+{
+    SimConfig c;
+    c.numSchedulers = 4;
+    c.issuePerScheduler = 1;
+    c.maxResidentWarps = 64;
+    c.numBanks = 32;
+    c.rfBytesPerSm = 256 * 1024;
+    c.numCollectors = 64;
+    c.aluWidth = 2;
+    c.l1Bytes = 128 * 1024;
+    c.l2Bytes = 6 * 1024 * 1024;
+    return c;
+}
+
+} // namespace bow

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Simulation configuration: the paper's Table II machine (NVIDIA
+ * TITAN X, Pascal) plus the architecture-variant knobs BOW adds.
+ */
+
+#ifndef BOWSIM_SM_SIM_CONFIG_H
+#define BOWSIM_SM_SIM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace bow {
+
+/** Which register-file / operand-collector architecture to simulate. */
+enum class Architecture
+{
+    Baseline,   ///< conventional banked RF + shared OCUs
+    BOW,        ///< read bypassing, write-through (paper Sec. IV-A)
+    BOW_WR,     ///< read+write bypassing, write-back (Sec. IV-B)
+    BOW_WR_OPT, ///< BOW-WR + compiler write-back hints (Sec. IV-B)
+    RFC         ///< register-file cache baseline (Gebhart, ISCA'11)
+};
+
+/** Warp-scheduler policy. */
+enum class SchedPolicy
+{
+    GTO,      ///< greedy-then-oldest (Table II default)
+    LRR,      ///< loose round-robin
+    TWO_LEVEL ///< two-level scheduling (Gebhart et al., ISCA'11):
+              ///< warps waiting on memory are demoted behind the
+              ///< compute-ready active set
+};
+
+/** Human-readable architecture name. */
+std::string archName(Architecture arch);
+
+/** Human-readable scheduler-policy name. */
+std::string schedName(SchedPolicy policy);
+
+/**
+ * Full SM configuration. Defaults model one SM of the paper's
+ * baseline GPU (Table II): 4 schedulers x 2 issue, 32 resident warps,
+ * a 256 KB register file in 32 single-ported banks, and 32 operand
+ * collectors.
+ */
+struct SimConfig
+{
+    // --- machine (Table II) ---
+    unsigned numSchedulers = 4;
+    unsigned issuePerScheduler = 2;
+    unsigned maxResidentWarps = 32;
+    unsigned numBanks = 32;
+    unsigned rfBytesPerSm = 256 * 1024;
+    unsigned numCollectors = 32;        ///< baseline OCUs / BOCs
+    /**
+     * Read ports per collector (baseline OCU or BOC). The paper's
+     * machines are single-ported ("the cost of a port is extremely
+     * high when considering the width of a warp register"); larger
+     * values exist for the what-if ablation.
+     */
+    unsigned collectorPorts = 1;
+    SchedPolicy schedPolicy = SchedPolicy::GTO;
+
+    // --- execution units ---
+    unsigned aluLatency = 4;
+    unsigned sfuLatency = 16;
+    unsigned ctrlLatency = 2;
+    unsigned aluWidth = 4;  ///< warp-instructions accepted per cycle
+    unsigned sfuWidth = 1;
+    unsigned ldstWidth = 1;
+
+    // --- memory hierarchy ---
+    unsigned l1Latency = 28;
+    unsigned l2Latency = 190;
+    unsigned dramLatency = 350;
+    unsigned l1Bytes = 48 * 1024;
+    unsigned l1LineBytes = 128;
+    unsigned l1Ways = 6;
+    unsigned l2Bytes = 3 * 1024 * 1024;
+    unsigned l2LineBytes = 128;
+    unsigned l2Ways = 16;
+    unsigned sharedLatency = 24;
+    unsigned maxPendingLoads = 32;      ///< MSHR limit per SM
+
+    // --- BOW knobs ---
+    Architecture arch = Architecture::Baseline;
+    unsigned windowSize = 3;            ///< IW (instructions)
+    /**
+     * BOC register-entry capacity; 0 means the conservative default
+     * of 4 entries per window slot (4 * windowSize). The paper's
+     * half-size configuration uses 2 * windowSize.
+     */
+    unsigned bocEntries = 0;
+
+    /**
+     * Future-work variant (paper Sec. IV-C): bypass beyond the
+     * nominal window, with residency limited only by BOC capacity.
+     * Valid for BOW and BOW_WR; rejected with compiler hints.
+     */
+    bool extendedWindow = false;
+
+    // --- RFC knobs ---
+    unsigned rfcEntriesPerWarp = 6;
+
+    // --- safety valve ---
+    /** Abort the simulation after this many cycles (0 = unlimited). */
+    std::uint64_t maxCycles = 200'000'000ull;
+
+    /** Effective BOC capacity after applying the default rule. */
+    unsigned
+    effectiveBocEntries() const
+    {
+        return bocEntries ? bocEntries : 4 * windowSize;
+    }
+
+    /** Sanity-check the configuration; fatal()s when inconsistent. */
+    void validate() const;
+
+    /** The paper's baseline machine (identical to the defaults). */
+    static SimConfig titanXPascal();
+
+    /**
+     * A Fermi-generation SM (GTX 480 class): fewer schedulers,
+     * fewer banks, smaller RF. The paper repeats its reuse
+     * characterisation on Fermi and Volta to show operand locality
+     * is a computational property, not an architectural one.
+     */
+    static SimConfig fermi();
+
+    /** A Volta-generation SM (V100 class). */
+    static SimConfig volta();
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_SIM_CONFIG_H

@@ -1,0 +1,555 @@
+#include "sm/sm_core.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bow {
+
+SmCore::SmCore(const SimConfig &config, const Launch &launch)
+    : config_(config),
+      launch_(&launch),
+      scoreboard_(launch.numWarps),
+      rf_(config_),
+      memTiming_(config_),
+      units_(config_),
+      schedulers_(config_)
+{
+    config_.validate();
+    launch.validate();
+
+    warps_.resize(launch.numWarps);
+    finalRegs_.resize(launch.numWarps);
+    for (WarpId w = 0; w < launch.numWarps; ++w)
+        warps_[w].id = w;
+
+    if (usesBoc()) {
+        warpSlots_.resize(launch.numWarps);
+        bocs_.resize(launch.numWarps);
+        bocFetchOutstanding_.assign(launch.numWarps, 0);
+    } else {
+        sharedSlots_.resize(config_.numCollectors);
+        if (config_.arch == Architecture::RFC) {
+            rfcs_.reserve(launch.numWarps);
+            for (WarpId w = 0; w < launch.numWarps; ++w)
+                rfcs_.emplace_back(config_.rfcEntriesPerWarp);
+        }
+    }
+
+    for (const auto &[space, addr, val] : launch.initMem)
+        memStore_.store(space, addr, val);
+
+    stats_.srcOperandHist.assign(4, 0);
+    stats_.bocOccupancyHist.assign(config_.effectiveBocEntries() + 1,
+                                   0);
+
+    const unsigned initial = std::min<unsigned>(
+        config_.maxResidentWarps, launch.numWarps);
+    for (WarpId w = 0; w < initial; ++w)
+        activateWarp(w);
+    nextToActivate_ = static_cast<WarpId>(initial);
+}
+
+bool
+SmCore::usesBoc() const
+{
+    return config_.arch == Architecture::BOW ||
+        config_.arch == Architecture::BOW_WR ||
+        config_.arch == Architecture::BOW_WR_OPT;
+}
+
+void
+SmCore::activateWarp(WarpId w)
+{
+    Warp &warp = warps_[w];
+    warp.state = WarpState::Active;
+    warp.pc = 0;
+    warp.activated = now_;
+    launch_->applyInit(warp.regs, w, memStore_);
+    if (usesBoc()) {
+        warpSlots_[w].assign(config_.windowSize, InstSlot{});
+        bocs_[w].emplace(config_.arch, config_.windowSize,
+                         config_.effectiveBocEntries(),
+                         config_.extendedWindow);
+    }
+    ++residentWarps_;
+}
+
+void
+SmCore::handleEviction(WarpId w, const BocEviction &ev)
+{
+    if (ev.needsRfWrite)
+        rf_.pushWrite(w, ev.reg, false);
+    if (ev.safetyWrite)
+        ++stats_.safetyWrites;
+    if (ev.transientDrop)
+        ++stats_.transientDrops;
+}
+
+void
+SmCore::finishWarp(Warp &warp)
+{
+    if (usesBoc()) {
+        for (const BocEviction &ev : bocs_[warp.id]->flush())
+            handleEviction(warp.id, ev);
+    } else if (config_.arch == Architecture::RFC) {
+        for (RegId r : rfcs_[warp.id].flushDirty())
+            rf_.pushWrite(warp.id, r, false);
+    }
+    warp.state = WarpState::Finished;
+    finalRegs_[warp.id] = warp.regs;
+    --residentWarps_;
+    ++finishedWarps_;
+    if (nextToActivate_ < warps_.size()) {
+        activateWarp(nextToActivate_);
+        ++nextToActivate_;
+    }
+}
+
+void
+SmCore::handleRfServed(const RfRequest &req)
+{
+    if (req.isWrite) {
+        ++stats_.rfWrites;
+        if (req.releaseOnComplete)
+            scoreboard_.releaseWrite(req.warp, req.reg);
+        return;
+    }
+
+    if (req.rfcHit)
+        ++stats_.rfcReads;
+    else
+        ++stats_.rfReads;
+    if (req.collector & kBocFlag) {
+        // A BOC fetch: fill the entry and wake every slot of the warp
+        // waiting on this register.
+        const WarpId w = static_cast<WarpId>(req.collector & ~kBocFlag);
+        if (bocFetchOutstanding_[w])
+            --bocFetchOutstanding_[w];
+        if (bocs_[w])
+            bocs_[w]->fetchComplete(req.reg);
+        ++stats_.bocDeposits;
+        for (InstSlot &slot : warpSlots_[w]) {
+            if (!slot.inUse)
+                continue;
+            auto it = std::find(slot.awaiting.begin(),
+                                slot.awaiting.end(), req.reg);
+            if (it != slot.awaiting.end())
+                slot.awaiting.erase(it);
+            if (slot.ready() && slot.readyCycle == kNoCycle)
+                slot.readyCycle = now_;
+        }
+    } else {
+        InstSlot &slot = sharedSlots_.at(req.collector);
+        if (slot.outstanding)
+            --slot.outstanding;
+        auto it = std::find(slot.awaiting.begin(), slot.awaiting.end(),
+                            req.reg);
+        if (it == slot.awaiting.end())
+            panic("SmCore: RF read served for an operand the collector "
+                  "was not awaiting");
+        slot.awaiting.erase(it);
+        if (slot.ready() && slot.readyCycle == kNoCycle)
+            slot.readyCycle = now_;
+    }
+}
+
+void
+SmCore::processCompletions()
+{
+    auto it = completions_.find(now_);
+    if (it == completions_.end())
+        return;
+    // Take ownership: retire-side effects may not schedule into the
+    // current cycle.
+    std::vector<Completion> done = std::move(it->second);
+    completions_.erase(it);
+
+    for (const Completion &c : done) {
+        Warp &warp = warps_[c.warp];
+        const Instruction &inst = kernelOf(c.warp).inst(c.idx);
+
+        // Statistics.
+        ++stats_.instructions;
+        const std::uint64_t ocCycles = c.readyCycle - c.issueCycle;
+        const std::uint64_t totCycles = now_ - c.issueCycle;
+        if (inst.isMemory()) {
+            stats_.ocCyclesMem += ocCycles;
+            stats_.totalCyclesMem += totCycles;
+            ++stats_.instsMem;
+        } else {
+            stats_.ocCyclesNonMem += ocCycles;
+            stats_.totalCyclesNonMem += totCycles;
+            ++stats_.instsNonMem;
+        }
+        if (opcodeInfo(inst.op).isLoad) {
+            --outstandingLoads_;
+            --warp.pendingLoads;
+        }
+
+        // Destination write-back, per architecture.
+        if (inst.hasDest()) {
+            if (!c.fx.wrote) {
+                // Guard predicate suppressed the write.
+                scoreboard_.releaseWrite(c.warp, inst.dst);
+            } else {
+                switch (config_.arch) {
+                  case Architecture::Baseline:
+                    rf_.pushWrite(c.warp, inst.dst, true);
+                    break;
+                  case Architecture::RFC: {
+                    ++stats_.rfcWrites;
+                    const auto wr = rfcs_[c.warp].write(inst.dst);
+                    if (wr.evictedDirty)
+                        rf_.pushWrite(c.warp, wr.evictedReg, false);
+                    scoreboard_.releaseWrite(c.warp, inst.dst);
+                    break;
+                  }
+                  case Architecture::BOW:
+                  case Architecture::BOW_WR:
+                  case Architecture::BOW_WR_OPT: {
+                    auto wres = bocs_[c.warp]->writeResult(
+                        c.seq, inst.dst, inst.hint);
+                    if (wres.wroteBoc) {
+                        ++stats_.bocResultWrites;
+                        scoreboard_.releaseWrite(c.warp, inst.dst);
+                        if (wres.writeRfNow)
+                            rf_.pushWrite(c.warp, inst.dst, false);
+                    } else {
+                        // Result went straight to the RF (RfOnly hint
+                        // or allocation failure): dependents wait for
+                        // the bank write.
+                        rf_.pushWrite(c.warp, inst.dst, true);
+                    }
+                    if (wres.consolidatedPrev)
+                        ++stats_.consolidatedWrites;
+                    for (const BocEviction &ev : wres.evictions)
+                        handleEviction(c.warp, ev);
+                    if (config_.arch == Architecture::BOW_WR_OPT) {
+                        switch (inst.hint) {
+                          case WritebackHint::RfOnly:
+                            ++stats_.destRfOnly;
+                            break;
+                          case WritebackHint::BocOnly:
+                            ++stats_.destBocOnly;
+                            break;
+                          case WritebackHint::BocAndRf:
+                            ++stats_.destBocAndRf;
+                            break;
+                        }
+                    }
+                    break;
+                  }
+                }
+            }
+        }
+
+        // Control flow.
+        if (inst.isBranch()) {
+            warp.pc = c.fx.nextPc;
+            warp.waitingBranch = false;
+        }
+
+        --warp.inFlight;
+        if (warp.state == WarpState::Draining && warp.inFlight == 0)
+            finishWarp(warp);
+    }
+}
+
+void
+SmCore::collectPhase()
+{
+    const unsigned ports = config_.collectorPorts;
+    if (usesBoc()) {
+        // `ports` fetch ports per BOC: send the oldest pending
+        // requests of each warp while ports are free.
+        for (Warp &warp : warps_) {
+            if (warp.state == WarpState::Inactive ||
+                warp.state == WarpState::Finished) {
+                continue;
+            }
+            const WarpId w = warp.id;
+            while (bocFetchOutstanding_[w] < ports) {
+                InstSlot *oldest = nullptr;
+                for (InstSlot &slot : warpSlots_[w]) {
+                    if (slot.inUse && !slot.toRequest.empty() &&
+                        (!oldest || slot.seq < oldest->seq)) {
+                        oldest = &slot;
+                    }
+                }
+                if (!oldest)
+                    break;
+                const RegId r = oldest->toRequest.front();
+                oldest->toRequest.erase(oldest->toRequest.begin());
+                oldest->awaiting.push_back(r);
+                rf_.pushRead(w, r, kBocFlag | w);
+                ++bocFetchOutstanding_[w];
+            }
+        }
+        return;
+    }
+
+    // Baseline / RFC: each collector resolves at most `ports` source
+    // operands per cycle (one on the paper's machines).
+    for (std::uint32_t ci = 0; ci < sharedSlots_.size(); ++ci) {
+        InstSlot &slot = sharedSlots_[ci];
+        while (slot.inUse && slot.outstanding < ports &&
+               !slot.toRequest.empty()) {
+            const RegId r = slot.toRequest.front();
+            slot.toRequest.erase(slot.toRequest.begin());
+            slot.awaiting.push_back(r);
+            ++slot.outstanding;
+            // RFC hits travel the identical banked path (same
+            // arbitration and port serialization) but are served by
+            // the small cache, so only the energy accounting differs.
+            const bool rfcHit = config_.arch == Architecture::RFC &&
+                rfcs_[slot.warp].readHit(r);
+            rf_.pushRead(slot.warp, r, ci, rfcHit);
+        }
+    }
+}
+
+bool
+SmCore::tryDispatch(InstSlot &slot)
+{
+    const Instruction &inst = kernelOf(slot.warp).inst(slot.idx);
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+
+    if (info.isLoad && outstandingLoads_ >= config_.maxPendingLoads)
+        return false;
+    if (!units_.canDispatch(info.unit))
+        return false;
+
+    Warp &warp = warps_[slot.warp];
+    if (inst.isMemory() && slot.memIndex != warp.memDispatched)
+        return false;
+    const ExecEffect fx = evaluate(kernelOf(slot.warp), slot.idx,
+                                   warp.regs,
+                                   slot.warp,
+                                   static_cast<unsigned>(warps_.size()),
+                                   memStore_);
+    if (fx.wrote)
+        warp.regs[inst.dst] = fx.result;
+
+    units_.dispatch(info.unit);
+    scoreboard_.releaseReads(slot.warp, inst);
+    if (inst.isMemory())
+        ++warp.memDispatched;
+    if (info.isLoad) {
+        ++outstandingLoads_;
+        ++warp.pendingLoads;
+    }
+
+    unsigned latency = units_.latency(inst.op);
+    if (inst.isMemory() && fx.guardPassed) {
+        latency += memTiming_.access(fx.space, fx.addr,
+                                     info.isStore);
+    }
+
+    Completion c;
+    c.warp = slot.warp;
+    c.idx = slot.idx;
+    c.seq = slot.seq;
+    c.fx = fx;
+    c.issueCycle = slot.issueCycle;
+    c.readyCycle = slot.readyCycle == kNoCycle ? now_
+                                               : slot.readyCycle;
+    c.dispatchCycle = now_;
+    completions_[now_ + std::max(1u, latency)].push_back(c);
+
+    slot = InstSlot{};
+    return true;
+}
+
+void
+SmCore::dispatchPhase()
+{
+    if (usesBoc()) {
+        for (Warp &warp : warps_) {
+            if (warp.state == WarpState::Inactive ||
+                warp.state == WarpState::Finished) {
+                continue;
+            }
+            // Oldest-first dispatch within the warp.
+            std::vector<InstSlot *> ready;
+            for (InstSlot &slot : warpSlots_[warp.id]) {
+                if (slot.ready())
+                    ready.push_back(&slot);
+            }
+            std::sort(ready.begin(), ready.end(),
+                      [](const InstSlot *a, const InstSlot *b) {
+                          return a->seq < b->seq;
+                      });
+            for (InstSlot *slot : ready)
+                tryDispatch(*slot);
+        }
+    } else {
+        for (InstSlot &slot : sharedSlots_) {
+            if (slot.ready())
+                tryDispatch(slot);
+        }
+    }
+}
+
+bool
+SmCore::tryIssue(WarpId w)
+{
+    Warp &warp = warps_[w];
+    if (!warp.canIssue())
+        return false;
+    const Instruction &inst = kernelOf(w).inst(warp.pc);
+    if (!scoreboard_.canIssue(w, inst))
+        return false;
+
+    InstSlot *slot = nullptr;
+    if (usesBoc()) {
+        for (InstSlot &s : warpSlots_[w]) {
+            if (!s.inUse) {
+                slot = &s;
+                break;
+            }
+        }
+    } else {
+        for (InstSlot &s : sharedSlots_) {
+            if (!s.inUse) {
+                slot = &s;
+                break;
+            }
+        }
+    }
+    if (!slot)
+        return false;
+
+    scoreboard_.reserve(w, inst);
+    slot->inUse = true;
+    slot->warp = w;
+    slot->idx = warp.pc;
+    slot->seq = warp.nextSeq++;
+    slot->issueCycle = now_;
+    slot->toRequest.clear();
+    slot->awaiting.clear();
+    slot->outstanding = 0;
+    slot->readyCycle = kNoCycle;
+    if (inst.isMemory())
+        slot->memIndex = warp.memIssued++;
+
+    const auto srcs = inst.uniqueSrcRegs();
+    ++stats_.srcOperandHist[std::min<std::size_t>(srcs.size(), 3)];
+
+    if (usesBoc()) {
+        auto res = bocs_[w]->insert(slot->seq, srcs);
+        stats_.bocForwards += res.forwarded;
+        slot->toRequest = std::move(res.toFetch);
+        slot->awaiting = std::move(res.sharedFetch);
+        for (const BocEviction &ev : res.evictions)
+            handleEviction(w, ev);
+    } else {
+        slot->toRequest = srcs;
+    }
+
+    if (slot->ready())
+        slot->readyCycle = now_;
+
+    if (inst.isBranch()) {
+        warp.waitingBranch = true;
+    } else if (inst.endsWarp()) {
+        warp.state = WarpState::Draining;
+    } else {
+        ++warp.pc;
+    }
+    ++warp.inFlight;
+    warp.lastIssue = now_;
+    return true;
+}
+
+void
+SmCore::issuePhase()
+{
+    for (unsigned sid = 0; sid < config_.numSchedulers; ++sid) {
+        unsigned issued = 0;
+        const auto order = schedulers_.pickOrder(sid, warps_);
+        for (WarpId w : order) {
+            while (issued < config_.issuePerScheduler && tryIssue(w)) {
+                schedulers_.noteIssue(sid, w);
+                ++issued;
+            }
+            if (issued >= config_.issuePerScheduler)
+                break;
+        }
+    }
+}
+
+void
+SmCore::samplePhase()
+{
+    if (!usesBoc())
+        return;
+    for (const Warp &warp : warps_) {
+        if (warp.state != WarpState::Active &&
+            warp.state != WarpState::Draining) {
+            continue;
+        }
+        const unsigned occ = bocs_[warp.id]->occupied();
+        const std::size_t bucket = std::min<std::size_t>(
+            occ, stats_.bocOccupancyHist.size() - 1);
+        ++stats_.bocOccupancyHist[bucket];
+    }
+}
+
+void
+SmCore::cycle()
+{
+    units_.newCycle();
+    for (const RfRequest &req : rf_.tick())
+        handleRfServed(req);
+    processCompletions();
+    collectPhase();
+    dispatchPhase();
+    issuePhase();
+    samplePhase();
+    ++now_;
+}
+
+bool
+SmCore::finished() const
+{
+    return finishedWarps_ == warps_.size() && completions_.empty() &&
+        rf_.pending() == 0;
+}
+
+RunStats
+SmCore::run()
+{
+    if (ran_)
+        panic("SmCore::run: already ran");
+    ran_ = true;
+
+    while (!finished()) {
+        if (config_.maxCycles && now_ >= config_.maxCycles) {
+            fatal(strf("SmCore: kernel '",
+                       kernelOf(0).name(),
+                       "' exceeded ", config_.maxCycles,
+                       " cycles (deadlock or runaway kernel)"));
+        }
+        cycle();
+    }
+
+    stats_.cycles = now_;
+    stats_.bankReadConflicts = rf_.stats().counterValue(
+        "read_conflicts");
+    stats_.bankWriteConflicts = rf_.stats().counterValue(
+        "write_conflicts");
+    stats_.l1Hits = memTiming_.stats().counterValue("l1_hits");
+    stats_.l1Misses = memTiming_.stats().counterValue("l1_misses");
+    return stats_;
+}
+
+const std::vector<RegFileState> &
+SmCore::finalRegs() const
+{
+    if (!ran_)
+        panic("SmCore::finalRegs before run()");
+    return finalRegs_;
+}
+
+} // namespace bow

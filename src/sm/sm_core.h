@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The cycle-level streaming-multiprocessor model: warp schedulers,
+ * scoreboard, operand collection (baseline OCUs, BOW/BOW-WR BOCs, or
+ * the RFC baseline), banked register file, execution units and the
+ * write-back stage. One SmCore simulates one launch to completion on
+ * one SM, which is the scope of every experiment in the paper.
+ */
+
+#ifndef BOWSIM_SM_SM_CORE_H
+#define BOWSIM_SM_SM_CORE_H
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sm/boc.h"
+#include "sm/exec_unit.h"
+#include "sm/functional.h"
+#include "sm/memory_model.h"
+#include "sm/register_file.h"
+#include "sm/rfc.h"
+#include "sm/scheduler.h"
+#include "sm/scoreboard.h"
+#include "sm/sim_config.h"
+#include "sm/warp.h"
+
+namespace bow {
+
+/** Aggregate results of one timing simulation. */
+struct RunStats
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles
+            ? static_cast<double>(instructions) /
+              static_cast<double>(cycles)
+            : 0.0;
+    }
+
+    // Operand-collection residency (paper Fig. 4 and Fig. 12).
+    std::uint64_t ocCyclesMem = 0;
+    std::uint64_t ocCyclesNonMem = 0;
+    std::uint64_t totalCyclesMem = 0;
+    std::uint64_t totalCyclesNonMem = 0;
+    std::uint64_t instsMem = 0;
+    std::uint64_t instsNonMem = 0;
+
+    /** Total cycles spent in the operand-collection stage. */
+    std::uint64_t
+    ocCyclesTotal() const
+    {
+        return ocCyclesMem + ocCyclesNonMem;
+    }
+
+    // Register-file / BOC / RFC access counts (energy inputs).
+    std::uint64_t rfReads = 0;
+    std::uint64_t rfWrites = 0;
+    std::uint64_t bocForwards = 0;      ///< operands forwarded (reads
+                                        ///< bypassed)
+    std::uint64_t bocDeposits = 0;      ///< fetched operands deposited
+    std::uint64_t bocResultWrites = 0;  ///< results written to a BOC
+    std::uint64_t rfcReads = 0;
+    std::uint64_t rfcWrites = 0;
+
+    // Write-bypassing outcomes.
+    std::uint64_t consolidatedWrites = 0; ///< dirty value superseded
+    std::uint64_t transientDrops = 0;     ///< compiler-tagged value
+                                          ///< expired without RF write
+    std::uint64_t safetyWrites = 0;       ///< forced early write-backs
+
+    // Dynamic write-destination distribution (paper Fig. 7).
+    std::uint64_t destRfOnly = 0;
+    std::uint64_t destBocOnly = 0;
+    std::uint64_t destBocAndRf = 0;
+
+    // Occupancy histograms.
+    std::vector<std::uint64_t> srcOperandHist;   ///< Fig. 8 (0..3)
+    std::vector<std::uint64_t> bocOccupancyHist; ///< Fig. 9 (0..cap)
+
+    // Bank contention.
+    std::uint64_t bankReadConflicts = 0;
+    std::uint64_t bankWriteConflicts = 0;
+
+    // Memory system.
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+};
+
+/** One in-flight instruction occupying a collector slot. */
+struct InstSlot
+{
+    bool inUse = false;
+    WarpId warp = 0;
+    InstIdx idx = 0;
+    SeqNum seq = 0;
+    Cycle issueCycle = 0;
+    /** Register reads not yet sent to the RF (this slot's fetches). */
+    std::vector<RegId> toRequest;
+    /** Register reads in flight (own or shared), awaiting arrival. */
+    std::vector<RegId> awaiting;
+    /** RF reads in flight on this slot's own port(s) (baseline). */
+    std::uint8_t outstanding = 0;
+    /** Program-order index among the warp's memory instructions. */
+    std::uint32_t memIndex = 0;
+    /** Cycle all source operands became available (kNoCycle until
+     *  then); OC residency (Fig. 4/12) = readyCycle - issueCycle. */
+    Cycle readyCycle = kNoCycle;
+
+    bool
+    ready() const
+    {
+        return inUse && toRequest.empty() && awaiting.empty();
+    }
+};
+
+/** Cycle-level simulation of one kernel launch on one SM. */
+class SmCore
+{
+  public:
+    /**
+     * @param config Machine + architecture configuration (validated).
+     * @param launch The kernel launch to execute.
+     */
+    SmCore(const SimConfig &config, const Launch &launch);
+
+    /** Simulate to completion and return the aggregate statistics. */
+    RunStats run();
+
+    /** Architectural register state of every launch warp (after
+     *  run()); used by the correctness invariants. */
+    const std::vector<RegFileState> &finalRegs() const;
+
+    /** Functional memory contents (after run()). */
+    const MemoryStore &memory() const { return memStore_; }
+
+    const StatGroup &rfStats() const { return rf_.stats(); }
+    const StatGroup &memStats() const { return memTiming_.stats(); }
+
+  private:
+    /** A completed execution awaiting retire-side effects. */
+    struct Completion
+    {
+        WarpId warp = 0;
+        InstIdx idx = 0;
+        SeqNum seq = 0;
+        ExecEffect fx;
+        Cycle issueCycle = 0;
+        Cycle readyCycle = 0;
+        Cycle dispatchCycle = 0;
+    };
+
+    bool usesBoc() const;
+    Warp &warpAt(WarpId w) { return warps_[w]; }
+
+    const Kernel &
+    kernelOf(WarpId w) const
+    {
+        return launch_->kernelOf(w);
+    }
+
+    void activateWarp(WarpId w);
+    void finishWarp(Warp &warp);
+    void handleEviction(WarpId w, const BocEviction &ev);
+
+    void handleRfServed(const RfRequest &req);
+    void processCompletions();
+    void collectPhase();
+    void dispatchPhase();
+    bool tryDispatch(InstSlot &slot);
+    void issuePhase();
+    bool tryIssue(WarpId w);
+    void samplePhase();
+    void cycle();
+    bool finished() const;
+
+    SimConfig config_;
+    const Launch *launch_;
+
+    std::vector<Warp> warps_;
+    Scoreboard scoreboard_;
+    RegisterFile rf_;
+    MemoryStore memStore_;
+    MemoryTiming memTiming_;
+    ExecUnits units_;
+    WarpSchedulers schedulers_;
+
+    /** Shared collector slots (baseline / RFC). */
+    std::vector<InstSlot> sharedSlots_;
+    /** Per-warp collector slots (BOW family; windowSize each). */
+    std::vector<std::vector<InstSlot>> warpSlots_;
+    std::vector<std::optional<Boc>> bocs_;
+    std::vector<std::uint8_t> bocFetchOutstanding_;
+    std::vector<Rfc> rfcs_;
+
+    std::map<Cycle, std::vector<Completion>> completions_;
+    unsigned outstandingLoads_ = 0;
+    unsigned residentWarps_ = 0;
+    WarpId nextToActivate_ = 0;
+    unsigned finishedWarps_ = 0;
+    Cycle now_ = 0;
+
+    std::vector<RegFileState> finalRegs_;
+    RunStats stats_;
+    bool ran_ = false;
+
+    /** Collector-id encoding: BOW reads carry the warp id + flag. */
+    static constexpr std::uint32_t kBocFlag = 0x80000000u;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_SM_CORE_H

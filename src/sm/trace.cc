@@ -1,0 +1,156 @@
+#include "sm/trace.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+
+namespace bow {
+
+namespace {
+
+bool
+startsWithWarpHeader(const std::string &line, unsigned &warpId)
+{
+    std::istringstream is(line);
+    std::string word;
+    if (!(is >> word) || word != "warp")
+        return false;
+    long id = -1;
+    if (!(is >> id) || id < 0 || id > 0xFFFF)
+        fatal(strf("trace: malformed warp header '", line, "'"));
+    std::string extra;
+    if (is >> extra)
+        fatal(strf("trace: trailing text after warp header '", line,
+                   "'"));
+    warpId = static_cast<unsigned>(id);
+    return true;
+}
+
+std::string
+stripComment(std::string line)
+{
+    for (const char *marker : {"//", "#"}) {
+        const std::size_t c = line.find(marker);
+        if (c != std::string::npos)
+            line = line.substr(0, c);
+    }
+    return line;
+}
+
+bool
+isBlank(const std::string &s)
+{
+    for (char c : s) {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Launch
+loadWarpTraces(const std::string &text, const std::string &name)
+{
+    // Split into warp sections.
+    std::vector<std::pair<unsigned, std::string>> sections;
+    std::istringstream is(text);
+    std::string line;
+    bool inSection = false;
+    while (std::getline(is, line)) {
+        const std::string bare = stripComment(line);
+        unsigned warpId = 0;
+        if (startsWithWarpHeader(bare, warpId)) {
+            sections.push_back({warpId, ""});
+            inSection = true;
+            continue;
+        }
+        if (isBlank(bare))
+            continue;
+        if (!inSection)
+            fatal(strf("trace '", name,
+                       "': statements before the first warp header"));
+        sections.back().second += bare + "\n";
+    }
+    if (sections.empty())
+        fatal(strf("trace '", name, "': no warp sections"));
+
+    unsigned maxWarp = 0;
+    for (const auto &[id, body] : sections)
+        maxWarp = std::max(maxWarp, id);
+
+    Launch launch;
+    launch.numWarps = maxWarp + 1;
+    launch.warpKernels.resize(launch.numWarps);
+
+    std::vector<bool> seen(launch.numWarps, false);
+    for (auto &[id, body] : sections) {
+        if (seen[id])
+            fatal(strf("trace '", name, "': duplicate section for "
+                       "warp ", id));
+        seen[id] = true;
+        // Dynamic traces are straight-line: labels or branches mean
+        // the producer exported static code by mistake.
+        if (body.find(':') != std::string::npos)
+            fatal(strf("trace '", name, "': warp ", id,
+                       " contains a label; traces must be "
+                       "straight-line"));
+        std::string code = body;
+        if (code.find("exit") == std::string::npos)
+            code += "exit;\n";
+        Kernel k = assemble(code, strf(name, ".warp", id));
+        for (InstIdx i = 0; i < k.size(); ++i) {
+            if (k.inst(i).isBranch())
+                fatal(strf("trace '", name, "': warp ", id,
+                           " contains a branch; traces must be "
+                           "straight-line"));
+        }
+        launch.warpKernels[id] = std::move(k);
+    }
+    for (unsigned w = 0; w < launch.numWarps; ++w) {
+        if (!seen[w])
+            fatal(strf("trace '", name, "': missing section for "
+                       "warp ", w));
+    }
+    launch.kernel = launch.warpKernels[0];
+    return launch;
+}
+
+Launch
+loadWarpTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strf("trace: cannot open '", path, "'"));
+    std::ostringstream text;
+    text << in.rdbuf();
+    return loadWarpTraces(text.str(), path);
+}
+
+std::string
+dumpWarpTraces(const Launch &launch, std::uint64_t maxPerWarp)
+{
+    const FunctionalResult fn =
+        runFunctional(launch, maxPerWarp, /*recordTraces=*/true);
+
+    std::ostringstream os;
+    os << "# bowsim warp trace (dynamic streams, control flow "
+          "unrolled)\n";
+    for (WarpId w = 0; w < launch.numWarps; ++w) {
+        os << "warp " << w << "\n";
+        const Kernel &kernel = launch.kernelOf(w);
+        for (const DynInst &dyn : fn.traces[w].insts) {
+            const Instruction &inst = kernel.inst(dyn.idx);
+            if (inst.isBranch())
+                continue;   // already resolved in the stream
+            os << disassemble(inst) << ";\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace bow

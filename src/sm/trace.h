@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Trace-driven front end: load per-warp dynamic instruction traces
+ * (Accel-Sim style, rendered in bowsim assembly) and replay them
+ * through the timing model, or export a launch's dynamic streams as
+ * such a trace.
+ *
+ * Trace format — sections per warp, straight-line code (branches are
+ * already resolved in a dynamic trace and are rejected):
+ *
+ *     # comment
+ *     warp 0
+ *     mov $r1, 0x10;
+ *     ld.global $r2, [$r1+0x40];
+ *     add $r1, $r1, $r2;
+ *     exit;            # optional; appended when missing
+ *     warp 1
+ *     ...
+ *
+ * Every warp id in [0, maxWarp] must have a section. Replaying the
+ * export of a launch reproduces that launch's architectural results
+ * warp for warp (control flow is unrolled; see dumpWarpTraces).
+ */
+
+#ifndef BOWSIM_SM_TRACE_H
+#define BOWSIM_SM_TRACE_H
+
+#include <string>
+
+#include "sm/functional.h"
+
+namespace bow {
+
+/**
+ * Parse trace @p text into a per-warp-kernel Launch.
+ *
+ * @param text Trace text in the format above.
+ * @param name Diagnostic name for the trace.
+ * @throws FatalError on malformed sections, branches/labels inside a
+ *         section, or missing warp ids.
+ */
+Launch loadWarpTraces(const std::string &text,
+                      const std::string &name = "trace");
+
+/** Read @p path and loadWarpTraces() its contents. */
+Launch loadWarpTraceFile(const std::string &path);
+
+/**
+ * Render the dynamic instruction streams of @p launch as a trace.
+ *
+ * Control-flow instructions (bra) are dropped — the stream is already
+ * unrolled — and a final `exit` is kept per warp, so the result
+ * replays to the same architectural register and memory state.
+ *
+ * @param launch     The launch to trace.
+ * @param maxPerWarp Per-warp dynamic instruction budget.
+ */
+std::string dumpWarpTraces(const Launch &launch,
+                           std::uint64_t maxPerWarp = 4'000'000);
+
+} // namespace bow
+
+#endif // BOWSIM_SM_TRACE_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-warp hardware state tracked by the SM timing model.
+ */
+
+#ifndef BOWSIM_SM_WARP_H
+#define BOWSIM_SM_WARP_H
+
+#include "common/types.h"
+#include "sm/semantics.h"
+
+namespace bow {
+
+/** Lifecycle of a warp slot. */
+enum class WarpState
+{
+    Inactive,   ///< slot empty (warp not yet launched)
+    Active,     ///< fetching/issuing instructions
+    Draining,   ///< exit issued; waiting for in-flight to complete
+    Finished    ///< all done
+};
+
+/** One hardware warp context. */
+struct Warp
+{
+    WarpId id = 0;
+    WarpState state = WarpState::Inactive;
+    InstIdx pc = 0;
+    RegFileState regs{};
+
+    /** Issue is stalled until an in-flight branch resolves. */
+    bool waitingBranch = false;
+
+    /** Number of instructions issued so far (the BOC window seq). */
+    SeqNum nextSeq = 0;
+
+    /** In-flight (issued, not yet completed) instruction count. */
+    unsigned inFlight = 0;
+
+    /** Cycle this warp last issued (GTO greediness/oldest order). */
+    Cycle lastIssue = 0;
+
+    /** Cycle the warp was activated (age for GTO's "oldest"). */
+    Cycle activated = 0;
+
+    /**
+     * Per-warp memory ordering: memory instructions dispatch to the
+     * LSU in program order (loads must observe older same-warp
+     * stores even without register dependences).
+     */
+    std::uint32_t memIssued = 0;
+    std::uint32_t memDispatched = 0;
+
+    /** Loads in flight (two-level scheduling demotes such warps). */
+    std::uint32_t pendingLoads = 0;
+
+    bool
+    canIssue() const
+    {
+        return state == WarpState::Active && !waitingBranch;
+    }
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_WARP_H

@@ -1,0 +1,212 @@
+#include "workloads/builder.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+KernelBuilder::KernelBuilder(std::string name)
+    : kernel_(std::move(name))
+{
+}
+
+KernelBuilder::Label
+KernelBuilder::newLabel()
+{
+    labelTargets_.push_back(kNoInst);
+    return Label{static_cast<unsigned>(labelTargets_.size() - 1)};
+}
+
+void
+KernelBuilder::bind(Label label)
+{
+    if (label.id >= labelTargets_.size())
+        panic("KernelBuilder::bind: unknown label");
+    if (labelTargets_[label.id] != kNoInst)
+        panic("KernelBuilder::bind: label bound twice");
+    labelTargets_[label.id] = static_cast<InstIdx>(kernel_.size());
+}
+
+InstIdx
+KernelBuilder::emit(Instruction inst)
+{
+    return kernel_.add(std::move(inst));
+}
+
+InstIdx
+KernelBuilder::movImm(RegId d, std::uint32_t imm)
+{
+    Instruction i;
+    i.op = Opcode::MOV;
+    i.dst = d;
+    i.addSrc(Operand::makeImm(imm));
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::movReg(RegId d, RegId s)
+{
+    Instruction i;
+    i.op = Opcode::MOV;
+    i.dst = d;
+    i.addSrc(Operand::makeReg(s));
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::movSpecial(RegId d, SpecialReg s)
+{
+    Instruction i;
+    i.op = Opcode::MOV;
+    i.dst = d;
+    i.addSrc(Operand::makeSpecial(s));
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::alu1(Opcode op, RegId d, RegId a)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d;
+    i.addSrc(Operand::makeReg(a));
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::alu2(Opcode op, RegId d, RegId a, RegId b)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d;
+    i.addSrc(Operand::makeReg(a));
+    i.addSrc(Operand::makeReg(b));
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::alu2Imm(Opcode op, RegId d, RegId a, std::uint32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d;
+    i.addSrc(Operand::makeReg(a));
+    i.addSrc(Operand::makeImm(imm));
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::mad(RegId d, RegId a, RegId b, RegId c)
+{
+    Instruction i;
+    i.op = Opcode::MAD;
+    i.dst = d;
+    i.addSrc(Operand::makeReg(a));
+    i.addSrc(Operand::makeReg(b));
+    i.addSrc(Operand::makeReg(c));
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::load(Opcode op, RegId d, RegId addr, std::int32_t off)
+{
+    if (!opcodeInfo(op).isLoad)
+        panic("KernelBuilder::load: not a load opcode");
+    Instruction i;
+    i.op = op;
+    i.dst = d;
+    i.addSrc(Operand::makeReg(addr));
+    i.memOffset = off;
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::store(Opcode op, RegId addr, std::int32_t off, RegId data)
+{
+    if (!opcodeInfo(op).isStore)
+        panic("KernelBuilder::store: not a store opcode");
+    Instruction i;
+    i.op = op;
+    i.addSrc(Operand::makeReg(addr));
+    i.addSrc(Operand::makeReg(data));
+    i.memOffset = off;
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::setp(CondCode cc, RegId pd, RegId a, RegId b)
+{
+    Instruction i;
+    i.op = Opcode::SETP;
+    i.cc = cc;
+    i.dst = pd;
+    i.addSrc(Operand::makeReg(a));
+    i.addSrc(Operand::makeReg(b));
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::setpImm(CondCode cc, RegId pd, RegId a,
+                       std::uint32_t imm)
+{
+    Instruction i;
+    i.op = Opcode::SETP;
+    i.cc = cc;
+    i.dst = pd;
+    i.addSrc(Operand::makeReg(a));
+    i.addSrc(Operand::makeImm(imm));
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::bra(Label target, RegId pred, bool negate)
+{
+    if (target.id >= labelTargets_.size())
+        panic("KernelBuilder::bra: unknown label");
+    Instruction i;
+    i.op = Opcode::BRA;
+    i.pred = pred;
+    i.predNegate = negate;
+    const InstIdx idx = emit(i);
+    fixups_.push_back({idx, target.id});
+    return idx;
+}
+
+InstIdx
+KernelBuilder::nop()
+{
+    Instruction i;
+    i.op = Opcode::NOP;
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::barSync()
+{
+    Instruction i;
+    i.op = Opcode::BAR;
+    return emit(i);
+}
+
+InstIdx
+KernelBuilder::exit()
+{
+    Instruction i;
+    i.op = Opcode::EXIT;
+    return emit(i);
+}
+
+Kernel
+KernelBuilder::build()
+{
+    for (const auto &[idx, label] : fixups_) {
+        if (labelTargets_[label] == kNoInst)
+            panic(strf("KernelBuilder: label ", label,
+                       " never bound in kernel '", kernel_.name(),
+                       "'"));
+        kernel_.inst(idx).branchTarget = labelTargets_[label];
+    }
+    kernel_.finalize();
+    return std::move(kernel_);
+}
+
+} // namespace bow

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Programmatic kernel construction with forward-referencing labels;
+ * the workload generators and hand-written test kernels use this
+ * instead of assembling text.
+ */
+
+#ifndef BOWSIM_WORKLOADS_BUILDER_H
+#define BOWSIM_WORKLOADS_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "isa/kernel.h"
+
+namespace bow {
+
+/** Fluent builder for Kernel objects. */
+class KernelBuilder
+{
+  public:
+    /** Opaque branch-target handle. */
+    struct Label
+    {
+        unsigned id = 0;
+    };
+
+    explicit KernelBuilder(std::string name);
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    // --- emission helpers (all return the instruction index) ---
+    InstIdx movImm(RegId d, std::uint32_t imm);
+    InstIdx movReg(RegId d, RegId s);
+    InstIdx movSpecial(RegId d, SpecialReg s);
+    InstIdx alu1(Opcode op, RegId d, RegId a);
+    InstIdx alu2(Opcode op, RegId d, RegId a, RegId b);
+    InstIdx alu2Imm(Opcode op, RegId d, RegId a, std::uint32_t imm);
+    InstIdx mad(RegId d, RegId a, RegId b, RegId c);
+    InstIdx load(Opcode op, RegId d, RegId addr, std::int32_t off = 0);
+    InstIdx store(Opcode op, RegId addr, std::int32_t off, RegId data);
+    InstIdx setp(CondCode cc, RegId pd, RegId a, RegId b);
+    InstIdx setpImm(CondCode cc, RegId pd, RegId a, std::uint32_t imm);
+    InstIdx bra(Label target, RegId pred = kNoReg,
+                bool negate = false);
+    InstIdx nop();
+    InstIdx barSync();
+    InstIdx exit();
+
+    /** Append an arbitrary pre-built instruction. */
+    InstIdx emit(Instruction inst);
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return kernel_.size(); }
+
+    /** Resolve labels, finalize, and return the kernel. */
+    Kernel build();
+
+  private:
+    Kernel kernel_;
+    std::vector<InstIdx> labelTargets_;     ///< kNoInst when unbound
+    std::vector<std::pair<InstIdx, unsigned>> fixups_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_WORKLOADS_BUILDER_H

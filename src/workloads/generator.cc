@@ -1,0 +1,468 @@
+#include "workloads/generator.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "workloads/builder.h"
+
+namespace bow {
+
+namespace {
+
+// Fixed register roles (see generator design in DESIGN.md).
+constexpr RegId kBaseA = 0;     ///< primary global base address
+constexpr RegId kCounter = 1;   ///< loop induction variable
+constexpr RegId kLimit = 2;     ///< loop bound
+constexpr RegId kStride = 3;    ///< stride constant
+constexpr RegId kAccum = 4;     ///< long-lived accumulator
+constexpr RegId kBaseB = 5;     ///< secondary base address
+constexpr RegId kWarpOff = 6;   ///< per-warp address offset
+constexpr RegId kConst = 7;     ///< misc constant
+constexpr RegId kPoolBase = 8;  ///< first working-pool register
+
+const RegId kLoopPred = predReg(0);
+const RegId kBodyPred = predReg(1);
+
+/**
+ * Consumption scheduler. When the generator produces a value it
+ * draws the value's *fate* — transient (read once or twice nearby),
+ * near+far (read nearby and again beyond any window), or far-only
+ * (first read beyond any window) — mirroring the paper's Fig. 7
+ * classes, and schedules read obligations at the corresponding
+ * instruction distances. Source operands then satisfy due
+ * obligations, which gives the generated code the window-sensitive
+ * read/write reuse structure real compiled kernels exhibit.
+ */
+class ConsumePlan
+{
+  public:
+    struct Obligation
+    {
+        RegId reg;
+        std::uint64_t due;  ///< body-instruction index it matures at
+    };
+
+    /** Schedule a read of @p reg at time @p due. */
+    void
+    schedule(RegId reg, std::uint64_t due)
+    {
+        obligations_.push_back({reg, due});
+    }
+
+    /** Drop every obligation on @p reg (the value was killed). */
+    void
+    kill(RegId reg)
+    {
+        for (std::size_t i = 0; i < obligations_.size();) {
+            if (obligations_[i].reg == reg) {
+                obligations_[i] = obligations_.back();
+                obligations_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    /** True when @p reg still has scheduled readers. */
+    bool
+    pending(RegId reg) const
+    {
+        for (const auto &o : obligations_) {
+            if (o.reg == reg)
+                return true;
+        }
+        return false;
+    }
+
+    /** Number of obligations due at time @p now. */
+    unsigned
+    dueCount(std::uint64_t now) const
+    {
+        unsigned n = 0;
+        for (const auto &o : obligations_) {
+            if (o.due <= now)
+                ++n;
+        }
+        return n;
+    }
+
+    /**
+     * Pop the most overdue obligation at time @p now, if any is due.
+     */
+    std::optional<RegId>
+    popDue(std::uint64_t now)
+    {
+        std::size_t best = obligations_.size();
+        for (std::size_t i = 0; i < obligations_.size(); ++i) {
+            if (obligations_[i].due <= now &&
+                (best == obligations_.size() ||
+                 obligations_[i].due < obligations_[best].due)) {
+                best = i;
+            }
+        }
+        if (best == obligations_.size())
+            return std::nullopt;
+        const RegId reg = obligations_[best].reg;
+        obligations_[best] = obligations_.back();
+        obligations_.pop_back();
+        return reg;
+    }
+
+  private:
+    std::vector<Obligation> obligations_;
+};
+
+/** Stateful body generator for one workload. */
+class BodyGen
+{
+  public:
+    BodyGen(const WorkloadProfile &p, KernelBuilder &kb, Rng &rng)
+        : p_(p), kb_(kb), rng_(rng)
+    {
+    }
+
+    RegId
+    pickSrc()
+    {
+        // Satisfy a due consumption obligation first: that read is
+        // what the value's fate scheduled.
+        if (auto due = plan_.popDue(now()))
+            return *due;
+        const double x = rng_.uniform();
+        if (x >= p_.pPersistentSrc && !lastWritten_.empty()) {
+            // An extra near read of a fresh value.
+            return lastWritten_[rng_.below(std::min<std::size_t>(
+                lastWritten_.size(), 3))];
+        }
+        // Long-lived persistent registers.
+        static const RegId persistent[] = {kBaseA, kStride, kAccum,
+                                           kBaseB, kWarpOff, kConst};
+        return persistent[rng_.below(std::size(persistent))];
+    }
+
+    RegId
+    pickDest()
+    {
+        const RegId d = allocDest();
+        scheduleFate(d);
+        return d;
+    }
+
+    /**
+     * Destination for an emitter-internal temporary (address
+     * computations): the emitter itself consumes it on the next
+     * instruction, so no fate is scheduled.
+     */
+    RegId
+    pickDestInternal()
+    {
+        return allocDest();
+    }
+
+    /** Allocate a destination register, avoiding values with
+     *  scheduled readers. */
+    RegId
+    allocDest()
+    {
+        RegId d = kNoReg;
+        for (unsigned tries = 0; tries < p_.workingRegs; ++tries) {
+            const RegId cand = static_cast<RegId>(
+                kPoolBase + (rotor_++ % p_.workingRegs));
+            if (!plan_.pending(cand)) {
+                d = cand;
+                break;
+            }
+        }
+        if (d == kNoReg) {
+            d = static_cast<RegId>(kPoolBase +
+                                   (rotor_++ % p_.workingRegs));
+            plan_.kill(d);
+        }
+        lastWritten_.push_front(d);
+        if (lastWritten_.size() > 4)
+            lastWritten_.pop_back();
+        return d;
+    }
+
+    /** Draw the new value's consumer fate and schedule its reads. */
+    void
+    scheduleFate(RegId d)
+    {
+        const std::uint64_t t = now();
+        const double wT = p_.fateTransient;
+        const double wNF = p_.fateNearFar;
+        const double wFO = p_.fateFarOnly;
+        const double total = wT + wNF + wFO;
+        double x = rng_.uniform() * (total > 0 ? total : 1.0);
+
+        // Near the body end there is no room for a far read; those
+        // fates degrade to transient.
+        const bool farFits = t + p_.farMinDist + 2 < bodyEnd_;
+
+        auto near_dist = [&]() -> std::uint64_t {
+            // Most near consumers read the value on the very next
+            // instruction (incrementally computed chains).
+            if (rng_.chance(0.7))
+                return 1;
+            return 1 + rng_.below(std::max(1u, p_.nearMaxDist));
+        };
+        auto far_dist = [&] {
+            const unsigned span = std::max(
+                1u, p_.farMaxDist - p_.farMinDist + 1);
+            return p_.farMinDist + rng_.below(span);
+        };
+
+        if (x < wT || !farFits) {
+            const std::uint64_t first = t + near_dist();
+            plan_.schedule(d, first);
+            if (rng_.chance(0.25))
+                plan_.schedule(d, first + 1 + rng_.below(2));
+        } else if (x < wT + wNF) {
+            plan_.schedule(d, t + near_dist());
+            plan_.schedule(d, t + far_dist());
+        } else {
+            plan_.schedule(d, t + far_dist());
+        }
+    }
+
+    void
+    emitLoad()
+    {
+        const Opcode op = rng_.chance(0.15) ? Opcode::LD_SHARED
+                                            : Opcode::LD_GLOBAL;
+        const RegId base = rng_.chance(0.5) ? kBaseA : kBaseB;
+        if (op == Opcode::LD_GLOBAL && rng_.chance(p_.pIndirect)) {
+            // Data-dependent address: mask a recent value into range
+            // and add the base (natural short dependence chains).
+            const RegId masked = pickDestInternal();
+            kb_.alu2Imm(Opcode::AND, masked, pickSrc(),
+                        (p_.addrRange - 1) & ~3u);
+            const RegId addr = pickDestInternal();
+            kb_.alu2(Opcode::ADD, addr, masked, base);
+            kb_.load(op, pickDest(), addr, 0);
+        } else {
+            const auto off = static_cast<std::int32_t>(
+                rng_.below(p_.addrRange) & ~3u);
+            kb_.load(op, pickDest(), base, off);
+        }
+    }
+
+    void
+    emitStore()
+    {
+        const Opcode op = rng_.chance(0.15) ? Opcode::ST_SHARED
+                                            : Opcode::ST_GLOBAL;
+        const auto off = static_cast<std::int32_t>(
+            rng_.below(p_.addrRange) & ~3u);
+        kb_.store(op, rng_.chance(0.5) ? kBaseA : kBaseB, off,
+                  pickSrc());
+    }
+
+    void
+    emitAlu2()
+    {
+        static const Opcode ops[] = {Opcode::ADD, Opcode::SUB,
+                                     Opcode::MUL, Opcode::AND,
+                                     Opcode::OR,  Opcode::XOR,
+                                     Opcode::SHL, Opcode::SHR,
+                                     Opcode::MIN, Opcode::MAX};
+        const Opcode op = ops[rng_.below(std::size(ops))];
+        const RegId a = pickSrc();
+        const RegId b = pickSrc();
+        kb_.alu2(op, pickDest(), a, b);
+    }
+
+    void
+    emitAlu1()
+    {
+        static const Opcode ops[] = {Opcode::ABS, Opcode::NEG,
+                                     Opcode::MOV, Opcode::CVT};
+        const Opcode op = ops[rng_.below(std::size(ops))];
+        const RegId a = pickSrc();
+        kb_.alu1(op, pickDest(), a);
+    }
+
+    void
+    emitSfu()
+    {
+        static const Opcode ops[] = {Opcode::RCP, Opcode::SQRT,
+                                     Opcode::SIN, Opcode::LG2};
+        const Opcode op = ops[rng_.below(std::size(ops))];
+        const RegId a = pickSrc();
+        kb_.alu1(op, pickDest(), a);
+    }
+
+    void
+    emitMad()
+    {
+        const RegId a = pickSrc();
+        const RegId b = pickSrc();
+        const RegId c = pickSrc();
+        kb_.mad(pickDest(), a, b, c);
+    }
+
+    void
+    emitAccum()
+    {
+        // Long-lived accumulator update: kAccum is read far outside
+        // any window (persistent value).
+        kb_.alu2(Opcode::ADD, kAccum, kAccum, pickSrc());
+    }
+
+    /** Generate the whole loop body. */
+    void
+    generate()
+    {
+        bodyEnd_ = now() + p_.bodyLen;
+        unsigned sinceBranch = 0;
+        unsigned i = 0;
+        while (i < p_.bodyLen) {
+            if (p_.branchEvery && sinceBranch >= p_.branchEvery &&
+                i + p_.skipLen + 2 < p_.bodyLen) {
+                emitGuardedSkip();
+                sinceBranch = 0;
+                i += p_.skipLen + 2;
+                continue;
+            }
+            emitOne();
+            ++sinceBranch;
+            ++i;
+        }
+    }
+
+  private:
+    void
+    emitOne()
+    {
+        // Drain consumption backlog first: when several scheduled
+        // reads are due, emit a multi-source consumer so planned
+        // reuse distances stay tight (real code consumes values at
+        // the rate it produces them).
+        if (plan_.dueCount(now()) >= 2) {
+            if (p_.fMad > 0 && rng_.chance(0.08))
+                emitMad();
+            else
+                emitAlu2();
+            return;
+        }
+        const double x = rng_.uniform();
+        double acc = p_.fLoad;
+        if (x < acc) {
+            emitLoad();
+            return;
+        }
+        if (x < (acc += p_.fStore)) {
+            emitStore();
+            return;
+        }
+        if (x < (acc += p_.fMad)) {
+            emitMad();
+            return;
+        }
+        if (x < (acc += p_.fAlu1)) {
+            emitAlu1();
+            return;
+        }
+        if (x < (acc += p_.fSfu)) {
+            emitSfu();
+            return;
+        }
+        if (x < (acc += p_.fMovImm)) {
+            kb_.movImm(pickDest(),
+                       static_cast<std::uint32_t>(rng_.next()));
+            return;
+        }
+        if (rng_.chance(p_.pAccum)) {
+            emitAccum();
+            return;
+        }
+        emitAlu2();
+    }
+
+    void
+    emitGuardedSkip()
+    {
+        // Data-dependent skip over a short instruction run: taken
+        // when the (signed) value is negative, i.e. ~50% of draws.
+        kb_.setpImm(CondCode::LT, kBodyPred, pickSrc(), 0);
+        auto skip = kb_.newLabel();
+        kb_.bra(skip, kBodyPred, false);
+        for (unsigned k = 0; k < p_.skipLen; ++k)
+            emitOne();
+        kb_.bind(skip);
+    }
+
+    /** Generation time base: the next instruction's index. */
+    std::uint64_t now() const { return kb_.size(); }
+
+    const WorkloadProfile &p_;
+    KernelBuilder &kb_;
+    Rng &rng_;
+    ConsumePlan plan_;
+    std::deque<RegId> lastWritten_;
+    std::uint64_t bodyEnd_ = 0;
+    unsigned rotor_ = 0;
+};
+
+} // namespace
+
+Launch
+generateWorkload(const WorkloadProfile &profile, double scale)
+{
+    if (profile.workingRegs == 0 ||
+        kPoolBase + profile.workingRegs >= kPredRegBase) {
+        fatal(strf("workload '", profile.name,
+                   "': working-register pool out of range"));
+    }
+    if (profile.bodyLen == 0)
+        fatal(strf("workload '", profile.name, "': empty body"));
+
+    const auto iters = std::max<std::uint32_t>(
+        2, static_cast<std::uint32_t>(
+               static_cast<double>(profile.iterations) * scale));
+
+    Rng rng(profile.seed * 0x9E3779B97F4A7C15ull + 0x1234);
+    KernelBuilder kb(profile.name);
+
+    // Prologue: persistent registers and the working pool.
+    kb.movSpecial(kWarpOff, SpecialReg::WARP_ID);
+    kb.alu2Imm(Opcode::SHL, kWarpOff, kWarpOff, 18);
+    kb.movImm(kBaseA, 0x00100000u);
+    kb.alu2(Opcode::ADD, kBaseA, kBaseA, kWarpOff);
+    kb.movImm(kBaseB, 0x08000000u);
+    kb.alu2(Opcode::ADD, kBaseB, kBaseB, kWarpOff);
+    kb.movImm(kCounter, 0);
+    kb.movImm(kLimit, iters);
+    kb.movImm(kStride, profile.stride);
+    kb.movImm(kAccum, 0);
+    kb.movImm(kConst, 0x9E3779B9u);
+    for (unsigned w = 0; w < profile.workingRegs; ++w) {
+        kb.movImm(static_cast<RegId>(kPoolBase + w),
+                  static_cast<std::uint32_t>(rng.next()));
+    }
+
+    auto loop = kb.newLabel();
+    kb.bind(loop);
+
+    BodyGen body(profile, kb, rng);
+    body.generate();
+
+    // Loop epilogue.
+    kb.alu2Imm(Opcode::ADD, kCounter, kCounter, 1);
+    kb.setp(CondCode::LT, kLoopPred, kCounter, kLimit);
+    kb.bra(loop, kLoopPred, false);
+
+    // Publish the accumulator so memory comparison is meaningful.
+    kb.store(Opcode::ST_GLOBAL, kBaseA, 0, kAccum);
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = profile.numWarps;
+    return launch;
+}
+
+} // namespace bow

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Synthetic kernel generator: expands a WorkloadProfile into a
+ * deterministic Launch (kernel + environment). The same profile and
+ * scale always produce the identical kernel.
+ */
+
+#ifndef BOWSIM_WORKLOADS_GENERATOR_H
+#define BOWSIM_WORKLOADS_GENERATOR_H
+
+#include "sm/functional.h"
+#include "workloads/profiles.h"
+
+namespace bow {
+
+/**
+ * Generate the launch for @p profile.
+ *
+ * @param profile The benchmark parameters.
+ * @param scale   Multiplies the loop trip count (1.0 = the bench
+ *                harness size; tests use smaller scales). The
+ *                effective trip count is clamped to at least 2.
+ */
+Launch generateWorkload(const WorkloadProfile &profile,
+                        double scale = 1.0);
+
+} // namespace bow
+
+#endif // BOWSIM_WORKLOADS_GENERATOR_H

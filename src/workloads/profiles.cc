@@ -1,0 +1,321 @@
+#include "workloads/profiles.h"
+
+#include <cctype>
+
+#include "common/log.h"
+
+namespace bow {
+
+namespace {
+
+std::vector<WorkloadProfile>
+buildProfiles()
+{
+    std::vector<WorkloadProfile> all;
+
+    {   // LIBOR Monte Carlo: ALU/SFU-heavy path simulation with tight
+        // value chains.
+        WorkloadProfile p;
+        p.name = "LIB";
+        p.fateTransient = 0.49;
+        p.fateNearFar = 0.27;
+        p.fateFarOnly = 0.24;
+        p.suite = "ISPASS";
+        p.description = "LIBOR Monte Carlo";
+        p.bodyLen = 56;
+        p.iterations = 26;
+        p.fLoad = 0.06;
+        p.fStore = 0.02;
+        p.fMad = 0.035;
+        p.fSfu = 0.08;
+        p.seed = 101;
+        all.push_back(p);
+    }
+    {   // 3D Laplace solver: stencil loads + add chains, no 3-source
+        // instructions (Fig. 8).
+        WorkloadProfile p;
+        p.name = "LPS";
+        p.fateTransient = 0.49;
+        p.fateNearFar = 0.25;
+        p.fateFarOnly = 0.26;
+        p.suite = "ISPASS";
+        p.description = "3D Laplace solver";
+        p.bodyLen = 52;
+        p.fLoad = 0.14;
+        p.fStore = 0.05;
+        p.fMad = 0.000;
+        p.fSfu = 0.02;
+        p.stride = 512;
+        p.seed = 102;
+        all.push_back(p);
+    }
+    {   // StoreGPU: long multi-operand ALU stretches; the paper's
+        // highest operand-collection residency (Fig. 4).
+        WorkloadProfile p;
+        p.name = "STO";
+        p.fateTransient = 0.42;
+        p.fateNearFar = 0.28;
+        p.fateFarOnly = 0.30;
+        p.suite = "ISPASS";
+        p.description = "StoreGPU";
+        p.bodyLen = 64;
+        p.fLoad = 0.03;
+        p.fStore = 0.05;
+        p.fMad = 0.049;
+        p.fSfu = 0.0;
+        p.fAlu1 = 0.06;
+        p.fMovImm = 0.03;
+        p.seed = 103;
+        all.push_back(p);
+    }
+    {   // Weather prediction: wide working set, low operand reuse
+        // ("lower register usage and fewer reuse opportunities").
+        WorkloadProfile p;
+        p.name = "WP";
+        p.fateTransient = 0.24;
+        p.fateNearFar = 0.25;
+        p.fateFarOnly = 0.51;
+        p.nearMaxDist = 3;
+        p.farMaxDist = 18;
+        p.suite = "ISPASS";
+        p.description = "Weather prediction";
+        p.bodyLen = 60;
+        p.workingRegs = 28;
+        p.fLoad = 0.10;
+        p.fStore = 0.06;
+        p.fMad = 0.10;
+        p.fSfu = 0.06;
+        p.seed = 104;
+        all.push_back(p);
+    }
+    {   // Back-propagation: mad chains over layer data.
+        WorkloadProfile p;
+        p.name = "BACKPROP";
+        p.fateTransient = 0.44;
+        p.fateNearFar = 0.28;
+        p.fateFarOnly = 0.28;
+        p.suite = "Rodinia";
+        p.description = "Back-propagation NN training";
+        p.bodyLen = 48;
+        p.fLoad = 0.10;
+        p.fStore = 0.05;
+        p.fMad = 0.042;
+        p.seed = 105;
+        all.push_back(p);
+    }
+    {   // Breadth-first search: pointer chasing, branchy, small
+        // operand counts, no 3-source instructions.
+        WorkloadProfile p;
+        p.name = "BFS";
+        p.fateTransient = 0.39;
+        p.fateNearFar = 0.22;
+        p.fateFarOnly = 0.39;
+        p.suite = "Rodinia";
+        p.description = "Breadth-first search";
+        p.bodyLen = 40;
+        p.fLoad = 0.18;
+        p.fStore = 0.04;
+        p.fMad = 0.000;
+        p.fAlu1 = 0.14;
+        p.fMovImm = 0.10;
+        p.branchEvery = 8;
+        p.skipLen = 5;
+        p.pIndirect = 0.5;
+        p.seed = 106;
+        all.push_back(p);
+    }
+    {   // Braided B+ tree search: branchy key comparisons, no mads.
+        WorkloadProfile p;
+        p.name = "BTREE";
+        p.fateTransient = 0.44;
+        p.fateNearFar = 0.25;
+        p.fateFarOnly = 0.31;
+        p.suite = "Rodinia";
+        p.description = "Braided B+ tree";
+        p.bodyLen = 44;
+        p.fLoad = 0.16;
+        p.fStore = 0.03;
+        p.fMad = 0.000;
+        p.fAlu1 = 0.10;
+        p.fMovImm = 0.08;
+        p.branchEvery = 10;
+        p.skipLen = 4;
+        p.pIndirect = 0.45;
+        p.seed = 107;
+        all.push_back(p);
+    }
+    {   // Gaussian elimination: row updates (mad) with stores.
+        WorkloadProfile p;
+        p.name = "GAUSSIAN";
+        p.fateTransient = 0.46;
+        p.fateNearFar = 0.27;
+        p.fateFarOnly = 0.27;
+        p.suite = "Rodinia";
+        p.description = "Gaussian elimination";
+        p.bodyLen = 46;
+        p.fLoad = 0.12;
+        p.fStore = 0.08;
+        p.fMad = 0.035;
+        p.seed = 108;
+        all.push_back(p);
+    }
+    {   // MummerGPU: suffix-tree matching; loads + compares, lower
+        // reuse, branchy.
+        WorkloadProfile p;
+        p.name = "MUM";
+        p.fateTransient = 0.34;
+        p.fateNearFar = 0.25;
+        p.fateFarOnly = 0.41;
+        p.farMaxDist = 18;
+        p.suite = "Rodinia";
+        p.description = "MummerGPU sequence matching";
+        p.bodyLen = 48;
+        p.fLoad = 0.20;
+        p.fStore = 0.03;
+        p.fMad = 0.007;
+        p.branchEvery = 7;
+        p.skipLen = 4;
+        p.pIndirect = 0.55;
+        p.addrRange = 1u << 17;
+        p.seed = 109;
+        all.push_back(p);
+    }
+    {   // Needleman-Wunsch: DP wavefront; min/max chains with very
+        // tight reuse.
+        WorkloadProfile p;
+        p.name = "NW";
+        p.fateTransient = 0.52;
+        p.fateNearFar = 0.27;
+        p.fateFarOnly = 0.21;
+        p.suite = "Rodinia";
+        p.description = "Needleman-Wunsch alignment";
+        p.bodyLen = 44;
+        p.fLoad = 0.14;
+        p.fStore = 0.07;
+        p.fMad = 0.014;
+        p.seed = 110;
+        all.push_back(p);
+    }
+    {   // SRAD: anisotropic diffusion stencil with transcendentals.
+        WorkloadProfile p;
+        p.name = "SRAD";
+        p.fateTransient = 0.46;
+        p.fateNearFar = 0.28;
+        p.fateFarOnly = 0.26;
+        p.suite = "Rodinia";
+        p.description = "Speckle-reducing anisotropic diffusion";
+        p.bodyLen = 50;
+        p.fLoad = 0.12;
+        p.fStore = 0.06;
+        p.fMad = 0.021;
+        p.fSfu = 0.10;
+        p.stride = 256;
+        p.seed = 111;
+        all.push_back(p);
+    }
+    {   // CifarNet: dense convolution; mad-dominated with strong
+        // accumulator reuse.
+        WorkloadProfile p;
+        p.name = "CIFARNET";
+        p.fateTransient = 0.52;
+        p.fateNearFar = 0.30;
+        p.fateFarOnly = 0.18;
+        p.suite = "Tango";
+        p.description = "CifarNet convolutional NN";
+        p.bodyLen = 72;
+        p.iterations = 20;
+        p.fLoad = 0.10;
+        p.fStore = 0.03;
+        p.fMad = 0.063;
+        p.pAccum = 0.10;
+        p.seed = 112;
+        all.push_back(p);
+    }
+    {   // SqueezeNet: conv NN, slightly lighter mad mix.
+        WorkloadProfile p;
+        p.name = "SQUEEZENET";
+        p.fateTransient = 0.49;
+        p.fateNearFar = 0.28;
+        p.fateFarOnly = 0.23;
+        p.suite = "Tango";
+        p.description = "SqueezeNet convolutional NN";
+        p.bodyLen = 64;
+        p.iterations = 20;
+        p.fLoad = 0.12;
+        p.fStore = 0.04;
+        p.fMad = 0.056;
+        p.pAccum = 0.08;
+        p.seed = 113;
+        all.push_back(p);
+    }
+    {   // Vector addition: the canonical streaming kernel
+        // (ld, ld, add, st).
+        WorkloadProfile p;
+        p.name = "VECTORADD";
+        p.fateTransient = 0.49;
+        p.fateNearFar = 0.15;
+        p.fateFarOnly = 0.36;
+        p.suite = "CUDA SDK";
+        p.description = "Vector-vector addition";
+        p.bodyLen = 12;
+        p.iterations = 80;
+        p.workingRegs = 8;
+        p.fLoad = 0.30;
+        p.fStore = 0.15;
+        p.fMad = 0.000;
+        p.fAlu1 = 0.05;
+        p.fSfu = 0.0;
+        p.fMovImm = 0.05;
+        p.pIndirect = 0.0;
+        p.stride = 4;
+        p.seed = 114;
+        all.push_back(p);
+    }
+    {   // Sum of absolute differences: abs/add accumulation; the
+        // paper's most register-sensitive benchmark with the highest
+        // BOC occupancy.
+        WorkloadProfile p;
+        p.name = "SAD";
+        p.fateTransient = 0.54;
+        p.fateNearFar = 0.30;
+        p.fateFarOnly = 0.16;
+        p.suite = "Parboil";
+        p.description = "Sum of absolute differences";
+        p.bodyLen = 60;
+        p.workingRegs = 20;
+        p.fLoad = 0.12;
+        p.fStore = 0.04;
+        p.fMad = 0.12;
+        p.fAlu1 = 0.16;
+        p.pAccum = 0.15;
+        p.seed = 115;
+        all.push_back(p);
+    }
+    return all;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+allProfiles()
+{
+    static const std::vector<WorkloadProfile> profiles =
+        buildProfiles();
+    return profiles;
+}
+
+const WorkloadProfile &
+profileByName(const std::string &name)
+{
+    std::string upper = name;
+    for (auto &c : upper)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(
+            c)));
+    for (const auto &p : allProfiles()) {
+        if (p.name == upper)
+            return p;
+    }
+    fatal(strf("unknown workload '", name, "'"));
+}
+
+} // namespace bow

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Parameter profiles for the 15 synthetic benchmark generators
+ * standing in for the paper's Table III workloads (Rodinia, Parboil,
+ * ISPASS, Tango, CUDA SDK).
+ *
+ * Each profile shapes the generated kernel's instruction mix,
+ * register-operand locality, control flow and memory behaviour to
+ * match the corresponding benchmark's *published characterisation*
+ * in the paper: its reuse curves (Fig. 3), operand counts (Fig. 8),
+ * operand-collection residency (Fig. 4) and BOC occupancy (Fig. 9).
+ * See DESIGN.md ("substitutions") for why this preserves the
+ * behaviours BOW exercises.
+ */
+
+#ifndef BOWSIM_WORKLOADS_PROFILES_H
+#define BOWSIM_WORKLOADS_PROFILES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bow {
+
+/** Generator parameters for one synthetic benchmark. */
+struct WorkloadProfile
+{
+    std::string name;
+    std::string suite;
+    std::string description;
+
+    // Scale.
+    unsigned numWarps = 32;
+    unsigned iterations = 24;   ///< loop trip count per warp
+    unsigned bodyLen = 48;      ///< generated instructions per body
+
+    // Destination-register pool.
+    unsigned workingRegs = 12;
+
+    // Instruction mix (fractions of body slots; remainder = 2-source
+    // ALU ops).
+    double fLoad = 0.10;
+    double fStore = 0.04;
+    double fMad = 0.08;     ///< 3-source fused multiply-add
+    double fAlu1 = 0.10;    ///< 1-source ALU (abs/neg/mov/cvt)
+    double fSfu = 0.03;     ///< transcendental (SFU) ops
+    double fMovImm = 0.06;  ///< 0-register-source immediates
+
+    // Operand-locality shaping (the reuse knobs).
+    double pAccum = 0.06;     ///< long-distance accumulator updates
+
+    // Value-consumer fates: every produced value is scheduled to be
+    // read per one of the paper's Fig. 7 classes. The three weights
+    // are normalized internally.
+    double fateTransient = 0.52; ///< read 1-2x within a few insts,
+                                 ///< then dead
+    double fateNearFar = 0.27;   ///< read near AND again far away
+    double fateFarOnly = 0.21;   ///< first read beyond any window
+    unsigned nearMaxDist = 2;    ///< near-read distance 1..nearMax
+    unsigned farMinDist = 4;     ///< far-read distance band
+    unsigned farMaxDist = 14;
+    double pPersistentSrc = 0.22;///< fallback reads of long-lived
+                                 ///< registers (bases, constants)
+
+    // Control flow.
+    unsigned branchEvery = 0; ///< guarded skip every ~N body slots
+                              ///< (0 = straight-line body)
+    unsigned skipLen = 4;     ///< instructions under the guard
+
+    // Memory behaviour.
+    double pIndirect = 0.30;            ///< data-dependent addresses
+    std::uint32_t addrRange = 1u << 14; ///< footprint per warp, bytes
+    std::uint32_t stride = 128;
+
+    std::uint64_t seed = 1;
+};
+
+/** All 15 profiles, in the paper's Table III order. */
+const std::vector<WorkloadProfile> &allProfiles();
+
+/** Look up a profile by (case-insensitive) name; fatal() if absent. */
+const WorkloadProfile &profileByName(const std::string &name);
+
+} // namespace bow
+
+#endif // BOWSIM_WORKLOADS_PROFILES_H

@@ -1,0 +1,45 @@
+#include "workloads/registry.h"
+
+#include "workloads/generator.h"
+
+namespace bow {
+namespace workloads {
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : allProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+Workload
+make(const std::string &name, double scale)
+{
+    const WorkloadProfile &p = profileByName(name);
+    Workload w;
+    w.name = p.name;
+    w.suite = p.suite;
+    w.description = p.description;
+    w.launch = generateWorkload(p, scale);
+    return w;
+}
+
+std::vector<Workload>
+makeAll(double scale)
+{
+    std::vector<Workload> all;
+    for (const auto &p : allProfiles()) {
+        Workload w;
+        w.name = p.name;
+        w.suite = p.suite;
+        w.description = p.description;
+        w.launch = generateWorkload(p, scale);
+        all.push_back(std::move(w));
+    }
+    return all;
+}
+
+} // namespace workloads
+} // namespace bow

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Workload registry: named access to the 15 benchmark launches
+ * (Table III) used by every bench harness and by the examples.
+ */
+
+#ifndef BOWSIM_WORKLOADS_REGISTRY_H
+#define BOWSIM_WORKLOADS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "sm/functional.h"
+#include "workloads/profiles.h"
+
+namespace bow {
+
+/** A named, ready-to-run benchmark. */
+struct Workload
+{
+    std::string name;
+    std::string suite;
+    std::string description;
+    Launch launch;
+};
+
+namespace workloads {
+
+/** Benchmark names in Table III order. */
+std::vector<std::string> allNames();
+
+/** Build one benchmark (case-insensitive name). */
+Workload make(const std::string &name, double scale = 1.0);
+
+/** Build all 15 benchmarks. */
+std::vector<Workload> makeAll(double scale = 1.0);
+
+} // namespace workloads
+
+} // namespace bow
+
+#endif // BOWSIM_WORKLOADS_REGISTRY_H

@@ -1,0 +1,127 @@
+#include "workloads/snippets.h"
+
+#include "isa/assembler.h"
+#include "workloads/builder.h"
+
+namespace bow {
+namespace snippets {
+
+const char *
+btreeSnippetAsm()
+{
+    // Figure 6 of the paper, verbatim (SASS-style); the assembler
+    // discards the width suffixes and half-register selectors, and
+    // maps the $p0/$o127 compound destination to $p0.
+    return R"(
+        // write to $r3, immediate use in the set.ne below
+        ld.global.u32 $r3, [$r8];
+        mov.u32 $r2, 0x00000ff4;
+        mul.wide.u16 $r1, $r0.lo, $r2.hi;
+        mad.wide.u16 $r1, $r0.hi, $r2.lo, $r1;
+        shl.u32 $r1, $r1, 0x00000010;
+        mad.wide.u16 $r0, $r0.lo, $r2.lo, $r1;
+        add.half.u32 $r0, s[0x0018], $r0;
+        add.half.u32 $r0, $r9, $r0;
+        add.u32 $r1, $r0, 0x000007f8;
+        ld.global.u32 $r2, [$r1];
+        shl.u32 $r2, $r2, 0x00000100;
+        add.u32 $r4, $r2, 0x0000008f;
+        set.ne.s32.s32 $p0/$o127, $r3, $r1;
+        exit;
+    )";
+}
+
+Launch
+btreeSnippet()
+{
+    Launch launch;
+    launch.kernel = assemble(btreeSnippetAsm(), "btree_fig6");
+    launch.numWarps = 1;
+    launch.initRegs = {{8, 0x2000}, {9, 0x40}, {0, 0x1234}};
+    return launch;
+}
+
+Launch
+tinyVadd(unsigned numWarps, unsigned elems)
+{
+    KernelBuilder kb("tiny_vadd");
+    // r0 = base, r1 = i, r2 = n, r3..r5 temps
+    kb.movSpecial(6, SpecialReg::WARP_ID);
+    kb.alu2Imm(Opcode::SHL, 6, 6, 12);
+    kb.movImm(0, 0x1000);
+    kb.alu2(Opcode::ADD, 0, 0, 6);
+    kb.movImm(1, 0);
+    kb.movImm(2, elems);
+    auto loop = kb.newLabel();
+    kb.bind(loop);
+    kb.alu2Imm(Opcode::SHL, 3, 1, 2);           // r3 = i*4
+    kb.alu2(Opcode::ADD, 3, 3, 0);              // addr
+    kb.load(Opcode::LD_GLOBAL, 4, 3, 0);        // a[i]
+    kb.load(Opcode::LD_GLOBAL, 5, 3, 0x100000); // b[i]
+    kb.alu2(Opcode::ADD, 4, 4, 5);
+    kb.store(Opcode::ST_GLOBAL, 3, 0x200000, 4);
+    kb.alu2Imm(Opcode::ADD, 1, 1, 1);
+    kb.setp(CondCode::LT, predReg(0), 1, 2);
+    kb.bra(loop, predReg(0));
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = numWarps;
+    return launch;
+}
+
+Launch
+chainLoop(unsigned numWarps, unsigned iters)
+{
+    KernelBuilder kb("chain_loop");
+    kb.movImm(0, 1);        // r0 = chained value
+    kb.movImm(1, 0);        // counter
+    kb.movImm(2, iters);
+    auto loop = kb.newLabel();
+    kb.bind(loop);
+    // A tight 4-deep dependence chain: every operand is reused
+    // immediately (ideal bypassing fodder).
+    kb.alu2Imm(Opcode::ADD, 0, 0, 3);
+    kb.alu2Imm(Opcode::MUL, 3, 0, 5);
+    kb.alu2(Opcode::XOR, 4, 3, 0);
+    kb.alu2(Opcode::ADD, 0, 4, 3);
+    kb.alu2Imm(Opcode::ADD, 1, 1, 1);
+    kb.setp(CondCode::LT, predReg(0), 1, 2);
+    kb.bra(loop, predReg(0));
+    kb.store(Opcode::ST_GLOBAL, 0, 0x4000, 0);
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = numWarps;
+    return launch;
+}
+
+Launch
+branchDiamond(unsigned numWarps)
+{
+    KernelBuilder kb("branch_diamond");
+    kb.movSpecial(0, SpecialReg::WARP_ID);
+    kb.alu2Imm(Opcode::AND, 1, 0, 1);           // parity
+    kb.setpImm(CondCode::NE, predReg(0), 1, 0);
+    auto odd = kb.newLabel();
+    auto join = kb.newLabel();
+    kb.bra(odd, predReg(0));
+    kb.alu2Imm(Opcode::ADD, 2, 0, 100);         // even path
+    kb.bra(join);
+    kb.bind(odd);
+    kb.alu2Imm(Opcode::MUL, 2, 0, 7);           // odd path
+    kb.bind(join);
+    kb.alu2Imm(Opcode::SHL, 3, 0, 2);
+    kb.store(Opcode::ST_GLOBAL, 3, 0x8000, 2);
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = numWarps;
+    return launch;
+}
+
+} // namespace snippets
+} // namespace bow

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Hand-written kernels: the paper's Figure 6 BTREE listing (used for
+ * Table I) and small kernels shared by tests and examples.
+ */
+
+#ifndef BOWSIM_WORKLOADS_SNIPPETS_H
+#define BOWSIM_WORKLOADS_SNIPPETS_H
+
+#include "sm/functional.h"
+
+namespace bow {
+namespace snippets {
+
+/** The verbatim assembly text of the paper's Fig. 6 BTREE listing. */
+const char *btreeSnippetAsm();
+
+/** The Fig. 6 listing as a single-warp launch (drives Table I). */
+Launch btreeSnippet();
+
+/** A minimal vadd-style kernel: load two values, add, store. */
+Launch tinyVadd(unsigned numWarps = 4, unsigned elems = 16);
+
+/** A counted loop with a tight dependence chain (reuse-heavy). */
+Launch chainLoop(unsigned numWarps = 4, unsigned iters = 16);
+
+/** A kernel with a data-dependent diamond (tests branch handling). */
+Launch branchDiamond(unsigned numWarps = 4);
+
+} // namespace snippets
+} // namespace bow
+
+#endif // BOWSIM_WORKLOADS_SNIPPETS_H

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Assembler and disassembler tests, including the verbatim paper
+ * Figure 6 listing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "workloads/snippets.h"
+
+namespace bow {
+namespace {
+
+TEST(Assembler, SimpleArithmetic)
+{
+    Kernel k = assemble("add.u32 $r1, $r2, $r3; exit;");
+    ASSERT_EQ(k.size(), 2u);
+    EXPECT_EQ(k.inst(0).op, Opcode::ADD);
+    EXPECT_EQ(k.inst(0).dst, 1);
+    EXPECT_EQ(k.inst(0).srcs[0].reg, 2);
+    EXPECT_EQ(k.inst(0).srcs[1].reg, 3);
+    EXPECT_EQ(k.inst(1).op, Opcode::EXIT);
+}
+
+TEST(Assembler, ImmediateForms)
+{
+    Kernel k = assemble(
+        "mov $r1, 0x10;\n"
+        "add $r2, $r1, 42;\n"
+        "sub $r3, $r2, -1;\n"
+        "exit;");
+    EXPECT_EQ(k.inst(0).srcs[0].imm, 0x10u);
+    EXPECT_EQ(k.inst(1).srcs[1].imm, 42u);
+    EXPECT_EQ(k.inst(2).srcs[1].imm, 0xFFFFFFFFu);
+}
+
+TEST(Assembler, LoadStoreAddressing)
+{
+    Kernel k = assemble(
+        "ld.global.u32 $r1, [$r2];\n"
+        "ld.global $r3, [$r2+0x10];\n"
+        "ld.shared $r4, [$r2-4];\n"
+        "st.global [$r5+8], $r1;\n"
+        "exit;");
+    EXPECT_EQ(k.inst(0).op, Opcode::LD_GLOBAL);
+    EXPECT_EQ(k.inst(0).memOffset, 0);
+    EXPECT_EQ(k.inst(1).memOffset, 0x10);
+    EXPECT_EQ(k.inst(2).op, Opcode::LD_SHARED);
+    EXPECT_EQ(k.inst(2).memOffset, -4);
+    EXPECT_EQ(k.inst(3).op, Opcode::ST_GLOBAL);
+    EXPECT_EQ(k.inst(3).srcs[0].reg, 5);
+    EXPECT_EQ(k.inst(3).srcs[1].reg, 1);
+    EXPECT_EQ(k.inst(3).memOffset, 8);
+}
+
+TEST(Assembler, PredicatesAndBranches)
+{
+    Kernel k = assemble(
+        "top:\n"
+        "setp.lt.s32 $p1, $r1, $r2;\n"
+        "@$p1 bra top;\n"
+        "@!$p0 bra done;\n"
+        "nop;\n"
+        "done:\n"
+        "exit;");
+    EXPECT_EQ(k.inst(0).op, Opcode::SETP);
+    EXPECT_EQ(k.inst(0).cc, CondCode::LT);
+    EXPECT_EQ(k.inst(0).dst, predReg(1));
+    EXPECT_EQ(k.inst(1).pred, predReg(1));
+    EXPECT_FALSE(k.inst(1).predNegate);
+    EXPECT_EQ(k.inst(1).branchTarget, 0u);
+    EXPECT_TRUE(k.inst(2).predNegate);
+    EXPECT_EQ(k.inst(2).branchTarget, 4u);
+}
+
+TEST(Assembler, SuffixesAndHalfRegsAreDiscarded)
+{
+    Kernel k = assemble(
+        "mul.wide.u16 $r1, $r0.lo, $r2.hi;\n"
+        "add.half.u32 $r0, s[0x0018], $r0;\n"
+        "exit;");
+    EXPECT_EQ(k.inst(0).op, Opcode::MUL);
+    EXPECT_EQ(k.inst(0).srcs[0].reg, 0);
+    EXPECT_EQ(k.inst(0).srcs[1].reg, 2);
+    EXPECT_EQ(k.inst(1).srcs[0].kind, Operand::Kind::CONST_MEM);
+    EXPECT_EQ(k.inst(1).srcs[0].imm, 0x18u);
+}
+
+TEST(Assembler, CompoundDestinationTakesFirstPart)
+{
+    Kernel k = assemble("set.ne.s32.s32 $p0/$o127, $r3, $r1; exit;");
+    EXPECT_EQ(k.inst(0).op, Opcode::SET);
+    EXPECT_EQ(k.inst(0).dst, predReg(0));
+    EXPECT_EQ(k.inst(0).cc, CondCode::NE);
+}
+
+TEST(Assembler, SpecialRegisters)
+{
+    Kernel k = assemble("mov $r1, %warpid; mov $r2, %nwarps; exit;");
+    EXPECT_EQ(k.inst(0).srcs[0].kind, Operand::Kind::SPECIAL);
+    EXPECT_EQ(k.inst(0).srcs[0].special, SpecialReg::WARP_ID);
+    EXPECT_EQ(k.inst(1).srcs[0].special, SpecialReg::WARP_COUNT);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Kernel k = assemble(
+        "// a comment\n"
+        "# another\n"
+        "\n"
+        "nop; // trailing\n"
+        "exit;");
+    EXPECT_EQ(k.size(), 2u);
+}
+
+TEST(Assembler, Fig6SnippetAssemblesVerbatim)
+{
+    Kernel k = assemble(snippets::btreeSnippetAsm(), "fig6");
+    ASSERT_EQ(k.size(), 14u); // 13 listing lines + exit
+    EXPECT_EQ(k.inst(0).op, Opcode::LD_GLOBAL);
+    EXPECT_EQ(k.inst(0).dst, 3);
+    EXPECT_EQ(k.inst(3).op, Opcode::MAD);
+    EXPECT_EQ(k.inst(3).numSrcs, 3u);
+    EXPECT_EQ(k.inst(12).op, Opcode::SET);
+    EXPECT_EQ(k.inst(12).dst, predReg(0));
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop;\nfrobnicate $r1;\nexit;");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, UndefinedLabelFails)
+{
+    EXPECT_THROW(assemble("bra nowhere; exit;"), FatalError);
+}
+
+TEST(Assembler, DuplicateLabelFails)
+{
+    EXPECT_THROW(assemble("l: nop;\nl: nop;\nexit;"), FatalError);
+}
+
+TEST(Assembler, WrongOperandCountFails)
+{
+    EXPECT_THROW(assemble("add $r1, $r2; exit;"), FatalError);
+    EXPECT_THROW(assemble("mov $r1, $r2, $r3; exit;"), FatalError);
+}
+
+TEST(Assembler, TrailingLabelFails)
+{
+    EXPECT_THROW(assemble("exit;\ndangling:"), FatalError);
+}
+
+TEST(Assembler, AbsoluteAddressLoads)
+{
+    Kernel k = assemble(
+        "ld.global $r1, [0x1000];\n"
+        "st.global [0x2000], $r1;\n"
+        "exit;");
+    // Absolute addresses: the base operand is a zero immediate and
+    // the address lives in memOffset.
+    EXPECT_EQ(k.inst(0).srcs[0].kind, Operand::Kind::IMM);
+    EXPECT_EQ(k.inst(0).memOffset, 0x1000);
+    EXPECT_EQ(k.inst(1).memOffset, 0x2000);
+    EXPECT_EQ(k.inst(0).numRegSrcs(), 0u);
+}
+
+TEST(Assembler, MemorySpaceAliases)
+{
+    Kernel k = assemble(
+        "ld.param $r1, [$r2];\n"
+        "ld.local $r3, [$r2];\n"
+        "st.local [$r2], $r3;\n"
+        "exit;");
+    EXPECT_EQ(k.inst(0).op, Opcode::LD_CONST);
+    EXPECT_EQ(k.inst(1).op, Opcode::LD_GLOBAL);
+    EXPECT_EQ(k.inst(2).op, Opcode::ST_GLOBAL);
+}
+
+TEST(Assembler, MultipleStatementsPerLine)
+{
+    Kernel k = assemble("mov $r1, 1; mov $r2, 2; exit;");
+    EXPECT_EQ(k.size(), 3u);
+}
+
+TEST(Assembler, BarAndSsyTakeOptionalOperand)
+{
+    Kernel k = assemble(
+        "ssy target;\n"
+        "bar.sync 0;\n"
+        "bar;\n"
+        "target:\n"
+        "exit;");
+    EXPECT_EQ(k.inst(0).op, Opcode::SSY);
+    EXPECT_EQ(k.inst(1).op, Opcode::BAR);
+    EXPECT_EQ(k.size(), 4u);
+}
+
+TEST(Assembler, GuardOnNonBranchInstruction)
+{
+    Kernel k = assemble("@!$p2 add $r1, $r2, $r3; exit;");
+    EXPECT_EQ(k.inst(0).pred, predReg(2));
+    EXPECT_TRUE(k.inst(0).predNegate);
+    // Guard is a register source.
+    EXPECT_EQ(k.inst(0).srcRegs().size(), 3u);
+}
+
+TEST(Assembler, PredicateIndexOutOfRangeFails)
+{
+    EXPECT_THROW(assemble("setp.ne.s32 $p16, $r1, $r2; exit;"),
+                 FatalError);
+}
+
+TEST(Assembler, GprIndexOutOfRangeFails)
+{
+    EXPECT_THROW(assemble("mov $r300, 1; exit;"), FatalError);
+}
+
+TEST(Disassembler, RegNames)
+{
+    EXPECT_EQ(regName(5), "$r5");
+    EXPECT_EQ(regName(predReg(2)), "$p2");
+}
+
+TEST(Disassembler, RoundTripsSimpleKernel)
+{
+    const char *src =
+        "top:\n"
+        "add $r1, $r2, $r3;\n"
+        "ld.global $r4, [$r1+0x10];\n"
+        "setp.lt.s32 $p0, $r1, $r4;\n"
+        "@$p0 bra top;\n"
+        "st.global [$r1], $r4;\n"
+        "exit;";
+    Kernel k1 = assemble(src, "rt");
+    const std::string text = disassemble(k1);
+    Kernel k2 = assemble(text, "rt2");
+    ASSERT_EQ(k1.size(), k2.size());
+    for (InstIdx i = 0; i < k1.size(); ++i) {
+        EXPECT_EQ(k1.inst(i).op, k2.inst(i).op) << "inst " << i;
+        EXPECT_EQ(k1.inst(i).dst, k2.inst(i).dst) << "inst " << i;
+        EXPECT_EQ(k1.inst(i).numSrcs, k2.inst(i).numSrcs);
+        EXPECT_EQ(k1.inst(i).branchTarget, k2.inst(i).branchTarget);
+        EXPECT_EQ(k1.inst(i).memOffset, k2.inst(i).memOffset);
+    }
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Bypassing-operand-collector unit tests: forwarding, the sliding
+ * extended window, write policies (write-through, write-back,
+ * compiler hints), FIFO capacity eviction and safety write-backs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "sm/boc.h"
+
+namespace bow {
+namespace {
+
+TEST(Boc, RejectsNonBocArchitecture)
+{
+    EXPECT_THROW(Boc(Architecture::Baseline, 3, 12), PanicError);
+    EXPECT_THROW(Boc(Architecture::RFC, 3, 12), PanicError);
+}
+
+TEST(Boc, RejectsTinyCapacity)
+{
+    EXPECT_THROW(Boc(Architecture::BOW, 3, 1), FatalError);
+}
+
+TEST(Boc, FirstReadFetchesSecondForwards)
+{
+    Boc boc(Architecture::BOW, 3, 12);
+    auto r0 = boc.insert(0, {5});
+    ASSERT_EQ(r0.toFetch.size(), 1u);
+    EXPECT_EQ(r0.toFetch[0], 5);
+    EXPECT_EQ(r0.forwarded, 0u);
+    boc.fetchComplete(5);
+    auto r1 = boc.insert(1, {5});
+    EXPECT_TRUE(r1.toFetch.empty());
+    EXPECT_EQ(r1.forwarded, 1u);
+}
+
+TEST(Boc, InFlightFetchIsShared)
+{
+    Boc boc(Architecture::BOW, 3, 12);
+    auto r0 = boc.insert(0, {5});
+    ASSERT_EQ(r0.toFetch.size(), 1u);
+    // Second instruction needs the same register while the fetch is
+    // still outstanding: no extra RF read.
+    auto r1 = boc.insert(1, {5});
+    EXPECT_TRUE(r1.toFetch.empty());
+    ASSERT_EQ(r1.sharedFetch.size(), 1u);
+    EXPECT_EQ(r1.sharedFetch[0], 5);
+}
+
+TEST(Boc, WindowExpiryEvictsCleanEntrySilently)
+{
+    Boc boc(Architecture::BOW, 3, 12);
+    boc.insert(0, {5});
+    boc.fetchComplete(5);
+    // Register 5's last access is at 0: it serves windows up to
+    // seq 2 and expires at seq 3.
+    auto r2 = boc.insert(2, {5});
+    EXPECT_EQ(r2.forwarded, 1u);
+    auto r5 = boc.insert(5, {});
+    EXPECT_TRUE(r5.evictions.empty() ||
+                !r5.evictions[0].needsRfWrite);
+}
+
+TEST(Boc, ReadAtWindowBoundaryMisses)
+{
+    Boc boc(Architecture::BOW, 3, 12);
+    boc.insert(0, {5});
+    boc.fetchComplete(5);
+    // Distance exactly windowSize: must refetch.
+    auto r3 = boc.insert(3, {5});
+    EXPECT_EQ(r3.forwarded, 0u);
+    ASSERT_EQ(r3.toFetch.size(), 1u);
+}
+
+TEST(Boc, AccessExtendsResidency)
+{
+    Boc boc(Architecture::BOW, 3, 12);
+    boc.insert(0, {5});
+    boc.fetchComplete(5);
+    boc.insert(2, {5});     // extends lastUse to 2
+    auto r4 = boc.insert(4, {5}); // distance 2 from the extension
+    EXPECT_EQ(r4.forwarded, 1u);
+}
+
+TEST(Boc, WriteThroughNeverDirty)
+{
+    Boc boc(Architecture::BOW, 3, 12);
+    auto w = boc.writeResult(0, 7, WritebackHint::BocAndRf);
+    EXPECT_TRUE(w.wroteBoc);
+    EXPECT_TRUE(w.writeRfNow);
+    // Expiry writes nothing: the RF copy is already current.
+    auto r = boc.insert(5, {});
+    for (const auto &ev : r.evictions)
+        EXPECT_FALSE(ev.needsRfWrite);
+}
+
+TEST(Boc, WriteBackWritesOnEviction)
+{
+    Boc boc(Architecture::BOW_WR, 3, 12);
+    auto w = boc.writeResult(0, 7, WritebackHint::BocAndRf);
+    EXPECT_TRUE(w.wroteBoc);
+    EXPECT_FALSE(w.writeRfNow);
+    auto r = boc.insert(5, {});
+    ASSERT_EQ(r.evictions.size(), 1u);
+    EXPECT_EQ(r.evictions[0].reg, 7);
+    EXPECT_TRUE(r.evictions[0].needsRfWrite);
+}
+
+TEST(Boc, WriteBackConsolidatesRepeatedWrites)
+{
+    Boc boc(Architecture::BOW_WR, 3, 12);
+    boc.writeResult(0, 7, WritebackHint::BocAndRf);
+    auto w1 = boc.writeResult(1, 7, WritebackHint::BocAndRf);
+    EXPECT_TRUE(w1.consolidatedPrev);
+    auto w2 = boc.writeResult(2, 7, WritebackHint::BocAndRf);
+    EXPECT_TRUE(w2.consolidatedPrev);
+    // Only one RF write at eviction for three BOC writes.
+    auto r = boc.insert(6, {});
+    ASSERT_EQ(r.evictions.size(), 1u);
+    EXPECT_TRUE(r.evictions[0].needsRfWrite);
+}
+
+TEST(Boc, HintRfOnlySkipsBocAndInvalidatesStaleCopy)
+{
+    Boc boc(Architecture::BOW_WR_OPT, 3, 12);
+    boc.insert(0, {7});
+    boc.fetchComplete(7);
+    auto w = boc.writeResult(1, 7, WritebackHint::RfOnly);
+    EXPECT_FALSE(w.wroteBoc);
+    EXPECT_TRUE(w.writeRfNow);
+    // The stale copy is gone: a later read must refetch.
+    auto r = boc.insert(2, {7});
+    EXPECT_EQ(r.forwarded, 0u);
+    EXPECT_EQ(r.toFetch.size(), 1u);
+}
+
+TEST(Boc, HintBocOnlyExpiresWithoutRfWrite)
+{
+    Boc boc(Architecture::BOW_WR_OPT, 3, 12);
+    boc.writeResult(0, 7, WritebackHint::BocOnly);
+    auto r = boc.insert(5, {});
+    ASSERT_EQ(r.evictions.size(), 1u);
+    EXPECT_FALSE(r.evictions[0].needsRfWrite);
+    EXPECT_TRUE(r.evictions[0].transientDrop);
+}
+
+TEST(Boc, CapacityEvictionIsFifo)
+{
+    Boc boc(Architecture::BOW_WR, 4, 2);
+    boc.writeResult(0, 1, WritebackHint::BocAndRf);
+    boc.writeResult(1, 2, WritebackHint::BocAndRf);
+    // Third allocation: register 1 (oldest) is evicted.
+    auto w = boc.writeResult(2, 3, WritebackHint::BocAndRf);
+    ASSERT_EQ(w.evictions.size(), 1u);
+    EXPECT_EQ(w.evictions[0].reg, 1);
+    EXPECT_TRUE(w.evictions[0].needsRfWrite);
+    EXPECT_EQ(boc.occupied(), 2u);
+}
+
+TEST(Boc, EarlyEvictionOfTransientForcesSafetyWrite)
+{
+    Boc boc(Architecture::BOW_WR_OPT, 4, 2);
+    // A transient value evicted by capacity pressure while its
+    // window is still open must be saved to the RF (Sec. IV-C).
+    boc.writeResult(0, 1, WritebackHint::BocOnly);
+    boc.writeResult(1, 2, WritebackHint::BocAndRf);
+    auto w = boc.writeResult(2, 3, WritebackHint::BocAndRf);
+    ASSERT_EQ(w.evictions.size(), 1u);
+    EXPECT_EQ(w.evictions[0].reg, 1);
+    EXPECT_TRUE(w.evictions[0].needsRfWrite);
+    EXPECT_TRUE(w.evictions[0].safetyWrite);
+}
+
+TEST(Boc, FetchingEntriesAreNotEvicted)
+{
+    Boc boc(Architecture::BOW_WR, 3, 2);
+    boc.insert(0, {1});     // fetching
+    boc.insert(1, {2});     // fetching
+    // Capacity full with two fetches in flight: a result write has
+    // nowhere to go and must fall back to the RF.
+    auto w = boc.writeResult(1, 3, WritebackHint::BocAndRf);
+    EXPECT_FALSE(w.wroteBoc);
+    EXPECT_TRUE(w.writeRfNow);
+    EXPECT_EQ(boc.occupied(), 2u);
+}
+
+TEST(Boc, FlushWritesDirtyEntries)
+{
+    Boc boc(Architecture::BOW_WR, 3, 12);
+    boc.writeResult(0, 1, WritebackHint::BocAndRf);
+    boc.insert(1, {2});
+    boc.fetchComplete(2);   // clean entry
+    auto evs = boc.flush();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].reg, 1);
+    EXPECT_TRUE(evs[0].needsRfWrite);
+    EXPECT_EQ(boc.occupied(), 0u);
+}
+
+TEST(Boc, FlushDropsTaggedTransients)
+{
+    Boc boc(Architecture::BOW_WR_OPT, 3, 12);
+    boc.writeResult(0, 1, WritebackHint::BocOnly);
+    auto evs = boc.flush();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_FALSE(evs[0].needsRfWrite);
+    EXPECT_TRUE(evs[0].transientDrop);
+}
+
+TEST(Boc, ExtendedWindowKeepsEntriesUntilCapacity)
+{
+    Boc boc(Architecture::BOW_WR, 3, 4, /*extendedWindow=*/true);
+    boc.insert(0, {5});
+    boc.fetchComplete(5);
+    // Far beyond the nominal window: still forwarded.
+    auto r = boc.insert(20, {5});
+    EXPECT_EQ(r.forwarded, 1u);
+    EXPECT_TRUE(r.evictions.empty());
+}
+
+TEST(Boc, ExtendedWindowEvictsByCapacityOnly)
+{
+    Boc boc(Architecture::BOW_WR, 3, 2, /*extendedWindow=*/true);
+    boc.writeResult(0, 1, WritebackHint::BocAndRf);
+    boc.writeResult(10, 2, WritebackHint::BocAndRf);
+    auto w = boc.writeResult(20, 3, WritebackHint::BocAndRf);
+    ASSERT_EQ(w.evictions.size(), 1u);
+    EXPECT_EQ(w.evictions[0].reg, 1);
+    EXPECT_TRUE(w.evictions[0].needsRfWrite);
+}
+
+TEST(Boc, ExtendedWindowRejectsCompilerHints)
+{
+    EXPECT_THROW(Boc(Architecture::BOW_WR_OPT, 3, 12, true),
+                 FatalError);
+}
+
+TEST(Boc, OccupiedTracksEntries)
+{
+    Boc boc(Architecture::BOW, 3, 12);
+    EXPECT_EQ(boc.occupied(), 0u);
+    boc.insert(0, {1, 2, 3});
+    EXPECT_EQ(boc.occupied(), 3u);
+}
+
+} // namespace
+} // namespace bow

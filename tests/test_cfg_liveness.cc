@@ -1,0 +1,160 @@
+/**
+ * @file
+ * CFG construction and dataflow liveness tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/cfg.h"
+#include "compiler/liveness.h"
+#include "isa/assembler.h"
+
+namespace bow {
+namespace {
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Kernel k = assemble("mov $r1, 1; add $r2, $r1, $r1; exit;");
+    Cfg cfg(k);
+    ASSERT_EQ(cfg.numBlocks(), 1u);
+    EXPECT_EQ(cfg.block(0).first, 0u);
+    EXPECT_EQ(cfg.block(0).last, 2u);
+    EXPECT_TRUE(cfg.block(0).succs.empty());
+}
+
+TEST(Cfg, LoopHasBackEdge)
+{
+    Kernel k = assemble(
+        "mov $r1, 0;\n"
+        "loop:\n"
+        "add $r1, $r1, 1;\n"
+        "setp.lt.s32 $p0, $r1, $r2;\n"
+        "@$p0 bra loop;\n"
+        "exit;");
+    Cfg cfg(k);
+    // Blocks: [0,0] prologue, [1,3] loop, [4,4] exit.
+    ASSERT_EQ(cfg.numBlocks(), 3u);
+    EXPECT_EQ(cfg.blockOf(0), 0u);
+    EXPECT_EQ(cfg.blockOf(2), 1u);
+    EXPECT_EQ(cfg.blockOf(4), 2u);
+    // Loop block has two successors: itself and the exit block.
+    const auto &loop = cfg.block(1);
+    ASSERT_EQ(loop.succs.size(), 2u);
+    EXPECT_EQ(loop.succs[0], 1u);
+    EXPECT_EQ(loop.succs[1], 2u);
+    EXPECT_EQ(cfg.block(2).preds.size(), 1u);
+}
+
+TEST(Cfg, UnconditionalBranchHasSingleSuccessor)
+{
+    Kernel k = assemble(
+        "bra skip;\n"
+        "nop;\n"
+        "skip:\n"
+        "exit;");
+    Cfg cfg(k);
+    ASSERT_EQ(cfg.numBlocks(), 3u);
+    ASSERT_EQ(cfg.block(0).succs.size(), 1u);
+    EXPECT_EQ(cfg.block(0).succs[0], 2u);
+}
+
+TEST(Liveness, StrongDefRequiresUnguardedDest)
+{
+    Kernel k = assemble("@$p0 mov $r1, 1; mov $r2, 2; exit;");
+    EXPECT_FALSE(Liveness::isStrongDef(k.inst(0)));
+    EXPECT_TRUE(Liveness::isStrongDef(k.inst(1)));
+    EXPECT_FALSE(Liveness::isStrongDef(k.inst(2)));
+}
+
+TEST(Liveness, StraightLineLifetimes)
+{
+    // r1 defined at 0, used at 1; r2 defined at 1, used at 2.
+    Kernel k = assemble(
+        "mov $r1, 1;\n"
+        "add $r2, $r1, $r1;\n"
+        "st.global [$r3], $r2;\n"
+        "exit;");
+    Cfg cfg(k);
+    Liveness lv(cfg);
+    EXPECT_TRUE(lv.liveAfter(0).test(1));
+    EXPECT_FALSE(lv.liveAfter(1).test(1));
+    EXPECT_TRUE(lv.liveAfter(1).test(2));
+    EXPECT_FALSE(lv.liveAfter(2).test(2));
+    // r3 is upward-exposed: live on entry.
+    EXPECT_TRUE(lv.liveBefore(0).test(3));
+    EXPECT_TRUE(lv.liveIn(0).test(3));
+}
+
+TEST(Liveness, LoopCarriedValueStaysLive)
+{
+    Kernel k = assemble(
+        "mov $r1, 0;\n"
+        "loop:\n"
+        "add $r1, $r1, 1;\n"
+        "setp.lt.s32 $p0, $r1, $r2;\n"
+        "@$p0 bra loop;\n"
+        "st.global [$r3], $r1;\n"
+        "exit;");
+    Cfg cfg(k);
+    Liveness lv(cfg);
+    // r1 is live around the back edge and after the loop.
+    const unsigned loopBlk = cfg.blockOf(1);
+    EXPECT_TRUE(lv.liveIn(loopBlk).test(1));
+    EXPECT_TRUE(lv.liveOut(loopBlk).test(1));
+    // r2 (the bound) is live throughout the loop.
+    EXPECT_TRUE(lv.liveOut(loopBlk).test(2));
+    // After the final store nothing is live.
+    EXPECT_FALSE(lv.liveAfter(4).test(1));
+}
+
+TEST(Liveness, GuardedWriteDoesNotKill)
+{
+    // The guarded def of r1 may not execute, so the incoming r1
+    // remains live above it.
+    Kernel k = assemble(
+        "@$p0 mov $r1, 5;\n"
+        "st.global [$r2], $r1;\n"
+        "exit;");
+    Cfg cfg(k);
+    Liveness lv(cfg);
+    EXPECT_TRUE(lv.liveBefore(0).test(1));
+}
+
+TEST(Liveness, UnguardedWriteKills)
+{
+    Kernel k = assemble(
+        "mov $r1, 5;\n"
+        "st.global [$r2], $r1;\n"
+        "exit;");
+    Cfg cfg(k);
+    Liveness lv(cfg);
+    EXPECT_FALSE(lv.liveBefore(0).test(1));
+}
+
+TEST(Liveness, DiamondMergesLiveness)
+{
+    Kernel k = assemble(
+        "setp.ne.s32 $p0, $r0, 0;\n"
+        "@$p0 bra odd;\n"
+        "mov $r1, 1;\n"
+        "bra join;\n"
+        "odd:\n"
+        "mov $r1, 2;\n"
+        "join:\n"
+        "st.global [$r2], $r1;\n"
+        "exit;");
+    Cfg cfg(k);
+    Liveness lv(cfg);
+    // r1 defined on both paths and consumed at the join: live out of
+    // both arms, not live into the entry.
+    const unsigned evenBlk = cfg.blockOf(2);
+    const unsigned oddBlk = cfg.blockOf(4);
+    EXPECT_TRUE(lv.liveOut(evenBlk).test(1));
+    EXPECT_TRUE(lv.liveOut(oddBlk).test(1));
+    EXPECT_FALSE(lv.liveIn(0).test(1));
+    // r2 is live from the entry down to the join.
+    EXPECT_TRUE(lv.liveIn(0).test(2));
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the common utilities: logging/errors, RNG, stats
+ * primitives and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace bow {
+namespace {
+
+TEST(Log, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    try {
+        fatal("bad config");
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad config"),
+                  std::string::npos);
+    }
+}
+
+TEST(Log, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Log, StrfConcatenatesMixedTypes)
+{
+    EXPECT_EQ(strf("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(strf(), "");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    bool differ = false;
+    for (int i = 0; i < 10 && !differ; ++i)
+        differ = a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(9);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= (v == -3);
+        sawHi |= (v == 3);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.samples(), 2u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4); // exact buckets 0..3 plus overflow
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(9); // overflow
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Histogram, FractionAtLeast)
+{
+    Histogram h(8);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(4), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(0), 1.0);
+}
+
+TEST(Histogram, WeightedSamplesAndMean)
+{
+    Histogram h(8);
+    h.sample(2, 3);
+    h.sample(4, 1);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 4.0) / 4.0);
+}
+
+TEST(StatGroup, AutoCreatesAndReads)
+{
+    StatGroup g("test");
+    g.counter("a").inc(3);
+    EXPECT_EQ(g.counterValue("a"), 3u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+    g.resetAll();
+    EXPECT_EQ(g.counterValue("a"), 0u);
+}
+
+TEST(Table, PrintsHeaderAndRows)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.beginRow().cell("foo").cell(std::uint64_t{42});
+    t.beginRow().cell("bar").pct(0.5);
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("foo"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("50.0%"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("csv");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEnvEmitsFencedBlock)
+{
+    setenv("BOWSIM_CSV", "1", 1);
+    Table t("env");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    std::ostringstream os;
+    t.print(os);
+    unsetenv("BOWSIM_CSV");
+    const std::string s = os.str();
+    EXPECT_NE(s.find("#csv env"), std::string::npos);
+    EXPECT_NE(s.find("#endcsv"), std::string::npos);
+
+    std::ostringstream plain;
+    t.print(plain);
+    EXPECT_EQ(plain.str().find("#csv"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t("bad");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(formatPct(0.123, 1), "12.3%");
+    EXPECT_EQ(formatFixed(1.005, 2), "1.00"); // NOLINT: rounding mode
+    EXPECT_EQ(formatFixed(2.5, 1), "2.5");
+}
+
+} // namespace
+} // namespace bow

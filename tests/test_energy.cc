@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Energy-model tests: Table IV constants, accounting identities and
+ * normalization (the Fig. 13 arithmetic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+namespace bow {
+namespace {
+
+TEST(Energy, TableFourDefaults)
+{
+    const EnergyParams p;
+    EXPECT_DOUBLE_EQ(p.rfBankAccessPj, 185.26);
+    EXPECT_DOUBLE_EQ(p.bocAccessPj, 2.72);
+    EXPECT_DOUBLE_EQ(p.rfBankLeakageMw, 111.84);
+    EXPECT_DOUBLE_EQ(p.bocLeakageMw, 1.11);
+    // The paper's ratios: BOC access energy is 1.4% of a bank access
+    // and leakage is ~1% of bank leakage.
+    EXPECT_NEAR(p.bocAccessPj / p.rfBankAccessPj, 0.0147, 0.001);
+    EXPECT_NEAR(p.bocLeakageMw / p.rfBankLeakageMw, 0.0099, 0.001);
+}
+
+TEST(Energy, BocSizeReporting)
+{
+    // 12 entries x 128 B = 1.5 KB (paper Sec. IV-C).
+    EXPECT_DOUBLE_EQ(EnergyParams::bocKb(12), 1.536);
+    EXPECT_DOUBLE_EQ(EnergyParams::bocKb(6), 0.768);
+}
+
+TEST(Energy, RfDynamicIsAccessesTimesConstant)
+{
+    RunStats stats;
+    stats.rfReads = 100;
+    stats.rfWrites = 50;
+    const auto e = computeEnergy(stats);
+    EXPECT_DOUBLE_EQ(e.rfDynamicPj, 150 * 185.26);
+    EXPECT_DOUBLE_EQ(e.overheadPj, 0.0);
+    EXPECT_DOUBLE_EQ(e.totalPj, e.rfDynamicPj);
+}
+
+TEST(Energy, BocAccessesChargeOverhead)
+{
+    RunStats stats;
+    stats.bocForwards = 10;
+    stats.bocDeposits = 5;
+    stats.bocResultWrites = 5;
+    const auto e = computeEnergy(stats);
+    EXPECT_DOUBLE_EQ(e.rfDynamicPj, 0.0);
+    EXPECT_GT(e.overheadPj, 20 * 2.72); // accesses + network share
+    EXPECT_LT(e.overheadPj, 20 * 6.0);  // but still tiny vs RF
+}
+
+TEST(Energy, RfcAccessesChargeOverhead)
+{
+    RunStats stats;
+    stats.rfcReads = 4;
+    stats.rfcWrites = 6;
+    const auto e = computeEnergy(stats);
+    EXPECT_DOUBLE_EQ(e.overheadPj, 10 * 5.44);
+}
+
+TEST(Energy, NormalizationAgainstBaseline)
+{
+    RunStats baseStats;
+    baseStats.rfReads = 1000;
+    const auto base = computeEnergy(baseStats);
+
+    RunStats bowStats;
+    bowStats.rfReads = 400; // 60% of reads bypassed
+    bowStats.bocForwards = 600;
+    const auto bow = computeEnergy(bowStats);
+
+    const double norm = bow.normalizedTo(base);
+    EXPECT_LT(norm, 0.45);  // large saving despite overhead
+    EXPECT_GT(norm, 0.40);  // overhead is visible
+    EXPECT_DOUBLE_EQ(base.normalizedTo(base), 1.0);
+}
+
+TEST(Energy, LeakageScalesWithTimeAndStructures)
+{
+    // One bank leaking 111.84 mW over 1000 cycles at 1 GHz (1 us):
+    // 111.84e-3 W x 1e-6 s = 1.1184e-7 J = 111840 pJ.
+    const double oneBank = leakagePj(1000, 1, 0);
+    EXPECT_NEAR(oneBank, 111840.0, 1.0);
+    // Adding 32 BOCs adds 32 x 1.11 mW.
+    const double withBocs = leakagePj(1000, 1, 32);
+    EXPECT_NEAR(withBocs - oneBank, 32 * 1.11e-3 * 1e-6 * 1e12, 1.0);
+    // Linear in time.
+    EXPECT_NEAR(leakagePj(2000, 1, 0), 2 * oneBank, 1.0);
+    EXPECT_DOUBLE_EQ(leakagePj(0, 32, 32), 0.0);
+}
+
+TEST(Energy, BocLeakageIsTinyVersusBanks)
+{
+    // The paper's pitch: 32 BOCs leak ~1% of what 4 banks' worth of
+    // equivalent SRAM would; adding them barely moves static power.
+    const double banksOnly = leakagePj(10000, 32, 0);
+    const double withBocs = leakagePj(10000, 32, 32);
+    EXPECT_LT((withBocs - banksOnly) / banksOnly, 0.02);
+}
+
+TEST(Energy, ZeroBaselineNormalizesToZero)
+{
+    const EnergyBreakdown zero;
+    EnergyBreakdown x;
+    x.totalPj = 5.0;
+    EXPECT_DOUBLE_EQ(x.normalizedTo(zero), 0.0);
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Execution-unit pool tests: per-cycle dispatch widths, latency
+ * classes, and the CTRL/ALU slot sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/exec_unit.h"
+
+namespace bow {
+namespace {
+
+TEST(ExecUnits, WidthsLimitDispatchesPerCycle)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    ExecUnits units(config);
+    units.newCycle();
+    for (unsigned i = 0; i < config.aluWidth; ++i) {
+        EXPECT_TRUE(units.canDispatch(ExecUnit::ALU));
+        units.dispatch(ExecUnit::ALU);
+    }
+    EXPECT_FALSE(units.canDispatch(ExecUnit::ALU));
+
+    EXPECT_TRUE(units.canDispatch(ExecUnit::SFU));
+    units.dispatch(ExecUnit::SFU);
+    EXPECT_FALSE(units.canDispatch(ExecUnit::SFU));
+
+    EXPECT_TRUE(units.canDispatch(ExecUnit::LDST));
+    units.dispatch(ExecUnit::LDST);
+    EXPECT_FALSE(units.canDispatch(ExecUnit::LDST));
+}
+
+TEST(ExecUnits, NewCycleResets)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    ExecUnits units(config);
+    units.newCycle();
+    for (unsigned i = 0; i < config.aluWidth; ++i)
+        units.dispatch(ExecUnit::ALU);
+    EXPECT_FALSE(units.canDispatch(ExecUnit::ALU));
+    units.newCycle();
+    EXPECT_TRUE(units.canDispatch(ExecUnit::ALU));
+}
+
+TEST(ExecUnits, CtrlSharesAluSlot)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    ExecUnits units(config);
+    units.newCycle();
+    for (unsigned i = 0; i < config.aluWidth; ++i)
+        units.dispatch(ExecUnit::CTRL);
+    EXPECT_FALSE(units.canDispatch(ExecUnit::ALU));
+    EXPECT_FALSE(units.canDispatch(ExecUnit::CTRL));
+}
+
+TEST(ExecUnits, LatencyByUnitClass)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    ExecUnits units(config);
+    EXPECT_EQ(units.latency(Opcode::ADD), config.aluLatency);
+    EXPECT_EQ(units.latency(Opcode::MAD), config.aluLatency);
+    EXPECT_EQ(units.latency(Opcode::SQRT), config.sfuLatency);
+    EXPECT_EQ(units.latency(Opcode::BRA), config.ctrlLatency);
+    // Memory service time is added by the memory model; the LDST
+    // pipe itself contributes one cycle.
+    EXPECT_EQ(units.latency(Opcode::LD_GLOBAL), 1u);
+}
+
+TEST(ExecUnits, DispatchCountersAccumulate)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    ExecUnits units(config);
+    units.newCycle();
+    units.dispatch(ExecUnit::ALU);
+    units.dispatch(ExecUnit::SFU);
+    units.newCycle();
+    units.dispatch(ExecUnit::ALU);
+    EXPECT_EQ(units.stats().counterValue("alu_dispatches"), 2u);
+    EXPECT_EQ(units.stats().counterValue("sfu_dispatches"), 1u);
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Functional-runner tests: full kernels, traces, loop iteration
+ * counts, warp divergence and the runaway guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "sm/functional.h"
+#include "workloads/snippets.h"
+
+namespace bow {
+namespace {
+
+TEST(Functional, LoopRunsExpectedIterations)
+{
+    const unsigned iters = 9;
+    const Launch launch = snippets::chainLoop(1, iters);
+    const auto fn = runFunctional(launch);
+    ASSERT_EQ(fn.traces.size(), 1u);
+    // Counter register r1 holds the iteration count at the end.
+    EXPECT_EQ(fn.finalRegs[0][1], iters);
+}
+
+TEST(Functional, TraceRecordsDynamicStream)
+{
+    Kernel k = assemble(
+        "mov $r1, 0;\n"
+        "loop:\n"
+        "add $r1, $r1, 1;\n"
+        "setp.lt.s32 $p0, $r1, 3;\n"
+        "@$p0 bra loop;\n"
+        "exit;");
+    Launch launch;
+    launch.kernel = k;
+    launch.numWarps = 1;
+    const auto fn = runFunctional(launch);
+    // 1 mov + 3 x (add, setp, bra) + exit = 11 dynamic instructions.
+    EXPECT_EQ(fn.traces[0].insts.size(), 11u);
+    EXPECT_EQ(fn.dynamicInsts, 11u);
+    // The bra's last execution fell through.
+    EXPECT_EQ(fn.traces[0].insts.back().idx, 4u);
+}
+
+TEST(Functional, TraceMarksGuardSuppressedWrites)
+{
+    Kernel k = assemble(
+        "setp.eq.s32 $p0, $r1, 99;\n" // false: r1 == 0
+        "@$p0 mov $r2, 1;\n"
+        "exit;");
+    Launch launch;
+    launch.kernel = k;
+    launch.numWarps = 1;
+    const auto fn = runFunctional(launch);
+    ASSERT_EQ(fn.traces[0].insts.size(), 3u);
+    EXPECT_TRUE(fn.traces[0].insts[0].wrote);
+    EXPECT_FALSE(fn.traces[0].insts[1].wrote);
+}
+
+TEST(Functional, WarpsDivergeByWarpId)
+{
+    const Launch launch = snippets::branchDiamond(4);
+    const auto fn = runFunctional(launch);
+    // Even warps: wid + 100; odd warps: wid * 7 (see snippet).
+    EXPECT_EQ(fn.finalMem.load(MemSpace::Global, 0x8000 + 0 * 4),
+              100u);
+    EXPECT_EQ(fn.finalMem.load(MemSpace::Global, 0x8000 + 1 * 4), 7u);
+    EXPECT_EQ(fn.finalMem.load(MemSpace::Global, 0x8000 + 2 * 4),
+              102u);
+    EXPECT_EQ(fn.finalMem.load(MemSpace::Global, 0x8000 + 3 * 4),
+              21u);
+}
+
+TEST(Functional, VaddComputesSums)
+{
+    const Launch launch = snippets::tinyVadd(2, 4);
+    const auto fn = runFunctional(launch);
+    // c[i] = a[i] + b[i] where a and b are the deterministic
+    // background values; check one element per warp.
+    for (WarpId w = 0; w < 2; ++w) {
+        const std::uint32_t base = 0x1000 + (w << 12);
+        const Value a = fn.finalMem.load(MemSpace::Global, base);
+        const Value b = fn.finalMem.load(MemSpace::Global,
+                                         base + 0x100000);
+        EXPECT_EQ(fn.finalMem.load(MemSpace::Global, base + 0x200000),
+                  a + b);
+    }
+}
+
+TEST(Functional, InitialRegistersApplied)
+{
+    Kernel k = assemble("add $r1, $r2, $r3; exit;");
+    Launch launch;
+    launch.kernel = k;
+    launch.numWarps = 2;
+    launch.initRegs = {{2, 10}, {3, 20}};
+    const auto fn = runFunctional(launch);
+    EXPECT_EQ(fn.finalRegs[0][1], 30u);
+    EXPECT_EQ(fn.finalRegs[1][1], 30u);
+}
+
+TEST(Functional, InitialMemoryApplied)
+{
+    Kernel k = assemble("ld.global $r1, [$r2+0x40]; exit;");
+    Launch launch;
+    launch.kernel = k;
+    launch.numWarps = 1;
+    launch.initMem = {{MemSpace::Global, 0x40, 4242}};
+    const auto fn = runFunctional(launch);
+    EXPECT_EQ(fn.finalRegs[0][1], 4242u);
+}
+
+TEST(Functional, RunawayKernelIsFatal)
+{
+    Kernel k = assemble(
+        "loop:\n"
+        "bra loop;\n"
+        "exit;");
+    Launch launch;
+    launch.kernel = k;
+    launch.numWarps = 1;
+    EXPECT_THROW(runFunctional(launch, /*maxPerWarp=*/1000),
+                 FatalError);
+}
+
+TEST(Functional, ZeroWarpLaunchIsFatal)
+{
+    Launch launch = snippets::tinyVadd(1, 1);
+    launch.numWarps = 0;
+    EXPECT_THROW(runFunctional(launch), FatalError);
+}
+
+TEST(Functional, TracesCanBeDisabled)
+{
+    const auto fn = runFunctional(snippets::tinyVadd(2, 4), 100000,
+                                  /*recordTraces=*/false);
+    EXPECT_TRUE(fn.traces[0].insts.empty());
+    EXPECT_GT(fn.dynamicInsts, 0u);
+}
+
+TEST(Functional, Fig6SnippetExecutes)
+{
+    const auto fn = runFunctional(snippets::btreeSnippet());
+    ASSERT_EQ(fn.traces.size(), 1u);
+    EXPECT_EQ(fn.traces[0].insts.size(), 14u);
+    // set.ne compares two distinct computed values; p0 ends up 0/1.
+    EXPECT_LE(fn.finalRegs[0][predReg(0)], 1u);
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Cross-cutting property tests (parameterized sweeps):
+ *
+ *  1. Bypassing never changes architectural results — every
+ *     architecture x workload x window combination must match the
+ *     functional golden model.
+ *  2. Read-bypass opportunity is monotone in the window size.
+ *  3. RF traffic ordering: BOW-WR-opt <= BOW-WR <= BOW writes.
+ *  4. Access-count / energy accounting identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "compiler/reuse.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "workloads/registry.h"
+#include "workloads/snippets.h"
+
+namespace bow {
+namespace {
+
+// A representative workload subset keeps the heavier sweeps fast
+// while covering branchy (BTREE), mad-heavy (CIFARNET), memory-bound
+// (VECTORADD) and reuse-heavy (SAD) behaviour; the correctness sweep
+// additionally runs the full Table III suite.
+const char *const kWorkloads[] = {"BTREE", "CIFARNET", "VECTORADD",
+                                  "SAD"};
+const char *const kAllWorkloads[] = {
+    "LIB", "LPS", "STO", "WP", "BACKPROP", "BFS", "BTREE", "GAUSSIAN",
+    "MUM", "NW", "SRAD", "CIFARNET", "SQUEEZENET", "VECTORADD", "SAD"};
+constexpr double kScale = 0.08;
+
+using ArchWindow = std::tuple<Architecture, unsigned>;
+using SweepParam = std::tuple<const char *, ArchWindow>;
+
+std::string
+sweepLabel(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    const char *name = std::get<0>(info.param);
+    const Architecture arch = std::get<0>(std::get<1>(info.param));
+    const unsigned iw = std::get<1>(std::get<1>(info.param));
+    std::string label = std::string(name) + "_" + archName(arch) +
+        "_iw" + std::to_string(iw);
+    for (auto &c : label) {
+        if (c == '-')
+            c = '_';
+    }
+    return label;
+}
+
+class CorrectnessSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(CorrectnessSweep, TimingMatchesFunctional)
+{
+    const char *name = std::get<0>(GetParam());
+    const Architecture arch = std::get<0>(std::get<1>(GetParam()));
+    const unsigned iw = std::get<1>(std::get<1>(GetParam()));
+    const auto wl = workloads::make(name, kScale);
+    Simulator sim(configFor(arch, iw));
+    sim.verifyAgainstFunctional(wl.launch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchesAndWindows, CorrectnessSweep,
+    ::testing::Combine(
+        ::testing::ValuesIn(kAllWorkloads),
+        ::testing::Values(
+            ArchWindow{Architecture::Baseline, 3},
+            ArchWindow{Architecture::RFC, 3},
+            ArchWindow{Architecture::BOW, 2},
+            ArchWindow{Architecture::BOW, 3},
+            ArchWindow{Architecture::BOW, 4},
+            ArchWindow{Architecture::BOW_WR, 2},
+            ArchWindow{Architecture::BOW_WR, 3},
+            ArchWindow{Architecture::BOW_WR, 4},
+            ArchWindow{Architecture::BOW_WR_OPT, 2},
+            ArchWindow{Architecture::BOW_WR_OPT, 3},
+            ArchWindow{Architecture::BOW_WR_OPT, 4})),
+    sweepLabel);
+
+class HalfSizeSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(HalfSizeSweep, HalfSizeBocStaysCorrect)
+{
+    const auto wl = workloads::make(GetParam(), kScale);
+    Simulator sim(configFor(Architecture::BOW_WR_OPT, 3,
+                            /*bocEntries=*/6));
+    sim.verifyAgainstFunctional(wl.launch);
+}
+
+INSTANTIATE_TEST_SUITE_P(HalfSize, HalfSizeSweep,
+                         ::testing::ValuesIn(kWorkloads));
+
+class ExtendedWindowSweep
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ExtendedWindowSweep, CapacityLimitedResidencyStaysCorrect)
+{
+    const auto wl = workloads::make(GetParam(), kScale);
+    for (unsigned cap : {6u, 12u}) {
+        SimConfig config = configFor(Architecture::BOW_WR, 3, cap);
+        config.extendedWindow = true;
+        Simulator sim(config);
+        sim.verifyAgainstFunctional(wl.launch);
+    }
+}
+
+TEST_P(ExtendedWindowSweep, ExtendedWindowForwardsAtLeastAsMuch)
+{
+    const auto wl = workloads::make(GetParam(), kScale);
+    SimConfig nominal = configFor(Architecture::BOW_WR, 3, 12);
+    SimConfig extended = nominal;
+    extended.extendedWindow = true;
+    const auto rn = Simulator(nominal).run(wl.launch);
+    const auto re = Simulator(extended).run(wl.launch);
+    EXPECT_GE(re.stats.bocForwards, rn.stats.bocForwards)
+        << GetParam();
+    EXPECT_LE(re.stats.rfReads, rn.stats.rfReads) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ExtendedWindowSweep,
+                         ::testing::ValuesIn(kWorkloads));
+
+class MonotoneSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MonotoneSweep, ReadBypassMonotoneInWindow)
+{
+    const auto wl = workloads::make(GetParam(), kScale);
+    const auto fn = runFunctional(wl.launch);
+    double prev = -1.0;
+    for (unsigned iw = 2; iw <= 7; ++iw) {
+        const auto s = analyzeReuse(wl.launch.kernel, fn.traces, iw);
+        EXPECT_GE(s.readFraction() + 1e-12, prev)
+            << GetParam() << " iw=" << iw;
+        prev = s.readFraction();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, MonotoneSweep,
+                         ::testing::ValuesIn(kWorkloads));
+
+class TrafficSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TrafficSweep, WritePolicyOrdering)
+{
+    const auto wl = workloads::make(GetParam(), kScale);
+    const auto bow =
+        Simulator(configFor(Architecture::BOW, 3)).run(wl.launch);
+    const auto wr =
+        Simulator(configFor(Architecture::BOW_WR, 3)).run(wl.launch);
+    const auto opt = Simulator(configFor(Architecture::BOW_WR_OPT, 3))
+                         .run(wl.launch);
+
+    // Write-back can only shield the RF relative to write-through,
+    // and hints can only help further.
+    EXPECT_LE(wr.stats.rfWrites, bow.stats.rfWrites) << GetParam();
+    EXPECT_LE(opt.stats.rfWrites, wr.stats.rfWrites) << GetParam();
+    // All variants execute the same dynamic instructions.
+    EXPECT_EQ(bow.stats.instructions, wr.stats.instructions);
+    EXPECT_EQ(wr.stats.instructions, opt.stats.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, TrafficSweep,
+                         ::testing::ValuesIn(kWorkloads));
+
+TEST_P(TrafficSweep, EnergyOrdering)
+{
+    const auto wl = workloads::make(GetParam(), kScale);
+    const auto base =
+        Simulator(configFor(Architecture::Baseline)).run(wl.launch);
+    const auto bow =
+        Simulator(configFor(Architecture::BOW, 3)).run(wl.launch);
+    const auto opt = Simulator(configFor(Architecture::BOW_WR_OPT, 3))
+                         .run(wl.launch);
+    const double nBow = bow.energy.normalizedTo(base.energy);
+    const double nOpt = opt.energy.normalizedTo(base.energy);
+    EXPECT_LT(nBow, 1.0) << GetParam();
+    EXPECT_LT(nOpt, nBow) << GetParam();
+}
+
+TEST_P(TrafficSweep, AccessAccountingIdentity)
+{
+    // Every dynamic unique-source register read is served by an RF
+    // bank read, a BOC forward, or by sharing an in-flight fetch —
+    // so forwards and bank reads are each bounded by the dynamic
+    // read count, and in BOW mode every bank read deposits into a
+    // BOC.
+    const auto wl = workloads::make(GetParam(), kScale);
+    const auto fn = runFunctional(wl.launch);
+    std::uint64_t totalReads = 0;
+    for (const auto &t : fn.traces) {
+        for (const auto &d : t.insts)
+            totalReads +=
+                wl.launch.kernel.inst(d.idx).uniqueSrcRegs().size();
+    }
+    const auto bow =
+        Simulator(configFor(Architecture::BOW, 3)).run(wl.launch);
+    EXPECT_LE(bow.stats.bocForwards, totalReads) << GetParam();
+    EXPECT_LE(bow.stats.rfReads, totalReads) << GetParam();
+    EXPECT_GT(bow.stats.bocForwards, 0u) << GetParam();
+    EXPECT_EQ(bow.stats.bocDeposits, bow.stats.rfReads);
+}
+
+} // namespace
+} // namespace bow

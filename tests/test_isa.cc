@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode traits, instruction operand
+ * accessors, kernel validation and basic-block leader detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/kernel.h"
+#include "workloads/builder.h"
+
+namespace bow {
+namespace {
+
+TEST(Opcode, TraitsAreConsistent)
+{
+    EXPECT_EQ(opcodeName(Opcode::MAD), "mad");
+    EXPECT_EQ(opcodeInfo(Opcode::MAD).numSrcs, 3u);
+    EXPECT_TRUE(opcodeInfo(Opcode::MAD).hasDest);
+    EXPECT_EQ(opcodeInfo(Opcode::MAD).unit, ExecUnit::ALU);
+
+    EXPECT_TRUE(opcodeInfo(Opcode::LD_GLOBAL).isLoad);
+    EXPECT_FALSE(opcodeInfo(Opcode::LD_GLOBAL).isStore);
+    EXPECT_TRUE(opcodeInfo(Opcode::ST_SHARED).isStore);
+    EXPECT_EQ(opcodeInfo(Opcode::ST_GLOBAL).numSrcs, 2u);
+    EXPECT_FALSE(opcodeInfo(Opcode::ST_GLOBAL).hasDest);
+
+    EXPECT_TRUE(opcodeInfo(Opcode::BRA).isBranch);
+    EXPECT_TRUE(opcodeInfo(Opcode::EXIT).endsWarp);
+    EXPECT_TRUE(opcodeInfo(Opcode::RET).endsWarp);
+    EXPECT_EQ(opcodeInfo(Opcode::SQRT).unit, ExecUnit::SFU);
+}
+
+TEST(Opcode, EveryOpcodeHasAName)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(Opcode::NUM_OPCODES); ++i) {
+        EXPECT_FALSE(opcodeName(static_cast<Opcode>(i)).empty());
+    }
+}
+
+TEST(Opcode, IsMemoryOp)
+{
+    EXPECT_TRUE(isMemoryOp(Opcode::LD_SHARED));
+    EXPECT_TRUE(isMemoryOp(Opcode::ST_GLOBAL));
+    EXPECT_FALSE(isMemoryOp(Opcode::ADD));
+    EXPECT_FALSE(isMemoryOp(Opcode::BRA));
+}
+
+TEST(Opcode, CondEval)
+{
+    EXPECT_TRUE(evalCond(CondCode::EQ, 5, 5));
+    EXPECT_TRUE(evalCond(CondCode::NE, 5, 6));
+    // Signed comparison: 0xFFFFFFFF is -1.
+    EXPECT_TRUE(evalCond(CondCode::LT, 0xFFFFFFFFu, 0));
+    EXPECT_FALSE(evalCond(CondCode::GT, 0xFFFFFFFFu, 0));
+    EXPECT_TRUE(evalCond(CondCode::LE, 3, 3));
+    EXPECT_TRUE(evalCond(CondCode::GE, 4, 3));
+}
+
+TEST(Instruction, SrcRegsIncludesGuardPredicate)
+{
+    Instruction i;
+    i.op = Opcode::ADD;
+    i.dst = 1;
+    i.addSrc(Operand::makeReg(2));
+    i.addSrc(Operand::makeReg(3));
+    i.pred = predReg(0);
+    const auto regs = i.srcRegs();
+    ASSERT_EQ(regs.size(), 3u);
+    EXPECT_EQ(regs[0], 2);
+    EXPECT_EQ(regs[1], 3);
+    EXPECT_EQ(regs[2], predReg(0));
+}
+
+TEST(Instruction, UniqueSrcRegsDeduplicates)
+{
+    Instruction i;
+    i.op = Opcode::MAD;
+    i.dst = 1;
+    i.addSrc(Operand::makeReg(5));
+    i.addSrc(Operand::makeReg(5));
+    i.addSrc(Operand::makeReg(7));
+    EXPECT_EQ(i.srcRegs().size(), 3u);
+    EXPECT_EQ(i.uniqueSrcRegs().size(), 2u);
+}
+
+TEST(Instruction, NumRegSrcsSkipsImmediates)
+{
+    Instruction i;
+    i.op = Opcode::ADD;
+    i.dst = 1;
+    i.addSrc(Operand::makeReg(2));
+    i.addSrc(Operand::makeImm(7));
+    EXPECT_EQ(i.numRegSrcs(), 1u);
+}
+
+TEST(Instruction, AddSrcOverflowPanics)
+{
+    Instruction i;
+    i.op = Opcode::MAD;
+    i.addSrc(Operand::makeReg(1));
+    i.addSrc(Operand::makeReg(2));
+    i.addSrc(Operand::makeReg(3));
+    EXPECT_THROW(i.addSrc(Operand::makeReg(4)), PanicError);
+}
+
+TEST(Kernel, FinalizeRejectsEmptyKernel)
+{
+    Kernel k("empty");
+    EXPECT_THROW(k.finalize(), FatalError);
+}
+
+TEST(Kernel, FinalizeRejectsMissingTerminator)
+{
+    Kernel k("noexit");
+    Instruction i;
+    i.op = Opcode::NOP;
+    k.add(i);
+    EXPECT_THROW(k.finalize(), FatalError);
+}
+
+TEST(Kernel, FinalizeRejectsWrongSourceCount)
+{
+    Kernel k("badsrc");
+    Instruction i;
+    i.op = Opcode::ADD;
+    i.dst = 1;
+    i.addSrc(Operand::makeReg(2)); // add needs two sources
+    k.add(i);
+    Instruction e;
+    e.op = Opcode::EXIT;
+    k.add(e);
+    EXPECT_THROW(k.finalize(), FatalError);
+}
+
+TEST(Kernel, FinalizeRejectsUnresolvedBranch)
+{
+    Kernel k("badbr");
+    Instruction b;
+    b.op = Opcode::BRA;
+    k.add(b);
+    Instruction e;
+    e.op = Opcode::EXIT;
+    k.add(e);
+    EXPECT_THROW(k.finalize(), FatalError);
+}
+
+TEST(Kernel, NumGprsExcludesPredicates)
+{
+    KernelBuilder kb("gprs");
+    kb.movImm(9, 1);
+    kb.setpImm(CondCode::NE, predReg(3), 9, 0);
+    kb.exit();
+    Kernel k = kb.build();
+    EXPECT_EQ(k.numGprs(), 10u);
+}
+
+TEST(Kernel, LeadersAtBranchTargetsAndFallThroughs)
+{
+    KernelBuilder kb("leaders");
+    auto target = kb.newLabel();
+    kb.movImm(0, 1);            // 0: leader (entry)
+    kb.bra(target);             // 1
+    kb.movImm(1, 2);            // 2: leader (after branch)
+    kb.bind(target);
+    kb.movImm(2, 3);            // 3: leader (branch target)
+    kb.exit();                  // 4
+    Kernel k = kb.build();
+    EXPECT_TRUE(k.isLeader(0));
+    EXPECT_FALSE(k.isLeader(1));
+    EXPECT_TRUE(k.isLeader(2));
+    EXPECT_TRUE(k.isLeader(3));
+    EXPECT_FALSE(k.isLeader(4));
+    EXPECT_EQ(k.leaders().size(), 3u);
+}
+
+TEST(KernelBuilder, UnboundLabelPanics)
+{
+    KernelBuilder kb("unbound");
+    auto l = kb.newLabel();
+    kb.bra(l);
+    kb.exit();
+    EXPECT_THROW(kb.build(), PanicError);
+}
+
+TEST(KernelBuilder, DoubleBindPanics)
+{
+    KernelBuilder kb("dbl");
+    auto l = kb.newLabel();
+    kb.bind(l);
+    kb.movImm(0, 1);
+    EXPECT_THROW(kb.bind(l), PanicError);
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Memory model tests: functional store semantics and the L1/L2
+ * timing hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/memory_model.h"
+
+namespace bow {
+namespace {
+
+TEST(MemoryStore, ReadAfterWrite)
+{
+    MemoryStore m;
+    m.store(MemSpace::Global, 0x100, 42);
+    EXPECT_EQ(m.load(MemSpace::Global, 0x100), 42u);
+}
+
+TEST(MemoryStore, SpacesAreIndependent)
+{
+    MemoryStore m;
+    m.store(MemSpace::Global, 0x100, 1);
+    m.store(MemSpace::Shared, 0x100, 2);
+    m.store(MemSpace::Const, 0x100, 3);
+    EXPECT_EQ(m.load(MemSpace::Global, 0x100), 1u);
+    EXPECT_EQ(m.load(MemSpace::Shared, 0x100), 2u);
+    EXPECT_EQ(m.load(MemSpace::Const, 0x100), 3u);
+}
+
+TEST(MemoryStore, UnwrittenLocationsAreDeterministic)
+{
+    MemoryStore a;
+    MemoryStore b;
+    EXPECT_EQ(a.load(MemSpace::Global, 0xDEAD),
+              b.load(MemSpace::Global, 0xDEAD));
+    // Different addresses should (practically) differ.
+    EXPECT_NE(a.load(MemSpace::Global, 0x10),
+              a.load(MemSpace::Global, 0x14));
+    // Different spaces at the same address differ too.
+    EXPECT_NE(a.load(MemSpace::Global, 0x10),
+              a.load(MemSpace::Shared, 0x10));
+}
+
+TEST(MemoryStore, FillWritesConsecutiveWords)
+{
+    MemoryStore m;
+    m.fill(MemSpace::Global, 0x200, {1, 2, 3});
+    EXPECT_EQ(m.load(MemSpace::Global, 0x200), 1u);
+    EXPECT_EQ(m.load(MemSpace::Global, 0x204), 2u);
+    EXPECT_EQ(m.load(MemSpace::Global, 0x208), 3u);
+}
+
+TEST(MemoryStore, ContentsEqualComparesWrites)
+{
+    MemoryStore a;
+    MemoryStore b;
+    EXPECT_TRUE(a.contentsEqual(b));
+    a.store(MemSpace::Global, 4, 9);
+    EXPECT_FALSE(a.contentsEqual(b));
+    b.store(MemSpace::Global, 4, 9);
+    EXPECT_TRUE(a.contentsEqual(b));
+}
+
+class MemoryTimingTest : public ::testing::Test
+{
+  protected:
+    SimConfig config = SimConfig::titanXPascal();
+};
+
+TEST_F(MemoryTimingTest, ColdMissThenHit)
+{
+    MemoryTiming t(config);
+    const unsigned miss = t.access(MemSpace::Global, 0x1000, false);
+    EXPECT_GT(miss, config.l1Latency);
+    const unsigned hit = t.access(MemSpace::Global, 0x1000, false);
+    EXPECT_EQ(hit, config.l1Latency);
+    EXPECT_EQ(t.stats().counterValue("l1_hits"), 1u);
+    EXPECT_EQ(t.stats().counterValue("l1_misses"), 1u);
+}
+
+TEST_F(MemoryTimingTest, SameLineIsAHit)
+{
+    MemoryTiming t(config);
+    t.access(MemSpace::Global, 0x1000, false);
+    const unsigned hit = t.access(MemSpace::Global, 0x1004, false);
+    EXPECT_EQ(hit, config.l1Latency);
+}
+
+TEST_F(MemoryTimingTest, L2CatchesL1Evictions)
+{
+    MemoryTiming t(config);
+    // Touch the same L1 set with more lines than its associativity:
+    // L1 sets = 48KB / 128B / 6 ways = 64 sets, so addresses 64*128
+    // bytes apart collide in set 0.
+    const unsigned setStride = 64 * 128;
+    for (unsigned i = 0; i < config.l1Ways + 2; ++i)
+        t.access(MemSpace::Global, i * setStride, false);
+    // Address 0 was evicted from L1 but lives in L2.
+    const unsigned lat = t.access(MemSpace::Global, 0, false);
+    EXPECT_EQ(lat, config.l1Latency + config.l2Latency);
+}
+
+TEST_F(MemoryTimingTest, SharedAndConstHaveFixedLatency)
+{
+    MemoryTiming t(config);
+    EXPECT_EQ(t.access(MemSpace::Shared, 0x42, false),
+              config.sharedLatency);
+    EXPECT_EQ(t.access(MemSpace::Const, 0x42, false),
+              config.l1Latency);
+}
+
+TEST_F(MemoryTimingTest, StoresAreWriteThroughNoAllocate)
+{
+    MemoryTiming t(config);
+    const unsigned st = t.access(MemSpace::Global, 0x5000, true);
+    EXPECT_EQ(st, config.l1Latency);
+    // The store did not allocate in L1, but it did allocate in L2.
+    const unsigned ld = t.access(MemSpace::Global, 0x5000, false);
+    EXPECT_EQ(ld, config.l1Latency + config.l2Latency);
+}
+
+TEST_F(MemoryTimingTest, DramLatencyOnFullMiss)
+{
+    MemoryTiming t(config);
+    const unsigned lat = t.access(MemSpace::Global, 0x7777000, false);
+    EXPECT_EQ(lat, config.l1Latency + config.l2Latency +
+                       config.dramLatency);
+}
+
+} // namespace
+} // namespace bow

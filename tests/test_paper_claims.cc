@@ -1,0 +1,211 @@
+/**
+ * @file
+ * End-to-end guards on the paper's headline claims (EXPERIMENTS.md):
+ * run the full Table III suite at reduced scale and assert every
+ * reproduced trend stays inside a generous band around the paper's
+ * numbers. These tests are the canary for calibration drift — if one
+ * fails after a model change, re-run the benches and re-validate
+ * EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/reuse.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+constexpr double kScale = 0.2;
+
+class PaperClaims : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new std::vector<Workload>(workloads::makeAll(kScale));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete suite_;
+        suite_ = nullptr;
+    }
+
+    static const std::vector<Workload> &suite() { return *suite_; }
+
+  private:
+    static std::vector<Workload> *suite_;
+};
+
+std::vector<Workload> *PaperClaims::suite_ = nullptr;
+
+TEST_F(PaperClaims, ReadBypassFractionAtIw3)
+{
+    // Paper: 59% of reads bypassable at IW=3 (45% at IW=2).
+    double acc3 = 0.0;
+    double acc2 = 0.0;
+    for (const auto &wl : suite()) {
+        const auto fn = runFunctional(wl.launch);
+        acc3 += analyzeReuse(wl.launch.kernel, fn.traces, 3)
+                    .readFraction();
+        acc2 += analyzeReuse(wl.launch.kernel, fn.traces, 2)
+                    .readFraction();
+    }
+    const double n = static_cast<double>(suite().size());
+    EXPECT_NEAR(acc3 / n, 0.59, 0.10);
+    EXPECT_NEAR(acc2 / n, 0.45, 0.10);
+}
+
+TEST_F(PaperClaims, WriteBypassFractionAtIw3)
+{
+    // Paper: 52% of writes bypassable at IW=3.
+    double acc = 0.0;
+    for (const auto &wl : suite()) {
+        const auto fn = runFunctional(wl.launch);
+        acc += analyzeReuse(wl.launch.kernel, fn.traces, 3)
+                   .writeFraction();
+    }
+    EXPECT_NEAR(acc / static_cast<double>(suite().size()), 0.52,
+                0.10);
+}
+
+TEST_F(PaperClaims, EnergySavingBands)
+{
+    // Paper Fig. 13: BOW saves ~36%, BOW-WR ~55% of RF dynamic
+    // energy.
+    double accBow = 0.0;
+    double accWr = 0.0;
+    for (const auto &wl : suite()) {
+        const auto base =
+            Simulator(configFor(Architecture::Baseline))
+                .run(wl.launch);
+        const auto bow = Simulator(configFor(Architecture::BOW, 3))
+                             .run(wl.launch);
+        const auto wr =
+            Simulator(configFor(Architecture::BOW_WR_OPT, 3))
+                .run(wl.launch);
+        accBow += 1.0 - bow.energy.normalizedTo(base.energy);
+        accWr += 1.0 - wr.energy.normalizedTo(base.energy);
+    }
+    const double n = static_cast<double>(suite().size());
+    EXPECT_NEAR(accBow / n, 0.36, 0.08);
+    EXPECT_NEAR(accWr / n, 0.55, 0.08);
+}
+
+TEST_F(PaperClaims, IpcGainsArePositiveAndKneeAtIw3)
+{
+    // Paper Fig. 10: positive average gains that barely grow past
+    // IW=3. Our reproduction averages ~+9% (paper +11-13%).
+    unsigned positive = 0;
+    double acc2 = 0.0;
+    double acc3 = 0.0;
+    double acc4 = 0.0;
+    for (const auto &wl : suite()) {
+        const double base =
+            Simulator(configFor(Architecture::Baseline))
+                .run(wl.launch)
+                .stats.ipc();
+        const double g2 = improvementPct(
+            Simulator(configFor(Architecture::BOW_WR_OPT, 2))
+                .run(wl.launch)
+                .stats.ipc(),
+            base);
+        const double g3 = improvementPct(
+            Simulator(configFor(Architecture::BOW_WR_OPT, 3))
+                .run(wl.launch)
+                .stats.ipc(),
+            base);
+        const double g4 = improvementPct(
+            Simulator(configFor(Architecture::BOW_WR_OPT, 4))
+                .run(wl.launch)
+                .stats.ipc(),
+            base);
+        if (g3 > 0.0)
+            ++positive;
+        acc2 += g2;
+        acc3 += g3;
+        acc4 += g4;
+    }
+    const double n = static_cast<double>(suite().size());
+    EXPECT_GE(positive, suite().size() - 2);
+    EXPECT_GT(acc3 / n, 5.0);          // substantial average gain
+    EXPECT_GT(acc3 / n, acc2 / n);     // rises to IW=3
+    EXPECT_LT(acc4 / n - acc3 / n, 3.0); // flattens after
+}
+
+TEST_F(PaperClaims, TransientWriteShareAtIw3)
+{
+    // Paper Fig. 7: 52% of computed values are transient.
+    double acc = 0.0;
+    for (const auto &wl : suite()) {
+        const auto res =
+            Simulator(configFor(Architecture::BOW_WR_OPT, 3))
+                .run(wl.launch);
+        const auto &s = res.stats;
+        const double total = static_cast<double>(
+            s.destRfOnly + s.destBocOnly + s.destBocAndRf);
+        acc += total ? static_cast<double>(s.destBocOnly) / total
+                     : 0.0;
+    }
+    EXPECT_NEAR(acc / static_cast<double>(suite().size()), 0.52,
+                0.10);
+}
+
+TEST_F(PaperClaims, HalfSizeBocCostsLittle)
+{
+    // Paper Sec. V-A: halving the BOC costs ~2% on average.
+    double accFull = 0.0;
+    double accHalf = 0.0;
+    for (const auto &wl : suite()) {
+        const double base =
+            Simulator(configFor(Architecture::Baseline))
+                .run(wl.launch)
+                .stats.ipc();
+        accFull += improvementPct(
+            Simulator(configFor(Architecture::BOW_WR_OPT, 3, 12))
+                .run(wl.launch)
+                .stats.ipc(),
+            base);
+        accHalf += improvementPct(
+            Simulator(configFor(Architecture::BOW_WR_OPT, 3, 6))
+                .run(wl.launch)
+                .stats.ipc(),
+            base);
+    }
+    const double n = static_cast<double>(suite().size());
+    EXPECT_LT(accFull / n - accHalf / n, 3.0);
+}
+
+TEST_F(PaperClaims, RfcSavesEnergyButLessThanBow)
+{
+    // Paper Sec. V-A: RFC gains little performance and saves less
+    // energy than BOW-WR.
+    double accRfcIpc = 0.0;
+    double accRfcE = 0.0;
+    double accWrE = 0.0;
+    for (const auto &wl : suite()) {
+        const auto base =
+            Simulator(configFor(Architecture::Baseline))
+                .run(wl.launch);
+        const auto rfc =
+            Simulator(configFor(Architecture::RFC)).run(wl.launch);
+        const auto wr =
+            Simulator(configFor(Architecture::BOW_WR_OPT, 3, 6))
+                .run(wl.launch);
+        accRfcIpc += improvementPct(rfc.stats.ipc(),
+                                    base.stats.ipc());
+        accRfcE += rfc.energy.normalizedTo(base.energy);
+        accWrE += wr.energy.normalizedTo(base.energy);
+    }
+    const double n = static_cast<double>(suite().size());
+    EXPECT_LT(accRfcIpc / n, 6.0);     // far below BOW's gain
+    EXPECT_GT(accRfcE / n, accWrE / n); // BOW-WR saves more energy
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Golden-value regression tests. The simulator and workloads are
+ * fully deterministic, so these exact numbers must reproduce on every
+ * platform; any change here means the timing or reuse model changed
+ * and the paper-reproduction figures in EXPERIMENTS.md must be
+ * re-validated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/reuse.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "workloads/registry.h"
+#include "workloads/snippets.h"
+
+namespace bow {
+namespace {
+
+struct Golden
+{
+    Architecture arch;
+    Cycle cycles;
+    std::uint64_t insts;
+    std::uint64_t rfReads;
+    std::uint64_t rfWrites;
+    std::uint64_t forwards;
+};
+
+TEST(Regression, ChainLoopTimingGoldenValues)
+{
+    const Launch launch = snippets::chainLoop(8, 16);
+    const Golden golden[] = {
+        {Architecture::Baseline, 719, 936, 1288, 792, 0},
+        {Architecture::RFC, 622, 936, 0, 48, 0},
+        {Architecture::BOW, 558, 936, 392, 792, 896},
+        {Architecture::BOW_WR, 541, 936, 392, 664, 896},
+        {Architecture::BOW_WR_OPT, 543, 936, 392, 280, 896},
+    };
+    for (const Golden &g : golden) {
+        Simulator sim(configFor(g.arch, 3));
+        const auto r = sim.run(launch);
+        EXPECT_EQ(r.stats.cycles, g.cycles) << archName(g.arch);
+        EXPECT_EQ(r.stats.instructions, g.insts) << archName(g.arch);
+        EXPECT_EQ(r.stats.rfReads, g.rfReads) << archName(g.arch);
+        EXPECT_EQ(r.stats.rfWrites, g.rfWrites) << archName(g.arch);
+        EXPECT_EQ(r.stats.bocForwards, g.forwards)
+            << archName(g.arch);
+    }
+}
+
+TEST(Regression, TimingOrderingAcrossArchitectures)
+{
+    // Relations the golden values encode, kept as explicit
+    // assertions so a re-pin cannot silently invert them.
+    const Launch launch = snippets::chainLoop(8, 16);
+    auto cyclesOf = [&](Architecture arch) {
+        Simulator sim(configFor(arch, 3));
+        return sim.run(launch).stats.cycles;
+    };
+    const Cycle base = cyclesOf(Architecture::Baseline);
+    EXPECT_LT(cyclesOf(Architecture::BOW), base);
+    EXPECT_LT(cyclesOf(Architecture::BOW_WR),
+              cyclesOf(Architecture::BOW));
+}
+
+TEST(Regression, LibReuseGoldenValues)
+{
+    const auto wl = workloads::make("LIB", 0.1);
+    const auto fn = runFunctional(wl.launch);
+
+    const struct
+    {
+        unsigned iw;
+        std::uint64_t bypassedReads;
+        std::uint64_t totalReads;
+        std::uint64_t bypassedWrites;
+        std::uint64_t totalWrites;
+    } golden[] = {
+        {2, 2336, 6432, 1472, 4320},
+        {3, 3808, 6432, 2432, 4320},
+        {4, 4000, 6432, 2560, 4320},
+    };
+    for (const auto &g : golden) {
+        const auto s = analyzeReuse(wl.launch.kernel, fn.traces, g.iw);
+        EXPECT_EQ(s.bypassedReads, g.bypassedReads) << "iw=" << g.iw;
+        EXPECT_EQ(s.totalReads, g.totalReads) << "iw=" << g.iw;
+        EXPECT_EQ(s.bypassedWrites, g.bypassedWrites)
+            << "iw=" << g.iw;
+        EXPECT_EQ(s.totalWrites, g.totalWrites) << "iw=" << g.iw;
+    }
+}
+
+TEST(Regression, WorkloadKernelsAreStable)
+{
+    // The generated kernels themselves are part of the calibration:
+    // pin their sizes and register footprints.
+    const struct
+    {
+        const char *name;
+        std::size_t insts;
+        unsigned gprs;
+    } golden[] = {
+        {"LIB", 84, 20},
+        {"BFS", 70, 20},
+        {"WP", 104, 36},
+        {"VECTORADD", 36, 16},
+        {"SAD", 98, 28},
+    };
+    for (const auto &g : golden) {
+        const auto wl = workloads::make(g.name, 0.1);
+        EXPECT_EQ(wl.launch.kernel.size(), g.insts) << g.name;
+        EXPECT_EQ(wl.launch.kernel.numGprs(), g.gprs) << g.name;
+    }
+}
+
+} // namespace
+} // namespace bow

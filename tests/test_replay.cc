@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Write-back replay tests — the paper's Table I experiment: RF write
+ * counts for the Fig. 6 BTREE listing under the three policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "compiler/writeback_tagger.h"
+#include "core/replay.h"
+#include "sm/functional.h"
+#include "workloads/snippets.h"
+
+namespace bow {
+namespace {
+
+class ReplayFig6 : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        launch = snippets::btreeSnippet();
+        trace = runFunctional(launch).traces[0];
+    }
+
+    Launch launch;
+    WarpTrace trace;
+};
+
+TEST_F(ReplayFig6, WriteThroughCountsEveryWrite)
+{
+    const auto r = replayWritebacks(launch.kernel, trace,
+                                    Architecture::BOW, 3);
+    // Static writes in the listing: r0 x3, r1 x4, r2 x3, r3 x1,
+    // r4 x1, p0 x1. (The paper's Table I quotes r2 = 2 because its
+    // variant of the listing has one fewer r2 write; see
+    // EXPERIMENTS.md.)
+    EXPECT_EQ(r.writesTo(0), 3u);
+    EXPECT_EQ(r.writesTo(1), 4u);
+    EXPECT_EQ(r.writesTo(2), 3u);
+    EXPECT_EQ(r.writesTo(3), 1u);
+    EXPECT_EQ(r.totalRfWrites, 13u);
+    EXPECT_EQ(r.totalBocWrites, 13u);
+}
+
+TEST_F(ReplayFig6, BaselineMatchesWriteThrough)
+{
+    const auto bow = replayWritebacks(launch.kernel, trace,
+                                      Architecture::BOW, 3);
+    const auto base = replayWritebacks(launch.kernel, trace,
+                                       Architecture::Baseline, 3);
+    EXPECT_EQ(bow.totalRfWrites, base.totalRfWrites);
+    EXPECT_EQ(base.totalBocWrites, 0u);
+}
+
+TEST_F(ReplayFig6, WriteBackConsolidates)
+{
+    const auto r = replayWritebacks(launch.kernel, trace,
+                                    Architecture::BOW_WR, 3);
+    // Consolidation collapses the r0 chain (3 writes -> 1) and the
+    // r1 chain (4 -> 2, because the line-9 value is refetched by the
+    // distant set.ne).
+    EXPECT_EQ(r.writesTo(0), 1u);
+    EXPECT_EQ(r.writesTo(1), 2u);
+    EXPECT_EQ(r.writesTo(3), 1u);
+    EXPECT_LT(r.totalRfWrites, 13u);
+}
+
+TEST_F(ReplayFig6, CompilerHintsMatchPaperTable)
+{
+    Launch tagged = launch;
+    tagWritebacks(tagged.kernel, 3);
+    const auto r = replayWritebacks(tagged.kernel, trace,
+                                    Architecture::BOW_WR_OPT, 3);
+    // Paper Table I, "BOW-WR (compiler Opt.)": r0=0, r1=1, r2=0,
+    // r3=1.
+    EXPECT_EQ(r.writesTo(0), 0u);
+    EXPECT_EQ(r.writesTo(1), 1u);
+    EXPECT_EQ(r.writesTo(2), 0u);
+    EXPECT_EQ(r.writesTo(3), 1u);
+}
+
+TEST_F(ReplayFig6, PolicyOrderingHolds)
+{
+    Launch tagged = launch;
+    tagWritebacks(tagged.kernel, 3);
+    const auto wt = replayWritebacks(launch.kernel, trace,
+                                     Architecture::BOW, 3);
+    const auto wb = replayWritebacks(launch.kernel, trace,
+                                     Architecture::BOW_WR, 3);
+    const auto opt = replayWritebacks(tagged.kernel, trace,
+                                      Architecture::BOW_WR_OPT, 3);
+    EXPECT_LT(wb.totalRfWrites, wt.totalRfWrites);
+    EXPECT_LT(opt.totalRfWrites, wb.totalRfWrites);
+}
+
+TEST(Replay, UnsupportedArchIsFatal)
+{
+    const Launch launch = snippets::btreeSnippet();
+    const auto trace = runFunctional(launch).traces[0];
+    EXPECT_THROW(replayWritebacks(launch.kernel, trace,
+                                  Architecture::RFC, 3),
+                 FatalError);
+}
+
+TEST(Replay, WiderWindowNeverIncreasesWrites)
+{
+    const Launch launch = snippets::chainLoop(1, 12);
+    const auto trace = runFunctional(launch).traces[0];
+    std::uint64_t prev = ~0ull;
+    for (unsigned iw = 2; iw <= 6; ++iw) {
+        const auto r = replayWritebacks(launch.kernel, trace,
+                                        Architecture::BOW_WR, iw);
+        EXPECT_LE(r.totalRfWrites, prev) << "iw=" << iw;
+        prev = r.totalRfWrites;
+    }
+}
+
+} // namespace
+} // namespace bow

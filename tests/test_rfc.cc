@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Register-file-cache baseline tests: write-allocate, read probes,
+ * FIFO replacement and dirty flushes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "sm/rfc.h"
+
+namespace bow {
+namespace {
+
+TEST(Rfc, ZeroEntriesIsFatal)
+{
+    EXPECT_THROW(Rfc(0), FatalError);
+}
+
+TEST(Rfc, ReadMissesUntilWritten)
+{
+    Rfc rfc(4);
+    EXPECT_FALSE(rfc.readHit(3));
+    rfc.write(3);
+    EXPECT_TRUE(rfc.readHit(3));
+}
+
+TEST(Rfc, ReadsDoNotAllocate)
+{
+    Rfc rfc(2);
+    EXPECT_FALSE(rfc.readHit(1));
+    EXPECT_FALSE(rfc.readHit(1)); // still a miss
+}
+
+TEST(Rfc, RepeatedWriteKeepsSingleEntry)
+{
+    Rfc rfc(2);
+    rfc.write(1);
+    rfc.write(1);
+    rfc.write(2);
+    // No eviction yet: r1 was updated in place.
+    auto res = rfc.write(3);
+    EXPECT_TRUE(res.evictedDirty);
+    EXPECT_EQ(res.evictedReg, 1);
+}
+
+TEST(Rfc, FifoEviction)
+{
+    Rfc rfc(2);
+    rfc.write(1);
+    rfc.write(2);
+    auto res = rfc.write(3);
+    EXPECT_TRUE(res.evictedDirty);
+    EXPECT_EQ(res.evictedReg, 1);
+    EXPECT_FALSE(rfc.readHit(1));
+    EXPECT_TRUE(rfc.readHit(2));
+    EXPECT_TRUE(rfc.readHit(3));
+}
+
+TEST(Rfc, FlushReturnsDirtyRegsAndEmpties)
+{
+    Rfc rfc(4);
+    rfc.write(1);
+    rfc.write(2);
+    auto dirty = rfc.flushDirty();
+    EXPECT_EQ(dirty.size(), 2u);
+    EXPECT_FALSE(rfc.readHit(1));
+    EXPECT_TRUE(rfc.flushDirty().empty());
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Warp-scheduler policy tests: scheduler/warp partitioning, GTO
+ * greediness and oldest-first order, LRR rotation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/scheduler.h"
+
+namespace bow {
+namespace {
+
+std::vector<Warp>
+makeWarps(unsigned n, WarpState state = WarpState::Active)
+{
+    std::vector<Warp> warps(n);
+    for (WarpId w = 0; w < n; ++w) {
+        warps[w].id = w;
+        warps[w].state = state;
+        warps[w].activated = w; // warp id == age order
+    }
+    return warps;
+}
+
+TEST(Scheduler, PartitionsWarpsBySchedulerId)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    WarpSchedulers sched(config);
+    auto warps = makeWarps(8);
+    for (unsigned sid = 0; sid < config.numSchedulers; ++sid) {
+        for (WarpId w : sched.pickOrder(sid, warps))
+            EXPECT_EQ(w % config.numSchedulers, sid);
+    }
+}
+
+TEST(Scheduler, SkipsInactiveWarps)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    WarpSchedulers sched(config);
+    auto warps = makeWarps(8);
+    warps[0].state = WarpState::Finished;
+    warps[4].state = WarpState::Draining;
+    const auto order = sched.pickOrder(0, warps);
+    EXPECT_TRUE(order.empty());
+}
+
+TEST(Scheduler, GtoPrefersOldestByDefault)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.schedPolicy = SchedPolicy::GTO;
+    WarpSchedulers sched(config);
+    auto warps = makeWarps(12);
+    warps[4].activated = 100; // make warp 4 the youngest
+    const auto order = sched.pickOrder(0, warps);
+    // Scheduler 0 owns warps 0, 4, 8; oldest-first: 0, 8, 4.
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 8);
+    EXPECT_EQ(order[2], 4);
+}
+
+TEST(Scheduler, GtoHoistsGreedyWarp)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.schedPolicy = SchedPolicy::GTO;
+    WarpSchedulers sched(config);
+    auto warps = makeWarps(12);
+    sched.noteIssue(0, 8);
+    const auto order = sched.pickOrder(0, warps);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 8); // greedy favourite first
+    EXPECT_EQ(order[1], 0); // then oldest
+    EXPECT_EQ(order[2], 4);
+}
+
+TEST(Scheduler, GreedyFavouriteCanFinish)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    WarpSchedulers sched(config);
+    auto warps = makeWarps(12);
+    sched.noteIssue(0, 8);
+    warps[8].state = WarpState::Finished;
+    const auto order = sched.pickOrder(0, warps);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0);
+}
+
+TEST(Scheduler, LrrRotates)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.schedPolicy = SchedPolicy::LRR;
+    WarpSchedulers sched(config);
+    auto warps = makeWarps(12);
+    const auto first = sched.pickOrder(0, warps);
+    ASSERT_EQ(first.size(), 3u);
+    const WarpId head0 = first[0];
+    sched.noteIssue(0, first[0]);
+    const auto second = sched.pickOrder(0, warps);
+    EXPECT_NE(second[0], head0); // rotor moved on
+}
+
+TEST(Scheduler, TwoLevelDemotesMemoryWaiters)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.schedPolicy = SchedPolicy::TWO_LEVEL;
+    WarpSchedulers sched(config);
+    auto warps = makeWarps(12);
+    warps[0].pendingLoads = 2;  // oldest warp waits on memory
+    const auto order = sched.pickOrder(0, warps);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 4);     // compute-ready, oldest first
+    EXPECT_EQ(order[1], 8);
+    EXPECT_EQ(order[2], 0);     // demoted behind the active set
+}
+
+TEST(Scheduler, TwoLevelFallsBackToAgeOrder)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.schedPolicy = SchedPolicy::TWO_LEVEL;
+    WarpSchedulers sched(config);
+    auto warps = makeWarps(12);
+    const auto order = sched.pickOrder(0, warps);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 4);
+    EXPECT_EQ(order[2], 8);
+}
+
+TEST(Scheduler, SchedulersAreIndependent)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    WarpSchedulers sched(config);
+    auto warps = makeWarps(12);
+    sched.noteIssue(0, 8);
+    // Scheduler 1's order is unaffected by scheduler 0's greediness.
+    const auto order = sched.pickOrder(1, warps);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+}
+
+} // namespace
+} // namespace bow

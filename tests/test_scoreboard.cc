@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Scoreboard hazard tests: RAW, WAW, WAR detection and release
+ * ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "sm/scoreboard.h"
+
+namespace bow {
+namespace {
+
+Instruction
+makeAdd(RegId d, RegId a, RegId b)
+{
+    Instruction i;
+    i.op = Opcode::ADD;
+    i.dst = d;
+    i.addSrc(Operand::makeReg(a));
+    i.addSrc(Operand::makeReg(b));
+    return i;
+}
+
+TEST(Scoreboard, CleanIssue)
+{
+    Scoreboard sb(2);
+    const auto add = makeAdd(1, 2, 3);
+    EXPECT_TRUE(sb.canIssue(0, add));
+    sb.reserve(0, add);
+    EXPECT_FALSE(sb.idle(0));
+    EXPECT_TRUE(sb.idle(1));
+}
+
+TEST(Scoreboard, RawHazardBlocks)
+{
+    Scoreboard sb(1);
+    const auto producer = makeAdd(1, 2, 3);
+    sb.reserve(0, producer);
+    // Consumer reads r1 which has a pending write.
+    const auto consumer = makeAdd(4, 1, 2);
+    EXPECT_FALSE(sb.canIssue(0, consumer));
+    sb.releaseReads(0, producer);
+    EXPECT_FALSE(sb.canIssue(0, consumer)); // write still pending
+    sb.releaseWrite(0, 1);
+    EXPECT_TRUE(sb.canIssue(0, consumer));
+}
+
+TEST(Scoreboard, WawHazardBlocks)
+{
+    Scoreboard sb(1);
+    sb.reserve(0, makeAdd(1, 2, 3));
+    EXPECT_FALSE(sb.canIssue(0, makeAdd(1, 4, 5)));
+}
+
+TEST(Scoreboard, WarHazardBlocks)
+{
+    Scoreboard sb(1);
+    const auto reader = makeAdd(1, 2, 3);
+    sb.reserve(0, reader);
+    // Writer targets r2 which has a pending read.
+    const auto writer = makeAdd(2, 4, 5);
+    EXPECT_FALSE(sb.canIssue(0, writer));
+    sb.releaseReads(0, reader);
+    EXPECT_TRUE(sb.canIssue(0, writer));
+}
+
+TEST(Scoreboard, IndependentInstructionsCoexist)
+{
+    Scoreboard sb(1);
+    sb.reserve(0, makeAdd(1, 2, 3));
+    EXPECT_TRUE(sb.canIssue(0, makeAdd(4, 5, 6)));
+}
+
+TEST(Scoreboard, WarpsAreIsolated)
+{
+    Scoreboard sb(2);
+    sb.reserve(0, makeAdd(1, 2, 3));
+    EXPECT_TRUE(sb.canIssue(1, makeAdd(1, 2, 3)));
+}
+
+TEST(Scoreboard, GuardPredicateIsARead)
+{
+    Scoreboard sb(1);
+    // Pending write to p0 blocks a branch guarded by p0.
+    Instruction setp;
+    setp.op = Opcode::SETP;
+    setp.dst = predReg(0);
+    setp.addSrc(Operand::makeReg(1));
+    setp.addSrc(Operand::makeReg(2));
+    sb.reserve(0, setp);
+
+    Instruction br;
+    br.op = Opcode::BRA;
+    br.pred = predReg(0);
+    EXPECT_FALSE(sb.canIssue(0, br));
+    sb.releaseWrite(0, predReg(0));
+    EXPECT_TRUE(sb.canIssue(0, br));
+}
+
+TEST(Scoreboard, DuplicateSourcesReserveOnce)
+{
+    Scoreboard sb(1);
+    const auto dup = makeAdd(1, 2, 2);
+    sb.reserve(0, dup);
+    sb.releaseReads(0, dup);
+    EXPECT_TRUE(sb.idle(0) == false); // write to r1 still pending
+    sb.releaseWrite(0, 1);
+    EXPECT_TRUE(sb.idle(0));
+}
+
+TEST(Scoreboard, ReleaseWithoutReservationPanics)
+{
+    Scoreboard sb(1);
+    EXPECT_THROW(sb.releaseWrite(0, 1), PanicError);
+    EXPECT_THROW(sb.releaseReads(0, makeAdd(1, 2, 3)), PanicError);
+}
+
+TEST(Scoreboard, DoubleReserveSameDestPanics)
+{
+    Scoreboard sb(1);
+    sb.reserve(0, makeAdd(1, 2, 3));
+    EXPECT_THROW(sb.reserve(0, makeAdd(1, 4, 5)), PanicError);
+}
+
+} // namespace
+} // namespace bow

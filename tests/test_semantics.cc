@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Functional-semantics tests: one expectation per opcode family,
+ * guard predicates, branches and memory effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sm/semantics.h"
+
+namespace bow {
+namespace {
+
+/** Evaluate a one-instruction kernel body with given register seed. */
+class SemanticsTest : public ::testing::Test
+{
+  protected:
+    Value
+    evalOne(const std::string &asmText,
+            std::initializer_list<std::pair<RegId, Value>> seed = {})
+    {
+        kernel = assemble(asmText + "\nexit;", "sem");
+        regs.fill(0);
+        for (const auto &[r, v] : seed)
+            regs[r] = v;
+        fx = evaluate(kernel, 0, regs, /*warpId=*/2, /*numWarps=*/8,
+                      mem);
+        return fx.result;
+    }
+
+    Kernel kernel;
+    RegFileState regs{};
+    MemoryStore mem;
+    ExecEffect fx;
+};
+
+TEST_F(SemanticsTest, Arithmetic)
+{
+    EXPECT_EQ(evalOne("add $r1, $r2, $r3;", {{2, 5}, {3, 7}}), 12u);
+    EXPECT_EQ(evalOne("sub $r1, $r2, $r3;", {{2, 5}, {3, 7}}),
+              static_cast<Value>(-2));
+    EXPECT_EQ(evalOne("mul $r1, $r2, $r3;", {{2, 5}, {3, 7}}), 35u);
+    EXPECT_EQ(evalOne("mad $r1, $r2, $r3, $r4;",
+                      {{2, 5}, {3, 7}, {4, 1}}),
+              36u);
+}
+
+TEST_F(SemanticsTest, MinMaxAreSigned)
+{
+    const Value neg1 = static_cast<Value>(-1);
+    EXPECT_EQ(evalOne("min $r1, $r2, $r3;", {{2, neg1}, {3, 1}}),
+              neg1);
+    EXPECT_EQ(evalOne("max $r1, $r2, $r3;", {{2, neg1}, {3, 1}}), 1u);
+}
+
+TEST_F(SemanticsTest, BitwiseAndShifts)
+{
+    EXPECT_EQ(evalOne("and $r1, $r2, $r3;", {{2, 0xF0}, {3, 0x3C}}),
+              0x30u);
+    EXPECT_EQ(evalOne("or $r1, $r2, $r3;", {{2, 0xF0}, {3, 0x0F}}),
+              0xFFu);
+    EXPECT_EQ(evalOne("xor $r1, $r2, $r3;", {{2, 0xFF}, {3, 0x0F}}),
+              0xF0u);
+    EXPECT_EQ(evalOne("shl $r1, $r2, 4;", {{2, 0x1}}), 0x10u);
+    EXPECT_EQ(evalOne("shr $r1, $r2, 4;", {{2, 0x100}}), 0x10u);
+    // Shift amounts wrap at 32.
+    EXPECT_EQ(evalOne("shl $r1, $r2, 33;", {{2, 1}}), 2u);
+}
+
+TEST_F(SemanticsTest, UnaryOps)
+{
+    EXPECT_EQ(evalOne("abs $r1, $r2;", {{2, static_cast<Value>(-9)}}),
+              9u);
+    EXPECT_EQ(evalOne("neg $r1, $r2;", {{2, 9}}),
+              static_cast<Value>(-9));
+    EXPECT_EQ(evalOne("mov $r1, $r2;", {{2, 1234}}), 1234u);
+    EXPECT_EQ(evalOne("cvt $r1, $r2;", {{2, 1234}}), 1234u);
+}
+
+TEST_F(SemanticsTest, SetAndSetp)
+{
+    EXPECT_EQ(evalOne("set.lt.s32 $r1, $r2, $r3;", {{2, 1}, {3, 2}}),
+              1u);
+    EXPECT_EQ(evalOne("setp.eq.s32 $p1, $r2, $r3;", {{2, 1}, {3, 2}}),
+              0u);
+    EXPECT_TRUE(fx.wrote);
+}
+
+TEST_F(SemanticsTest, SfuOpsAreDeterministic)
+{
+    const Value a = evalOne("sqrt $r1, $r2;", {{2, 144}});
+    EXPECT_EQ(a, 12u);
+    EXPECT_EQ(evalOne("sqrt $r1, $r2;", {{2, 145}}), 12u);
+    EXPECT_EQ(evalOne("lg2 $r1, $r2;", {{2, 1024}}), 10u);
+    EXPECT_EQ(evalOne("ex2 $r1, $r2;", {{2, 5}}), 32u);
+    EXPECT_EQ(evalOne("rcp $r1, $r2;", {{2, 0}}), 0xFFFFFFFFu);
+    // sin is a deterministic mixing function.
+    const Value s1 = evalOne("sin $r1, $r2;", {{2, 7}});
+    const Value s2 = evalOne("sin $r1, $r2;", {{2, 7}});
+    EXPECT_EQ(s1, s2);
+}
+
+TEST_F(SemanticsTest, SpecialRegisters)
+{
+    EXPECT_EQ(evalOne("mov $r1, %warpid;"), 2u);
+    EXPECT_EQ(evalOne("mov $r1, %nwarps;"), 8u);
+}
+
+TEST_F(SemanticsTest, ConstMemOperand)
+{
+    mem.store(MemSpace::Const, 0x18, 777);
+    Kernel k = assemble("add $r1, s[0x18], $r2; exit;", "c");
+    regs.fill(0);
+    regs[2] = 1;
+    const auto e = evaluate(k, 0, regs, 0, 1, mem);
+    EXPECT_EQ(e.result, 778u);
+}
+
+TEST_F(SemanticsTest, LoadAndStore)
+{
+    mem.store(MemSpace::Global, 0x110, 55);
+    evalOne("ld.global $r1, [$r2+0x10];", {{2, 0x100}});
+    EXPECT_TRUE(fx.isMem);
+    EXPECT_EQ(fx.addr, 0x110u);
+    EXPECT_EQ(fx.result, 55u);
+
+    evalOne("st.global [$r2+4], $r3;", {{2, 0x200}, {3, 99}});
+    EXPECT_TRUE(fx.isMem);
+    EXPECT_FALSE(fx.wrote);
+    EXPECT_EQ(mem.load(MemSpace::Global, 0x204), 99u);
+}
+
+TEST_F(SemanticsTest, BranchTakenAndGuards)
+{
+    Kernel k = assemble(
+        "@$p0 bra target;\n"
+        "nop;\n"
+        "target:\n"
+        "exit;", "br");
+    regs.fill(0);
+    regs[predReg(0)] = 1;
+    auto taken = evaluate(k, 0, regs, 0, 1, mem);
+    EXPECT_TRUE(taken.branchTaken);
+    EXPECT_EQ(taken.nextPc, 2u);
+
+    regs[predReg(0)] = 0;
+    auto fall = evaluate(k, 0, regs, 0, 1, mem);
+    EXPECT_FALSE(fall.branchTaken);
+    EXPECT_FALSE(fall.guardPassed);
+    EXPECT_EQ(fall.nextPc, 1u);
+}
+
+TEST_F(SemanticsTest, NegatedGuard)
+{
+    Kernel k = assemble(
+        "@!$p0 bra target;\n"
+        "nop;\n"
+        "target:\n"
+        "exit;", "br");
+    regs.fill(0);
+    regs[predReg(0)] = 0;
+    EXPECT_TRUE(evaluate(k, 0, regs, 0, 1, mem).branchTaken);
+    regs[predReg(0)] = 1;
+    EXPECT_FALSE(evaluate(k, 0, regs, 0, 1, mem).branchTaken);
+}
+
+TEST_F(SemanticsTest, GuardSuppressesAllEffects)
+{
+    Kernel k = assemble("@$p0 st.global [$r1], $r2; exit;", "g");
+    regs.fill(0);
+    regs[1] = 0x400;
+    regs[2] = 7;
+    regs[predReg(0)] = 0;
+    MemoryStore before = mem;
+    const auto e = evaluate(k, 0, regs, 0, 1, mem);
+    EXPECT_FALSE(e.guardPassed);
+    EXPECT_FALSE(e.isMem);
+    EXPECT_TRUE(mem.contentsEqual(before));
+}
+
+TEST_F(SemanticsTest, ExitEndsWarp)
+{
+    Kernel k = assemble("exit;", "x");
+    regs.fill(0);
+    EXPECT_TRUE(evaluate(k, 0, regs, 0, 1, mem).warpDone);
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Simulator-facade tests: configuration validation, per-architecture
+ * behaviour of run(), and compiler-pass integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "workloads/snippets.h"
+
+namespace bow {
+namespace {
+
+TEST(SimConfig, ValidateCatchesBadConfigs)
+{
+    SimConfig c = SimConfig::titanXPascal();
+    c.windowSize = 1;
+    EXPECT_THROW(c.validate(), FatalError);
+
+    c = SimConfig::titanXPascal();
+    c.numBanks = 0;
+    EXPECT_THROW(c.validate(), FatalError);
+
+    c = SimConfig::titanXPascal();
+    c.arch = Architecture::BOW;
+    c.numCollectors = 8; // fewer collectors than resident warps
+    EXPECT_THROW(c.validate(), FatalError);
+
+    c = SimConfig::titanXPascal();
+    c.l1LineBytes = 96; // not a power of two
+    EXPECT_THROW(c.validate(), FatalError);
+}
+
+TEST(SimConfig, EffectiveBocEntriesDefault)
+{
+    SimConfig c = SimConfig::titanXPascal();
+    c.windowSize = 3;
+    EXPECT_EQ(c.effectiveBocEntries(), 12u);
+    c.bocEntries = 6;
+    EXPECT_EQ(c.effectiveBocEntries(), 6u);
+}
+
+TEST(SimConfig, ArchNames)
+{
+    EXPECT_EQ(archName(Architecture::Baseline), "baseline");
+    EXPECT_EQ(archName(Architecture::BOW_WR_OPT), "bow-wr-opt");
+    EXPECT_EQ(schedName(SchedPolicy::GTO), "gto");
+}
+
+TEST(Simulator, RunProducesPopulatedResult)
+{
+    Simulator sim(configFor(Architecture::BOW, 3));
+    const auto res = sim.run(snippets::tinyVadd(4, 6));
+    EXPECT_EQ(res.arch, "bow");
+    EXPECT_EQ(res.windowSize, 3u);
+    EXPECT_GT(res.stats.instructions, 0u);
+    EXPECT_GT(res.energy.totalPj, 0.0);
+    EXPECT_EQ(res.finalRegs.size(), 4u);
+}
+
+TEST(Simulator, CompilerPassOnlyForOptArch)
+{
+    const Launch launch = snippets::chainLoop(2, 6);
+    Simulator plain(configFor(Architecture::BOW_WR, 3));
+    EXPECT_EQ(plain.run(launch).tags.total(), 0u);
+
+    Simulator opt(configFor(Architecture::BOW_WR_OPT, 3));
+    EXPECT_GT(opt.run(launch).tags.total(), 0u);
+}
+
+TEST(Simulator, CompilerPassDoesNotMutateCallerKernel)
+{
+    Launch launch = snippets::chainLoop(2, 6);
+    Simulator opt(configFor(Architecture::BOW_WR_OPT, 3));
+    opt.run(launch);
+    for (InstIdx i = 0; i < launch.kernel.size(); ++i)
+        EXPECT_EQ(launch.kernel.inst(i).hint,
+                  WritebackHint::BocAndRf);
+}
+
+TEST(Simulator, VerifyAgainstFunctionalPasses)
+{
+    for (auto arch : {Architecture::Baseline, Architecture::BOW,
+                      Architecture::BOW_WR, Architecture::BOW_WR_OPT,
+                      Architecture::RFC}) {
+        Simulator sim(configFor(arch, 3));
+        EXPECT_NO_THROW(
+            sim.verifyAgainstFunctional(snippets::branchDiamond(6)))
+            << archName(arch);
+    }
+}
+
+TEST(Simulator, IndependentRunsAreReproducible)
+{
+    Simulator sim(configFor(Architecture::BOW_WR, 3));
+    const Launch launch = snippets::chainLoop(4, 8);
+    const auto a = sim.run(launch);
+    const auto b = sim.run(launch);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.rfReads, b.stats.rfReads);
+    EXPECT_EQ(a.stats.rfWrites, b.stats.rfWrites);
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * End-to-end SM-core tests: whole kernels complete under every
+ * architecture, statistics are internally consistent, and the BOW
+ * variants actually shield the register file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/sweep.h"
+#include "sm/sm_core.h"
+#include "workloads/builder.h"
+#include "workloads/snippets.h"
+
+namespace bow {
+namespace {
+
+RunStats
+runOn(Architecture arch, const Launch &launch, unsigned iw = 3,
+      unsigned bocEntries = 0)
+{
+    SmCore core(configFor(arch, iw, bocEntries), launch);
+    return core.run();
+}
+
+TEST(SmCore, BaselineRunsToCompletion)
+{
+    const Launch launch = snippets::tinyVadd(8, 8);
+    const auto stats = runOn(Architecture::Baseline, launch);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.instructions, 0u);
+    EXPECT_GT(stats.ipc(), 0.0);
+}
+
+TEST(SmCore, InstructionCountMatchesFunctional)
+{
+    const Launch launch = snippets::chainLoop(4, 10);
+    const auto fn = runFunctional(launch);
+    for (auto arch : {Architecture::Baseline, Architecture::BOW,
+                      Architecture::BOW_WR, Architecture::RFC}) {
+        const auto stats = runOn(arch, launch);
+        EXPECT_EQ(stats.instructions, fn.dynamicInsts)
+            << archName(arch);
+    }
+}
+
+TEST(SmCore, FinalStateMatchesFunctionalBaseline)
+{
+    const Launch launch = snippets::branchDiamond(8);
+    SmCore core(configFor(Architecture::Baseline), launch);
+    core.run();
+    const auto fn = runFunctional(launch, 100000, false);
+    for (WarpId w = 0; w < 8; ++w) {
+        for (unsigned r = 0; r < 256; ++r) {
+            ASSERT_EQ(core.finalRegs()[w][r], fn.finalRegs[w][r])
+                << "warp " << w << " reg " << r;
+        }
+    }
+    EXPECT_TRUE(core.memory().contentsEqual(fn.finalMem));
+}
+
+TEST(SmCore, BowBypassesReads)
+{
+    const Launch launch = snippets::chainLoop(8, 20);
+    const auto base = runOn(Architecture::Baseline, launch);
+    const auto bow = runOn(Architecture::BOW, launch);
+    EXPECT_GT(bow.bocForwards, 0u);
+    EXPECT_LT(bow.rfReads, base.rfReads);
+}
+
+TEST(SmCore, BowIsWriteThrough)
+{
+    const Launch launch = snippets::chainLoop(8, 20);
+    const auto base = runOn(Architecture::Baseline, launch);
+    const auto bow = runOn(Architecture::BOW, launch);
+    // Every write still reaches the RF (plus BOC copies).
+    EXPECT_GE(bow.rfWrites, base.rfWrites);
+    EXPECT_GT(bow.bocResultWrites, 0u);
+}
+
+TEST(SmCore, BowWrShieldsWrites)
+{
+    const Launch launch = snippets::chainLoop(8, 20);
+    const auto bow = runOn(Architecture::BOW, launch);
+    const auto wr = runOn(Architecture::BOW_WR, launch);
+    EXPECT_LT(wr.rfWrites, bow.rfWrites);
+    EXPECT_GT(wr.consolidatedWrites, 0u);
+}
+
+TEST(SmCore, CompilerHintsReduceWritesFurther)
+{
+    const Launch launch = snippets::chainLoop(8, 20);
+    const auto wr = runOn(Architecture::BOW_WR, launch);
+
+    Launch tagged = launch;
+    tagWritebacks(tagged.kernel, 3);
+    const auto opt = runOn(Architecture::BOW_WR_OPT, tagged);
+    EXPECT_LE(opt.rfWrites, wr.rfWrites);
+    EXPECT_GT(opt.destBocOnly + opt.destRfOnly + opt.destBocAndRf,
+              0u);
+}
+
+TEST(SmCore, OcResidencyAccounted)
+{
+    const Launch launch = snippets::tinyVadd(8, 8);
+    const auto stats = runOn(Architecture::Baseline, launch);
+    EXPECT_GT(stats.ocCyclesTotal(), 0u);
+    EXPECT_GT(stats.instsMem, 0u);
+    EXPECT_GT(stats.instsNonMem, 0u);
+    EXPECT_EQ(stats.instsMem + stats.instsNonMem,
+              stats.instructions);
+    EXPECT_LE(stats.ocCyclesMem, stats.totalCyclesMem);
+    EXPECT_LE(stats.ocCyclesNonMem, stats.totalCyclesNonMem);
+}
+
+TEST(SmCore, BocOccupancySampled)
+{
+    const Launch launch = snippets::chainLoop(4, 10);
+    const auto stats = runOn(Architecture::BOW_WR, launch);
+    std::uint64_t samples = 0;
+    for (auto b : stats.bocOccupancyHist)
+        samples += b;
+    EXPECT_GT(samples, 0u);
+    // Baseline run never samples BOC occupancy.
+    const auto base = runOn(Architecture::Baseline, launch);
+    std::uint64_t none = 0;
+    for (auto b : base.bocOccupancyHist)
+        none += b;
+    EXPECT_EQ(none, 0u);
+}
+
+TEST(SmCore, SrcOperandHistogramCountsIssues)
+{
+    const Launch launch = snippets::tinyVadd(2, 4);
+    const auto stats = runOn(Architecture::Baseline, launch);
+    std::uint64_t total = 0;
+    for (auto b : stats.srcOperandHist)
+        total += b;
+    EXPECT_EQ(total, stats.instructions);
+}
+
+TEST(SmCore, MoreWarpsThanResidentSlots)
+{
+    // 40 warps > 32 resident: the launch queue must drain.
+    const Launch launch = snippets::branchDiamond(40);
+    const auto stats = runOn(Architecture::Baseline, launch);
+    const auto fn = runFunctional(launch);
+    EXPECT_EQ(stats.instructions, fn.dynamicInsts);
+}
+
+TEST(SmCore, HalfSizeBocStillCorrectAndSlightlySlower)
+{
+    const Launch launch = snippets::chainLoop(16, 24);
+    const auto full = runOn(Architecture::BOW_WR, launch, 3, 12);
+    const auto half = runOn(Architecture::BOW_WR, launch, 3, 6);
+    EXPECT_EQ(full.instructions, half.instructions);
+    // Half-size may cost cycles but never deadlocks.
+    EXPECT_GT(half.ipc(), 0.0);
+}
+
+TEST(SmCore, RfcHitsSaveBankReads)
+{
+    const Launch launch = snippets::chainLoop(8, 20);
+    const auto base = runOn(Architecture::Baseline, launch);
+    const auto rfc = runOn(Architecture::RFC, launch);
+    EXPECT_GT(rfc.rfcReads, 0u);
+    EXPECT_GT(rfc.rfcWrites, 0u);
+    EXPECT_LT(rfc.rfReads, base.rfReads);
+    EXPECT_EQ(rfc.instructions, base.instructions);
+}
+
+TEST(SmCore, SameWarpStoreLoadOrderPreserved)
+{
+    // A store and a register-independent load to the same address:
+    // the per-warp in-order LSU must make the load observe the store.
+    KernelBuilder kb("st_ld_order");
+    kb.movImm(0, 0x100);    // address
+    kb.movImm(1, 77);       // value
+    kb.store(Opcode::ST_GLOBAL, 0, 0, 1);
+    kb.movImm(2, 0x100);    // independent address register
+    kb.load(Opcode::LD_GLOBAL, 3, 2, 0);
+    kb.exit();
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = 4;
+    for (auto arch : {Architecture::Baseline, Architecture::BOW_WR}) {
+        SmCore core(configFor(arch, 3), launch);
+        core.run();
+        for (WarpId w = 0; w < 4; ++w)
+            EXPECT_EQ(core.finalRegs()[w][3], 77u) << archName(arch);
+    }
+}
+
+TEST(SmCore, SingleMshrStillCompletes)
+{
+    SimConfig config = configFor(Architecture::BOW_WR_OPT, 3);
+    config.maxPendingLoads = 1;
+    const Launch launch = snippets::tinyVadd(8, 6);
+    SmCore tight(config, launch);
+    const auto tightStats = tight.run();
+
+    SmCore wide(configFor(Architecture::BOW_WR_OPT, 3), launch);
+    const auto wideStats = wide.run();
+    EXPECT_EQ(tightStats.instructions, wideStats.instructions);
+    EXPECT_GE(tightStats.cycles, wideStats.cycles);
+}
+
+TEST(SmCore, SingleWarpLaunch)
+{
+    const Launch launch = snippets::chainLoop(1, 8);
+    for (auto arch : {Architecture::Baseline, Architecture::BOW,
+                      Architecture::BOW_WR_OPT}) {
+        const auto stats = runOn(arch, launch);
+        EXPECT_GT(stats.instructions, 0u) << archName(arch);
+    }
+}
+
+TEST(SmCore, TwoLevelSchedulerEndToEnd)
+{
+    SimConfig config = configFor(Architecture::BOW_WR_OPT, 3);
+    config.schedPolicy = SchedPolicy::TWO_LEVEL;
+    Simulator sim(config);
+    EXPECT_NO_THROW(
+        sim.verifyAgainstFunctional(snippets::tinyVadd(12, 8)));
+}
+
+TEST(SmCore, CrossGenerationPresetsRun)
+{
+    const Launch launch = snippets::branchDiamond(16);
+    for (SimConfig config : {SimConfig::fermi(), SimConfig::volta()}) {
+        config.validate();
+        SmCore core(config, launch);
+        const auto stats = core.run();
+        EXPECT_GT(stats.ipc(), 0.0);
+    }
+}
+
+TEST(SmCore, ExtendedWindowEndToEnd)
+{
+    SimConfig config = configFor(Architecture::BOW_WR, 3, 6);
+    config.extendedWindow = true;
+    const Launch launch = snippets::chainLoop(8, 16);
+    SmCore core(config, launch);
+    const auto stats = core.run();
+    const auto nominal =
+        runOn(Architecture::BOW_WR, launch, 3, 6);
+    EXPECT_GE(stats.bocForwards, nominal.bocForwards);
+}
+
+TEST(SmCore, DeadlockGuardFires)
+{
+    Launch launch = snippets::chainLoop(1, 1000000);
+    SimConfig config = configFor(Architecture::Baseline);
+    config.maxCycles = 1000;
+    SmCore core(config, launch);
+    EXPECT_THROW(core.run(), FatalError);
+}
+
+TEST(SmCore, RunTwicePanics)
+{
+    const Launch launch = snippets::tinyVadd(1, 2);
+    SmCore core(configFor(Architecture::Baseline), launch);
+    core.run();
+    EXPECT_THROW(core.run(), PanicError);
+}
+
+TEST(SmCore, ZeroWarpLaunchIsFatal)
+{
+    Launch launch = snippets::tinyVadd(1, 2);
+    launch.numWarps = 0;
+    EXPECT_THROW(SmCore(configFor(Architecture::Baseline), launch),
+                 FatalError);
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Write-back tagger tests (paper Sec. IV-B), including the expected
+ * per-instruction hints for the Figure 6 BTREE listing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "compiler/writeback_tagger.h"
+#include "isa/assembler.h"
+#include "workloads/snippets.h"
+
+namespace bow {
+namespace {
+
+TEST(Tagger, RejectsTinyWindow)
+{
+    Kernel k = assemble("nop; exit;");
+    EXPECT_THROW(tagWritebacks(k, 1), FatalError);
+}
+
+TEST(Tagger, TransientChainIsBocOnly)
+{
+    // r1 produced, consumed immediately, then dead.
+    Kernel k = assemble(
+        "mov $r1, 1;\n"
+        "add $r2, $r1, $r1;\n"
+        "st.global [$r3], $r2;\n"
+        "exit;");
+    tagWritebacks(k, 3);
+    EXPECT_EQ(k.inst(0).hint, WritebackHint::BocOnly);
+    EXPECT_EQ(k.inst(1).hint, WritebackHint::BocOnly);
+}
+
+TEST(Tagger, FarReuseIsRfOnly)
+{
+    // r1's first use is 5 instructions away: outside an IW=3 window.
+    Kernel k = assemble(
+        "mov $r1, 1;\n"
+        "mov $r2, 2;\n"
+        "mov $r3, 3;\n"
+        "mov $r4, 4;\n"
+        "mov $r5, 5;\n"
+        "add $r6, $r1, $r5;\n"
+        "st.global [$r7], $r6;\n"
+        "exit;");
+    tagWritebacks(k, 3);
+    // r1: only use is far away -> RfOnly.
+    EXPECT_EQ(k.inst(0).hint, WritebackHint::RfOnly);
+    // r2: never read at all (dead value) -> RfOnly.
+    EXPECT_EQ(k.inst(1).hint, WritebackHint::RfOnly);
+    // r5: read one instruction later and dead after -> transient.
+    EXPECT_EQ(k.inst(4).hint, WritebackHint::BocOnly);
+}
+
+TEST(Tagger, NearUsePlusFarUseIsBocAndRf)
+{
+    // r1 used immediately AND four instructions later.
+    Kernel k = assemble(
+        "mov $r1, 1;\n"
+        "add $r2, $r1, $r1;\n"  // near use (extends chain to 1)
+        "mov $r3, 3;\n"
+        "mov $r4, 4;\n"
+        "mov $r5, 5;\n"
+        "add $r6, $r1, $r2;\n"  // distance from chain anchor 1: 4 >= 3
+        "st.global [$r7], $r6;\n"
+        "exit;");
+    tagWritebacks(k, 3);
+    EXPECT_EQ(k.inst(0).hint, WritebackHint::BocAndRf);
+}
+
+TEST(Tagger, ChainedReusesStayBocOnly)
+{
+    // Accesses at distance 2 apart repeatedly: the extended window
+    // keeps the value resident, so even the use at distance 6 from
+    // the def is chain-reachable.
+    Kernel k = assemble(
+        "mov $r1, 1;\n"     // 0: def
+        "mov $r8, 8;\n"     // 1
+        "add $r2, $r1, $r8;\n" // 2: chain (2-0 < 3)
+        "mov $r9, 9;\n"     // 3
+        "add $r3, $r1, $r2;\n" // 4: chain (4-2 < 3)
+        "mov $r4, 4;\n"     // 5
+        "add $r5, $r1, $r3;\n" // 6: chain (6-4 < 3); r1 dead after
+        "st.global [$r7], $r5;\n"
+        "exit;");
+    tagWritebacks(k, 3);
+    EXPECT_EQ(k.inst(0).hint, WritebackHint::BocOnly);
+}
+
+TEST(Tagger, KilledValueNeverNeedsRf)
+{
+    // r1 overwritten before any far use.
+    Kernel k = assemble(
+        "mov $r1, 1;\n"
+        "add $r2, $r1, $r1;\n"
+        "mov $r1, 9;\n"         // strong kill
+        "st.global [$r3], $r1;\n"
+        "st.global [$r3+4], $r2;\n"
+        "exit;");
+    tagWritebacks(k, 3);
+    EXPECT_EQ(k.inst(0).hint, WritebackHint::BocOnly);
+}
+
+TEST(Tagger, ValueLiveAcrossBlockEndNeedsRf)
+{
+    // r1 is consumed in the next block; the compiler cannot reason
+    // about dynamic distances across branches and must be safe.
+    Kernel k = assemble(
+        "mov $r1, 1;\n"
+        "add $r2, $r1, $r1;\n"
+        "setp.ne.s32 $p0, $r2, 0;\n"
+        "@$p0 bra out;\n"
+        "nop;\n"
+        "out:\n"
+        "st.global [$r3], $r1;\n"
+        "exit;");
+    tagWritebacks(k, 3);
+    EXPECT_EQ(k.inst(0).hint, WritebackHint::BocAndRf);
+}
+
+TEST(Tagger, GuardedReadDoesNotExtendChain)
+{
+    // The read at 1 is guarded: it may not execute, so it cannot
+    // anchor the chain for the read at 3 (distance 3 from the def).
+    Kernel k = assemble(
+        "mov $r1, 1;\n"            // 0: def
+        "@$p0 mov $r2, $r1;\n"     // 1: guarded near use
+        "mov $r4, 4;\n"            // 2
+        "add $r3, $r1, $r4;\n"     // 3: distance 3 >= IW from def
+        "st.global [$r5], $r3;\n"
+        "st.global [$r5+4], $r2;\n"
+        "exit;");
+    tagWritebacks(k, 3);
+    EXPECT_EQ(k.inst(0).hint, WritebackHint::BocAndRf);
+}
+
+TEST(Tagger, Fig6HintsMatchPaperTableOne)
+{
+    Kernel k = assemble(snippets::btreeSnippetAsm(), "fig6");
+    const TagStats stats = tagWritebacks(k, 3);
+
+    // Instruction indices follow the listing (0-based).
+    // ld r3: first use 12 instructions away -> RF only.
+    EXPECT_EQ(k.inst(0).hint, WritebackHint::RfOnly);
+    // mov r2: chained uses at 2,3,5 then killed at 9 -> transient.
+    EXPECT_EQ(k.inst(1).hint, WritebackHint::BocOnly);
+    // mul/mad r1 at 2,3: immediately consumed then killed.
+    EXPECT_EQ(k.inst(2).hint, WritebackHint::BocOnly);
+    EXPECT_EQ(k.inst(3).hint, WritebackHint::BocOnly);
+    // shl r1 at 4: used at 5, killed at 8.
+    EXPECT_EQ(k.inst(4).hint, WritebackHint::BocOnly);
+    // mad/add r0 chain at 5,6,7: each consumed next, dead after 8.
+    EXPECT_EQ(k.inst(5).hint, WritebackHint::BocOnly);
+    EXPECT_EQ(k.inst(6).hint, WritebackHint::BocOnly);
+    EXPECT_EQ(k.inst(7).hint, WritebackHint::BocOnly);
+    // add r1 at 8: used at 9 (near) and 12 (chain breaks: 12-9 = 3).
+    EXPECT_EQ(k.inst(8).hint, WritebackHint::BocAndRf);
+    // ld r2 at 9: used at 10, killed at 10.
+    EXPECT_EQ(k.inst(9).hint, WritebackHint::BocOnly);
+    // shl r2 at 10: used at 11, dead after.
+    EXPECT_EQ(k.inst(10).hint, WritebackHint::BocOnly);
+    // add r4 at 11 and set p0 at 12: never used again -> RF only.
+    EXPECT_EQ(k.inst(11).hint, WritebackHint::RfOnly);
+    EXPECT_EQ(k.inst(12).hint, WritebackHint::RfOnly);
+
+    EXPECT_EQ(stats.rfOnly, 3u);
+    EXPECT_EQ(stats.bocOnly, 9u);
+    EXPECT_EQ(stats.bocAndRf, 1u);
+    EXPECT_EQ(stats.total(), 13u);
+}
+
+TEST(Tagger, ClearResetsToDefault)
+{
+    Kernel k = assemble(snippets::btreeSnippetAsm(), "fig6");
+    tagWritebacks(k, 3);
+    clearWritebackHints(k);
+    for (InstIdx i = 0; i < k.size(); ++i)
+        EXPECT_EQ(k.inst(i).hint, WritebackHint::BocAndRf);
+}
+
+TEST(Tagger, RfDemandCountsTransientOnlyRegisters)
+{
+    // r1 is only ever written transiently; r2 escapes to the RF.
+    Kernel k = assemble(
+        "mov $r1, 1;\n"
+        "add $r2, $r1, $r1;\n"
+        "mov $r3, 2;\n"
+        "mov $r4, 3;\n"
+        "mov $r5, 4;\n"
+        "st.global [$r6], $r2;\n"   // far use of r2
+        "exit;");
+    tagWritebacks(k, 3);
+    const RfDemand demand = analyzeRfDemand(k);
+    EXPECT_EQ(demand.totalGprs, 7u);
+    // r1 is transient (BocOnly); r6 is live-in; r2 is BocAndRf.
+    EXPECT_GE(demand.rfFreeGprs, 1u);
+    EXPECT_GT(demand.reduction(), 0.0);
+    EXPECT_LT(demand.reduction(), 1.0);
+}
+
+TEST(Tagger, RfDemandLiveInRegistersAlwaysAllocated)
+{
+    // r9 is read before written (a launch parameter): even though
+    // its later definition is transient, the incoming value needs RF
+    // space, so r9 is never elidable. r1 has one RfOnly def, so it
+    // is allocated too.
+    Kernel k = assemble(
+        "add $r1, $r9, $r9;\n"
+        "mov $r9, 1;\n"
+        "add $r1, $r9, $r9;\n"
+        "st.global [$r1], $r1;\n"
+        "exit;");
+    tagWritebacks(k, 3);
+    const RfDemand demand = analyzeRfDemand(k);
+    EXPECT_EQ(demand.rfFreeGprs, 0u);
+}
+
+TEST(Tagger, WiderWindowNeverDecreasesTransients)
+{
+    Kernel k = assemble(snippets::btreeSnippetAsm(), "fig6");
+    std::uint64_t prev = 0;
+    for (unsigned iw = 2; iw <= 7; ++iw) {
+        const TagStats s = tagWritebacks(k, iw);
+        EXPECT_GE(s.bocOnly, prev) << "iw=" << iw;
+        prev = s.bocOnly;
+    }
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Trace front-end tests: parsing, validation, per-warp divergence,
+ * and the export/replay round trip (a replayed trace must reproduce
+ * the original launch's architectural results warp for warp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "sm/trace.h"
+#include "workloads/registry.h"
+#include "workloads/snippets.h"
+
+namespace bow {
+namespace {
+
+TEST(Trace, LoadsSimpleTwoWarpTrace)
+{
+    const char *text =
+        "# a tiny trace\n"
+        "warp 0\n"
+        "mov $r1, 5;\n"
+        "add $r2, $r1, $r1;\n"
+        "warp 1\n"
+        "mov $r2, 7;\n"
+        "exit;\n";
+    const Launch launch = loadWarpTraces(text, "t");
+    EXPECT_EQ(launch.numWarps, 2u);
+    ASSERT_EQ(launch.warpKernels.size(), 2u);
+    // warp 0 got an exit appended; warp 1 kept its own.
+    EXPECT_EQ(launch.warpKernels[0].size(), 3u);
+    EXPECT_EQ(launch.warpKernels[1].size(), 2u);
+
+    const auto fn = runFunctional(launch);
+    EXPECT_EQ(fn.finalRegs[0][2], 10u);
+    EXPECT_EQ(fn.finalRegs[1][2], 7u);
+}
+
+TEST(Trace, SectionsMayArriveOutOfOrder)
+{
+    const char *text =
+        "warp 1\nmov $r1, 1;\n"
+        "warp 0\nmov $r1, 0;\n";
+    const Launch launch = loadWarpTraces(text);
+    EXPECT_EQ(launch.numWarps, 2u);
+    const auto fn = runFunctional(launch);
+    EXPECT_EQ(fn.finalRegs[0][1], 0u);
+    EXPECT_EQ(fn.finalRegs[1][1], 1u);
+}
+
+TEST(Trace, RejectsMissingWarpSection)
+{
+    EXPECT_THROW(loadWarpTraces("warp 1\nnop;\n"), FatalError);
+}
+
+TEST(Trace, RejectsDuplicateSection)
+{
+    EXPECT_THROW(loadWarpTraces("warp 0\nnop;\nwarp 0\nnop;\n"),
+                 FatalError);
+}
+
+TEST(Trace, RejectsStatementsBeforeFirstHeader)
+{
+    EXPECT_THROW(loadWarpTraces("nop;\nwarp 0\nnop;\n"), FatalError);
+}
+
+TEST(Trace, RejectsBranchesAndLabels)
+{
+    EXPECT_THROW(loadWarpTraces("warp 0\nl:\nbra l;\n"), FatalError);
+    EXPECT_THROW(loadWarpTraces("warp 0\nl: nop;\n"), FatalError);
+}
+
+TEST(Trace, RejectsEmptyAndMalformedHeaders)
+{
+    EXPECT_THROW(loadWarpTraces(""), FatalError);
+    EXPECT_THROW(loadWarpTraces("warp -1\nnop;\n"), FatalError);
+    EXPECT_THROW(loadWarpTraces("warp 0 junk\nnop;\n"), FatalError);
+}
+
+TEST(Trace, CommentsWithColonsAreFine)
+{
+    const char *text =
+        "warp 0\n"
+        "mov $r1, 1; // note: colons allowed here\n"
+        "# another note: ok\n";
+    EXPECT_NO_THROW(loadWarpTraces(text));
+}
+
+TEST(Trace, RoundTripReproducesArchitecturalState)
+{
+    // Export a branchy multi-warp launch and replay the trace: the
+    // unrolled streams must land in the same final state.
+    const Launch original = snippets::branchDiamond(6);
+    const std::string traceText = dumpWarpTraces(original);
+    const Launch replay = loadWarpTraces(traceText, "roundtrip");
+    EXPECT_EQ(replay.numWarps, original.numWarps);
+
+    const auto a = runFunctional(original, 4'000'000, false);
+    const auto b = runFunctional(replay, 4'000'000, false);
+    for (WarpId w = 0; w < original.numWarps; ++w) {
+        for (unsigned r = 0; r < 256; ++r) {
+            ASSERT_EQ(a.finalRegs[w][r], b.finalRegs[w][r])
+                << "warp " << w << " reg " << r;
+        }
+    }
+    EXPECT_TRUE(a.finalMem.contentsEqual(b.finalMem));
+}
+
+TEST(Trace, RoundTripOfLoopKernel)
+{
+    const Launch original = snippets::chainLoop(3, 9);
+    const Launch replay =
+        loadWarpTraces(dumpWarpTraces(original), "loop");
+    const auto a = runFunctional(original, 4'000'000, false);
+    const auto b = runFunctional(replay, 4'000'000, false);
+    for (WarpId w = 0; w < original.numWarps; ++w)
+        EXPECT_EQ(a.finalRegs[w][0], b.finalRegs[w][0]) << w;
+    EXPECT_TRUE(a.finalMem.contentsEqual(b.finalMem));
+}
+
+TEST(Trace, ReplayRunsOnEveryArchitecture)
+{
+    const Launch replay = loadWarpTraces(
+        dumpWarpTraces(snippets::tinyVadd(4, 6)), "vadd");
+    for (auto arch : {Architecture::Baseline, Architecture::BOW,
+                      Architecture::BOW_WR, Architecture::BOW_WR_OPT,
+                      Architecture::RFC}) {
+        Simulator sim(configFor(arch, 3));
+        EXPECT_NO_THROW(sim.verifyAgainstFunctional(replay))
+            << archName(arch);
+    }
+}
+
+TEST(Trace, TaggerRunsPerWarpKernel)
+{
+    const Launch replay = loadWarpTraces(
+        dumpWarpTraces(snippets::branchDiamond(4)), "tags");
+    Simulator sim(configFor(Architecture::BOW_WR_OPT, 3));
+    const auto res = sim.run(replay);
+    EXPECT_GT(res.tags.total(), 0u);
+}
+
+TEST(Trace, WorkloadTraceReplayMatches)
+{
+    const auto wl = workloads::make("BTREE", 0.05);
+    const Launch replay =
+        loadWarpTraces(dumpWarpTraces(wl.launch), "btree");
+    Simulator sim(configFor(Architecture::BOW_WR_OPT, 3));
+    EXPECT_NO_THROW(sim.verifyAgainstFunctional(replay));
+}
+
+TEST(Trace, AbsoluteAddressesWork)
+{
+    const char *text =
+        "warp 0\n"
+        "mov $r1, 99;\n"
+        "st.global [0x4000], $r1;\n"
+        "ld.global $r2, [0x4000];\n";
+    const Launch launch = loadWarpTraces(text);
+    const auto fn = runFunctional(launch);
+    EXPECT_EQ(fn.finalRegs[0][2], 99u);
+}
+
+TEST(Trace, GuardedInstructionsReplay)
+{
+    // A dynamic stream may carry guarded instructions whose guard
+    // re-evaluates identically on replay.
+    const char *text =
+        "warp 0\n"
+        "setp.eq.s32 $p0, $r1, 0;\n"   // true: r1 == 0
+        "@$p0 mov $r2, 5;\n"
+        "@!$p0 mov $r2, 9;\n";
+    const Launch launch = loadWarpTraces(text);
+    const auto fn = runFunctional(launch);
+    EXPECT_EQ(fn.finalRegs[0][2], 5u);
+}
+
+TEST(Trace, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadWarpTraceFile("/nonexistent/trace.txt"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Workload-generator tests: determinism, functional validity of all
+ * 15 benchmarks, profile lookup, and characteristic shapes (operand
+ * counts, warp-disjoint memory footprints).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "compiler/reuse.h"
+#include "isa/disassembler.h"
+#include "workloads/generator.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+TEST(Profiles, FifteenBenchmarksInTableOrder)
+{
+    const auto names = workloads::allNames();
+    ASSERT_EQ(names.size(), 15u);
+    EXPECT_EQ(names.front(), "LIB");
+    EXPECT_EQ(names.back(), "SAD");
+}
+
+TEST(Profiles, LookupIsCaseInsensitive)
+{
+    EXPECT_EQ(profileByName("bfs").name, "BFS");
+    EXPECT_EQ(profileByName("SaD").name, "SAD");
+    EXPECT_THROW(profileByName("nope"), FatalError);
+}
+
+TEST(Generator, DeterministicForSameProfile)
+{
+    const auto a = workloads::make("NW", 0.2);
+    const auto b = workloads::make("NW", 0.2);
+    EXPECT_EQ(disassemble(a.launch.kernel),
+              disassemble(b.launch.kernel));
+}
+
+TEST(Generator, ScaleChangesTripCountOnly)
+{
+    const auto small = workloads::make("LIB", 0.1);
+    const auto large = workloads::make("LIB", 1.0);
+    // Identical static code apart from the loop-bound immediate.
+    EXPECT_EQ(small.launch.kernel.size(), large.launch.kernel.size());
+    const auto fnSmall = runFunctional(small.launch);
+    const auto fnLarge = runFunctional(large.launch);
+    EXPECT_LT(fnSmall.dynamicInsts, fnLarge.dynamicInsts);
+}
+
+TEST(Generator, AllBenchmarksExecuteFunctionally)
+{
+    for (const auto &wl : workloads::makeAll(0.1)) {
+        const auto fn = runFunctional(wl.launch);
+        EXPECT_GT(fn.dynamicInsts, 0u) << wl.name;
+    }
+}
+
+TEST(Generator, NoMadBenchmarksHaveNoThreeSourceInsts)
+{
+    // LPS, BFS and BTREE are profiled with fMad = 0 (paper Fig. 8:
+    // no instructions with three register sources).
+    for (const char *name : {"LPS", "BFS", "BTREE"}) {
+        const auto wl = workloads::make(name, 0.1);
+        const auto fn = runFunctional(wl.launch);
+        const auto h = sourceOperandHistogram(wl.launch.kernel,
+                                              fn.traces);
+        EXPECT_EQ(h[3], 0u) << name;
+    }
+}
+
+TEST(Generator, MadHeavyBenchmarksHaveThreeSourceInsts)
+{
+    for (const char *name : {"CIFARNET", "STO", "SAD"}) {
+        const auto wl = workloads::make(name, 0.1);
+        const auto fn = runFunctional(wl.launch);
+        const auto h = sourceOperandHistogram(wl.launch.kernel,
+                                              fn.traces);
+        EXPECT_GT(h[3], 0u) << name;
+    }
+}
+
+TEST(Generator, WarpMemoryFootprintsAreDisjoint)
+{
+    // Every global/shared address a warp touches must carry its
+    // warp offset (warpId << 18), so warps never race: check the
+    // functional result is independent of warp execution order by
+    // re-running with traces and comparing per-warp register state
+    // to a single-warp launch of the same kernel.
+    const auto wl = workloads::make("GAUSSIAN", 0.1);
+    const auto fn = runFunctional(wl.launch);
+
+    Launch solo = wl.launch;
+    // Keep the same kernel but run warp 0 alone... warp 0 of the
+    // multi-warp launch must behave identically because %nwarps is
+    // unused by the generator.
+    solo.numWarps = 1;
+    const auto fnSolo = runFunctional(solo);
+    for (unsigned r = 0; r < 256; ++r) {
+        EXPECT_EQ(fn.finalRegs[0][r], fnSolo.finalRegs[0][r])
+            << "reg " << r;
+    }
+}
+
+TEST(Generator, BranchyProfilesDiverge)
+{
+    // BFS generates guarded skips; the dynamic instruction count
+    // should differ from the static body x iterations product.
+    const auto wl = workloads::make("BFS", 0.2);
+    const auto fn = runFunctional(wl.launch);
+    bool sawSuppressedPath = false;
+    // At least two warps must have different dynamic lengths
+    // (data-dependent branches driven by warp-dependent values).
+    for (std::size_t w = 1; w < fn.traces.size(); ++w) {
+        if (fn.traces[w].insts.size() != fn.traces[0].insts.size())
+            sawSuppressedPath = true;
+    }
+    EXPECT_TRUE(sawSuppressedPath);
+}
+
+TEST(Generator, RejectsDegenerateProfiles)
+{
+    WorkloadProfile p = profileByName("LIB");
+    p.workingRegs = 0;
+    EXPECT_THROW(generateWorkload(p), FatalError);
+    p = profileByName("LIB");
+    p.workingRegs = 250;
+    EXPECT_THROW(generateWorkload(p), FatalError);
+    p = profileByName("LIB");
+    p.bodyLen = 0;
+    EXPECT_THROW(generateWorkload(p), FatalError);
+}
+
+TEST(Generator, CalibrationIsSeedRobust)
+{
+    // The reuse structure is a property of the profile's fate
+    // weights, not of any particular RNG stream: re-seeding moves
+    // the IW=3 read-bypass fraction only within a narrow band.
+    WorkloadProfile p = profileByName("GAUSSIAN");
+    const auto baseLaunch = generateWorkload(p, 0.15);
+    const auto baseFn = runFunctional(baseLaunch);
+    const double baseFrac =
+        analyzeReuse(baseLaunch.kernel, baseFn.traces, 3)
+            .readFraction();
+    for (std::uint64_t seed : {7u, 1234u, 999u}) {
+        p.seed = seed;
+        const auto launch = generateWorkload(p, 0.15);
+        const auto fn = runFunctional(launch);
+        const double frac =
+            analyzeReuse(launch.kernel, fn.traces, 3).readFraction();
+        EXPECT_NEAR(frac, baseFrac, 0.12) << "seed=" << seed;
+    }
+}
+
+TEST(Generator, SuitesAndDescriptionsPopulated)
+{
+    for (const auto &wl : workloads::makeAll(0.05)) {
+        EXPECT_FALSE(wl.suite.empty()) << wl.name;
+        EXPECT_FALSE(wl.description.empty()) << wl.name;
+        EXPECT_GT(wl.launch.numWarps, 0u) << wl.name;
+    }
+}
+
+TEST(Generator, ReuseLandsInPlausibleBand)
+{
+    // The paper's average read-bypass fraction at IW=3 is 59%; our
+    // synthetic suite should land in a broad band around it.
+    std::vector<double> fractions;
+    for (const auto &wl : workloads::makeAll(0.15)) {
+        const auto fn = runFunctional(wl.launch);
+        const auto s = analyzeReuse(wl.launch.kernel, fn.traces, 3);
+        fractions.push_back(s.readFraction());
+    }
+    double sum = 0.0;
+    for (double f : fractions)
+        sum += f;
+    const double avg = sum / static_cast<double>(fractions.size());
+    EXPECT_GT(avg, 0.35);
+    EXPECT_LT(avg, 0.80);
+}
+
+} // namespace
+} // namespace bow
