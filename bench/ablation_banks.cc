@@ -23,19 +23,27 @@ main()
                  "baseline read conflicts/kinst"});
 
     for (unsigned banks : {8u, 16u, 32u, 64u}) {
+        const auto baseRes = bench::runSuiteWith(
+            suite, [&](const Workload &) {
+                SimConfig base = configFor(Architecture::Baseline);
+                base.numBanks = banks;
+                return base;
+            });
+        const auto bowRes = bench::runSuiteWith(
+            suite, [&](const Workload &) {
+                SimConfig bow = configFor(Architecture::BOW_WR_OPT,
+                                          3);
+                bow.numBanks = banks;
+                return bow;
+            });
+
         double accBase = 0.0;
         double accBow = 0.0;
         double accGain = 0.0;
         double accConf = 0.0;
-        for (const auto &wl : suite) {
-            SimConfig base = configFor(Architecture::Baseline);
-            base.numBanks = banks;
-            const auto rb = Simulator(base).run(wl.launch);
-
-            SimConfig bow = configFor(Architecture::BOW_WR_OPT, 3);
-            bow.numBanks = banks;
-            const auto rw = Simulator(bow).run(wl.launch);
-
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const auto &rb = baseRes[i];
+            const auto &rw = bowRes[i];
             accBase += rb.stats.ipc();
             accBow += rw.stats.ipc();
             accGain += improvementPct(rw.stats.ipc(), rb.stats.ipc());
@@ -46,7 +54,7 @@ main()
         const double n = static_cast<double>(suite.size());
         t.beginRow().cell(std::uint64_t{banks})
             .cell(accBase / n, 3).cell(accBow / n, 3)
-            .cell(formatFixed(accGain / n, 1) + "%")
+            .cell(formatImprovement(accGain / n))
             .cell(accConf / n, 0);
     }
     t.print(std::cout);

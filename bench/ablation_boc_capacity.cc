@@ -18,22 +18,28 @@ main()
         "Ablation - BOC capacity sweep (BOW-WR-opt, IW=3)");
 
     std::vector<double> baseIpc;
-    for (const auto &wl : suite) {
-        baseIpc.push_back(
-            bench::runOne(wl, Architecture::Baseline).stats.ipc());
-    }
+    for (const auto &res :
+         bench::runSuite(suite, Architecture::Baseline))
+        baseIpc.push_back(res.stats.ipc());
 
     Table t("Capacity sweep - suite averages");
     t.setHeader({"entries", "storage/SM", "IPC gain", "RF writes /"
                  " kinst", "safety writes / kinst"});
 
-    for (unsigned cap : {12u, 10u, 8u, 6u, 4u, 3u}) {
+    const std::vector<unsigned> caps = {12u, 10u, 8u, 6u, 4u, 3u};
+    std::vector<SimJob> jobs;
+    for (unsigned cap : caps)
+        for (const auto &wl : suite)
+            jobs.emplace_back(wl, Architecture::BOW_WR_OPT, 3, cap);
+    const auto results = bench::runMany(jobs);
+
+    std::size_t r = 0;
+    for (unsigned cap : caps) {
         double accIpc = 0.0;
         double accWrites = 0.0;
         double accSafety = 0.0;
         for (std::size_t i = 0; i < suite.size(); ++i) {
-            const auto res = bench::runOne(
-                suite[i], Architecture::BOW_WR_OPT, 3, cap);
+            const auto &res = results[r++];
             accIpc += improvementPct(res.stats.ipc(), baseIpc[i]);
             const double kinst =
                 static_cast<double>(res.stats.instructions) / 1000.0;
@@ -45,7 +51,7 @@ main()
         const double n = static_cast<double>(suite.size());
         t.beginRow().cell(std::uint64_t{cap})
             .cell(formatFixed(cap * 0.128 * 32, 1) + "KB")
-            .cell(formatFixed(accIpc / n, 1) + "%")
+            .cell(formatImprovement(accIpc / n))
             .cell(accWrites / n, 1)
             .cell(accSafety / n, 2);
     }

@@ -13,13 +13,12 @@ using namespace bow;
 
 namespace {
 
-SimResult
-runExt(const Workload &wl, unsigned cap, bool extended)
+SimConfig
+extConfig(unsigned cap, bool extended)
 {
     SimConfig config = configFor(Architecture::BOW_WR, 3, cap);
     config.extendedWindow = extended;
-    Simulator sim(config);
-    return sim.run(wl.launch);
+    return config;
 }
 
 } // namespace
@@ -37,10 +36,9 @@ main()
                  "RF writes/kinst"});
 
     std::vector<double> baseIpc;
-    for (const auto &wl : suite) {
-        baseIpc.push_back(
-            bench::runOne(wl, Architecture::Baseline).stats.ipc());
-    }
+    for (const auto &res :
+         bench::runSuite(suite, Architecture::Baseline))
+        baseIpc.push_back(res.stats.ipc());
 
     struct Cfg
     {
@@ -56,11 +54,14 @@ main()
     };
 
     for (const Cfg &c : cfgs) {
+        const auto results = bench::runSuiteWith(
+            suite,
+            [&](const Workload &) { return extConfig(c.cap, c.ext); });
         double accIpc = 0.0;
         double accFwd = 0.0;
         double accWr = 0.0;
         for (std::size_t i = 0; i < suite.size(); ++i) {
-            const auto res = runExt(suite[i], c.cap, c.ext);
+            const auto &res = results[i];
             const double kinst =
                 static_cast<double>(res.stats.instructions) / 1000.0;
             accIpc += improvementPct(res.stats.ipc(), baseIpc[i]);
@@ -70,7 +71,7 @@ main()
         }
         const double n = static_cast<double>(suite.size());
         t.beginRow().cell(c.name)
-            .cell(formatFixed(accIpc / n, 1) + "%")
+            .cell(formatImprovement(accIpc / n))
             .cell(accFwd / n, 1).cell(accWr / n, 1);
     }
     t.print(std::cout);

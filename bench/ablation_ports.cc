@@ -23,10 +23,9 @@ main()
     t.setHeader({"configuration", "IPC vs baseline", "hardware cost"});
 
     std::vector<double> base1;
-    for (const auto &wl : suite) {
-        base1.push_back(
-            bench::runOne(wl, Architecture::Baseline).stats.ipc());
-    }
+    for (const auto &res :
+         bench::runSuite(suite, Architecture::Baseline))
+        base1.push_back(res.stats.ipc());
 
     struct Cfg
     {
@@ -44,20 +43,20 @@ main()
          "12KB of buffering (half-size BOC)"},
     };
     for (const Cfg &c : cfgs) {
+        const auto results = bench::runSuiteWith(
+            suite, [&](const Workload &) {
+                SimConfig config = configFor(
+                    c.arch, 3,
+                    c.arch == Architecture::BOW_WR_OPT ? 6 : 0);
+                config.collectorPorts = c.ports;
+                return config;
+            });
         double acc = 0.0;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            SimConfig config = configFor(c.arch, 3,
-                                         c.arch == Architecture::
-                                                 BOW_WR_OPT
-                                             ? 6
-                                             : 0);
-            config.collectorPorts = c.ports;
-            const auto res = Simulator(config).run(suite[i].launch);
-            acc += improvementPct(res.stats.ipc(), base1[i]);
-        }
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            acc += improvementPct(results[i].stats.ipc(), base1[i]);
         t.beginRow().cell(c.name)
-            .cell(formatFixed(acc / static_cast<double>(suite.size()),
-                              1) + "%")
+            .cell(formatImprovement(
+                acc / static_cast<double>(suite.size())))
             .cell(c.cost);
     }
     t.print(std::cout);

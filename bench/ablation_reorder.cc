@@ -23,36 +23,49 @@ main()
     t.setHeader({"benchmark", "reads bypassed", "after reorder",
                  "IPC gain", "after reorder "});
 
+    // The reordered twin of every workload. The result cache keys on
+    // launch *content*, so these can never alias the pristine runs
+    // despite sharing a registry name.
+    std::vector<Workload> moved;
+    moved.reserve(suite.size());
+    for (const auto &wl : suite) {
+        Workload m = wl;
+        reorderForBypass(m.launch.kernel, 3);
+        moved.push_back(std::move(m));
+    }
+
+    const auto baseRes =
+        bench::runSuite(suite, Architecture::Baseline);
+    const auto optRes =
+        bench::runSuite(suite, Architecture::BOW_WR_OPT, 3);
+    const auto movedRes =
+        bench::runSuite(moved, Architecture::BOW_WR_OPT, 3);
+
     double accR0 = 0.0;
     double accR1 = 0.0;
     double accI0 = 0.0;
     double accI1 = 0.0;
-    for (const auto &wl : suite) {
-        const double baseIpc =
-            bench::runOne(wl, Architecture::Baseline).stats.ipc();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const Workload &wl = suite[i];
+        const double baseIpc = baseRes[i].stats.ipc();
 
         const auto fn0 = runFunctional(wl.launch);
         const double r0 =
             analyzeReuse(wl.launch.kernel, fn0.traces, 3)
                 .readFraction();
-        const double i0 = improvementPct(
-            bench::runOne(wl, Architecture::BOW_WR_OPT, 3).stats.ipc(),
-            baseIpc);
+        const double i0 = improvementPct(optRes[i].stats.ipc(),
+                                         baseIpc);
 
-        Workload moved = wl;
-        reorderForBypass(moved.launch.kernel, 3);
-        const auto fn1 = runFunctional(moved.launch);
+        const auto fn1 = runFunctional(moved[i].launch);
         const double r1 =
-            analyzeReuse(moved.launch.kernel, fn1.traces, 3)
+            analyzeReuse(moved[i].launch.kernel, fn1.traces, 3)
                 .readFraction();
-        const double i1 = improvementPct(
-            bench::runOne(moved, Architecture::BOW_WR_OPT, 3)
-                .stats.ipc(),
-            baseIpc);
+        const double i1 = improvementPct(movedRes[i].stats.ipc(),
+                                         baseIpc);
 
         t.beginRow().cell(wl.name).pct(r0).pct(r1)
-            .cell(formatFixed(i0, 1) + "%")
-            .cell(formatFixed(i1, 1) + "%");
+            .cell(formatImprovement(i0))
+            .cell(formatImprovement(i1));
         accR0 += r0;
         accR1 += r1;
         accI0 += i0;
@@ -60,8 +73,8 @@ main()
     }
     const double n = static_cast<double>(suite.size());
     t.beginRow().cell("AVG").pct(accR0 / n).pct(accR1 / n)
-        .cell(formatFixed(accI0 / n, 1) + "%")
-        .cell(formatFixed(accI1 / n, 1) + "%");
+        .cell(formatImprovement(accI0 / n))
+        .cell(formatImprovement(accI1 / n));
     t.print(std::cout);
 
     std::cout << "# the scheduler pulls consumers toward producers, "

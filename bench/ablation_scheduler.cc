@@ -12,13 +12,12 @@ using namespace bow;
 
 namespace {
 
-double
-ipcOf(const Workload &wl, Architecture arch, SchedPolicy policy)
+SimConfig
+schedConfig(Architecture arch, SchedPolicy policy)
 {
     SimConfig config = configFor(arch, 3);
     config.schedPolicy = policy;
-    Simulator sim(config);
-    return sim.run(wl.launch).stats.ipc();
+    return config;
 }
 
 } // namespace
@@ -33,37 +32,47 @@ main()
     t.setHeader({"benchmark", "GTO base IPC", "gain (GTO)",
                  "gain (LRR)", "gain (two-level)"});
 
+    const SchedPolicy policies[] = {SchedPolicy::GTO,
+                                    SchedPolicy::LRR,
+                                    SchedPolicy::TWO_LEVEL};
+    std::vector<SimResult> baseRes[3];
+    std::vector<SimResult> bowRes[3];
+    for (int p = 0; p < 3; ++p) {
+        baseRes[p] = bench::runSuiteWith(
+            suite, [&](const Workload &) {
+                return schedConfig(Architecture::Baseline,
+                                   policies[p]);
+            });
+        bowRes[p] = bench::runSuiteWith(
+            suite, [&](const Workload &) {
+                return schedConfig(Architecture::BOW_WR_OPT,
+                                   policies[p]);
+            });
+    }
+
     double accG = 0.0;
     double accL = 0.0;
     double accT = 0.0;
-    for (const auto &wl : suite) {
+    for (std::size_t i = 0; i < suite.size(); ++i) {
         double gains[3];
-        double baseG = 0.0;
-        const SchedPolicy policies[] = {SchedPolicy::GTO,
-                                        SchedPolicy::LRR,
-                                        SchedPolicy::TWO_LEVEL};
         for (int p = 0; p < 3; ++p) {
-            const double base = ipcOf(wl, Architecture::Baseline,
-                                      policies[p]);
-            const double bow = ipcOf(wl, Architecture::BOW_WR_OPT,
-                                     policies[p]);
-            gains[p] = improvementPct(bow, base);
-            if (p == 0)
-                baseG = base;
+            gains[p] = improvementPct(bowRes[p][i].stats.ipc(),
+                                      baseRes[p][i].stats.ipc());
         }
-        t.beginRow().cell(wl.name).cell(baseG, 2)
-            .cell(formatFixed(gains[0], 1) + "%")
-            .cell(formatFixed(gains[1], 1) + "%")
-            .cell(formatFixed(gains[2], 1) + "%");
+        t.beginRow().cell(suite[i].name)
+            .cell(baseRes[0][i].stats.ipc(), 2)
+            .cell(formatImprovement(gains[0]))
+            .cell(formatImprovement(gains[1]))
+            .cell(formatImprovement(gains[2]));
         accG += gains[0];
         accL += gains[1];
         accT += gains[2];
     }
     const double n = static_cast<double>(suite.size());
     t.beginRow().cell("AVG").cell("-")
-        .cell(formatFixed(accG / n, 1) + "%")
-        .cell(formatFixed(accL / n, 1) + "%")
-        .cell(formatFixed(accT / n, 1) + "%");
+        .cell(formatImprovement(accG / n))
+        .cell(formatImprovement(accL / n))
+        .cell(formatImprovement(accT / n));
     t.print(std::cout);
 
     std::cout << "# BOW's benefit is intra-warp forwarding, so it "

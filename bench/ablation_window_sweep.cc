@@ -23,20 +23,30 @@ main()
     t.setHeader({"IW", "BOC entries", "storage/SM", "IPC gain",
                  "norm. energy"});
 
+    constexpr unsigned kMinIw = 2;
+    constexpr unsigned kMaxIw = 7;
+
     std::vector<double> baseIpc;
     std::vector<EnergyBreakdown> baseE;
-    for (const auto &wl : suite) {
-        const auto b = bench::runOne(wl, Architecture::Baseline);
+    for (const auto &b :
+         bench::runSuite(suite, Architecture::Baseline)) {
         baseIpc.push_back(b.stats.ipc());
         baseE.push_back(b.energy);
     }
 
-    for (unsigned iw = 2; iw <= 7; ++iw) {
+    // One batch across the whole (window x workload) grid.
+    std::vector<SimJob> jobs;
+    for (unsigned iw = kMinIw; iw <= kMaxIw; ++iw)
+        for (const auto &wl : suite)
+            jobs.emplace_back(wl, Architecture::BOW_WR_OPT, iw);
+    const auto results = bench::runMany(jobs);
+
+    std::size_t r = 0;
+    for (unsigned iw = kMinIw; iw <= kMaxIw; ++iw) {
         double accIpc = 0.0;
         double accE = 0.0;
         for (std::size_t i = 0; i < suite.size(); ++i) {
-            const auto res =
-                bench::runOne(suite[i], Architecture::BOW_WR_OPT, iw);
+            const auto &res = results[r++];
             accIpc += improvementPct(res.stats.ipc(), baseIpc[i]);
             accE += res.energy.normalizedTo(baseE[i]);
         }
@@ -47,7 +57,7 @@ main()
         t.beginRow().cell(std::uint64_t{iw})
             .cell(std::uint64_t{entries})
             .cell(formatFixed(kb, 0) + "KB")
-            .cell(formatFixed(accIpc / n, 1) + "%")
+            .cell(formatImprovement(accIpc / n))
             .pct(accE / n);
     }
     t.print(std::cout);

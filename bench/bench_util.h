@@ -1,16 +1,32 @@
 /**
  * @file
- * Shared scaffolding for the bench harnesses: workload iteration and
- * result caching so each binary reads as the experiment it encodes.
+ * Shared scaffolding for the bench harnesses: workload iteration,
+ * the parallel batch-execution API every bench funnels its
+ * simulations through, and the end-of-run throughput/cache summary.
+ *
+ * All simulation goes through the process-wide ParallelRunner +
+ * ResultCache, so a bench that references the same (workload,
+ * configuration) twice — every Baseline column — simulates it once,
+ * and independent simulations in a batch run concurrently
+ * (BOWSIM_JOBS workers, default hardware_concurrency). Results come
+ * back in submission order, so tables print byte-identically at any
+ * job count; the timing summary goes to stderr to keep stdout
+ * comparable across runs.
  */
 
 #ifndef BOWSIM_BENCH_BENCH_UTIL_H
 #define BOWSIM_BENCH_BENCH_UTIL_H
 
-#include <functional>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <vector>
 
+#include "common/log.h"
+#include "common/table.h"
+#include "core/parallel_runner.h"
+#include "core/result_cache.h"
 #include "core/simulator.h"
 #include "core/sweep.h"
 #include "workloads/registry.h"
@@ -18,11 +34,47 @@
 namespace bow {
 namespace bench {
 
+/** The bench's start-of-run timestamp; first call pins it. */
+inline std::chrono::steady_clock::time_point
+benchStartTime()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+/** Wall-clock + simulation throughput summary, printed (to stderr)
+ *  when the bench exits so stdout stays byte-comparable. */
+inline void
+printRunSummary()
+{
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - benchStartTime());
+    const double secs = elapsed.count();
+    const std::uint64_t sims = ParallelRunner::simulationsRun();
+    const ResultCache &cache = globalResultCache();
+    std::cerr << "# bench summary: " << sims << " simulations in "
+              << formatFixed(secs, 2) << "s ("
+              << formatFixed(secs > 0.0
+                                 ? static_cast<double>(sims) / secs
+                                 : 0.0,
+                             1)
+              << " sims/sec, " << ParallelRunner::defaultJobs()
+              << " jobs); result cache: " << cache.hits()
+              << " hits, " << cache.misses() << " misses\n";
+}
+
 /** Build all benchmarks at the harness scale and print the banner. */
 inline std::vector<Workload>
 loadSuite(const std::string &title)
 {
     const double scale = benchScale();
+    // Pin the summary's clock before any simulation runs, and print
+    // the summary however the bench exits.
+    benchStartTime();
+    static const bool registered =
+        std::atexit([] { printRunSummary(); }) == 0;
+    (void)registered;
+
     std::cout << "==================================================="
                  "=============\n";
     std::cout << "bowsim bench: " << title << "\n";
@@ -34,14 +86,101 @@ loadSuite(const std::string &title)
     return workloads::makeAll(scale);
 }
 
-/** Run one workload under (arch, iw, bocEntries). */
+/**
+ * Run a batch of jobs concurrently; results come back indexed like
+ * @p jobs. This is the API every bench loop should funnel through:
+ * build the full cross product first, runMany() once, then format.
+ */
+inline std::vector<SimResult>
+runMany(const std::vector<SimJob> &jobs)
+{
+    return ParallelRunner().run(jobs);
+}
+
+/** Run every workload of @p suite under one configuration; result i
+ *  belongs to suite[i]. */
+inline std::vector<SimResult>
+runSuite(const std::vector<Workload> &suite, Architecture arch,
+         unsigned iw = 3, unsigned bocEntries = 0)
+{
+    std::vector<SimJob> jobs;
+    jobs.reserve(suite.size());
+    for (const Workload &wl : suite)
+        jobs.emplace_back(wl, arch, iw, bocEntries);
+    return runMany(jobs);
+}
+
+/** As runSuite(), but with a fully custom per-suite configuration
+ *  built by @p makeConfig(workload). */
+template <typename MakeConfig>
+inline std::vector<SimResult>
+runSuiteWith(const std::vector<Workload> &suite,
+             MakeConfig &&makeConfig)
+{
+    std::vector<SimJob> jobs;
+    jobs.reserve(suite.size());
+    for (const Workload &wl : suite)
+        jobs.emplace_back(wl, makeConfig(wl));
+    return runMany(jobs);
+}
+
+/** Run one workload under (arch, iw, bocEntries), memoized. */
 inline SimResult
 runOne(const Workload &wl, Architecture arch, unsigned iw = 3,
        unsigned bocEntries = 0)
 {
-    Simulator sim(configFor(arch, iw, bocEntries));
-    return sim.run(wl.launch);
+    return ParallelRunner().runOne(SimJob(wl, arch, iw, bocEntries));
 }
+
+/**
+ * Range-checked accumulator keyed by instruction-window size (or any
+ * small unsigned key). Replaces the raw `std::vector<double> acc(5)`
+ * pattern the figure benches used to index with the IW value itself,
+ * which silently depended on the sweep's upper bound.
+ */
+class KeyedAccum
+{
+  public:
+    /** Accumulate over keys in [lo, hi] inclusive. */
+    KeyedAccum(unsigned lo, unsigned hi) : lo_(lo), acc_(hi - lo + 1)
+    {
+        if (hi < lo)
+            panic("KeyedAccum: empty key range");
+    }
+
+    void
+    add(unsigned key, double v)
+    {
+        acc_.at(checkedIndex(key)) += v;
+    }
+
+    double
+    sum(unsigned key) const
+    {
+        return acc_.at(checkedIndex(key));
+    }
+
+    /** Mean over @p n contributions (NaN when n == 0). */
+    double
+    avg(unsigned key, std::size_t n) const
+    {
+        return n ? sum(key) / static_cast<double>(n)
+                 : std::numeric_limits<double>::quiet_NaN();
+    }
+
+  private:
+    std::size_t
+    checkedIndex(unsigned key) const
+    {
+        if (key < lo_ || key - lo_ >= acc_.size())
+            panic(strf("KeyedAccum: key ", key, " outside [", lo_,
+                       ", ", lo_ + acc_.size() - 1, "]"));
+        return key - lo_;
+    }
+
+    unsigned lo_;
+    std::vector<double> acc_;
+};
 
 } // namespace bench
 } // namespace bow

@@ -36,8 +36,8 @@ main()
     reads.setHeader(header);
     writes.setHeader(header);
 
-    std::vector<double> avgRead(kMaxIw + 1, 0.0);
-    std::vector<double> avgWrite(kMaxIw + 1, 0.0);
+    bench::KeyedAccum avgRead(kMinIw, kMaxIw);
+    bench::KeyedAccum avgWrite(kMinIw, kMaxIw);
 
     for (const auto &wl : suite) {
         const auto fn = runFunctional(wl.launch);
@@ -48,15 +48,15 @@ main()
                                         iw);
             reads.pct(s.readFraction());
             writes.pct(s.writeFraction());
-            avgRead[iw] += s.readFraction();
-            avgWrite[iw] += s.writeFraction();
+            avgRead.add(iw, s.readFraction());
+            avgWrite.add(iw, s.writeFraction());
         }
     }
     reads.beginRow().cell("AVG");
     writes.beginRow().cell("AVG");
     for (unsigned iw = kMinIw; iw <= kMaxIw; ++iw) {
-        reads.pct(avgRead[iw] / static_cast<double>(suite.size()));
-        writes.pct(avgWrite[iw] / static_cast<double>(suite.size()));
+        reads.pct(avgRead.avg(iw, suite.size()));
+        writes.pct(avgWrite.avg(iw, suite.size()));
     }
     reads.print(std::cout);
     writes.print(std::cout);

@@ -20,12 +20,15 @@ main()
     Table t("Figure 4 - % of execution time in the OC stage");
     t.setHeader({"benchmark", "non-memory", "memory", "overall"});
 
+    const auto results =
+        bench::runSuite(suite, Architecture::Baseline);
+
     double accNon = 0.0;
     double accMem = 0.0;
     double accAll = 0.0;
-    for (const auto &wl : suite) {
-        const auto res = bench::runOne(wl, Architecture::Baseline);
-        const auto &s = res.stats;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const Workload &wl = suite[i];
+        const auto &s = results[i].stats;
         const double nonMem = s.totalCyclesNonMem
             ? static_cast<double>(s.ocCyclesNonMem) /
               static_cast<double>(s.totalCyclesNonMem)

@@ -22,13 +22,15 @@ main()
     t.setHeader({"benchmark", "RF only", "BOC then RF",
                  "BOC only (transient)"});
 
+    const auto results =
+        bench::runSuite(suite, Architecture::BOW_WR_OPT, 3);
+
     double accRf = 0.0;
     double accBoth = 0.0;
     double accBoc = 0.0;
-    for (const auto &wl : suite) {
-        const auto res = bench::runOne(wl, Architecture::BOW_WR_OPT,
-                                       3);
-        const auto &s = res.stats;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const Workload &wl = suite[i];
+        const auto &s = results[i].stats;
         const double total = static_cast<double>(
             s.destRfOnly + s.destBocOnly + s.destBocAndRf);
         const double rf =

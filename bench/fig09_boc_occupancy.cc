@@ -22,11 +22,13 @@ main()
     t.setHeader({"benchmark", "<=2", "3", "4", "5", "6", ">=7",
                  ">50% full"});
 
+    const auto results =
+        bench::runSuite(suite, Architecture::BOW_WR, 3, 12);
+
     double accOver = 0.0;
-    for (const auto &wl : suite) {
-        const auto res = bench::runOne(wl, Architecture::BOW_WR, 3,
-                                       12);
-        const auto &h = res.stats.bocOccupancyHist;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const Workload &wl = suite[i];
+        const auto &h = results[i].stats.bocOccupancyHist;
         double total = 0.0;
         for (auto b : h)
             total += static_cast<double>(b);

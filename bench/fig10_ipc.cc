@@ -13,30 +13,39 @@ using namespace bow;
 
 namespace {
 
+constexpr unsigned kMinIw = 2;
+constexpr unsigned kMaxIw = 4;
+
 void
 report(const char *title, Architecture arch,
        const std::vector<Workload> &suite,
        const std::vector<double> &baseIpc)
 {
+    // Full (workload x window) cross product in one parallel batch;
+    // results come back in submission order.
+    std::vector<SimJob> jobs;
+    for (const auto &wl : suite)
+        for (unsigned iw = kMinIw; iw <= kMaxIw; ++iw)
+            jobs.emplace_back(wl, arch, iw);
+    const auto results = bench::runMany(jobs);
+
     Table t(title);
     t.setHeader({"benchmark", "IW2", "IW3", "IW4"});
-    std::vector<double> acc(5, 0.0);
+    bench::KeyedAccum acc(kMinIw, kMaxIw);
+    std::size_t r = 0;
     for (std::size_t i = 0; i < suite.size(); ++i) {
         t.beginRow().cell(suite[i].name);
-        for (unsigned iw = 2; iw <= 4; ++iw) {
-            const auto res = bench::runOne(suite[i], arch, iw);
+        for (unsigned iw = kMinIw; iw <= kMaxIw; ++iw) {
+            const auto &res = results[r++];
             const double imp = improvementPct(res.stats.ipc(),
                                               baseIpc[i]);
-            t.cell(formatFixed(imp, 1) + "%");
-            acc[iw] += imp;
+            t.cell(formatImprovement(imp));
+            acc.add(iw, imp);
         }
     }
     t.beginRow().cell("AVG");
-    for (unsigned iw = 2; iw <= 4; ++iw) {
-        t.cell(formatFixed(
-                   acc[iw] / static_cast<double>(suite.size()), 1) +
-               "%");
-    }
+    for (unsigned iw = kMinIw; iw <= kMaxIw; ++iw)
+        t.cell(formatImprovement(acc.avg(iw, suite.size())));
     t.print(std::cout);
 }
 
@@ -49,10 +58,9 @@ main()
         "Figure 10 - IPC improvement over the baseline");
 
     std::vector<double> baseIpc;
-    for (const auto &wl : suite) {
-        baseIpc.push_back(
-            bench::runOne(wl, Architecture::Baseline).stats.ipc());
-    }
+    for (const auto &res :
+         bench::runSuite(suite, Architecture::Baseline))
+        baseIpc.push_back(res.stats.ipc());
 
     report("Figure 10a - BOW IPC improvement", Architecture::BOW,
            suite, baseIpc);

@@ -21,32 +21,32 @@ main()
     t.setHeader({"benchmark", "12-entry BOC", "6-entry BOC",
                  "half-size cost"});
 
+    const auto baseRes =
+        bench::runSuite(suite, Architecture::Baseline);
+    const auto fullRes =
+        bench::runSuite(suite, Architecture::BOW_WR_OPT, 3, 12);
+    const auto halfRes =
+        bench::runSuite(suite, Architecture::BOW_WR_OPT, 3, 6);
+
     double accFull = 0.0;
     double accHalf = 0.0;
-    for (const auto &wl : suite) {
-        const double base =
-            bench::runOne(wl, Architecture::Baseline).stats.ipc();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const double base = baseRes[i].stats.ipc();
         const double full =
-            improvementPct(bench::runOne(wl, Architecture::BOW_WR_OPT,
-                                         3, 12)
-                               .stats.ipc(),
-                           base);
+            improvementPct(fullRes[i].stats.ipc(), base);
         const double half =
-            improvementPct(bench::runOne(wl, Architecture::BOW_WR_OPT,
-                                         3, 6)
-                               .stats.ipc(),
-                           base);
-        t.beginRow().cell(wl.name)
-            .cell(formatFixed(full, 1) + "%")
-            .cell(formatFixed(half, 1) + "%")
+            improvementPct(halfRes[i].stats.ipc(), base);
+        t.beginRow().cell(suite[i].name)
+            .cell(formatImprovement(full))
+            .cell(formatImprovement(half))
             .cell(formatFixed(full - half, 1) + "pp");
         accFull += full;
         accHalf += half;
     }
     const double n = static_cast<double>(suite.size());
     t.beginRow().cell("AVG")
-        .cell(formatFixed(accFull / n, 1) + "%")
-        .cell(formatFixed(accHalf / n, 1) + "%")
+        .cell(formatImprovement(accFull / n))
+        .cell(formatImprovement(accHalf / n))
         .cell(formatFixed((accFull - accHalf) / n, 1) + "pp");
     t.print(std::cout);
 

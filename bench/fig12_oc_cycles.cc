@@ -19,25 +19,36 @@ main()
     Table t("Figure 12 - normalized cycles in the OC stage");
     t.setHeader({"benchmark", "baseline", "IW2", "IW3", "IW4"});
 
-    std::vector<double> acc(5, 0.0);
-    for (const auto &wl : suite) {
-        const auto base = bench::runOne(wl, Architecture::Baseline);
-        const double baseOc =
-            static_cast<double>(base.stats.ocCyclesTotal());
-        t.beginRow().cell(wl.name).cell("1.00");
-        for (unsigned iw = 2; iw <= 4; ++iw) {
-            const auto res = bench::runOne(wl, Architecture::BOW, iw);
+    constexpr unsigned kMinIw = 2;
+    constexpr unsigned kMaxIw = 4;
+
+    const auto baseRes =
+        bench::runSuite(suite, Architecture::Baseline);
+    std::vector<SimJob> jobs;
+    for (const auto &wl : suite)
+        for (unsigned iw = kMinIw; iw <= kMaxIw; ++iw)
+            jobs.emplace_back(wl, Architecture::BOW, iw);
+    const auto results = bench::runMany(jobs);
+
+    bench::KeyedAccum acc(kMinIw, kMaxIw);
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const double baseOc = static_cast<double>(
+            baseRes[i].stats.ocCyclesTotal());
+        t.beginRow().cell(suite[i].name).cell("1.00");
+        for (unsigned iw = kMinIw; iw <= kMaxIw; ++iw) {
+            const auto &res = results[r++];
             const double norm = baseOc
                 ? static_cast<double>(res.stats.ocCyclesTotal()) /
                   baseOc
                 : 0.0;
             t.cell(norm, 2);
-            acc[iw] += norm;
+            acc.add(iw, norm);
         }
     }
     t.beginRow().cell("AVG").cell("1.00");
-    for (unsigned iw = 2; iw <= 4; ++iw)
-        t.cell(acc[iw] / static_cast<double>(suite.size()), 2);
+    for (unsigned iw = kMinIw; iw <= kMaxIw; ++iw)
+        t.cell(acc.avg(iw, suite.size()), 2);
     t.print(std::cout);
 
     std::cout << "# paper reference: OC residency drops by ~60% at "

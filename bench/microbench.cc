@@ -11,6 +11,8 @@
 
 #include "compiler/liveness.h"
 #include "compiler/writeback_tagger.h"
+#include "core/parallel_runner.h"
+#include "core/result_cache.h"
 #include "core/simulator.h"
 #include "core/sweep.h"
 #include "isa/assembler.h"
@@ -107,6 +109,47 @@ BENCHMARK(BM_SimulateKernel)
     ->Arg(static_cast<int>(Architecture::Baseline))
     ->Arg(static_cast<int>(Architecture::BOW))
     ->Arg(static_cast<int>(Architecture::BOW_WR_OPT));
+
+void
+BM_ParallelSuite(benchmark::State &state)
+{
+    // Whole-suite batch throughput at a given worker count. The
+    // result cache is cleared every iteration so each one really
+    // simulates; the counter reports simulations per wall-second.
+    const auto suite = workloads::makeAll(0.05);
+    const unsigned workers = static_cast<unsigned>(state.range(0));
+    std::uint64_t sims = 0;
+    for (auto _ : state) {
+        globalResultCache().reset();
+        std::vector<SimJob> jobs;
+        for (const auto &wl : suite)
+            jobs.emplace_back(wl, Architecture::BOW_WR_OPT, 3);
+        const auto results = ParallelRunner(workers).run(jobs);
+        sims += results.size();
+        benchmark::DoNotOptimize(results.front().stats.cycles);
+    }
+    state.counters["sims/s"] = benchmark::Counter(
+        static_cast<double>(sims), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelSuite)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void
+BM_ResultCacheHit(benchmark::State &state)
+{
+    // Cost of a warm lookup: hash the launch + one map probe.
+    const auto wl = workloads::make("VECTORADD", 0.05);
+    globalResultCache().reset();
+    ParallelRunner runner(1);
+    const SimJob job(wl, Architecture::Baseline);
+    runner.runOne(job);  // warm the cache
+    for (auto _ : state) {
+        const auto res = runner.runOne(job);
+        benchmark::DoNotOptimize(res.stats.cycles);
+    }
+    globalResultCache().reset();
+}
+BENCHMARK(BM_ResultCacheHit);
 
 } // namespace
 

@@ -23,16 +23,18 @@ main()
     t.setHeader({"benchmark", "transient writes", "GPRs named",
                  "RF-free GPRs", "allocation cut"});
 
+    const auto results =
+        bench::runSuite(suite, Architecture::BOW_WR_OPT, 3);
+
     double accTrans = 0.0;
     double accCut = 0.0;
-    for (const auto &wl : suite) {
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const Workload &wl = suite[i];
         Launch tagged = wl.launch;
         tagWritebacks(tagged.kernel, 3);
         const RfDemand demand = analyzeRfDemand(tagged.kernel);
 
-        const auto res = bench::runOne(wl, Architecture::BOW_WR_OPT,
-                                       3);
-        const auto &s = res.stats;
+        const auto &s = results[i].stats;
         const double total = static_cast<double>(
             s.destRfOnly + s.destBocOnly + s.destBocAndRf);
         const double trans =

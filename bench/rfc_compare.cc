@@ -21,15 +21,20 @@ main()
     t.setHeader({"benchmark", "RFC IPC gain", "BOW-WR IPC gain",
                  "RFC energy", "BOW-WR energy"});
 
+    const auto baseRes =
+        bench::runSuite(suite, Architecture::Baseline);
+    const auto rfcRes = bench::runSuite(suite, Architecture::RFC);
+    const auto bowRes =
+        bench::runSuite(suite, Architecture::BOW_WR_OPT, 3, 6);
+
     double accRfcIpc = 0.0;
     double accBowIpc = 0.0;
     double accRfcE = 0.0;
     double accBowE = 0.0;
-    for (const auto &wl : suite) {
-        const auto base = bench::runOne(wl, Architecture::Baseline);
-        const auto rfc = bench::runOne(wl, Architecture::RFC);
-        const auto bowwr =
-            bench::runOne(wl, Architecture::BOW_WR_OPT, 3, 6);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &base = baseRes[i];
+        const auto &rfc = rfcRes[i];
+        const auto &bowwr = bowRes[i];
 
         const double rfcIpc = improvementPct(rfc.stats.ipc(),
                                              base.stats.ipc());
@@ -37,9 +42,9 @@ main()
                                              base.stats.ipc());
         const double rfcE = rfc.energy.normalizedTo(base.energy);
         const double bowE = bowwr.energy.normalizedTo(base.energy);
-        t.beginRow().cell(wl.name)
-            .cell(formatFixed(rfcIpc, 1) + "%")
-            .cell(formatFixed(bowIpc, 1) + "%")
+        t.beginRow().cell(suite[i].name)
+            .cell(formatImprovement(rfcIpc))
+            .cell(formatImprovement(bowIpc))
             .pct(rfcE).pct(bowE);
         accRfcIpc += rfcIpc;
         accBowIpc += bowIpc;
@@ -48,8 +53,8 @@ main()
     }
     const double n = static_cast<double>(suite.size());
     t.beginRow().cell("AVG")
-        .cell(formatFixed(accRfcIpc / n, 1) + "%")
-        .cell(formatFixed(accBowIpc / n, 1) + "%")
+        .cell(formatImprovement(accRfcIpc / n))
+        .cell(formatImprovement(accBowIpc / n))
         .pct(accRfcE / n).pct(accBowE / n);
     t.print(std::cout);
 

@@ -7,7 +7,8 @@
  *
  * Usage:
  *   bowsim_cli [options]
- *     --workload NAME     Table III benchmark (default VECTORADD)
+ *     --workload NAME     Table III benchmark (default VECTORADD);
+ *                         ALL runs the whole suite in parallel
  *     --asm FILE          assemble FILE instead of a benchmark
  *     --sass FILE         import an Accel-Sim-style SASS trace
  *     --warps N           warps for --asm launches (default 32)
@@ -18,17 +19,24 @@
  *     --reorder           run the bypass-aware scheduling pass
  *     --sched P           gto|lrr
  *     --scale S           workload scale factor (default 1.0)
+ *     --jobs N            parallel simulations for --workload ALL
+ *                         (default BOWSIM_JOBS or all hardware
+ *                         threads)
  *     --csv               machine-readable one-line output
  */
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/log.h"
+#include "common/table.h"
 #include "compiler/reorder.h"
+#include "core/parallel_runner.h"
 #include "core/simulator.h"
 #include "core/sweep.h"
 #include "isa/assembler.h"
@@ -59,13 +67,68 @@ parseArch(const std::string &s)
 usage()
 {
     std::cerr <<
-        "usage: bowsim_cli [--workload NAME | --asm FILE |\n"
+        "usage: bowsim_cli [--workload NAME|ALL | --asm FILE |\n"
         "                   --sass FILE]\n"
         "                  [--warps N] [--arch A] [--iw N]\n"
         "                  [--boc-entries N] [--extended-window]\n"
         "                  [--reorder] [--sched gto|lrr]\n"
-        "                  [--scale S] [--csv]\n";
+        "                  [--scale S] [--jobs N] [--csv]\n";
     std::exit(2);
+}
+
+/** --workload ALL: the whole Table III suite, simulated in parallel
+ *  on the engine's thread pool, one row per workload. */
+int
+runAllWorkloads(const SimConfig &config, double scale, bool csv)
+{
+    const auto suite = workloads::makeAll(scale);
+    std::vector<SimJob> jobs;
+    jobs.reserve(suite.size());
+    for (const Workload &wl : suite)
+        jobs.emplace_back(wl, config);
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = ParallelRunner().run(jobs);
+    const double secs = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+
+    if (csv) {
+        std::cout << "kernel,arch,iw,cycles,insts,ipc,rf_reads,"
+                     "rf_writes,boc_forwards,energy_pj\n";
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const SimResult &res = results[i];
+            std::cout << suite[i].name << "," << res.arch << ","
+                      << config.windowSize << "," << res.stats.cycles
+                      << "," << res.stats.instructions << ","
+                      << res.stats.ipc() << "," << res.stats.rfReads
+                      << "," << res.stats.rfWrites << ","
+                      << res.stats.bocForwards << ","
+                      << res.energy.totalPj << "\n";
+        }
+    } else {
+        printConfigBanner(std::cout, config);
+        Table t(strf("Suite results - ", archName(config.arch),
+                     " (IW ", config.windowSize, ")"));
+        t.setHeader({"benchmark", "cycles", "insts", "IPC",
+                     "RF reads", "RF writes", "BOC fwds",
+                     "energy uJ"});
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const SimResult &res = results[i];
+            t.beginRow().cell(suite[i].name)
+                .cell(std::uint64_t{res.stats.cycles})
+                .cell(std::uint64_t{res.stats.instructions})
+                .cell(res.stats.ipc(), 3)
+                .cell(std::uint64_t{res.stats.rfReads})
+                .cell(std::uint64_t{res.stats.rfWrites})
+                .cell(std::uint64_t{res.stats.bocForwards})
+                .cell(res.energy.totalPj / 1e6, 2);
+        }
+        t.print(std::cout);
+        std::cerr << "# " << suite.size() << " simulations in "
+                  << formatFixed(secs, 2) << "s ("
+                  << ParallelRunner().jobs() << " jobs)\n";
+    }
+    return 0;
 }
 
 } // namespace
@@ -114,6 +177,19 @@ main(int argc, char **argv)
                 ? SchedPolicy::GTO : SchedPolicy::LRR;
         else if (!std::strcmp(a, "--scale"))
             scale = std::atof(need(i));
+        else if (!std::strcmp(a, "--jobs")) {
+            const char *arg = need(i);
+            char *end = nullptr;
+            const long v = std::strtol(arg, &end, 10);
+            if (end == arg || *end != '\0' || v < 0) {
+                std::cerr << "bowsim_cli: --jobs wants a"
+                             " non-negative integer, got '"
+                          << arg << "'\n";
+                return 2;
+            }
+            ParallelRunner::setDefaultJobs(
+                static_cast<unsigned>(v));
+        }
         else if (!std::strcmp(a, "--csv"))
             csv = true;
         else
@@ -121,6 +197,9 @@ main(int argc, char **argv)
     }
 
     try {
+        if (workload == "ALL" || workload == "all")
+            return runAllWorkloads(config, scale, csv);
+
         Launch launch;
         std::string name;
         if (!sassFile.empty()) {

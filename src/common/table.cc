@@ -1,6 +1,7 @@
 #include "common/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <iomanip>
 #include <ostream>
@@ -13,6 +14,8 @@ namespace bow {
 std::string
 formatPct(double fraction, int precision)
 {
+    if (std::isnan(fraction))
+        return "n/a";
     std::ostringstream os;
     os << std::fixed << std::setprecision(precision)
        << fraction * 100.0 << "%";
@@ -22,9 +25,19 @@ formatPct(double fraction, int precision)
 std::string
 formatFixed(double v, int precision)
 {
+    if (std::isnan(v))
+        return "n/a";
     std::ostringstream os;
     os << std::fixed << std::setprecision(precision) << v;
     return os.str();
+}
+
+std::string
+formatImprovement(double pct, int precision)
+{
+    if (std::isnan(pct))
+        return "n/a";
+    return formatFixed(pct, precision) + "%";
 }
 
 void

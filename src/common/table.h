@@ -60,11 +60,17 @@ class Table
     bool hasPending_ = false;
 };
 
-/** Format a fraction as a percent string, e.g. 0.123 -> "12.3%". */
+/** Format a fraction as a percent string, e.g. 0.123 -> "12.3%".
+ *  NaN (an undefined ratio, e.g. against a zero baseline) renders
+ *  as "n/a". */
 std::string formatPct(double fraction, int precision = 1);
 
-/** Format a double with fixed precision. */
+/** Format a double with fixed precision; NaN renders as "n/a". */
 std::string formatFixed(double v, int precision = 2);
+
+/** Format an improvementPct() value: "12.3%", or "n/a" for the NaN
+ *  a zero baseline produces. */
+std::string formatImprovement(double pct, int precision = 1);
 
 } // namespace bow
 

@@ -1,0 +1,129 @@
+#include "core/parallel_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/log.h"
+#include "core/thread_pool.h"
+
+namespace bow {
+
+namespace {
+
+std::atomic<unsigned> gDefaultJobs{0};
+std::atomic<std::uint64_t> gSimulationsRun{0};
+
+/** Simulate one job, consulting and feeding the global cache. */
+std::shared_ptr<const SimResult>
+simulateCached(const SimJob &job)
+{
+    const std::uint64_t key = simCacheKey(*job.workload, job.config);
+    if (auto hit = globalResultCache().lookup(key))
+        return hit;
+    Simulator sim(job.config);
+    auto result = std::make_shared<const SimResult>(
+        sim.run(job.workload->launch));
+    gSimulationsRun.fetch_add(1, std::memory_order_relaxed);
+    // First writer wins; concurrent duplicates computed the same
+    // bits, so which copy survives is unobservable.
+    return globalResultCache().insert(key, std::move(result));
+}
+
+} // namespace
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{}
+
+unsigned
+ParallelRunner::defaultJobs()
+{
+    if (const unsigned forced = gDefaultJobs.load())
+        return forced;
+    if (const char *env = std::getenv("BOWSIM_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn(strf("ignoring BOWSIM_JOBS='", env,
+                  "' (want a positive integer)"));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+ParallelRunner::setDefaultJobs(unsigned jobs)
+{
+    gDefaultJobs.store(jobs);
+}
+
+std::uint64_t
+ParallelRunner::simulationsRun()
+{
+    return gSimulationsRun.load(std::memory_order_relaxed);
+}
+
+SimResult
+ParallelRunner::runOne(const SimJob &job) const
+{
+    if (job.workload == nullptr)
+        panic("ParallelRunner::runOne: job has no workload");
+    return *simulateCached(job);
+}
+
+std::vector<SimResult>
+ParallelRunner::run(const std::vector<SimJob> &batch) const
+{
+    for (const SimJob &job : batch) {
+        if (job.workload == nullptr)
+            panic("ParallelRunner::run: job has no workload");
+    }
+
+    std::vector<SimResult> results(batch.size());
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, batch.size()));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            results[i] = *simulateCached(batch[i]);
+        return results;
+    }
+
+    // One task per job; results land at the job's submission index,
+    // so completion order never shows in the output. A worker that
+    // throws (fatal() on a bad configuration) parks its exception
+    // and the first one is rethrown on the calling thread.
+    std::atomic<std::size_t> next{0};
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+
+    {
+        ThreadPool pool(workers);
+        for (unsigned t = 0; t < workers; ++t) {
+            pool.post([&] {
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= batch.size())
+                        return;
+                    try {
+                        results[i] = *simulateCached(batch[i]);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(errorMutex);
+                        if (!firstError)
+                            firstError = std::current_exception();
+                    }
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace bow

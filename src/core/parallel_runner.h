@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Parallel simulation engine: executes a batch of independent
+ * simulation jobs on a fixed-size thread pool and returns the
+ * results in submission order, memoizing every finished simulation
+ * in the process-wide ResultCache. Because each Simulator::run()
+ * builds a fresh SmCore and the workload generators are seeded and
+ * self-contained, jobs share no mutable state and results are
+ * bit-identical to a serial run at any job count.
+ */
+
+#ifndef BOWSIM_CORE_PARALLEL_RUNNER_H
+#define BOWSIM_CORE_PARALLEL_RUNNER_H
+
+#include <vector>
+
+#include "core/result_cache.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "workloads/registry.h"
+
+namespace bow {
+
+/**
+ * One simulation to run: a workload (borrowed from the caller, which
+ * must keep it alive across run()) plus a full machine configuration.
+ */
+struct SimJob
+{
+    const Workload *workload = nullptr;
+    SimConfig config;
+
+    SimJob() = default;
+
+    /** The common bench shape: a Table II machine variant. */
+    SimJob(const Workload &wl, Architecture arch, unsigned iw = 3,
+           unsigned bocEntries = 0)
+        : workload(&wl), config(configFor(arch, iw, bocEntries))
+    {}
+
+    /** Fully custom configuration (bank/port/scheduler ablations). */
+    SimJob(const Workload &wl, const SimConfig &cfg)
+        : workload(&wl), config(cfg)
+    {}
+};
+
+/**
+ * Batch executor over the thread pool + result cache.
+ *
+ * The job count comes from the constructor argument, else the
+ * BOWSIM_JOBS environment variable, else hardware_concurrency(),
+ * and is always capped at the batch size so small batches never pay
+ * for idle threads.
+ */
+class ParallelRunner
+{
+  public:
+    /** @param jobs Worker count; 0 means defaultJobs(). */
+    explicit ParallelRunner(unsigned jobs = 0);
+
+    /**
+     * Run every job and return results indexed exactly like @p batch.
+     * Order of execution is unspecified; order of results is not.
+     */
+    std::vector<SimResult> run(const std::vector<SimJob> &batch) const;
+
+    /** Run one job through the cache (no threads involved). */
+    SimResult runOne(const SimJob &job) const;
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Resolve the process-default worker count: the value set with
+     * setDefaultJobs() (the CLI --jobs flag), else BOWSIM_JOBS, else
+     * std::thread::hardware_concurrency().
+     */
+    static unsigned defaultJobs();
+
+    /** Override defaultJobs() for this process (0 = back to auto). */
+    static void setDefaultJobs(unsigned jobs);
+
+    /** Simulations actually executed by this process (cache misses
+     *  that went to a Simulator). */
+    static std::uint64_t simulationsRun();
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_PARALLEL_RUNNER_H

@@ -1,0 +1,207 @@
+#include "core/result_cache.h"
+
+#include <type_traits>
+
+namespace bow {
+
+namespace {
+
+/** Incremental FNV-1a over arbitrary scalar fields. */
+class Fnv1a
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001B3ull;
+        }
+    }
+
+    template <typename T>
+    void
+    scalar(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        bytes(&v, sizeof(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        scalar(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+/** Hash every semantically relevant field of one instruction.
+ *  Field-by-field (not raw struct bytes) so padding never leaks in. */
+void
+hashInstruction(Fnv1a &h, const Instruction &inst)
+{
+    h.scalar(static_cast<int>(inst.op));
+    h.scalar(static_cast<int>(inst.cc));
+    h.scalar(inst.dst);
+    h.scalar(inst.numSrcs);
+    for (const Operand &o : inst.srcs) {
+        h.scalar(static_cast<int>(o.kind));
+        h.scalar(o.reg);
+        h.scalar(o.imm);
+        h.scalar(static_cast<int>(o.special));
+    }
+    h.scalar(inst.pred);
+    h.scalar(inst.predNegate);
+    h.scalar(inst.memOffset);
+    h.scalar(inst.branchTarget);
+    h.scalar(static_cast<int>(inst.hint));
+}
+
+void
+hashKernel(Fnv1a &h, const Kernel &kernel)
+{
+    h.scalar(kernel.size());
+    for (const Instruction &inst : kernel.instructions())
+        hashInstruction(h, inst);
+}
+
+void
+hashLaunch(Fnv1a &h, const Launch &launch)
+{
+    hashKernel(h, launch.kernel);
+    h.scalar(launch.numWarps);
+    h.scalar(launch.warpKernels.size());
+    for (const Kernel &k : launch.warpKernels)
+        hashKernel(h, k);
+    h.scalar(launch.initRegs.size());
+    for (const auto &[reg, val] : launch.initRegs) {
+        h.scalar(reg);
+        h.scalar(val);
+    }
+    h.scalar(launch.initMem.size());
+    for (const auto &[space, addr, val] : launch.initMem) {
+        h.scalar(static_cast<int>(space));
+        h.scalar(addr);
+        h.scalar(val);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+simCacheKey(const Workload &workload, const SimConfig &c)
+{
+    Fnv1a h;
+    // Workload identity: the registry name and generation scale for
+    // fast discrimination, then the launch content itself so that
+    // modified copies (reordered kernels, custom --asm programs that
+    // reuse a registry name) can never collide with the original.
+    h.str(workload.name);
+    h.scalar(workload.scale);
+    hashLaunch(h, workload.launch);
+
+    // Every SimConfig field, enumerated explicitly so that adding a
+    // knob without extending the key is caught in review rather than
+    // by silently aliasing two different configurations.
+    h.scalar(c.numSchedulers);
+    h.scalar(c.issuePerScheduler);
+    h.scalar(c.maxResidentWarps);
+    h.scalar(c.numBanks);
+    h.scalar(c.rfBytesPerSm);
+    h.scalar(c.numCollectors);
+    h.scalar(c.collectorPorts);
+    h.scalar(static_cast<int>(c.schedPolicy));
+    h.scalar(c.aluLatency);
+    h.scalar(c.sfuLatency);
+    h.scalar(c.ctrlLatency);
+    h.scalar(c.aluWidth);
+    h.scalar(c.sfuWidth);
+    h.scalar(c.ldstWidth);
+    h.scalar(c.l1Latency);
+    h.scalar(c.l2Latency);
+    h.scalar(c.dramLatency);
+    h.scalar(c.l1Bytes);
+    h.scalar(c.l1LineBytes);
+    h.scalar(c.l1Ways);
+    h.scalar(c.l2Bytes);
+    h.scalar(c.l2LineBytes);
+    h.scalar(c.l2Ways);
+    h.scalar(c.sharedLatency);
+    h.scalar(c.maxPendingLoads);
+    h.scalar(static_cast<int>(c.arch));
+    h.scalar(c.windowSize);
+    // Normalised: bocEntries==0 means "4 * windowSize", so a job
+    // spelling the default explicitly hits the same entry.
+    h.scalar(c.effectiveBocEntries());
+    h.scalar(c.extendedWindow);
+    h.scalar(c.rfcEntriesPerWarp);
+    h.scalar(c.maxCycles);
+    return h.value();
+}
+
+std::shared_ptr<const SimResult>
+ResultCache::lookup(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return it->second;
+}
+
+std::shared_ptr<const SimResult>
+ResultCache::insert(std::uint64_t key,
+                    std::shared_ptr<const SimResult> result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = map_.emplace(key, std::move(result));
+    return it->second;
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+void
+ResultCache::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+ResultCache &
+globalResultCache()
+{
+    static ResultCache cache;
+    return cache;
+}
+
+} // namespace bow

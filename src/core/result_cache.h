@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Process-wide memoizing cache of simulation results. Every bench
+ * table that includes a Baseline (or any repeated) column re-runs an
+ * identical (workload, configuration) simulation; the cache makes
+ * each distinct simulation run exactly once per process and hands
+ * out the shared, immutable result thereafter.
+ */
+
+#ifndef BOWSIM_CORE_RESULT_CACHE_H
+#define BOWSIM_CORE_RESULT_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/simulator.h"
+#include "workloads/registry.h"
+
+namespace bow {
+
+/**
+ * Stable 64-bit key for one simulation: a FNV-1a hash over the
+ * workload identity (name + generation scale), the full *content*
+ * of its launch (every instruction of every kernel plus the initial
+ * register/memory image — so a bench that mutates a generated kernel,
+ * e.g. the reordering ablation, can never alias the pristine one),
+ * and every SimConfig field that can influence the run. Two jobs
+ * with equal keys produce bit-identical SimResults, because the
+ * simulator itself is fully deterministic.
+ */
+std::uint64_t simCacheKey(const Workload &workload,
+                          const SimConfig &config);
+
+/**
+ * Mutex-guarded map from simCacheKey() to the finished result.
+ *
+ * Results are stored behind shared_ptr<const SimResult> so hits can
+ * be handed out without copying the (potentially large) final
+ * register and memory state. The cache never evicts; a bench process
+ * runs a bounded set of configurations.
+ */
+class ResultCache
+{
+  public:
+    /** The result for @p key, or nullptr on miss. Counts hit/miss. */
+    std::shared_ptr<const SimResult> lookup(std::uint64_t key);
+
+    /**
+     * Publish @p result under @p key. First writer wins: when two
+     * threads simulated the same key concurrently, the result already
+     * stored is returned (both are identical anyway).
+     */
+    std::shared_ptr<const SimResult>
+    insert(std::uint64_t key, std::shared_ptr<const SimResult> result);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::size_t size() const;
+
+    /** Drop all entries and zero the counters (tests only). */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const SimResult>> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** The process-wide cache used by ParallelRunner and the benches. */
+ResultCache &globalResultCache();
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_RESULT_CACHE_H

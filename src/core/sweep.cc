@@ -1,7 +1,11 @@
 #include "core/sweep.h"
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <ostream>
+
+#include "common/log.h"
 
 namespace bow {
 
@@ -18,8 +22,8 @@ configFor(Architecture arch, unsigned iw, unsigned bocEntries)
 double
 improvementPct(double value, double base)
 {
-    if (base == 0.0)
-        return 0.0;
+    if (base == 0.0 || !std::isfinite(base))
+        return std::numeric_limits<double>::quiet_NaN();
     return (value / base - 1.0) * 100.0;
 }
 
@@ -51,9 +55,14 @@ double
 benchScale()
 {
     if (const char *env = std::getenv("BOWSIM_BENCH_SCALE")) {
-        const double v = std::atof(env);
-        if (v > 0.0)
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != env && *end == '\0' && std::isfinite(v) &&
+            v > 0.0) {
             return v;
+        }
+        warn(strf("ignoring BOWSIM_BENCH_SCALE='", env,
+                  "' (want a positive number); using scale 1"));
     }
     return 1.0;
 }

@@ -18,7 +18,12 @@ namespace bow {
 SimConfig configFor(Architecture arch, unsigned iw = 3,
                     unsigned bocEntries = 0);
 
-/** Percentage improvement of @p value over @p base: (v/b - 1)*100. */
+/**
+ * Percentage improvement of @p value over @p base: (v/b - 1)*100.
+ * A zero or non-finite base has no meaningful improvement and yields
+ * NaN (rendered as "n/a" by Table / formatImprovement) rather than a
+ * silent 0% that would mask a broken baseline.
+ */
 double improvementPct(double value, double base);
 
 /** Arithmetic mean; 0 for an empty vector. */

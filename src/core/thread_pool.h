@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-size thread pool used by the parallel simulation engine.
+ * Deliberately minimal: a shared FIFO task queue, no work stealing,
+ * no dynamic resizing — simulation jobs are coarse (whole kernel
+ * launches), so a single mutex-guarded queue is nowhere near
+ * contention and keeps the execution model easy to reason about.
+ */
+
+#ifndef BOWSIM_CORE_THREAD_POOL_H
+#define BOWSIM_CORE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bow {
+
+/**
+ * A fixed set of worker threads draining a FIFO task queue.
+ *
+ * Tasks are plain callables; exceptions escaping a task terminate
+ * the process (simulation tasks are expected to capture their own
+ * failures). wait() provides a batch barrier so a caller can post a
+ * group of jobs and block until every one of them has finished.
+ */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution by any worker. */
+    void post(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void wait();
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable taskReady_;  ///< workers wait here
+    std::condition_variable allDone_;    ///< wait() blocks here
+    std::deque<std::function<void()>> queue_;
+    std::size_t running_ = 0;  ///< tasks currently executing
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_THREAD_POOL_H

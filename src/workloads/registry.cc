@@ -22,6 +22,7 @@ make(const std::string &name, double scale)
     w.name = p.name;
     w.suite = p.suite;
     w.description = p.description;
+    w.scale = scale;
     w.launch = generateWorkload(p, scale);
     return w;
 }
@@ -35,6 +36,7 @@ makeAll(double scale)
         w.name = p.name;
         w.suite = p.suite;
         w.description = p.description;
+        w.scale = scale;
         w.launch = generateWorkload(p, scale);
         all.push_back(std::move(w));
     }

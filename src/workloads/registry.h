@@ -21,6 +21,10 @@ struct Workload
     std::string name;
     std::string suite;
     std::string description;
+    /** Generation scale the launch was built at; together with the
+     *  name it identifies the launch exactly (generation is
+     *  deterministic), which is what the result cache keys on. */
+    double scale = 1.0;
     Launch launch;
 };
 

@@ -4,6 +4,9 @@
  * primitives and the table printer.
  */
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -12,6 +15,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "core/sweep.h"
 
 namespace bow {
 namespace {
@@ -210,6 +214,18 @@ TEST(Table, FormatHelpers)
     EXPECT_EQ(formatPct(0.123, 1), "12.3%");
     EXPECT_EQ(formatFixed(1.005, 2), "1.00"); // NOLINT: rounding mode
     EXPECT_EQ(formatFixed(2.5, 1), "2.5");
+}
+
+TEST(Table, UndefinedValuesRenderAsNa)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(formatPct(nan, 1), "n/a");
+    EXPECT_EQ(formatFixed(nan, 2), "n/a");
+    EXPECT_EQ(formatImprovement(nan), "n/a");
+    EXPECT_EQ(formatImprovement(8.7), "8.7%");
+    // A zero or non-finite baseline makes "improvement" undefined.
+    EXPECT_TRUE(std::isnan(improvementPct(1.0, 0.0)));
+    EXPECT_TRUE(std::isnan(improvementPct(1.0, nan)));
 }
 
 } // namespace

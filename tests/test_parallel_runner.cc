@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the parallel simulation engine: the thread pool, the
+ * memoizing result cache, and the determinism contract — parallel
+ * execution at any job count returns results bit-identical to a
+ * serial run, in submission order.
+ */
+
+#include <atomic>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/parallel_runner.h"
+#include "core/result_cache.h"
+#include "core/thread_pool.h"
+#include "workloads/registry.h"
+
+using namespace bow;
+
+namespace {
+
+/** Workload scale small enough for a full-suite sweep per test. */
+constexpr double kScale = 0.05;
+
+/** Field-by-field equality of two simulation results. */
+void
+expectResultsEqual(const SimResult &a, const SimResult &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.arch, b.arch) << what;
+    EXPECT_EQ(a.windowSize, b.windowSize) << what;
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles) << what;
+    EXPECT_EQ(a.stats.instructions, b.stats.instructions) << what;
+    EXPECT_EQ(a.stats.rfReads, b.stats.rfReads) << what;
+    EXPECT_EQ(a.stats.rfWrites, b.stats.rfWrites) << what;
+    EXPECT_EQ(a.stats.bocForwards, b.stats.bocForwards) << what;
+    EXPECT_EQ(a.stats.consolidatedWrites, b.stats.consolidatedWrites)
+        << what;
+    EXPECT_EQ(a.stats.transientDrops, b.stats.transientDrops) << what;
+    EXPECT_EQ(a.stats.safetyWrites, b.stats.safetyWrites) << what;
+    EXPECT_EQ(a.stats.destRfOnly, b.stats.destRfOnly) << what;
+    EXPECT_EQ(a.stats.destBocOnly, b.stats.destBocOnly) << what;
+    EXPECT_EQ(a.stats.destBocAndRf, b.stats.destBocAndRf) << what;
+    EXPECT_EQ(a.stats.bankReadConflicts, b.stats.bankReadConflicts)
+        << what;
+    EXPECT_EQ(a.stats.ocCyclesMem, b.stats.ocCyclesMem) << what;
+    EXPECT_EQ(a.stats.ocCyclesNonMem, b.stats.ocCyclesNonMem) << what;
+    EXPECT_EQ(a.stats.l1Hits, b.stats.l1Hits) << what;
+    EXPECT_EQ(a.stats.l1Misses, b.stats.l1Misses) << what;
+    EXPECT_DOUBLE_EQ(a.energy.rfDynamicPj, b.energy.rfDynamicPj)
+        << what;
+    EXPECT_DOUBLE_EQ(a.energy.overheadPj, b.energy.overheadPj)
+        << what;
+    EXPECT_EQ(a.tags.rfOnly, b.tags.rfOnly) << what;
+    EXPECT_EQ(a.tags.bocOnly, b.tags.bocOnly) << what;
+    EXPECT_EQ(a.tags.bocAndRf, b.tags.bocAndRf) << what;
+    ASSERT_EQ(a.finalRegs.size(), b.finalRegs.size()) << what;
+    for (std::size_t w = 0; w < a.finalRegs.size(); ++w)
+        EXPECT_EQ(a.finalRegs[w], b.finalRegs[w]) << what;
+    EXPECT_TRUE(a.finalMem.contentsEqual(b.finalMem)) << what;
+}
+
+/** The full-suite job mix the determinism tests replay: every
+ *  workload under several architectures and windows. */
+std::vector<SimJob>
+suiteJobs(const std::vector<Workload> &suite)
+{
+    std::vector<SimJob> jobs;
+    for (const Workload &wl : suite) {
+        jobs.emplace_back(wl, Architecture::Baseline);
+        jobs.emplace_back(wl, Architecture::BOW, 3);
+        jobs.emplace_back(wl, Architecture::BOW_WR_OPT, 2);
+        jobs.emplace_back(wl, Architecture::BOW_WR_OPT, 3, 6);
+    }
+    return jobs;
+}
+
+class ParallelRunnerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { globalResultCache().reset(); }
+    void TearDown() override { globalResultCache().reset(); }
+};
+
+TEST(ThreadPoolTest, ExecutesEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.post([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.post([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.post([&count] { count.fetch_add(1); });
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST_F(ParallelRunnerTest, ParallelMatchesSerialAcrossJobCounts)
+{
+    const auto suite = workloads::makeAll(kScale);
+    const auto jobs = suiteJobs(suite);
+
+    // BOWSIM_JOBS=1: the reference serial pass (fresh cache so every
+    // result is actually simulated).
+    const auto serial = ParallelRunner(1).run(jobs);
+    ASSERT_EQ(serial.size(), jobs.size());
+
+    for (unsigned workers : {2u, 8u}) {
+        globalResultCache().reset();
+        const auto parallel = ParallelRunner(workers).run(jobs);
+        ASSERT_EQ(parallel.size(), jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            expectResultsEqual(
+                serial[i], parallel[i],
+                strf("job ", i, " (", jobs[i].workload->name,
+                     "), workers=", workers));
+        }
+    }
+}
+
+TEST_F(ParallelRunnerTest, ResultsComeBackInSubmissionOrder)
+{
+    const auto suite = workloads::makeAll(kScale);
+
+    // Mixed-cost jobs in a known order; each job's result must land
+    // at its submission index regardless of completion order.
+    std::vector<SimJob> jobs;
+    for (const Workload &wl : suite) {
+        jobs.emplace_back(wl, Architecture::Baseline);
+        jobs.emplace_back(wl, Architecture::BOW_WR_OPT, 4);
+    }
+    const auto results = ParallelRunner(8).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &expect = jobs[i].config;
+        EXPECT_EQ(results[i].arch, archName(expect.arch))
+            << "index " << i;
+        EXPECT_EQ(results[i].windowSize, expect.windowSize)
+            << "index " << i;
+    }
+    // Per-workload spot check: each pair's instruction counts match
+    // an independent single run of that workload.
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        const auto one =
+            ParallelRunner(1).runOne(SimJob(suite[w],
+                                            Architecture::Baseline));
+        EXPECT_EQ(results[2 * w].stats.instructions,
+                  one.stats.instructions)
+            << suite[w].name;
+    }
+}
+
+TEST_F(ParallelRunnerTest, CacheCountsHitsAndSkipsResimulation)
+{
+    const auto suite = workloads::makeAll(kScale);
+    const std::vector<SimJob> jobs = {
+        SimJob(suite[0], Architecture::Baseline),
+        SimJob(suite[1], Architecture::Baseline),
+    };
+
+    ParallelRunner runner(2);
+    const std::uint64_t simsBefore = ParallelRunner::simulationsRun();
+    runner.run(jobs);
+    EXPECT_EQ(globalResultCache().hits(), 0u);
+    EXPECT_EQ(globalResultCache().misses(), 2u);
+    EXPECT_EQ(ParallelRunner::simulationsRun() - simsBefore, 2u);
+
+    // Identical batch again: all hits, no new simulations.
+    const auto again = runner.run(jobs);
+    EXPECT_EQ(globalResultCache().hits(), 2u);
+    EXPECT_EQ(globalResultCache().misses(), 2u);
+    EXPECT_EQ(ParallelRunner::simulationsRun() - simsBefore, 2u);
+
+    // And the cached results are the same bits.
+    const auto fresh = ParallelRunner(1).runOne(jobs[0]);
+    expectResultsEqual(again[0], fresh, suite[0].name);
+}
+
+TEST_F(ParallelRunnerTest, CacheKeyDiscriminatesConfigAndContent)
+{
+    const auto suite = workloads::makeAll(kScale);
+    const Workload &wl = suite[0];
+
+    const auto k1 = simCacheKey(wl, configFor(Architecture::Baseline));
+    const auto k2 = simCacheKey(wl, configFor(Architecture::BOW, 3));
+    const auto k3 = simCacheKey(wl, configFor(Architecture::BOW, 4));
+    EXPECT_NE(k1, k2);
+    EXPECT_NE(k2, k3);
+
+    SimConfig banks = configFor(Architecture::Baseline);
+    banks.numBanks = 16;
+    EXPECT_NE(k1, simCacheKey(wl, banks));
+
+    // Same name + scale but different program content must not alias
+    // (the reordering ablation and --asm overrides depend on this).
+    Workload tweaked = wl;
+    ASSERT_FALSE(tweaked.launch.kernel.empty());
+    tweaked.launch.numWarps = wl.launch.numWarps + 1;
+    EXPECT_NE(k1,
+              simCacheKey(tweaked, configFor(Architecture::Baseline)));
+}
+
+TEST_F(ParallelRunnerTest, DefaultJobsHonorsEnvAndOverride)
+{
+    ParallelRunner::setDefaultJobs(3);
+    EXPECT_EQ(ParallelRunner::defaultJobs(), 3u);
+    EXPECT_EQ(ParallelRunner().jobs(), 3u);
+    ParallelRunner::setDefaultJobs(0);
+    EXPECT_GE(ParallelRunner::defaultJobs(), 1u);
+}
+
+} // namespace
