@@ -23,6 +23,18 @@
  *                         (default BOWSIM_JOBS or all hardware
  *                         threads)
  *     --csv               machine-readable one-line output
+ *
+ *   Fault-injection campaigns (docs/RESILIENCE.md):
+ *     --faults N              run N bit-flip trials instead of one
+ *                             clean simulation (single workload only)
+ *     --fault-sites S         comma list of rf,boc,rfc (default rf)
+ *     --seed S                campaign seed (default 1)
+ *     --fault-protection P    none|parity|secded on BOC/RFC entries
+ *     --fault-checkpoint F    append-only JSONL checkpoint; re-invoke
+ *                             with the same seed to resume
+ *
+ * Exit codes: 0 success, 1 usage/fatal error, 2 internal panic,
+ * 3 campaign observed silent data corruption (SDC).
  */
 
 #include <chrono>
@@ -36,6 +48,7 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "compiler/reorder.h"
+#include "core/fault_campaign.h"
 #include "core/parallel_runner.h"
 #include "core/simulator.h"
 #include "core/sweep.h"
@@ -72,8 +85,78 @@ usage()
         "                  [--warps N] [--arch A] [--iw N]\n"
         "                  [--boc-entries N] [--extended-window]\n"
         "                  [--reorder] [--sched gto|lrr]\n"
-        "                  [--scale S] [--jobs N] [--csv]\n";
-    std::exit(2);
+        "                  [--scale S] [--jobs N] [--csv]\n"
+        "                  [--faults N] [--fault-sites rf,boc,rfc]\n"
+        "                  [--seed S] [--fault-protection P]\n"
+        "                  [--fault-checkpoint FILE]\n";
+    std::exit(1);
+}
+
+FaultProtection
+parseProtection(const std::string &s)
+{
+    if (s == "none")
+        return FaultProtection::None;
+    if (s == "parity")
+        return FaultProtection::Parity;
+    if (s == "secded")
+        return FaultProtection::Secded;
+    fatal("unknown fault protection '" + s +
+          "' (want none, parity or secded)");
+}
+
+std::vector<FaultSite>
+parseSiteList(const std::string &list)
+{
+    std::vector<FaultSite> sites;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            sites.push_back(parseFaultSite(item));
+    }
+    if (sites.empty())
+        fatal("--fault-sites: empty site list");
+    return sites;
+}
+
+/** --faults N: a bit-flip campaign over one workload. */
+int
+runCampaign(const Workload &wl, const SimConfig &config,
+            const CampaignSpec &spec, bool csv)
+{
+    std::vector<FaultTrialResult> trials;
+    const CampaignSummary s =
+        runFaultCampaign(wl, config, spec, ParallelRunner(), &trials);
+
+    if (csv) {
+        std::cout << "trial,site,warp,reg,bit,cycle,outcome,landed\n";
+        for (const FaultTrialResult &t : trials) {
+            std::cout << t.trial << ","
+                      << faultSiteName(t.plan.site) << ","
+                      << t.plan.warp << "," << t.plan.reg << ","
+                      << t.plan.bit << "," << t.plan.cycle << ","
+                      << faultOutcomeName(t.outcome) << ","
+                      << (t.landed ? 1 : 0) << "\n";
+        }
+    } else {
+        printConfigBanner(std::cout, config);
+        std::cout << "fault campaign: " << wl.name << ", "
+                  << s.trials << " trials, seed " << spec.seed
+                  << ", protection "
+                  << protectionName(config.faultProtection) << "\n"
+                  << "  masked:    " << s.masked << "\n"
+                  << "  sdc:       " << s.sdc << "\n"
+                  << "  detected:  " << s.detected << "\n"
+                  << "  hang:      " << s.hang << "\n"
+                  << "  landed:    " << s.landed << "\n"
+                  << "  resumed:   " << s.resumed << "\n"
+                  << "  AVF:       " << formatFixed(s.avfPct(), 1)
+                  << "%\n";
+    }
+    // Exit 3 signals silent corruption so scripted campaigns can
+    // distinguish "vulnerable" from "clean" without parsing output.
+    return s.sdc ? 3 : 0;
 }
 
 /** --workload ALL: the whole Table III suite, simulated in parallel
@@ -144,12 +227,17 @@ main(int argc, char **argv)
     double scale = 1.0;
     bool csv = false;
     bool reorder = false;
+    unsigned faults = 0;
+    std::string faultSites = "rf";
+    std::uint64_t seed = 1;
+    std::string faultCheckpoint;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
             usage();
         return argv[++i];
     };
+    try {
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (!std::strcmp(a, "--workload"))
@@ -185,20 +273,32 @@ main(int argc, char **argv)
                 std::cerr << "bowsim_cli: --jobs wants a"
                              " non-negative integer, got '"
                           << arg << "'\n";
-                return 2;
+                return 1;
             }
             ParallelRunner::setDefaultJobs(
                 static_cast<unsigned>(v));
         }
+        else if (!std::strcmp(a, "--faults"))
+            faults = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(a, "--fault-sites"))
+            faultSites = need(i);
+        else if (!std::strcmp(a, "--seed"))
+            seed = std::strtoull(need(i), nullptr, 0);
+        else if (!std::strcmp(a, "--fault-protection"))
+            config.faultProtection = parseProtection(need(i));
+        else if (!std::strcmp(a, "--fault-checkpoint"))
+            faultCheckpoint = need(i);
         else if (!std::strcmp(a, "--csv"))
             csv = true;
         else
             usage();
     }
 
-    try {
-        if (workload == "ALL" || workload == "all")
+        if (workload == "ALL" || workload == "all") {
+            if (faults)
+                fatal("--faults needs a single workload, not ALL");
             return runAllWorkloads(config, scale, csv);
+        }
 
         Launch launch;
         std::string name;
@@ -231,6 +331,20 @@ main(int argc, char **argv)
                 for (Kernel &k : launch.warpKernels)
                     reorderForBypass(k, config.windowSize);
             }
+        }
+
+        if (faults) {
+            Workload wl;
+            wl.name = name;
+            wl.scale = scale;
+            wl.launch = std::move(launch);
+            CampaignSpec spec;
+            spec.trials = faults;
+            spec.seed = seed;
+            spec.sites =
+                validSites(config.arch, parseSiteList(faultSites));
+            spec.checkpointPath = faultCheckpoint;
+            return runCampaign(wl, config, spec, csv);
         }
 
         Simulator sim(config);
@@ -272,6 +386,9 @@ main(int argc, char **argv)
     } catch (const FatalError &e) {
         std::cerr << e.what() << "\n";
         return 1;
+    } catch (const PanicError &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
     }
     return 0;
 }

@@ -35,6 +35,20 @@ class PanicError : public std::logic_error
 };
 
 /**
+ * Exception thrown by Watchdog::checkpoint() when a simulation blows
+ * its cycle budget or wall-clock deadline. Distinct from FatalError
+ * (user error) and PanicError (simulator bug): the simulation itself
+ * is stuck, which the fault-campaign layer classifies as a hang.
+ */
+class HangError : public std::runtime_error
+{
+  public:
+    explicit HangError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
  * Report an unrecoverable user error (bad configuration, malformed
  * assembly, impossible parameter combination).
  *

@@ -1,0 +1,52 @@
+#include "common/watchdog.h"
+
+#include "common/log.h"
+
+namespace bow {
+
+namespace {
+
+/** Checkpoints between wall-clock probes (power of two). */
+constexpr std::uint32_t kWallCheckInterval = 4096;
+
+} // namespace
+
+Watchdog::Watchdog(Limits limits)
+    : limits_(limits)
+{
+    if (limits_.wallSeconds > 0.0) {
+        deadline_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(limits_.wallSeconds));
+    }
+}
+
+void
+Watchdog::checkpoint(std::uint64_t cycle) const
+{
+    if (limits_.cycleBudget && cycle >= limits_.cycleBudget) {
+        throw HangError(strf("watchdog: simulation exceeded its ",
+                             limits_.cycleBudget,
+                             "-cycle budget (hang)"));
+    }
+    if (cancelled_.load(std::memory_order_relaxed))
+        throw HangError("watchdog: simulation cancelled");
+    if (limits_.wallSeconds > 0.0 &&
+        ++sinceWallCheck_ >= kWallCheckInterval) {
+        sinceWallCheck_ = 0;
+        if (std::chrono::steady_clock::now() >= deadline_) {
+            throw HangError(strf("watchdog: simulation exceeded its ",
+                                 limits_.wallSeconds,
+                                 "s wall-clock deadline (hang)"));
+        }
+    }
+}
+
+void
+Watchdog::cancel()
+{
+    cancelled_.store(true);
+}
+
+} // namespace bow

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cooperative per-simulation watchdog. A simulation loop calls
+ * checkpoint(cycle) once per cycle; the watchdog throws HangError
+ * when the simulation exceeds its cycle budget, overruns a wall-clock
+ * deadline, or has been cancelled from another thread. This is how a
+ * hung simulation in a parallel batch is reported as a per-item
+ * `hang` result instead of stalling the whole pool.
+ *
+ * The cycle budget is the deterministic limit (a fault campaign sets
+ * it to a fixed multiple of the clean run's cycle count, so hang
+ * classification is identical at any job count); the wall-clock
+ * deadline is a non-deterministic safety net for truly runaway
+ * simulations and is only checked every few thousand checkpoints to
+ * keep the fast path at two integer compares.
+ */
+
+#ifndef BOWSIM_COMMON_WATCHDOG_H
+#define BOWSIM_COMMON_WATCHDOG_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace bow {
+
+class Watchdog
+{
+  public:
+    /** Limits; a zero field means "unlimited" for that dimension. */
+    struct Limits
+    {
+        /** Deterministic: abort once the simulation reaches this many
+         *  cycles (checked at every checkpoint). */
+        std::uint64_t cycleBudget = 0;
+        /** Safety net: abort once this much wall time has elapsed
+         *  since construction (checked every ~4k checkpoints). */
+        double wallSeconds = 0.0;
+
+        bool
+        any() const
+        {
+            return cycleBudget != 0 || wallSeconds > 0.0;
+        }
+    };
+
+    explicit Watchdog(Limits limits);
+
+    /**
+     * Called by the simulation loop once per cycle. Throws HangError
+     * when a limit is exceeded or cancel() was called.
+     */
+    void checkpoint(std::uint64_t cycle) const;
+
+    /** Ask the watched simulation to abort at its next checkpoint.
+     *  Safe to call from any thread. */
+    void cancel();
+
+    bool cancelled() const { return cancelled_.load(); }
+
+    const Limits &limits() const { return limits_; }
+
+  private:
+    Limits limits_;
+    std::chrono::steady_clock::time_point deadline_;
+    std::atomic<bool> cancelled_{false};
+    /** Checkpoints since the last wall-clock probe. The simulation is
+     *  single-threaded, so plain mutation under `const` is safe. */
+    mutable std::uint32_t sinceWallCheck_ = 0;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_WATCHDOG_H

@@ -1,0 +1,342 @@
+#include "core/fault_campaign.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "sm/functional.h"
+
+namespace bow {
+
+namespace {
+
+/** Final-state lockstep compare against the functional oracle. */
+bool
+matchesOracle(const SimResult &result, const FunctionalResult &oracle)
+{
+    if (result.finalRegs.size() != oracle.finalRegs.size())
+        return false;
+    for (std::size_t w = 0; w < oracle.finalRegs.size(); ++w) {
+        if (result.finalRegs[w] != oracle.finalRegs[w])
+            return false;
+    }
+    return result.finalMem.contentsEqual(oracle.finalMem);
+}
+
+FaultOutcome
+classifyTrial(const SimOutcome &outcome, const FunctionalResult &oracle)
+{
+    if (!outcome.ok()) {
+        switch (outcome.error().kind) {
+          case SimError::Kind::Hang:
+            return FaultOutcome::Hang;
+          case SimError::Kind::Fatal:
+          case SimError::Kind::Panic:
+          case SimError::Kind::Other:
+            // The machine (or the simulator's invariants standing in
+            // for its assertion hardware) noticed the corruption.
+            return FaultOutcome::Detected;
+        }
+    }
+    const SimResult &r = outcome.value();
+    if (r.fault.detectedByParity)
+        return FaultOutcome::Detected;
+    return matchesOracle(r, oracle) ? FaultOutcome::Masked
+                                    : FaultOutcome::Sdc;
+}
+
+FaultOutcome
+parseOutcomeName(const std::string &name, const std::string &line)
+{
+    if (name == "masked")
+        return FaultOutcome::Masked;
+    if (name == "sdc")
+        return FaultOutcome::Sdc;
+    if (name == "detected")
+        return FaultOutcome::Detected;
+    if (name == "hang")
+        return FaultOutcome::Hang;
+    fatal(strf("fault checkpoint: bad outcome '", name, "' in line: ",
+               line));
+}
+
+// ---- Minimal JSONL checkpoint codec -------------------------------
+//
+// One object per line, flat, fixed keys written by us — so the
+// parser only needs key lookup, not a general JSON reader:
+//   {"seed":1,"trial":0,"site":"rf","warp":0,"reg":5,"bit":7,
+//    "cycle":42,"outcome":"masked","landed":1}
+
+bool
+findNumber(const std::string &line, const std::string &key,
+           std::uint64_t &out)
+{
+    const std::string needle = strf("\"", key, "\":");
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char *start = line.c_str() + pos + needle.size();
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(start, &end, 10);
+    if (end == start)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+findString(const std::string &line, const std::string &key,
+           std::string &out)
+{
+    const std::string needle = strf("\"", key, "\":\"");
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const std::size_t start = pos + needle.size();
+    const std::size_t close = line.find('"', start);
+    if (close == std::string::npos)
+        return false;
+    out = line.substr(start, close - start);
+    return true;
+}
+
+std::string
+trialLine(std::uint64_t seed, const FaultTrialResult &t)
+{
+    std::ostringstream os;
+    os << "{\"seed\":" << seed << ",\"trial\":" << t.trial
+       << ",\"site\":\"" << faultSiteName(t.plan.site) << "\""
+       << ",\"warp\":" << t.plan.warp << ",\"reg\":" << t.plan.reg
+       << ",\"bit\":" << t.plan.bit << ",\"cycle\":" << t.plan.cycle
+       << ",\"outcome\":\"" << faultOutcomeName(t.outcome) << "\""
+       << ",\"landed\":" << (t.landed ? 1 : 0) << "}";
+    return os.str();
+}
+
+/**
+ * Load completed trials from the checkpoint. A truncated final line
+ * (the campaign was killed mid-append) is skipped with a warning;
+ * a seed mismatch is a fatal() — resuming someone else's campaign
+ * would silently mix incompatible trial streams.
+ */
+std::unordered_map<unsigned, FaultTrialResult>
+loadCheckpoint(const std::string &path, std::uint64_t seed)
+{
+    std::unordered_map<unsigned, FaultTrialResult> done;
+    std::ifstream in(path);
+    if (!in)
+        return done;    // no checkpoint yet
+
+    std::string line;
+    unsigned lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        std::uint64_t lineSeed = 0, trial = 0, warp = 0, reg = 0;
+        std::uint64_t bit = 0, cycle = 0, landed = 0;
+        std::string site, outcome;
+        const bool complete = findNumber(line, "seed", lineSeed) &&
+            findNumber(line, "trial", trial) &&
+            findString(line, "site", site) &&
+            findNumber(line, "warp", warp) &&
+            findNumber(line, "reg", reg) &&
+            findNumber(line, "bit", bit) &&
+            findNumber(line, "cycle", cycle) &&
+            findString(line, "outcome", outcome) &&
+            findNumber(line, "landed", landed) &&
+            line.find('}') != std::string::npos;
+        if (!complete) {
+            warn(strf("fault checkpoint '", path, "': skipping ",
+                      "malformed line ", lineNo,
+                      " (truncated write?)"));
+            continue;
+        }
+        if (lineSeed != seed) {
+            fatal(strf("fault checkpoint '", path, "' was written by ",
+                       "a campaign with seed ", lineSeed,
+                       ", not ", seed,
+                       "; refusing to resume (delete the file or "
+                       "use the matching --seed)"));
+        }
+
+        FaultTrialResult t;
+        t.trial = static_cast<unsigned>(trial);
+        t.plan.enabled = true;
+        t.plan.site = parseFaultSite(site);
+        t.plan.warp = static_cast<WarpId>(warp);
+        t.plan.reg = static_cast<RegId>(reg);
+        t.plan.bit = static_cast<unsigned>(bit);
+        t.plan.cycle = cycle;
+        t.outcome = parseOutcomeName(outcome, line);
+        t.landed = landed != 0;
+        done[t.trial] = t;
+    }
+    return done;
+}
+
+} // namespace
+
+std::string
+faultOutcomeName(FaultOutcome o)
+{
+    switch (o) {
+      case FaultOutcome::Masked:   return "masked";
+      case FaultOutcome::Sdc:      return "sdc";
+      case FaultOutcome::Detected: return "detected";
+      case FaultOutcome::Hang:     return "hang";
+    }
+    panic("faultOutcomeName: bad outcome");
+}
+
+std::vector<FaultSite>
+validSites(Architecture arch, const std::vector<FaultSite> &requested)
+{
+    const bool hasBoc = arch == Architecture::BOW ||
+        arch == Architecture::BOW_WR ||
+        arch == Architecture::BOW_WR_OPT;
+    const bool hasRfc = arch == Architecture::RFC;
+
+    std::vector<FaultSite> out;
+    for (FaultSite s : requested) {
+        const bool exists = s == FaultSite::RfBank ||
+            (s == FaultSite::BocEntry && hasBoc) ||
+            (s == FaultSite::RfcEntry && hasRfc);
+        if (exists &&
+            std::find(out.begin(), out.end(), s) == out.end()) {
+            out.push_back(s);
+        }
+    }
+    if (out.empty()) {
+        fatal(strf("fault campaign: none of the requested fault ",
+                   "sites exist in architecture ", archName(arch)));
+    }
+    return out;
+}
+
+CampaignSummary
+runFaultCampaign(const Workload &workload, const SimConfig &config,
+                 const CampaignSpec &spec, const ParallelRunner &runner,
+                 std::vector<FaultTrialResult> *outTrials)
+{
+    CampaignSummary summary;
+    summary.trials = spec.trials;
+    if (spec.trials == 0)
+        return summary;
+
+    const std::vector<FaultSite> sites =
+        validSites(config.arch, spec.sites);
+
+    // Golden reference (timing-free) and a clean timing run: the
+    // latter's cycle count sizes both the fault-cycle window and the
+    // watchdog budget, so every trial is bounded relative to how
+    // long this (workload, config) legitimately takes.
+    const FunctionalResult oracle =
+        runFunctional(workload.launch, 4'000'000,
+                      /*recordTraces=*/false);
+    const SimResult clean = runner.runOne(SimJob(workload, config));
+    const Cycle cycleWindow = std::max<Cycle>(clean.stats.cycles, 1);
+
+    Watchdog::Limits limits;
+    // Deterministic hang detection: a corrupted run that needs 8x
+    // the clean cycle count (plus slack for tiny kernels) is stuck.
+    // The cycle budget — not wall-clock — is the primary limit, so
+    // hang classification is identical on any machine at any job
+    // count.
+    limits.cycleBudget = clean.stats.cycles * 8 + 4096;
+    if (config.maxCycles)
+        limits.cycleBudget =
+            std::min<std::uint64_t>(limits.cycleBudget,
+                                    config.maxCycles);
+
+    std::unordered_map<unsigned, FaultTrialResult> done;
+    if (!spec.checkpointPath.empty())
+        done = loadCheckpoint(spec.checkpointPath, spec.seed);
+
+    std::vector<FaultTrialResult> trials(spec.trials);
+    std::vector<unsigned> pending;
+    for (unsigned t = 0; t < spec.trials; ++t) {
+        const FaultPlan plan = makeFaultPlan(
+            spec.seed, t, sites, workload.launch, cycleWindow);
+        auto it = done.find(t);
+        if (it != done.end()) {
+            const FaultPlan &saved = it->second.plan;
+            if (saved.site != plan.site || saved.warp != plan.warp ||
+                saved.reg != plan.reg || saved.bit != plan.bit ||
+                saved.cycle != plan.cycle) {
+                fatal(strf("fault checkpoint '", spec.checkpointPath,
+                           "': trial ", t, " was planned as ",
+                           saved.describe(), " but this campaign ",
+                           "derives ", plan.describe(),
+                           " (different workload or configuration?)"));
+            }
+            trials[t] = it->second;
+            ++summary.resumed;
+        } else {
+            trials[t].trial = t;
+            trials[t].plan = plan;
+            pending.push_back(t);
+        }
+    }
+
+    // Run pending trials in chunks so a killed campaign loses at
+    // most one chunk of work. Chunking is a checkpoint-granularity
+    // choice only; results are submission-indexed and deterministic.
+    std::ofstream checkpoint;
+    if (!spec.checkpointPath.empty()) {
+        checkpoint.open(spec.checkpointPath, std::ios::app);
+        if (!checkpoint) {
+            fatal(strf("fault campaign: cannot open checkpoint '",
+                       spec.checkpointPath, "' for append"));
+        }
+    }
+
+    const std::size_t chunkSize =
+        std::max<std::size_t>(std::size_t{runner.jobs()} * 4, 16);
+    for (std::size_t base = 0; base < pending.size();
+         base += chunkSize) {
+        const std::size_t n =
+            std::min(chunkSize, pending.size() - base);
+
+        std::vector<SimJob> batch(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            SimJob &job = batch[i];
+            job.workload = &workload;
+            job.config = config;
+            job.fault = trials[pending[base + i]].plan;
+            job.watchdog = limits;
+        }
+
+        const std::vector<SimOutcome> outcomes = runner.runAll(batch);
+        for (std::size_t i = 0; i < n; ++i) {
+            FaultTrialResult &t = trials[pending[base + i]];
+            t.outcome = classifyTrial(outcomes[i], oracle);
+            // A trial that crashed or hung was certainly struck by
+            // its flip; completed trials report landing precisely.
+            t.landed = !outcomes[i].ok() ||
+                outcomes[i].value().fault.landed;
+            if (checkpoint.is_open())
+                checkpoint << trialLine(spec.seed, t) << "\n";
+        }
+        if (checkpoint.is_open())
+            checkpoint.flush();
+    }
+
+    for (const FaultTrialResult &t : trials) {
+        switch (t.outcome) {
+          case FaultOutcome::Masked:   ++summary.masked;   break;
+          case FaultOutcome::Sdc:      ++summary.sdc;      break;
+          case FaultOutcome::Detected: ++summary.detected; break;
+          case FaultOutcome::Hang:     ++summary.hang;     break;
+        }
+        if (t.landed)
+            ++summary.landed;
+    }
+    if (outTrials)
+        *outTrials = std::move(trials);
+    return summary;
+}
+
+} // namespace bow

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fault-injection campaigns: many single-bit-flip trials of one
+ * (workload, configuration), each trial lockstep-compared against
+ * the functional oracle and classified, then aggregated into an
+ * AVF-style breakdown.
+ *
+ * Outcome taxonomy (the usual SEU classification):
+ *   - Masked:   final architectural state equals the golden run
+ *               (flip struck dead/stale data, was corrected by
+ *               SECDED, or was healed by a clean RF copy).
+ *   - SDC:      silent data corruption — the run completed but final
+ *               registers or memory differ from the oracle.
+ *   - Detected: the machine noticed — parity flagged the flip, or
+ *               the corrupted state drove the simulator into a
+ *               fatal()/panic() (e.g. the maxCycles deadlock guard).
+ *   - Hang:     the per-trial watchdog expired (the sim ran far past
+ *               the clean run's cycle count without the deadlock
+ *               guard tripping).
+ *
+ * Campaigns are deterministic: trial plans are a pure function of
+ * (seed, trial index), execution goes through ParallelRunner::
+ * runAll() whose results are submission-indexed, and the summary is
+ * byte-identical at any job count. Long campaigns checkpoint to an
+ * append-only JSONL file keyed by the seed, so a killed campaign
+ * resumes without re-running completed trials.
+ */
+
+#ifndef BOWSIM_CORE_FAULT_CAMPAIGN_H
+#define BOWSIM_CORE_FAULT_CAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/parallel_runner.h"
+#include "sm/fault_injector.h"
+#include "workloads/registry.h"
+
+namespace bow {
+
+/** Classification of one fault-injection trial. */
+enum class FaultOutcome
+{
+    Masked,
+    Sdc,
+    Detected,
+    Hang
+};
+
+/** "masked" / "sdc" / "detected" / "hang". */
+std::string faultOutcomeName(FaultOutcome o);
+
+/** One finished trial. */
+struct FaultTrialResult
+{
+    unsigned trial = 0;
+    FaultPlan plan;
+    FaultOutcome outcome = FaultOutcome::Masked;
+    /** The flip struck live data (as opposed to a non-resident or
+     *  stale target). */
+    bool landed = false;
+};
+
+/** What to run. */
+struct CampaignSpec
+{
+    unsigned trials = 0;
+    std::uint64_t seed = 0;
+    /** Sites to draw from; filtered against the architecture first
+     *  (see validSites()). */
+    std::vector<FaultSite> sites;
+    /** Append-only JSONL checkpoint ("" disables checkpointing). */
+    std::string checkpointPath;
+};
+
+/** Aggregate of one campaign. */
+struct CampaignSummary
+{
+    unsigned trials = 0;
+    unsigned masked = 0;
+    unsigned sdc = 0;
+    unsigned detected = 0;
+    unsigned hang = 0;
+    unsigned landed = 0;
+    /** Trials restored from the checkpoint instead of re-run. */
+    unsigned resumed = 0;
+
+    /** Architectural vulnerability: the fraction of trials whose
+     *  flip was not masked. */
+    double
+    avfPct() const
+    {
+        return trials
+            ? 100.0 * static_cast<double>(trials - masked) /
+              static_cast<double>(trials)
+            : 0.0;
+    }
+};
+
+/**
+ * The fault sites that exist in @p arch, in the order of
+ * @p requested: RF banks always, BOC entries for the BOW family,
+ * RFC entries for the RFC baseline. fatal()s when nothing remains.
+ */
+std::vector<FaultSite> validSites(Architecture arch,
+                                  const std::vector<FaultSite> &requested);
+
+/**
+ * Run @p spec.trials single-bit-flip trials of @p workload under
+ * @p config and classify each against the functional oracle.
+ *
+ * The fault-cycle window and the per-trial watchdog budget are
+ * derived from a clean (fault-free) run of the same configuration.
+ * Execution goes through ParallelRunner::runAll() with @p runner's
+ * job count; per-trial results optionally land in @p outTrials
+ * (indexed by trial).
+ */
+CampaignSummary runFaultCampaign(
+    const Workload &workload, const SimConfig &config,
+    const CampaignSpec &spec, const ParallelRunner &runner,
+    std::vector<FaultTrialResult> *outTrials = nullptr);
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_FAULT_CAMPAIGN_H

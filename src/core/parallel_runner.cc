@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 #include <thread>
 
 #include "common/log.h"
@@ -19,19 +20,111 @@ std::atomic<std::uint64_t> gSimulationsRun{0};
 std::shared_ptr<const SimResult>
 simulateCached(const SimJob &job)
 {
-    const std::uint64_t key = simCacheKey(*job.workload, job.config);
+    const std::uint64_t key =
+        simCacheKey(*job.workload, job.config, job.fault);
     if (auto hit = globalResultCache().lookup(key))
         return hit;
+
     Simulator sim(job.config);
+    std::optional<FaultInjector> injector;
+    if (job.fault.enabled)
+        injector.emplace(job.fault, job.config.faultProtection);
+    std::optional<Watchdog> watchdog;
+    if (job.watchdog.any())
+        watchdog.emplace(job.watchdog);
+
     auto result = std::make_shared<const SimResult>(
-        sim.run(job.workload->launch));
+        sim.run(job.workload->launch,
+                injector ? &*injector : nullptr,
+                watchdog ? &*watchdog : nullptr));
     gSimulationsRun.fetch_add(1, std::memory_order_relaxed);
     // First writer wins; concurrent duplicates computed the same
     // bits, so which copy survives is unobservable.
     return globalResultCache().insert(key, std::move(result));
 }
 
+/** Fold the in-flight exception into a SimError. */
+SimError
+classifyException(std::exception_ptr ep)
+{
+    SimError err;
+    try {
+        std::rethrow_exception(ep);
+    } catch (const HangError &e) {
+        err.kind = SimError::Kind::Hang;
+        err.message = e.what();
+    } catch (const PanicError &e) {
+        err.kind = SimError::Kind::Panic;
+        err.message = e.what();
+    } catch (const FatalError &e) {
+        err.kind = SimError::Kind::Fatal;
+        err.message = e.what();
+    } catch (const std::exception &e) {
+        err.kind = SimError::Kind::Other;
+        err.message = e.what();
+    } catch (...) {
+        err.kind = SimError::Kind::Other;
+        err.message = "unknown exception";
+    }
+    return err;
+}
+
 } // namespace
+
+std::string
+simErrorKindName(SimError::Kind kind)
+{
+    switch (kind) {
+      case SimError::Kind::Fatal: return "fatal";
+      case SimError::Kind::Panic: return "panic";
+      case SimError::Kind::Hang:  return "hang";
+      case SimError::Kind::Other: return "other";
+    }
+    panic("simErrorKindName: bad kind");
+}
+
+SimOutcome::SimOutcome()
+{
+    error_.kind = SimError::Kind::Other;
+    error_.message = "job never executed";
+}
+
+SimOutcome
+SimOutcome::success(std::shared_ptr<const SimResult> result)
+{
+    if (!result)
+        panic("SimOutcome::success: null result");
+    SimOutcome out;
+    out.result_ = std::move(result);
+    out.error_ = SimError{};
+    return out;
+}
+
+SimOutcome
+SimOutcome::failure(SimError error)
+{
+    SimOutcome out;
+    out.error_ = std::move(error);
+    return out;
+}
+
+const SimResult &
+SimOutcome::value() const
+{
+    if (!ok())
+        panic(strf("SimOutcome::value on a failed job (",
+                   simErrorKindName(error_.kind), ": ",
+                   error_.message, ")"));
+    return *result_;
+}
+
+const SimError &
+SimOutcome::error() const
+{
+    if (ok())
+        panic("SimOutcome::error on a successful job");
+    return error_;
+}
 
 ParallelRunner::ParallelRunner(unsigned jobs)
     : jobs_(jobs ? jobs : defaultJobs())
@@ -74,6 +167,60 @@ ParallelRunner::runOne(const SimJob &job) const
     return *simulateCached(job);
 }
 
+void
+ParallelRunner::executeBatch(
+    std::size_t count,
+    const std::function<void(std::size_t)> &runItem) const
+{
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            runItem(i);
+        return;
+    }
+
+    // One logical task per item, pulled from a shared counter so the
+    // pool load-balances; results land at the item's submission
+    // index, so completion order never shows in the output. runItem
+    // must capture its own failures — a throw here would hit the
+    // ThreadPool safety net and abort the batch.
+    std::atomic<std::size_t> next{0};
+    ThreadPool pool(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+        pool.post([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                runItem(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+std::vector<SimOutcome>
+ParallelRunner::runAll(const std::vector<SimJob> &batch) const
+{
+    for (const SimJob &job : batch) {
+        if (job.workload == nullptr)
+            panic("ParallelRunner::runAll: job has no workload");
+    }
+
+    std::vector<SimOutcome> outcomes(batch.size());
+    executeBatch(batch.size(), [&](std::size_t i) {
+        try {
+            outcomes[i] = SimOutcome::success(simulateCached(batch[i]));
+        } catch (...) {
+            outcomes[i] = SimOutcome::failure(
+                classifyException(std::current_exception()));
+        }
+    });
+    return outcomes;
+}
+
 std::vector<SimResult>
 ParallelRunner::run(const std::vector<SimJob> &batch) const
 {
@@ -83,46 +230,22 @@ ParallelRunner::run(const std::vector<SimJob> &batch) const
     }
 
     std::vector<SimResult> results(batch.size());
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, batch.size()));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < batch.size(); ++i)
+    std::vector<std::exception_ptr> errors(batch.size());
+    executeBatch(batch.size(), [&](std::size_t i) {
+        try {
             results[i] = *simulateCached(batch[i]);
-        return results;
-    }
-
-    // One task per job; results land at the job's submission index,
-    // so completion order never shows in the output. A worker that
-    // throws (fatal() on a bad configuration) parks its exception
-    // and the first one is rethrown on the calling thread.
-    std::atomic<std::size_t> next{0};
-    std::mutex errorMutex;
-    std::exception_ptr firstError;
-
-    {
-        ThreadPool pool(workers);
-        for (unsigned t = 0; t < workers; ++t) {
-            pool.post([&] {
-                for (;;) {
-                    const std::size_t i =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= batch.size())
-                        return;
-                    try {
-                        results[i] = *simulateCached(batch[i]);
-                    } catch (...) {
-                        std::lock_guard<std::mutex> lock(errorMutex);
-                        if (!firstError)
-                            firstError = std::current_exception();
-                    }
-                }
-            });
+        } catch (...) {
+            errors[i] = std::current_exception();
         }
-        pool.wait();
-    }
+    });
 
-    if (firstError)
-        std::rethrow_exception(firstError);
+    // Strict contract: rethrow the lowest-indexed failure, chosen by
+    // submission order (not completion order) so the surfaced error
+    // is identical at any job count.
+    for (const std::exception_ptr &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
     return results;
 }
 

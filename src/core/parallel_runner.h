@@ -7,13 +7,27 @@
  * builds a fresh SmCore and the workload generators are seeded and
  * self-contained, jobs share no mutable state and results are
  * bit-identical to a serial run at any job count.
+ *
+ * Two batch entry points:
+ *  - run()     strict: every job must succeed; the failure of the
+ *              lowest-indexed failing job is rethrown after the
+ *              whole batch has been attempted.
+ *  - runAll()  fault-tolerant: each job yields a SimOutcome (result
+ *              or classified SimError); one hanging or throwing
+ *              simulation never discards its siblings' work. This is
+ *              what fault-injection campaigns use — an injected flip
+ *              may legitimately deadlock or panic the machine.
  */
 
 #ifndef BOWSIM_CORE_PARALLEL_RUNNER_H
 #define BOWSIM_CORE_PARALLEL_RUNNER_H
 
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/watchdog.h"
 #include "core/result_cache.h"
 #include "core/simulator.h"
 #include "core/sweep.h"
@@ -23,12 +37,23 @@ namespace bow {
 
 /**
  * One simulation to run: a workload (borrowed from the caller, which
- * must keep it alive across run()) plus a full machine configuration.
+ * must keep it alive across run()) plus a full machine configuration,
+ * optionally armed with a fault plan and bounded by a watchdog.
  */
 struct SimJob
 {
     const Workload *workload = nullptr;
     SimConfig config;
+
+    /** Optional single-bit-flip plan (part of the cache key). */
+    FaultPlan fault;
+
+    /**
+     * Optional per-simulation watchdog limits. NOT part of the cache
+     * key: a simulation that completes under a watchdog is
+     * bit-identical to the unlimited run.
+     */
+    Watchdog::Limits watchdog;
 
     SimJob() = default;
 
@@ -42,6 +67,52 @@ struct SimJob
     SimJob(const Workload &wl, const SimConfig &cfg)
         : workload(&wl), config(cfg)
     {}
+};
+
+/** Why a job failed, with the exception type folded into a kind. */
+struct SimError
+{
+    enum class Kind
+    {
+        Fatal,  ///< FatalError: user/configuration error, or the
+                ///< maxCycles deadlock guard
+        Panic,  ///< PanicError: a simulator invariant broke
+        Hang,   ///< HangError: the per-sim watchdog expired
+        Other   ///< any other exception type
+    };
+
+    Kind kind = Kind::Other;
+    std::string message;
+};
+
+/** "fatal" / "panic" / "hang" / "other". */
+std::string simErrorKindName(SimError::Kind kind);
+
+/**
+ * Result-or-error of one job in a fault-tolerant batch. Accessors
+ * panic() on misuse (reading the wrong arm), so classification bugs
+ * fail loudly instead of yielding a default-constructed result.
+ */
+class SimOutcome
+{
+  public:
+    /** Default state: a failure ("job never executed"). */
+    SimOutcome();
+
+    static SimOutcome success(std::shared_ptr<const SimResult> result);
+    static SimOutcome failure(SimError error);
+
+    bool ok() const { return result_ != nullptr; }
+
+    /** The simulation result; panics when !ok(). */
+    const SimResult &value() const;
+
+    /** The failure; panics when ok(). */
+    const SimError &error() const;
+
+  private:
+    std::shared_ptr<const SimResult> result_;
+    SimError error_;
 };
 
 /**
@@ -61,8 +132,20 @@ class ParallelRunner
     /**
      * Run every job and return results indexed exactly like @p batch.
      * Order of execution is unspecified; order of results is not.
+     * Strict: after the whole batch has been attempted, the failure
+     * of the lowest-indexed failing job is rethrown (deterministic
+     * at any job count).
      */
     std::vector<SimResult> run(const std::vector<SimJob> &batch) const;
+
+    /**
+     * Fault-tolerant variant: every job runs to its own conclusion
+     * and reports a per-item SimOutcome. Nothing is thrown for job
+     * failures; a hang or panic in one simulation never costs the
+     * results of the others.
+     */
+    std::vector<SimOutcome>
+    runAll(const std::vector<SimJob> &batch) const;
 
     /** Run one job through the cache (no threads involved). */
     SimResult runOne(const SimJob &job) const;
@@ -84,6 +167,11 @@ class ParallelRunner
     static std::uint64_t simulationsRun();
 
   private:
+    /** Run item @p i of the batch; must not throw. */
+    void executeBatch(std::size_t count,
+                      const std::function<void(std::size_t)> &runItem)
+        const;
+
     unsigned jobs_;
 };
 

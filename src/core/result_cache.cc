@@ -142,6 +142,26 @@ simCacheKey(const Workload &workload, const SimConfig &c)
     h.scalar(c.extendedWindow);
     h.scalar(c.rfcEntriesPerWarp);
     h.scalar(c.maxCycles);
+    h.scalar(static_cast<int>(c.faultProtection));
+    return h.value();
+}
+
+std::uint64_t
+simCacheKey(const Workload &workload, const SimConfig &c,
+            const FaultPlan &fault)
+{
+    std::uint64_t key = simCacheKey(workload, c);
+    if (!fault.enabled)
+        return key;     // clean run: identical to the 2-arg key
+
+    Fnv1a h;
+    h.scalar(key);
+    h.scalar(fault.enabled);
+    h.scalar(static_cast<int>(fault.site));
+    h.scalar(fault.warp);
+    h.scalar(fault.reg);
+    h.scalar(fault.bit);
+    h.scalar(fault.cycle);
     return h.value();
 }
 

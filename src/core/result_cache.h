@@ -34,6 +34,20 @@ std::uint64_t simCacheKey(const Workload &workload,
                           const SimConfig &config);
 
 /**
+ * Key for a fault-injection run: the clean key extended with the
+ * complete FaultPlan, so a faulty run can never alias the clean run
+ * of the same (workload, config) — or a different trial's fault.
+ * A disabled plan hashes identically to the two-argument overload.
+ *
+ * Watchdog limits are deliberately NOT part of the key: a run that
+ * completes under a watchdog is bit-identical to the unlimited run
+ * (the watchdog either aborts the simulation or leaves no trace).
+ */
+std::uint64_t simCacheKey(const Workload &workload,
+                          const SimConfig &config,
+                          const FaultPlan &fault);
+
+/**
  * Mutex-guarded map from simCacheKey() to the finished result.
  *
  * Results are stored behind shared_ptr<const SimResult> so hits can

@@ -12,7 +12,8 @@ Simulator::Simulator(SimConfig config)
 }
 
 SimResult
-Simulator::run(const Launch &launch) const
+Simulator::run(const Launch &launch, FaultInjector *injector,
+               const Watchdog *watchdog) const
 {
     SimResult out;
     out.arch = archName(config_.arch);
@@ -37,11 +38,14 @@ Simulator::run(const Launch &launch) const
         toRun = &tagged;
     }
 
-    SmCore core(config_, *toRun);
+    SmCore core(config_, *toRun, injector, watchdog);
     out.stats = core.run();
-    out.energy = computeEnergy(out.stats, energyParams_);
+    out.energy = computeEnergy(out.stats, energyParams_,
+                               config_.faultProtection);
     out.finalRegs = core.finalRegs();
     out.finalMem = core.memory();
+    if (injector)
+        out.fault = injector->report();
     return out;
 }
 

@@ -13,10 +13,13 @@
 
 #include "compiler/writeback_tagger.h"
 #include "energy/energy_model.h"
+#include "sm/fault_injector.h"
 #include "sm/functional.h"
 #include "sm/sm_core.h"
 
 namespace bow {
+
+class Watchdog;
 
 /** Everything a single simulation produces. */
 struct SimResult
@@ -28,6 +31,7 @@ struct SimResult
     TagStats tags;              ///< compiler tags (BOW_WR_OPT only)
     std::vector<RegFileState> finalRegs;
     MemoryStore finalMem;
+    FaultReport fault;          ///< injection outcome (if armed)
 };
 
 /**
@@ -47,8 +51,15 @@ class Simulator
      * For Architecture::BOW_WR_OPT the launch's kernel is copied and
      * the write-back tagger runs on the copy with the configured
      * window size; other architectures execute the kernel as-is.
+     *
+     * @param injector Optional fault injector wired into the SmCore;
+     *                 its report is copied into SimResult::fault.
+     * @param watchdog Optional cooperative watchdog; may abort the
+     *                 run with HangError.
      */
-    SimResult run(const Launch &launch) const;
+    SimResult run(const Launch &launch,
+                  FaultInjector *injector = nullptr,
+                  const Watchdog *watchdog = nullptr) const;
 
     const SimConfig &config() const { return config_; }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/log.h"
+
 namespace bow {
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -22,6 +24,13 @@ ThreadPool::~ThreadPool()
     taskReady_.notify_all();
     for (std::thread &w : workers_)
         w.join();
+    if (taskError_) {
+        // A task threw and no wait() observed it. Destroying the
+        // pool silently would swallow the failure; surface it (we
+        // cannot throw from a destructor).
+        warn("ThreadPool: discarding unobserved task exception at "
+             "destruction");
+    }
 }
 
 void
@@ -40,6 +49,11 @@ ThreadPool::wait()
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock,
                   [this] { return queue_.empty() && running_ == 0; });
+    if (taskError_) {
+        std::exception_ptr err = std::exchange(taskError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 void
@@ -60,9 +74,19 @@ ThreadPool::workerLoop()
             queue_.pop_front();
             ++running_;
         }
-        task();
+        // Run outside the lock; a throwing task must not leave
+        // running_ stuck (that would deadlock every future wait())
+        // nor escape the thread (std::terminate).
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (err && !taskError_)
+                taskError_ = err;
             --running_;
             if (queue_.empty() && running_ == 0)
                 allDone_.notify_all();

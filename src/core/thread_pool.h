@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -23,10 +24,13 @@ namespace bow {
 /**
  * A fixed set of worker threads draining a FIFO task queue.
  *
- * Tasks are plain callables; exceptions escaping a task terminate
- * the process (simulation tasks are expected to capture their own
- * failures). wait() provides a batch barrier so a caller can post a
- * group of jobs and block until every one of them has finished.
+ * Tasks are plain callables. A task that throws no longer kills the
+ * process or leaks the batch barrier: the worker catches the
+ * exception, stores the first one, and keeps draining the queue;
+ * wait() rethrows it at the barrier. Callers that need per-task
+ * error reporting should still capture failures inside the task
+ * (ParallelRunner does) — the pool-level capture is a safety net
+ * that keeps the pool usable after a stray throw.
  */
 class ThreadPool
 {
@@ -43,7 +47,12 @@ class ThreadPool
     /** Enqueue @p task for execution by any worker. */
     void post(std::function<void()> task);
 
-    /** Block until the queue is empty and no task is running. */
+    /**
+     * Block until the queue is empty and no task is running. If any
+     * task of the batch threw, rethrows the first stored exception
+     * (after the barrier, so every other task still ran to
+     * completion) and clears it, leaving the pool reusable.
+     */
     void wait();
 
     unsigned threads() const
@@ -60,6 +69,8 @@ class ThreadPool
     std::deque<std::function<void()>> queue_;
     std::size_t running_ = 0;  ///< tasks currently executing
     bool stopping_ = false;
+    /** First exception a task of the current batch threw. */
+    std::exception_ptr taskError_;
     std::vector<std::thread> workers_;
 };
 

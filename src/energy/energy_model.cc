@@ -3,7 +3,8 @@
 namespace bow {
 
 EnergyBreakdown
-computeEnergy(const RunStats &stats, const EnergyParams &params)
+computeEnergy(const RunStats &stats, const EnergyParams &params,
+              FaultProtection protection)
 {
     EnergyBreakdown out;
 
@@ -35,7 +36,23 @@ computeEnergy(const RunStats &stats, const EnergyParams &params)
     out.overheadPj +=
         bocAccesses * networkPjPerCycle / accessesPerActiveCycle;
 
-    out.totalPj = out.rfDynamicPj + out.overheadPj;
+    // Soft-error protection of the bypass structures: every BOC/RFC
+    // access generates or checks the code. RF banks are modelled
+    // unprotected (see SimConfig::faultProtection).
+    switch (protection) {
+      case FaultProtection::None:
+        break;
+      case FaultProtection::Parity:
+        out.protectionPj =
+            (bocAccesses + rfcAccesses) * params.parityAccessPj;
+        break;
+      case FaultProtection::Secded:
+        out.protectionPj =
+            (bocAccesses + rfcAccesses) * params.secdedAccessPj;
+        break;
+    }
+
+    out.totalPj = out.rfDynamicPj + out.overheadPj + out.protectionPj;
     return out;
 }
 

@@ -37,6 +37,13 @@ struct EnergyParams
     double bocNetworkMw = 33.2;       ///< redesigned interconnect
     double clockGhz = 1.0;
 
+    // Per-access cost of protecting BOC/RFC entries against soft
+    // errors (resilience study). Parity over a 128 B entry is one
+    // XOR-tree traversal (~4% of the BOC access energy); SECDED
+    // adds the wider syndrome generate/check (~25%).
+    double parityAccessPj = 0.10;     ///< parity generate/check
+    double secdedAccessPj = 0.68;     ///< SECDED encode/decode
+
     /** BOC size in KB for a given window/capacity (for reporting). */
     static double bocKb(unsigned entries) { return entries * 0.128; }
 };
@@ -46,7 +53,9 @@ struct EnergyBreakdown
 {
     double rfDynamicPj = 0.0;       ///< RF bank read+write energy
     double overheadPj = 0.0;        ///< BOC/RFC access + network
-    double totalPj = 0.0;           ///< rfDynamicPj + overheadPj
+    double protectionPj = 0.0;      ///< parity/SECDED on BOC/RFC
+    double totalPj = 0.0;           ///< rfDynamic + overhead
+                                    ///< + protection
 
     /** Fraction of @p baseline 's RF dynamic energy this run's total
      *  (incl. overhead) represents — the y-axis of Fig. 13. */
@@ -59,9 +68,15 @@ struct EnergyBreakdown
     }
 };
 
-/** Compute the energy breakdown of a finished run. */
-EnergyBreakdown computeEnergy(const RunStats &stats,
-                              const EnergyParams &params = {});
+/**
+ * Compute the energy breakdown of a finished run. When the run was
+ * configured with BOC/RFC protection (@p protection), every BOC/RFC
+ * access additionally pays the code generate/check energy, charged
+ * to EnergyBreakdown::protectionPj.
+ */
+EnergyBreakdown computeEnergy(
+    const RunStats &stats, const EnergyParams &params = {},
+    FaultProtection protection = FaultProtection::None);
 
 /**
  * Static (leakage) energy over @p cycles for an SM with @p numBanks

@@ -250,4 +250,24 @@ Boc::occupied() const
     return static_cast<unsigned>(entries_.size());
 }
 
+bool
+Boc::holds(RegId reg) const
+{
+    for (const auto &e : entries_) {
+        if (e.reg == reg && e.valid)
+            return true;
+    }
+    return false;
+}
+
+bool
+Boc::holdsDirty(RegId reg) const
+{
+    for (const auto &e : entries_) {
+        if (e.reg == reg && e.valid && (e.dirty || e.noRfWb))
+            return true;
+    }
+    return false;
+}
+
 } // namespace bow

@@ -116,6 +116,18 @@ class Boc
 
     unsigned capacity() const { return capacity_; }
 
+    /** A valid (value-holding) entry for @p reg is resident. */
+    bool holds(RegId reg) const;
+
+    /**
+     * The resident entry for @p reg is the *only* live copy of the
+     * value: dirty (newer than the RF) or compiler-tagged transient
+     * (the RF copy will never be written). This is the exposure the
+     * fault-injection subsystem measures — a flip here corrupts
+     * architectural state with no backing copy to recover from.
+     */
+    bool holdsDirty(RegId reg) const;
+
   private:
     BocEntry *find(RegId reg);
     /** Allocate an entry, evicting a FIFO victim under pressure. */

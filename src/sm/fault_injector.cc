@@ -1,0 +1,251 @@
+#include "sm/fault_injector.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace bow {
+
+std::string
+faultSiteName(FaultSite s)
+{
+    switch (s) {
+      case FaultSite::RfBank:   return "rf";
+      case FaultSite::BocEntry: return "boc";
+      case FaultSite::RfcEntry: return "rfc";
+    }
+    panic("faultSiteName: bad site");
+}
+
+FaultSite
+parseFaultSite(const std::string &name)
+{
+    if (name == "rf")
+        return FaultSite::RfBank;
+    if (name == "boc")
+        return FaultSite::BocEntry;
+    if (name == "rfc")
+        return FaultSite::RfcEntry;
+    fatal(strf("unknown fault site '", name, "' (want rf, boc or rfc)"));
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (!enabled)
+        return "none";
+    return strf(faultSiteName(site), " w", warp, " r", reg, " bit", bit,
+                " @", cycle);
+}
+
+FaultPlan
+makeFaultPlan(std::uint64_t seed, unsigned trial,
+              const std::vector<FaultSite> &sites, const Launch &launch,
+              Cycle cycleWindow)
+{
+    if (sites.empty())
+        fatal("makeFaultPlan: no fault sites requested");
+    if (launch.numWarps == 0)
+        fatal("makeFaultPlan: launch has no warps");
+    if (cycleWindow == 0)
+        fatal("makeFaultPlan: empty cycle window");
+
+    // Candidate registers: every destination the program writes.
+    // Flips in never-written registers would be trivially masked for
+    // programs that only read what they first wrote, so the campaign
+    // concentrates trials where outcomes are informative.
+    std::set<RegId> dsts;
+    auto scan = [&dsts](const Kernel &k) {
+        for (const Instruction &inst : k.instructions()) {
+            if (inst.hasDest())
+                dsts.insert(inst.dst);
+        }
+    };
+    if (!launch.warpKernels.empty()) {
+        for (const Kernel &k : launch.warpKernels)
+            scan(k);
+    } else {
+        scan(launch.kernel);
+    }
+    std::vector<RegId> regs(dsts.begin(), dsts.end());
+    if (regs.empty())
+        regs.push_back(0);
+
+    // Golden-ratio mixing keeps per-trial streams independent while
+    // the whole campaign stays a pure function of (seed, trial).
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (std::uint64_t{trial} + 1)));
+
+    FaultPlan p;
+    p.enabled = true;
+    p.site = sites[rng.below(sites.size())];
+    p.warp = static_cast<WarpId>(rng.below(launch.numWarps));
+    p.reg = regs[rng.below(regs.size())];
+    p.bit = static_cast<unsigned>(rng.below(32));
+    p.cycle = rng.below(cycleWindow);
+    return p;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan,
+                             FaultProtection protection)
+    : plan_(plan), protection_(protection)
+{
+    report_.enabled = plan.enabled;
+}
+
+void
+FaultInjector::onCycle(Cycle now, std::vector<Warp> &warps,
+                       const std::vector<std::optional<Boc>> &bocs,
+                       const std::vector<Rfc> &rfcs)
+{
+    if (!plan_.enabled)
+        return;
+
+    if (pending_ != Pending::None) {
+        // The follow-up waits for the targeted BOC entry to depart
+        // (expire, eviction, or overwrite dropping the clean copy).
+        const bool resident = plan_.warp < bocs.size() &&
+                              bocs[plan_.warp] &&
+                              bocs[plan_.warp]->holds(plan_.reg);
+        if (!resident)
+            resolvePending(warps[plan_.warp].regs);
+        return;
+    }
+
+    if (!report_.fired && now == plan_.cycle)
+        fire(warps, bocs, rfcs);
+}
+
+void
+FaultInjector::fire(std::vector<Warp> &warps,
+                    const std::vector<std::optional<Boc>> &bocs,
+                    const std::vector<Rfc> &rfcs)
+{
+    report_.fired = true;
+
+    if (plan_.warp >= warps.size())
+        return;                         // masked: no such warp slot
+    Warp &warp = warps[plan_.warp];
+    if (warp.state == WarpState::Inactive ||
+        warp.state == WarpState::Finished) {
+        // The slot holds no live context (final registers of a
+        // finished warp were already snapshotted): masked.
+        return;
+    }
+
+    const Boc *boc = plan_.warp < bocs.size() && bocs[plan_.warp]
+                         ? &*bocs[plan_.warp]
+                         : nullptr;
+    const Rfc *rfc =
+        plan_.warp < rfcs.size() ? &rfcs[plan_.warp] : nullptr;
+
+    switch (plan_.site) {
+      case FaultSite::RfBank: {
+        const bool dirtyElsewhere =
+            (boc && boc->holdsDirty(plan_.reg)) ||
+            (rfc && rfc->holdsDirty(plan_.reg));
+        if (dirtyElsewhere) {
+            // The RF cell is stale; the dirty copy overwrites it at
+            // write-back (or the compiler proved it dead).
+            report_.staleMasked = true;
+            return;
+        }
+        if (boc && boc->holds(plan_.reg)) {
+            // Clean copy shadows the RF cell: readers keep getting
+            // the good value until the entry departs. Defer.
+            pending_ = Pending::DeferredRfFlip;
+            refValue_ = warp.regs[plan_.reg];
+            return;
+        }
+        warp.regs[plan_.reg] ^= flipMask();
+        report_.landed = true;
+        return;
+      }
+
+      case FaultSite::BocEntry: {
+        if (!boc || !boc->holds(plan_.reg))
+            return;                     // masked: target not resident
+        report_.landed = true;
+        if (protection_ == FaultProtection::Parity) {
+            report_.detectedByParity = true;
+            return;
+        }
+        if (protection_ == FaultProtection::Secded) {
+            report_.correctedByEcc = true;
+            return;
+        }
+        warp.regs[plan_.reg] ^= flipMask();
+        if (!boc->holdsDirty(plan_.reg)) {
+            // Clean entry: the pristine RF copy repairs the state
+            // once the entry departs — unless the corrupt value was
+            // consumed or superseded first.
+            pending_ = Pending::BocRestore;
+            refValue_ = warp.regs[plan_.reg];
+        }
+        return;
+      }
+
+      case FaultSite::RfcEntry: {
+        if (!rfc || !rfc->readHit(plan_.reg))
+            return;                     // masked: target not resident
+        report_.landed = true;
+        if (protection_ == FaultProtection::Parity) {
+            report_.detectedByParity = true;
+            return;
+        }
+        if (protection_ == FaultProtection::Secded) {
+            report_.correctedByEcc = true;
+            return;
+        }
+        // RFC entries are write-allocate and always dirty: the
+        // entry is the only live copy — permanent corruption.
+        warp.regs[plan_.reg] ^= flipMask();
+        return;
+      }
+    }
+}
+
+void
+FaultInjector::resolvePending(RegFileState &regs)
+{
+    switch (pending_) {
+      case Pending::None:
+        return;
+      case Pending::DeferredRfFlip:
+        if (regs[plan_.reg] == refValue_) {
+            // Entry departed clean and the register was never
+            // rewritten: readers now hit the corrupt RF cell.
+            regs[plan_.reg] ^= flipMask();
+            report_.landed = true;
+        } else {
+            // A write-through refreshed the RF cell in the meantime,
+            // healing the flip before anyone read it.
+            report_.staleMasked = true;
+        }
+        break;
+      case Pending::BocRestore:
+        if (regs[plan_.reg] == refValue_) {
+            // The corrupt value was never superseded; readers revert
+            // to the pristine RF copy once the entry is gone.
+            regs[plan_.reg] ^= flipMask();
+            report_.repairedByRefetch = true;
+        }
+        // else: the register was rewritten while corrupt — whatever
+        // propagated through dependent instructions stands.
+        break;
+    }
+    pending_ = Pending::None;
+}
+
+void
+FaultInjector::onWarpFinish(WarpId warp, RegFileState &regs)
+{
+    if (!plan_.enabled || warp != plan_.warp)
+        return;
+    // The warp's BOC/RFC is flushed at finish: any shadowing entry
+    // departs now, so resolve before the core snapshots the state.
+    resolvePending(regs);
+}
+
+} // namespace bow

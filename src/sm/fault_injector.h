@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Single-event-upset (bit-flip) fault injection into the operand
+ * storage structures of one SM: register-file banks, BOC entries and
+ * RFC entries.
+ *
+ * The timing model keeps architectural values in `Warp::regs` (the
+ * committed state read by evaluate()); the RF/BOC/RFC models track
+ * only *which* registers are resident where. A fault therefore lands
+ * by flipping a bit of the warp's architectural register value,
+ * conditioned on which structure holds the live copy at the fault
+ * cycle:
+ *
+ *  - RfBank site: the flip strikes the RF cell. If a dirty (or
+ *    compiler-transient) copy lives in the warp's BOC/RFC, the RF
+ *    cell is stale and will be overwritten at write-back — masked
+ *    ("stale-masked"). If a *clean* BOC copy is resident, reads are
+ *    served from the BOC while it lives; the corrupt RF cell only
+ *    becomes visible when the entry departs, and a write-through in
+ *    the meantime heals it (deferred flip). Otherwise the flip is
+ *    immediately architectural.
+ *
+ *  - BocEntry site: the flip strikes the resident BOC entry. A dirty
+ *    entry is the only live copy — permanent corruption. A clean
+ *    entry forwards the corrupt value to readers while resident, but
+ *    the pristine RF copy repairs the state once the entry departs
+ *    (repaired-by-refetch). A non-resident target is masked.
+ *
+ *  - RfcEntry site: like a dirty BOC entry (the RFC is
+ *    write-allocate; resident entries are dirty until flushed).
+ *
+ * BOC/RFC entries may carry a protection code (SimConfig::
+ * faultProtection): parity detects the flip (no corruption, outcome
+ * "detected"), SECDED corrects it (outcome "masked"). RF banks are
+ * modelled unprotected — the paper's premise is that the small
+ * bypass structures are the cheap place to add protection.
+ */
+
+#ifndef BOWSIM_SM_FAULT_INJECTOR_H
+#define BOWSIM_SM_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sm/boc.h"
+#include "sm/functional.h"
+#include "sm/rfc.h"
+#include "sm/sim_config.h"
+#include "sm/warp.h"
+
+namespace bow {
+
+/** Storage structure a fault strikes. */
+enum class FaultSite
+{
+    RfBank,     ///< a register-file bank cell
+    BocEntry,   ///< a bypass-operand-collector entry
+    RfcEntry    ///< a register-file-cache entry
+};
+
+/** Short site name used by the CLI and reports ("rf"/"boc"/"rfc"). */
+std::string faultSiteName(FaultSite s);
+
+/** Parse "rf" / "boc" / "rfc"; fatal()s on anything else. */
+FaultSite parseFaultSite(const std::string &name);
+
+/**
+ * One deterministic fault: a single bit flip at a fixed site, warp,
+ * register, bit position and cycle. Folded into the simulation cache
+ * key so faulty and clean runs never alias.
+ */
+struct FaultPlan
+{
+    bool enabled = false;
+    FaultSite site = FaultSite::RfBank;
+    WarpId warp = 0;
+    RegId reg = 0;
+    unsigned bit = 0;
+    Cycle cycle = 0;
+
+    /** Compact human-readable description for logs and checkpoints. */
+    std::string describe() const;
+};
+
+/**
+ * Derive trial @p trial of a campaign from @p seed: uniform over the
+ * requested sites, the launch's warps, the destination registers the
+ * program actually writes, the 32 value bits and cycles in
+ * [0, cycleWindow). Deterministic: same (seed, trial, sites, launch,
+ * window) always yields the same plan.
+ */
+FaultPlan makeFaultPlan(std::uint64_t seed, unsigned trial,
+                        const std::vector<FaultSite> &sites,
+                        const Launch &launch, Cycle cycleWindow);
+
+/** What happened to the injected fault (filled in during the run). */
+struct FaultReport
+{
+    bool enabled = false;   ///< a plan was armed
+    bool fired = false;     ///< the fault cycle was reached
+    bool landed = false;    ///< the flip struck live data
+    bool staleMasked = false;       ///< struck a stale RF cell
+    bool detectedByParity = false;  ///< protection flagged the flip
+    bool correctedByEcc = false;    ///< protection repaired the flip
+    bool repairedByRefetch = false; ///< clean RF copy healed the state
+};
+
+/**
+ * Applies one FaultPlan to a running SmCore. The core calls
+ * onCycle() at the top of every cycle and onWarpFinish() just before
+ * it captures a warp's final register state.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, FaultProtection protection);
+
+    /** Fire the fault when its cycle arrives and resolve any pending
+     *  deferred flip / restore once the BOC entry departs. */
+    void onCycle(Cycle now, std::vector<Warp> &warps,
+                 const std::vector<std::optional<Boc>> &bocs,
+                 const std::vector<Rfc> &rfcs);
+
+    /** Warp is finishing: resolve pending state against @p regs
+     *  before the core snapshots it as the final register file. */
+    void onWarpFinish(WarpId warp, RegFileState &regs);
+
+    const FaultReport &report() const { return report_; }
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    /** Outstanding follow-up once the targeted BOC entry departs. */
+    enum class Pending
+    {
+        None,
+        DeferredRfFlip,  ///< RF cell flipped while a clean BOC copy
+                         ///< shadowed it; apply when the copy departs
+        BocRestore       ///< clean BOC entry corrupted; heal from the
+                         ///< RF copy when the entry departs
+    };
+
+    void fire(std::vector<Warp> &warps,
+              const std::vector<std::optional<Boc>> &bocs,
+              const std::vector<Rfc> &rfcs);
+    void resolvePending(RegFileState &regs);
+
+    Value flipMask() const { return Value{1} << plan_.bit; }
+
+    FaultPlan plan_;
+    FaultProtection protection_;
+    FaultReport report_;
+    Pending pending_ = Pending::None;
+    /** DeferredRfFlip: pre-flip value (flip is dead if it changed).
+     *  BocRestore: the corrupt value (heal only while it persists). */
+    Value refValue_ = 0;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SM_FAULT_INJECTOR_H

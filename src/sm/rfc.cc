@@ -54,6 +54,16 @@ Rfc::write(RegId reg)
     return out;
 }
 
+bool
+Rfc::holdsDirty(RegId reg) const
+{
+    for (const auto &e : entries_) {
+        if (e.reg == reg && e.dirty)
+            return true;
+    }
+    return false;
+}
+
 std::vector<RegId>
 Rfc::flushDirty()
 {

@@ -40,6 +40,11 @@ class Rfc
     /** Warp ended: dirty registers that must be written to the RF. */
     std::vector<RegId> flushDirty();
 
+    /** The resident entry for @p reg holds the only live copy (the
+     *  RFC is write-allocate, so resident entries are dirty until
+     *  flushed). Fault-injection exposure query. */
+    bool holdsDirty(RegId reg) const;
+
   private:
     struct Entry
     {

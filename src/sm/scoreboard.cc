@@ -67,6 +67,30 @@ Scoreboard::releaseWrite(WarpId w, RegId dst)
     pw.pendingWrites[dst] = 0;
 }
 
+std::vector<RegId>
+Scoreboard::pendingWriteRegs(WarpId w) const
+{
+    std::vector<RegId> out;
+    const PerWarp &pw = warps_.at(w);
+    for (unsigned r = 0; r < 256; ++r) {
+        if (pw.pendingWrites[r])
+            out.push_back(static_cast<RegId>(r));
+    }
+    return out;
+}
+
+std::vector<RegId>
+Scoreboard::pendingReadRegs(WarpId w) const
+{
+    std::vector<RegId> out;
+    const PerWarp &pw = warps_.at(w);
+    for (unsigned r = 0; r < 256; ++r) {
+        if (pw.pendingReads[r])
+            out.push_back(static_cast<RegId>(r));
+    }
+    return out;
+}
+
 bool
 Scoreboard::idle(WarpId w) const
 {

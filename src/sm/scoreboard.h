@@ -50,6 +50,13 @@ class Scoreboard
     /** True when warp @p w has no reservations (quiesced). */
     bool idle(WarpId w) const;
 
+    /** Registers of warp @p w with an in-flight write reservation
+     *  (deadlock diagnostics). */
+    std::vector<RegId> pendingWriteRegs(WarpId w) const;
+
+    /** Registers of warp @p w with in-flight read reservations. */
+    std::vector<RegId> pendingReadRegs(WarpId w) const;
+
   private:
     struct PerWarp
     {

@@ -18,6 +18,17 @@ archName(Architecture arch)
 }
 
 std::string
+protectionName(FaultProtection p)
+{
+    switch (p) {
+      case FaultProtection::None:   return "none";
+      case FaultProtection::Parity: return "parity";
+      case FaultProtection::Secded: return "secded";
+    }
+    panic("protectionName: bad protection scheme");
+}
+
+std::string
 schedName(SchedPolicy policy)
 {
     switch (policy) {

@@ -32,8 +32,25 @@ enum class SchedPolicy
               ///< compute-ready active set
 };
 
+/**
+ * Error-protection scheme for the bypass structures (BOC / RFC).
+ * The baseline RF banks carry ECC in real GPUs; the BOC does not,
+ * which is exactly the exposure the fault-injection subsystem
+ * quantifies (docs/RESILIENCE.md). Protection adds a per-access
+ * energy overhead that flows into the Fig. 13-style energy tables.
+ */
+enum class FaultProtection
+{
+    None,   ///< unprotected (the paper's design as published)
+    Parity, ///< per-entry parity: single-bit flips are detected
+    Secded  ///< SECDED ECC: single-bit flips are corrected
+};
+
 /** Human-readable architecture name. */
 std::string archName(Architecture arch);
+
+/** Human-readable protection-scheme name. */
+std::string protectionName(FaultProtection p);
 
 /** Human-readable scheduler-policy name. */
 std::string schedName(SchedPolicy policy);
@@ -102,6 +119,15 @@ struct SimConfig
 
     // --- RFC knobs ---
     unsigned rfcEntriesPerWarp = 6;
+
+    // --- resilience knobs ---
+    /**
+     * Protection applied to the BOC/RFC entries (the RF banks are
+     * modelled unprotected so the cross-design fault campaign can
+     * also measure what the baseline's ECC buys). Affects fault
+     * classification and adds per-access energy overhead.
+     */
+    FaultProtection faultProtection = FaultProtection::None;
 
     // --- safety valve ---
     /** Abort the simulation after this many cycles (0 = unlimited). */

@@ -1,14 +1,20 @@
 #include "sm/sm_core.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/log.h"
+#include "common/watchdog.h"
+#include "sm/fault_injector.h"
 
 namespace bow {
 
-SmCore::SmCore(const SimConfig &config, const Launch &launch)
+SmCore::SmCore(const SimConfig &config, const Launch &launch,
+               FaultInjector *injector, const Watchdog *watchdog)
     : config_(config),
       launch_(&launch),
+      injector_(injector),
+      watchdog_(watchdog),
       scoreboard_(launch.numWarps),
       rf_(config_),
       memTiming_(config_),
@@ -97,6 +103,8 @@ SmCore::finishWarp(Warp &warp)
             rf_.pushWrite(warp.id, r, false);
     }
     warp.state = WarpState::Finished;
+    if (injector_)
+        injector_->onWarpFinish(warp.id, warp.regs);
     finalRegs_[warp.id] = warp.regs;
     --residentWarps_;
     ++finishedWarps_;
@@ -499,6 +507,8 @@ SmCore::samplePhase()
 void
 SmCore::cycle()
 {
+    if (injector_)
+        injector_->onCycle(now_, warps_, bocs_, rfcs_);
     units_.newCycle();
     for (const RfRequest &req : rf_.tick())
         handleRfServed(req);
@@ -517,6 +527,105 @@ SmCore::finished() const
         rf_.pending() == 0;
 }
 
+namespace {
+
+const char *
+warpStateName(WarpState s)
+{
+    switch (s) {
+      case WarpState::Inactive: return "inactive";
+      case WarpState::Active:   return "active";
+      case WarpState::Draining: return "draining";
+      case WarpState::Finished: return "finished";
+    }
+    return "?";
+}
+
+void
+appendRegList(std::ostringstream &os, const std::vector<RegId> &regs)
+{
+    if (regs.empty()) {
+        os << "-";
+        return;
+    }
+    for (std::size_t i = 0; i < regs.size(); ++i)
+        os << (i ? "," : "") << "r" << regs[i];
+}
+
+} // namespace
+
+std::string
+SmCore::deadlockDiagnostics() const
+{
+    // Diagnostic snapshot for the maxCycles trip: for each stuck
+    // warp, why it cannot make progress right now. Capped so a
+    // large launch does not bury the interesting warps.
+    constexpr std::size_t kMaxWarps = 12;
+
+    std::ostringstream os;
+    os << "  global: cycle=" << now_
+       << " rfPending=" << rf_.pending()
+       << " completionsQueued=" << completions_.size()
+       << " outstandingLoads=" << outstandingLoads_
+       << " finishedWarps=" << finishedWarps_ << "/" << warps_.size()
+       << "\n";
+
+    std::size_t shown = 0;
+    std::size_t skipped = 0;
+    for (const Warp &warp : warps_) {
+        if (warp.state == WarpState::Finished)
+            continue;
+        if (shown >= kMaxWarps) {
+            ++skipped;
+            continue;
+        }
+        ++shown;
+
+        os << "  warp " << warp.id << ": state="
+           << warpStateName(warp.state) << " pc=" << warp.pc
+           << " inFlight=" << warp.inFlight
+           << " pendingLoads=" << warp.pendingLoads;
+
+        // Why is this warp not issuing?
+        const char *reason = "schedulable";
+        if (warp.state == WarpState::Inactive) {
+            reason = "never-activated";
+        } else if (warp.state == WarpState::Draining) {
+            reason = "draining (waiting for in-flight to retire)";
+        } else if (warp.waitingBranch) {
+            reason = "waiting-branch (unresolved branch in flight)";
+        } else {
+            const Instruction &inst = kernelOf(warp.id).inst(warp.pc);
+            if (!scoreboard_.canIssue(warp.id, inst)) {
+                reason = "scoreboard-hazard (RAW/WAW/WAR)";
+            } else {
+                const auto &slots = usesBoc() ? warpSlots_[warp.id]
+                                              : sharedSlots_;
+                bool freeSlot = false;
+                for (const InstSlot &s : slots)
+                    freeSlot = freeSlot || !s.inUse;
+                if (!freeSlot)
+                    reason = "no-free-collector-slot";
+            }
+        }
+        os << " stall=" << reason;
+
+        os << " pendingWrites=";
+        appendRegList(os, scoreboard_.pendingWriteRegs(warp.id));
+        os << " pendingReads=";
+        appendRegList(os, scoreboard_.pendingReadRegs(warp.id));
+
+        if (usesBoc() && bocs_[warp.id]) {
+            os << " bocOccupancy=" << bocs_[warp.id]->occupied() << "/"
+               << bocs_[warp.id]->capacity();
+        }
+        os << "\n";
+    }
+    if (skipped)
+        os << "  (" << skipped << " more unfinished warps omitted)\n";
+    return os.str();
+}
+
 RunStats
 SmCore::run()
 {
@@ -529,8 +638,11 @@ SmCore::run()
             fatal(strf("SmCore: kernel '",
                        kernelOf(0).name(),
                        "' exceeded ", config_.maxCycles,
-                       " cycles (deadlock or runaway kernel)"));
+                       " cycles (deadlock or runaway kernel)\n",
+                       deadlockDiagnostics()));
         }
+        if (watchdog_)
+            watchdog_->checkpoint(now_);
         cycle();
     }
 

@@ -29,6 +29,9 @@
 
 namespace bow {
 
+class FaultInjector;
+class Watchdog;
+
 /** Aggregate results of one timing simulation. */
 struct RunStats
 {
@@ -128,8 +131,15 @@ class SmCore
     /**
      * @param config Machine + architecture configuration (validated).
      * @param launch The kernel launch to execute.
+     * @param injector Optional fault injector; onCycle() is called at
+     *                 the top of every cycle and onWarpFinish() just
+     *                 before a warp's final registers are captured.
+     * @param watchdog Optional cooperative watchdog; checkpoint() is
+     *                 called once per cycle and may throw HangError.
      */
-    SmCore(const SimConfig &config, const Launch &launch);
+    SmCore(const SimConfig &config, const Launch &launch,
+           FaultInjector *injector = nullptr,
+           const Watchdog *watchdog = nullptr);
 
     /** Simulate to completion and return the aggregate statistics. */
     RunStats run();
@@ -181,8 +191,13 @@ class SmCore
     void cycle();
     bool finished() const;
 
+    /** Per-warp stall snapshot reported when maxCycles trips. */
+    std::string deadlockDiagnostics() const;
+
     SimConfig config_;
     const Launch *launch_;
+    FaultInjector *injector_ = nullptr;
+    const Watchdog *watchdog_ = nullptr;
 
     std::vector<Warp> warps_;
     Scoreboard scoreboard_;

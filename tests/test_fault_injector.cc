@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: plan determinism, cache-key
+ * discrimination, end-to-end corruption and protection semantics,
+ * watchdog behaviour, fault-tolerant batch execution, and campaign
+ * checkpoint/resume. Also runs under ASan+UBSan as the tier-1
+ * memory-safety configuration (tests/CMakeLists.txt).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/watchdog.h"
+#include "core/fault_campaign.h"
+#include "core/parallel_runner.h"
+#include "core/result_cache.h"
+#include "workloads/builder.h"
+#include "workloads/registry.h"
+#include "workloads/snippets.h"
+
+using namespace bow;
+
+namespace {
+
+constexpr double kScale = 0.05;
+
+/** Wrap a hand-built launch as a Workload (what the cache keys on). */
+Workload
+wrap(const std::string &name, Launch launch)
+{
+    Workload wl;
+    wl.name = name;
+    wl.scale = 1.0;
+    wl.launch = std::move(launch);
+    return wl;
+}
+
+/**
+ * A kernel whose value lives a long time in the RF: r1 is written
+ * early, a long nop stretch follows (so any BOC residency expires),
+ * then r2 = r1 + r1 is computed and both stay live to the end.
+ * A flip of r1 in the window between write and use must surface in
+ * both final registers — a guaranteed SDC for RF-site faults.
+ */
+Launch
+vulnerableKernel()
+{
+    KernelBuilder kb("vulnerable");
+    kb.movImm(1, 1000);
+    for (int i = 0; i < 60; ++i)
+        kb.nop();
+    kb.alu2(Opcode::ADD, 2, 1, 1);
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = 1;
+    return launch;
+}
+
+class FaultInjectorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { globalResultCache().reset(); }
+    void TearDown() override
+    {
+        globalResultCache().reset();
+        ParallelRunner::setDefaultJobs(0);
+    }
+};
+
+TEST_F(FaultInjectorTest, PlanDerivationIsDeterministicAndBounded)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    const std::vector<FaultSite> sites = {FaultSite::RfBank,
+                                          FaultSite::BocEntry};
+    for (unsigned trial = 0; trial < 64; ++trial) {
+        const FaultPlan a =
+            makeFaultPlan(42, trial, sites, wl.launch, 5000);
+        const FaultPlan b =
+            makeFaultPlan(42, trial, sites, wl.launch, 5000);
+        EXPECT_TRUE(a.enabled);
+        EXPECT_EQ(a.site, b.site);
+        EXPECT_EQ(a.warp, b.warp);
+        EXPECT_EQ(a.reg, b.reg);
+        EXPECT_EQ(a.bit, b.bit);
+        EXPECT_EQ(a.cycle, b.cycle);
+        EXPECT_LT(a.warp, wl.launch.numWarps);
+        EXPECT_LT(a.bit, 32u);
+        EXPECT_LT(a.cycle, 5000u);
+    }
+    // Different seeds diverge somewhere in the first few trials.
+    bool differs = false;
+    for (unsigned trial = 0; trial < 8 && !differs; ++trial) {
+        const FaultPlan a =
+            makeFaultPlan(42, trial, sites, wl.launch, 5000);
+        const FaultPlan b =
+            makeFaultPlan(43, trial, sites, wl.launch, 5000);
+        differs = a.site != b.site || a.warp != b.warp ||
+            a.reg != b.reg || a.bit != b.bit || a.cycle != b.cycle;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST_F(FaultInjectorTest, CacheKeyDiscriminatesFaultPlans)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    const SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+
+    // Disabled plan == clean key (2-arg overload).
+    EXPECT_EQ(simCacheKey(wl, cfg),
+              simCacheKey(wl, cfg, FaultPlan{}));
+
+    FaultPlan p;
+    p.enabled = true;
+    p.site = FaultSite::RfBank;
+    p.warp = 1;
+    p.reg = 5;
+    p.bit = 7;
+    p.cycle = 100;
+    EXPECT_NE(simCacheKey(wl, cfg, p), simCacheKey(wl, cfg));
+
+    // Every plan field discriminates.
+    FaultPlan q = p;
+    q.bit = 8;
+    EXPECT_NE(simCacheKey(wl, cfg, p), simCacheKey(wl, cfg, q));
+    q = p;
+    q.cycle = 101;
+    EXPECT_NE(simCacheKey(wl, cfg, p), simCacheKey(wl, cfg, q));
+    q = p;
+    q.site = FaultSite::BocEntry;
+    EXPECT_NE(simCacheKey(wl, cfg, p), simCacheKey(wl, cfg, q));
+
+    // Protection is part of the clean key (it changes energy).
+    SimConfig prot = cfg;
+    prot.faultProtection = FaultProtection::Parity;
+    EXPECT_NE(simCacheKey(wl, cfg), simCacheKey(wl, prot));
+}
+
+TEST_F(FaultInjectorTest, RfFlipCorruptsDependentComputation)
+{
+    const Workload wl = wrap("vulnerable", vulnerableKernel());
+    const FunctionalResult golden =
+        runFunctional(wl.launch, 100000, false);
+
+    SimJob job(wl, Architecture::Baseline);
+    job.fault.enabled = true;
+    job.fault.site = FaultSite::RfBank;
+    job.fault.warp = 0;
+    job.fault.reg = 1;
+    job.fault.bit = 3;
+    job.fault.cycle = 30;   // mid-nop-stretch: r1 written, unused yet
+
+    const SimResult res = ParallelRunner(1).runOne(job);
+    EXPECT_TRUE(res.fault.fired);
+    EXPECT_TRUE(res.fault.landed);
+    // r1 flipped, and r2 = r1 + r1 computed from the corrupt value.
+    EXPECT_EQ(res.finalRegs[0][1], golden.finalRegs[0][1] ^ (1u << 3));
+    EXPECT_EQ(res.finalRegs[0][2],
+              (golden.finalRegs[0][1] ^ (1u << 3)) * 2);
+}
+
+TEST_F(FaultInjectorTest, ProtectionConvertsOutcomes)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    const ParallelRunner runner(1);
+
+    CampaignSpec spec;
+    spec.trials = 24;
+    spec.seed = 99;
+    spec.sites = {FaultSite::BocEntry};
+
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    std::vector<FaultTrialResult> none;
+    const CampaignSummary sNone =
+        runFaultCampaign(wl, cfg, spec, runner, &none);
+
+    cfg.faultProtection = FaultProtection::Parity;
+    const CampaignSummary sParity =
+        runFaultCampaign(wl, cfg, spec, runner);
+
+    cfg.faultProtection = FaultProtection::Secded;
+    const CampaignSummary sSecded =
+        runFaultCampaign(wl, cfg, spec, runner);
+
+    // Parity detects every landed BOC flip: no silent corruption.
+    EXPECT_EQ(sParity.sdc, 0u);
+    EXPECT_EQ(sParity.hang, 0u);
+    // SECDED corrects them: everything is masked.
+    EXPECT_EQ(sSecded.sdc, 0u);
+    EXPECT_EQ(sSecded.detected, 0u);
+    EXPECT_EQ(sSecded.masked, spec.trials);
+    // Unprotected BOW-WR must show some non-masked outcome for the
+    // comparison to mean anything (dirty entries are the only copy).
+    EXPECT_GT(sNone.sdc + sNone.detected + sNone.hang, 0u);
+}
+
+TEST_F(FaultInjectorTest, CampaignIsDeterministicAcrossJobCounts)
+{
+    const Workload wl = workloads::make("BTREE", kScale);
+    CampaignSpec spec;
+    spec.trials = 16;
+    spec.seed = 7;
+    spec.sites = {FaultSite::RfBank, FaultSite::BocEntry};
+    const SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+
+    std::vector<FaultTrialResult> serial;
+    const CampaignSummary a =
+        runFaultCampaign(wl, cfg, spec, ParallelRunner(1), &serial);
+
+    globalResultCache().reset();
+    std::vector<FaultTrialResult> parallel;
+    const CampaignSummary b =
+        runFaultCampaign(wl, cfg, spec, ParallelRunner(4), &parallel);
+
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.hang, b.hang);
+    EXPECT_EQ(a.landed, b.landed);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].outcome, parallel[i].outcome) << i;
+        EXPECT_EQ(serial[i].landed, parallel[i].landed) << i;
+    }
+}
+
+// Acceptance: a batch with one hanging and one throwing simulation
+// completes, reporting both per-item failures plus every other
+// result.
+TEST_F(FaultInjectorTest, RunAllSurvivesHangsAndThrows)
+{
+    const Workload good = workloads::make("VECTORADD", kScale);
+    const Workload spin = wrap("chain_spin",
+                               snippets::chainLoop(1, 1000000));
+
+    std::vector<SimJob> batch;
+    batch.emplace_back(good, Architecture::Baseline);        // ok
+    SimJob hanging(spin, Architecture::Baseline);
+    hanging.watchdog.cycleBudget = 10;                       // hang
+    batch.push_back(hanging);
+    SimJob fatal(spin, Architecture::Baseline);
+    fatal.config.maxCycles = 10;                             // fatal
+    batch.push_back(fatal);
+    batch.emplace_back(good, Architecture::BOW, 6);          // ok
+
+    for (unsigned jobs : {1u, 4u}) {
+        globalResultCache().reset();
+        const auto outcomes = ParallelRunner(jobs).runAll(batch);
+        ASSERT_EQ(outcomes.size(), 4u);
+        EXPECT_TRUE(outcomes[0].ok());
+        ASSERT_FALSE(outcomes[1].ok());
+        EXPECT_EQ(outcomes[1].error().kind, SimError::Kind::Hang);
+        ASSERT_FALSE(outcomes[2].ok());
+        EXPECT_EQ(outcomes[2].error().kind, SimError::Kind::Fatal);
+        EXPECT_TRUE(outcomes[3].ok());
+        EXPECT_GT(outcomes[3].value().stats.cycles, 0u);
+    }
+
+    // The strict API surfaces the lowest-indexed failure instead.
+    EXPECT_THROW(ParallelRunner(4).run(batch), HangError);
+}
+
+TEST_F(FaultInjectorTest, OutcomeAccessorsPanicOnMisuse)
+{
+    const SimOutcome fail = SimOutcome::failure(
+        SimError{SimError::Kind::Hang, "stuck"});
+    EXPECT_FALSE(fail.ok());
+    EXPECT_EQ(fail.error().kind, SimError::Kind::Hang);
+    EXPECT_THROW(fail.value(), PanicError);
+
+    const SimOutcome unset;
+    EXPECT_FALSE(unset.ok());
+    EXPECT_EQ(unset.error().message, "job never executed");
+}
+
+// Acceptance: killing a campaign mid-run and re-invoking with the
+// same seed resumes from the checkpoint without re-running the
+// completed trials.
+TEST_F(FaultInjectorTest, CampaignResumesFromCheckpoint)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    const SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    const ParallelRunner runner(1);
+
+    const std::string path =
+        testing::TempDir() + "fault_ckpt_resume.jsonl";
+    std::remove(path.c_str());
+
+    CampaignSpec spec;
+    spec.seed = 21;
+    spec.sites = {FaultSite::RfBank, FaultSite::BocEntry};
+    spec.checkpointPath = path;
+
+    // "Killed" campaign: only the first 6 trials ran.
+    spec.trials = 6;
+    runFaultCampaign(wl, cfg, spec, runner);
+
+    // Resume to 12. Exactly the 6 missing fault trials simulate
+    // (plus the one clean reference run; the oracle is functional).
+    globalResultCache().reset();
+    const std::uint64_t before = ParallelRunner::simulationsRun();
+    spec.trials = 12;
+    std::vector<FaultTrialResult> resumedTrials;
+    const CampaignSummary resumed =
+        runFaultCampaign(wl, cfg, spec, runner, &resumedTrials);
+    EXPECT_EQ(ParallelRunner::simulationsRun() - before, 7u);
+    EXPECT_EQ(resumed.resumed, 6u);
+
+    // The resumed summary equals a fresh uninterrupted campaign.
+    globalResultCache().reset();
+    CampaignSpec fresh = spec;
+    fresh.checkpointPath.clear();
+    std::vector<FaultTrialResult> freshTrials;
+    const CampaignSummary direct =
+        runFaultCampaign(wl, cfg, fresh, runner, &freshTrials);
+    EXPECT_EQ(direct.masked, resumed.masked);
+    EXPECT_EQ(direct.sdc, resumed.sdc);
+    EXPECT_EQ(direct.detected, resumed.detected);
+    EXPECT_EQ(direct.hang, resumed.hang);
+    EXPECT_EQ(direct.landed, resumed.landed);
+    ASSERT_EQ(freshTrials.size(), resumedTrials.size());
+    for (std::size_t i = 0; i < freshTrials.size(); ++i)
+        EXPECT_EQ(freshTrials[i].outcome, resumedTrials[i].outcome)
+            << i;
+
+    // A different seed refuses the stale checkpoint.
+    CampaignSpec wrong = spec;
+    wrong.seed = 22;
+    EXPECT_THROW(runFaultCampaign(wl, cfg, wrong, runner),
+                 FatalError);
+
+    std::remove(path.c_str());
+}
+
+TEST(WatchdogTest, CycleBudgetTripsDeterministically)
+{
+    Watchdog::Limits limits;
+    limits.cycleBudget = 100;
+    const Watchdog dog(limits);
+    EXPECT_NO_THROW(dog.checkpoint(0));
+    EXPECT_NO_THROW(dog.checkpoint(99));
+    EXPECT_THROW(dog.checkpoint(100), HangError);
+    EXPECT_THROW(dog.checkpoint(5000), HangError);
+}
+
+TEST(WatchdogTest, CancellationAbortsAtNextCheckpoint)
+{
+    Watchdog::Limits limits;
+    limits.cycleBudget = 1000000;
+    Watchdog dog(limits);
+    EXPECT_NO_THROW(dog.checkpoint(1));
+    dog.cancel();
+    EXPECT_TRUE(dog.cancelled());
+    EXPECT_THROW(dog.checkpoint(2), HangError);
+}
+
+TEST(WatchdogTest, NoLimitsMeansNoTrips)
+{
+    const Watchdog dog(Watchdog::Limits{});
+    EXPECT_FALSE(dog.limits().any());
+    EXPECT_NO_THROW(dog.checkpoint(1u << 30));
+}
+
+} // namespace

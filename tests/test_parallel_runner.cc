@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -115,6 +116,45 @@ TEST(ThreadPoolTest, DestructorDrainsQueue)
             pool.post([&count] { count.fetch_add(1); });
     }
     EXPECT_EQ(count.load(), 50);
+}
+
+// Regression: a task that threw used to escape the worker thread
+// (std::terminate) — and had the catch been added naively around
+// task() without the RAII-ordered decrement, running_ would stay
+// stuck and every later wait() would hang on the barrier.
+TEST(ThreadPoolTest, ThrowingTaskDoesNotLeakTheBarrier)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.post([&count, i] {
+            if (i == 7)
+                throw std::runtime_error("task 7 exploded");
+            count.fetch_add(1);
+        });
+    }
+    // The barrier must release (all 20 tasks ran to a conclusion)
+    // and then surface the stored exception.
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(count.load(), 19);
+
+    // The error was observed once; the pool is reusable and clean.
+    for (int i = 0; i < 10; ++i)
+        pool.post([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 29);
+}
+
+TEST(ThreadPoolTest, OnlyFirstTaskExceptionIsKept)
+{
+    ThreadPool pool(4);
+    for (int i = 0; i < 8; ++i)
+        pool.post([] { throw FatalError("boom"); });
+    // All eight threw; exactly one surfaces, the rest are dropped
+    // after their tasks completed.
+    EXPECT_THROW(pool.wait(), FatalError);
+    // A second wait() on the now-idle pool must not rethrow.
+    pool.wait();
 }
 
 TEST_F(ParallelRunnerTest, ParallelMatchesSerialAcrossJobCounts)

@@ -257,6 +257,46 @@ TEST(SmCore, DeadlockGuardFires)
     EXPECT_THROW(core.run(), FatalError);
 }
 
+TEST(SmCore, DeadlockDiagnosticsDumpPerWarpState)
+{
+    // A genuinely infinite kernel: an unconditional branch to self.
+    KernelBuilder kb("spin_forever");
+    kb.movImm(1, 42);
+    const auto spin = kb.newLabel();
+    kb.bind(spin);
+    kb.alu2Imm(Opcode::ADD, 2, 1, 1);
+    kb.bra(spin);
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = 3;
+
+    SimConfig config = configFor(Architecture::BOW, 3);
+    config.maxCycles = 2000;
+    SmCore core(config, launch);
+
+    try {
+        core.run();
+        FAIL() << "maxCycles guard did not trip";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        // The guard message itself...
+        EXPECT_NE(msg.find("exceeded 2000 cycles"), std::string::npos)
+            << msg;
+        // ...plus the global snapshot and a per-warp stall dump.
+        EXPECT_NE(msg.find("global: cycle=2000"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("warp 0:"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("warp 2:"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("stall="), std::string::npos) << msg;
+        EXPECT_NE(msg.find("pendingWrites="), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("bocOccupancy="), std::string::npos)
+            << msg;
+    }
+}
+
 TEST(SmCore, RunTwicePanics)
 {
     const Launch launch = snippets::tinyVadd(1, 2);
