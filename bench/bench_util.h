@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/table.h"
 #include "core/parallel_runner.h"
 #include "core/result_cache.h"
@@ -61,6 +62,13 @@ printRunSummary()
               << " sims/sec, " << ParallelRunner::defaultJobs()
               << " jobs); result cache: " << cache.hits()
               << " hits, " << cache.misses() << " misses\n";
+
+    // BOWSIM_METRICS_OUT=<file> dumps the aggregate of every job the
+    // bench simulated. Never touches stdout, so bench output stays
+    // byte-comparable whether or not the snapshot is requested.
+    const std::string metricsPath = metricsOutPath();
+    if (!metricsPath.empty())
+        writeMetricsFile(metricsPath, globalMetrics());
 }
 
 /** Build all benchmarks at the harness scale and print the banner. */
@@ -69,8 +77,10 @@ loadSuite(const std::string &title)
 {
     const double scale = benchScale();
     // Pin the summary's clock before any simulation runs, and print
-    // the summary however the bench exits.
+    // the summary however the bench exits. Querying the metrics path
+    // here arms job-level aggregation before the first simulation.
     benchStartTime();
+    metricsOutPath();
     static const bool registered =
         std::atexit([] { printRunSummary(); }) == 0;
     (void)registered;

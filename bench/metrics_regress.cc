@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Golden-stats regression gate: re-runs a small fixed workload suite
+ * at low scale and diffs every metric the simulator exports against
+ * the checked-in snapshots in tests/golden/. Counters and histograms
+ * are compared with zero tolerance — any drift in an event count is
+ * a behaviour change and fails the gate; derived doubles get a 1e-9
+ * relative guard (FP formatting only, not a semantic tolerance) and
+ * `wall.*` names are presence-only. Schema: docs/OBSERVABILITY.md.
+ *
+ * Usage:
+ *   metrics_regress              compare against the goldens (exit 1
+ *                                on any diff, naming each metric)
+ *   metrics_regress --update     regenerate the golden files
+ *   metrics_regress --golden D   use golden directory D
+ *   metrics_regress --perturb N  add 1 to counter N before comparing
+ *                                (the gate's own WILL_FAIL self-test)
+ *   metrics_regress --list       print the case table and exit
+ */
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "core/parallel_runner.h"
+#include "workloads/registry.h"
+
+#ifndef BOWSIM_GOLDEN_DIR
+#define BOWSIM_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace bow;
+
+/** The fixed gate suite. Scale is pinned (NOT BOWSIM_BENCH_SCALE):
+ *  golden numbers must not depend on the harness environment. */
+constexpr double kScale = 0.05;
+
+struct Case
+{
+    const char *workload;
+    Architecture arch;
+    const char *slug; ///< golden file stem
+};
+
+const Case kCases[] = {
+    {"VECTORADD", Architecture::Baseline, "vectoradd_baseline"},
+    {"VECTORADD", Architecture::BOW_WR, "vectoradd_bow_wr"},
+    {"VECTORADD", Architecture::BOW_WR_OPT, "vectoradd_bow_wr_opt"},
+    {"BFS", Architecture::Baseline, "bfs_baseline"},
+    {"BFS", Architecture::BOW_WR, "bfs_bow_wr"},
+    {"BFS", Architecture::RFC, "bfs_rfc"},
+    {"BTREE", Architecture::Baseline, "btree_baseline"},
+    {"BTREE", Architecture::BOW_WR, "btree_bow_wr"},
+    {"BTREE", Architecture::BOW_WR_OPT, "btree_bow_wr_opt"},
+};
+
+/** Relative FP-format guard for Value metrics (never for counters). */
+constexpr double kValueRelTol = 1e-9;
+
+bool
+valuesMatch(double golden, double actual)
+{
+    if (std::isnan(golden) && std::isnan(actual))
+        return true;
+    if (golden == actual)
+        return true;
+    const double mag = std::max(std::fabs(golden), std::fabs(actual));
+    return std::fabs(golden - actual) <= kValueRelTol * mag;
+}
+
+/** Append a human-readable line per differing metric to @p diffs. */
+void
+diffRegistries(const MetricsRegistry &golden,
+               const MetricsRegistry &actual,
+               std::vector<std::string> &diffs)
+{
+    std::vector<std::string> names = golden.names();
+    for (const std::string &n : actual.names()) {
+        if (!golden.has(n))
+            names.push_back(n);
+    }
+
+    for (const std::string &name : names) {
+        if (name.rfind("wall.", 0) == 0) {
+            // Wall-clock fields are machine-dependent: only their
+            // presence is part of the contract.
+            if (!golden.has(name) || !actual.has(name))
+                diffs.push_back(strf(name, ": present in only one "
+                                           "snapshot"));
+            continue;
+        }
+        if (!golden.has(name)) {
+            diffs.push_back(strf(name, ": not in golden (run "
+                                       "--update after reviewing)"));
+            continue;
+        }
+        if (!actual.has(name)) {
+            diffs.push_back(strf(name, ": missing from this run"));
+            continue;
+        }
+        if (golden.kindOf(name) != actual.kindOf(name)) {
+            diffs.push_back(strf(
+                name, ": kind changed (",
+                metricKindName(golden.kindOf(name)), " -> ",
+                metricKindName(actual.kindOf(name)), ")"));
+            continue;
+        }
+        switch (golden.kindOf(name)) {
+          case MetricKind::Counter:
+            if (golden.counter(name) != actual.counter(name))
+                diffs.push_back(strf(name, ": ", golden.counter(name),
+                                     " -> ", actual.counter(name)));
+            break;
+          case MetricKind::Value:
+            if (!valuesMatch(golden.value(name), actual.value(name)))
+                diffs.push_back(strf(name, ": ", golden.value(name),
+                                     " -> ", actual.value(name)));
+            break;
+          case MetricKind::Hist: {
+            const auto g = golden.hist(name);
+            const auto a = actual.hist(name);
+            if (g != a)
+                diffs.push_back(strf(name, ": histogram changed (",
+                                     g.size(), " vs ", a.size(),
+                                     " buckets)"));
+            break;
+          }
+        }
+    }
+}
+
+MetricsRegistry
+loadGolden(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strf("cannot open golden file '", path,
+                   "' (run metrics_regress --update to create it)"));
+    std::ostringstream text;
+    text << in.rdbuf();
+    return MetricsRegistry::fromJson(parseJson(text.str()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string goldenDir = BOWSIM_GOLDEN_DIR;
+    std::string perturb;
+    bool update = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto need = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal(strf(a, " needs an argument"));
+            return argv[++i];
+        };
+        if (!std::strcmp(a, "--update"))
+            update = true;
+        else if (!std::strcmp(a, "--golden"))
+            goldenDir = need();
+        else if (!std::strcmp(a, "--perturb"))
+            perturb = need();
+        else if (!std::strcmp(a, "--list")) {
+            for (const Case &c : kCases)
+                std::cout << c.slug << ": " << c.workload << " on "
+                          << archName(c.arch) << " at scale "
+                          << kScale << "\n";
+            return 0;
+        } else {
+            fatal(strf("unknown option '", a,
+                       "' (want --update, --golden DIR, "
+                       "--perturb NAME or --list)"));
+        }
+    }
+
+    try {
+        // Generate each distinct workload once, then run the whole
+        // suite through the parallel engine.
+        std::vector<Workload> wls;
+        for (const Case &c : kCases) {
+            bool have = false;
+            for (const Workload &w : wls)
+                have = have || w.name == c.workload;
+            if (!have)
+                wls.push_back(workloads::make(c.workload, kScale));
+        }
+        auto workloadOf = [&](const char *name) -> const Workload & {
+            for (const Workload &w : wls) {
+                if (w.name == name)
+                    return w;
+            }
+            panic(strf("metrics_regress: workload '", name,
+                       "' not generated"));
+        };
+
+        std::vector<SimJob> jobs;
+        for (const Case &c : kCases)
+            jobs.emplace_back(workloadOf(c.workload), c.arch);
+        const std::vector<SimResult> results =
+            ParallelRunner().run(jobs);
+
+        bool perturbApplied = false;
+        std::vector<std::string> failures;
+        for (std::size_t i = 0; i < std::size(kCases); ++i) {
+            const Case &c = kCases[i];
+            MetricsRegistry actual = results[i].metrics;
+            if (!perturb.empty() && actual.has(perturb) &&
+                actual.kindOf(perturb) == MetricKind::Counter) {
+                actual.addCounter(perturb, 1);
+                perturbApplied = true;
+            }
+
+            const std::string path =
+                goldenDir + "/" + c.slug + ".json";
+            if (update) {
+                writeMetricsFile(path, actual);
+                std::cout << "updated " << path << "\n";
+                continue;
+            }
+
+            std::vector<std::string> diffs;
+            diffRegistries(loadGolden(path), actual, diffs);
+            if (!diffs.empty()) {
+                failures.push_back(strf(c.slug, " (", c.workload,
+                                        " on ", archName(c.arch),
+                                        "):"));
+                for (const std::string &d : diffs)
+                    failures.push_back("  " + d);
+            }
+        }
+
+        if (update)
+            return 0;
+        if (!perturb.empty() && !perturbApplied)
+            fatal(strf("--perturb ", perturb,
+                       ": no case exports that counter"));
+        if (!failures.empty()) {
+            std::cout << "metrics_regress: FAIL\n";
+            for (const std::string &f : failures)
+                std::cout << f << "\n";
+            return 1;
+        }
+        std::cout << "metrics_regress: " << std::size(kCases)
+                  << " cases match " << goldenDir << "\n";
+        return 0;
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    } catch (const PanicError &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+}

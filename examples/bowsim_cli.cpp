@@ -24,6 +24,16 @@
  *                         threads)
  *     --csv               machine-readable one-line output
  *
+ *   Observability (docs/OBSERVABILITY.md; all accept --flag=VALUE):
+ *     --metrics-out FILE  full metrics registry as JSON (aggregated
+ *                         over the suite for --workload ALL)
+ *     --trace-out FILE    Chrome trace_event JSON of the run, for
+ *                         Perfetto / chrome://tracing (single
+ *                         workload only)
+ *     --trace-cycles A:B  sample only cycles [A, B) into the trace
+ *     --manifest-out FILE provenance manifest (build version, config
+ *                         hash, cache key, phase timings, metrics)
+ *
  *   Fault-injection campaigns (docs/RESILIENCE.md):
  *     --faults N              run N bit-flip trials instead of one
  *                             clean simulation (single workload only)
@@ -41,15 +51,19 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/table.h"
+#include "common/trace_events.h"
 #include "compiler/reorder.h"
 #include "core/fault_campaign.h"
 #include "core/parallel_runner.h"
+#include "core/run_manifest.h"
 #include "core/simulator.h"
 #include "core/sweep.h"
 #include "isa/assembler.h"
@@ -88,7 +102,9 @@ usage()
         "                  [--scale S] [--jobs N] [--csv]\n"
         "                  [--faults N] [--fault-sites rf,boc,rfc]\n"
         "                  [--seed S] [--fault-protection P]\n"
-        "                  [--fault-checkpoint FILE]\n";
+        "                  [--fault-checkpoint FILE]\n"
+        "                  [--metrics-out FILE] [--trace-out FILE]\n"
+        "                  [--trace-cycles A:B] [--manifest-out FILE]\n";
     std::exit(1);
 }
 
@@ -231,11 +247,28 @@ main(int argc, char **argv)
     std::string faultSites = "rf";
     std::uint64_t seed = 1;
     std::string faultCheckpoint;
+    std::string metricsOut;
+    std::string traceOut;
+    std::string traceCycles;
+    std::string manifestOut;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
             usage();
         return argv[++i];
+    };
+    // The observability flags accept both "--flag VALUE" and
+    // "--flag=VALUE"; returns nullptr when @p a is a different flag.
+    auto valueOf = [&](const char *a, const char *flag,
+                       int &i) -> const char * {
+        const std::size_t n = std::strlen(flag);
+        if (std::strncmp(a, flag, n) != 0)
+            return nullptr;
+        if (a[n] == '=')
+            return a + n + 1;
+        if (a[n] == '\0')
+            return need(i);
+        return nullptr;
     };
     try {
     for (int i = 1; i < argc; ++i) {
@@ -290,6 +323,14 @@ main(int argc, char **argv)
             faultCheckpoint = need(i);
         else if (!std::strcmp(a, "--csv"))
             csv = true;
+        else if (const char *v = valueOf(a, "--metrics-out", i))
+            metricsOut = v;
+        else if (const char *v = valueOf(a, "--trace-out", i))
+            traceOut = v;
+        else if (const char *v = valueOf(a, "--trace-cycles", i))
+            traceCycles = v;
+        else if (const char *v = valueOf(a, "--manifest-out", i))
+            manifestOut = v;
         else
             usage();
     }
@@ -297,8 +338,29 @@ main(int argc, char **argv)
         if (workload == "ALL" || workload == "all") {
             if (faults)
                 fatal("--faults needs a single workload, not ALL");
-            return runAllWorkloads(config, scale, csv);
+            if (!traceOut.empty())
+                fatal("--trace-out needs a single workload, not ALL");
+            if (!metricsOut.empty() || !manifestOut.empty())
+                setMetricsAggregation(true);
+            RunManifest manifest;
+            manifest.setCommandLine(argc, argv);
+            manifest.setWorkload("ALL");
+            manifest.setConfig(config);
+            manifest.beginPhase("simulate");
+            const int rc = runAllWorkloads(config, scale, csv);
+            manifest.endPhase();
+            if (!metricsOut.empty())
+                writeMetricsFile(metricsOut, globalMetrics());
+            if (!manifestOut.empty()) {
+                manifest.setMetrics(globalMetrics());
+                manifest.writeFile(manifestOut);
+            }
+            return rc;
         }
+
+        RunManifest manifest;
+        manifest.setCommandLine(argc, argv);
+        manifest.beginPhase("setup");
 
         Launch launch;
         std::string name;
@@ -333,11 +395,14 @@ main(int argc, char **argv)
             }
         }
 
+        // Everything below runs the workload wrapper, so the manifest
+        // can record the same cache key ParallelRunner would use.
+        Workload wl;
+        wl.name = name;
+        wl.scale = scale;
+        wl.launch = std::move(launch);
+
         if (faults) {
-            Workload wl;
-            wl.name = name;
-            wl.scale = scale;
-            wl.launch = std::move(launch);
             CampaignSpec spec;
             spec.trials = faults;
             spec.seed = seed;
@@ -347,9 +412,33 @@ main(int argc, char **argv)
             return runCampaign(wl, config, spec, csv);
         }
 
+        manifest.setWorkload(name);
+        manifest.setConfig(config);
+        manifest.setCacheKey(simCacheKey(wl, config));
+
+        std::optional<TraceSink> tracer;
+        if (!traceOut.empty()) {
+            TraceConfig tc;
+            if (!traceCycles.empty())
+                tc = TraceConfig::parseCycleRange(traceCycles);
+            tracer.emplace(tc);
+        } else if (!traceCycles.empty()) {
+            fatal("--trace-cycles needs --trace-out");
+        }
+
         Simulator sim(config);
-        const SimResult res = sim.run(launch);
+        manifest.beginPhase("simulate");
+        const SimResult res =
+            sim.run(wl.launch, nullptr, nullptr,
+                    tracer ? &*tracer : nullptr);
+        manifest.beginPhase("report");
         const double ipc = res.stats.ipc();
+
+        if (!metricsOut.empty())
+            writeMetricsFile(metricsOut, res.metrics);
+        if (tracer)
+            writeChromeTraceFile(traceOut, *tracer,
+                                 strf(name, " (", res.arch, ")"));
 
         if (csv) {
             std::cout << "kernel,arch,iw,cycles,insts,ipc,rf_reads,"
@@ -382,6 +471,11 @@ main(int argc, char **argv)
                       << res.stats.transientDrops << "\n"
                       << "dynamic energy: " << res.energy.totalPj / 1e6
                       << " uJ\n";
+        }
+
+        if (!manifestOut.empty()) {
+            manifest.setMetrics(res.metrics);
+            manifest.writeFile(manifestOut);
         }
     } catch (const FatalError &e) {
         std::cerr << e.what() << "\n";

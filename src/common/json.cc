@@ -1,0 +1,530 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace bow {
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        panic("JsonValue::asBool on a non-bool value");
+    return bool_;
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    if (kind_ != Kind::Uint)
+        panic("JsonValue::asUint on a non-integer value");
+    return uint_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ == Kind::Uint)
+        return static_cast<double>(uint_);
+    if (kind_ != Kind::Double)
+        panic("JsonValue::asDouble on a non-number value");
+    return double_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        panic("JsonValue::asString on a non-string value");
+    return string_;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        panic("JsonValue::push on a non-array value");
+    items_.push_back(std::move(v));
+    return items_.back();
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue::items on a non-array value");
+    return items_;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return items_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    panic("JsonValue::size on a scalar value");
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue::at(index) on a non-array value");
+    if (i >= items_.size())
+        panic(strf("JsonValue::at: index ", i, " out of range (",
+                   items_.size(), " items)"));
+    return items_[i];
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        panic("JsonValue::set on a non-object value");
+    for (auto &kv : members_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return kv.second;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+    return members_.back().second;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &kv : members_) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        panic(strf("JsonValue::at: no member '", key, "'"));
+    return *v;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue::members on a non-object value");
+    return members_;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Shortest round-trippable form; force a decimal point (or
+    // exponent) so a re-parse keeps the double kind.
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    std::string s(buf, res.ptr);
+    if (s.find_first_of(".eEn") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    const auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) *
+                       static_cast<std::size_t>(d),
+                   ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Uint:
+        out += std::to_string(uint_);
+        break;
+      case Kind::Double:
+        out += jsonNumber(double_);
+        break;
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(string_);
+        out += '"';
+        break;
+      case Kind::Array: {
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ",";
+            newline(depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ",";
+            newline(depth + 1);
+            out += '"';
+            out += jsonEscape(members_[i].first);
+            out += "\":";
+            if (indent > 0)
+                out += ' ';
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser with line/column diagnostics. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        fatal(strf("JSON parse error at line ", line, " column ", col,
+                   ": ", what));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strf("expected '", c, "', got '", text_[pos_], "'"));
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        const std::size_t n = std::char_traits<char>::length(w);
+        if (text_.compare(pos_, n, w) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue(parseString());
+          case 't':
+            if (consumeWord("true"))
+                return JsonValue(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeWord("false"))
+                return JsonValue(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeWord("null"))
+                return JsonValue();
+            fail("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            expect(':');
+            if (obj.find(key))
+                fail(strf("duplicate object key '", key, "'"));
+            obj.set(key, parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // Encode the BMP code point as UTF-8 (surrogate
+                // pairs are not produced by our own writers).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape character");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        bool isInt = true;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            isInt = false; // negative numbers carried as double
+            ++pos_;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isInt = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (isInt) {
+            std::uint64_t v = 0;
+            const auto res =
+                std::from_chars(tok.data(), tok.data() + tok.size(), v);
+            if (res.ec != std::errc() ||
+                res.ptr != tok.data() + tok.size()) {
+                fail(strf("bad integer '", tok, "'"));
+            }
+            return JsonValue(v);
+        }
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            fail(strf("bad number '", tok, "'"));
+        return JsonValue(d);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace bow

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Minimal JSON document model shared by the observability layer:
+ * metrics export, Chrome trace files, run manifests and the golden
+ * regression gate all build on this one value type, so every JSON
+ * artifact the simulator writes serializes (and re-parses) through
+ * the same code path.
+ *
+ * Deliberate properties:
+ *  - Object members keep insertion order, so serialization is stable
+ *    and artifacts diff cleanly between runs.
+ *  - Integers are carried as uint64_t (counters exceed 2^53) and
+ *    doubles always render with a decimal point or exponent, so the
+ *    integer/double distinction survives a round trip.
+ *  - Non-finite doubles (NaN, +/-inf) serialize as `null` — JSON has
+ *    no spelling for them and a "nan" token would poison downstream
+ *    tooling (Perfetto, jq, the golden differ).
+ */
+
+#ifndef BOWSIM_COMMON_JSON_H
+#define BOWSIM_COMMON_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bow {
+
+/** One JSON value: null, bool, number, string, array or object. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Uint,   ///< non-negative integer (counters)
+        Double, ///< any other number
+        String,
+        Array,
+        Object
+    };
+
+    JsonValue() = default;                      ///< null
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+    JsonValue(int v)
+        : kind_(Kind::Uint), uint_(static_cast<std::uint64_t>(v))
+    {}
+    JsonValue(double v) : kind_(Kind::Double), double_(v) {}
+    JsonValue(const char *s) : kind_(Kind::String), string_(s) {}
+    JsonValue(std::string s)
+        : kind_(Kind::String), string_(std::move(s))
+    {}
+
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Uint || kind_ == Kind::Double;
+    }
+
+    /** Scalar accessors; panic() on kind mismatch. */
+    bool asBool() const;
+    std::uint64_t asUint() const;
+    /** Any number (Uint or Double) as a double. */
+    double asDouble() const;
+    const std::string &asString() const;
+
+    // --- arrays ---
+    /** Append to an array (converts a null value into an array). */
+    JsonValue &push(JsonValue v);
+    const std::vector<JsonValue> &items() const;
+    std::size_t size() const;
+    const JsonValue &at(std::size_t i) const;
+
+    // --- objects ---
+    /** Set @p key (replace in place or append; insertion-ordered).
+     *  Converts a null value into an object. */
+    JsonValue &set(const std::string &key, JsonValue v);
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+    /** Member access; panic()s when absent. */
+    const JsonValue &at(const std::string &key) const;
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits the compact one-line form. Non-finite
+     * doubles render as null.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @throws FatalError with line/column context on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render one number the way dump() does: integers bare, doubles with
+ * a decimal point or exponent (round-trippable), non-finite as null.
+ */
+std::string jsonNumber(double v);
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_JSON_H

@@ -1,0 +1,351 @@
+#include "common/metrics.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+
+#include "common/log.h"
+
+namespace bow {
+
+std::string
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Value:   return "value";
+      case MetricKind::Hist:    return "hist";
+    }
+    panic("metricKindName: bad kind");
+}
+
+namespace {
+
+/** Validate a dotted metric path: [a-z0-9_] segments, single dots. */
+bool
+validMetricPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    bool prevDot = false;
+    for (const char c : path) {
+        if (c == '.') {
+            if (prevDot)
+                return false;
+            prevDot = true;
+            continue;
+        }
+        prevDot = false;
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= '0' && c <= '9') || c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry(const MetricsRegistry &other)
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    metrics_ = other.metrics_;
+}
+
+MetricsRegistry &
+MetricsRegistry::operator=(const MetricsRegistry &other)
+{
+    if (this == &other)
+        return *this;
+    // Consistent two-lock order by address to avoid deadlock if two
+    // threads ever assign registries to each other.
+    std::map<std::string, Metric> copy;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        copy = other.metrics_;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_ = std::move(copy);
+    return *this;
+}
+
+MetricsRegistry::Metric &
+MetricsRegistry::touch(const std::string &path, MetricKind kind)
+{
+    auto it = metrics_.find(path);
+    if (it == metrics_.end()) {
+        if (!validMetricPath(path))
+            panic(strf("MetricsRegistry: invalid metric path '", path,
+                       "' (want [a-z0-9_] segments joined by single "
+                       "dots)"));
+        it = metrics_.emplace(path, Metric{}).first;
+        it->second.kind = kind;
+        return it->second;
+    }
+    if (it->second.kind != kind)
+        panic(strf("MetricsRegistry: '", path, "' registered as ",
+                   metricKindName(it->second.kind),
+                   " but re-registered as ", metricKindName(kind)));
+    return it->second;
+}
+
+void
+MetricsRegistry::addCounter(const std::string &path,
+                            std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    touch(path, MetricKind::Counter).count += delta;
+}
+
+void
+MetricsRegistry::setCounter(const std::string &path, std::uint64_t v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    touch(path, MetricKind::Counter).count = v;
+}
+
+void
+MetricsRegistry::setValue(const std::string &path, double v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    touch(path, MetricKind::Value).value = v;
+}
+
+void
+MetricsRegistry::addValue(const std::string &path, double v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    touch(path, MetricKind::Value).value += v;
+}
+
+void
+MetricsRegistry::setHist(const std::string &path,
+                         const std::vector<std::uint64_t> &buckets)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    touch(path, MetricKind::Hist).hist = buckets;
+}
+
+bool
+MetricsRegistry::has(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_.count(path) != 0;
+}
+
+MetricKind
+MetricsRegistry::kindOf(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = metrics_.find(path);
+    if (it == metrics_.end())
+        panic(strf("MetricsRegistry::kindOf: no metric '", path, "'"));
+    return it->second.kind;
+}
+
+std::uint64_t
+MetricsRegistry::counter(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = metrics_.find(path);
+    if (it == metrics_.end())
+        return 0;
+    if (it->second.kind != MetricKind::Counter)
+        panic(strf("MetricsRegistry::counter: '", path, "' is a ",
+                   metricKindName(it->second.kind)));
+    return it->second.count;
+}
+
+double
+MetricsRegistry::value(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = metrics_.find(path);
+    if (it == metrics_.end())
+        return 0.0;
+    if (it->second.kind != MetricKind::Value)
+        panic(strf("MetricsRegistry::value: '", path, "' is a ",
+                   metricKindName(it->second.kind)));
+    return it->second.value;
+}
+
+std::vector<std::uint64_t>
+MetricsRegistry::hist(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = metrics_.find(path);
+    if (it == metrics_.end())
+        return {};
+    if (it->second.kind != MetricKind::Hist)
+        panic(strf("MetricsRegistry::hist: '", path, "' is a ",
+                   metricKindName(it->second.kind)));
+    return it->second.hist;
+}
+
+std::vector<std::string>
+MetricsRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(metrics_.size());
+    for (const auto &kv : metrics_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_.size();
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.clear();
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    // Snapshot the source outside our own lock so merging a registry
+    // into itself (or cross-merges from two threads) cannot deadlock.
+    std::map<std::string, Metric> theirs;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        theirs = other.metrics_;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[path, m] : theirs) {
+        Metric &mine = touch(path, m.kind);
+        switch (m.kind) {
+          case MetricKind::Counter:
+            mine.count += m.count;
+            break;
+          case MetricKind::Value:
+            mine.value += m.value;
+            break;
+          case MetricKind::Hist:
+            if (mine.hist.size() < m.hist.size())
+                mine.hist.resize(m.hist.size(), 0);
+            for (std::size_t i = 0; i < m.hist.size(); ++i)
+                mine.hist[i] += m.hist[i];
+            break;
+        }
+    }
+}
+
+JsonValue
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonValue obj = JsonValue::object();
+    for (const auto &[path, m] : metrics_) {
+        switch (m.kind) {
+          case MetricKind::Counter:
+            obj.set(path, JsonValue(m.count));
+            break;
+          case MetricKind::Value:
+            obj.set(path, JsonValue(m.value));
+            break;
+          case MetricKind::Hist: {
+            JsonValue arr = JsonValue::array();
+            for (const std::uint64_t b : m.hist)
+                arr.push(JsonValue(b));
+            obj.set(path, std::move(arr));
+            break;
+          }
+        }
+    }
+    return obj;
+}
+
+MetricsRegistry
+MetricsRegistry::fromJson(const JsonValue &json)
+{
+    MetricsRegistry out;
+    for (const auto &[path, v] : json.members()) {
+        switch (v.kind()) {
+          case JsonValue::Kind::Uint:
+            out.setCounter(path, v.asUint());
+            break;
+          case JsonValue::Kind::Double:
+            out.setValue(path, v.asDouble());
+            break;
+          case JsonValue::Kind::Null:
+            // Our writers render non-finite values as null.
+            out.setValue(path,
+                         std::numeric_limits<double>::quiet_NaN());
+            break;
+          case JsonValue::Kind::Array: {
+            std::vector<std::uint64_t> buckets;
+            buckets.reserve(v.size());
+            for (const JsonValue &b : v.items())
+                buckets.push_back(b.asUint());
+            out.setHist(path, buckets);
+            break;
+          }
+          default:
+            fatal(strf("MetricsRegistry::fromJson: member '", path,
+                       "' is not a metric value"));
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::atomic<bool> gAggregate{false};
+std::atomic<bool> gEnvChecked{false};
+
+} // namespace
+
+MetricsRegistry &
+globalMetrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+void
+setMetricsAggregation(bool enabled)
+{
+    gAggregate.store(enabled, std::memory_order_relaxed);
+}
+
+std::string
+metricsOutPath()
+{
+    const char *env = std::getenv("BOWSIM_METRICS_OUT");
+    const std::string path = env ? env : "";
+    if (!path.empty() && !gEnvChecked.exchange(true))
+        setMetricsAggregation(true);
+    return path;
+}
+
+bool
+metricsAggregationEnabled()
+{
+    if (!gEnvChecked.load(std::memory_order_relaxed))
+        metricsOutPath();
+    return gAggregate.load(std::memory_order_relaxed);
+}
+
+void
+writeMetricsFile(const std::string &path,
+                 const MetricsRegistry &registry)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal(strf("cannot open metrics output file '", path, "'"));
+    out << registry.toJson().dump(2) << "\n";
+    if (!out)
+        fatal(strf("failed writing metrics to '", path, "'"));
+}
+
+} // namespace bow

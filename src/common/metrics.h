@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Hierarchical metrics registry: the telemetry spine of the
+ * simulator. Every hardware model exports its event counts here
+ * under stable dotted names (`sm0.boc.bypass_hits`,
+ * `sm0.rf_banks.read_conflicts`, ...), the registry serializes to
+ * JSON (and re-parses for the golden regression gate), and
+ * registries merge thread-safely so ParallelRunner batches can
+ * aggregate a whole bench run into one snapshot.
+ *
+ * Three metric kinds:
+ *  - Counter: uint64 event count; merges by summation.
+ *  - Value:   double (IPC, picojoules); merges by summation, and
+ *             non-finite values serialize as JSON null.
+ *  - Hist:    vector of uint64 buckets; merges element-wise (the
+ *             longer shape wins).
+ *
+ * Names are validated ([a-z0-9_] segments joined by single dots) and
+ * re-registering a name with a different kind panics — collisions
+ * are programming errors, not data.
+ *
+ * The metric name catalogue lives in docs/OBSERVABILITY.md.
+ */
+
+#ifndef BOWSIM_COMMON_METRICS_H
+#define BOWSIM_COMMON_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace bow {
+
+/** What one registered metric is. */
+enum class MetricKind
+{
+    Counter,
+    Value,
+    Hist
+};
+
+/** "counter" / "value" / "hist". */
+std::string metricKindName(MetricKind kind);
+
+/**
+ * A named collection of metrics with dotted hierarchical paths.
+ *
+ * All member functions are thread-safe; copying locks the source.
+ * The map is ordered, so iteration and JSON export are stable.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &other);
+    MetricsRegistry &operator=(const MetricsRegistry &other);
+
+    /** Add @p delta to counter @p path (created at 0). */
+    void addCounter(const std::string &path, std::uint64_t delta = 1);
+
+    /** Set counter @p path to @p v. */
+    void setCounter(const std::string &path, std::uint64_t v);
+
+    /** Set value @p path to @p v (NaN/inf allowed; JSON renders
+     *  them as null). */
+    void setValue(const std::string &path, double v);
+
+    /** Add @p v to value @p path (created at 0). */
+    void addValue(const std::string &path, double v);
+
+    /** Set histogram @p path to @p buckets. */
+    void setHist(const std::string &path,
+                 const std::vector<std::uint64_t> &buckets);
+
+    bool has(const std::string &path) const;
+
+    /** Kind of @p path; panics when unregistered. */
+    MetricKind kindOf(const std::string &path) const;
+
+    /** Counter value; 0 when unregistered, panics on wrong kind. */
+    std::uint64_t counter(const std::string &path) const;
+
+    /** Value; 0.0 when unregistered, panics on wrong kind. */
+    double value(const std::string &path) const;
+
+    /** Histogram buckets; empty when unregistered, panics on wrong
+     *  kind. */
+    std::vector<std::uint64_t> hist(const std::string &path) const;
+
+    /** All registered paths, sorted. */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const;
+    void clear();
+
+    /**
+     * Fold @p other into this registry: counters and values sum,
+     * histograms add element-wise. Kind mismatches panic. Safe
+     * against concurrent merges from ParallelRunner workers.
+     */
+    void merge(const MetricsRegistry &other);
+
+    /**
+     * Flat JSON object: {"sm0.boc.bypass_hits": 12, ...} with
+     * histograms as arrays. Ordered by path, so output is stable.
+     */
+    JsonValue toJson() const;
+
+    /**
+     * Rebuild a registry from toJson() output (the golden gate's
+     * read path). Integers become counters, doubles/nulls become
+     * values (null = NaN), arrays become histograms.
+     */
+    static MetricsRegistry fromJson(const JsonValue &json);
+
+  private:
+    struct Metric
+    {
+        MetricKind kind = MetricKind::Counter;
+        std::uint64_t count = 0;
+        double value = 0.0;
+        std::vector<std::uint64_t> hist;
+    };
+
+    /** Locate-or-create @p path as @p kind; validates the name and
+     *  panics on a kind collision. Caller holds the mutex. */
+    Metric &touch(const std::string &path, MetricKind kind);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Metric> metrics_;
+};
+
+/**
+ * The process-wide aggregate registry. ParallelRunner folds every
+ * finished job's metrics in here when aggregation is enabled (the
+ * CLI --metrics-out flag for --workload ALL, or the
+ * BOWSIM_METRICS_OUT environment variable for the benches).
+ */
+MetricsRegistry &globalMetrics();
+
+/** Turn job-level aggregation into globalMetrics() on or off. */
+void setMetricsAggregation(bool enabled);
+
+/** True when ParallelRunner should aggregate job metrics. */
+bool metricsAggregationEnabled();
+
+/**
+ * Destination of the process-level metrics snapshot: the
+ * BOWSIM_METRICS_OUT environment variable, or "" when unset. When
+ * non-empty, aggregation is enabled automatically on first query.
+ */
+std::string metricsOutPath();
+
+/** Write @p registry as pretty-printed JSON to @p path. */
+void writeMetricsFile(const std::string &path,
+                      const MetricsRegistry &registry);
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_METRICS_H

@@ -1,8 +1,18 @@
 #include "common/stats.h"
 
+#include <limits>
+
 #include "common/log.h"
+#include "common/metrics.h"
 
 namespace bow {
+
+double
+Average::mean() const
+{
+    return n_ ? sum_ / static_cast<double>(n_)
+              : std::numeric_limits<double>::quiet_NaN();
+}
 
 Histogram::Histogram(std::size_t buckets)
     : counts_(buckets + 1, 0)
@@ -63,7 +73,8 @@ Histogram::fractionAtLeast(std::uint64_t v) const
 double
 Histogram::mean() const
 {
-    return total_ ? weightedSum_ / static_cast<double>(total_) : 0.0;
+    return total_ ? weightedSum_ / static_cast<double>(total_)
+                  : std::numeric_limits<double>::quiet_NaN();
 }
 
 Counter &
@@ -92,6 +103,25 @@ StatGroup::counterValue(const std::string &key) const
 {
     auto it = counters_.find(key);
     return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::exportTo(MetricsRegistry &out,
+                    const std::string &prefix) const
+{
+    for (const auto &[key, c] : counters_)
+        out.setCounter(prefix + "." + key, c.value());
+    for (const auto &[key, a] : averages_) {
+        out.setValue(prefix + "." + key + ".mean", a.mean());
+        out.setCounter(prefix + "." + key + ".samples", a.samples());
+    }
+    for (const auto &[key, h] : histograms_) {
+        std::vector<std::uint64_t> buckets;
+        buckets.reserve(h.size());
+        for (std::size_t b = 0; b < h.size(); ++b)
+            buckets.push_back(h.bucket(b));
+        out.setHist(prefix + "." + key, buckets);
+    }
 }
 
 void

@@ -16,6 +16,8 @@
 
 namespace bow {
 
+class MetricsRegistry;
+
 /** A monotonically increasing event counter. */
 class Counter
 {
@@ -51,12 +53,12 @@ class Average
     std::uint64_t samples() const { return n_; }
     double sum() const { return sum_; }
 
-    /** Mean of all samples, or 0 when empty. */
-    double
-    mean() const
-    {
-        return n_ ? sum_ / static_cast<double>(n_) : 0.0;
-    }
+    /**
+     * Mean of all samples; NaN when empty. An empty average has no
+     * mean, and 0 would be indistinguishable from a real zero — the
+     * JSON exporters render the NaN as null.
+     */
+    double mean() const;
 
   private:
     double sum_ = 0.0;
@@ -93,7 +95,8 @@ class Histogram
     /** Fraction of observations with value >= v (0 when empty). */
     double fractionAtLeast(std::uint64_t v) const;
 
-    /** Mean observed value (overflow bucket counted at its floor). */
+    /** Mean observed value (overflow bucket counted at its floor);
+     *  NaN when no observation was recorded (null in JSON). */
     double mean() const;
 
   private:
@@ -126,6 +129,16 @@ class StatGroup
     }
 
     void resetAll();
+
+    /**
+     * Migration shim into the observability layer: export every
+     * counter, average and histogram of this group into @p out under
+     * `<prefix>.<key>` (averages as `.mean` + `.samples`). The group
+     * itself stays the component-local accounting API, so call sites
+     * and bench stdout are untouched.
+     */
+    void exportTo(MetricsRegistry &out,
+                  const std::string &prefix) const;
 
   private:
     std::string name_;

@@ -1,0 +1,149 @@
+#include "common/trace_events.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace bow {
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::Issue:       return "issue";
+      case TraceEventKind::Stall:       return "stall";
+      case TraceEventKind::Dispatch:    return "dispatch";
+      case TraceEventKind::Bypass:      return "bypass";
+      case TraceEventKind::Deposit:     return "deposit";
+      case TraceEventKind::Writeback:   return "writeback";
+      case TraceEventKind::Consolidate: return "consolidate";
+      case TraceEventKind::Complete:    return "complete";
+    }
+    panic("traceEventKindName: bad kind");
+}
+
+TraceConfig
+TraceConfig::parseCycleRange(const std::string &spec)
+{
+    TraceConfig cfg;
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        fatal(strf("--trace-cycles wants A:B (got '", spec, "')"));
+
+    const auto parseBound = [&](const std::string &s,
+                                Cycle fallback) -> Cycle {
+        if (s.empty())
+            return fallback;
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+        if (end == s.c_str() || *end != '\0')
+            fatal(strf("--trace-cycles: bad cycle bound '", s, "'"));
+        return static_cast<Cycle>(v);
+    };
+
+    cfg.firstCycle = parseBound(spec.substr(0, colon), 0);
+    cfg.lastCycle = parseBound(spec.substr(colon + 1), kNoCycle);
+    if (cfg.lastCycle <= cfg.firstCycle)
+        fatal(strf("--trace-cycles: empty window ", cfg.firstCycle,
+                   ":", cfg.lastCycle));
+    return cfg;
+}
+
+TraceSink::TraceSink(TraceConfig config)
+    : config_(config)
+{
+    if (config_.capacity == 0)
+        fatal("TraceSink: capacity must be positive");
+    events_.resize(config_.capacity);
+}
+
+std::vector<TraceEvent>
+TraceSink::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(recorded_);
+    // When the ring wrapped, the oldest retained event sits at
+    // head_; otherwise the buffer filled from index 0.
+    const std::size_t start =
+        recorded_ < events_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < recorded_; ++i)
+        out.push_back(events_[(start + i) % events_.size()]);
+    return out;
+}
+
+void
+TraceSink::writeChromeJson(std::ostream &os,
+                           const std::string &label) const
+{
+    const std::vector<TraceEvent> events = snapshot();
+
+    os << "{\"traceEvents\":[\n";
+    // Metadata: name the process after the workload and give every
+    // warp that appears a named thread lane.
+    os << " {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"tid\":0,\"args\":{\"name\":\"SM0: "
+       << jsonEscape(label) << "\"}}";
+    std::set<WarpId> warps;
+    for (const TraceEvent &ev : events)
+        warps.insert(ev.warp);
+    for (const WarpId w : warps) {
+        os << ",\n {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+              "\"tid\":" << w << ",\"args\":{\"name\":\"warp " << w
+           << "\"}}";
+    }
+
+    for (const TraceEvent &ev : events) {
+        os << ",\n {\"name\":\"" << traceEventKindName(ev.kind)
+           << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.warp
+           << ",\"ts\":" << ev.ts
+           << ",\"dur\":" << (ev.dur ? ev.dur : 1) << ",\"args\":{";
+        bool first = true;
+        const auto arg = [&](const char *key, std::uint64_t v) {
+            os << (first ? "" : ",") << "\"" << key << "\":" << v;
+            first = false;
+        };
+        if (ev.reg != kNoReg)
+            arg("reg", ev.reg);
+        switch (ev.kind) {
+          case TraceEventKind::Issue:
+          case TraceEventKind::Dispatch:
+          case TraceEventKind::Complete:
+            arg("pc", ev.arg);
+            break;
+          case TraceEventKind::Bypass:
+            arg("forwarded", ev.arg);
+            break;
+          case TraceEventKind::Writeback:
+            arg("rf", (ev.arg & kTraceWbRf) ? 1 : 0);
+            arg("boc", (ev.arg & kTraceWbBoc) ? 1 : 0);
+            break;
+          case TraceEventKind::Stall:
+          case TraceEventKind::Deposit:
+          case TraceEventKind::Consolidate:
+            break;
+        }
+        os << "}}";
+    }
+
+    os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+          "\"tool\":\"bowsim\",\"dropped_events\":" << dropped_
+       << "}}\n";
+}
+
+void
+writeChromeTraceFile(const std::string &path, const TraceSink &sink,
+                     const std::string &label)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal(strf("cannot open trace output file '", path, "'"));
+    sink.writeChromeJson(out, label);
+    if (!out)
+        fatal(strf("failed writing trace to '", path, "'"));
+}
+
+} // namespace bow

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Opt-in per-cycle event tracer emitting Chrome `trace_event` JSON
+ * (the format chrome://tracing and Perfetto load natively). The SM
+ * core emits issue / stall / dispatch / bypass / deposit / writeback
+ * / consolidation events; each becomes a complete ("ph":"X") slice
+ * with ts = simulation cycle (rendered as microseconds), pid = the
+ * SM and tid = the warp, so a BOW run reads as one swim-lane per
+ * warp with bypasses and write-backs visible inline.
+ *
+ * Cost model:
+ *  - Disabled (no TraceSink wired in): the hot path pays exactly one
+ *    null-pointer test per would-be event.
+ *  - Enabled: events outside the sampled cycle window are dropped by
+ *    an integer range check; in-window events are POD stores into a
+ *    ring buffer preallocated at construction. emit() never
+ *    allocates, so a tracer can stay armed across a long run and
+ *    keep only the newest `capacity` events.
+ *
+ * The trace schema is documented in docs/OBSERVABILITY.md.
+ */
+
+#ifndef BOWSIM_COMMON_TRACE_EVENTS_H
+#define BOWSIM_COMMON_TRACE_EVENTS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bow {
+
+/** What happened (the Chrome event name). */
+enum class TraceEventKind : std::uint8_t
+{
+    Issue,       ///< instruction entered a collector slot
+    Stall,       ///< scheduler picked a warp it could not issue
+    Dispatch,    ///< operands complete, sent to an execution unit
+    Bypass,      ///< source operands forwarded from the BOC
+    Deposit,     ///< fetched operand deposited into the BOC
+    Writeback,   ///< result written (RF, BOC, or both)
+    Consolidate, ///< BOC write superseded a dirty value (write
+                 ///< consolidation)
+    Complete     ///< instruction retired
+};
+
+/** Chrome event name for @p kind ("issue", "bypass", ...). */
+const char *traceEventKindName(TraceEventKind kind);
+
+/** One recorded event; plain data, 24 bytes. */
+struct TraceEvent
+{
+    Cycle ts = 0;          ///< cycle the event happened
+    std::uint32_t dur = 1; ///< duration in cycles (slice width)
+    TraceEventKind kind = TraceEventKind::Issue;
+    WarpId warp = 0;
+    RegId reg = kNoReg;    ///< register involved (kNoReg = none)
+    std::uint32_t arg = 0; ///< kind-specific payload (pc, count,
+                           ///< stall reason, destination mask)
+};
+
+/** Writeback destinations (TraceEvent::arg of Writeback events). */
+enum : std::uint32_t
+{
+    kTraceWbRf = 1,  ///< register-file write
+    kTraceWbBoc = 2, ///< BOC write
+};
+
+/** Sampling window + buffering configuration. */
+struct TraceConfig
+{
+    Cycle firstCycle = 0;                    ///< inclusive
+    Cycle lastCycle = kNoCycle;              ///< exclusive
+    std::size_t capacity = 1u << 20;         ///< ring-buffer entries
+
+    /** Parse "A:B" (cycles, B exclusive; empty sides default to
+     *  0 / unlimited). fatal()s on malformed input. */
+    static TraceConfig parseCycleRange(const std::string &spec);
+};
+
+/**
+ * Ring-buffered event sink. Not thread-safe by design: one SmCore
+ * owns one sink (simulations are single-threaded internally; the
+ * ParallelRunner path never traces).
+ */
+class TraceSink
+{
+  public:
+    explicit TraceSink(TraceConfig config = {});
+
+    /** True when cycle @p c is inside the sampled window. Callers
+     *  use this as the cheap guard before building an event. */
+    bool
+    wants(Cycle c) const
+    {
+        return c >= config_.firstCycle && c < config_.lastCycle;
+    }
+
+    /** Record @p ev (in-window check included). Never allocates. */
+    void
+    emit(const TraceEvent &ev)
+    {
+        if (!wants(ev.ts))
+            return;
+        events_[head_] = ev;
+        head_ = (head_ + 1) % events_.size();
+        if (recorded_ < events_.size())
+            ++recorded_;
+        else
+            ++dropped_;
+    }
+
+    /** Events currently held (<= capacity). */
+    std::size_t recorded() const { return recorded_; }
+
+    /** Events overwritten after the ring filled. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    std::size_t capacity() const { return events_.size(); }
+
+    /** Buffer address — lets tests pin the no-reallocation
+     *  guarantee. */
+    const TraceEvent *data() const { return events_.data(); }
+
+    /** Oldest-to-newest snapshot of the retained events. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /**
+     * Write the Chrome trace_event JSON document: process/thread
+     * name metadata plus one "X" slice per retained event, in
+     * emission order. @p label names the process (the workload).
+     */
+    void writeChromeJson(std::ostream &os,
+                         const std::string &label) const;
+
+    const TraceConfig &config() const { return config_; }
+
+  private:
+    TraceConfig config_;
+    std::vector<TraceEvent> events_;
+    std::size_t head_ = 0;
+    std::size_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/** writeChromeJson() to @p path; fatal()s on I/O failure. */
+void writeChromeTraceFile(const std::string &path,
+                          const TraceSink &sink,
+                          const std::string &label);
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_TRACE_EVENTS_H

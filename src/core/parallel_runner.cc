@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "core/thread_pool.h"
 
 namespace bow {
@@ -164,7 +165,10 @@ ParallelRunner::runOne(const SimJob &job) const
 {
     if (job.workload == nullptr)
         panic("ParallelRunner::runOne: job has no workload");
-    return *simulateCached(job);
+    SimResult result = *simulateCached(job);
+    if (metricsAggregationEnabled())
+        globalMetrics().merge(result.metrics);
+    return result;
 }
 
 void
@@ -218,6 +222,15 @@ ParallelRunner::runAll(const std::vector<SimJob> &batch) const
                 classifyException(std::current_exception()));
         }
     });
+
+    // Aggregate after the barrier, in submission order: floating-point
+    // sums then come out bit-identical at any --jobs count.
+    if (metricsAggregationEnabled()) {
+        for (const SimOutcome &o : outcomes) {
+            if (o.ok())
+                globalMetrics().merge(o.value().metrics);
+        }
+    }
     return outcomes;
 }
 
@@ -245,6 +258,12 @@ ParallelRunner::run(const std::vector<SimJob> &batch) const
     for (const std::exception_ptr &err : errors) {
         if (err)
             std::rethrow_exception(err);
+    }
+
+    // As in runAll: deterministic submission-order aggregation.
+    if (metricsAggregationEnabled()) {
+        for (const SimResult &r : results)
+            globalMetrics().merge(r.metrics);
     }
     return results;
 }

@@ -1,0 +1,177 @@
+#include "core/run_manifest.h"
+
+#include <fstream>
+
+#include "common/log.h"
+
+#ifndef BOWSIM_GIT_DESCRIBE
+#define BOWSIM_GIT_DESCRIBE "unknown"
+#endif
+
+namespace bow {
+
+namespace {
+
+/** FNV-1a over a byte string (same parameters as simCacheKey). */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0,
+             std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+RunManifest::RunManifest()
+    : start_(std::chrono::steady_clock::now())
+{}
+
+std::string
+RunManifest::buildVersion()
+{
+    return BOWSIM_GIT_DESCRIBE;
+}
+
+void
+RunManifest::setCommandLine(int argc, const char *const *argv)
+{
+    commandLine_.clear();
+    for (int i = 0; i < argc; ++i) {
+        if (i)
+            commandLine_ += ' ';
+        commandLine_ += argv[i];
+    }
+}
+
+void
+RunManifest::setWorkload(const std::string &name)
+{
+    workload_ = name;
+}
+
+void
+RunManifest::setConfig(const SimConfig &config)
+{
+    JsonValue c = JsonValue::object();
+    c.set("arch", archName(config.arch));
+    c.set("window_size", static_cast<std::uint64_t>(config.windowSize));
+    c.set("boc_entries",
+          static_cast<std::uint64_t>(config.effectiveBocEntries()));
+    c.set("extended_window", config.extendedWindow);
+    c.set("scheduler", schedName(config.schedPolicy));
+    c.set("num_schedulers",
+          static_cast<std::uint64_t>(config.numSchedulers));
+    c.set("issue_per_scheduler",
+          static_cast<std::uint64_t>(config.issuePerScheduler));
+    c.set("max_resident_warps",
+          static_cast<std::uint64_t>(config.maxResidentWarps));
+    c.set("num_banks", static_cast<std::uint64_t>(config.numBanks));
+    c.set("num_collectors",
+          static_cast<std::uint64_t>(config.numCollectors));
+    c.set("collector_ports",
+          static_cast<std::uint64_t>(config.collectorPorts));
+    c.set("rfc_entries_per_warp",
+          static_cast<std::uint64_t>(config.rfcEntriesPerWarp));
+    c.set("fault_protection", protectionName(config.faultProtection));
+    configHash_ = fnv1a(c.dump());
+    configJson_ = std::move(c);
+    hasConfig_ = true;
+}
+
+void
+RunManifest::setCacheKey(std::uint64_t key)
+{
+    cacheKey_ = key;
+    hasCacheKey_ = true;
+}
+
+void
+RunManifest::beginPhase(const std::string &name)
+{
+    endPhase();
+    openPhase_ = name;
+    openStart_ = std::chrono::steady_clock::now();
+}
+
+void
+RunManifest::endPhase()
+{
+    if (openPhase_.empty())
+        return;
+    phases_.emplace_back(
+        openPhase_,
+        secondsSince(openStart_, std::chrono::steady_clock::now()));
+    openPhase_.clear();
+}
+
+void
+RunManifest::addPhaseSeconds(const std::string &name, double seconds)
+{
+    phases_.emplace_back(name, seconds);
+}
+
+void
+RunManifest::setMetrics(const MetricsRegistry &metrics)
+{
+    metrics_ = metrics;
+    hasMetrics_ = true;
+}
+
+JsonValue
+RunManifest::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("tool", std::string("bowsim"));
+    out.set("version", buildVersion());
+    if (!commandLine_.empty())
+        out.set("command_line", commandLine_);
+    if (!workload_.empty())
+        out.set("workload", workload_);
+    if (hasConfig_) {
+        out.set("config", configJson_);
+        out.set("config_hash", strf("0x", std::hex, configHash_));
+    }
+    if (hasCacheKey_)
+        out.set("sim_cache_key", strf("0x", std::hex, cacheKey_));
+
+    JsonValue wall = JsonValue::object();
+    for (const auto &[name, seconds] : phases_)
+        wall.set(name, seconds);
+    if (!openPhase_.empty()) {
+        wall.set(openPhase_,
+                 secondsSince(openStart_,
+                              std::chrono::steady_clock::now()));
+    }
+    wall.set("total",
+             secondsSince(start_, std::chrono::steady_clock::now()));
+    out.set("wall", wall);
+
+    if (hasMetrics_)
+        out.set("metrics", metrics_.toJson());
+    return out;
+}
+
+void
+RunManifest::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal(strf("cannot open manifest file '", path,
+                   "' for writing"));
+    os << toJson().dump(2) << '\n';
+    if (!os)
+        fatal(strf("failed writing manifest file '", path, "'"));
+}
+
+} // namespace bow

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-run provenance manifest: which build simulated which workload
+ * under which configuration, how long each phase took, and the full
+ * metrics snapshot the run produced. A manifest written next to a
+ * figure or a metrics dump answers "what exactly produced this file"
+ * without re-running anything (schema: docs/OBSERVABILITY.md).
+ */
+
+#ifndef BOWSIM_CORE_RUN_MANIFEST_H
+#define BOWSIM_CORE_RUN_MANIFEST_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "sm/sim_config.h"
+
+namespace bow {
+
+/**
+ * Collects the provenance of one CLI/bench invocation and serializes
+ * it to JSON. All setters are optional; unset sections are simply
+ * absent from the output. Not thread-safe — a manifest belongs to
+ * the one run it describes.
+ */
+class RunManifest
+{
+  public:
+    RunManifest();
+
+    /** `git describe --always --dirty` captured at configure time,
+     *  or "unknown" when the build had no git metadata. */
+    static std::string buildVersion();
+
+    void setCommandLine(int argc, const char *const *argv);
+    void setWorkload(const std::string &name);
+
+    /** Record the configuration summary and its stable FNV-1a hash
+     *  (over the serialized summary, so equal configs hash equal
+     *  across processes and builds). */
+    void setConfig(const SimConfig &config);
+
+    /** The ResultCache key of the simulation (simCacheKey()). */
+    void setCacheKey(std::uint64_t key);
+
+    /**
+     * Start timing phase @p name (wall clock); implicitly ends any
+     * phase still open. Phases appear in the manifest in start order
+     * with their duration in seconds.
+     */
+    void beginPhase(const std::string &name);
+
+    /** End the currently open phase (no-op when none is open). */
+    void endPhase();
+
+    /** Record an externally measured phase duration. */
+    void addPhaseSeconds(const std::string &name, double seconds);
+
+    /** Attach the run's full metrics snapshot. */
+    void setMetrics(const MetricsRegistry &metrics);
+
+    /** Serialize; ends any still-open phase first. */
+    JsonValue toJson() const;
+
+    /** Write toJson() (pretty-printed) to @p path; fatal()s on I/O
+     *  failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+    std::string commandLine_;
+    std::string workload_;
+    JsonValue configJson_;
+    std::uint64_t configHash_ = 0;
+    bool hasConfig_ = false;
+    std::uint64_t cacheKey_ = 0;
+    bool hasCacheKey_ = false;
+    std::vector<std::pair<std::string, double>> phases_;
+    std::string openPhase_;
+    std::chrono::steady_clock::time_point openStart_;
+    MetricsRegistry metrics_;
+    bool hasMetrics_ = false;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_RUN_MANIFEST_H

@@ -13,7 +13,7 @@ Simulator::Simulator(SimConfig config)
 
 SimResult
 Simulator::run(const Launch &launch, FaultInjector *injector,
-               const Watchdog *watchdog) const
+               const Watchdog *watchdog, TraceSink *tracer) const
 {
     SimResult out;
     out.arch = archName(config_.arch);
@@ -38,7 +38,7 @@ Simulator::run(const Launch &launch, FaultInjector *injector,
         toRun = &tagged;
     }
 
-    SmCore core(config_, *toRun, injector, watchdog);
+    SmCore core(config_, *toRun, injector, watchdog, tracer);
     out.stats = core.run();
     out.energy = computeEnergy(out.stats, energyParams_,
                                config_.faultProtection);
@@ -46,6 +46,14 @@ Simulator::run(const Launch &launch, FaultInjector *injector,
     out.finalMem = core.memory();
     if (injector)
         out.fault = injector->report();
+
+    // The observability snapshot: everything the run produced, under
+    // the stable dotted names of docs/OBSERVABILITY.md.
+    core.exportMetrics(out.metrics);
+    exportEnergyMetrics(out.energy, out.metrics, "sm0.energy");
+    out.metrics.setCounter("sm0.tags.rf_only", out.tags.rfOnly);
+    out.metrics.setCounter("sm0.tags.boc_only", out.tags.bocOnly);
+    out.metrics.setCounter("sm0.tags.boc_and_rf", out.tags.bocAndRf);
     return out;
 }
 

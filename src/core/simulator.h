@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "common/metrics.h"
 #include "compiler/writeback_tagger.h"
 #include "energy/energy_model.h"
 #include "sm/fault_injector.h"
@@ -19,6 +20,7 @@
 
 namespace bow {
 
+class TraceSink;
 class Watchdog;
 
 /** Everything a single simulation produces. */
@@ -32,6 +34,10 @@ struct SimResult
     std::vector<RegFileState> finalRegs;
     MemoryStore finalMem;
     FaultReport fault;          ///< injection outcome (if armed)
+    /** Full per-run metrics snapshot under the stable dotted names
+     *  of docs/OBSERVABILITY.md (every RunStats/energy/tag figure
+     *  plus the per-component StatGroups). */
+    MetricsRegistry metrics;
 };
 
 /**
@@ -56,10 +62,14 @@ class Simulator
      *                 its report is copied into SimResult::fault.
      * @param watchdog Optional cooperative watchdog; may abort the
      *                 run with HangError.
+     * @param tracer   Optional per-cycle event tracer (Chrome
+     *                 trace_event export); nullptr keeps tracing
+     *                 off the hot path entirely.
      */
     SimResult run(const Launch &launch,
                   FaultInjector *injector = nullptr,
-                  const Watchdog *watchdog = nullptr) const;
+                  const Watchdog *watchdog = nullptr,
+                  TraceSink *tracer = nullptr) const;
 
     const SimConfig &config() const { return config_; }
 

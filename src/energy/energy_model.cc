@@ -1,5 +1,7 @@
 #include "energy/energy_model.h"
 
+#include "common/metrics.h"
+
 namespace bow {
 
 EnergyBreakdown
@@ -65,6 +67,16 @@ leakagePj(std::uint64_t cycles, unsigned numBanks, unsigned numBocs,
     const double watts = numBanks * params.rfBankLeakageMw * 1e-3 +
         numBocs * params.bocLeakageMw * 1e-3;
     return watts * seconds * 1e12;
+}
+
+void
+exportEnergyMetrics(const EnergyBreakdown &energy, MetricsRegistry &out,
+                    const std::string &prefix)
+{
+    out.setValue(prefix + ".rf_dynamic_pj", energy.rfDynamicPj);
+    out.setValue(prefix + ".overhead_pj", energy.overheadPj);
+    out.setValue(prefix + ".protection_pj", energy.protectionPj);
+    out.setValue(prefix + ".total_pj", energy.totalPj);
 }
 
 } // namespace bow

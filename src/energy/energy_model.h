@@ -87,6 +87,17 @@ EnergyBreakdown computeEnergy(
 double leakagePj(std::uint64_t cycles, unsigned numBanks,
                  unsigned numBocs, const EnergyParams &params = {});
 
+class MetricsRegistry;
+
+/**
+ * Export @p energy into @p out as Value metrics under @p prefix
+ * (`<prefix>.rf_dynamic_pj`, `.overhead_pj`, `.protection_pj`,
+ * `.total_pj`).
+ */
+void exportEnergyMetrics(const EnergyBreakdown &energy,
+                         MetricsRegistry &out,
+                         const std::string &prefix);
+
 } // namespace bow
 
 #endif // BOWSIM_ENERGY_ENERGY_MODEL_H

@@ -33,6 +33,7 @@ class ExecUnits
     unsigned latency(Opcode op) const;
 
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
 
   private:
     const SimConfig *config_;

@@ -5,7 +5,11 @@
 namespace bow {
 
 Scoreboard::Scoreboard(unsigned numWarps)
-    : warps_(numWarps)
+    : warps_(numWarps),
+      rawStalls_(&stats_.counter("raw_stalls")),
+      wawStalls_(&stats_.counter("waw_stalls")),
+      warStalls_(&stats_.counter("war_stalls")),
+      reservations_(&stats_.counter("reservations"))
 {
 }
 
@@ -14,14 +18,20 @@ Scoreboard::canIssue(WarpId w, const Instruction &inst) const
 {
     const PerWarp &pw = warps_.at(w);
     for (RegId r : inst.srcRegs()) {
-        if (pw.pendingWrites[r])
+        if (pw.pendingWrites[r]) {
+            rawStalls_->inc();
             return false;   // RAW
+        }
     }
     if (inst.hasDest()) {
-        if (pw.pendingWrites[inst.dst])
+        if (pw.pendingWrites[inst.dst]) {
+            wawStalls_->inc();
             return false;   // WAW
-        if (pw.pendingReads[inst.dst])
+        }
+        if (pw.pendingReads[inst.dst]) {
+            warStalls_->inc();
             return false;   // WAR
+        }
     }
     return true;
 }
@@ -29,6 +39,7 @@ Scoreboard::canIssue(WarpId w, const Instruction &inst) const
 void
 Scoreboard::reserve(WarpId w, const Instruction &inst)
 {
+    reservations_->inc();
     PerWarp &pw = warps_.at(w);
     for (RegId r : inst.uniqueSrcRegs()) {
         if (pw.pendingReads[r] == 0xFF)

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "isa/instruction.h"
 
@@ -57,6 +58,10 @@ class Scoreboard
     /** Registers of warp @p w with in-flight read reservations. */
     std::vector<RegId> pendingReadRegs(WarpId w) const;
 
+    /** Hazard accounting (raw/waw/war stalls, reservations); the
+     *  observability layer exports it as `sm0.scoreboard.*`. */
+    const StatGroup &stats() const { return stats_; }
+
   private:
     struct PerWarp
     {
@@ -65,6 +70,16 @@ class Scoreboard
     };
 
     std::vector<PerWarp> warps_;
+
+    // canIssue() is conceptually const; the counters are bookkeeping
+    // about the queries, hence mutable. Counter nodes in the map are
+    // address-stable, so the hot path increments through cached
+    // pointers instead of re-hashing the key every call.
+    mutable StatGroup stats_{"scoreboard"};
+    Counter *rawStalls_ = nullptr;
+    Counter *wawStalls_ = nullptr;
+    Counter *warStalls_ = nullptr;
+    Counter *reservations_ = nullptr;
 };
 
 } // namespace bow

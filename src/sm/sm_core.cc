@@ -4,17 +4,21 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace_events.h"
 #include "common/watchdog.h"
 #include "sm/fault_injector.h"
 
 namespace bow {
 
 SmCore::SmCore(const SimConfig &config, const Launch &launch,
-               FaultInjector *injector, const Watchdog *watchdog)
+               FaultInjector *injector, const Watchdog *watchdog,
+               TraceSink *tracer)
     : config_(config),
       launch_(&launch),
       injector_(injector),
       watchdog_(watchdog),
+      tracer_(tracer),
       scoreboard_(launch.numWarps),
       rf_(config_),
       memTiming_(config_),
@@ -137,6 +141,10 @@ SmCore::handleRfServed(const RfRequest &req)
         if (bocs_[w])
             bocs_[w]->fetchComplete(req.reg);
         ++stats_.bocDeposits;
+        if (tracer_ && tracer_->wants(now_)) {
+            tracer_->emit({now_, 1, TraceEventKind::Deposit, w,
+                           req.reg, 0});
+        }
         for (InstSlot &slot : warpSlots_[w]) {
             if (!slot.inUse)
                 continue;
@@ -195,6 +203,13 @@ SmCore::processCompletions()
             --warp.pendingLoads;
         }
 
+        const bool tracing = tracer_ && tracer_->wants(now_);
+        if (tracing) {
+            tracer_->emit({now_, 1, TraceEventKind::Complete, c.warp,
+                           inst.hasDest() ? inst.dst : kNoReg,
+                           c.idx});
+        }
+
         // Destination write-back, per architecture.
         if (inst.hasDest()) {
             if (!c.fx.wrote) {
@@ -204,6 +219,11 @@ SmCore::processCompletions()
                 switch (config_.arch) {
                   case Architecture::Baseline:
                     rf_.pushWrite(c.warp, inst.dst, true);
+                    if (tracing) {
+                        tracer_->emit({now_, 1,
+                                       TraceEventKind::Writeback,
+                                       c.warp, inst.dst, kTraceWbRf});
+                    }
                     break;
                   case Architecture::RFC: {
                     ++stats_.rfcWrites;
@@ -211,6 +231,14 @@ SmCore::processCompletions()
                     if (wr.evictedDirty)
                         rf_.pushWrite(c.warp, wr.evictedReg, false);
                     scoreboard_.releaseWrite(c.warp, inst.dst);
+                    if (tracing) {
+                        tracer_->emit(
+                            {now_, 1, TraceEventKind::Writeback,
+                             c.warp, inst.dst,
+                             kTraceWbBoc | (wr.evictedDirty
+                                                ? kTraceWbRf
+                                                : 0u)});
+                    }
                     break;
                   }
                   case Architecture::BOW:
@@ -229,8 +257,25 @@ SmCore::processCompletions()
                         // the bank write.
                         rf_.pushWrite(c.warp, inst.dst, true);
                     }
-                    if (wres.consolidatedPrev)
+                    if (tracing) {
+                        const std::uint32_t mask =
+                            (wres.wroteBoc ? kTraceWbBoc : 0u) |
+                            (!wres.wroteBoc || wres.writeRfNow
+                                 ? kTraceWbRf
+                                 : 0u);
+                        tracer_->emit({now_, 1,
+                                       TraceEventKind::Writeback,
+                                       c.warp, inst.dst, mask});
+                    }
+                    if (wres.consolidatedPrev) {
                         ++stats_.consolidatedWrites;
+                        if (tracing) {
+                            tracer_->emit(
+                                {now_, 1,
+                                 TraceEventKind::Consolidate, c.warp,
+                                 inst.dst, 0});
+                        }
+                    }
                     for (const BocEviction &ev : wres.evictions)
                         handleEviction(c.warp, ev);
                     if (config_.arch == Architecture::BOW_WR_OPT) {
@@ -365,6 +410,13 @@ SmCore::tryDispatch(InstSlot &slot)
     c.dispatchCycle = now_;
     completions_[now_ + std::max(1u, latency)].push_back(c);
 
+    if (tracer_ && tracer_->wants(now_)) {
+        tracer_->emit({now_, std::max(1u, latency),
+                       TraceEventKind::Dispatch, slot.warp,
+                       inst.hasDest() ? inst.dst : kNoReg,
+                       slot.idx});
+    }
+
     slot = InstSlot{};
     return true;
 }
@@ -406,8 +458,14 @@ SmCore::tryIssue(WarpId w)
     if (!warp.canIssue())
         return false;
     const Instruction &inst = kernelOf(w).inst(warp.pc);
-    if (!scoreboard_.canIssue(w, inst))
+    if (!scoreboard_.canIssue(w, inst)) {
+        if (tracer_ && tracer_->wants(now_)) {
+            tracer_->emit({now_, 1, TraceEventKind::Stall, w,
+                           inst.hasDest() ? inst.dst : kNoReg,
+                           warp.pc});
+        }
         return false;
+    }
 
     InstSlot *slot = nullptr;
     if (usesBoc()) {
@@ -444,9 +502,20 @@ SmCore::tryIssue(WarpId w)
     const auto srcs = inst.uniqueSrcRegs();
     ++stats_.srcOperandHist[std::min<std::size_t>(srcs.size(), 3)];
 
+    const bool tracing = tracer_ && tracer_->wants(now_);
+    if (tracing) {
+        tracer_->emit({now_, 1, TraceEventKind::Issue, w,
+                       inst.hasDest() ? inst.dst : kNoReg,
+                       slot->idx});
+    }
+
     if (usesBoc()) {
         auto res = bocs_[w]->insert(slot->seq, srcs);
         stats_.bocForwards += res.forwarded;
+        if (tracing && res.forwarded) {
+            tracer_->emit({now_, 1, TraceEventKind::Bypass, w, kNoReg,
+                           static_cast<std::uint32_t>(res.forwarded)});
+        }
         slot->toRequest = std::move(res.toFetch);
         slot->awaiting = std::move(res.sharedFetch);
         for (const BocEviction &ev : res.evictions)
@@ -662,6 +731,64 @@ SmCore::finalRegs() const
     if (!ran_)
         panic("SmCore::finalRegs before run()");
     return finalRegs_;
+}
+
+void
+SmCore::exportMetrics(MetricsRegistry &out) const
+{
+    if (!ran_)
+        panic("SmCore::exportMetrics before run()");
+
+    // Aggregate pipeline statistics (RunStats), under the stable
+    // names the golden regression gate pins down.
+    out.setCounter("sm0.core.cycles", stats_.cycles);
+    out.setCounter("sm0.core.instructions", stats_.instructions);
+    out.setValue("sm0.core.ipc", stats_.ipc());
+
+    out.setCounter("sm0.oc.cycles_mem", stats_.ocCyclesMem);
+    out.setCounter("sm0.oc.cycles_nonmem", stats_.ocCyclesNonMem);
+    out.setCounter("sm0.oc.total_cycles_mem", stats_.totalCyclesMem);
+    out.setCounter("sm0.oc.total_cycles_nonmem",
+                   stats_.totalCyclesNonMem);
+    out.setCounter("sm0.oc.insts_mem", stats_.instsMem);
+    out.setCounter("sm0.oc.insts_nonmem", stats_.instsNonMem);
+    out.setHist("sm0.oc.src_operands_hist", stats_.srcOperandHist);
+
+    out.setCounter("sm0.rf.reads", stats_.rfReads);
+    out.setCounter("sm0.rf.writes", stats_.rfWrites);
+
+    out.setCounter("sm0.boc.bypass_hits", stats_.bocForwards);
+    out.setCounter("sm0.boc.deposits", stats_.bocDeposits);
+    out.setCounter("sm0.boc.result_writes", stats_.bocResultWrites);
+    out.setHist("sm0.boc.occupancy_hist", stats_.bocOccupancyHist);
+
+    out.setCounter("sm0.rfc.reads", stats_.rfcReads);
+    out.setCounter("sm0.rfc.writes", stats_.rfcWrites);
+
+    out.setCounter("sm0.wb.consolidated_writes",
+                   stats_.consolidatedWrites);
+    out.setCounter("sm0.wb.transient_drops", stats_.transientDrops);
+    out.setCounter("sm0.wb.safety_writes", stats_.safetyWrites);
+    out.setCounter("sm0.wb.dest_rf_only", stats_.destRfOnly);
+    out.setCounter("sm0.wb.dest_boc_only", stats_.destBocOnly);
+    out.setCounter("sm0.wb.dest_boc_and_rf", stats_.destBocAndRf);
+
+    // The contention/L1 figures print these even when zero; exporting
+    // them from RunStats first guarantees the names are always
+    // present (an untouched StatGroup counter would be absent). The
+    // shim below overwrites them with the identical group value.
+    out.setCounter("sm0.rf_banks.read_conflicts",
+                   stats_.bankReadConflicts);
+    out.setCounter("sm0.rf_banks.write_conflicts",
+                   stats_.bankWriteConflicts);
+    out.setCounter("sm0.mem.l1_hits", stats_.l1Hits);
+    out.setCounter("sm0.mem.l1_misses", stats_.l1Misses);
+
+    // Per-component StatGroups, through the migration shim.
+    rf_.stats().exportTo(out, "sm0.rf_banks");
+    memTiming_.stats().exportTo(out, "sm0.mem");
+    units_.stats().exportTo(out, "sm0.exec");
+    scoreboard_.stats().exportTo(out, "sm0.scoreboard");
 }
 
 } // namespace bow

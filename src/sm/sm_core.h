@@ -30,6 +30,8 @@
 namespace bow {
 
 class FaultInjector;
+class MetricsRegistry;
+class TraceSink;
 class Watchdog;
 
 /** Aggregate results of one timing simulation. */
@@ -136,10 +138,14 @@ class SmCore
      *                 before a warp's final registers are captured.
      * @param watchdog Optional cooperative watchdog; checkpoint() is
      *                 called once per cycle and may throw HangError.
+     * @param tracer Optional event tracer; pipeline events inside its
+     *               sampled cycle window are recorded. nullptr (the
+     *               default) keeps tracing entirely off the hot path.
      */
     SmCore(const SimConfig &config, const Launch &launch,
            FaultInjector *injector = nullptr,
-           const Watchdog *watchdog = nullptr);
+           const Watchdog *watchdog = nullptr,
+           TraceSink *tracer = nullptr);
 
     /** Simulate to completion and return the aggregate statistics. */
     RunStats run();
@@ -153,6 +159,16 @@ class SmCore
 
     const StatGroup &rfStats() const { return rf_.stats(); }
     const StatGroup &memStats() const { return memTiming_.stats(); }
+
+    /**
+     * Export every statistic of the finished run into @p out under
+     * the stable dotted names catalogued in docs/OBSERVABILITY.md
+     * (`sm0.core.cycles`, `sm0.boc.bypass_hits`, ...): the RunStats
+     * aggregates plus the per-component StatGroups (register-file
+     * banks, memory system, execution units, scoreboard). Panics
+     * before run().
+     */
+    void exportMetrics(MetricsRegistry &out) const;
 
   private:
     /** A completed execution awaiting retire-side effects. */
@@ -198,6 +214,7 @@ class SmCore
     const Launch *launch_;
     FaultInjector *injector_ = nullptr;
     const Watchdog *watchdog_ = nullptr;
+    TraceSink *tracer_ = nullptr;
 
     std::vector<Warp> warps_;
     Scoreboard scoreboard_;

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * MetricsRegistry: name validation and kind collisions, dotted-path
+ * lookup, merge semantics, JSON round-trip (including NaN -> null),
+ * the StatGroup export shim, and determinism of the global aggregate
+ * across ParallelRunner job counts.
+ */
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/stats.h"
+#include "core/parallel_runner.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+TEST(Metrics, CounterValueHistBasics)
+{
+    MetricsRegistry m;
+    m.addCounter("sm0.boc.bypass_hits");
+    m.addCounter("sm0.boc.bypass_hits", 4);
+    m.setValue("sm0.core.ipc", 0.75);
+    m.setHist("sm0.oc.src_operands_hist", {1, 2, 3});
+
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_TRUE(m.has("sm0.boc.bypass_hits"));
+    EXPECT_FALSE(m.has("sm0.boc"));
+    EXPECT_EQ(m.counter("sm0.boc.bypass_hits"), 5u);
+    EXPECT_DOUBLE_EQ(m.value("sm0.core.ipc"), 0.75);
+    EXPECT_EQ(m.hist("sm0.oc.src_operands_hist"),
+              (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(m.kindOf("sm0.core.ipc"), MetricKind::Value);
+}
+
+TEST(Metrics, UnregisteredLookupsReturnZero)
+{
+    const MetricsRegistry m;
+    EXPECT_EQ(m.counter("no.such.counter"), 0u);
+    EXPECT_DOUBLE_EQ(m.value("no.such.value"), 0.0);
+    EXPECT_TRUE(m.hist("no.such.hist").empty());
+    EXPECT_FALSE(m.has("no.such.counter"));
+    EXPECT_THROW(m.kindOf("no.such.counter"), PanicError);
+}
+
+TEST(Metrics, KindCollisionPanics)
+{
+    MetricsRegistry m;
+    m.addCounter("sm0.rf.reads");
+    EXPECT_THROW(m.setValue("sm0.rf.reads", 1.0), PanicError);
+    EXPECT_THROW(m.setHist("sm0.rf.reads", {1}), PanicError);
+    EXPECT_THROW(m.value("sm0.rf.reads"), PanicError);
+}
+
+TEST(Metrics, InvalidPathsPanic)
+{
+    MetricsRegistry m;
+    EXPECT_THROW(m.addCounter(""), PanicError);
+    EXPECT_THROW(m.addCounter("Upper.case"), PanicError);
+    EXPECT_THROW(m.addCounter("a..b"), PanicError);
+    EXPECT_THROW(m.addCounter(".a"), PanicError);
+    EXPECT_THROW(m.addCounter("a."), PanicError);
+    EXPECT_THROW(m.addCounter("a b"), PanicError);
+}
+
+TEST(Metrics, MergeSumsAndExtends)
+{
+    MetricsRegistry a;
+    a.addCounter("c", 2);
+    a.setValue("v", 1.5);
+    a.setHist("h", {1, 1});
+
+    MetricsRegistry b;
+    b.addCounter("c", 3);
+    b.addCounter("only_b", 7);
+    b.setValue("v", 2.5);
+    b.setHist("h", {1, 1, 1});
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("c"), 5u);
+    EXPECT_EQ(a.counter("only_b"), 7u);
+    EXPECT_DOUBLE_EQ(a.value("v"), 4.0);
+    EXPECT_EQ(a.hist("h"), (std::vector<std::uint64_t>{2, 2, 1}));
+
+    MetricsRegistry wrong;
+    wrong.setValue("c", 1.0);
+    EXPECT_THROW(a.merge(wrong), PanicError);
+}
+
+TEST(Metrics, JsonRoundTrip)
+{
+    MetricsRegistry m;
+    m.addCounter("sm0.rf.reads", 1234567890123ull);
+    m.setValue("sm0.core.ipc", 0.8993754337265788);
+    m.setValue("sm0.empty.mean",
+               std::numeric_limits<double>::quiet_NaN());
+    m.setHist("sm0.boc.occupancy_hist", {0, 5, 9});
+
+    const std::string dumped = m.toJson().dump(2);
+    // Non-finite doubles must serialize as null, never "nan"/"inf".
+    EXPECT_EQ(dumped.find("nan"), std::string::npos);
+    EXPECT_NE(dumped.find("null"), std::string::npos);
+
+    const MetricsRegistry back =
+        MetricsRegistry::fromJson(parseJson(dumped));
+    EXPECT_EQ(back.counter("sm0.rf.reads"), 1234567890123ull);
+    EXPECT_DOUBLE_EQ(back.value("sm0.core.ipc"),
+                     0.8993754337265788);
+    EXPECT_TRUE(std::isnan(back.value("sm0.empty.mean")));
+    EXPECT_EQ(back.hist("sm0.boc.occupancy_hist"),
+              (std::vector<std::uint64_t>{0, 5, 9}));
+    // The kind distinction survives the round trip.
+    EXPECT_EQ(back.kindOf("sm0.rf.reads"), MetricKind::Counter);
+    EXPECT_EQ(back.kindOf("sm0.core.ipc"), MetricKind::Value);
+    // And a second trip is byte-stable.
+    EXPECT_EQ(back.toJson().dump(2), dumped);
+}
+
+TEST(Metrics, StatGroupExportShim)
+{
+    StatGroup g("rf");
+    g.counter("reads").inc(10);
+    g.average("queue_depth").sample(2.0);
+    g.average("queue_depth").sample(4.0);
+    g.histogram("burst", 4).sample(1);
+
+    MetricsRegistry m;
+    g.exportTo(m, "sm0.rf_banks");
+    EXPECT_EQ(m.counter("sm0.rf_banks.reads"), 10u);
+    EXPECT_DOUBLE_EQ(m.value("sm0.rf_banks.queue_depth.mean"), 3.0);
+    EXPECT_EQ(m.counter("sm0.rf_banks.queue_depth.samples"), 2u);
+    // 4 exact buckets + the overflow bucket.
+    EXPECT_EQ(m.hist("sm0.rf_banks.burst").size(), 5u);
+
+    // An empty Average exports a NaN mean (-> JSON null), not 0.
+    StatGroup empty("none");
+    empty.average("idle");
+    MetricsRegistry m2;
+    empty.exportTo(m2, "x");
+    EXPECT_TRUE(std::isnan(m2.value("x.idle.mean")));
+}
+
+TEST(Metrics, SimResultCarriesFullSnapshot)
+{
+    const Workload wl = workloads::make("VECTORADD", 0.02);
+    const SimResult res =
+        ParallelRunner(1).runOne(SimJob(wl, Architecture::BOW_WR));
+
+    EXPECT_EQ(res.metrics.counter("sm0.core.cycles"),
+              res.stats.cycles);
+    EXPECT_EQ(res.metrics.counter("sm0.core.instructions"),
+              res.stats.instructions);
+    EXPECT_EQ(res.metrics.counter("sm0.boc.bypass_hits"),
+              res.stats.bocForwards);
+    EXPECT_EQ(res.metrics.counter("sm0.rf.reads"),
+              res.stats.rfReads);
+    EXPECT_DOUBLE_EQ(res.metrics.value("sm0.core.ipc"),
+                     res.stats.ipc());
+    EXPECT_DOUBLE_EQ(res.metrics.value("sm0.energy.total_pj"),
+                     res.energy.totalPj);
+    EXPECT_GT(res.metrics.size(), 30u);
+}
+
+/** The aggregate of a batch must be identical at any job count. */
+TEST(Metrics, ParallelAggregationDeterminism)
+{
+    const Workload wl = workloads::make("VECTORADD", 0.02);
+    std::vector<SimJob> jobs;
+    for (const Architecture arch :
+         {Architecture::Baseline, Architecture::BOW,
+          Architecture::BOW_WR, Architecture::RFC})
+        jobs.emplace_back(wl, arch);
+
+    const bool wasEnabled = metricsAggregationEnabled();
+    setMetricsAggregation(true);
+
+    globalMetrics().clear();
+    ParallelRunner(1).run(jobs);
+    const std::string serial = globalMetrics().toJson().dump();
+
+    globalMetrics().clear();
+    ParallelRunner(4).run(jobs);
+    const std::string parallel = globalMetrics().toJson().dump();
+
+    setMetricsAggregation(wasEnabled);
+    globalMetrics().clear();
+    EXPECT_EQ(serial, parallel);
+    EXPECT_FALSE(serial.empty());
+}
+
+TEST(Metrics, AggregationOffByDefault)
+{
+    // Benches must pay nothing unless BOWSIM_METRICS_OUT (or the CLI
+    // flag) arms aggregation; this also guards against a stray
+    // global flag leaking between tests.
+    if (!metricsAggregationEnabled()) {
+        globalMetrics().clear();
+        const Workload wl = workloads::make("VECTORADD", 0.02);
+        ParallelRunner(1).runOne(SimJob(wl, Architecture::Baseline));
+        EXPECT_EQ(globalMetrics().size(), 0u);
+    }
+}
+
+} // namespace
+} // namespace bow

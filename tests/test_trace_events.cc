@@ -1,0 +1,210 @@
+/**
+ * @file
+ * TraceSink: cycle-window parsing, event ordering, ring-buffer
+ * wraparound, the no-allocation guarantee of emit(), Chrome JSON
+ * well-formedness, and the SmCore integration (a BOW-WR run records
+ * bypass and writeback events).
+ */
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/trace_events.h"
+#include "core/simulator.h"
+#include "sm/sim_config.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+TraceEvent
+ev(Cycle ts, TraceEventKind kind, WarpId warp = 0)
+{
+    TraceEvent e;
+    e.ts = ts;
+    e.kind = kind;
+    e.warp = warp;
+    return e;
+}
+
+TEST(TraceEvents, ParseCycleRange)
+{
+    const TraceConfig full = TraceConfig::parseCycleRange("100:200");
+    EXPECT_EQ(full.firstCycle, 100u);
+    EXPECT_EQ(full.lastCycle, 200u);
+
+    const TraceConfig toEnd = TraceConfig::parseCycleRange("50:");
+    EXPECT_EQ(toEnd.firstCycle, 50u);
+    EXPECT_EQ(toEnd.lastCycle, kNoCycle);
+
+    const TraceConfig fromStart = TraceConfig::parseCycleRange(":75");
+    EXPECT_EQ(fromStart.firstCycle, 0u);
+    EXPECT_EQ(fromStart.lastCycle, 75u);
+
+    EXPECT_THROW(TraceConfig::parseCycleRange(""), FatalError);
+    EXPECT_THROW(TraceConfig::parseCycleRange("abc"), FatalError);
+    EXPECT_THROW(TraceConfig::parseCycleRange("1:2:3"), FatalError);
+    EXPECT_THROW(TraceConfig::parseCycleRange("200:100"), FatalError);
+}
+
+TEST(TraceEvents, EmissionOrderPreserved)
+{
+    TraceSink sink;
+    sink.emit(ev(1, TraceEventKind::Issue));
+    sink.emit(ev(1, TraceEventKind::Bypass));
+    sink.emit(ev(2, TraceEventKind::Dispatch));
+    sink.emit(ev(5, TraceEventKind::Writeback));
+
+    const std::vector<TraceEvent> events = sink.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].kind, TraceEventKind::Issue);
+    EXPECT_EQ(events[1].kind, TraceEventKind::Bypass);
+    EXPECT_EQ(events[2].kind, TraceEventKind::Dispatch);
+    EXPECT_EQ(events[3].kind, TraceEventKind::Writeback);
+    EXPECT_EQ(events[3].ts, 5u);
+}
+
+TEST(TraceEvents, WindowFiltersEvents)
+{
+    TraceConfig config;
+    config.firstCycle = 10;
+    config.lastCycle = 20;
+    TraceSink sink(config);
+
+    EXPECT_FALSE(sink.wants(9));
+    EXPECT_TRUE(sink.wants(10));
+    EXPECT_TRUE(sink.wants(19));
+    EXPECT_FALSE(sink.wants(20)); // exclusive upper bound
+
+    sink.emit(ev(9, TraceEventKind::Issue));
+    sink.emit(ev(10, TraceEventKind::Issue));
+    sink.emit(ev(20, TraceEventKind::Issue));
+    EXPECT_EQ(sink.recorded(), 1u);
+    EXPECT_EQ(sink.snapshot()[0].ts, 10u);
+}
+
+TEST(TraceEvents, RingBufferWraparound)
+{
+    TraceConfig config;
+    config.capacity = 4;
+    TraceSink sink(config);
+    EXPECT_EQ(sink.capacity(), 4u);
+
+    for (Cycle c = 0; c < 10; ++c)
+        sink.emit(ev(c, TraceEventKind::Issue, WarpId(c)));
+
+    // The ring keeps the newest 4 events, oldest first.
+    EXPECT_EQ(sink.recorded(), 4u);
+    EXPECT_EQ(sink.dropped(), 6u);
+    const std::vector<TraceEvent> events = sink.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].ts, 6u);
+    EXPECT_EQ(events[3].ts, 9u);
+}
+
+TEST(TraceEvents, EmitNeverReallocates)
+{
+    TraceConfig config;
+    config.capacity = 8;
+    TraceSink sink(config);
+    const TraceEvent *buffer = sink.data();
+
+    for (Cycle c = 0; c < 100; ++c)
+        sink.emit(ev(c, TraceEventKind::Writeback));
+
+    // The buffer is preallocated at construction; a century of
+    // events must not move it (the zero-allocation guarantee the
+    // hot path relies on).
+    EXPECT_EQ(sink.data(), buffer);
+    EXPECT_EQ(sink.capacity(), 8u);
+}
+
+TEST(TraceEvents, ChromeJsonIsWellFormed)
+{
+    TraceSink sink;
+    TraceEvent bypass = ev(7, TraceEventKind::Bypass, 2);
+    bypass.reg = 5;
+    bypass.arg = 2;
+    sink.emit(bypass);
+    TraceEvent wb = ev(9, TraceEventKind::Writeback, 2);
+    wb.reg = 5;
+    wb.arg = kTraceWbRf | kTraceWbBoc;
+    sink.emit(wb);
+
+    std::ostringstream os;
+    sink.writeChromeJson(os, "UNITTEST");
+    const JsonValue doc = parseJson(os.str());
+
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_GT(events.size(), 2u); // metadata + the two slices
+
+    std::size_t slices = 0;
+    bool sawProcessName = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        const std::string &ph = e.at("ph").asString();
+        if (ph == "M") {
+            if (e.at("name").asString() == "process_name")
+                sawProcessName = true;
+            continue;
+        }
+        ASSERT_EQ(ph, "X");
+        ++slices;
+        EXPECT_TRUE(e.at("ts").isNumber());
+        EXPECT_TRUE(e.at("dur").isNumber());
+    }
+    EXPECT_EQ(slices, 2u);
+    EXPECT_TRUE(sawProcessName);
+    EXPECT_NE(os.str().find("UNITTEST"), std::string::npos);
+    EXPECT_NE(os.str().find("\"bypass\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"writeback\""), std::string::npos);
+}
+
+/** End-to-end: a traced BOW-WR run records the pipeline events the
+ *  Perfetto view is built from. */
+TEST(TraceEvents, SmCoreRecordsBypassAndWriteback)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.arch = Architecture::BOW_WR;
+
+    TraceSink sink;
+    const Workload wl = workloads::make("VECTORADD", 0.02);
+    Simulator sim(config);
+    const SimResult res =
+        sim.run(wl.launch, nullptr, nullptr, &sink);
+
+    const std::vector<TraceEvent> events = sink.snapshot();
+    ASSERT_FALSE(events.empty());
+    EXPECT_TRUE(std::is_sorted(
+        events.begin(), events.end(),
+        [](const TraceEvent &a, const TraceEvent &b) {
+            return a.ts < b.ts;
+        }));
+
+    auto count = [&](TraceEventKind kind) {
+        return static_cast<std::uint64_t>(std::count_if(
+            events.begin(), events.end(),
+            [kind](const TraceEvent &e) { return e.kind == kind; }));
+    };
+    EXPECT_EQ(count(TraceEventKind::Issue), res.stats.instructions);
+    EXPECT_EQ(count(TraceEventKind::Complete),
+              res.stats.instructions);
+    EXPECT_EQ(count(TraceEventKind::Bypass) > 0,
+              res.stats.bocForwards > 0);
+    EXPECT_GT(count(TraceEventKind::Writeback), 0u);
+
+    // An untraced run of the same launch is unaffected (tracing is
+    // observation only).
+    const SimResult plain = sim.run(wl.launch);
+    EXPECT_EQ(plain.stats.cycles, res.stats.cycles);
+    EXPECT_EQ(plain.stats.bocForwards, res.stats.bocForwards);
+}
+
+} // namespace
+} // namespace bow
