@@ -18,6 +18,10 @@
  *     --extended-window   capacity-limited residency (future work)
  *     --reorder           run the bypass-aware scheduling pass
  *     --sched P           gto|lrr
+ *     --num-sms N         streaming multiprocessors (default 1; >1
+ *                         enables the CTA scheduler + shared L2)
+ *     --cta-policy P      rr|lrr CTA placement (default rr)
+ *     --l2-banks N        shared-L2 bank count (default 12)
  *     --scale S           workload scale factor (default 1.0)
  *     --jobs N            parallel simulations for --workload ALL
  *                         (default BOWSIM_JOBS or all hardware
@@ -99,6 +103,8 @@ usage()
         "                  [--warps N] [--arch A] [--iw N]\n"
         "                  [--boc-entries N] [--extended-window]\n"
         "                  [--reorder] [--sched gto|lrr]\n"
+        "                  [--num-sms N] [--cta-policy rr|lrr]\n"
+        "                  [--l2-banks N]\n"
         "                  [--scale S] [--jobs N] [--csv]\n"
         "                  [--faults N] [--fault-sites rf,boc,rfc]\n"
         "                  [--seed S] [--fault-protection P]\n"
@@ -296,6 +302,12 @@ main(int argc, char **argv)
         else if (!std::strcmp(a, "--sched"))
             config.schedPolicy = std::strcmp(need(i), "lrr")
                 ? SchedPolicy::GTO : SchedPolicy::LRR;
+        else if (!std::strcmp(a, "--num-sms"))
+            config.numSms = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(a, "--cta-policy"))
+            config.ctaPolicy = parseCtaPolicy(need(i));
+        else if (!std::strcmp(a, "--l2-banks"))
+            config.l2Banks = static_cast<unsigned>(std::atoi(need(i)));
         else if (!std::strcmp(a, "--scale"))
             scale = std::atof(need(i));
         else if (!std::strcmp(a, "--jobs")) {

@@ -226,6 +226,13 @@ runFaultCampaign(const Workload &workload, const SimConfig &config,
     if (spec.trials == 0)
         return summary;
 
+    // Refuse up front rather than letting every trial trip the
+    // single-SM guard inside Simulator: those throws would be
+    // classified as "detected" and report a bogus 100% AVF.
+    if (config.numSms > 1)
+        fatal("fault campaign: fault injection supports numSms == 1 "
+              "only (got " + std::to_string(config.numSms) + ")");
+
     const std::vector<FaultSite> sites =
         validSites(config.arch, spec.sites);
 

@@ -76,6 +76,7 @@ hashLaunch(Fnv1a &h, const Launch &launch)
 {
     hashKernel(h, launch.kernel);
     h.scalar(launch.numWarps);
+    h.scalar(launch.warpsPerCta);
     h.scalar(launch.warpKernels.size());
     for (const Kernel &k : launch.warpKernels)
         hashKernel(h, k);
@@ -134,6 +135,10 @@ simCacheKey(const Workload &workload, const SimConfig &c)
     h.scalar(c.l2Ways);
     h.scalar(c.sharedLatency);
     h.scalar(c.maxPendingLoads);
+    h.scalar(c.numSms);
+    h.scalar(static_cast<int>(c.ctaPolicy));
+    h.scalar(c.l2Banks);
+    h.scalar(c.l2MshrsPerBank);
     h.scalar(static_cast<int>(c.arch));
     h.scalar(c.windowSize);
     // Normalised: bocEntries==0 means "4 * windowSize", so a job

@@ -1,6 +1,8 @@
 #include "core/simulator.h"
 
 #include "common/log.h"
+#include "gpu/cta_scheduler.h"
+#include "gpu/gpu_core.h"
 #include "isa/disassembler.h"
 
 namespace bow {
@@ -38,22 +40,66 @@ Simulator::run(const Launch &launch, FaultInjector *injector,
         toRun = &tagged;
     }
 
-    SmCore core(config_, *toRun, injector, watchdog, tracer);
-    out.stats = core.run();
-    out.energy = computeEnergy(out.stats, energyParams_,
-                               config_.faultProtection);
-    out.finalRegs = core.finalRegs();
-    out.finalMem = core.memory();
-    if (injector)
-        out.fault = injector->report();
+    if (config_.numSms <= 1) {
+        // Legacy single-SM path, preserved bit-for-bit (the golden
+        // gate and the GpuCore numSms=1 parity test both pin it).
+        SmCore core(config_, *toRun, injector, watchdog, tracer);
+        out.stats = core.run();
+        out.finalRegs = core.finalRegs();
+        out.finalMem = core.memory();
+        if (injector)
+            out.fault = injector->report();
+        core.exportMetrics(out.metrics);
+        out.metrics.setCounter("gpu.num_sms", 1);
+        out.metrics.setCounter("gpu.cycles", out.stats.cycles);
+        out.metrics.setCounter("gpu.instructions",
+                               out.stats.instructions);
+        out.metrics.setValue("gpu.ipc", out.stats.ipc());
+        out.metrics.setCounter("gpu.peak_resident_warps",
+                               out.stats.peakResident);
+        out.metrics.setCounter("gpu.occupancy_cap",
+                               occupancyCap(config_, *toRun));
+        const auto ctas = partitionCtas(*toRun);
+        out.metrics.setCounter("gpu.cta.launched", ctas.size());
+        out.metrics.setCounter("gpu.cta.warps_per_cta",
+                               toRun->warpsPerCta);
+        out.metrics.setHist(
+            "gpu.cta.per_sm",
+            {static_cast<std::uint64_t>(ctas.size())});
+        out.energy = computeEnergy(out.stats, energyParams_,
+                                   config_.faultProtection);
+        exportEnergyMetrics(out.energy, out.metrics, "sm0.energy");
+    } else {
+        // GPU path: numSms SmCores behind the CTA scheduler and the
+        // shared banked L2 (src/gpu/). The fault-injection and trace
+        // subsystems are single-SM instruments.
+        if (injector) {
+            fatal("Simulator: fault injection supports --num-sms 1 "
+                  "only");
+        }
+        if (tracer)
+            fatal("Simulator: event tracing supports --num-sms 1 only");
 
-    // The observability snapshot: everything the run produced, under
-    // the stable dotted names of docs/OBSERVABILITY.md.
-    core.exportMetrics(out.metrics);
-    exportEnergyMetrics(out.energy, out.metrics, "sm0.energy");
-    out.metrics.setCounter("sm0.tags.rf_only", out.tags.rfOnly);
-    out.metrics.setCounter("sm0.tags.boc_only", out.tags.bocOnly);
-    out.metrics.setCounter("sm0.tags.boc_and_rf", out.tags.bocAndRf);
+        GpuCore gpu(config_, *toRun, watchdog);
+        out.stats = gpu.run();
+        out.finalRegs = gpu.finalRegs();
+        out.finalMem = gpu.memory();
+        gpu.exportMetrics(out.metrics);
+        out.energy = computeEnergy(out.stats, energyParams_,
+                                   config_.faultProtection);
+        for (unsigned s = 0; s < gpu.numSms(); ++s) {
+            exportEnergyMetrics(
+                computeEnergy(gpu.smStats(s), energyParams_,
+                              config_.faultProtection),
+                out.metrics, strf("sm", s, ".energy"));
+        }
+    }
+
+    // GPU-level snapshot entries shared by both paths.
+    exportEnergyMetrics(out.energy, out.metrics, "gpu.energy");
+    out.metrics.setCounter("gpu.tags.rf_only", out.tags.rfOnly);
+    out.metrics.setCounter("gpu.tags.boc_only", out.tags.bocOnly);
+    out.metrics.setCounter("gpu.tags.boc_and_rf", out.tags.bocAndRf);
     return out;
 }
 

@@ -1,0 +1,109 @@
+#include "gpu/cta_scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bow {
+
+std::vector<Cta>
+partitionCtas(const Launch &launch)
+{
+    launch.validate();
+    std::vector<Cta> out;
+    for (unsigned first = 0; first < launch.numWarps;
+         first += launch.warpsPerCta) {
+        Cta cta;
+        cta.firstWarp = static_cast<WarpId>(first);
+        cta.numWarps =
+            std::min(launch.warpsPerCta, launch.numWarps - first);
+        out.push_back(cta);
+    }
+    return out;
+}
+
+unsigned
+occupancyCap(const SimConfig &config, const Launch &launch)
+{
+    unsigned maxGprs = launch.kernel.finalized()
+        ? launch.kernel.numGprs()
+        : 0;
+    for (const Kernel &k : launch.warpKernels)
+        maxGprs = std::max(maxGprs, k.numGprs());
+
+    unsigned cap = config.maxResidentWarps;
+    if (maxGprs) {
+        // One architectural register = 32 lanes x 4 bytes.
+        const unsigned bytesPerWarp = maxGprs * 32 * 4;
+        const unsigned regLimit = config.rfBytesPerSm / bytesPerWarp;
+        if (regLimit == 0) {
+            fatal(strf("occupancyCap: a warp needs ", bytesPerWarp,
+                       " RF bytes but the SM has only ",
+                       config.rfBytesPerSm));
+        }
+        cap = std::min(cap, regLimit);
+    }
+    return cap;
+}
+
+CtaScheduler::CtaScheduler(const SimConfig &config,
+                           std::vector<Cta> ctas, unsigned cap)
+    : config_(&config), ctas_(std::move(ctas)), cap_(cap)
+{
+    placements_.assign(ctas_.size(), 0);
+    for (std::size_t i = 0; i < ctas_.size(); ++i) {
+        if (ctas_[i].numWarps > cap_) {
+            fatal(strf("CtaScheduler: CTA ", i, " has ",
+                       ctas_[i].numWarps,
+                       " warps but the per-SM occupancy cap is ",
+                       cap_));
+        }
+    }
+}
+
+std::vector<CtaScheduler::Placement>
+CtaScheduler::place(std::vector<unsigned> &residentWarps)
+{
+    const unsigned numSms = static_cast<unsigned>(
+        residentWarps.size());
+    std::vector<Placement> out;
+
+    if (config_->ctaPolicy == CtaPolicy::RoundRobin) {
+        // Static mapping, all decided on the first call. Occupancy is
+        // still respected per SM: warps beyond the resident cap queue
+        // inside the SmCore and are admitted as earlier warps retire.
+        while (next_ < ctas_.size()) {
+            const unsigned cta = static_cast<unsigned>(next_++);
+            const unsigned sm = cta % numSms;
+            placements_[cta] = sm;
+            residentWarps[sm] += ctas_[cta].numWarps;
+            out.push_back({cta, sm});
+        }
+        return out;
+    }
+
+    // LooseRoundRobin: fill the first SM (from the rotor) that has
+    // room for the whole next CTA; stop at the first CTA that fits
+    // nowhere this cycle.
+    while (next_ < ctas_.size()) {
+        const unsigned cta = static_cast<unsigned>(next_);
+        bool placed = false;
+        for (unsigned probe = 0; probe < numSms; ++probe) {
+            const unsigned sm = (rotor_ + probe) % numSms;
+            if (residentWarps[sm] + ctas_[cta].numWarps <= cap_) {
+                placements_[cta] = sm;
+                residentWarps[sm] += ctas_[cta].numWarps;
+                out.push_back({cta, sm});
+                rotor_ = (sm + 1) % numSms;
+                ++next_;
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            break;
+    }
+    return out;
+}
+
+} // namespace bow

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Grid-level CTA scheduler: partitions a launch into CTAs (contiguous
+ * warp groups of Launch::warpsPerCta) and places them on SMs under a
+ * deterministic policy. RoundRobin is the static mapping CTA i ->
+ * SM (i % numSms), decided entirely up front; LooseRoundRobin is
+ * dynamic — each global cycle the next pending CTA goes to the first
+ * SM (scanning from a rotor) with enough free occupancy. Neither
+ * consults anything outside the launch/config, so placement is
+ * bit-reproducible at any --jobs count.
+ */
+
+#ifndef BOWSIM_GPU_CTA_SCHEDULER_H
+#define BOWSIM_GPU_CTA_SCHEDULER_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "sm/functional.h"
+#include "sm/sim_config.h"
+
+namespace bow {
+
+/** One cooperative thread array: a contiguous warp range. */
+struct Cta
+{
+    WarpId firstWarp = 0;
+    unsigned numWarps = 0;
+};
+
+/** Split @p launch into CTAs of launch.warpsPerCta warps each (the
+ *  last CTA takes the remainder). */
+std::vector<Cta> partitionCtas(const Launch &launch);
+
+/**
+ * Warps one SM can keep resident at once: the scheduler limit
+ * (maxResidentWarps) capped by register-file capacity for the
+ * launch's most register-hungry kernel (32 lanes x 4 bytes per
+ * architectural register). fatal()s when even one warp does not fit.
+ */
+unsigned occupancyCap(const SimConfig &config, const Launch &launch);
+
+class CtaScheduler
+{
+  public:
+    CtaScheduler(const SimConfig &config, std::vector<Cta> ctas,
+                 unsigned cap);
+
+    /** One placement decision: CTA index -> SM index. */
+    struct Placement
+    {
+        unsigned cta = 0;
+        unsigned sm = 0;
+    };
+
+    /**
+     * Decide which pending CTAs start now. @p residentWarps holds
+     * each SM's currently unfinished assigned-warp count and is
+     * updated in place for the CTAs placed by this call.
+     */
+    std::vector<Placement> place(std::vector<unsigned> &residentWarps);
+
+    bool allPlaced() const { return next_ >= ctas_.size(); }
+
+    const std::vector<Cta> &ctas() const { return ctas_; }
+
+    /** SM index each CTA was placed on (valid once placed). */
+    const std::vector<unsigned> &placements() const
+    {
+        return placements_;
+    }
+
+  private:
+    const SimConfig *config_;
+    std::vector<Cta> ctas_;
+    std::vector<unsigned> placements_;
+    unsigned cap_ = 0;
+    std::size_t next_ = 0;  ///< first CTA not yet placed
+    unsigned rotor_ = 0;    ///< LRR scan start
+};
+
+} // namespace bow
+
+#endif // BOWSIM_GPU_CTA_SCHEDULER_H

@@ -1,0 +1,195 @@
+#include "gpu/gpu_core.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/metrics.h"
+
+namespace bow {
+
+GpuCore::GpuCore(const SimConfig &config, const Launch &launch,
+                 const Watchdog *watchdog)
+    : config_(config),
+      launch_(&launch),
+      sched_(config_, partitionCtas(launch),
+             bow::occupancyCap(config, launch))
+{
+    config_.validate();
+    launch.validate();
+
+    cap_ = bow::occupancyCap(config_, launch);
+    finalRegs_.resize(launch.numWarps);
+
+    for (const auto &[space, addr, val] : launch.initMem)
+        mem_.store(space, addr, val);
+
+    // A lone SM keeps its private L2 (the whole device L2 is its
+    // own), which preserves the legacy single-SM path bit-for-bit.
+    if (config_.numSms > 1)
+        l2_ = std::make_unique<SharedL2>(config_);
+
+    sms_.reserve(config_.numSms);
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        SmContext ctx;
+        ctx.smIndex = s;
+        ctx.sharedMem = &mem_;
+        ctx.sharedL2 = l2_.get();
+        ctx.residentCap = cap_;
+        ctx.externalAdmission = true;
+        sms_.push_back(std::make_unique<SmCore>(
+            config_, launch, ctx, nullptr, watchdog, nullptr));
+    }
+}
+
+RunStats
+GpuCore::run()
+{
+    if (ran_)
+        panic("GpuCore::run: already ran");
+
+    const std::vector<Cta> &ctas = sched_.ctas();
+    std::vector<unsigned> resident(config_.numSms, 0);
+
+    while (true) {
+        if (!sched_.allPlaced()) {
+            for (unsigned s = 0; s < config_.numSms; ++s)
+                resident[s] = sms_[s]->unfinishedAssigned();
+            for (const CtaScheduler::Placement &p :
+                 sched_.place(resident)) {
+                sms_[p.sm]->assignWarps(ctas[p.cta].firstWarp,
+                                        ctas[p.cta].numWarps);
+            }
+        }
+
+        bool done = sched_.allPlaced();
+        for (unsigned s = 0; done && s < config_.numSms; ++s)
+            done = sms_[s]->finished();
+        if (done)
+            break;
+
+        // Fixed SM-index stepping order = deterministic cross-SM
+        // arbitration for shared memory and the L2 banks.
+        for (unsigned s = 0; s < config_.numSms; ++s) {
+            try {
+                sms_[s]->step();
+            } catch (const HangError &e) {
+                throw HangError(strf("sm", s, ": ", e.what()));
+            } catch (const FatalError &e) {
+                throw FatalError(strf("sm", s, ": ", e.what()));
+            }
+        }
+        ++gcycle_;
+    }
+
+    perSm_.reserve(config_.numSms);
+    for (unsigned s = 0; s < config_.numSms; ++s)
+        perSm_.push_back(sms_[s]->finalize());
+
+    // Aggregate: counts sum, the clock is the global makespan and
+    // occupancy peaks take the max.
+    aggregate_ = RunStats{};
+    aggregate_.srcOperandHist.assign(4, 0);
+    aggregate_.bocOccupancyHist.assign(
+        config_.effectiveBocEntries() + 1, 0);
+    for (const RunStats &s : perSm_) {
+        aggregate_.instructions += s.instructions;
+        aggregate_.ocCyclesMem += s.ocCyclesMem;
+        aggregate_.ocCyclesNonMem += s.ocCyclesNonMem;
+        aggregate_.totalCyclesMem += s.totalCyclesMem;
+        aggregate_.totalCyclesNonMem += s.totalCyclesNonMem;
+        aggregate_.instsMem += s.instsMem;
+        aggregate_.instsNonMem += s.instsNonMem;
+        aggregate_.rfReads += s.rfReads;
+        aggregate_.rfWrites += s.rfWrites;
+        aggregate_.bocForwards += s.bocForwards;
+        aggregate_.bocDeposits += s.bocDeposits;
+        aggregate_.bocResultWrites += s.bocResultWrites;
+        aggregate_.rfcReads += s.rfcReads;
+        aggregate_.rfcWrites += s.rfcWrites;
+        aggregate_.consolidatedWrites += s.consolidatedWrites;
+        aggregate_.transientDrops += s.transientDrops;
+        aggregate_.safetyWrites += s.safetyWrites;
+        aggregate_.destRfOnly += s.destRfOnly;
+        aggregate_.destBocOnly += s.destBocOnly;
+        aggregate_.destBocAndRf += s.destBocAndRf;
+        for (std::size_t i = 0; i < s.srcOperandHist.size(); ++i)
+            aggregate_.srcOperandHist[i] += s.srcOperandHist[i];
+        for (std::size_t i = 0; i < s.bocOccupancyHist.size(); ++i)
+            aggregate_.bocOccupancyHist[i] += s.bocOccupancyHist[i];
+        aggregate_.bankReadConflicts += s.bankReadConflicts;
+        aggregate_.bankWriteConflicts += s.bankWriteConflicts;
+        aggregate_.l1Hits += s.l1Hits;
+        aggregate_.l1Misses += s.l1Misses;
+        aggregate_.peakResident =
+            std::max(aggregate_.peakResident, s.peakResident);
+    }
+    // With one SM the makespan IS the SM's busy-cycle count; with
+    // several it is the global cycle at which the last SM drained.
+    aggregate_.cycles =
+        config_.numSms == 1 ? perSm_[0].cycles : gcycle_;
+
+    // Merge the final registers by CTA placement: each SM only ever
+    // ran (and recorded) its own warps.
+    for (std::size_t c = 0; c < ctas.size(); ++c) {
+        const SmCore &sm = *sms_[sched_.placements()[c]];
+        for (unsigned i = 0; i < ctas[c].numWarps; ++i) {
+            const WarpId w =
+                static_cast<WarpId>(ctas[c].firstWarp + i);
+            finalRegs_[w] = sm.finalRegs()[w];
+        }
+    }
+
+    ran_ = true;
+    return aggregate_;
+}
+
+const RunStats &
+GpuCore::smStats(unsigned sm) const
+{
+    if (!ran_)
+        panic("GpuCore::smStats before run()");
+    return perSm_.at(sm);
+}
+
+bool
+GpuCore::smFinished(unsigned sm) const
+{
+    return sms_.at(sm)->finished();
+}
+
+const std::vector<RegFileState> &
+GpuCore::finalRegs() const
+{
+    if (!ran_)
+        panic("GpuCore::finalRegs before run()");
+    return finalRegs_;
+}
+
+void
+GpuCore::exportMetrics(MetricsRegistry &out) const
+{
+    if (!ran_)
+        panic("GpuCore::exportMetrics before run()");
+
+    for (unsigned s = 0; s < config_.numSms; ++s)
+        sms_[s]->exportMetrics(out);
+
+    out.setCounter("gpu.num_sms", config_.numSms);
+    out.setCounter("gpu.cycles", aggregate_.cycles);
+    out.setCounter("gpu.instructions", aggregate_.instructions);
+    out.setValue("gpu.ipc", aggregate_.ipc());
+    out.setCounter("gpu.peak_resident_warps", aggregate_.peakResident);
+    out.setCounter("gpu.occupancy_cap", cap_);
+    out.setCounter("gpu.cta.launched", numCtas());
+    out.setCounter("gpu.cta.warps_per_cta", launch_->warpsPerCta);
+
+    std::vector<std::uint64_t> perSmCtas(config_.numSms, 0);
+    for (unsigned smOfCta : sched_.placements())
+        ++perSmCtas[smOfCta];
+    out.setHist("gpu.cta.per_sm", perSmCtas);
+
+    if (l2_)
+        l2_->stats().exportTo(out, "gpu.l2");
+}
+
+} // namespace bow

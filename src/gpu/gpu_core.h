@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The GPU-level model: config.numSms independent SmCores behind a
+ * grid/CTA scheduler, sharing device memory and (when numSms > 1) a
+ * banked chip-level L2. Each global cycle the GpuCore first lets the
+ * CTA scheduler place pending CTAs, then steps every SM in ascending
+ * SM-index order — that fixed order is the cross-SM arbitration rule,
+ * so shared-memory effects, L2 bank queues and MSHR state evolve
+ * identically on every run regardless of host threading (--jobs).
+ *
+ * With numSms == 1 the single SM keeps a private L2 and receives
+ * every CTA up front, which reproduces the legacy single-SM
+ * Simulator path bit-for-bit (tests/test_gpu_core.cc pins this
+ * against the golden cases).
+ */
+
+#ifndef BOWSIM_GPU_GPU_CORE_H
+#define BOWSIM_GPU_GPU_CORE_H
+
+#include <memory>
+#include <vector>
+
+#include "gpu/cta_scheduler.h"
+#include "gpu/shared_l2.h"
+#include "sm/sm_core.h"
+
+namespace bow {
+
+class MetricsRegistry;
+class Watchdog;
+
+class GpuCore
+{
+  public:
+    /**
+     * @param config   Machine configuration; numSms/ctaPolicy/l2Banks
+     *                 select the GPU-level shape.
+     * @param launch   The grid to execute (Launch::warpsPerCta sets
+     *                 the CTA granularity).
+     * @param watchdog Optional cooperative watchdog. Budgets are per
+     *                 SM: each SmCore checkpoints its own busy-cycle
+     *                 count, so a hung SM trips on its own activity
+     *                 and a finished SM stops consuming budget.
+     *                 HangError/FatalError from an SM are rethrown
+     *                 prefixed with "sm<N>: ".
+     */
+    GpuCore(const SimConfig &config, const Launch &launch,
+            const Watchdog *watchdog = nullptr);
+
+    /** Simulate the whole grid to completion; returns the aggregate
+     *  statistics (cycles = global makespan, counts summed across
+     *  SMs, peakResident = max over SMs). */
+    RunStats run();
+
+    unsigned numSms() const { return config_.numSms; }
+
+    /** Per-SM statistics (valid after run()). */
+    const RunStats &smStats(unsigned sm) const;
+
+    /** Whether SM @p sm has drained all its assigned warps — usable
+     *  even after run() aborted with HangError, to see which SMs made
+     *  it to the end. */
+    bool smFinished(unsigned sm) const;
+
+    /** Final registers of every launch warp, merged across SMs. */
+    const std::vector<RegFileState> &finalRegs() const;
+
+    /** Shared device memory after the run. */
+    const MemoryStore &memory() const { return mem_; }
+
+    /** Effective per-SM resident-warp limit (occupancy). */
+    unsigned occupancyCap() const { return cap_; }
+
+    /** SM index each CTA ran on (valid after run()). */
+    const std::vector<unsigned> &ctaPlacements() const
+    {
+        return sched_.placements();
+    }
+
+    unsigned numCtas() const
+    {
+        return static_cast<unsigned>(sched_.ctas().size());
+    }
+
+    /**
+     * Export per-SM metrics (`sm<N>.*`, one namespace per SM) plus
+     * the GPU-level aggregates (`gpu.cycles`, `gpu.ipc`,
+     * `gpu.cta.launched`, `gpu.l2.*`, ...). Panics before run().
+     */
+    void exportMetrics(MetricsRegistry &out) const;
+
+  private:
+    SimConfig config_;
+    const Launch *launch_;
+    MemoryStore mem_;
+    std::unique_ptr<SharedL2> l2_;
+    std::vector<std::unique_ptr<SmCore>> sms_;
+    CtaScheduler sched_;
+    unsigned cap_ = 0;
+    Cycle gcycle_ = 0;
+    std::vector<RunStats> perSm_;
+    RunStats aggregate_;
+    std::vector<RegFileState> finalRegs_;
+    bool ran_ = false;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_GPU_GPU_CORE_H

@@ -1,0 +1,72 @@
+#include "gpu/shared_l2.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bow {
+
+SharedL2::SharedL2(const SimConfig &config)
+    : config_(&config), stats_("shared_l2")
+{
+    const unsigned nbanks = std::max(1u, config.l2Banks);
+    banks_.resize(nbanks);
+
+    lineShift_ = 0;
+    while ((1u << lineShift_) < config.l2LineBytes)
+        ++lineShift_;
+
+    // The 3 MB device L2 is carved evenly across the slices; a tiny
+    // configuration still gets at least one set per bank.
+    const unsigned bytesPerBank =
+        std::max(config.l2Bytes / nbanks,
+                 config.l2LineBytes * config.l2Ways);
+    for (Bank &b : banks_)
+        b.tags.init(bytesPerBank, config.l2LineBytes, config.l2Ways);
+}
+
+unsigned
+SharedL2::access(std::uint32_t addr, bool isStore, Cycle now)
+{
+    const std::uint64_t line = addr >> lineShift_;
+    Bank &bank = banks_[line % banks_.size()];
+
+    // Serial service port: one access per bank per cycle. Arrivals
+    // within a cycle are already in deterministic SM-index order.
+    const Cycle start = std::max(now, bank.nextFree);
+    if (start > now)
+        stats_.counter("queue_cycles").inc(start - now);
+    bank.nextFree = start + 1;
+
+    // Retire MSHRs whose DRAM fill has come back by service time.
+    while (!bank.inflight.empty() && bank.inflight.front() <= start)
+        bank.inflight.pop_front();
+
+    if (isStore) {
+        // Write-through / allocating, like the private L2: the store
+        // streams out in the background and adds no warp latency.
+        stats_.counter("stores").inc();
+        bank.tags.accessLine(addr, true);
+        return 0;
+    }
+
+    stats_.counter("loads").inc();
+    if (bank.tags.accessLine(addr, true)) {
+        stats_.counter("hits").inc();
+        return static_cast<unsigned>(start - now) + config_->l2Latency;
+    }
+
+    stats_.counter("misses").inc();
+    // A full MSHR file stalls the miss until the oldest entry frees.
+    Cycle admitted = start;
+    if (bank.inflight.size() >= config_->l2MshrsPerBank) {
+        admitted = std::max(admitted, bank.inflight.front());
+        bank.inflight.pop_front();
+        stats_.counter("mshr_stall_cycles").inc(admitted - start);
+    }
+    bank.inflight.push_back(admitted + config_->dramLatency);
+    return static_cast<unsigned>(admitted - now) + config_->l2Latency +
+        config_->dramLatency;
+}
+
+} // namespace bow

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Chip-level shared L2: a line-interleaved array of banks, each with
+ * its own tag array, a single service port (one access per cycle) and
+ * a bounded MSHR file for DRAM misses. Per-SM MemoryTiming models
+ * forward their L1 misses (and write-through stores) here when a
+ * GpuCore runs more than one SM, so cross-SM sharing and contention
+ * are modelled at the level the paper's TITAN X actually shares them.
+ *
+ * Determinism: a SharedL2 is private to one simulation and is only
+ * ever accessed from the GpuCore's fixed SM-index stepping order, so
+ * bank-queue and MSHR state evolve identically on every run at any
+ * --jobs count.
+ */
+
+#ifndef BOWSIM_GPU_SHARED_L2_H
+#define BOWSIM_GPU_SHARED_L2_H
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sm/memory_model.h"
+#include "sm/sim_config.h"
+
+namespace bow {
+
+class SharedL2
+{
+  public:
+    explicit SharedL2(const SimConfig &config);
+
+    /**
+     * Account one global-memory access that missed (or wrote through)
+     * a per-SM L1 and return the latency it adds beyond the L1 trip.
+     *
+     * @param addr    Byte address (bank = line index % banks).
+     * @param isStore Write-through stores occupy the bank port and
+     *                allocate the line but add no warp-visible
+     *                latency, mirroring the private-L2 model.
+     * @param now     Global GPU cycle of the access.
+     */
+    unsigned access(std::uint32_t addr, bool isStore, Cycle now);
+
+    unsigned numBanks() const
+    {
+        return static_cast<unsigned>(banks_.size());
+    }
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    /** One slice: tags + a serial service port + its MSHR file. */
+    struct Bank
+    {
+        CacheTagArray tags;
+        Cycle nextFree = 0;             ///< port busy until here
+        std::deque<Cycle> inflight;     ///< MSHR release cycles, sorted
+    };
+
+    const SimConfig *config_;
+    std::vector<Bank> banks_;
+    unsigned lineShift_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_GPU_SHARED_L2_H

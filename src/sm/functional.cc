@@ -19,6 +19,8 @@ Launch::validate() const
 {
     if (numWarps == 0)
         fatal("Launch: needs at least one warp");
+    if (warpsPerCta == 0)
+        fatal("Launch: CTAs need at least one warp");
     if (!warpKernels.empty() && warpKernels.size() != numWarps) {
         fatal(strf("Launch: ", warpKernels.size(),
                    " per-warp kernels but ", numWarps, " warps"));

@@ -26,6 +26,14 @@ struct Launch
     unsigned numWarps = 1;
 
     /**
+     * CTA granularity for the multi-SM grid scheduler: consecutive
+     * groups of this many warps are placed on one SM as a unit (the
+     * last CTA may be smaller). 1 — the default, and the only value
+     * single-SM runs ever observe — makes every warp its own CTA.
+     */
+    unsigned warpsPerCta = 1;
+
+    /**
      * Trace-driven mode: one program per warp (e.g. loaded from a
      * SASS-style dynamic trace). When non-empty its size must equal
      * numWarps and `kernel` is ignored.

@@ -1,6 +1,7 @@
 #include "sm/memory_model.h"
 
 #include "common/log.h"
+#include "gpu/shared_l2.h"
 
 namespace bow {
 
@@ -71,8 +72,8 @@ MemoryStore::contentsEqual(const MemoryStore &other) const
 }
 
 void
-MemoryTiming::CacheLevel::init(unsigned bytes, unsigned lineBytes,
-                               unsigned nways)
+CacheTagArray::init(unsigned bytes, unsigned lineBytes,
+                    unsigned nways)
 {
     lineShift = 0;
     while ((1u << lineShift) < lineBytes)
@@ -88,7 +89,7 @@ MemoryTiming::CacheLevel::init(unsigned bytes, unsigned lineBytes,
 }
 
 bool
-MemoryTiming::CacheLevel::accessLine(std::uint32_t addr, bool allocate)
+CacheTagArray::accessLine(std::uint32_t addr, bool allocate)
 {
     const std::uint64_t line = addr >> lineShift;
     const unsigned set = static_cast<unsigned>(line % sets);
@@ -121,7 +122,8 @@ MemoryTiming::MemoryTiming(const SimConfig &config)
 }
 
 unsigned
-MemoryTiming::access(MemSpace space, std::uint32_t addr, bool isStore)
+MemoryTiming::access(MemSpace space, std::uint32_t addr, bool isStore,
+                     Cycle now)
 {
     if (space == MemSpace::Shared) {
         stats_.counter("shared_accesses").inc();
@@ -137,7 +139,10 @@ MemoryTiming::access(MemSpace space, std::uint32_t addr, bool isStore)
     // the warp and stream to L2 in the background.
     if (isStore) {
         l1_.accessLine(addr, false);
-        l2_.accessLine(addr, true);
+        if (sharedL2_)
+            sharedL2_->access(addr, true, now);
+        else
+            l2_.accessLine(addr, true);
         return config_->l1Latency;
     }
     if (l1_.accessLine(addr, true)) {
@@ -145,6 +150,8 @@ MemoryTiming::access(MemSpace space, std::uint32_t addr, bool isStore)
         return config_->l1Latency;
     }
     stats_.counter("l1_misses").inc();
+    if (sharedL2_)
+        return config_->l1Latency + sharedL2_->access(addr, false, now);
     if (l2_.accessLine(addr, true)) {
         stats_.counter("l2_hits").inc();
         return config_->l1Latency + config_->l2Latency;

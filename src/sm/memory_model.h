@@ -58,9 +58,41 @@ class MemoryStore
 };
 
 /**
+ * One set-associative tag-only cache level with LRU replacement.
+ * Shared between the per-SM MemoryTiming levels and the banked
+ * device-level L2 (gpu/shared_l2.h), which carves one of these per
+ * bank.
+ */
+struct CacheTagArray
+{
+    unsigned sets = 0;
+    unsigned ways = 0;
+    unsigned lineShift = 0;
+    // tags[set * ways + way]; kNoTag means invalid.
+    std::vector<std::uint64_t> tags;
+    std::vector<std::uint64_t> lru;
+    std::uint64_t tick = 0;
+
+    static constexpr std::uint64_t kNoTag = ~0ull;
+
+    void init(unsigned bytes, unsigned lineBytes, unsigned nways);
+    /** Probe for @p addr; allocates on miss. @return hit? */
+    bool accessLine(std::uint32_t addr, bool allocate);
+};
+
+class SharedL2;
+
+/**
  * Timing model: a two-level tag-only cache hierarchy with LRU
  * replacement. An access returns its total service latency; the
  * functional value comes from MemoryStore independently.
+ *
+ * In a multi-SM GPU the L2 is a chip-level shared resource: after
+ * attachSharedL2() the private L2 tags are ignored and L1 misses are
+ * forwarded to the banked device L2 instead (timestamped with the
+ * global cycle so bank queueing is modelled). Without an attached
+ * SharedL2 the behaviour is bit-identical to the legacy private
+ * hierarchy.
  */
 class MemoryTiming
 {
@@ -74,34 +106,24 @@ class MemoryTiming
      *                global cache hierarchy at fixed latency).
      * @param addr    Byte address.
      * @param isStore Stores are write-through/no-allocate.
+     * @param now     Global cycle of the access; only consulted by an
+     *                attached SharedL2 (bank-queue timestamps).
      */
-    unsigned access(MemSpace space, std::uint32_t addr, bool isStore);
+    unsigned access(MemSpace space, std::uint32_t addr, bool isStore,
+                    Cycle now = 0);
+
+    /** Route L1 misses to the chip-level L2 instead of the private
+     *  one (multi-SM runs; see gpu/gpu_core.h). */
+    void attachSharedL2(SharedL2 *l2) { sharedL2_ = l2; }
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
   private:
-    /** One set-associative tag-only cache level. */
-    struct CacheLevel
-    {
-        unsigned sets = 0;
-        unsigned ways = 0;
-        unsigned lineShift = 0;
-        // tags[set * ways + way]; kNoTag means invalid.
-        std::vector<std::uint64_t> tags;
-        std::vector<std::uint64_t> lru;
-        std::uint64_t tick = 0;
-
-        static constexpr std::uint64_t kNoTag = ~0ull;
-
-        void init(unsigned bytes, unsigned lineBytes, unsigned nways);
-        /** Probe for @p addr; allocates on miss. @return hit? */
-        bool accessLine(std::uint32_t addr, bool allocate);
-    };
-
     const SimConfig *config_;
-    CacheLevel l1_;
-    CacheLevel l2_;
+    CacheTagArray l1_;
+    CacheTagArray l2_;
+    SharedL2 *sharedL2_ = nullptr;
     StatGroup stats_;
 };
 

@@ -39,6 +39,26 @@ schedName(SchedPolicy policy)
     panic("schedName: bad scheduler policy");
 }
 
+std::string
+ctaPolicyName(CtaPolicy policy)
+{
+    switch (policy) {
+      case CtaPolicy::RoundRobin:      return "rr";
+      case CtaPolicy::LooseRoundRobin: return "lrr";
+    }
+    panic("ctaPolicyName: bad CTA policy");
+}
+
+CtaPolicy
+parseCtaPolicy(const std::string &name)
+{
+    if (name == "rr" || name == "round-robin")
+        return CtaPolicy::RoundRobin;
+    if (name == "lrr" || name == "loose-round-robin")
+        return CtaPolicy::LooseRoundRobin;
+    fatal(strf("unknown CTA policy '", name, "' (want rr or lrr)"));
+}
+
 void
 SimConfig::validate() const
 {
@@ -61,6 +81,12 @@ SimConfig::validate() const
         fatal("SimConfig: execution unit widths must be non-zero");
     if (maxPendingLoads == 0)
         fatal("SimConfig: MSHR limit must be non-zero");
+    if (numSms == 0 || numSms > 1024)
+        fatal("SimConfig: SM count must be in [1, 1024]");
+    if (l2Banks == 0)
+        fatal("SimConfig: need at least one shared-L2 bank");
+    if (l2MshrsPerBank == 0)
+        fatal("SimConfig: shared-L2 MSHRs per bank must be non-zero");
     if (l1LineBytes == 0 || (l1LineBytes & (l1LineBytes - 1)))
         fatal("SimConfig: L1 line size must be a power of two");
     if (l2LineBytes == 0 || (l2LineBytes & (l2LineBytes - 1)))

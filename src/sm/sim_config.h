@@ -46,6 +46,18 @@ enum class FaultProtection
     Secded  ///< SECDED ECC: single-bit flips are corrected
 };
 
+/**
+ * Grid-level CTA placement policy (multi-SM runs, docs/ARCHITECTURE.md
+ * "Multi-SM model"). Both are deterministic: placement depends only on
+ * the launch and the configuration, never on host threading.
+ */
+enum class CtaPolicy
+{
+    RoundRobin,      ///< static: CTA i runs on SM (i % numSms)
+    LooseRoundRobin  ///< dynamic: next pending CTA goes to the first
+                     ///< SM (rotor order) with free occupancy
+};
+
 /** Human-readable architecture name. */
 std::string archName(Architecture arch);
 
@@ -54,6 +66,12 @@ std::string protectionName(FaultProtection p);
 
 /** Human-readable scheduler-policy name. */
 std::string schedName(SchedPolicy policy);
+
+/** Human-readable CTA-placement policy name. */
+std::string ctaPolicyName(CtaPolicy policy);
+
+/** Parse a CTA-policy name ("rr"/"lrr", long forms accepted). */
+CtaPolicy parseCtaPolicy(const std::string &name);
 
 /**
  * Full SM configuration. Defaults model one SM of the paper's
@@ -99,6 +117,22 @@ struct SimConfig
     unsigned l2Ways = 16;
     unsigned sharedLatency = 24;
     unsigned maxPendingLoads = 32;      ///< MSHR limit per SM
+
+    // --- GPU level (multi-SM) ---
+    /**
+     * Streaming multiprocessors instantiated by the GpuCore layer.
+     * 1 (the default) is the paper's single-SM proxy and runs the
+     * exact legacy SmCore path; the full TITAN X (GP102) is 28.
+     */
+    unsigned numSms = 1;
+    CtaPolicy ctaPolicy = CtaPolicy::RoundRobin;
+    /**
+     * Shared-L2 slices (line-interleaved). Only used when numSms > 1:
+     * a single SM keeps its private L2 so the legacy path is
+     * bit-preserved. GP102 has 12 memory partitions.
+     */
+    unsigned l2Banks = 12;
+    unsigned l2MshrsPerBank = 32;       ///< miss-status registers/bank
 
     // --- BOW knobs ---
     Architecture arch = Architecture::Baseline;

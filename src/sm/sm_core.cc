@@ -14,11 +14,20 @@ namespace bow {
 SmCore::SmCore(const SimConfig &config, const Launch &launch,
                FaultInjector *injector, const Watchdog *watchdog,
                TraceSink *tracer)
+    : SmCore(config, launch, SmContext{}, injector, watchdog, tracer)
+{
+}
+
+SmCore::SmCore(const SimConfig &config, const Launch &launch,
+               const SmContext &ctx, FaultInjector *injector,
+               const Watchdog *watchdog, TraceSink *tracer)
     : config_(config),
       launch_(&launch),
       injector_(injector),
       watchdog_(watchdog),
       tracer_(tracer),
+      smIndex_(ctx.smIndex),
+      externalAdmission_(ctx.externalAdmission),
       scoreboard_(launch.numWarps),
       rf_(config_),
       memTiming_(config_),
@@ -27,6 +36,13 @@ SmCore::SmCore(const SimConfig &config, const Launch &launch,
 {
     config_.validate();
     launch.validate();
+
+    residentCap_ = ctx.residentCap
+        ? std::min(ctx.residentCap, config_.maxResidentWarps)
+        : config_.maxResidentWarps;
+    mem_ = ctx.sharedMem ? ctx.sharedMem : &ownMem_;
+    if (ctx.sharedL2)
+        memTiming_.attachSharedL2(ctx.sharedL2);
 
     warps_.resize(launch.numWarps);
     finalRegs_.resize(launch.numWarps);
@@ -46,18 +62,46 @@ SmCore::SmCore(const SimConfig &config, const Launch &launch,
         }
     }
 
-    for (const auto &[space, addr, val] : launch.initMem)
-        memStore_.store(space, addr, val);
-
     stats_.srcOperandHist.assign(4, 0);
     stats_.bocOccupancyHist.assign(config_.effectiveBocEntries() + 1,
                                    0);
 
-    const unsigned initial = std::min<unsigned>(
-        config_.maxResidentWarps, launch.numWarps);
-    for (WarpId w = 0; w < initial; ++w)
-        activateWarp(w);
-    nextToActivate_ = static_cast<WarpId>(initial);
+    if (!externalAdmission_) {
+        // Standalone path: this SM owns the whole launch. The GpuCore
+        // initialises shared memory itself (exactly once).
+        for (const auto &[space, addr, val] : launch.initMem)
+            mem_->store(space, addr, val);
+        assigned_.reserve(launch.numWarps);
+        for (WarpId w = 0; w < launch.numWarps; ++w)
+            assigned_.push_back(w);
+        ctasAssigned_ = (launch.numWarps + launch.warpsPerCta - 1) /
+            launch.warpsPerCta;
+        admitWarps();
+    }
+}
+
+void
+SmCore::assignWarps(WarpId first, unsigned count)
+{
+    if (!externalAdmission_)
+        panic("SmCore::assignWarps: SM does not use external "
+              "admission");
+    if (ran_)
+        panic("SmCore::assignWarps after finalize()");
+    if (first + count > warps_.size())
+        panic("SmCore::assignWarps: warp range outside the launch");
+    for (unsigned i = 0; i < count; ++i)
+        assigned_.push_back(static_cast<WarpId>(first + i));
+    ++ctasAssigned_;
+    admitWarps();
+}
+
+void
+SmCore::admitWarps()
+{
+    while (residentWarps_ < residentCap_ &&
+           nextToActivate_ < assigned_.size())
+        activateWarp(assigned_[nextToActivate_++]);
 }
 
 bool
@@ -75,7 +119,7 @@ SmCore::activateWarp(WarpId w)
     warp.state = WarpState::Active;
     warp.pc = 0;
     warp.activated = now_;
-    launch_->applyInit(warp.regs, w, memStore_);
+    launch_->applyInit(warp.regs, w, *mem_);
     if (usesBoc()) {
         warpSlots_[w].assign(config_.windowSize, InstSlot{});
         bocs_[w].emplace(config_.arch, config_.windowSize,
@@ -83,6 +127,8 @@ SmCore::activateWarp(WarpId w)
                          config_.extendedWindow);
     }
     ++residentWarps_;
+    stats_.peakResident = std::max<std::uint64_t>(
+        stats_.peakResident, residentWarps_);
 }
 
 void
@@ -112,10 +158,7 @@ SmCore::finishWarp(Warp &warp)
     finalRegs_[warp.id] = warp.regs;
     --residentWarps_;
     ++finishedWarps_;
-    if (nextToActivate_ < warps_.size()) {
-        activateWarp(nextToActivate_);
-        ++nextToActivate_;
-    }
+    admitWarps();
 }
 
 void
@@ -380,7 +423,7 @@ SmCore::tryDispatch(InstSlot &slot)
                                    warp.regs,
                                    slot.warp,
                                    static_cast<unsigned>(warps_.size()),
-                                   memStore_);
+                                   *mem_);
     if (fx.wrote)
         warp.regs[inst.dst] = fx.result;
 
@@ -396,7 +439,7 @@ SmCore::tryDispatch(InstSlot &slot)
     unsigned latency = units_.latency(inst.op);
     if (inst.isMemory() && fx.guardPassed) {
         latency += memTiming_.access(fx.space, fx.addr,
-                                     info.isStore);
+                                     info.isStore, now_);
     }
 
     Completion c;
@@ -592,8 +635,8 @@ SmCore::cycle()
 bool
 SmCore::finished() const
 {
-    return finishedWarps_ == warps_.size() && completions_.empty() &&
-        rf_.pending() == 0;
+    return finishedWarps_ == assigned_.size() &&
+        completions_.empty() && rf_.pending() == 0;
 }
 
 namespace {
@@ -632,17 +675,25 @@ SmCore::deadlockDiagnostics() const
     constexpr std::size_t kMaxWarps = 12;
 
     std::ostringstream os;
-    os << "  global: cycle=" << now_
+    os << "  global: cycle=" << now_ << " sm=" << smIndex_
        << " rfPending=" << rf_.pending()
        << " completionsQueued=" << completions_.size()
        << " outstandingLoads=" << outstandingLoads_
-       << " finishedWarps=" << finishedWarps_ << "/" << warps_.size()
-       << "\n";
+       << " finishedWarps=" << finishedWarps_ << "/"
+       << assigned_.size() << "\n";
+
+    // Only this SM's warps are interesting: in a multi-SM run the
+    // other SMs' warps are Inactive here by construction.
+    std::vector<bool> mine(warps_.size(), !externalAdmission_);
+    if (externalAdmission_) {
+        for (WarpId w : assigned_)
+            mine[w] = true;
+    }
 
     std::size_t shown = 0;
     std::size_t skipped = 0;
     for (const Warp &warp : warps_) {
-        if (warp.state == WarpState::Finished)
+        if (!mine[warp.id] || warp.state == WarpState::Finished)
             continue;
         if (shown >= kMaxWarps) {
             ++skipped;
@@ -695,27 +746,51 @@ SmCore::deadlockDiagnostics() const
     return os.str();
 }
 
+void
+SmCore::step()
+{
+    if (ran_)
+        panic("SmCore::step after finalize()");
+    if (finished()) {
+        // Lockstep idle tick: keeps now_ equal to the global GPU
+        // cycle without consuming any watchdog budget.
+        ++now_;
+        return;
+    }
+    if (config_.maxCycles && busyCycles_ >= config_.maxCycles) {
+        fatal(strf("SmCore: kernel '",
+                   kernelOf(assigned_.empty() ? 0 : assigned_[0])
+                       .name(),
+                   "' exceeded ", config_.maxCycles,
+                   " cycles (deadlock or runaway kernel)\n",
+                   deadlockDiagnostics()));
+    }
+    if (watchdog_)
+        watchdog_->checkpoint(busyCycles_);
+    cycle();
+    ++busyCycles_;
+}
+
 RunStats
 SmCore::run()
 {
     if (ran_)
         panic("SmCore::run: already ran");
+    while (!finished())
+        step();
+    return finalize();
+}
+
+RunStats
+SmCore::finalize()
+{
+    if (ran_)
+        panic("SmCore::finalize: already finalized");
+    if (!finished())
+        panic("SmCore::finalize before the SM finished");
     ran_ = true;
 
-    while (!finished()) {
-        if (config_.maxCycles && now_ >= config_.maxCycles) {
-            fatal(strf("SmCore: kernel '",
-                       kernelOf(0).name(),
-                       "' exceeded ", config_.maxCycles,
-                       " cycles (deadlock or runaway kernel)\n",
-                       deadlockDiagnostics()));
-        }
-        if (watchdog_)
-            watchdog_->checkpoint(now_);
-        cycle();
-    }
-
-    stats_.cycles = now_;
+    stats_.cycles = busyCycles_;
     stats_.bankReadConflicts = rf_.stats().counterValue(
         "read_conflicts");
     stats_.bankWriteConflicts = rf_.stats().counterValue(
@@ -739,56 +814,62 @@ SmCore::exportMetrics(MetricsRegistry &out) const
     if (!ran_)
         panic("SmCore::exportMetrics before run()");
 
+    const std::string p = strf("sm", smIndex_, ".");
+    auto name = [&](const char *suffix) { return p + suffix; };
+
     // Aggregate pipeline statistics (RunStats), under the stable
     // names the golden regression gate pins down.
-    out.setCounter("sm0.core.cycles", stats_.cycles);
-    out.setCounter("sm0.core.instructions", stats_.instructions);
-    out.setValue("sm0.core.ipc", stats_.ipc());
+    out.setCounter(name("core.cycles"), stats_.cycles);
+    out.setCounter(name("core.instructions"), stats_.instructions);
+    out.setValue(name("core.ipc"), stats_.ipc());
+    out.setCounter(name("core.peak_resident_warps"),
+                   stats_.peakResident);
+    out.setCounter(name("core.ctas"), ctasAssigned_);
 
-    out.setCounter("sm0.oc.cycles_mem", stats_.ocCyclesMem);
-    out.setCounter("sm0.oc.cycles_nonmem", stats_.ocCyclesNonMem);
-    out.setCounter("sm0.oc.total_cycles_mem", stats_.totalCyclesMem);
-    out.setCounter("sm0.oc.total_cycles_nonmem",
+    out.setCounter(name("oc.cycles_mem"), stats_.ocCyclesMem);
+    out.setCounter(name("oc.cycles_nonmem"), stats_.ocCyclesNonMem);
+    out.setCounter(name("oc.total_cycles_mem"), stats_.totalCyclesMem);
+    out.setCounter(name("oc.total_cycles_nonmem"),
                    stats_.totalCyclesNonMem);
-    out.setCounter("sm0.oc.insts_mem", stats_.instsMem);
-    out.setCounter("sm0.oc.insts_nonmem", stats_.instsNonMem);
-    out.setHist("sm0.oc.src_operands_hist", stats_.srcOperandHist);
+    out.setCounter(name("oc.insts_mem"), stats_.instsMem);
+    out.setCounter(name("oc.insts_nonmem"), stats_.instsNonMem);
+    out.setHist(name("oc.src_operands_hist"), stats_.srcOperandHist);
 
-    out.setCounter("sm0.rf.reads", stats_.rfReads);
-    out.setCounter("sm0.rf.writes", stats_.rfWrites);
+    out.setCounter(name("rf.reads"), stats_.rfReads);
+    out.setCounter(name("rf.writes"), stats_.rfWrites);
 
-    out.setCounter("sm0.boc.bypass_hits", stats_.bocForwards);
-    out.setCounter("sm0.boc.deposits", stats_.bocDeposits);
-    out.setCounter("sm0.boc.result_writes", stats_.bocResultWrites);
-    out.setHist("sm0.boc.occupancy_hist", stats_.bocOccupancyHist);
+    out.setCounter(name("boc.bypass_hits"), stats_.bocForwards);
+    out.setCounter(name("boc.deposits"), stats_.bocDeposits);
+    out.setCounter(name("boc.result_writes"), stats_.bocResultWrites);
+    out.setHist(name("boc.occupancy_hist"), stats_.bocOccupancyHist);
 
-    out.setCounter("sm0.rfc.reads", stats_.rfcReads);
-    out.setCounter("sm0.rfc.writes", stats_.rfcWrites);
+    out.setCounter(name("rfc.reads"), stats_.rfcReads);
+    out.setCounter(name("rfc.writes"), stats_.rfcWrites);
 
-    out.setCounter("sm0.wb.consolidated_writes",
+    out.setCounter(name("wb.consolidated_writes"),
                    stats_.consolidatedWrites);
-    out.setCounter("sm0.wb.transient_drops", stats_.transientDrops);
-    out.setCounter("sm0.wb.safety_writes", stats_.safetyWrites);
-    out.setCounter("sm0.wb.dest_rf_only", stats_.destRfOnly);
-    out.setCounter("sm0.wb.dest_boc_only", stats_.destBocOnly);
-    out.setCounter("sm0.wb.dest_boc_and_rf", stats_.destBocAndRf);
+    out.setCounter(name("wb.transient_drops"), stats_.transientDrops);
+    out.setCounter(name("wb.safety_writes"), stats_.safetyWrites);
+    out.setCounter(name("wb.dest_rf_only"), stats_.destRfOnly);
+    out.setCounter(name("wb.dest_boc_only"), stats_.destBocOnly);
+    out.setCounter(name("wb.dest_boc_and_rf"), stats_.destBocAndRf);
 
     // The contention/L1 figures print these even when zero; exporting
     // them from RunStats first guarantees the names are always
     // present (an untouched StatGroup counter would be absent). The
     // shim below overwrites them with the identical group value.
-    out.setCounter("sm0.rf_banks.read_conflicts",
+    out.setCounter(name("rf_banks.read_conflicts"),
                    stats_.bankReadConflicts);
-    out.setCounter("sm0.rf_banks.write_conflicts",
+    out.setCounter(name("rf_banks.write_conflicts"),
                    stats_.bankWriteConflicts);
-    out.setCounter("sm0.mem.l1_hits", stats_.l1Hits);
-    out.setCounter("sm0.mem.l1_misses", stats_.l1Misses);
+    out.setCounter(name("mem.l1_hits"), stats_.l1Hits);
+    out.setCounter(name("mem.l1_misses"), stats_.l1Misses);
 
     // Per-component StatGroups, through the migration shim.
-    rf_.stats().exportTo(out, "sm0.rf_banks");
-    memTiming_.stats().exportTo(out, "sm0.mem");
-    units_.stats().exportTo(out, "sm0.exec");
-    scoreboard_.stats().exportTo(out, "sm0.scoreboard");
+    rf_.stats().exportTo(out, p + "rf_banks");
+    memTiming_.stats().exportTo(out, p + "mem");
+    units_.stats().exportTo(out, p + "exec");
+    scoreboard_.stats().exportTo(out, p + "scoreboard");
 }
 
 } // namespace bow

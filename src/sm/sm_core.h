@@ -97,6 +97,9 @@ struct RunStats
     // Memory system.
     std::uint64_t l1Hits = 0;
     std::uint64_t l1Misses = 0;
+
+    /** High-water mark of concurrently resident warps (occupancy). */
+    std::uint64_t peakResident = 0;
 };
 
 /** One in-flight instruction occupying a collector slot. */
@@ -126,6 +129,30 @@ struct InstSlot
     }
 };
 
+class SharedL2;
+
+/**
+ * Wiring for one SM instantiated inside a multi-SM GpuCore. The
+ * defaults reproduce the standalone single-SM behaviour exactly.
+ */
+struct SmContext
+{
+    unsigned smIndex = 0;
+    /** Device memory shared by every SM (GpuCore-owned); nullptr
+     *  means the SM owns a private store (legacy path). */
+    MemoryStore *sharedMem = nullptr;
+    /** Chip-level L2 the per-SM L1 misses into; nullptr keeps the
+     *  private L2 (legacy path, and numSms == 1). */
+    SharedL2 *sharedL2 = nullptr;
+    /** Occupancy limit (resident warps); 0 = config.maxResidentWarps.
+     *  Clamped to config.maxResidentWarps either way. */
+    unsigned residentCap = 0;
+    /** When true the SM starts empty and warps arrive in CTA batches
+     *  via assignWarps(); when false every launch warp is assigned
+     *  up front (legacy path). */
+    bool externalAdmission = false;
+};
+
 /** Cycle-level simulation of one kernel launch on one SM. */
 class SmCore
 {
@@ -137,7 +164,9 @@ class SmCore
      *                 the top of every cycle and onWarpFinish() just
      *                 before a warp's final registers are captured.
      * @param watchdog Optional cooperative watchdog; checkpoint() is
-     *                 called once per cycle and may throw HangError.
+     *                 called once per busy cycle (with this SM's own
+     *                 busy-cycle count, so budgets are scoped per SM)
+     *                 and may throw HangError.
      * @param tracer Optional event tracer; pipeline events inside its
      *               sampled cycle window are recorded. nullptr (the
      *               default) keeps tracing entirely off the hot path.
@@ -147,26 +176,73 @@ class SmCore
            const Watchdog *watchdog = nullptr,
            TraceSink *tracer = nullptr);
 
+    /** Multi-SM variant: one SM of a GpuCore (see SmContext). */
+    SmCore(const SimConfig &config, const Launch &launch,
+           const SmContext &ctx, FaultInjector *injector = nullptr,
+           const Watchdog *watchdog = nullptr,
+           TraceSink *tracer = nullptr);
+
     /** Simulate to completion and return the aggregate statistics. */
     RunStats run();
+
+    /**
+     * Queue @p count launch warps starting at global warp id
+     * @p first onto this SM (one CTA); up to the resident cap start
+     * immediately, the rest are admitted as resident warps finish.
+     * Only valid with SmContext::externalAdmission.
+     */
+    void assignWarps(WarpId first, unsigned count);
+
+    /**
+     * Advance one global cycle. A finished (or still-empty) SM just
+     * ticks its clock so every SmCore of a GpuCore stays in lockstep
+     * with the global cycle; a busy SM simulates one pipeline cycle,
+     * counts it against its own watchdog budget, and checks the
+     * maxCycles safety valve.
+     */
+    void step();
+
+    /** All assigned warps retired and the pipeline drained. */
+    bool finished() const;
+
+    /** Warps assigned to this SM that have not yet retired. */
+    unsigned
+    unfinishedAssigned() const
+    {
+        return static_cast<unsigned>(assigned_.size()) -
+            finishedWarps_;
+    }
+
+    /** Number of CTAs/warp-groups assigned so far. */
+    unsigned ctasAssigned() const { return ctasAssigned_; }
+
+    unsigned smIndex() const { return smIndex_; }
+
+    /**
+     * Seal the run: fill in the derived RunStats fields and return
+     * them. run() calls this internally; GpuCore calls it once every
+     * SM is finished. Panics if the SM is not finished or finalize()
+     * already ran.
+     */
+    RunStats finalize();
 
     /** Architectural register state of every launch warp (after
      *  run()); used by the correctness invariants. */
     const std::vector<RegFileState> &finalRegs() const;
 
     /** Functional memory contents (after run()). */
-    const MemoryStore &memory() const { return memStore_; }
+    const MemoryStore &memory() const { return *mem_; }
 
     const StatGroup &rfStats() const { return rf_.stats(); }
     const StatGroup &memStats() const { return memTiming_.stats(); }
 
     /**
      * Export every statistic of the finished run into @p out under
-     * the stable dotted names catalogued in docs/OBSERVABILITY.md
-     * (`sm0.core.cycles`, `sm0.boc.bypass_hits`, ...): the RunStats
-     * aggregates plus the per-component StatGroups (register-file
-     * banks, memory system, execution units, scoreboard). Panics
-     * before run().
+     * the stable dotted names catalogued in docs/OBSERVABILITY.md,
+     * prefixed with this SM's index (`sm0.core.cycles`,
+     * `sm3.boc.bypass_hits`, ...): the RunStats aggregates plus the
+     * per-component StatGroups (register-file banks, memory system,
+     * execution units, scoreboard). Panics before finalize().
      */
     void exportMetrics(MetricsRegistry &out) const;
 
@@ -193,6 +269,7 @@ class SmCore
     }
 
     void activateWarp(WarpId w);
+    void admitWarps();
     void finishWarp(Warp &warp);
     void handleEviction(WarpId w, const BocEviction &ev);
 
@@ -205,7 +282,6 @@ class SmCore
     bool tryIssue(WarpId w);
     void samplePhase();
     void cycle();
-    bool finished() const;
 
     /** Per-warp stall snapshot reported when maxCycles trips. */
     std::string deadlockDiagnostics() const;
@@ -216,10 +292,15 @@ class SmCore
     const Watchdog *watchdog_ = nullptr;
     TraceSink *tracer_ = nullptr;
 
+    unsigned smIndex_ = 0;
+    unsigned residentCap_ = 0;
+    bool externalAdmission_ = false;
+
     std::vector<Warp> warps_;
     Scoreboard scoreboard_;
     RegisterFile rf_;
-    MemoryStore memStore_;
+    MemoryStore ownMem_;
+    MemoryStore *mem_ = nullptr;
     MemoryTiming memTiming_;
     ExecUnits units_;
     WarpSchedulers schedulers_;
@@ -235,9 +316,15 @@ class SmCore
     std::map<Cycle, std::vector<Completion>> completions_;
     unsigned outstandingLoads_ = 0;
     unsigned residentWarps_ = 0;
-    WarpId nextToActivate_ = 0;
+    /** Global warp ids queued onto this SM, in arrival order. */
+    std::vector<WarpId> assigned_;
+    std::size_t nextToActivate_ = 0;  ///< index into assigned_
+    unsigned ctasAssigned_ = 0;
     unsigned finishedWarps_ = 0;
     Cycle now_ = 0;
+    /** Cycles this SM actually simulated (excludes the idle lockstep
+     *  ticks of a finished SM); the per-SM watchdog currency. */
+    Cycle busyCycles_ = 0;
 
     std::vector<RegFileState> finalRegs_;
     RunStats stats_;

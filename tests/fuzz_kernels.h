@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The shared random-kernel generator behind the differential fuzz
+ * suites. Kernels are random but valid: a bounded counter loop whose
+ * body mixes ALU/MAD/SQRT work, guarded forward skips, and shared-
+ * memory traffic that is warp-disjoint (every address is offset by
+ * WARP_ID << shift), so the functional oracle's final state is
+ * independent of warp interleaving — and therefore of the SM count
+ * and CTA placement policy in the multi-SM model.
+ *
+ * Used by tests/test_fuzz.cc (per-architecture timing vs functional)
+ * and tests/test_gpu_core.cc (SM-count/placement invariance).
+ */
+
+#ifndef BOWSIM_TESTS_FUZZ_KERNELS_H
+#define BOWSIM_TESTS_FUZZ_KERNELS_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "sm/functional.h"
+#include "workloads/builder.h"
+
+namespace bow {
+
+/** Build a small random-but-valid kernel launch from @p seed. */
+inline Launch
+fuzzKernelLaunch(std::uint64_t seed)
+{
+    Rng rng(seed * 0x2545F4914F6CDD1Dull + 99);
+    KernelBuilder kb("fuzz_" + std::to_string(seed));
+
+    // Registers r0..r11; r0 counter, r1 limit, rest data.
+    const unsigned iters = 2 + static_cast<unsigned>(rng.below(6));
+    kb.movImm(0, 0);
+    kb.movImm(1, iters);
+    for (RegId r = 2; r < 12; ++r)
+        kb.movImm(r, static_cast<std::uint32_t>(rng.next()));
+    // r12: per-warp memory offset so warps never race.
+    kb.movSpecial(12, SpecialReg::WARP_ID);
+    kb.alu2Imm(Opcode::SHL, 12, 12, 12);
+
+    auto loop = kb.newLabel();
+    kb.bind(loop);
+
+    const unsigned bodyLen = 6 + static_cast<unsigned>(rng.below(26));
+    auto dataReg = [&] {
+        return static_cast<RegId>(2 + rng.below(10));
+    };
+    unsigned pendingSkip = 0;
+    KernelBuilder::Label skipLabel;
+    for (unsigned i = 0; i < bodyLen; ++i) {
+        if (pendingSkip && --pendingSkip == 0)
+            kb.bind(skipLabel);
+        switch (rng.below(10)) {
+          case 0:
+            kb.movImm(dataReg(),
+                      static_cast<std::uint32_t>(rng.next()));
+            break;
+          case 1:
+            kb.alu1(Opcode::NEG, dataReg(), dataReg());
+            break;
+          case 2:
+            kb.mad(dataReg(), dataReg(), dataReg(), dataReg());
+            break;
+          case 3: {
+            // Shared-memory access, warp-disjoint via the r12 offset.
+            const RegId addr = dataReg();
+            kb.alu2Imm(Opcode::AND, addr, dataReg(), 0xFFC);
+            kb.alu2(Opcode::ADD, addr, addr, 12);
+            if (rng.chance(0.5))
+                kb.load(Opcode::LD_SHARED, dataReg(), addr, 0);
+            else
+                kb.store(Opcode::ST_SHARED, addr, 0, dataReg());
+            break;
+          }
+          case 4:
+            kb.alu1(Opcode::SQRT, dataReg(), dataReg());
+            break;
+          case 5:
+            if (pendingSkip == 0 && i + 3 < bodyLen) {
+                // Guarded forward skip.
+                kb.setpImm(CondCode::LT, predReg(1), dataReg(), 0);
+                skipLabel = kb.newLabel();
+                kb.bra(skipLabel, predReg(1));
+                pendingSkip = 2 + static_cast<unsigned>(rng.below(3));
+                break;
+            }
+            [[fallthrough]];
+          default: {
+            static const Opcode ops[] = {Opcode::ADD, Opcode::SUB,
+                                         Opcode::MUL, Opcode::XOR,
+                                         Opcode::MIN, Opcode::SHR};
+            kb.alu2(ops[rng.below(std::size(ops))], dataReg(),
+                    dataReg(), dataReg());
+            break;
+          }
+        }
+    }
+    if (pendingSkip)
+        kb.bind(skipLabel);
+
+    kb.alu2Imm(Opcode::ADD, 0, 0, 1);
+    kb.setp(CondCode::LT, predReg(0), 0, 1);
+    kb.bra(loop, predReg(0));
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = 1 + static_cast<unsigned>(rng.below(40));
+    return launch;
+}
+
+} // namespace bow
+
+#endif // BOWSIM_TESTS_FUZZ_KERNELS_H

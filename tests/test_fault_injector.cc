@@ -163,6 +163,30 @@ TEST_F(FaultInjectorTest, RfFlipCorruptsDependentComputation)
               (golden.finalRegs[0][1] ^ (1u << 3)) * 2);
 }
 
+TEST_F(FaultInjectorTest, MultiSmCampaignIsRejectedUpFront)
+{
+    // Fault injection is a single-SM instrument.  Without the entry
+    // guard every trial would trip Simulator's per-run fatal, be
+    // classified "detected", and the campaign would report a bogus
+    // 100% AVF instead of failing.
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    CampaignSpec spec;
+    spec.trials = 3;
+    spec.seed = 5;
+    spec.sites = {FaultSite::RfBank};
+
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = 2;
+    try {
+        runFaultCampaign(wl, cfg, spec, ParallelRunner(1));
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("numSms == 1"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST_F(FaultInjectorTest, ProtectionConvertsOutcomes)
 {
     const Workload wl = workloads::make("VECTORADD", kScale);

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * The multi-SM validation layer (docs/ARCHITECTURE.md "Multi-SM
+ * model"). Three families of guarantees:
+ *
+ *  - Differential parity: GpuCore with numSms=1 reproduces the legacy
+ *    single-SM Simulator path bit-for-bit on the same nine
+ *    workload/architecture cases the golden-stats gate pins
+ *    (bench/metrics_regress.cc), down to every exported metric.
+ *
+ *  - Property/fuzz invariance: for seeded random kernels whose warps
+ *    touch disjoint memory, the architectural results (registers and
+ *    memory) are independent of the SM count and the CTA placement
+ *    policy, and byte-identical across host job counts.
+ *
+ *  - CTA-scheduler and watchdog edge cases: more CTAs than SMs,
+ *    zero-warp launches, occupancy-capped placement, and the per-SM
+ *    watchdog scoping (a hung SM names itself; finished SMs stop
+ *    consuming cycle budget).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/watchdog.h"
+#include "compiler/writeback_tagger.h"
+#include "core/parallel_runner.h"
+#include "core/result_cache.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "gpu/cta_scheduler.h"
+#include "gpu/gpu_core.h"
+#include "tests/fuzz_kernels.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+constexpr double kScale = 0.05; // pinned like the golden gate
+
+/** The nine golden-gate cases (bench/metrics_regress.cc). */
+struct ParityCase
+{
+    const char *workload;
+    Architecture arch;
+};
+
+const ParityCase kParityCases[] = {
+    {"VECTORADD", Architecture::Baseline},
+    {"VECTORADD", Architecture::BOW_WR},
+    {"VECTORADD", Architecture::BOW_WR_OPT},
+    {"BFS", Architecture::Baseline},
+    {"BFS", Architecture::BOW_WR},
+    {"BFS", Architecture::RFC},
+    {"BTREE", Architecture::Baseline},
+    {"BTREE", Architecture::BOW_WR},
+    {"BTREE", Architecture::BOW_WR_OPT},
+};
+
+void
+expectStatsEqual(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ocCyclesMem, b.ocCyclesMem);
+    EXPECT_EQ(a.ocCyclesNonMem, b.ocCyclesNonMem);
+    EXPECT_EQ(a.totalCyclesMem, b.totalCyclesMem);
+    EXPECT_EQ(a.totalCyclesNonMem, b.totalCyclesNonMem);
+    EXPECT_EQ(a.instsMem, b.instsMem);
+    EXPECT_EQ(a.instsNonMem, b.instsNonMem);
+    EXPECT_EQ(a.rfReads, b.rfReads);
+    EXPECT_EQ(a.rfWrites, b.rfWrites);
+    EXPECT_EQ(a.bocForwards, b.bocForwards);
+    EXPECT_EQ(a.bocDeposits, b.bocDeposits);
+    EXPECT_EQ(a.bocResultWrites, b.bocResultWrites);
+    EXPECT_EQ(a.rfcReads, b.rfcReads);
+    EXPECT_EQ(a.rfcWrites, b.rfcWrites);
+    EXPECT_EQ(a.consolidatedWrites, b.consolidatedWrites);
+    EXPECT_EQ(a.transientDrops, b.transientDrops);
+    EXPECT_EQ(a.safetyWrites, b.safetyWrites);
+    EXPECT_EQ(a.destRfOnly, b.destRfOnly);
+    EXPECT_EQ(a.destBocOnly, b.destBocOnly);
+    EXPECT_EQ(a.destBocAndRf, b.destBocAndRf);
+    EXPECT_EQ(a.srcOperandHist, b.srcOperandHist);
+    EXPECT_EQ(a.bocOccupancyHist, b.bocOccupancyHist);
+    EXPECT_EQ(a.bankReadConflicts, b.bankReadConflicts);
+    EXPECT_EQ(a.bankWriteConflicts, b.bankWriteConflicts);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.peakResident, b.peakResident);
+}
+
+/** Every metric GpuCore exports must exist, with the same kind and
+ *  value, in the Simulator result. */
+void
+expectMetricsSubset(const MetricsRegistry &gpu,
+                    const MetricsRegistry &sim)
+{
+    for (const std::string &name : gpu.names()) {
+        ASSERT_TRUE(sim.has(name)) << name;
+        ASSERT_EQ(gpu.kindOf(name), sim.kindOf(name)) << name;
+        switch (gpu.kindOf(name)) {
+          case MetricKind::Counter:
+            EXPECT_EQ(gpu.counter(name), sim.counter(name)) << name;
+            break;
+          case MetricKind::Value:
+            EXPECT_EQ(gpu.value(name), sim.value(name)) << name;
+            break;
+          case MetricKind::Hist:
+            EXPECT_EQ(gpu.hist(name), sim.hist(name)) << name;
+            break;
+        }
+    }
+}
+
+class GpuParity : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GpuParity, OneSmMatchesLegacySimulatorExactly)
+{
+    const ParityCase &c = kParityCases[GetParam()];
+    const Workload wl = workloads::make(c.workload, kScale);
+    const SimConfig config = configFor(c.arch);
+    ASSERT_EQ(config.numSms, 1u);
+
+    // Reference: the legacy single-SM path inside Simulator::run.
+    Simulator sim(config);
+    const SimResult ref = sim.run(wl.launch);
+
+    // Candidate: the GPU-level model, driven directly, with the same
+    // compiler preprocessing Simulator applies for BOW-WR (compiler).
+    Launch launch = wl.launch;
+    if (config.arch == Architecture::BOW_WR_OPT) {
+        if (launch.warpKernels.empty()) {
+            tagWritebacks(launch.kernel, config.windowSize);
+        } else {
+            for (Kernel &k : launch.warpKernels)
+                tagWritebacks(k, config.windowSize);
+        }
+    }
+    GpuCore gpu(config, launch);
+    const RunStats stats = gpu.run();
+
+    expectStatsEqual(stats, ref.stats);
+    ASSERT_EQ(gpu.finalRegs().size(), ref.finalRegs.size());
+    for (std::size_t w = 0; w < ref.finalRegs.size(); ++w)
+        EXPECT_EQ(gpu.finalRegs()[w], ref.finalRegs[w]) << "warp " << w;
+    EXPECT_TRUE(gpu.memory().contentsEqual(ref.finalMem));
+
+    MetricsRegistry gpuMetrics;
+    gpu.exportMetrics(gpuMetrics);
+    expectMetricsSubset(gpuMetrics, ref.metrics);
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenCases, GpuParity,
+                         ::testing::Range<std::size_t>(
+                             0, std::size(kParityCases)));
+
+// ---------------------------------------------------------------------
+// Property/fuzz layer: SM-count and placement invariance.
+// ---------------------------------------------------------------------
+
+class GpuFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GpuFuzz, ResultsInvariantToSmCountAndPolicy)
+{
+    Launch launch = fuzzKernelLaunch(GetParam());
+    launch.warpsPerCta =
+        1 + static_cast<unsigned>(GetParam() % 4);
+
+    const FunctionalResult oracle =
+        runFunctional(launch, 4'000'000, /*recordTraces=*/false);
+
+    for (unsigned numSms : {1u, 2u, 4u}) {
+        for (CtaPolicy policy :
+             {CtaPolicy::RoundRobin, CtaPolicy::LooseRoundRobin}) {
+            SimConfig config = configFor(Architecture::BOW_WR);
+            config.numSms = numSms;
+            config.ctaPolicy = policy;
+            Simulator sim(config);
+            const SimResult res = sim.run(launch);
+
+            ASSERT_EQ(res.finalRegs.size(), oracle.finalRegs.size());
+            for (std::size_t w = 0; w < oracle.finalRegs.size(); ++w) {
+                ASSERT_EQ(res.finalRegs[w], oracle.finalRegs[w])
+                    << "seed=" << GetParam() << " numSms=" << numSms
+                    << " policy=" << ctaPolicyName(policy)
+                    << " warp=" << w;
+            }
+            ASSERT_TRUE(res.finalMem.contentsEqual(oracle.finalMem))
+                << "seed=" << GetParam() << " numSms=" << numSms
+                << " policy=" << ctaPolicyName(policy);
+        }
+    }
+}
+
+TEST_P(GpuFuzz, DeterministicAcrossHostJobCounts)
+{
+    // Two fuzz kernels per seed, each under 1/2/4 SMs, simulated as
+    // one batch at --jobs 1 and again at --jobs 4. Host threading
+    // must not leak into any metric (the SM-stepping order is the
+    // arbitration rule, not the thread schedule).
+    std::vector<Workload> wls;
+    for (std::uint64_t s : {GetParam(), GetParam() + 1000}) {
+        Workload wl;
+        wl.name = strf("fuzz_", s);
+        wl.launch = fuzzKernelLaunch(s);
+        wl.launch.warpsPerCta = 2;
+        wls.push_back(std::move(wl));
+    }
+
+    auto batch = [&] {
+        std::vector<SimJob> jobs;
+        for (const Workload &wl : wls) {
+            for (unsigned numSms : {1u, 2u, 4u}) {
+                SimConfig config = configFor(Architecture::BOW_WR);
+                config.numSms = numSms;
+                jobs.emplace_back(wl, config);
+            }
+        }
+        return ParallelRunner().run(jobs);
+    };
+
+    globalResultCache().reset();
+    ParallelRunner::setDefaultJobs(1);
+    const auto serial = batch();
+    globalResultCache().reset();
+    ParallelRunner::setDefaultJobs(4);
+    const auto parallel = batch();
+    ParallelRunner::setDefaultJobs(0); // restore auto
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expectStatsEqual(serial[i].stats, parallel[i].stats);
+        EXPECT_EQ(serial[i].finalRegs, parallel[i].finalRegs) << i;
+        EXPECT_TRUE(serial[i].finalMem.contentsEqual(
+            parallel[i].finalMem))
+            << i;
+        expectMetricsSubset(serial[i].metrics, parallel[i].metrics);
+        expectMetricsSubset(parallel[i].metrics, serial[i].metrics);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpuFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------
+// CTA-scheduler edge cases.
+// ---------------------------------------------------------------------
+
+Launch
+tinyLaunch(unsigned numWarps, unsigned warpsPerCta)
+{
+    KernelBuilder kb("tiny");
+    kb.movSpecial(2, SpecialReg::WARP_ID);
+    kb.alu2Imm(Opcode::SHL, 3, 2, 2);
+    kb.store(Opcode::ST_SHARED, 3, 0, 2);
+    kb.exit();
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = numWarps;
+    launch.warpsPerCta = warpsPerCta;
+    return launch;
+}
+
+TEST(CtaScheduler, MoreCtasThanSmsRoundRobin)
+{
+    const Launch launch = tinyLaunch(/*numWarps=*/100,
+                                     /*warpsPerCta=*/4);
+    SimConfig config = SimConfig::titanXPascal();
+    config.numSms = 4;
+
+    GpuCore gpu(config, launch);
+    EXPECT_EQ(gpu.numCtas(), 25u);
+    gpu.run();
+
+    // Static round-robin: CTA c lands on SM c % 4.
+    std::vector<unsigned> perSm(4, 0);
+    for (std::size_t c = 0; c < gpu.ctaPlacements().size(); ++c) {
+        EXPECT_EQ(gpu.ctaPlacements()[c], c % 4) << "cta " << c;
+        ++perSm[gpu.ctaPlacements()[c]];
+    }
+    EXPECT_EQ(perSm, (std::vector<unsigned>{7, 6, 6, 6}));
+
+    // Every warp ran exactly once: warp w stored w at w << 12.
+    const FunctionalResult oracle =
+        runFunctional(launch, 1000, /*recordTraces=*/false);
+    EXPECT_TRUE(gpu.memory().contentsEqual(oracle.finalMem));
+}
+
+TEST(CtaScheduler, LooseRoundRobinRespectsOccupancy)
+{
+    // CTAs of 8 warps, occupancy cap 10: one CTA per SM at a time,
+    // so the third CTA must wait for a drain before placing.
+    Launch launch = tinyLaunch(/*numWarps=*/24, /*warpsPerCta=*/8);
+    SimConfig config = SimConfig::titanXPascal();
+    config.numSms = 2;
+    config.ctaPolicy = CtaPolicy::LooseRoundRobin;
+    config.maxResidentWarps = 10;
+
+    GpuCore gpu(config, launch);
+    EXPECT_EQ(gpu.occupancyCap(), 10u);
+    const RunStats stats = gpu.run();
+
+    ASSERT_EQ(gpu.numCtas(), 3u);
+    EXPECT_EQ(gpu.ctaPlacements()[0], 0u);
+    EXPECT_EQ(gpu.ctaPlacements()[1], 1u);
+    EXPECT_LT(gpu.ctaPlacements()[2], 2u);
+    EXPECT_LE(stats.peakResident, 10u);
+
+    const FunctionalResult oracle =
+        runFunctional(launch, 1000, /*recordTraces=*/false);
+    EXPECT_TRUE(gpu.memory().contentsEqual(oracle.finalMem));
+}
+
+TEST(CtaScheduler, ZeroWarpLaunchIsFatal)
+{
+    Launch launch = tinyLaunch(1, 1);
+    launch.numWarps = 0;
+    SimConfig config = SimConfig::titanXPascal();
+    config.numSms = 2;
+    EXPECT_THROW(GpuCore(config, launch), FatalError);
+
+    Launch badCta = tinyLaunch(4, 1);
+    badCta.warpsPerCta = 0;
+    EXPECT_THROW(GpuCore(config, badCta), FatalError);
+}
+
+TEST(CtaScheduler, RegisterPressureCapsOccupancy)
+{
+    // r200 live => 201 GPRs/warp => floor(256 KiB / (201*128 B)) = 10
+    // resident warps even though the SM allows 32.
+    KernelBuilder kb("fat");
+    kb.movImm(200, 1);
+    kb.alu2Imm(Opcode::ADD, 200, 200, 1);
+    kb.exit();
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = 32;
+
+    SimConfig config = SimConfig::titanXPascal();
+    config.numSms = 2;
+
+    GpuCore gpu(config, launch);
+    EXPECT_EQ(gpu.occupancyCap(), 10u);
+    const RunStats stats = gpu.run();
+    EXPECT_LE(stats.peakResident, 10u);
+    for (unsigned s = 0; s < 2; ++s)
+        EXPECT_LE(gpu.smStats(s).peakResident, 10u) << "sm " << s;
+
+    // A CTA too big for the cap can never be placed: reject the
+    // launch up front instead of deadlocking the placement loop.
+    launch.warpsPerCta = 16;
+    EXPECT_THROW(GpuCore(config, launch), FatalError);
+}
+
+TEST(SmScaling, VectoraddAggregateIpcMonotone)
+{
+    // Pins the bench/scaling_sms.cc acceptance property at the same
+    // scale the smoke gate uses: throughput never drops as SMs are
+    // added (CTAs of 4 warps, the bench's grid shape).
+    Workload va = workloads::make("VECTORADD", kScale);
+    va.launch.warpsPerCta = 4;
+    double prev = 0.0;
+    for (unsigned sms : {1u, 2u, 4u, 8u, 14u, 28u}) {
+        SimConfig config = configFor(Architecture::BOW_WR);
+        config.numSms = sms;
+        Simulator sim(config);
+        const double ipc = sim.run(va.launch).stats.ipc();
+        EXPECT_GE(ipc, prev) << sms << " SMs";
+        prev = ipc;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-SM watchdog scoping.
+// ---------------------------------------------------------------------
+
+Kernel
+hangKernel()
+{
+    // Statically well-formed (the exit is reachable in the CFG) but
+    // runtime-infinite: p0 is always true.
+    KernelBuilder kb("hang");
+    kb.movImm(0, 0);
+    auto loop = kb.newLabel();
+    kb.bind(loop);
+    kb.setpImm(CondCode::EQ, predReg(0), 0, 0);
+    kb.bra(loop, predReg(0));
+    kb.exit();
+    return kb.build();
+}
+
+TEST(GpuWatchdog, HangNamesTheStalledSmAndSparesTheRest)
+{
+    Launch launch;
+    launch.kernel = hangKernel(); // structural default; unused
+    launch.warpKernels.push_back(hangKernel());
+    launch.warpKernels.push_back(tinyLaunch(1, 1).kernel);
+    launch.numWarps = 2;
+    launch.warpsPerCta = 1;
+
+    SimConfig config = SimConfig::titanXPascal();
+    config.numSms = 2;
+    const Watchdog wd(Watchdog::Limits{/*cycleBudget=*/5000, 0.0});
+
+    GpuCore gpu(config, launch, &wd);
+    try {
+        gpu.run();
+        FAIL() << "expected HangError";
+    } catch (const HangError &e) {
+        EXPECT_NE(std::string(e.what()).find("sm0"),
+                  std::string::npos)
+            << e.what();
+    }
+    // The healthy SM drained long before sm0's budget expired.
+    EXPECT_FALSE(gpu.smFinished(0));
+    EXPECT_TRUE(gpu.smFinished(1));
+}
+
+TEST(GpuWatchdog, FinishedSmStopsConsumingBudget)
+{
+    const Launch launch = tinyLaunch(4, 1);
+    const SimConfig config = SimConfig::titanXPascal();
+
+    SmCore ref(config, launch);
+    const Cycle busy = ref.run().cycles;
+
+    // A budget just above the busy-cycle count, then thousands of
+    // idle lockstep ticks after the SM drains: the watchdog is keyed
+    // to busy cycles, so idling must never trip it.
+    const Watchdog wd(Watchdog::Limits{busy + 2, 0.0});
+    SmCore sm(config, launch, nullptr, &wd);
+    while (!sm.finished())
+        sm.step();
+    for (unsigned i = 0; i < 10000; ++i)
+        EXPECT_NO_THROW(sm.step());
+    EXPECT_EQ(sm.finalize().cycles, busy);
+}
+
+} // namespace
+} // namespace bow
