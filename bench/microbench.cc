@@ -9,6 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/table.h"
 #include "compiler/liveness.h"
 #include "compiler/writeback_tagger.h"
 #include "core/parallel_runner.h"
@@ -151,6 +161,106 @@ BM_ResultCacheHit(benchmark::State &state)
 }
 BENCHMARK(BM_ResultCacheHit);
 
+/**
+ * --compare-baseline mode: diff two BENCH_simspeed.json reports
+ * (written by bench/simspeed, docs/PERFORMANCE.md) and print the
+ * per-workload and aggregate host-speed ratio new/old. Exit status 0
+ * regardless of direction — this is a reporting tool; the CI gate on
+ * the ratio, if any, belongs to the caller.
+ */
+
+JsonValue
+loadReport(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strf("microbench: cannot read '", path, "'"));
+    std::stringstream ss;
+    ss << in.rdbuf();
+    JsonValue root = parseJson(ss.str());
+    const JsonValue *schema = root.find("schema");
+    if (!schema || schema->asString() != "bowsim-simspeed-v1")
+        fatal(strf("microbench: '", path,
+                   "' is not a bowsim-simspeed-v1 report"));
+    return root;
+}
+
+int
+compareBaseline(const std::string &oldPath, const std::string &newPath)
+{
+    const JsonValue base = loadReport(oldPath);
+    const JsonValue next = loadReport(newPath);
+
+    // (workload, arch) -> KIPS of the baseline run.
+    std::map<std::pair<std::string, std::string>, double> baseKips;
+    for (const JsonValue &c : base.at("cells").items()) {
+        baseKips[{c.at("workload").asString(),
+                  c.at("arch").asString()}] = c.at("kips").asDouble();
+    }
+
+    Table table("host simulation speed: new vs baseline");
+    table.setHeader(
+        {"workload", "arch", "base KIPS", "new KIPS", "speedup"});
+    unsigned matched = 0;
+    unsigned unmatched = 0;
+    for (const JsonValue &c : next.at("cells").items()) {
+        const std::string wl = c.at("workload").asString();
+        const std::string arch = c.at("arch").asString();
+        const auto it = baseKips.find({wl, arch});
+        if (it == baseKips.end()) {
+            ++unmatched;
+            continue;
+        }
+        ++matched;
+        const double oldK = it->second;
+        const double newK = c.at("kips").asDouble();
+        table.beginRow()
+            .cell(wl)
+            .cell(arch)
+            .cell(oldK, 1)
+            .cell(newK, 1)
+            .cell(oldK > 0.0 ? strf(formatFixed(newK / oldK, 2), "x")
+                             : std::string("n/a"));
+    }
+    if (matched == 0)
+        fatal("microbench: the two reports share no (workload, arch) "
+              "cells");
+    table.print(std::cout);
+    if (unmatched > 0)
+        std::cout << "# " << unmatched
+                  << " cell(s) in the new report had no baseline "
+                     "counterpart and were skipped\n";
+
+    const double aggOld = base.at("aggregate").at("kips").asDouble();
+    const double aggNew = next.at("aggregate").at("kips").asDouble();
+    std::cout << "\naggregate: " << formatFixed(aggOld, 1)
+              << " KIPS -> " << formatFixed(aggNew, 1) << " KIPS ("
+              << (aggOld > 0.0
+                      ? strf(formatFixed(aggNew / aggOld, 2), "x")
+                      : std::string("n/a"))
+              << ")\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Comparison mode bypasses google-benchmark entirely.
+    if (argc >= 2 && std::string(argv[1]) == "--compare-baseline") {
+        if (argc != 4) {
+            std::cerr << "usage: microbench --compare-baseline "
+                         "OLD.json NEW.json\n";
+            return 2;
+        }
+        return compareBaseline(argv[2], argv[3]);
+    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

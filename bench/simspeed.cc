@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Host simulation-speed benchmark (docs/PERFORMANCE.md). Times
+ * Simulator::run() directly — single-threaded, no result cache — for
+ * every workload x architecture and reports simulated-instruction
+ * throughput (KIPS: thousand simulated instructions per host second)
+ * plus wall-clock per cell, then writes the machine-readable
+ * BENCH_simspeed.json for bench/microbench --compare-baseline.
+ *
+ * Timing numbers go to stdout on purpose: this bench measures the
+ * host, so its output is expected to differ between runs and is not
+ * part of the byte-identical golden set.
+ *
+ * Deliberately restricted to long-stable APIs (Simulator, configFor,
+ * workloads::makeAll) so the identical source compiles against an
+ * older checkout — that is how a before/after host-speed comparison
+ * is produced with one harness.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace bow;
+
+struct Cell
+{
+    std::string workload;
+    Architecture arch;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double seconds = 0.0;   ///< best (minimum) of the repeats
+
+    double
+    kips() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(instructions) / seconds / 1e3
+            : 0.0;
+    }
+};
+
+double
+secondsOf(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bow;
+
+    std::string outPath = "BENCH_simspeed.json";
+    unsigned repeat = 3;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--help") {
+            std::cout << "usage: simspeed [--out FILE] [--repeat N]\n"
+                         "  --out FILE   JSON report path (default "
+                         "BENCH_simspeed.json)\n"
+                         "  --repeat N   timed runs per cell; the "
+                         "fastest counts (default 3)\n";
+            return 0;
+        } else {
+            fatal(strf("simspeed: unknown argument '", arg, "'"));
+        }
+    }
+    if (repeat == 0)
+        fatal("simspeed: --repeat must be at least 1");
+
+    const double scale = benchScale();
+    const std::vector<Workload> suite = workloads::makeAll(scale);
+    const Architecture archs[] = {
+        Architecture::Baseline,
+        Architecture::BOW,
+        Architecture::BOW_WR,
+        Architecture::BOW_WR_OPT,
+    };
+
+    std::cout << "bowsim simspeed: host-throughput benchmark\n"
+              << "# workload scale " << scale << ", " << repeat
+              << " repeat(s) per cell, best counts\n\n";
+
+    Table table("host simulation speed");
+    table.setHeader({"workload", "arch", "cycles", "insts", "seconds",
+                     "KIPS"});
+
+    std::vector<Cell> cells;
+    const auto wallStart = std::chrono::steady_clock::now();
+    for (const Workload &wl : suite) {
+        for (Architecture arch : archs) {
+            const Simulator sim(configFor(arch));
+            Cell cell;
+            cell.workload = wl.name;
+            cell.arch = arch;
+            cell.seconds = std::numeric_limits<double>::infinity();
+            for (unsigned r = 0; r < repeat; ++r) {
+                const auto t0 = std::chrono::steady_clock::now();
+                const SimResult res = sim.run(wl.launch);
+                const double secs = secondsOf(t0);
+                cell.seconds = std::min(cell.seconds, secs);
+                cell.cycles = res.stats.cycles;
+                cell.instructions = res.stats.instructions;
+            }
+            cells.push_back(cell);
+            table.beginRow()
+                .cell(wl.name)
+                .cell(archName(arch))
+                .cell(cell.cycles)
+                .cell(cell.instructions)
+                .cell(cell.seconds, 4)
+                .cell(cell.kips(), 1);
+        }
+    }
+    const double wallSeconds = secondsOf(wallStart);
+    table.print(std::cout);
+
+    std::uint64_t totalInsts = 0;
+    std::uint64_t totalCycles = 0;
+    double totalSeconds = 0.0;
+    for (const Cell &c : cells) {
+        totalInsts += c.instructions;
+        totalCycles += c.cycles;
+        totalSeconds += c.seconds;
+    }
+    const double aggKips = totalSeconds > 0.0
+        ? static_cast<double>(totalInsts) / totalSeconds / 1e3
+        : 0.0;
+
+    std::cout << "\naggregate: " << totalInsts << " instructions / "
+              << formatFixed(totalSeconds, 3) << "s best-run time = "
+              << formatFixed(aggKips, 1) << " KIPS ("
+              << formatFixed(wallSeconds, 2) << "s wall)\n";
+
+    JsonValue root = JsonValue::object();
+    root.set("schema", "bowsim-simspeed-v1");
+    root.set("scale", scale);
+    root.set("repeat", static_cast<std::uint64_t>(repeat));
+    JsonValue rows = JsonValue::array();
+    for (const Cell &c : cells) {
+        JsonValue row = JsonValue::object();
+        row.set("workload", c.workload);
+        row.set("arch", archName(c.arch));
+        row.set("cycles", c.cycles);
+        row.set("instructions", c.instructions);
+        row.set("seconds", c.seconds);
+        row.set("kips", c.kips());
+        rows.push(std::move(row));
+    }
+    root.set("cells", std::move(rows));
+    JsonValue agg = JsonValue::object();
+    agg.set("cycles", totalCycles);
+    agg.set("instructions", totalInsts);
+    agg.set("seconds", totalSeconds);
+    agg.set("kips", aggKips);
+    root.set("aggregate", std::move(agg));
+
+    std::ofstream out(outPath);
+    if (!out)
+        fatal(strf("simspeed: cannot write '", outPath, "'"));
+    out << root.dump(2) << "\n";
+    std::cout << "# wrote " << outPath << "\n";
+    return 0;
+}

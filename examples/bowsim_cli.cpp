@@ -26,6 +26,12 @@
  *     --jobs N            parallel simulations for --workload ALL
  *                         (default BOWSIM_JOBS or all hardware
  *                         threads)
+ *     --no-fastforward    disable the host-side idle fast-forward
+ *                         (bit-identical results either way; see
+ *                         docs/PERFORMANCE.md)
+ *     --profile           report host simulation speed (KIPS) on
+ *                         stderr and fold it, with the per-phase
+ *                         timings, into --manifest-out
  *     --csv               machine-readable one-line output
  *
  *   Observability (docs/OBSERVABILITY.md; all accept --flag=VALUE):
@@ -106,6 +112,7 @@ usage()
         "                  [--num-sms N] [--cta-policy rr|lrr]\n"
         "                  [--l2-banks N]\n"
         "                  [--scale S] [--jobs N] [--csv]\n"
+        "                  [--no-fastforward] [--profile]\n"
         "                  [--faults N] [--fault-sites rf,boc,rfc]\n"
         "                  [--seed S] [--fault-protection P]\n"
         "                  [--fault-checkpoint FILE]\n"
@@ -181,10 +188,33 @@ runCampaign(const Workload &wl, const SimConfig &config,
     return s.sdc ? 3 : 0;
 }
 
+/** Totals for the --profile host-speed report. */
+struct ProfileTotals
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double seconds = 0.0;
+};
+
+/** --profile: one stderr line summarizing host simulation speed. */
+void
+printProfile(const ProfileTotals &p, const SimConfig &config)
+{
+    const double kips = p.seconds > 0.0
+        ? static_cast<double>(p.instructions) / p.seconds / 1e3
+        : 0.0;
+    std::cerr << "# profile: " << p.instructions << " insts / "
+              << p.cycles << " cycles in "
+              << formatFixed(p.seconds, 3) << "s = "
+              << formatFixed(kips, 1) << " KIPS (fast-forward "
+              << (config.hostFastForward ? "on" : "off") << ")\n";
+}
+
 /** --workload ALL: the whole Table III suite, simulated in parallel
  *  on the engine's thread pool, one row per workload. */
 int
-runAllWorkloads(const SimConfig &config, double scale, bool csv)
+runAllWorkloads(const SimConfig &config, double scale, bool csv,
+                ProfileTotals *profile = nullptr)
 {
     const auto suite = workloads::makeAll(scale);
     std::vector<SimJob> jobs;
@@ -196,6 +226,14 @@ runAllWorkloads(const SimConfig &config, double scale, bool csv)
     const auto results = ParallelRunner().run(jobs);
     const double secs = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
+
+    if (profile) {
+        for (const SimResult &res : results) {
+            profile->cycles += res.stats.cycles;
+            profile->instructions += res.stats.instructions;
+        }
+        profile->seconds = secs;
+    }
 
     if (csv) {
         std::cout << "kernel,arch,iw,cycles,insts,ipc,rf_reads,"
@@ -249,6 +287,7 @@ main(int argc, char **argv)
     double scale = 1.0;
     bool csv = false;
     bool reorder = false;
+    bool profile = false;
     unsigned faults = 0;
     std::string faultSites = "rf";
     std::uint64_t seed = 1;
@@ -335,6 +374,10 @@ main(int argc, char **argv)
             faultCheckpoint = need(i);
         else if (!std::strcmp(a, "--csv"))
             csv = true;
+        else if (!std::strcmp(a, "--no-fastforward"))
+            config.hostFastForward = false;
+        else if (!std::strcmp(a, "--profile"))
+            profile = true;
         else if (const char *v = valueOf(a, "--metrics-out", i))
             metricsOut = v;
         else if (const char *v = valueOf(a, "--trace-out", i))
@@ -359,8 +402,17 @@ main(int argc, char **argv)
             manifest.setWorkload("ALL");
             manifest.setConfig(config);
             manifest.beginPhase("simulate");
-            const int rc = runAllWorkloads(config, scale, csv);
+            ProfileTotals totals;
+            const int rc = runAllWorkloads(config, scale, csv,
+                                           profile ? &totals
+                                                   : nullptr);
             manifest.endPhase();
+            if (profile) {
+                printProfile(totals, config);
+                manifest.setProfile(totals.cycles,
+                                    totals.instructions,
+                                    totals.seconds);
+            }
             if (!metricsOut.empty())
                 writeMetricsFile(metricsOut, globalMetrics());
             if (!manifestOut.empty()) {
@@ -440,11 +492,24 @@ main(int argc, char **argv)
 
         Simulator sim(config);
         manifest.beginPhase("simulate");
+        const auto simStart = std::chrono::steady_clock::now();
         const SimResult res =
             sim.run(wl.launch, nullptr, nullptr,
                     tracer ? &*tracer : nullptr);
+        const double simSecs = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - simStart).count();
         manifest.beginPhase("report");
         const double ipc = res.stats.ipc();
+
+        if (profile) {
+            ProfileTotals totals;
+            totals.cycles = res.stats.cycles;
+            totals.instructions = res.stats.instructions;
+            totals.seconds = simSecs;
+            printProfile(totals, config);
+            manifest.setProfile(totals.cycles, totals.instructions,
+                                totals.seconds);
+        }
 
         if (!metricsOut.empty())
             writeMetricsFile(metricsOut, res.metrics);

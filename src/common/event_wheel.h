@@ -1,0 +1,166 @@
+/**
+ * @file
+ * A calendar-queue ("event wheel") for cycle-timestamped simulation
+ * events. The SM core retires 0..k completions per cycle and
+ * schedules new ones a bounded latency ahead; a std::map keyed by
+ * cycle pays a red-black-tree rebalance for every schedule and pop.
+ * The wheel replaces that with a power-of-two ring of buckets indexed
+ * by `cycle & (horizon - 1)` plus an occupancy bitmap, so schedule,
+ * pop and next-event queries are O(1)-ish with no node allocation.
+ *
+ * Invariants:
+ *  - Ring events satisfy `now < when <= now + horizon`, so a bucket
+ *    only ever holds events of one cycle. Events scheduled further
+ *    out land in the (rare, ordered) overflow map and migrate into
+ *    the ring as the clock approaches them.
+ *  - takeDue() must be called with non-decreasing `now`; the caller
+ *    may skip cycles (idle fast-forward) as long as no skipped cycle
+ *    had events due — nextEventCycle() tells it where that is.
+ *  - Within one bucket, events pop in insertion order (FIFO), exactly
+ *    like the vector value of the std::map it replaces.
+ */
+
+#ifndef BOWSIM_COMMON_EVENT_WHEEL_H
+#define BOWSIM_COMMON_EVENT_WHEEL_H
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace bow {
+
+template <typename T>
+class EventWheel
+{
+  public:
+    /** @param horizon Minimum look-ahead the ring must cover; rounded
+     *  up to a power of two (>= 64). Events beyond the horizon are
+     *  correct but slower (overflow map). */
+    explicit EventWheel(unsigned horizon)
+    {
+        horizon_ = std::bit_ceil(std::max(64u, horizon));
+        mask_ = horizon_ - 1;
+        buckets_.resize(horizon_);
+        occupied_.assign((horizon_ + 63) / 64, 0);
+    }
+
+    /** Schedule @p item at absolute cycle @p when (> @p now). */
+    void
+    schedule(Cycle now, Cycle when, T item)
+    {
+        if (when <= now)
+            panic("EventWheel: event scheduled into the past");
+        ++size_;
+        if (when - now > horizon_) {
+            overflow_[when].push_back(std::move(item));
+            return;
+        }
+        auto &bucket = buckets_[when & mask_];
+        bucket.push_back(std::move(item));
+        markOccupied(when & mask_);
+    }
+
+    /**
+     * Move the events due at cycle @p now into @p out (cleared
+     * first) and return whether there were any. The due bucket is
+     * swapped out before the caller processes it, so handlers may
+     * schedule new events — including at exactly now + horizon,
+     * which maps to the just-drained bucket.
+     */
+    bool
+    takeDue(Cycle now, std::vector<T> &out)
+    {
+        out.clear();
+        migrateOverflow(now);
+        auto &bucket = buckets_[now & mask_];
+        if (bucket.empty())
+            return false;
+        clearOccupied(now & mask_);
+        out.swap(bucket);
+        size_ -= out.size();
+        return true;
+    }
+
+    /**
+     * Earliest cycle >= @p now holding an event, or kNoCycle when
+     * the wheel is empty. Must be called at a cycle boundary —
+     * before takeDue(now) — when every ring event lies in
+     * [now, now + horizon), so ring offset d maps to exactly cycle
+     * now + d. (After takeDue(now), handlers may have rescheduled
+     * into now's bucket for cycle now + horizon, which offset 0
+     * would misreport.)
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        Cycle best = kNoCycle;
+        if (!overflow_.empty())
+            best = overflow_.begin()->first;
+        // First set bit in the occupancy bitmap at ring offset d
+        // means events due at cycle now + d.
+        for (Cycle d = 0; d < horizon_; ++d) {
+            const Cycle slot = (now + d) & mask_;
+            if (occupied_[slot >> 6] & (1ull << (slot & 63))) {
+                best = std::min(best, now + d);
+                break;
+            }
+        }
+        return best;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    unsigned horizon() const { return horizon_; }
+
+  private:
+    void
+    markOccupied(Cycle slot)
+    {
+        occupied_[slot >> 6] |= 1ull << (slot & 63);
+    }
+
+    void
+    clearOccupied(Cycle slot)
+    {
+        occupied_[slot >> 6] &= ~(1ull << (slot & 63));
+    }
+
+    /**
+     * Pull overflow events whose cycle entered the ring window.
+     * Called before the @p now bucket is drained, so the window is
+     * [now, now + horizon): an event at exactly now + horizon would
+     * land in now's still-full bucket and mix two cycles.
+     */
+    void
+    migrateOverflow(Cycle now)
+    {
+        while (!overflow_.empty()) {
+            auto it = overflow_.begin();
+            if (it->first >= now + horizon_)
+                break;
+            if (it->first < now)
+                panic("EventWheel: overflow event left in the past");
+            auto &bucket = buckets_[it->first & mask_];
+            for (T &item : it->second)
+                bucket.push_back(std::move(item));
+            markOccupied(it->first & mask_);
+            overflow_.erase(it);
+        }
+    }
+
+    unsigned horizon_ = 0;
+    Cycle mask_ = 0;
+    std::size_t size_ = 0;
+    std::vector<std::vector<T>> buckets_;
+    std::vector<std::uint64_t> occupied_;
+    /** Events beyond the ring horizon, ordered by cycle. */
+    std::map<Cycle, std::vector<T>> overflow_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_EVENT_WHEEL_H

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * A small vector with inline storage for the first N elements. The
+ * simulator's per-cycle hot paths (operand lists, collector fetch
+ * queues) carry at most a handful of register ids; keeping them
+ * inline removes the per-instruction heap churn the
+ * docs/PERFORMANCE.md "no allocation per cycle" rule forbids. When a
+ * caller does exceed N the container spills to the heap — stickily,
+ * so repeated clear()/push_back() cycles reuse the spill capacity —
+ * and keeps working: correctness never depends on N.
+ *
+ * Only the operations the hot paths need are provided (push_back,
+ * erase, clear, iteration, indexing); T must be trivially copyable.
+ */
+
+#ifndef BOWSIM_COMMON_SMALL_VEC_H
+#define BOWSIM_COMMON_SMALL_VEC_H
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace bow {
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec is for small trivially-copyable values");
+    static_assert(N > 0, "SmallVec needs at least one inline slot");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    SmallVec() = default;
+
+    SmallVec(const SmallVec &other) { assignFrom(other); }
+
+    SmallVec &
+    operator=(const SmallVec &other)
+    {
+        if (this != &other) {
+            spill_.clear();
+            onHeap_ = false;
+            assignFrom(other);
+        }
+        return *this;
+    }
+
+    SmallVec(SmallVec &&other) noexcept { moveFrom(other); }
+
+    SmallVec &
+    operator=(SmallVec &&other) noexcept
+    {
+        if (this != &other)
+            moveFrom(other);
+        return *this;
+    }
+
+    ~SmallVec() = default;
+
+    void
+    push_back(const T &v)
+    {
+        if (!onHeap_) {
+            if (size_ < N) {
+                inline_[size_++] = v;
+                return;
+            }
+            // Heap spill: migrate once, then grow like a vector.
+            spill_.assign(inline_.begin(), inline_.end());
+            onHeap_ = true;
+        }
+        spill_.push_back(v);
+        ++size_;
+    }
+
+    /** Drop the contents; spill capacity (if any) is retained so a
+     *  reused scratch buffer stops allocating after warm-up. */
+    void
+    clear()
+    {
+        size_ = 0;
+        spill_.clear();
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T *data() { return onHeap_ ? spill_.data() : inline_.data(); }
+    const T *
+    data() const
+    {
+        return onHeap_ ? spill_.data() : inline_.data();
+    }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    T &front() { return data()[0]; }
+    const T &front() const { return data()[0]; }
+    T &back() { return data()[size_ - 1]; }
+    const T &back() const { return data()[size_ - 1]; }
+
+    iterator begin() { return data(); }
+    iterator end() { return data() + size_; }
+    const_iterator begin() const { return data(); }
+    const_iterator end() const { return data() + size_; }
+    const_iterator cbegin() const { return begin(); }
+    const_iterator cend() const { return end(); }
+
+    /** Erase the element at @p pos, shifting the tail left. */
+    iterator
+    erase(iterator pos)
+    {
+        std::copy(pos + 1, end(), pos);
+        --size_;
+        if (onHeap_)
+            spill_.pop_back();
+        return pos;
+    }
+
+    /** Drop elements past the first @p n (no-op when n >= size). */
+    void
+    truncate(std::size_t n)
+    {
+        if (n >= size_)
+            return;
+        size_ = n;
+        if (onHeap_)
+            spill_.resize(n);
+    }
+
+    bool
+    operator==(const SmallVec &other) const
+    {
+        return size_ == other.size_ &&
+            std::equal(begin(), end(), other.begin());
+    }
+
+  private:
+    void
+    assignFrom(const SmallVec &other)
+    {
+        size_ = other.size_;
+        onHeap_ = other.onHeap_;
+        if (other.onHeap_)
+            spill_ = other.spill_;
+        else
+            std::copy(other.begin(), other.end(), inline_.begin());
+    }
+
+    void
+    moveFrom(SmallVec &other) noexcept
+    {
+        size_ = other.size_;
+        onHeap_ = other.onHeap_;
+        if (other.onHeap_)
+            spill_ = std::move(other.spill_);
+        else
+            std::copy(other.begin(), other.end(), inline_.begin());
+        other.size_ = 0;
+        other.onHeap_ = false;
+        other.spill_.clear();
+    }
+
+    std::size_t size_ = 0;
+    bool onHeap_ = false;
+    std::array<T, N> inline_{};
+    std::vector<T> spill_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_COMMON_SMALL_VEC_H

@@ -122,6 +122,17 @@ RunManifest::addPhaseSeconds(const std::string &name, double seconds)
 }
 
 void
+RunManifest::setProfile(std::uint64_t simulatedCycles,
+                        std::uint64_t simulatedInstructions,
+                        double simulateSeconds)
+{
+    profileCycles_ = simulatedCycles;
+    profileInsts_ = simulatedInstructions;
+    profileSeconds_ = simulateSeconds;
+    hasProfile_ = true;
+}
+
+void
 RunManifest::setMetrics(const MetricsRegistry &metrics)
 {
     metrics_ = metrics;
@@ -156,6 +167,18 @@ RunManifest::toJson() const
     wall.set("total",
              secondsSince(start_, std::chrono::steady_clock::now()));
     out.set("wall", wall);
+
+    if (hasProfile_) {
+        JsonValue p = JsonValue::object();
+        p.set("simulated_cycles", profileCycles_);
+        p.set("simulated_instructions", profileInsts_);
+        p.set("simulate_seconds", profileSeconds_);
+        const double inv = profileSeconds_ > 0.0
+            ? 1.0 / profileSeconds_ / 1e3 : 0.0;
+        p.set("kips", static_cast<double>(profileInsts_) * inv);
+        p.set("kcps", static_cast<double>(profileCycles_) * inv);
+        out.set("profile", p);
+    }
 
     if (hasMetrics_)
         out.set("metrics", metrics_.toJson());

@@ -61,6 +61,18 @@ class RunManifest
     /** Record an externally measured phase duration. */
     void addPhaseSeconds(const std::string &name, double seconds);
 
+    /**
+     * Host-speed profile of the simulate phase (--profile): how much
+     * simulated work the host did per wall-second. KIPS (thousand
+     * simulated instructions per host second) and KCPS (thousand
+     * simulated cycles per host second) are derived from the
+     * arguments; read alongside the per-phase "wall" section
+     * (docs/PERFORMANCE.md).
+     */
+    void setProfile(std::uint64_t simulatedCycles,
+                    std::uint64_t simulatedInstructions,
+                    double simulateSeconds);
+
     /** Attach the run's full metrics snapshot. */
     void setMetrics(const MetricsRegistry &metrics);
 
@@ -80,6 +92,10 @@ class RunManifest
     bool hasConfig_ = false;
     std::uint64_t cacheKey_ = 0;
     bool hasCacheKey_ = false;
+    std::uint64_t profileCycles_ = 0;
+    std::uint64_t profileInsts_ = 0;
+    double profileSeconds_ = 0.0;
+    bool hasProfile_ = false;
     std::vector<std::pair<std::string, double>> phases_;
     std::string openPhase_;
     std::chrono::steady_clock::time_point openStart_;

@@ -67,9 +67,39 @@ GpuCore::run()
         if (done)
             break;
 
-        // Fixed SM-index stepping order = deterministic cross-SM
-        // arbitration for shared memory and the L2 banks.
+        // Idle fast-forward across the whole GPU: only when every
+        // unfinished SM is provably inert may the global clock jump,
+        // and only to the earliest wake-up among them — which keeps
+        // the fixed SM-index lockstep (and with it cross-SM L2 and
+        // memory arbitration) bit-identical at any host speed. The
+        // decision sits after CTA placement on purpose: a placement
+        // activates warps, which clears the inert flag.
+        Cycle target = kNoCycle;
         for (unsigned s = 0; s < config_.numSms; ++s) {
+            if (sms_[s]->finished())
+                continue;
+            const Cycle wake = sms_[s]->nextWakeCycle();
+            if (wake <= gcycle_) {
+                target = kNoCycle;  // someone must step now
+                break;
+            }
+            target = std::min(target, wake);
+        }
+        if (target != kNoCycle && target > gcycle_) {
+            for (unsigned s = 0; s < config_.numSms; ++s) {
+                if (!sms_[s]->finished())
+                    sms_[s]->fastForwardTo(target);
+            }
+            gcycle_ = target;
+        }
+
+        // Fixed SM-index stepping order = deterministic cross-SM
+        // arbitration for shared memory and the L2 banks. Finished
+        // SMs are skipped outright: their lockstep idle tick was
+        // pure bookkeeping, and nothing reads their clock again.
+        for (unsigned s = 0; s < config_.numSms; ++s) {
+            if (sms_[s]->finished())
+                continue;
             try {
                 sms_[s]->step();
             } catch (const HangError &e) {
@@ -120,6 +150,7 @@ GpuCore::run()
         aggregate_.bankWriteConflicts += s.bankWriteConflicts;
         aggregate_.l1Hits += s.l1Hits;
         aggregate_.l1Misses += s.l1Misses;
+        aggregate_.fastforwardCycles += s.fastforwardCycles;
         aggregate_.peakResident =
             std::max(aggregate_.peakResident, s.peakResident);
     }

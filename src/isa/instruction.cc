@@ -16,10 +16,10 @@ Instruction::addSrc(const Operand &o)
     srcs[numSrcs++] = o;
 }
 
-std::vector<RegId>
+Instruction::SrcRegList
 Instruction::srcRegs() const
 {
-    std::vector<RegId> regs;
+    SrcRegList regs;
     for (unsigned i = 0; i < numSrcs; ++i) {
         if (srcs[i].isReg())
             regs.push_back(srcs[i].reg);
@@ -29,12 +29,13 @@ Instruction::srcRegs() const
     return regs;
 }
 
-std::vector<RegId>
+Instruction::SrcRegList
 Instruction::uniqueSrcRegs() const
 {
-    std::vector<RegId> regs = srcRegs();
+    SrcRegList regs = srcRegs();
     std::sort(regs.begin(), regs.end());
-    regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+    regs.truncate(static_cast<std::size_t>(
+        std::unique(regs.begin(), regs.end()) - regs.begin()));
     return regs;
 }
 

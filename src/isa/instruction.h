@@ -9,8 +9,8 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "common/small_vec.h"
 #include "common/types.h"
 #include "isa/opcode.h"
 
@@ -135,12 +135,19 @@ struct Instruction
     /** Append a source operand; panics past three. */
     void addSrc(const Operand &o);
 
+    /**
+     * Register ids read by one instruction: at most three sources
+     * plus the guard predicate, so the list always fits the inline
+     * storage and issue-time queries never touch the heap.
+     */
+    using SrcRegList = SmallVec<RegId, 4>;
+
     /** Register ids read by this instruction (guard predicate
      *  included, duplicates preserved in operand order). */
-    std::vector<RegId> srcRegs() const;
+    SrcRegList srcRegs() const;
 
     /** Distinct register ids read (duplicates removed). */
-    std::vector<RegId> uniqueSrcRegs() const;
+    SrcRegList uniqueSrcRegs() const;
 
     /** Number of *register* source operands (what occupies OCU
      *  entries; immediates and const reads do not). */

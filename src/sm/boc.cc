@@ -110,9 +110,18 @@ Boc::allocate(RegId reg, SeqNum seq, std::vector<BocEviction> &evictions)
 }
 
 BocInsertResult
-Boc::insert(SeqNum seq, const std::vector<RegId> &srcs)
+Boc::insert(SeqNum seq, std::span<const RegId> srcs)
 {
     BocInsertResult out;
+    insertInto(seq, srcs, out);
+    return out;
+}
+
+void
+Boc::insertInto(SeqNum seq, std::span<const RegId> srcs,
+                BocInsertResult &out)
+{
+    out.reset();
     headSeq_ = seq;
 
     // Slide the window first: a value whose last access is windowSize
@@ -140,8 +149,6 @@ Boc::insert(SeqNum seq, const std::vector<RegId> &srcs)
             }
         }
     }
-
-    return out;
 }
 
 void
@@ -163,6 +170,15 @@ BocWriteResult
 Boc::writeResult(SeqNum writerSeq, RegId reg, WritebackHint hint)
 {
     BocWriteResult out;
+    writeResultInto(writerSeq, reg, hint, out);
+    return out;
+}
+
+void
+Boc::writeResultInto(SeqNum writerSeq, RegId reg, WritebackHint hint,
+                     BocWriteResult &out)
+{
+    out.reset();
 
     if (arch_ == Architecture::BOW_WR_OPT &&
         hint == WritebackHint::RfOnly) {
@@ -176,7 +192,7 @@ Boc::writeResult(SeqNum writerSeq, RegId reg, WritebackHint hint)
                 break;
             }
         }
-        return out;
+        return;
     }
 
     BocEntry *e = find(reg);
@@ -191,7 +207,7 @@ Boc::writeResult(SeqNum writerSeq, RegId reg, WritebackHint hint)
             // Could not buffer the result at all: it must go to the
             // RF directly to stay reachable.
             out.writeRfNow = true;
-            return out;
+            return;
         }
         e->valid = true;
     }
@@ -215,13 +231,19 @@ Boc::writeResult(SeqNum writerSeq, RegId reg, WritebackHint hint)
       default:
         panic("Boc::writeResult: bad architecture");
     }
-    return out;
 }
 
 std::vector<BocEviction>
 Boc::flush()
 {
     std::vector<BocEviction> out;
+    flushInto(out);
+    return out;
+}
+
+void
+Boc::flushInto(std::vector<BocEviction> &out)
+{
     for (auto &e : entries_) {
         if (e.dirty) {
             // Kernel end: transient values are dead either way; only
@@ -241,7 +263,6 @@ Boc::flush()
         }
     }
     entries_.clear();
-    return out;
 }
 
 unsigned

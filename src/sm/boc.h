@@ -13,6 +13,7 @@
 #ifndef BOWSIM_SM_BOC_H
 #define BOWSIM_SM_BOC_H
 
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -58,6 +59,17 @@ struct BocInsertResult
     unsigned forwarded = 0;
     /** Entries pushed out by the window slide or capacity pressure. */
     std::vector<BocEviction> evictions;
+
+    /** Reset for reuse as a per-cycle scratch result (keeps the
+     *  vectors' capacity, per the no-allocation-per-cycle rule). */
+    void
+    reset()
+    {
+        toFetch.clear();
+        sharedFetch.clear();
+        forwarded = 0;
+        evictions.clear();
+    }
 };
 
 /** Effect of depositing an instruction's result. */
@@ -68,6 +80,16 @@ struct BocWriteResult
     bool consolidatedPrev = false; ///< a previous dirty value for the
                                    ///< same register was superseded
     std::vector<BocEviction> evictions; ///< capacity-pressure victims
+
+    /** Reset for reuse as a per-cycle scratch result. */
+    void
+    reset()
+    {
+        wroteBoc = false;
+        writeRfNow = false;
+        consolidatedPrev = false;
+        evictions.clear();
+    }
 };
 
 /** One warp's bypassing operand collector. */
@@ -95,7 +117,21 @@ class Boc
      * unique source registers @p srcs. Slides the window (expiring
      * stale entries) and classifies every operand.
      */
-    BocInsertResult insert(SeqNum seq, const std::vector<RegId> &srcs);
+    BocInsertResult insert(SeqNum seq, std::span<const RegId> srcs);
+
+    /** Brace-list convenience (tests): insert(3, {r1, r2}). */
+    BocInsertResult
+    insert(SeqNum seq, std::initializer_list<RegId> srcs)
+    {
+        return insert(seq,
+                      std::span<const RegId>(srcs.begin(),
+                                             srcs.size()));
+    }
+
+    /** As insert(), writing into a caller-owned reusable result
+     *  (reset first) — the SM core's per-cycle path. */
+    void insertInto(SeqNum seq, std::span<const RegId> srcs,
+                    BocInsertResult &out);
 
     /** An RF fetch for @p reg completed; the entry becomes valid. */
     void fetchComplete(RegId reg);
@@ -108,8 +144,15 @@ class Boc
     BocWriteResult writeResult(SeqNum writerSeq, RegId reg,
                                WritebackHint hint);
 
+    /** As writeResult(), into a caller-owned reusable result. */
+    void writeResultInto(SeqNum writerSeq, RegId reg,
+                         WritebackHint hint, BocWriteResult &out);
+
     /** Warp terminated: flush remaining dirty entries. */
     std::vector<BocEviction> flush();
+
+    /** As flush(), appending into a caller-owned buffer. */
+    void flushInto(std::vector<BocEviction> &out);
 
     /** Number of occupied (valid or fetching) entries. */
     unsigned occupied() const;

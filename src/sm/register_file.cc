@@ -8,7 +8,13 @@ RegisterFile::RegisterFile(const SimConfig &config)
     : config_(&config),
       readQueues_(config.numBanks),
       writeQueues_(config.numBanks),
-      stats_("rf")
+      stats_("rf"),
+      readConflicts_(&stats_.counter("read_conflicts")),
+      writeConflicts_(&stats_.counter("write_conflicts")),
+      readRequests_(&stats_.counter("read_requests")),
+      writeRequests_(&stats_.counter("write_requests")),
+      reads_(&stats_.counter("reads")),
+      writes_(&stats_.counter("writes"))
 {
 }
 
@@ -31,9 +37,10 @@ RegisterFile::pushRead(WarpId warp, RegId reg, std::uint32_t collector,
     req.rfcHit = rfcHit;
     const BankId bank = bankOf(warp, reg);
     if (!readQueues_[bank].empty() || !writeQueues_[bank].empty())
-        stats_.counter("read_conflicts").inc();
+        readConflicts_->inc();
     readQueues_[bank].push_back(req);
-    stats_.counter("read_requests").inc();
+    ++pending_;
+    readRequests_->inc();
 }
 
 void
@@ -46,40 +53,40 @@ RegisterFile::pushWrite(WarpId warp, RegId reg, bool releaseOnComplete)
     req.releaseOnComplete = releaseOnComplete;
     const BankId bank = bankOf(warp, reg);
     if (!readQueues_[bank].empty() || !writeQueues_[bank].empty())
-        stats_.counter("write_conflicts").inc();
+        writeConflicts_->inc();
     writeQueues_[bank].push_back(req);
-    stats_.counter("write_requests").inc();
+    ++pending_;
+    writeRequests_->inc();
 }
 
 std::vector<RfRequest>
 RegisterFile::tick()
 {
     std::vector<RfRequest> served;
+    tick(served);
+    return served;
+}
+
+void
+RegisterFile::tick(std::vector<RfRequest> &served)
+{
+    served.clear();
+    if (pending_ == 0)
+        return;
     for (unsigned bank = 0; bank < config_->numBanks; ++bank) {
         auto &writes = writeQueues_[bank];
         auto &reads = readQueues_[bank];
         if (!writes.empty()) {
             served.push_back(writes.front());
             writes.pop_front();
-            stats_.counter("writes").inc();
+            writes_->inc();
         } else if (!reads.empty()) {
             served.push_back(reads.front());
             reads.pop_front();
-            stats_.counter("reads").inc();
+            reads_->inc();
         }
     }
-    return served;
-}
-
-std::size_t
-RegisterFile::pending() const
-{
-    std::size_t n = 0;
-    for (const auto &q : readQueues_)
-        n += q.size();
-    for (const auto &q : writeQueues_)
-        n += q.size();
-    return n;
+    pending_ -= served.size();
 }
 
 } // namespace bow

@@ -71,8 +71,12 @@ class RegisterFile
      */
     std::vector<RfRequest> tick();
 
-    /** Total queued requests across all banks. */
-    std::size_t pending() const;
+    /** As tick(), writing the served requests into a caller-owned
+     *  reusable buffer (cleared first) — the per-cycle path. */
+    void tick(std::vector<RfRequest> &served);
+
+    /** Total queued requests across all banks (O(1)). */
+    std::size_t pending() const { return pending_; }
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
@@ -81,7 +85,16 @@ class RegisterFile
     const SimConfig *config_;
     std::vector<std::deque<RfRequest>> readQueues_;
     std::vector<std::deque<RfRequest>> writeQueues_;
+    std::size_t pending_ = 0;   ///< total queued, kept by push/tick
     StatGroup stats_;
+    // Hot-path counters resolved once (Counter nodes are
+    // address-stable), so ticks don't re-hash the key every cycle.
+    Counter *readConflicts_ = nullptr;
+    Counter *writeConflicts_ = nullptr;
+    Counter *readRequests_ = nullptr;
+    Counter *writeRequests_ = nullptr;
+    Counter *reads_ = nullptr;
+    Counter *writes_ = nullptr;
 };
 
 } // namespace bow

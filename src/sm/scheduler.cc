@@ -18,6 +18,15 @@ WarpSchedulers::pickOrder(unsigned sid,
                           const std::vector<Warp> &warps) const
 {
     std::vector<WarpId> mine;
+    pickOrder(sid, warps, mine);
+    return mine;
+}
+
+void
+WarpSchedulers::pickOrder(unsigned sid, const std::vector<Warp> &warps,
+                          std::vector<WarpId> &mine) const
+{
+    mine.clear();
     for (const Warp &w : warps) {
         if (w.id % config_->numSchedulers == sid &&
             w.state == WarpState::Active) {
@@ -25,7 +34,7 @@ WarpSchedulers::pickOrder(unsigned sid,
         }
     }
     if (mine.empty())
-        return mine;
+        return;
 
     switch (config_->schedPolicy) {
       case SchedPolicy::GTO: {
@@ -63,7 +72,6 @@ WarpSchedulers::pickOrder(unsigned sid,
         break;
       }
     }
-    return mine;
 }
 
 void

@@ -35,6 +35,11 @@ class WarpSchedulers
     std::vector<WarpId> pickOrder(unsigned sid,
                                   const std::vector<Warp> &warps) const;
 
+    /** As above, writing into a caller-owned reusable buffer
+     *  (cleared first) — the SM core's per-cycle path. */
+    void pickOrder(unsigned sid, const std::vector<Warp> &warps,
+                   std::vector<WarpId> &out) const;
+
     /** Record that @p w issued (updates GTO greediness / LRR rotor). */
     void noteIssue(unsigned sid, WarpId w);
 

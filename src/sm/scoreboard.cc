@@ -82,11 +82,7 @@ std::vector<RegId>
 Scoreboard::pendingWriteRegs(WarpId w) const
 {
     std::vector<RegId> out;
-    const PerWarp &pw = warps_.at(w);
-    for (unsigned r = 0; r < 256; ++r) {
-        if (pw.pendingWrites[r])
-            out.push_back(static_cast<RegId>(r));
-    }
+    pendingWriteRegsInto(w, out);
     return out;
 }
 
@@ -94,12 +90,48 @@ std::vector<RegId>
 Scoreboard::pendingReadRegs(WarpId w) const
 {
     std::vector<RegId> out;
+    pendingReadRegsInto(w, out);
+    return out;
+}
+
+void
+Scoreboard::pendingWriteRegsInto(WarpId w,
+                                 std::vector<RegId> &out) const
+{
+    out.clear();
+    const PerWarp &pw = warps_.at(w);
+    for (unsigned r = 0; r < 256; ++r) {
+        if (pw.pendingWrites[r])
+            out.push_back(static_cast<RegId>(r));
+    }
+}
+
+void
+Scoreboard::pendingReadRegsInto(WarpId w,
+                                std::vector<RegId> &out) const
+{
+    out.clear();
     const PerWarp &pw = warps_.at(w);
     for (unsigned r = 0; r < 256; ++r) {
         if (pw.pendingReads[r])
             out.push_back(static_cast<RegId>(r));
     }
-    return out;
+}
+
+std::array<std::uint64_t, 3>
+Scoreboard::stallCounts() const
+{
+    return {rawStalls_->value(), wawStalls_->value(),
+            warStalls_->value()};
+}
+
+void
+Scoreboard::addStalls(const std::array<std::uint64_t, 3> &delta,
+                      std::uint64_t times)
+{
+    rawStalls_->inc(delta[0] * times);
+    wawStalls_->inc(delta[1] * times);
+    warStalls_->inc(delta[2] * times);
 }
 
 bool

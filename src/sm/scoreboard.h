@@ -58,6 +58,25 @@ class Scoreboard
     /** Registers of warp @p w with in-flight read reservations. */
     std::vector<RegId> pendingReadRegs(WarpId w) const;
 
+    /** In-place variants writing into a caller-owned buffer
+     *  (cleared first); the reusable-scratch form of the above. */
+    void pendingWriteRegsInto(WarpId w, std::vector<RegId> &out) const;
+    void pendingReadRegsInto(WarpId w, std::vector<RegId> &out) const;
+
+    /** Current raw/waw/war stall counts, in that order. Idle
+     *  fast-forward snapshots these around an inert cycle to learn
+     *  the per-cycle stall delta it must replicate. */
+    std::array<std::uint64_t, 3> stallCounts() const;
+
+    /**
+     * Replay the hazard-stall accounting of @p times identical
+     * cycles: each adds @p delta (a stallCounts() difference) to the
+     * raw/waw/war counters. This is how skipped inert cycles keep
+     * the golden statistics bit-identical to stepping them.
+     */
+    void addStalls(const std::array<std::uint64_t, 3> &delta,
+                   std::uint64_t times);
+
     /** Hazard accounting (raw/waw/war stalls, reservations); the
      *  observability layer exports it as `sm0.scoreboard.*`. */
     const StatGroup &stats() const { return stats_; }

@@ -167,6 +167,20 @@ struct SimConfig
     /** Abort the simulation after this many cycles (0 = unlimited). */
     std::uint64_t maxCycles = 200'000'000ull;
 
+    // --- host-side knobs (no effect on simulated statistics) ---
+    /**
+     * Idle fast-forward: when every resident warp is stalled on
+     * in-flight completions and no CTA can be placed, jump the clock
+     * to the next scheduled event instead of spinning cycle by
+     * cycle. Purely a host-speed optimisation — every counter,
+     * histogram and result is bit-identical either way (enforced by
+     * tests/test_event_wheel.cc), which is also why the result
+     * cache's simCacheKey deliberately ignores this field. Disabled
+     * automatically when a fault injector or cycle tracer is
+     * attached (they observe individual cycles).
+     */
+    bool hostFastForward = true;
+
     /** Effective BOC capacity after applying the default rule. */
     unsigned
     effectiveBocEntries() const

@@ -11,6 +11,26 @@
 
 namespace bow {
 
+namespace {
+
+/**
+ * Ring look-ahead for the completion wheel: the deepest pipeline
+ * latency plus a full L1 -> L2 -> DRAM miss (plus the shared-memory
+ * path). Queueing delays can push individual completions past this;
+ * the wheel's overflow map keeps those correct, just slower.
+ */
+unsigned
+completionHorizon(const SimConfig &c)
+{
+    unsigned lat = std::max({c.aluLatency, c.sfuLatency,
+                             c.ctrlLatency});
+    lat += c.l1Latency + c.l2Latency + c.dramLatency +
+        c.sharedLatency;
+    return lat;
+}
+
+} // namespace
+
 SmCore::SmCore(const SimConfig &config, const Launch &launch,
                FaultInjector *injector, const Watchdog *watchdog,
                TraceSink *tracer)
@@ -32,10 +52,15 @@ SmCore::SmCore(const SimConfig &config, const Launch &launch,
       rf_(config_),
       memTiming_(config_),
       units_(config_),
-      schedulers_(config_)
+      schedulers_(config_),
+      completions_(completionHorizon(config))
 {
     config_.validate();
     launch.validate();
+
+    // Idle fast-forward only runs unobserved: a fault injector or
+    // cycle tracer must see every individual cycle.
+    ffEnabled_ = config_.hostFastForward && !injector_ && !tracer_;
 
     residentCap_ = ctx.residentCap
         ? std::min(ctx.residentCap, config_.maxResidentWarps)
@@ -51,6 +76,10 @@ SmCore::SmCore(const SimConfig &config, const Launch &launch,
 
     if (usesBoc()) {
         warpSlots_.resize(launch.numWarps);
+        // Pre-size every slot vector at init so activateWarp()'s
+        // assign() never reallocates mid-run.
+        for (auto &slots : warpSlots_)
+            slots.reserve(config_.windowSize);
         bocs_.resize(launch.numWarps);
         bocFetchOutstanding_.assign(launch.numWarps, 0);
     } else {
@@ -65,6 +94,13 @@ SmCore::SmCore(const SimConfig &config, const Launch &launch,
     stats_.srcOperandHist.assign(4, 0);
     stats_.bocOccupancyHist.assign(config_.effectiveBocEntries() + 1,
                                    0);
+
+    // Per-cycle scratch buffers: size for the worst case up front so
+    // the steady-state hot path never touches the allocator.
+    servedScratch_.reserve(config_.numBanks);
+    orderScratch_.reserve(config_.maxResidentWarps);
+    readyScratch_.reserve(usesBoc() ? config_.windowSize
+                                    : config_.numCollectors);
 
     if (!externalAdmission_) {
         // Standalone path: this SM owns the whole launch. The GpuCore
@@ -94,6 +130,9 @@ SmCore::assignWarps(WarpId first, unsigned count)
         assigned_.push_back(static_cast<WarpId>(first + i));
     ++ctasAssigned_;
     admitWarps();
+    // New warps may have been activated between cycles: the SM is no
+    // longer provably inert, so fast-forward must re-prove it.
+    lastCycleInert_ = false;
 }
 
 void
@@ -146,7 +185,9 @@ void
 SmCore::finishWarp(Warp &warp)
 {
     if (usesBoc()) {
-        for (const BocEviction &ev : bocs_[warp.id]->flush())
+        flushScratch_.clear();
+        bocs_[warp.id]->flushInto(flushScratch_);
+        for (const BocEviction &ev : flushScratch_)
             handleEviction(warp.id, ev);
     } else if (config_.arch == Architecture::RFC) {
         for (RegId r : rfcs_[warp.id].flushDirty())
@@ -216,15 +257,13 @@ SmCore::handleRfServed(const RfRequest &req)
 void
 SmCore::processCompletions()
 {
-    auto it = completions_.find(now_);
-    if (it == completions_.end())
+    // The due bucket is swapped into the scratch before processing:
+    // retire-side effects may not schedule into the current cycle.
+    if (!completions_.takeDue(now_, doneScratch_))
         return;
-    // Take ownership: retire-side effects may not schedule into the
-    // current cycle.
-    std::vector<Completion> done = std::move(it->second);
-    completions_.erase(it);
+    cycleDidWork_ = true;
 
-    for (const Completion &c : done) {
+    for (const Completion &c : doneScratch_) {
         Warp &warp = warps_[c.warp];
         const Instruction &inst = kernelOf(c.warp).inst(c.idx);
 
@@ -287,8 +326,9 @@ SmCore::processCompletions()
                   case Architecture::BOW:
                   case Architecture::BOW_WR:
                   case Architecture::BOW_WR_OPT: {
-                    auto wres = bocs_[c.warp]->writeResult(
-                        c.seq, inst.dst, inst.hint);
+                    bocs_[c.warp]->writeResultInto(
+                        c.seq, inst.dst, inst.hint, writeScratch_);
+                    const BocWriteResult &wres = writeScratch_;
                     if (wres.wroteBoc) {
                         ++stats_.bocResultWrites;
                         scoreboard_.releaseWrite(c.warp, inst.dst);
@@ -380,6 +420,7 @@ SmCore::collectPhase()
                 oldest->awaiting.push_back(r);
                 rf_.pushRead(w, r, kBocFlag | w);
                 ++bocFetchOutstanding_[w];
+                cycleDidWork_ = true;
             }
         }
         return;
@@ -401,6 +442,7 @@ SmCore::collectPhase()
             const bool rfcHit = config_.arch == Architecture::RFC &&
                 rfcs_[slot.warp].readHit(r);
             rf_.pushRead(slot.warp, r, ci, rfcHit);
+            cycleDidWork_ = true;
         }
     }
 }
@@ -451,7 +493,8 @@ SmCore::tryDispatch(InstSlot &slot)
     c.readyCycle = slot.readyCycle == kNoCycle ? now_
                                                : slot.readyCycle;
     c.dispatchCycle = now_;
-    completions_[now_ + std::max(1u, latency)].push_back(c);
+    completions_.schedule(now_, now_ + std::max(1u, latency), c);
+    cycleDidWork_ = true;
 
     if (tracer_ && tracer_->wants(now_)) {
         tracer_->emit({now_, std::max(1u, latency),
@@ -474,16 +517,16 @@ SmCore::dispatchPhase()
                 continue;
             }
             // Oldest-first dispatch within the warp.
-            std::vector<InstSlot *> ready;
+            readyScratch_.clear();
             for (InstSlot &slot : warpSlots_[warp.id]) {
                 if (slot.ready())
-                    ready.push_back(&slot);
+                    readyScratch_.push_back(&slot);
             }
-            std::sort(ready.begin(), ready.end(),
+            std::sort(readyScratch_.begin(), readyScratch_.end(),
                       [](const InstSlot *a, const InstSlot *b) {
                           return a->seq < b->seq;
                       });
-            for (InstSlot *slot : ready)
+            for (InstSlot *slot : readyScratch_)
                 tryDispatch(*slot);
         }
     } else {
@@ -553,14 +596,20 @@ SmCore::tryIssue(WarpId w)
     }
 
     if (usesBoc()) {
-        auto res = bocs_[w]->insert(slot->seq, srcs);
+        bocs_[w]->insertInto(slot->seq,
+                             std::span<const RegId>(srcs.data(),
+                                                    srcs.size()),
+                             insertScratch_);
+        const BocInsertResult &res = insertScratch_;
         stats_.bocForwards += res.forwarded;
         if (tracing && res.forwarded) {
             tracer_->emit({now_, 1, TraceEventKind::Bypass, w, kNoReg,
                            static_cast<std::uint32_t>(res.forwarded)});
         }
-        slot->toRequest = std::move(res.toFetch);
-        slot->awaiting = std::move(res.sharedFetch);
+        for (RegId r : res.toFetch)
+            slot->toRequest.push_back(r);
+        for (RegId r : res.sharedFetch)
+            slot->awaiting.push_back(r);
         for (const BocEviction &ev : res.evictions)
             handleEviction(w, ev);
     } else {
@@ -579,6 +628,7 @@ SmCore::tryIssue(WarpId w)
     }
     ++warp.inFlight;
     warp.lastIssue = now_;
+    cycleDidWork_ = true;
     return true;
 }
 
@@ -587,8 +637,8 @@ SmCore::issuePhase()
 {
     for (unsigned sid = 0; sid < config_.numSchedulers; ++sid) {
         unsigned issued = 0;
-        const auto order = schedulers_.pickOrder(sid, warps_);
-        for (WarpId w : order) {
+        schedulers_.pickOrder(sid, warps_, orderScratch_);
+        for (WarpId w : orderScratch_) {
             while (issued < config_.issuePerScheduler && tryIssue(w)) {
                 schedulers_.noteIssue(sid, w);
                 ++issued;
@@ -600,7 +650,7 @@ SmCore::issuePhase()
 }
 
 void
-SmCore::samplePhase()
+SmCore::samplePhase(std::uint64_t weight)
 {
     if (!usesBoc())
         return;
@@ -612,7 +662,7 @@ SmCore::samplePhase()
         const unsigned occ = bocs_[warp.id]->occupied();
         const std::size_t bucket = std::min<std::size_t>(
             occ, stats_.bocOccupancyHist.size() - 1);
-        ++stats_.bocOccupancyHist[bucket];
+        stats_.bocOccupancyHist[bucket] += weight;
     }
 }
 
@@ -621,15 +671,85 @@ SmCore::cycle()
 {
     if (injector_)
         injector_->onCycle(now_, warps_, bocs_, rfcs_);
+    cycleDidWork_ = false;
+    // Snapshot the hazard-stall counters: if this cycle turns out
+    // inert, their delta is what every skipped cycle must replay.
+    std::array<std::uint64_t, 3> stallsBefore{};
+    if (ffEnabled_)
+        stallsBefore = scoreboard_.stallCounts();
     units_.newCycle();
-    for (const RfRequest &req : rf_.tick())
+    rf_.tick(servedScratch_);
+    if (!servedScratch_.empty())
+        cycleDidWork_ = true;
+    for (const RfRequest &req : servedScratch_)
         handleRfServed(req);
     processCompletions();
     collectPhase();
     dispatchPhase();
     issuePhase();
-    samplePhase();
+    samplePhase(1);
+    if (ffEnabled_) {
+        lastCycleInert_ = !cycleDidWork_;
+        if (lastCycleInert_) {
+            const auto after = scoreboard_.stallCounts();
+            for (std::size_t i = 0; i < 3; ++i)
+                inertStallDelta_[i] = after[i] - stallsBefore[i];
+        }
+    }
     ++now_;
+}
+
+Cycle
+SmCore::budgetCap() const
+{
+    // Latest cycle fast-forward may reach: the maxCycles valve and
+    // the watchdog's deterministic cycle budget both trip on exact
+    // busy-cycle counts, so a jump must stop where stepping would.
+    Cycle cap = kNoCycle;
+    if (config_.maxCycles)
+        cap = now_ + (config_.maxCycles - busyCycles_);
+    if (watchdog_ && watchdog_->limits().cycleBudget) {
+        const std::uint64_t budget = watchdog_->limits().cycleBudget;
+        const Cycle left = budget > busyCycles_
+            ? budget - busyCycles_
+            : 0;
+        cap = std::min(cap, now_ + left);
+    }
+    return cap;
+}
+
+Cycle
+SmCore::nextWakeCycle() const
+{
+    if (finished())
+        return kNoCycle;
+    if (!ffEnabled_ || !lastCycleInert_)
+        return now_;
+    const Cycle next = completions_.nextEventCycle(now_);
+    if (next == kNoCycle) {
+        // Inert with an empty wheel: a genuine deadlock. Keep
+        // stepping so the maxCycles diagnostic fires exactly as it
+        // always did.
+        return now_;
+    }
+    return std::min(next, budgetCap());
+}
+
+void
+SmCore::fastForwardTo(Cycle target)
+{
+    if (!ffEnabled_ || !lastCycleInert_)
+        panic("SmCore::fastForwardTo: SM is not provably inert");
+    if (target <= now_)
+        panic("SmCore::fastForwardTo: target is not in the future");
+    const std::uint64_t skipped = target - now_;
+    now_ = target;
+    // Skipped cycles are real simulated cycles for every budget and
+    // statistic; only the host never stepped them.
+    busyCycles_ += skipped;
+    stats_.fastforwardCycles += skipped;
+    scoreboard_.addStalls(inertStallDelta_, skipped);
+    samplePhase(skipped);
 }
 
 bool
@@ -776,8 +896,18 @@ SmCore::run()
 {
     if (ran_)
         panic("SmCore::run: already ran");
-    while (!finished())
+    while (!finished()) {
         step();
+        // Idle fast-forward: if the cycle just simulated was inert,
+        // every cycle until the next completion event is too — jump
+        // straight there (multi-SM runs make this decision in
+        // GpuCore instead, across all SMs).
+        if (ffEnabled_ && lastCycleInert_ && !finished()) {
+            const Cycle target = nextWakeCycle();
+            if (target != kNoCycle && target > now_)
+                fastForwardTo(target);
+        }
+    }
     return finalize();
 }
 
@@ -825,6 +955,8 @@ SmCore::exportMetrics(MetricsRegistry &out) const
     out.setCounter(name("core.peak_resident_warps"),
                    stats_.peakResident);
     out.setCounter(name("core.ctas"), ctasAssigned_);
+    out.setCounter(name("core.fastforward_cycles"),
+                   stats_.fastforwardCycles);
 
     out.setCounter(name("oc.cycles_mem"), stats_.ocCyclesMem);
     out.setCounter(name("oc.cycles_nonmem"), stats_.ocCyclesNonMem);

@@ -10,10 +10,12 @@
 #ifndef BOWSIM_SM_SM_CORE_H
 #define BOWSIM_SM_SM_CORE_H
 
-#include <map>
+#include <array>
 #include <optional>
 #include <vector>
 
+#include "common/event_wheel.h"
+#include "common/small_vec.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "sm/boc.h"
@@ -100,6 +102,10 @@ struct RunStats
 
     /** High-water mark of concurrently resident warps (occupancy). */
     std::uint64_t peakResident = 0;
+
+    /** Simulated cycles skipped by idle fast-forward (host-speed
+     *  accounting only; they are fully included in `cycles`). */
+    std::uint64_t fastforwardCycles = 0;
 };
 
 /** One in-flight instruction occupying a collector slot. */
@@ -110,10 +116,12 @@ struct InstSlot
     InstIdx idx = 0;
     SeqNum seq = 0;
     Cycle issueCycle = 0;
-    /** Register reads not yet sent to the RF (this slot's fetches). */
-    std::vector<RegId> toRequest;
+    /** Register reads not yet sent to the RF (this slot's fetches).
+     *  Inline storage: an instruction has at most 3 register sources
+     *  plus a predicate, so these never allocate. */
+    SmallVec<RegId, 4> toRequest;
     /** Register reads in flight (own or shared), awaiting arrival. */
-    std::vector<RegId> awaiting;
+    SmallVec<RegId, 4> awaiting;
     /** RF reads in flight on this slot's own port(s) (baseline). */
     std::uint8_t outstanding = 0;
     /** Program-order index among the warp's memory instructions. */
@@ -205,6 +213,38 @@ class SmCore
     /** All assigned warps retired and the pipeline drained. */
     bool finished() const;
 
+    /**
+     * Idle fast-forward probe (docs/PERFORMANCE.md). Returns the
+     * earliest future cycle at which this SM can possibly do work
+     * again:
+     *
+     *  - `now()` when the SM is not provably inert (it just did
+     *    work, fast-forward is disabled, or the event wheel is empty
+     *    — the latter keeps a genuine deadlock spinning toward the
+     *    maxCycles diagnostic exactly as before);
+     *  - the next completion cycle, clamped to the maxCycles /
+     *    watchdog budgets so those still trip on the same cycle;
+     *  - kNoCycle when the SM is finished (nothing will ever wake
+     *    it).
+     *
+     * The caller (run() or GpuCore) jumps with fastForwardTo() when
+     * the returned cycle is beyond now().
+     */
+    Cycle nextWakeCycle() const;
+
+    /**
+     * Jump the clock to @p target (> now()) without simulating the
+     * intervening cycles. Only legal when every skipped cycle is
+     * provably inert — i.e. immediately after nextWakeCycle()
+     * returned @p target or later. Replays the per-cycle statistic
+     * side-effects an inert cycle still has (scoreboard hazard-stall
+     * counters, BOC occupancy samples) so results stay bit-identical
+     * to stepping.
+     */
+    void fastForwardTo(Cycle target);
+
+    Cycle now() const { return now_; }
+
     /** Warps assigned to this SM that have not yet retired. */
     unsigned
     unfinishedAssigned() const
@@ -280,8 +320,12 @@ class SmCore
     bool tryDispatch(InstSlot &slot);
     void issuePhase();
     bool tryIssue(WarpId w);
-    void samplePhase();
+    /** Sample per-warp BOC occupancy, weighted so fast-forward can
+     *  replay @p weight identical cycles in one call. */
+    void samplePhase(std::uint64_t weight);
     void cycle();
+    /** Latest cycle the budget valves allow before tripping. */
+    Cycle budgetCap() const;
 
     /** Per-warp stall snapshot reported when maxCycles trips. */
     std::string deadlockDiagnostics() const;
@@ -313,7 +357,11 @@ class SmCore
     std::vector<std::uint8_t> bocFetchOutstanding_;
     std::vector<Rfc> rfcs_;
 
-    std::map<Cycle, std::vector<Completion>> completions_;
+    /** Pending completions, keyed by retire cycle (event wheel; see
+     *  docs/PERFORMANCE.md). Sized so every pipeline + memory
+     *  latency fits the ring; longer (queueing-delayed) events land
+     *  in the overflow map and stay correct. */
+    EventWheel<Completion> completions_;
     unsigned outstandingLoads_ = 0;
     unsigned residentWarps_ = 0;
     /** Global warp ids queued onto this SM, in arrival order. */
@@ -329,6 +377,31 @@ class SmCore
     std::vector<RegFileState> finalRegs_;
     RunStats stats_;
     bool ran_ = false;
+
+    // --- idle fast-forward state (docs/PERFORMANCE.md) ---
+    /** hostFastForward, and no per-cycle observer attached. */
+    bool ffEnabled_ = false;
+    /** The last simulated cycle did no work (no RF serve, retire,
+     *  fetch, dispatch or issue), so the SM state can only change at
+     *  the next completion event. */
+    bool lastCycleInert_ = false;
+    /** Scoreboard raw/waw/war stall increments of that inert cycle;
+     *  each skipped cycle replays exactly this delta. */
+    std::array<std::uint64_t, 3> inertStallDelta_{};
+    /** Set by the pipeline phases whenever the current cycle does
+     *  observable work; cleared at the top of cycle(). */
+    bool cycleDidWork_ = false;
+
+    // --- per-cycle scratch buffers (docs/PERFORMANCE.md: the hot
+    // path never allocates; these are cleared and refilled every
+    // cycle, retaining their capacity) ---
+    std::vector<RfRequest> servedScratch_;
+    std::vector<Completion> doneScratch_;
+    std::vector<WarpId> orderScratch_;
+    std::vector<InstSlot *> readyScratch_;
+    BocInsertResult insertScratch_;
+    BocWriteResult writeScratch_;
+    std::vector<BocEviction> flushScratch_;
 
     /** Collector-id encoding: BOW reads carry the warp id + flag. */
     static constexpr std::uint32_t kBocFlag = 0x80000000u;

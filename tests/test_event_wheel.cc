@@ -1,0 +1,377 @@
+/**
+ * @file
+ * The host-speed layer's correctness suite (docs/PERFORMANCE.md).
+ * Three families of guarantees:
+ *
+ *  - EventWheel unit + fuzz: the calendar queue behind SmCore's
+ *    completion retirement is drop-in equivalent to the
+ *    std::map<Cycle, std::vector> it replaced — including ring
+ *    wrap-around, the beyond-horizon overflow path, in-bucket FIFO
+ *    order, and nextEventCycle() at a cycle boundary (an event due
+ *    at exactly `now` must report `now`, or idle fast-forward would
+ *    jump past it).
+ *
+ *  - Fast-forward equivalence: hostFastForward on vs off produces
+ *    bit-identical SimResults — every stat, metric, final register
+ *    and memory word — across workloads, architectures and SM
+ *    counts. The only permitted difference is the
+ *    core.fastforward_cycles diagnostic itself.
+ *
+ *  - Fast-forward engagement: on a memory-stall-heavy workload the
+ *    optimization actually fires (fastforwardCycles > 0), so the
+ *    equivalence above is not vacuous.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/event_wheel.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "tests/fuzz_kernels.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+// ---------------------------------------------------------------------
+// EventWheel unit tests.
+// ---------------------------------------------------------------------
+
+TEST(EventWheel, RoundsHorizonUpToPowerOfTwoFloor64)
+{
+    EXPECT_EQ(EventWheel<int>(1).horizon(), 64u);
+    EXPECT_EQ(EventWheel<int>(64).horizon(), 64u);
+    EXPECT_EQ(EventWheel<int>(65).horizon(), 128u);
+    EXPECT_EQ(EventWheel<int>(608).horizon(), 1024u);
+}
+
+TEST(EventWheel, EmptyWheelHasNoNextEvent)
+{
+    EventWheel<int> wheel(64);
+    EXPECT_TRUE(wheel.empty());
+    EXPECT_EQ(wheel.nextEventCycle(0), kNoCycle);
+    EXPECT_EQ(wheel.nextEventCycle(12345), kNoCycle);
+    std::vector<int> out;
+    EXPECT_FALSE(wheel.takeDue(7, out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(EventWheel, PopsInCycleOrderAndBucketFifoOrder)
+{
+    EventWheel<int> wheel(64);
+    wheel.schedule(0, 5, 50);
+    wheel.schedule(0, 3, 30);
+    wheel.schedule(0, 5, 51);   // same bucket: FIFO after 50
+    wheel.schedule(0, 1, 10);
+    EXPECT_EQ(wheel.size(), 4u);
+
+    std::vector<int> out;
+    EXPECT_EQ(wheel.nextEventCycle(1), 1u);
+    EXPECT_TRUE(wheel.takeDue(1, out));
+    EXPECT_EQ(out, (std::vector<int>{10}));
+
+    EXPECT_EQ(wheel.nextEventCycle(2), 3u);
+    EXPECT_FALSE(wheel.takeDue(2, out));
+    EXPECT_TRUE(wheel.takeDue(3, out));
+    EXPECT_EQ(out, (std::vector<int>{30}));
+
+    EXPECT_TRUE(wheel.takeDue(5, out));
+    EXPECT_EQ(out, (std::vector<int>{50, 51}));
+    EXPECT_TRUE(wheel.empty());
+}
+
+TEST(EventWheel, NextEventAtExactlyNowReportsNow)
+{
+    // The fast-forward caller asks "where is the next event?" at a
+    // cycle boundary; an event due this very cycle must not be
+    // skipped over.
+    EventWheel<int> wheel(64);
+    wheel.schedule(9, 10, 1);
+    EXPECT_EQ(wheel.nextEventCycle(10), 10u);
+}
+
+TEST(EventWheel, WrapAroundKeepsCyclesSeparate)
+{
+    // Drive the clock several times around the ring; a bucket is
+    // reused by many cycles but never mixes two of them.
+    EventWheel<int> wheel(64);
+    const unsigned horizon = wheel.horizon();
+    std::vector<int> out;
+    Cycle now = 0;
+    for (int lap = 0; lap < 5; ++lap) {
+        for (unsigned i = 0; i < horizon; ++i) {
+            // Full-horizon lookahead: lands in the bucket now & mask
+            // occupies — the one takeDue just drained.
+            wheel.takeDue(now, out);
+            for (const int v : out)
+                EXPECT_EQ(static_cast<Cycle>(v), now) << "now=" << now;
+            wheel.schedule(now, now + horizon,
+                           static_cast<int>(now + horizon));
+            ++now;
+        }
+    }
+    // Drain the tail.
+    while (!wheel.empty()) {
+        wheel.takeDue(now, out);
+        for (const int v : out)
+            EXPECT_EQ(static_cast<Cycle>(v), now);
+        ++now;
+    }
+}
+
+TEST(EventWheel, BeyondHorizonEventsMigrateFromOverflow)
+{
+    EventWheel<int> wheel(64);
+    const unsigned horizon = wheel.horizon();
+    const Cycle far = 3 * horizon + 17;
+    wheel.schedule(0, far, 7);
+    wheel.schedule(0, 2, 2);
+    EXPECT_EQ(wheel.size(), 2u);
+    EXPECT_EQ(wheel.nextEventCycle(0), 2u);
+
+    std::vector<int> out;
+    EXPECT_TRUE(wheel.takeDue(2, out));
+    EXPECT_EQ(out, (std::vector<int>{2}));
+
+    // The overflow event is now the only one; nextEventCycle must
+    // see it even though no ring bucket is occupied yet.
+    EXPECT_EQ(wheel.nextEventCycle(3), far);
+
+    // Step straight to it (idle fast-forward) and pop.
+    EXPECT_TRUE(wheel.takeDue(far, out));
+    EXPECT_EQ(out, (std::vector<int>{7}));
+    EXPECT_TRUE(wheel.empty());
+}
+
+TEST(EventWheel, SchedulingIntoThePastPanics)
+{
+    EventWheel<int> wheel(64);
+    EXPECT_THROW(wheel.schedule(5, 5, 1), PanicError);
+    EXPECT_THROW(wheel.schedule(5, 4, 1), PanicError);
+}
+
+TEST(EventWheel, FuzzMatchesMapReferenceModel)
+{
+    // Differential fuzz against the exact structure the wheel
+    // replaced. Random bursts of schedules (mostly within the
+    // horizon, sometimes far beyond it), random idle gaps, and the
+    // occasional fast-forward jump to nextEventCycle().
+    EventWheel<std::uint64_t> wheel(100);
+    std::map<Cycle, std::vector<std::uint64_t>> model;
+    Rng rng(0xB0C5EEDull);
+    Cycle now = 0;
+    std::uint64_t payload = 0;
+    std::vector<std::uint64_t> out;
+
+    for (int step = 0; step < 20'000; ++step) {
+        // Pop everything due now, in both structures.
+        const bool had = wheel.takeDue(now, out);
+        const auto it = model.find(now);
+        if (it != model.end()) {
+            ASSERT_TRUE(had) << "now=" << now;
+            ASSERT_EQ(out, it->second) << "now=" << now;
+            model.erase(it);
+        } else {
+            ASSERT_FALSE(had) << "now=" << now;
+        }
+
+        // Schedule a random burst.
+        const unsigned burst = static_cast<unsigned>(rng.below(4));
+        for (unsigned i = 0; i < burst; ++i) {
+            Cycle delta = 1 + rng.below(90);
+            if (rng.below(10) == 0)
+                delta = 1 + rng.below(5000); // deep overflow
+            wheel.schedule(now, now + delta, payload);
+            model[now + delta].push_back(payload);
+            ++payload;
+        }
+
+        // Advance: usually one cycle, sometimes an idle jump.
+        ++now;
+        if (rng.below(8) == 0) {
+            const Cycle next = wheel.nextEventCycle(now);
+            const Cycle modelNext =
+                model.empty() ? kNoCycle : model.begin()->first;
+            ASSERT_EQ(next, std::max(modelNext, now))
+                << "now=" << now;
+            if (next != kNoCycle && next > now)
+                now = next;
+        }
+    }
+    ASSERT_EQ(wheel.size(),
+              [&] {
+                  std::size_t n = 0;
+                  for (const auto &[c, v] : model)
+                      n += v.size();
+                  return n;
+              }());
+}
+
+// ---------------------------------------------------------------------
+// Idle fast-forward: bit-identical results, and it actually engages.
+// ---------------------------------------------------------------------
+
+/** All-but-fastforwardCycles equality of two RunStats. */
+void
+expectStatsEqualModuloFf(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ocCyclesMem, b.ocCyclesMem);
+    EXPECT_EQ(a.ocCyclesNonMem, b.ocCyclesNonMem);
+    EXPECT_EQ(a.totalCyclesMem, b.totalCyclesMem);
+    EXPECT_EQ(a.totalCyclesNonMem, b.totalCyclesNonMem);
+    EXPECT_EQ(a.instsMem, b.instsMem);
+    EXPECT_EQ(a.instsNonMem, b.instsNonMem);
+    EXPECT_EQ(a.rfReads, b.rfReads);
+    EXPECT_EQ(a.rfWrites, b.rfWrites);
+    EXPECT_EQ(a.bocForwards, b.bocForwards);
+    EXPECT_EQ(a.bocDeposits, b.bocDeposits);
+    EXPECT_EQ(a.bocResultWrites, b.bocResultWrites);
+    EXPECT_EQ(a.rfcReads, b.rfcReads);
+    EXPECT_EQ(a.rfcWrites, b.rfcWrites);
+    EXPECT_EQ(a.consolidatedWrites, b.consolidatedWrites);
+    EXPECT_EQ(a.transientDrops, b.transientDrops);
+    EXPECT_EQ(a.safetyWrites, b.safetyWrites);
+    EXPECT_EQ(a.destRfOnly, b.destRfOnly);
+    EXPECT_EQ(a.destBocOnly, b.destBocOnly);
+    EXPECT_EQ(a.destBocAndRf, b.destBocAndRf);
+    EXPECT_EQ(a.srcOperandHist, b.srcOperandHist);
+    EXPECT_EQ(a.bocOccupancyHist, b.bocOccupancyHist);
+    EXPECT_EQ(a.bankReadConflicts, b.bankReadConflicts);
+    EXPECT_EQ(a.bankWriteConflicts, b.bankWriteConflicts);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.peakResident, b.peakResident);
+}
+
+/** The fast-forward diagnostic is the one metric allowed to differ. */
+bool
+isFfDiagnostic(const std::string &name)
+{
+    const std::string suffix = "core.fastforward_cycles";
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+void
+expectMetricsEqualModuloFf(const MetricsRegistry &a,
+                           const MetricsRegistry &b)
+{
+    ASSERT_EQ(a.names(), b.names());
+    for (const std::string &name : a.names()) {
+        if (isFfDiagnostic(name))
+            continue;
+        ASSERT_EQ(a.kindOf(name), b.kindOf(name)) << name;
+        switch (a.kindOf(name)) {
+          case MetricKind::Counter:
+            EXPECT_EQ(a.counter(name), b.counter(name)) << name;
+            break;
+          case MetricKind::Value:
+            EXPECT_EQ(a.value(name), b.value(name)) << name;
+            break;
+          case MetricKind::Hist:
+            EXPECT_EQ(a.hist(name), b.hist(name)) << name;
+            break;
+        }
+    }
+}
+
+void
+expectFfEquivalent(const Launch &launch, SimConfig config,
+                   const std::string &label)
+{
+    config.hostFastForward = true;
+    const SimResult on = Simulator(config).run(launch);
+    config.hostFastForward = false;
+    const SimResult off = Simulator(config).run(launch);
+
+    SCOPED_TRACE(label);
+    expectStatsEqualModuloFf(on.stats, off.stats);
+    EXPECT_EQ(off.stats.fastforwardCycles, 0u);
+    expectMetricsEqualModuloFf(on.metrics, off.metrics);
+    ASSERT_EQ(on.finalRegs.size(), off.finalRegs.size());
+    for (std::size_t w = 0; w < on.finalRegs.size(); ++w)
+        EXPECT_EQ(on.finalRegs[w], off.finalRegs[w]) << "warp " << w;
+    EXPECT_TRUE(on.finalMem.contentsEqual(off.finalMem));
+}
+
+TEST(FastForward, BitIdenticalOnRealWorkloads)
+{
+    constexpr double kScale = 0.05; // pinned like the golden gate
+    const struct
+    {
+        const char *workload;
+        Architecture arch;
+    } cases[] = {
+        {"VECTORADD", Architecture::Baseline},
+        {"BTREE", Architecture::BOW_WR},
+        {"BFS", Architecture::RFC},
+        {"BTREE", Architecture::BOW_WR_OPT},
+    };
+    for (const auto &c : cases) {
+        const Workload wl = workloads::make(c.workload, kScale);
+        expectFfEquivalent(wl.launch, configFor(c.arch),
+                           strf(c.workload, "/", archName(c.arch)));
+    }
+}
+
+class FastForwardFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FastForwardFuzz, BitIdenticalAcrossArchsAndSmCounts)
+{
+    Launch launch = fuzzKernelLaunch(GetParam());
+    launch.warpsPerCta = 1 + static_cast<unsigned>(GetParam() % 4);
+
+    for (Architecture arch :
+         {Architecture::Baseline, Architecture::BOW_WR,
+          Architecture::BOW_WR_OPT}) {
+        for (unsigned numSms : {1u, 2u, 4u}) {
+            SimConfig config = configFor(arch);
+            config.numSms = numSms;
+            expectFfEquivalent(
+                launch, config,
+                strf("seed=", GetParam(), " arch=", archName(arch),
+                     " numSms=", numSms));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastForwardFuzz,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(FastForward, EngagesOnMemoryStallHeavyWorkload)
+{
+    // BTREE's pointer chasing leaves every warp waiting on memory for
+    // long stretches; if the fast-forward never fired here, the
+    // equivalence tests above would be testing nothing.
+    const Workload wl = workloads::make("BTREE", 0.05);
+    SimConfig config = configFor(Architecture::BOW_WR);
+    ASSERT_TRUE(config.hostFastForward); // on by default
+    const SimResult res = Simulator(config).run(wl.launch);
+    EXPECT_GT(res.stats.fastforwardCycles, 0u);
+    EXPECT_EQ(res.metrics.counter("sm0.core.fastforward_cycles"),
+              res.stats.fastforwardCycles);
+}
+
+TEST(FastForward, EngagesInMultiSmModel)
+{
+    const Workload wl = workloads::make("BTREE", 0.05);
+    SimConfig config = configFor(Architecture::BOW_WR);
+    config.numSms = 2;
+    const SimResult res = Simulator(config).run(wl.launch);
+    EXPECT_GT(res.stats.fastforwardCycles, 0u);
+}
+
+} // namespace
+} // namespace bow
