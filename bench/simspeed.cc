@@ -18,6 +18,7 @@
  */
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -58,6 +59,43 @@ secondsOf(const std::chrono::steady_clock::time_point &t0)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+/**
+ * One cell of the parallel-SM-stepping section: VECTORADD under
+ * BOW-WR at numSms x hostThreads, plus whether its results matched
+ * the hostThreads=1 reference bit-for-bit (the whole point of the
+ * scheme — a speedup that changes the statistics is a bug, not a
+ * win).
+ */
+struct ParCell
+{
+    unsigned numSms = 0;
+    unsigned hostThreads = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double seconds = 0.0;  ///< best (minimum) of the repeats
+    bool statsMatch = false;
+
+    double
+    kips() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(instructions) / seconds / 1e3
+            : 0.0;
+    }
+};
+
+/**
+ * The host-thread knob travels via BOWSIM_HOST_THREADS rather than
+ * SimConfig so this source still compiles against checkouts that
+ * predate the config field (the harness's whole before/after trick);
+ * old simulators simply ignore the variable and run serially.
+ */
+void
+setHostThreadsEnv(unsigned n)
+{
+    setenv("BOWSIM_HOST_THREADS", std::to_string(n).c_str(), 1);
 }
 
 } // namespace
@@ -153,6 +191,79 @@ main(int argc, char **argv)
               << formatFixed(aggKips, 1) << " KIPS ("
               << formatFixed(wallSeconds, 2) << "s wall)\n";
 
+    // ------------------------------------------------------------------
+    // Parallel SM stepping (docs/PERFORMANCE.md): the same simulation
+    // at several intra-simulation host thread counts. "match" is a
+    // hard correctness bit: every cell's cycles, instructions, final
+    // registers, final memory and full metric registry must equal the
+    // hostThreads=1 reference of its SM count.
+    // ------------------------------------------------------------------
+    std::cout << "\n";
+    Table ptable("parallel SM stepping (VECTORADD, BOW-WR)");
+    ptable.setHeader({"SMs", "host-threads", "cycles", "insts",
+                      "seconds", "KIPS", "match"});
+
+    Workload va = workloads::make("VECTORADD", scale);
+    va.launch.warpsPerCta = 4;  // the scaling bench's grid shape
+
+    const char *prevEnv = std::getenv("BOWSIM_HOST_THREADS");
+    const std::string prevEnvSaved = prevEnv ? prevEnv : "";
+
+    std::vector<ParCell> pcells;
+    for (unsigned numSms : {4u, 28u}) {
+        SimConfig config = configFor(Architecture::BOW_WR);
+        config.numSms = numSms;
+        const Simulator sim(config);
+
+        // hostThreads=1 reference for the match bit (untimed).
+        setHostThreadsEnv(1);
+        const SimResult ref = sim.run(va.launch);
+        const std::string refMetrics = ref.metrics.toJson().dump();
+
+        for (unsigned hostThreads : {1u, 2u, 4u}) {
+            setHostThreadsEnv(hostThreads);
+            ParCell cell;
+            cell.numSms = numSms;
+            cell.hostThreads = hostThreads;
+            cell.seconds = std::numeric_limits<double>::infinity();
+            for (unsigned r = 0; r < repeat; ++r) {
+                const auto t0 = std::chrono::steady_clock::now();
+                const SimResult res = sim.run(va.launch);
+                const double secs = secondsOf(t0);
+                cell.seconds = std::min(cell.seconds, secs);
+                cell.cycles = res.stats.cycles;
+                cell.instructions = res.stats.instructions;
+                cell.statsMatch =
+                    res.stats.cycles == ref.stats.cycles &&
+                    res.stats.instructions ==
+                        ref.stats.instructions &&
+                    res.finalRegs == ref.finalRegs &&
+                    res.finalMem.contentsEqual(ref.finalMem) &&
+                    res.metrics.toJson().dump() == refMetrics;
+            }
+            pcells.push_back(cell);
+            ptable.beginRow()
+                .cell(static_cast<std::uint64_t>(cell.numSms))
+                .cell(static_cast<std::uint64_t>(cell.hostThreads))
+                .cell(cell.cycles)
+                .cell(cell.instructions)
+                .cell(cell.seconds, 4)
+                .cell(cell.kips(), 1)
+                .cell(cell.statsMatch ? "yes" : "NO");
+        }
+    }
+    if (prevEnvSaved.empty() && !prevEnv)
+        unsetenv("BOWSIM_HOST_THREADS");
+    else
+        setenv("BOWSIM_HOST_THREADS", prevEnvSaved.c_str(), 1);
+    ptable.print(std::cout);
+
+    bool allMatch = true;
+    for (const ParCell &c : pcells)
+        allMatch = allMatch && c.statsMatch;
+    std::cout << "parallel stepping serial/parallel stat-diff: "
+              << (allMatch ? "empty" : "NON-EMPTY (BUG)") << "\n";
+
     JsonValue root = JsonValue::object();
     root.set("schema", "bowsim-simspeed-v1");
     root.set("scale", scale);
@@ -169,6 +280,22 @@ main(int argc, char **argv)
         rows.push(std::move(row));
     }
     root.set("cells", std::move(rows));
+    JsonValue prows = JsonValue::array();
+    for (const ParCell &c : pcells) {
+        JsonValue row = JsonValue::object();
+        row.set("workload", std::string("VECTORADD"));
+        row.set("arch", archName(Architecture::BOW_WR));
+        row.set("num_sms", static_cast<std::uint64_t>(c.numSms));
+        row.set("host_threads",
+                static_cast<std::uint64_t>(c.hostThreads));
+        row.set("cycles", c.cycles);
+        row.set("instructions", c.instructions);
+        row.set("seconds", c.seconds);
+        row.set("kips", c.kips());
+        row.set("stats_match", c.statsMatch);
+        prows.push(std::move(row));
+    }
+    root.set("parallel", std::move(prows));
     JsonValue agg = JsonValue::object();
     agg.set("cycles", totalCycles);
     agg.set("instructions", totalInsts);

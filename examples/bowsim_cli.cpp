@@ -26,6 +26,11 @@
  *     --jobs N            parallel simulations for --workload ALL
  *                         (default BOWSIM_JOBS or all hardware
  *                         threads)
+ *     --host-threads N    host threads stepping the SMs of one
+ *                         simulation (needs --num-sms > 1; default
+ *                         BOWSIM_HOST_THREADS or all hardware
+ *                         threads; bit-identical results at any N,
+ *                         see docs/PERFORMANCE.md)
  *     --no-fastforward    disable the host-side idle fast-forward
  *                         (bit-identical results either way; see
  *                         docs/PERFORMANCE.md)
@@ -112,6 +117,7 @@ usage()
         "                  [--num-sms N] [--cta-policy rr|lrr]\n"
         "                  [--l2-banks N]\n"
         "                  [--scale S] [--jobs N] [--csv]\n"
+        "                  [--host-threads N]\n"
         "                  [--no-fastforward] [--profile]\n"
         "                  [--faults N] [--fault-sites rf,boc,rfc]\n"
         "                  [--seed S] [--fault-protection P]\n"
@@ -119,6 +125,24 @@ usage()
         "                  [--metrics-out FILE] [--trace-out FILE]\n"
         "                  [--trace-cycles A:B] [--manifest-out FILE]\n";
     std::exit(1);
+}
+
+/**
+ * Value of a thread-count flag: a strictly positive integer. Zero,
+ * negatives and non-numeric values all fail with one clear message —
+ * a stray 0 silently meaning "auto" was too easy to reach from a
+ * typo or an empty shell variable.
+ */
+unsigned
+parseThreadCount(const char *flag, const char *arg)
+{
+    char *end = nullptr;
+    const long v = std::strtol(arg, &end, 10);
+    if (end == arg || *end != '\0' || v < 1) {
+        fatal(strf(flag, " wants a positive integer, got '", arg,
+                   "'"));
+    }
+    return static_cast<unsigned>(v);
 }
 
 FaultProtection
@@ -349,19 +373,12 @@ main(int argc, char **argv)
             config.l2Banks = static_cast<unsigned>(std::atoi(need(i)));
         else if (!std::strcmp(a, "--scale"))
             scale = std::atof(need(i));
-        else if (!std::strcmp(a, "--jobs")) {
-            const char *arg = need(i);
-            char *end = nullptr;
-            const long v = std::strtol(arg, &end, 10);
-            if (end == arg || *end != '\0' || v < 0) {
-                std::cerr << "bowsim_cli: --jobs wants a"
-                             " non-negative integer, got '"
-                          << arg << "'\n";
-                return 1;
-            }
+        else if (!std::strcmp(a, "--jobs"))
             ParallelRunner::setDefaultJobs(
-                static_cast<unsigned>(v));
-        }
+                parseThreadCount("--jobs", need(i)));
+        else if (!std::strcmp(a, "--host-threads"))
+            config.hostThreads =
+                parseThreadCount("--host-threads", need(i));
         else if (!std::strcmp(a, "--faults"))
             faults = static_cast<unsigned>(std::atoi(need(i)));
         else if (!std::strcmp(a, "--fault-sites"))

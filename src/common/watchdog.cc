@@ -33,8 +33,9 @@ Watchdog::checkpoint(std::uint64_t cycle) const
     if (cancelled_.load(std::memory_order_relaxed))
         throw HangError("watchdog: simulation cancelled");
     if (limits_.wallSeconds > 0.0 &&
-        ++sinceWallCheck_ >= kWallCheckInterval) {
-        sinceWallCheck_ = 0;
+        sinceWallCheck_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+            kWallCheckInterval) {
+        sinceWallCheck_.store(0, std::memory_order_relaxed);
         if (std::chrono::steady_clock::now() >= deadline_) {
             throw HangError(strf("watchdog: simulation exceeded its ",
                                  limits_.wallSeconds,

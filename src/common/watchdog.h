@@ -64,9 +64,12 @@ class Watchdog
     Limits limits_;
     std::chrono::steady_clock::time_point deadline_;
     std::atomic<bool> cancelled_{false};
-    /** Checkpoints since the last wall-clock probe. The simulation is
-     *  single-threaded, so plain mutation under `const` is safe. */
-    mutable std::uint32_t sinceWallCheck_ = 0;
+    /** Checkpoints since the last wall-clock probe. Atomic because
+     *  one Watchdog may be shared by the SmCores of a GpuCore, whose
+     *  parallel stepping checkpoints from several host threads; the
+     *  counter is a probe throttle, so relaxed ordering (and the
+     *  occasional lost increment under contention) is fine. */
+    mutable std::atomic<std::uint32_t> sinceWallCheck_{0};
 };
 
 } // namespace bow

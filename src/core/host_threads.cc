@@ -1,0 +1,35 @@
+#include "core/host_threads.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <thread>
+
+#include "common/log.h"
+#include "core/thread_pool.h"
+
+namespace bow {
+
+unsigned
+resolveHostThreads(unsigned configured)
+{
+    if (configured >= 1)
+        return configured;
+    if (const char *env = std::getenv("BOWSIM_HOST_THREADS")) {
+        // Strict digits-only parse: strtol alone would silently
+        // accept leading whitespace or a sign, and a half-garbled
+        // value should warn, not steer the thread count.
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (std::isdigit(static_cast<unsigned char>(env[0])) &&
+            *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn(strf("ignoring BOWSIM_HOST_THREADS='", env,
+                  "' (want a positive integer)"));
+    }
+    if (ThreadPool::insideWorker())
+        return 1;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace bow

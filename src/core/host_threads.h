@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Resolution of SimConfig::hostThreads (the intra-simulation
+ * parallelism knob, docs/PERFORMANCE.md "Parallel SM stepping") into
+ * an effective host thread count. Split out of GpuCore so the CLI
+ * and the benches can report the same number the engine will use.
+ */
+
+#ifndef BOWSIM_CORE_HOST_THREADS_H
+#define BOWSIM_CORE_HOST_THREADS_H
+
+namespace bow {
+
+/**
+ * Effective host threads for one GpuCore, always >= 1.
+ *
+ * @p configured is SimConfig::hostThreads: any explicit value >= 1
+ * is honoured as-is. 0 means auto, resolved in priority order:
+ *
+ *  1. BOWSIM_HOST_THREADS if set to a positive integer (anything
+ *     else warns and is ignored, mirroring BOWSIM_JOBS);
+ *  2. 1 when the caller is already a ThreadPool worker — a
+ *     ParallelRunner batch owns the host cores, and numSms extra
+ *     threads per in-flight job would only oversubscribe;
+ *  3. std::thread::hardware_concurrency() (1 when unknown).
+ */
+unsigned resolveHostThreads(unsigned configured);
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_HOST_THREADS_H

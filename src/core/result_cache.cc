@@ -148,9 +148,9 @@ simCacheKey(const Workload &workload, const SimConfig &c)
     h.scalar(c.rfcEntriesPerWarp);
     h.scalar(c.maxCycles);
     h.scalar(static_cast<int>(c.faultProtection));
-    // hostFastForward is deliberately NOT hashed: it is a host-speed
-    // knob with bit-identical simulated results, so both settings
-    // must share one cache entry.
+    // hostFastForward and hostThreads are deliberately NOT hashed:
+    // they are host-speed knobs with bit-identical simulated
+    // results, so every setting must share one cache entry.
     return h.value();
 }
 

@@ -6,6 +6,27 @@
 
 namespace bow {
 
+namespace {
+
+/** The pool whose workerLoop is running on this thread (nullptr on
+ *  every non-worker thread, including workers of other pools that
+ *  are between tasks — the pointer lives for the workerLoop). */
+thread_local const ThreadPool *tlsOwnerPool = nullptr;
+
+} // namespace
+
+bool
+ThreadPool::insideWorker()
+{
+    return tlsOwnerPool != nullptr;
+}
+
+bool
+ThreadPool::ownWorker() const
+{
+    return tlsOwnerPool == this;
+}
+
 ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
@@ -46,6 +67,11 @@ ThreadPool::post(std::function<void()> task)
 void
 ThreadPool::wait()
 {
+    if (ownWorker()) {
+        panic("ThreadPool::wait called from one of this pool's own "
+              "workers (a task blocking on its own pool deadlocks "
+              "the queue it occupies)");
+    }
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock,
                   [this] { return queue_.empty() && running_ == 0; });
@@ -59,6 +85,7 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
+    tlsOwnerPool = this;
     for (;;) {
         std::function<void()> task;
         {

@@ -52,6 +52,12 @@ class ThreadPool
      * task of the batch threw, rethrows the first stored exception
      * (after the barrier, so every other task still ran to
      * completion) and clears it, leaving the pool reusable.
+     *
+     * Panics when called from one of this pool's own workers: the
+     * caller would occupy the very thread that must drain the queue
+     * it is waiting on — with one worker that is an instant
+     * deadlock, with several it is a latent one. Nested pools (a
+     * task creating and waiting on a *different* pool) are fine.
      */
     void wait();
 
@@ -60,8 +66,19 @@ class ThreadPool
         return static_cast<unsigned>(workers_.size());
     }
 
+    /**
+     * True when the calling thread is a worker of *any* ThreadPool.
+     * GpuCore's host-thread auto-detection uses this to default to
+     * serial stepping inside a ParallelRunner batch instead of
+     * oversubscribing the host with numSms extra threads per job.
+     */
+    static bool insideWorker();
+
   private:
     void workerLoop();
+
+    /** True when the calling thread is one of *this* pool's workers. */
+    bool ownWorker() const;
 
     std::mutex mutex_;
     std::condition_variable taskReady_;  ///< workers wait here

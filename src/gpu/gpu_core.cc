@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "core/host_threads.h"
 
 namespace bow {
 
@@ -28,6 +29,13 @@ GpuCore::GpuCore(const SimConfig &config, const Launch &launch,
     if (config_.numSms > 1)
         l2_ = std::make_unique<SharedL2>(config_);
 
+    // More members than SMs would only park idle threads at the
+    // barrier; hostThreads == 1 keeps the direct (non-staged)
+    // dispatch path, so the two modes stay genuinely different code
+    // paths for the differential tests to compare.
+    hostThreads_ = std::min(resolveHostThreads(config_.hostThreads),
+                            config_.numSms);
+
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s) {
         SmContext ctx;
@@ -36,8 +44,38 @@ GpuCore::GpuCore(const SimConfig &config, const Launch &launch,
         ctx.sharedL2 = l2_.get();
         ctx.residentCap = cap_;
         ctx.externalAdmission = true;
+        ctx.stagedMemory = hostThreads_ > 1;
         sms_.push_back(std::make_unique<SmCore>(
             config_, launch, ctx, nullptr, watchdog, nullptr));
+    }
+    activeScratch_.reserve(config_.numSms);
+}
+
+void
+GpuCore::stepAndDrainOne(unsigned s)
+{
+    try {
+        sms_[s]->step();
+    } catch (const HangError &e) {
+        throw HangError(strf("sm", s, ": ", e.what()));
+    } catch (const FatalError &e) {
+        throw FatalError(strf("sm", s, ": ", e.what()));
+    }
+    // Immediately after the step, so a later SM's same-cycle step
+    // (serial mode) observes this SM's memory effects exactly like
+    // inline dispatch would have. No-op without staged memory.
+    sms_[s]->drainStagedMem();
+}
+
+void
+GpuCore::rethrowSmError(unsigned s, std::exception_ptr err)
+{
+    try {
+        std::rethrow_exception(std::move(err));
+    } catch (const HangError &e) {
+        throw HangError(strf("sm", s, ": ", e.what()));
+    } catch (const FatalError &e) {
+        throw FatalError(strf("sm", s, ": ", e.what()));
     }
 }
 
@@ -97,16 +135,42 @@ GpuCore::run()
         // arbitration for shared memory and the L2 banks. Finished
         // SMs are skipped outright: their lockstep idle tick was
         // pure bookkeeping, and nothing reads their clock again.
+        activeScratch_.clear();
         for (unsigned s = 0; s < config_.numSms; ++s) {
-            if (sms_[s]->finished())
-                continue;
-            try {
-                sms_[s]->step();
-            } catch (const HangError &e) {
-                throw HangError(strf("sm", s, ": ", e.what()));
-            } catch (const FatalError &e) {
-                throw FatalError(strf("sm", s, ": ", e.what()));
+            if (!sms_[s]->finished())
+                activeScratch_.push_back(s);
+        }
+
+        if (hostThreads_ > 1 && activeScratch_.size() >= 2) {
+            // Parallel cycle: all members step disjoint SMs
+            // concurrently — race-free because staged memory
+            // dispatch confines every step to SM-private state —
+            // then the coordinator replays the serial arbitration:
+            // errors surface for the lowest SM index (exactly the
+            // SM the serial loop would have thrown from, since
+            // budget trips are per-SM-deterministic), and the
+            // staged memory accesses drain in ascending SM-index
+            // order.
+            if (!team_) {
+                team_ = std::make_unique<StepTeam>(
+                    hostThreads_, config_.numSms,
+                    [this](unsigned s) { sms_[s]->step(); });
             }
+            team_->stepAll(activeScratch_);
+            for (unsigned s : activeScratch_) {
+                if (team_->error(s))
+                    rethrowSmError(s, team_->error(s));
+            }
+            for (unsigned s : activeScratch_)
+                sms_[s]->drainStagedMem();
+        } else {
+            // Serial cycle (one host thread, or too few steppable
+            // SMs to pay the barrier): step-and-drain in SM-index
+            // order — with staging on this interleaving is
+            // equivalent to inline dispatch, so the two modes can
+            // alternate cycle by cycle without changing results.
+            for (unsigned s : activeScratch_)
+                stepAndDrainOne(s);
         }
         ++gcycle_;
     }

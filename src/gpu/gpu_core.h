@@ -8,6 +8,14 @@
  * so shared-memory effects, L2 bank queues and MSHR state evolve
  * identically on every run regardless of host threading (--jobs).
  *
+ * With hostThreads > 1 the SMs of one cycle step concurrently on a
+ * StepTeam; each SM stages its memory instructions instead of
+ * touching the shared MemoryStore/L2 (SmContext::stagedMemory), and
+ * the coordinator drains the staged queues in ascending SM-index
+ * order at the cycle barrier — replaying the exact serial
+ * arbitration, so results stay bit-identical at any host thread
+ * count (docs/PERFORMANCE.md "Parallel SM stepping").
+ *
  * With numSms == 1 the single SM keeps a private L2 and receives
  * every CTA up front, which reproduces the legacy single-SM
  * Simulator path bit-for-bit (tests/test_gpu_core.cc pins this
@@ -22,6 +30,7 @@
 
 #include "gpu/cta_scheduler.h"
 #include "gpu/shared_l2.h"
+#include "gpu/step_team.h"
 #include "sm/sm_core.h"
 
 namespace bow {
@@ -89,7 +98,19 @@ class GpuCore
      */
     void exportMetrics(MetricsRegistry &out) const;
 
+    /** Host threads the cycle loop will use (>= 1, resolved from
+     *  config.hostThreads; see src/core/host_threads.h). */
+    unsigned hostThreads() const { return hostThreads_; }
+
   private:
+    /** Step SM @p s serially, wrapping HangError/FatalError with the
+     *  "sm<N>: " prefix, then drain its staged accesses. */
+    void stepAndDrainOne(unsigned s);
+    /** Rethrow a StepTeam-captured exception like stepAndDrainOne
+     *  would have. */
+    [[noreturn]] static void rethrowSmError(unsigned s,
+                                            std::exception_ptr err);
+
     SimConfig config_;
     const Launch *launch_;
     MemoryStore mem_;
@@ -102,6 +123,17 @@ class GpuCore
     RunStats aggregate_;
     std::vector<RegFileState> finalRegs_;
     bool ran_ = false;
+
+    // --- parallel SM stepping (docs/PERFORMANCE.md) ---
+    /** Resolved host thread budget; > 1 enables staged memory
+     *  dispatch in every SmCore. */
+    unsigned hostThreads_ = 1;
+    /** Created on the first cycle with two steppable SMs; cycles
+     *  with fewer step serially (workers stay parked). */
+    std::unique_ptr<StepTeam> team_;
+    /** Unfinished SM indices of the current cycle, ascending
+     *  (per-cycle scratch; the hot loop never allocates). */
+    std::vector<unsigned> activeScratch_;
 };
 
 } // namespace bow

@@ -1,0 +1,103 @@
+#include "gpu/step_team.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/log.h"
+
+namespace bow {
+
+namespace {
+
+/** Spins on the generation word before the first yield(). */
+constexpr unsigned kSpinsBeforeYield = 256;
+
+} // namespace
+
+void
+CycleBarrier::arriveAndWait()
+{
+    const std::uint64_t gen =
+        generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        parties_) {
+        // Last arriver: reset the count *before* publishing the new
+        // generation, so early re-arrivals (next crossing) start
+        // from zero. The release store heads the synchronizes-with
+        // edge every spinner's acquire load completes — which also
+        // publishes every member's pre-barrier writes (the arrival
+        // RMWs form one release sequence on arrived_).
+        arrived_.store(0, std::memory_order_relaxed);
+        generation_.store(gen + 1, std::memory_order_release);
+        return;
+    }
+    unsigned spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+        if (++spins >= kSpinsBeforeYield)
+            std::this_thread::yield();
+    }
+}
+
+StepTeam::StepTeam(unsigned hostThreads, unsigned slots,
+                   std::function<void(unsigned)> step)
+    : step_(std::move(step)),
+      errors_(slots),
+      start_(hostThreads),
+      end_(hostThreads),
+      pool_(hostThreads >= 2 ? hostThreads - 1 : 1)
+{
+    if (hostThreads < 2)
+        panic("StepTeam: needs at least two members (use no team "
+              "for serial stepping)");
+    for (unsigned t = 0; t + 1 < hostThreads; ++t)
+        pool_.post([this] { memberLoop(); });
+}
+
+StepTeam::~StepTeam()
+{
+    stop_ = true;
+    start_.arriveAndWait();
+    pool_.wait();
+}
+
+void
+StepTeam::stepAll(const std::vector<unsigned> &active)
+{
+    active_ = &active;
+    next_.store(0, std::memory_order_relaxed);
+    start_.arriveAndWait();
+    claimLoop();
+    end_.arriveAndWait();
+}
+
+void
+StepTeam::memberLoop()
+{
+    for (;;) {
+        start_.arriveAndWait();
+        if (stop_)
+            return;
+        claimLoop();
+        end_.arriveAndWait();
+    }
+}
+
+void
+StepTeam::claimLoop()
+{
+    const std::vector<unsigned> &active = *active_;
+    for (;;) {
+        const unsigned i =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= active.size())
+            return;
+        const unsigned slot = active[i];
+        try {
+            step_(slot);
+        } catch (...) {
+            errors_[slot] = std::current_exception();
+        }
+    }
+}
+
+} // namespace bow

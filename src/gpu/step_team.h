@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The host-thread team behind GpuCore's parallel SM stepping
+ * (docs/PERFORMANCE.md "Parallel SM stepping"). A StepTeam keeps
+ * hostThreads - 1 long-running workers parked on a spin-then-yield
+ * cycle barrier; each stepAll() call releases them, every member
+ * (the calling coordinator included) claims SM indices from a shared
+ * counter and steps them, and a second barrier closes the cycle
+ * before the coordinator touches any shared state (staged-queue
+ * drain, CTA placement, fast-forward).
+ *
+ * Work is claimed dynamically — which thread steps which SM is a
+ * race — but that is invisible by construction: under staged memory
+ * dispatch an SmCore::step() only touches its own state, and all
+ * cross-SM arbitration happens in the coordinator's ordered drain
+ * between barriers. Determinism never depends on the claim order.
+ */
+
+#ifndef BOWSIM_GPU_STEP_TEAM_H
+#define BOWSIM_GPU_STEP_TEAM_H
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace bow {
+
+/**
+ * A sense-reversing barrier for a fixed party count. Spins briefly
+ * (a simulation cycle is microseconds, far below a futex round
+ * trip), then yields. Safe to reuse in the classic two-barrier
+ * ping-pong: a crossing of the partner barrier separates successive
+ * crossings of this one, so no party can lap a slow sibling.
+ */
+class CycleBarrier
+{
+  public:
+    explicit CycleBarrier(unsigned parties)
+        : parties_(parties)
+    {
+    }
+
+    /** Block (spin, then yield) until all parties have arrived. */
+    void arriveAndWait();
+
+  private:
+    const unsigned parties_;
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+/**
+ * hostThreads - 1 pool workers plus the calling coordinator,
+ * stepping a set of slots (SM indices) per stepAll() call.
+ *
+ * A slot whose step throws records the exception at error(slot) —
+ * step functions must not let exceptions escape the team's control
+ * any other way — and the remaining slots still step, so the
+ * coordinator can surface the lowest-indexed failure
+ * deterministically. The destructor releases and joins the workers;
+ * it must run on the coordinator thread.
+ */
+class StepTeam
+{
+  public:
+    /**
+     * @param hostThreads Total members including the coordinator
+     *                    (>= 2; use no team at all for 1).
+     * @param slots       Exclusive upper bound of slot indices
+     *                    (sizes the error table).
+     * @param step        Called once per active slot per stepAll(),
+     *                    from an arbitrary member thread.
+     */
+    StepTeam(unsigned hostThreads, unsigned slots,
+             std::function<void(unsigned)> step);
+
+    ~StepTeam();
+
+    StepTeam(const StepTeam &) = delete;
+    StepTeam &operator=(const StepTeam &) = delete;
+
+    /**
+     * Step every slot in @p active exactly once, on all members
+     * concurrently; returns after every step finished (barrier).
+     * @p active must stay valid for the duration of the call.
+     */
+    void stepAll(const std::vector<unsigned> &active);
+
+    /** Exception a slot's step threw (nullptr if none so far). */
+    const std::exception_ptr &
+    error(unsigned slot) const
+    {
+        return errors_[slot];
+    }
+
+    /** Team size including the coordinator. */
+    unsigned threads() const { return pool_.threads() + 1; }
+
+  private:
+    void memberLoop();
+    void claimLoop();
+
+    std::function<void(unsigned)> step_;
+    /** Indexed by slot; each slot is claimed by exactly one member
+     *  per cycle, so writes never race. */
+    std::vector<std::exception_ptr> errors_;
+    const std::vector<unsigned> *active_ = nullptr;
+    std::atomic<unsigned> next_{0};
+    CycleBarrier start_;
+    CycleBarrier end_;
+    /** Written by the coordinator before releasing start_, read by
+     *  workers after crossing it: the barrier's atomics carry the
+     *  ordering, so a plain bool is race-free. */
+    bool stop_ = false;
+    /** Declared last so it is destroyed first — by then the
+     *  destructor body has already drained the member tasks. */
+    ThreadPool pool_;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_GPU_STEP_TEAM_H

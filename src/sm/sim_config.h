@@ -181,6 +181,20 @@ struct SimConfig
      */
     bool hostFastForward = true;
 
+    /**
+     * Host threads stepping the SMs of one GpuCore (multi-SM runs,
+     * docs/PERFORMANCE.md "Parallel SM stepping"). 0 (the default)
+     * resolves at run start: BOWSIM_HOST_THREADS if set and valid,
+     * else 1 inside a ParallelRunner worker (the batch already owns
+     * the host cores), else hardware_concurrency(). Like
+     * hostFastForward this is a pure host-speed knob — every
+     * simulated statistic, register and memory word is bit-identical
+     * at any thread count (tests/test_host_parallel.cc), so it is
+     * likewise excluded from the result-cache key. No effect with
+     * numSms == 1. The CLI exposes it as --host-threads.
+     */
+    unsigned hostThreads = 0;
+
     /** Effective BOC capacity after applying the default rule. */
     unsigned
     effectiveBocEntries() const

@@ -48,6 +48,7 @@ SmCore::SmCore(const SimConfig &config, const Launch &launch,
       tracer_(tracer),
       smIndex_(ctx.smIndex),
       externalAdmission_(ctx.externalAdmission),
+      stagedMemory_(ctx.stagedMemory),
       scoreboard_(launch.numWarps),
       rf_(config_),
       memTiming_(config_),
@@ -61,6 +62,14 @@ SmCore::SmCore(const SimConfig &config, const Launch &launch,
     // Idle fast-forward only runs unobserved: a fault injector or
     // cycle tracer must see every individual cycle.
     ffEnabled_ = config_.hostFastForward && !injector_ && !tracer_;
+
+    // Staged memory exists for parallel SM stepping, where per-cycle
+    // observers are impossible anyway (they would see the deferred
+    // register/memory writes one barrier late).
+    if (stagedMemory_ && (injector_ || tracer_)) {
+        panic("SmCore: staged memory dispatch is incompatible with a "
+              "fault injector or tracer");
+    }
 
     residentCap_ = ctx.residentCap
         ? std::min(ctx.residentCap, config_.maxResidentWarps)
@@ -99,6 +108,8 @@ SmCore::SmCore(const SimConfig &config, const Launch &launch,
     // the steady-state hot path never touches the allocator.
     servedScratch_.reserve(config_.numBanks);
     orderScratch_.reserve(config_.maxResidentWarps);
+    if (stagedMemory_)
+        stagedMem_.reserve(config_.ldstWidth);
     readyScratch_.reserve(usesBoc() ? config_.windowSize
                                     : config_.numCollectors);
 
@@ -461,6 +472,39 @@ SmCore::tryDispatch(InstSlot &slot)
     Warp &warp = warps_[slot.warp];
     if (inst.isMemory() && slot.memIndex != warp.memDispatched)
         return false;
+
+    if (stagedMemory_ && inst.isMemory()) {
+        // Parallel stepping: everything that touches state shared
+        // with sibling SMs — the functional evaluation (loads read,
+        // stores write the device MemoryStore), the destination-
+        // register commit and the L1/L2 timing access — is deferred
+        // into the staging FIFO, which the GpuCore drains in
+        // ascending SM-index order at the cycle barrier. Per-SM
+        // bookkeeping (unit ports, scoreboard reads, load counters)
+        // happens now, exactly as inline dispatch would.
+        units_.dispatch(info.unit);
+        scoreboard_.releaseReads(slot.warp, inst);
+        ++warp.memDispatched;
+        if (info.isLoad) {
+            ++outstandingLoads_;
+            ++warp.pendingLoads;
+        }
+
+        StagedAccess sa;
+        sa.warp = slot.warp;
+        sa.idx = slot.idx;
+        sa.seq = slot.seq;
+        sa.issueCycle = slot.issueCycle;
+        sa.readyCycle = slot.readyCycle == kNoCycle ? now_
+                                                    : slot.readyCycle;
+        sa.dispatchCycle = now_;
+        stagedMem_.push_back(sa);
+        cycleDidWork_ = true;
+
+        slot = InstSlot{};
+        return true;
+    }
+
     const ExecEffect fx = evaluate(kernelOf(slot.warp), slot.idx,
                                    warp.regs,
                                    slot.warp,
@@ -752,11 +796,56 @@ SmCore::fastForwardTo(Cycle target)
     samplePhase(skipped);
 }
 
+void
+SmCore::drainStagedMem()
+{
+    // Runs between cycles (the GpuCore barrier): now_ has already
+    // advanced past the dispatch cycle, so every access and schedule
+    // is stamped with the recorded dispatchCycle — reproducing the
+    // inline path's timestamps, bucket placement and L2 bank/MSHR
+    // arbitration exactly. The wheel accepts it: with latency >= 1
+    // the event is due no earlier than now_, and the ring-vs-
+    // overflow decision only depends on (when - dispatchCycle),
+    // identical to the serial schedule.
+    for (const StagedAccess &sa : stagedMem_) {
+        Warp &warp = warps_[sa.warp];
+        const Instruction &inst = kernelOf(sa.warp).inst(sa.idx);
+        const OpcodeInfo &info = opcodeInfo(inst.op);
+
+        const ExecEffect fx =
+            evaluate(kernelOf(sa.warp), sa.idx, warp.regs, sa.warp,
+                     static_cast<unsigned>(warps_.size()), *mem_);
+        if (fx.wrote)
+            warp.regs[inst.dst] = fx.result;
+
+        unsigned latency = units_.latency(inst.op);
+        if (fx.guardPassed) {
+            latency += memTiming_.access(fx.space, fx.addr,
+                                         info.isStore,
+                                         sa.dispatchCycle);
+        }
+
+        Completion c;
+        c.warp = sa.warp;
+        c.idx = sa.idx;
+        c.seq = sa.seq;
+        c.fx = fx;
+        c.issueCycle = sa.issueCycle;
+        c.readyCycle = sa.readyCycle;
+        c.dispatchCycle = sa.dispatchCycle;
+        completions_.schedule(sa.dispatchCycle,
+                              sa.dispatchCycle + std::max(1u, latency),
+                              c);
+    }
+    stagedMem_.clear();
+}
+
 bool
 SmCore::finished() const
 {
     return finishedWarps_ == assigned_.size() &&
-        completions_.empty() && rf_.pending() == 0;
+        completions_.empty() && rf_.pending() == 0 &&
+        stagedMem_.empty();
 }
 
 namespace {

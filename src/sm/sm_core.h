@@ -159,6 +159,19 @@ struct SmContext
      *  via assignWarps(); when false every launch warp is assigned
      *  up front (legacy path). */
     bool externalAdmission = false;
+    /**
+     * Parallel-stepping mode (docs/PERFORMANCE.md "Parallel SM
+     * stepping"): a dispatching memory instruction is *staged* — its
+     * functional evaluation, the shared MemoryStore access and the
+     * L1/L2 timing lookup are deferred into a per-SM FIFO — instead
+     * of executed inline. The owning GpuCore drains the FIFOs in
+     * ascending SM-index order at the end-of-cycle barrier
+     * (drainStagedMem()), which replays the serial stepping order's
+     * shared-state arbitration exactly, so step() never touches
+     * state shared with sibling SMs and results are bit-identical.
+     * Incompatible with a fault injector or tracer.
+     */
+    bool stagedMemory = false;
 };
 
 /** Cycle-level simulation of one kernel launch on one SM. */
@@ -243,6 +256,19 @@ class SmCore
      */
     void fastForwardTo(Cycle target);
 
+    /**
+     * Execute this SM's staged memory instructions (in dispatch
+     * order): functional evaluation against the shared MemoryStore,
+     * the destination-register write, the L1/L2 timing access, and
+     * the completion-event schedule — everything the inline dispatch
+     * path would have done at dispatch time, stamped with the
+     * dispatch cycle so latencies and L2 bank/MSHR decisions are
+     * identical. Called by GpuCore between SM steps, in ascending
+     * SM-index order; no sibling SM may be stepping concurrently.
+     * No-op (and cheap) when nothing is staged.
+     */
+    void drainStagedMem();
+
     Cycle now() const { return now_; }
 
     /** Warps assigned to this SM that have not yet retired. */
@@ -299,6 +325,24 @@ class SmCore
         Cycle dispatchCycle = 0;
     };
 
+    /**
+     * A memory instruction that dispatched under SmContext::
+     * stagedMemory: everything tryDispatch would have needed to
+     * evaluate it inline, minus the evaluation itself (which
+     * drainStagedMem performs after the cycle barrier, against the
+     * shared MemoryStore / L2). The instruction and its latencies
+     * are re-derived from (warp, idx) at drain time.
+     */
+    struct StagedAccess
+    {
+        WarpId warp = 0;
+        InstIdx idx = 0;
+        SeqNum seq = 0;
+        Cycle issueCycle = 0;
+        Cycle readyCycle = 0;
+        Cycle dispatchCycle = 0;
+    };
+
     bool usesBoc() const;
     Warp &warpAt(WarpId w) { return warps_[w]; }
 
@@ -339,6 +383,7 @@ class SmCore
     unsigned smIndex_ = 0;
     unsigned residentCap_ = 0;
     bool externalAdmission_ = false;
+    bool stagedMemory_ = false;
 
     std::vector<Warp> warps_;
     Scoreboard scoreboard_;
@@ -362,6 +407,11 @@ class SmCore
      *  latency fits the ring; longer (queueing-delayed) events land
      *  in the overflow map and stay correct. */
     EventWheel<Completion> completions_;
+    /** Memory instructions dispatched this cycle under stagedMemory,
+     *  in dispatch order (= the serial path's execution order);
+     *  drained at the GpuCore barrier. Pre-sized: at most ldstWidth
+     *  memory dispatches fit one cycle. */
+    std::vector<StagedAccess> stagedMem_;
     unsigned outstandingLoads_ = 0;
     unsigned residentWarps_ = 0;
     /** Global warp ids queued onto this SM, in arrival order. */

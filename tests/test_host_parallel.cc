@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Validation of intra-simulation host parallelism (docs/PERFORMANCE.md
+ * "Parallel SM stepping"). Four families of guarantees:
+ *
+ *  - Staged-dispatch equivalence: an SmCore with
+ *    SmContext::stagedMemory, stepped externally with a drain after
+ *    every step, is bit-identical to the inline dispatch path — the
+ *    unit-level core of the whole scheme.
+ *
+ *  - Thread-count invariance: GpuCore results (stats, registers,
+ *    memory, every exported metric) are byte-identical across
+ *    hostThreads 1/2/4 at 1/2/4/28 SMs, for fuzzed kernels and for
+ *    the nine golden-gate workload/architecture cases.
+ *
+ *  - hostThreads resolution: explicit config beats BOWSIM_HOST_THREADS
+ *    beats hardware autodetect; invalid env values are ignored with a
+ *    warning; the knob is excluded from the result-cache key; GpuCore
+ *    clamps to numSms; inside a ParallelRunner worker the auto
+ *    default is serial.
+ *
+ *  - ThreadPool self-deadlock guard and error propagation: wait()
+ *    from a pool's own worker panics instead of deadlocking, and a
+ *    watchdog trip under parallel stepping reports the same "sm<N>:"
+ *    error the serial loop would have.
+ *
+ * Every suite name starts with "HostParallel" so the CI sanitizer
+ * jobs (.github/workflows/ci.yml) can select the lot with one regex.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/watchdog.h"
+#include "compiler/writeback_tagger.h"
+#include "core/host_threads.h"
+#include "core/result_cache.h"
+#include "core/sweep.h"
+#include "core/thread_pool.h"
+#include "gpu/gpu_core.h"
+#include "tests/fuzz_kernels.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+constexpr double kScale = 0.05; // pinned like the golden gate
+
+void
+expectStatsEqual(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ocCyclesMem, b.ocCyclesMem);
+    EXPECT_EQ(a.ocCyclesNonMem, b.ocCyclesNonMem);
+    EXPECT_EQ(a.totalCyclesMem, b.totalCyclesMem);
+    EXPECT_EQ(a.totalCyclesNonMem, b.totalCyclesNonMem);
+    EXPECT_EQ(a.instsMem, b.instsMem);
+    EXPECT_EQ(a.instsNonMem, b.instsNonMem);
+    EXPECT_EQ(a.rfReads, b.rfReads);
+    EXPECT_EQ(a.rfWrites, b.rfWrites);
+    EXPECT_EQ(a.bocForwards, b.bocForwards);
+    EXPECT_EQ(a.bocDeposits, b.bocDeposits);
+    EXPECT_EQ(a.bocResultWrites, b.bocResultWrites);
+    EXPECT_EQ(a.rfcReads, b.rfcReads);
+    EXPECT_EQ(a.rfcWrites, b.rfcWrites);
+    EXPECT_EQ(a.consolidatedWrites, b.consolidatedWrites);
+    EXPECT_EQ(a.transientDrops, b.transientDrops);
+    EXPECT_EQ(a.safetyWrites, b.safetyWrites);
+    EXPECT_EQ(a.destRfOnly, b.destRfOnly);
+    EXPECT_EQ(a.destBocOnly, b.destBocOnly);
+    EXPECT_EQ(a.destBocAndRf, b.destBocAndRf);
+    EXPECT_EQ(a.srcOperandHist, b.srcOperandHist);
+    EXPECT_EQ(a.bocOccupancyHist, b.bocOccupancyHist);
+    EXPECT_EQ(a.bankReadConflicts, b.bankReadConflicts);
+    EXPECT_EQ(a.bankWriteConflicts, b.bankWriteConflicts);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.peakResident, b.peakResident);
+}
+
+/** Full metric-registry equality via the stable JSON rendering. */
+void
+expectMetricsIdentical(const MetricsRegistry &a,
+                       const MetricsRegistry &b)
+{
+    EXPECT_EQ(a.toJson().dump(), b.toJson().dump());
+}
+
+/** Apply the compiler preprocessing Simulator would (BOW-WR-OPT). */
+Launch
+preprocess(Launch launch, const SimConfig &config)
+{
+    if (config.arch == Architecture::BOW_WR_OPT) {
+        if (launch.warpKernels.empty()) {
+            tagWritebacks(launch.kernel, config.windowSize);
+        } else {
+            for (Kernel &k : launch.warpKernels)
+                tagWritebacks(k, config.windowSize);
+        }
+    }
+    return launch;
+}
+
+/** One GpuCore run at a given host thread count. */
+struct GpuRun
+{
+    RunStats stats;
+    std::vector<RegFileState> finalRegs;
+    MemoryStore finalMem;
+    MetricsRegistry metrics;
+};
+
+GpuRun
+runGpu(SimConfig config, const Launch &launch, unsigned hostThreads)
+{
+    config.hostThreads = hostThreads;
+    GpuCore gpu(config, launch);
+    GpuRun out;
+    out.stats = gpu.run();
+    out.finalRegs = gpu.finalRegs();
+    out.finalMem = gpu.memory();
+    gpu.exportMetrics(out.metrics);
+    EXPECT_EQ(gpu.hostThreads(),
+              std::min(hostThreads, config.numSms));
+    return out;
+}
+
+void
+expectRunsIdentical(const GpuRun &ref, const GpuRun &got,
+                    const std::string &label)
+{
+    SCOPED_TRACE(label);
+    expectStatsEqual(ref.stats, got.stats);
+    ASSERT_EQ(ref.finalRegs.size(), got.finalRegs.size());
+    for (std::size_t w = 0; w < ref.finalRegs.size(); ++w)
+        EXPECT_EQ(ref.finalRegs[w], got.finalRegs[w]) << "warp " << w;
+    EXPECT_TRUE(ref.finalMem.contentsEqual(got.finalMem));
+    expectMetricsIdentical(ref.metrics, got.metrics);
+}
+
+// ---------------------------------------------------------------------
+// Staged-dispatch equivalence at the SmCore level.
+// ---------------------------------------------------------------------
+
+class HostParallelStagedSm
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HostParallelStagedSm, StepAndDrainMatchesInlineDispatch)
+{
+    const Launch launch = fuzzKernelLaunch(GetParam());
+    for (Architecture arch :
+         {Architecture::Baseline, Architecture::BOW_WR}) {
+        SCOPED_TRACE(static_cast<int>(arch));
+        const SimConfig config = configFor(arch);
+
+        SmCore ref(config, launch);
+        const RunStats refStats = ref.run();
+
+        SmContext ctx;
+        ctx.stagedMemory = true;
+        SmCore sm(config, launch, ctx);
+        while (!sm.finished()) {
+            sm.step();
+            sm.drainStagedMem();
+        }
+        const RunStats stats = sm.finalize();
+
+        expectStatsEqual(refStats, stats);
+        ASSERT_EQ(ref.finalRegs().size(), sm.finalRegs().size());
+        for (std::size_t w = 0; w < ref.finalRegs().size(); ++w)
+            EXPECT_EQ(ref.finalRegs()[w], sm.finalRegs()[w])
+                << "warp " << w;
+        EXPECT_TRUE(ref.memory().contentsEqual(sm.memory()));
+    }
+}
+
+TEST(HostParallelStagedSm, RejectsInjectorAndTracer)
+{
+    // Staged dispatch defers the functional evaluation past the
+    // injector/tracer observation points, so wiring them together
+    // must fail loudly rather than silently record garbage.
+    const Launch launch = fuzzKernelLaunch(1);
+    const SimConfig config = configFor(Architecture::BOW_WR);
+    SmContext ctx;
+    ctx.stagedMemory = true;
+    FaultInjector injector(FaultPlan{}, FaultProtection::None);
+    EXPECT_THROW(SmCore(config, launch, ctx, &injector), PanicError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostParallelStagedSm,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------
+// Thread-count invariance: fuzz matrix and golden cases.
+// ---------------------------------------------------------------------
+
+class HostParallelFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HostParallelFuzz, ResultsInvariantToHostThreadCount)
+{
+    Launch launch = fuzzKernelLaunch(GetParam());
+    launch.warpsPerCta = 1 + static_cast<unsigned>(GetParam() % 4);
+
+    for (unsigned numSms : {1u, 2u, 4u, 28u}) {
+        SimConfig config = configFor(Architecture::BOW_WR);
+        config.numSms = numSms;
+        const GpuRun ref = runGpu(config, launch, 1);
+        for (unsigned hostThreads : {2u, 4u}) {
+            const GpuRun got = runGpu(config, launch, hostThreads);
+            expectRunsIdentical(
+                ref, got,
+                strf("seed=", GetParam(), " numSms=", numSms,
+                     " hostThreads=", hostThreads));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostParallelFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+/** The nine golden-gate cases (bench/metrics_regress.cc). */
+struct ParityCase
+{
+    const char *workload;
+    Architecture arch;
+};
+
+const ParityCase kParityCases[] = {
+    {"VECTORADD", Architecture::Baseline},
+    {"VECTORADD", Architecture::BOW_WR},
+    {"VECTORADD", Architecture::BOW_WR_OPT},
+    {"BFS", Architecture::Baseline},
+    {"BFS", Architecture::BOW_WR},
+    {"BFS", Architecture::RFC},
+    {"BTREE", Architecture::Baseline},
+    {"BTREE", Architecture::BOW_WR},
+    {"BTREE", Architecture::BOW_WR_OPT},
+};
+
+class HostParallelGolden
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(HostParallelGolden, FourSmsBitIdenticalAcrossHostThreads)
+{
+    const ParityCase &c = kParityCases[GetParam()];
+    const Workload wl = workloads::make(c.workload, kScale);
+    SimConfig config = configFor(c.arch);
+    config.numSms = 4;
+    const Launch launch = preprocess(wl.launch, config);
+
+    const GpuRun serial = runGpu(config, launch, 1);
+    const GpuRun parallel = runGpu(config, launch, 4);
+    expectRunsIdentical(serial, parallel,
+                        strf(c.workload, "/", archName(c.arch)));
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenCases, HostParallelGolden,
+                         ::testing::Range<std::size_t>(
+                             0, std::size(kParityCases)));
+
+// ---------------------------------------------------------------------
+// hostThreads resolution and plumbing.
+// ---------------------------------------------------------------------
+
+/** Scoped save/clear/restore of BOWSIM_HOST_THREADS. */
+class EnvGuard
+{
+  public:
+    EnvGuard()
+    {
+        if (const char *v = std::getenv(kVar)) {
+            saved_ = v;
+            had_ = true;
+        }
+        unsetenv(kVar);
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            setenv(kVar, saved_.c_str(), 1);
+        else
+            unsetenv(kVar);
+    }
+    void
+    set(const char *v) const
+    {
+        setenv(kVar, v, 1);
+    }
+
+    static constexpr const char *kVar = "BOWSIM_HOST_THREADS";
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST(HostParallelConfig, ExplicitSettingBeatsEnvironment)
+{
+    EnvGuard env;
+    env.set("3");
+    EXPECT_EQ(resolveHostThreads(2), 2u);
+    EXPECT_EQ(resolveHostThreads(1), 1u);
+}
+
+TEST(HostParallelConfig, EnvironmentOverridesAuto)
+{
+    EnvGuard env;
+    env.set("3");
+    EXPECT_EQ(resolveHostThreads(0), 3u);
+}
+
+TEST(HostParallelConfig, InvalidEnvironmentValuesAreIgnored)
+{
+    EnvGuard env;
+    const unsigned base = resolveHostThreads(0);
+    EXPECT_GE(base, 1u);
+    for (const char *bad : {"0", "-2", "abc", "", "4x", " 4"}) {
+        env.set(bad);
+        EXPECT_EQ(resolveHostThreads(0), base) << "'" << bad << "'";
+    }
+}
+
+TEST(HostParallelConfig, AutoInsidePoolWorkerIsSerial)
+{
+    // A GpuCore created inside a ParallelRunner job must not multiply
+    // the host thread count: --jobs already owns the hardware.
+    EnvGuard env;
+    std::atomic<unsigned> resolved{0};
+    ThreadPool pool(2);
+    pool.post([&] { resolved = resolveHostThreads(0); });
+    pool.wait();
+    EXPECT_EQ(resolved.load(), 1u);
+    // ...but an explicit request is honored even there.
+    pool.post([&] { resolved = resolveHostThreads(4); });
+    pool.wait();
+    EXPECT_EQ(resolved.load(), 4u);
+}
+
+TEST(HostParallelConfig, GpuCoreClampsToNumSms)
+{
+    const Launch launch = fuzzKernelLaunch(1);
+    SimConfig config = configFor(Architecture::BOW_WR);
+    config.numSms = 2;
+    config.hostThreads = 16;
+    EXPECT_EQ(GpuCore(config, launch).hostThreads(), 2u);
+    config.hostThreads = 1;
+    EXPECT_EQ(GpuCore(config, launch).hostThreads(), 1u);
+}
+
+TEST(HostParallelConfig, HostThreadsExcludedFromResultCacheKey)
+{
+    // A host-speed knob with bit-identical results must share one
+    // cache entry across all settings (like hostFastForward).
+    Workload wl = workloads::make("VECTORADD", kScale);
+    SimConfig a = configFor(Architecture::BOW_WR);
+    SimConfig b = a;
+    a.hostThreads = 1;
+    b.hostThreads = 8;
+    EXPECT_EQ(simCacheKey(wl, a), simCacheKey(wl, b));
+    b.numSms = 4;
+    EXPECT_NE(simCacheKey(wl, a), simCacheKey(wl, b));
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool self-deadlock guard.
+// ---------------------------------------------------------------------
+
+TEST(HostParallelPoolGuard, WaitFromOwnWorkerPanics)
+{
+    // The task's wait() would occupy the very thread that must drain
+    // the queue it waits on; the guard turns the deadlock into a
+    // PanicError that the outer (legal) wait() rethrows.
+    ThreadPool pool(2);
+    pool.post([&] { pool.wait(); });
+    EXPECT_THROW(pool.wait(), PanicError);
+    // The pool stays usable after the rethrow.
+    std::atomic<bool> ran{false};
+    pool.post([&] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(HostParallelPoolGuard, NestedDistinctPoolIsAllowed)
+{
+    ThreadPool outer(1);
+    std::atomic<bool> innerRan{false};
+    outer.post([&] {
+        ThreadPool inner(1);
+        inner.post([&] { innerRan = true; });
+        inner.wait();
+    });
+    EXPECT_NO_THROW(outer.wait());
+    EXPECT_TRUE(innerRan.load());
+}
+
+TEST(HostParallelPoolGuard, InsideWorkerFlag)
+{
+    EXPECT_FALSE(ThreadPool::insideWorker());
+    std::atomic<bool> inside{false};
+    ThreadPool pool(1);
+    pool.post([&] { inside = ThreadPool::insideWorker(); });
+    pool.wait();
+    EXPECT_TRUE(inside.load());
+    EXPECT_FALSE(ThreadPool::insideWorker());
+}
+
+// ---------------------------------------------------------------------
+// Error propagation through the parallel cycle loop.
+// ---------------------------------------------------------------------
+
+Kernel
+hangKernel()
+{
+    KernelBuilder kb("hang");
+    kb.movImm(0, 0);
+    auto loop = kb.newLabel();
+    kb.bind(loop);
+    kb.setpImm(CondCode::EQ, predReg(0), 0, 0);
+    kb.bra(loop, predReg(0));
+    kb.exit();
+    return kb.build();
+}
+
+TEST(HostParallelWatchdog, HangReportsSameSmAsSerialStepping)
+{
+    // Both SMs hang, so the budget trips on a genuinely parallel
+    // cycle; the coordinator must surface the lowest SM index —
+    // exactly the SM the serial loop would have thrown from.
+    Launch launch;
+    launch.kernel = hangKernel();
+    launch.warpKernels.push_back(hangKernel());
+    launch.warpKernels.push_back(hangKernel());
+    launch.numWarps = 2;
+    launch.warpsPerCta = 1;
+
+    SimConfig config = SimConfig::titanXPascal();
+    config.numSms = 2;
+    const Watchdog wd(Watchdog::Limits{/*cycleBudget=*/2000, 0.0});
+
+    auto runAndCatch = [&](unsigned hostThreads) {
+        config.hostThreads = hostThreads;
+        GpuCore gpu(config, launch, &wd);
+        try {
+            gpu.run();
+        } catch (const HangError &e) {
+            return std::string(e.what());
+        }
+        ADD_FAILURE() << "expected HangError at hostThreads="
+                      << hostThreads;
+        return std::string();
+    };
+
+    const std::string serial = runAndCatch(1);
+    const std::string parallel = runAndCatch(2);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(parallel.find("sm0"), std::string::npos) << parallel;
+}
+
+} // namespace
+} // namespace bow
