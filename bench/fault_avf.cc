@@ -15,8 +15,15 @@
  * the BOW-WR BOC, with the per-access code energy charged by the
  * energy model.
  *
+ * With --num-sms N (N > 1) a third table extends the study to the
+ * device scale: BOW-WR campaigns over every site class — per-SM
+ * rf/boc plus the chip-level L2 lines and CTA-scheduler records —
+ * at numSms in {1, 4, 28} capped by N, reporting per-site AVF. The
+ * default (no flag) emits exactly the historical two tables.
+ *
  * Everything is seeded and runs through the deterministic campaign
- * engine: output is byte-identical at any --jobs count.
+ * engine: output is byte-identical at any --jobs count and any
+ * --num-sms host-threading.
  */
 
 #include "bench/bench_util.h"
@@ -55,14 +62,19 @@ main(int argc, char **argv)
 {
     // --jobs N mirrors the CLI flag so the determinism contract
     // (byte-identical stdout at any worker count) is easy to check.
+    // --num-sms N (default 1) caps the device-scale section; the
+    // default emits exactly the historical single-SM tables.
+    unsigned numSms = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
             ParallelRunner::setDefaultJobs(
                 static_cast<unsigned>(std::atoi(argv[++i])));
+        } else if (arg == "--num-sms" && i + 1 < argc) {
+            numSms = static_cast<unsigned>(std::atoi(argv[++i]));
         } else {
             fatal(strf("fault_avf: unknown argument '", arg,
-                       "' (only --jobs N)"));
+                       "' (--jobs N, --num-sms N)"));
         }
     }
 
@@ -147,6 +159,91 @@ main(int argc, char **argv)
             }
         }
         t.print(std::cout);
+    }
+
+    if (numSms > 1) {
+        // Device-scale section: one campaign per (workload, numSms)
+        // over every site class the configuration has, reported per
+        // site from the campaign's own trial vector.
+        Table t(strf("Device-scale AVF - BOW-WR IW=", kIw,
+                     ", per-site breakdown, seed 0xB0B5EED"));
+        t.setHeader({"benchmark", "sms", "site", "trials", "masked",
+                     "sdc", "detected", "hang", "landed", "AVF"});
+        const std::vector<const Workload *> devTargets = {
+            &byName(suite, "VECTORADD"),
+            &byName(suite, "BFS"),
+        };
+        std::vector<unsigned> smCounts;
+        for (unsigned n : {1u, 4u, 28u}) {
+            if (n <= numSms)
+                smCounts.push_back(n);
+        }
+        if (smCounts.empty() || smCounts.back() != numSms)
+            smCounts.push_back(numSms);
+
+        // Trials per site across the multi-SM campaigns; the CI
+        // smoke greps the coverage line for "=0" to assert every
+        // site class actually got struck.
+        std::uint64_t covered[5] = {};
+        for (const Workload *wl : devTargets) {
+            for (unsigned n : smCounts) {
+                SimConfig cfg = configFor(Architecture::BOW_WR, kIw);
+                cfg.numSms = n;
+                CampaignSpec spec;
+                spec.trials = kTrials;
+                spec.seed = kSeed;
+                spec.sites = validSites(
+                    cfg, {FaultSite::RfBank, FaultSite::BocEntry,
+                          FaultSite::L2Line, FaultSite::CtaSched});
+                std::vector<FaultTrialResult> trials;
+                runFaultCampaign(*wl, cfg, spec, runner, &trials);
+                for (FaultSite site : spec.sites) {
+                    std::uint64_t cnt = 0, masked = 0, sdc = 0;
+                    std::uint64_t detected = 0, hang = 0, landed = 0;
+                    std::uint64_t fatalN = 0;
+                    for (const FaultTrialResult &tr : trials) {
+                        if (tr.plan.site != site)
+                            continue;
+                        ++cnt;
+                        switch (tr.outcome) {
+                          case FaultOutcome::Masked:  ++masked;  break;
+                          case FaultOutcome::Sdc:     ++sdc;     break;
+                          case FaultOutcome::Detected:
+                            ++detected;
+                            break;
+                          case FaultOutcome::Hang:    ++hang;    break;
+                          case FaultOutcome::Fatal:   ++fatalN;  break;
+                        }
+                        if (tr.landed)
+                            ++landed;
+                    }
+                    if (n > 1)
+                        covered[static_cast<unsigned>(site)] += cnt;
+                    const std::uint64_t classified = cnt - fatalN;
+                    const double avf = classified
+                        ? static_cast<double>(classified - masked) /
+                          static_cast<double>(classified)
+                        : 0.0;
+                    t.beginRow().cell(wl->name).cell(std::uint64_t{n})
+                        .cell(faultSiteName(site))
+                        .cell(cnt).cell(masked).cell(sdc)
+                        .cell(detected).cell(hang).cell(landed)
+                        .pct(avf);
+                }
+            }
+        }
+        t.print(std::cout);
+        std::cout << "# multi-SM site coverage: rf="
+                  << covered[static_cast<unsigned>(FaultSite::RfBank)]
+                  << " boc="
+                  << covered[static_cast<unsigned>(
+                         FaultSite::BocEntry)]
+                  << " l2="
+                  << covered[static_cast<unsigned>(FaultSite::L2Line)]
+                  << " cta="
+                  << covered[static_cast<unsigned>(
+                         FaultSite::CtaSched)]
+                  << "\n";
     }
 
     std::cout << "# BOW's write-through keeps a clean RF copy behind "

@@ -28,6 +28,7 @@
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "core/fault_campaign.h"
 #include "core/parallel_runner.h"
 #include "workloads/registry.h"
 
@@ -61,6 +62,32 @@ const Case kCases[] = {
     {"BTREE", Architecture::BOW_WR, "btree_bow_wr"},
     {"BTREE", Architecture::BOW_WR_OPT, "btree_bow_wr_opt"},
 };
+
+/** The device-scale campaign case: a fixed multi-SM fault campaign
+ *  whose campaign.* counters join the golden contract, pinning
+ *  classification, landing, healing and checkpoint behaviour. */
+constexpr const char *kCampaignSlug = "campaign_device";
+constexpr unsigned kCampaignTrials = 12;
+constexpr unsigned kCampaignSms = 4;
+constexpr std::uint64_t kCampaignSeed = 0xB0B5EED;
+
+MetricsRegistry
+runCampaignCase(const Workload &wl)
+{
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = kCampaignSms;
+    CampaignSpec spec;
+    spec.trials = kCampaignTrials;
+    spec.seed = kCampaignSeed;
+    spec.sites = validSites(
+        cfg, {FaultSite::RfBank, FaultSite::BocEntry,
+              FaultSite::L2Line, FaultSite::CtaSched});
+    const CampaignSummary s =
+        runFaultCampaign(wl, cfg, spec, ParallelRunner());
+    MetricsRegistry out;
+    s.exportMetrics(out);
+    return out;
+}
 
 /** Relative FP-format guard for Value metrics (never for counters). */
 constexpr double kValueRelTol = 1e-9;
@@ -176,6 +203,11 @@ main(int argc, char **argv)
                 std::cout << c.slug << ": " << c.workload << " on "
                           << archName(c.arch) << " at scale "
                           << kScale << "\n";
+            std::cout << kCampaignSlug << ": VECTORADD fault "
+                      << "campaign on "
+                      << archName(Architecture::BOW_WR) << ", "
+                      << kCampaignSms << " SMs, " << kCampaignTrials
+                      << " trials at scale " << kScale << "\n";
             return 0;
         } else {
             fatal(strf("unknown option '", a,
@@ -212,33 +244,42 @@ main(int argc, char **argv)
 
         bool perturbApplied = false;
         std::vector<std::string> failures;
-        for (std::size_t i = 0; i < std::size(kCases); ++i) {
-            const Case &c = kCases[i];
-            MetricsRegistry actual = results[i].metrics;
+        auto gateOne = [&](const std::string &slug,
+                           const std::string &label,
+                           MetricsRegistry actual) {
             if (!perturb.empty() && actual.has(perturb) &&
                 actual.kindOf(perturb) == MetricKind::Counter) {
                 actual.addCounter(perturb, 1);
                 perturbApplied = true;
             }
 
-            const std::string path =
-                goldenDir + "/" + c.slug + ".json";
+            const std::string path = goldenDir + "/" + slug + ".json";
             if (update) {
                 writeMetricsFile(path, actual);
                 std::cout << "updated " << path << "\n";
-                continue;
+                return;
             }
 
             std::vector<std::string> diffs;
             diffRegistries(loadGolden(path), actual, diffs);
             if (!diffs.empty()) {
-                failures.push_back(strf(c.slug, " (", c.workload,
-                                        " on ", archName(c.arch),
-                                        "):"));
+                failures.push_back(strf(slug, " (", label, "):"));
                 for (const std::string &d : diffs)
                     failures.push_back("  " + d);
             }
+        };
+
+        for (std::size_t i = 0; i < std::size(kCases); ++i) {
+            const Case &c = kCases[i];
+            gateOne(c.slug,
+                    strf(c.workload, " on ", archName(c.arch)),
+                    results[i].metrics);
         }
+        gateOne(kCampaignSlug,
+                strf("VECTORADD fault campaign on ",
+                     archName(Architecture::BOW_WR), ", ",
+                     kCampaignSms, " SMs"),
+                runCampaignCase(workloadOf("VECTORADD")));
 
         if (update)
             return 0;
@@ -251,7 +292,7 @@ main(int argc, char **argv)
                 std::cout << f << "\n";
             return 1;
         }
-        std::cout << "metrics_regress: " << std::size(kCases)
+        std::cout << "metrics_regress: " << std::size(kCases) + 1
                   << " cases match " << goldenDir << "\n";
         return 0;
     } catch (const FatalError &e) {

@@ -52,11 +52,19 @@
  *   Fault-injection campaigns (docs/RESILIENCE.md):
  *     --faults N              run N bit-flip trials instead of one
  *                             clean simulation (single workload only)
- *     --fault-sites S         comma list of rf,boc,rfc (default rf)
+ *     --fault-sites S         comma list of rf,boc,rfc,l2,cta
+ *                             (default rf; l2/cta need --num-sms > 1)
+ *     --fault-sms L           comma list of SM indices, or "all":
+ *                             restrict rf/boc/rfc flips to warps the
+ *                             clean run placed there (default all)
  *     --seed S                campaign seed (default 1)
  *     --fault-protection P    none|parity|secded on BOC/RFC entries
- *     --fault-checkpoint F    append-only JSONL checkpoint; re-invoke
- *                             with the same seed to resume
+ *     --fault-retries N       re-run a trial up to N times on a
+ *                             transient host error before recording
+ *                             outcome=fatal (default 0)
+ *     --fault-checkpoint F    JSONL checkpoint, atomically rewritten
+ *                             per chunk; re-invoke with the same seed
+ *                             to resume a killed campaign
  *
  * Exit codes: 0 success, 1 usage/fatal error, 2 internal panic,
  * 3 campaign observed silent data corruption (SDC).
@@ -119,8 +127,10 @@ usage()
         "                  [--scale S] [--jobs N] [--csv]\n"
         "                  [--host-threads N]\n"
         "                  [--no-fastforward] [--profile]\n"
-        "                  [--faults N] [--fault-sites rf,boc,rfc]\n"
-        "                  [--seed S] [--fault-protection P]\n"
+        "                  [--faults N]\n"
+        "                  [--fault-sites rf,boc,rfc,l2,cta]\n"
+        "                  [--fault-sms LIST|all] [--seed S]\n"
+        "                  [--fault-protection P] [--fault-retries N]\n"
         "                  [--fault-checkpoint FILE]\n"
         "                  [--metrics-out FILE] [--trace-out FILE]\n"
         "                  [--trace-cycles A:B] [--manifest-out FILE]\n";
@@ -173,6 +183,31 @@ parseSiteList(const std::string &list)
     return sites;
 }
 
+/** --fault-sms: comma list of SM indices; "all" (or empty) clears
+ *  the filter. Range checking happens inside runFaultCampaign, which
+ *  knows the configured numSms. */
+std::vector<unsigned>
+parseSmList(const std::string &list)
+{
+    std::vector<unsigned> sms;
+    if (list == "all")
+        return sms;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        char *end = nullptr;
+        const long v = std::strtol(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0' || v < 0) {
+            fatal(strf("--fault-sms wants SM indices or 'all', got '",
+                       item, "'"));
+        }
+        sms.push_back(static_cast<unsigned>(v));
+    }
+    return sms;
+}
+
 /** --faults N: a bit-flip campaign over one workload. */
 int
 runCampaign(const Workload &wl, const SimConfig &config,
@@ -183,12 +218,15 @@ runCampaign(const Workload &wl, const SimConfig &config,
         runFaultCampaign(wl, config, spec, ParallelRunner(), &trials);
 
     if (csv) {
-        std::cout << "trial,site,warp,reg,bit,cycle,outcome,landed\n";
+        std::cout << "trial,site,warp,reg,bit,cycle,sm,addr,cta,"
+                     "outcome,landed\n";
         for (const FaultTrialResult &t : trials) {
             std::cout << t.trial << ","
                       << faultSiteName(t.plan.site) << ","
                       << t.plan.warp << "," << t.plan.reg << ","
                       << t.plan.bit << "," << t.plan.cycle << ","
+                      << t.plan.sm << "," << t.plan.addr << ","
+                      << t.plan.cta << ","
                       << faultOutcomeName(t.outcome) << ","
                       << (t.landed ? 1 : 0) << "\n";
         }
@@ -202,8 +240,11 @@ runCampaign(const Workload &wl, const SimConfig &config,
                   << "  sdc:       " << s.sdc << "\n"
                   << "  detected:  " << s.detected << "\n"
                   << "  hang:      " << s.hang << "\n"
+                  << "  fatal:     " << s.fatal << "\n"
                   << "  landed:    " << s.landed << "\n"
                   << "  resumed:   " << s.resumed << "\n"
+                  << "  retried:   " << s.retries << "\n"
+                  << "  healed:    " << s.healed << "\n"
                   << "  AVF:       " << formatFixed(s.avfPct(), 1)
                   << "%\n";
     }
@@ -314,6 +355,8 @@ main(int argc, char **argv)
     bool profile = false;
     unsigned faults = 0;
     std::string faultSites = "rf";
+    std::string faultSms = "all";
+    unsigned faultRetries = 0;
     std::uint64_t seed = 1;
     std::string faultCheckpoint;
     std::string metricsOut;
@@ -383,6 +426,10 @@ main(int argc, char **argv)
             faults = static_cast<unsigned>(std::atoi(need(i)));
         else if (!std::strcmp(a, "--fault-sites"))
             faultSites = need(i);
+        else if (!std::strcmp(a, "--fault-sms"))
+            faultSms = need(i);
+        else if (!std::strcmp(a, "--fault-retries"))
+            faultRetries = static_cast<unsigned>(std::atoi(need(i)));
         else if (!std::strcmp(a, "--seed"))
             seed = std::strtoull(need(i), nullptr, 0);
         else if (!std::strcmp(a, "--fault-protection"))
@@ -487,8 +534,9 @@ main(int argc, char **argv)
             CampaignSpec spec;
             spec.trials = faults;
             spec.seed = seed;
-            spec.sites =
-                validSites(config.arch, parseSiteList(faultSites));
+            spec.sites = validSites(config, parseSiteList(faultSites));
+            spec.sms = parseSmList(faultSms);
+            spec.retries = faultRetries;
             spec.checkpointPath = faultCheckpoint;
             return runCampaign(wl, config, spec, csv);
         }

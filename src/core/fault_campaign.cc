@@ -1,11 +1,15 @@
 #include "core/fault_campaign.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "sm/functional.h"
 
 namespace bow {
@@ -37,6 +41,9 @@ classifyTrial(const SimOutcome &outcome, const FunctionalResult &oracle)
           case SimError::Kind::Other:
             // The machine (or the simulator's invariants standing in
             // for its assertion hardware) noticed the corruption.
+            // (Kind::Other is intercepted by the transient-error
+            // retry loop before classification ever sees it; the arm
+            // stays for switch completeness.)
             return FaultOutcome::Detected;
         }
     }
@@ -58,6 +65,8 @@ parseOutcomeName(const std::string &name, const std::string &line)
         return FaultOutcome::Detected;
     if (name == "hang")
         return FaultOutcome::Hang;
+    if (name == "fatal")
+        return FaultOutcome::Fatal;
     fatal(strf("fault checkpoint: bad outcome '", name, "' in line: ",
                line));
 }
@@ -68,6 +77,11 @@ parseOutcomeName(const std::string &name, const std::string &line)
 // parser only needs key lookup, not a general JSON reader:
 //   {"seed":1,"trial":0,"site":"rf","warp":0,"reg":5,"bit":7,
 //    "cycle":42,"outcome":"masked","landed":1}
+// The device-era keys "sm", "addr" and "cta" — and "healed", which
+// records a repaired-by-refetch trial so a resumed campaign reports
+// the same healed count as an uninterrupted one — are emitted only
+// when nonzero, so rows without them stay byte-identical to the
+// historical format; the parser defaults each to 0 when absent.
 
 bool
 findNumber(const std::string &line, const std::string &key,
@@ -108,10 +122,20 @@ trialLine(std::uint64_t seed, const FaultTrialResult &t)
     std::ostringstream os;
     os << "{\"seed\":" << seed << ",\"trial\":" << t.trial
        << ",\"site\":\"" << faultSiteName(t.plan.site) << "\""
-       << ",\"warp\":" << t.plan.warp << ",\"reg\":" << t.plan.reg
-       << ",\"bit\":" << t.plan.bit << ",\"cycle\":" << t.plan.cycle
-       << ",\"outcome\":\"" << faultOutcomeName(t.outcome) << "\""
-       << ",\"landed\":" << (t.landed ? 1 : 0) << "}";
+       << ",\"warp\":" << t.plan.warp << ",\"reg\":"
+       << static_cast<unsigned>(t.plan.reg)
+       << ",\"bit\":" << t.plan.bit << ",\"cycle\":" << t.plan.cycle;
+    if (t.plan.sm)
+        os << ",\"sm\":" << t.plan.sm;
+    if (t.plan.addr)
+        os << ",\"addr\":" << t.plan.addr;
+    if (t.plan.cta)
+        os << ",\"cta\":" << t.plan.cta;
+    os << ",\"outcome\":\"" << faultOutcomeName(t.outcome) << "\""
+       << ",\"landed\":" << (t.landed ? 1 : 0);
+    if (t.healed)
+        os << ",\"healed\":1";
+    os << "}";
     return os.str();
 }
 
@@ -122,7 +146,8 @@ trialLine(std::uint64_t seed, const FaultTrialResult &t)
  * would silently mix incompatible trial streams.
  */
 std::unordered_map<unsigned, FaultTrialResult>
-loadCheckpoint(const std::string &path, std::uint64_t seed)
+loadCheckpoint(const std::string &path, std::uint64_t seed,
+               unsigned &truncatedLines)
 {
     std::unordered_map<unsigned, FaultTrialResult> done;
     std::ifstream in(path);
@@ -137,6 +162,7 @@ loadCheckpoint(const std::string &path, std::uint64_t seed)
             continue;
         std::uint64_t lineSeed = 0, trial = 0, warp = 0, reg = 0;
         std::uint64_t bit = 0, cycle = 0, landed = 0;
+        std::uint64_t sm = 0, addr = 0, cta = 0, healed = 0;
         std::string site, outcome;
         const bool complete = findNumber(line, "seed", lineSeed) &&
             findNumber(line, "trial", trial) &&
@@ -149,6 +175,9 @@ loadCheckpoint(const std::string &path, std::uint64_t seed)
             findNumber(line, "landed", landed) &&
             line.find('}') != std::string::npos;
         if (!complete) {
+            // Typically the torn trailing append of a killed
+            // campaign: tolerate, log, and let the trial re-run.
+            ++truncatedLines;
             warn(strf("fault checkpoint '", path, "': skipping ",
                       "malformed line ", lineNo,
                       " (truncated write?)"));
@@ -161,6 +190,11 @@ loadCheckpoint(const std::string &path, std::uint64_t seed)
                        "; refusing to resume (delete the file or "
                        "use the matching --seed)"));
         }
+        // Optional keys; absent in historical-format rows.
+        findNumber(line, "sm", sm);
+        findNumber(line, "addr", addr);
+        findNumber(line, "cta", cta);
+        findNumber(line, "healed", healed);
 
         FaultTrialResult t;
         t.trial = static_cast<unsigned>(trial);
@@ -170,11 +204,61 @@ loadCheckpoint(const std::string &path, std::uint64_t seed)
         t.plan.reg = static_cast<RegId>(reg);
         t.plan.bit = static_cast<unsigned>(bit);
         t.plan.cycle = cycle;
+        t.plan.sm = static_cast<unsigned>(sm);
+        t.plan.addr = static_cast<std::uint32_t>(addr);
+        t.plan.cta = static_cast<unsigned>(cta);
         t.outcome = parseOutcomeName(outcome, line);
         t.landed = landed != 0;
+        t.healed = healed != 0;
         done[t.trial] = t;
     }
     return done;
+}
+
+/**
+ * Atomically replace the checkpoint with @p lines: write a sibling
+ * tmp file, flush it, then rename over the target. A campaign killed
+ * at any instant leaves either the previous complete checkpoint or
+ * the new complete one — never a torn rewrite (the torn-line
+ * tolerance above still covers checkpoints from older appends or
+ * exotic filesystems).
+ */
+void
+writeCheckpointFile(const std::string &path,
+                    const std::vector<std::string> &lines)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            fatal(strf("fault campaign: cannot open checkpoint tmp "
+                       "file '", tmp, "' for write"));
+        }
+        for (const std::string &line : lines)
+            out << line << "\n";
+        out.flush();
+        if (!out) {
+            fatal(strf("fault campaign: short write to checkpoint "
+                       "tmp file '", tmp, "'"));
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        fatal(strf("fault campaign: cannot rename '", tmp, "' over '",
+                   path, "'"));
+    }
+}
+
+/**
+ * "sm", "addr" and "cta" matter per-site: a plan restored from a
+ * checkpoint must re-derive bit-identically or the file belongs to a
+ * different (workload, configuration).
+ */
+bool
+plansMatch(const FaultPlan &a, const FaultPlan &b)
+{
+    return a.site == b.site && a.warp == b.warp && a.reg == b.reg &&
+        a.bit == b.bit && a.cycle == b.cycle && a.sm == b.sm &&
+        a.addr == b.addr && a.cta == b.cta;
 }
 
 } // namespace
@@ -187,23 +271,50 @@ faultOutcomeName(FaultOutcome o)
       case FaultOutcome::Sdc:      return "sdc";
       case FaultOutcome::Detected: return "detected";
       case FaultOutcome::Hang:     return "hang";
+      case FaultOutcome::Fatal:    return "fatal";
     }
     panic("faultOutcomeName: bad outcome");
 }
 
+void
+CampaignSummary::exportMetrics(MetricsRegistry &out) const
+{
+    out.setCounter("campaign.trials", trials);
+    out.setCounter("campaign.masked", masked);
+    out.setCounter("campaign.sdc", sdc);
+    out.setCounter("campaign.detected", detected);
+    out.setCounter("campaign.hang", hang);
+    out.setCounter("campaign.fatal", fatal);
+    out.setCounter("campaign.landed", landed);
+    out.setCounter("campaign.resumed", resumed);
+    out.setCounter("campaign.retries", retries);
+    out.setCounter("campaign.healed", healed);
+    out.setCounter("campaign.truncated_lines", truncatedLines);
+    out.setCounter("campaign.checkpoint_writes", checkpointWrites);
+    out.setValue("campaign.avf_pct", avfPct());
+}
+
+namespace {
+
 std::vector<FaultSite>
-validSites(Architecture arch, const std::vector<FaultSite> &requested)
+validSitesImpl(Architecture arch, unsigned numSms,
+               const std::vector<FaultSite> &requested)
 {
     const bool hasBoc = arch == Architecture::BOW ||
         arch == Architecture::BOW_WR ||
         arch == Architecture::BOW_WR_OPT;
     const bool hasRfc = arch == Architecture::RFC;
+    // Device sites exist only on the GPU path: a single SM keeps a
+    // private L2 and receives every CTA up front.
+    const bool hasDevice = numSms > 1;
 
     std::vector<FaultSite> out;
     for (FaultSite s : requested) {
         const bool exists = s == FaultSite::RfBank ||
             (s == FaultSite::BocEntry && hasBoc) ||
-            (s == FaultSite::RfcEntry && hasRfc);
+            (s == FaultSite::RfcEntry && hasRfc) ||
+            (s == FaultSite::L2Line && hasDevice) ||
+            (s == FaultSite::CtaSched && hasDevice);
         if (exists &&
             std::find(out.begin(), out.end(), s) == out.end()) {
             out.push_back(s);
@@ -216,6 +327,21 @@ validSites(Architecture arch, const std::vector<FaultSite> &requested)
     return out;
 }
 
+} // namespace
+
+std::vector<FaultSite>
+validSites(Architecture arch, const std::vector<FaultSite> &requested)
+{
+    return validSitesImpl(arch, 1, requested);
+}
+
+std::vector<FaultSite>
+validSites(const SimConfig &config,
+           const std::vector<FaultSite> &requested)
+{
+    return validSitesImpl(config.arch, config.numSms, requested);
+}
+
 CampaignSummary
 runFaultCampaign(const Workload &workload, const SimConfig &config,
                  const CampaignSpec &spec, const ParallelRunner &runner,
@@ -226,25 +352,34 @@ runFaultCampaign(const Workload &workload, const SimConfig &config,
     if (spec.trials == 0)
         return summary;
 
-    // Refuse up front rather than letting every trial trip the
-    // single-SM guard inside Simulator: those throws would be
-    // classified as "detected" and report a bogus 100% AVF.
-    if (config.numSms > 1)
-        fatal("fault campaign: fault injection supports numSms == 1 "
-              "only (got " + std::to_string(config.numSms) + ")");
-
-    const std::vector<FaultSite> sites =
-        validSites(config.arch, spec.sites);
+    const std::vector<FaultSite> sites = validSites(config, spec.sites);
+    for (unsigned sm : spec.sms) {
+        if (sm >= std::max(1u, config.numSms)) {
+            fatal(strf("fault campaign: --fault-sms index ", sm,
+                       " is out of range for numSms=",
+                       std::max(1u, config.numSms)));
+        }
+    }
 
     // Golden reference (timing-free) and a clean timing run: the
     // latter's cycle count sizes both the fault-cycle window and the
     // watchdog budget, so every trial is bounded relative to how
-    // long this (workload, config) legitimately takes.
+    // long this (workload, config) legitimately takes. On a multi-SM
+    // device the clean run also pins where each CTA lands, which is
+    // what per-SM plans derive FaultPlan::sm from.
     const FunctionalResult oracle =
         runFunctional(workload.launch, 4'000'000,
                       /*recordTraces=*/false);
     const SimResult clean = runner.runOne(SimJob(workload, config));
     const Cycle cycleWindow = std::max<Cycle>(clean.stats.cycles, 1);
+
+    FaultPlanContext planCtx;
+    planCtx.ctaPlacements = clean.ctaPlacements;
+    planCtx.sms = spec.sms;
+    planCtx.numSms = std::max(1u, config.numSms);
+    // L2 flips target words the clean run actually wrote (sorted, so
+    // the pool — and with it every plan — is deterministic).
+    planCtx.globalAddrs = clean.finalMem.globalAddrs();
 
     Watchdog::Limits limits;
     // Deterministic hang detection: a corrupted run that needs 8x
@@ -259,28 +394,43 @@ runFaultCampaign(const Workload &workload, const SimConfig &config,
                                     config.maxCycles);
 
     std::unordered_map<unsigned, FaultTrialResult> done;
-    if (!spec.checkpointPath.empty())
-        done = loadCheckpoint(spec.checkpointPath, spec.seed);
+    if (!spec.checkpointPath.empty()) {
+        done = loadCheckpoint(spec.checkpointPath, spec.seed,
+                              summary.truncatedLines);
+    }
 
     std::vector<FaultTrialResult> trials(spec.trials);
     std::vector<unsigned> pending;
+    // Checkpoint rows in completion order: resumed trials first
+    // (ascending), then each newly finished chunk.
+    std::vector<std::string> lines;
+    lines.reserve(spec.trials);
     for (unsigned t = 0; t < spec.trials; ++t) {
-        const FaultPlan plan = makeFaultPlan(
-            spec.seed, t, sites, workload.launch, cycleWindow);
+        const FaultPlan plan =
+            makeFaultPlan(spec.seed, t, sites, workload.launch,
+                          cycleWindow, &planCtx);
         auto it = done.find(t);
         if (it != done.end()) {
-            const FaultPlan &saved = it->second.plan;
-            if (saved.site != plan.site || saved.warp != plan.warp ||
-                saved.reg != plan.reg || saved.bit != plan.bit ||
-                saved.cycle != plan.cycle) {
+            if (!plansMatch(it->second.plan, plan)) {
                 fatal(strf("fault checkpoint '", spec.checkpointPath,
                            "': trial ", t, " was planned as ",
-                           saved.describe(), " but this campaign ",
+                           it->second.plan.describe(),
+                           " but this campaign ",
                            "derives ", plan.describe(),
                            " (different workload or configuration?)"));
             }
+            if (it->second.outcome == FaultOutcome::Fatal) {
+                // Host-fatal rows are provisional: the failure was
+                // the host's, not the simulated machine's, so a
+                // resumed campaign gives the trial a fresh chance.
+                trials[t].trial = t;
+                trials[t].plan = plan;
+                pending.push_back(t);
+                continue;
+            }
             trials[t] = it->second;
             ++summary.resumed;
+            lines.push_back(trialLine(spec.seed, trials[t]));
         } else {
             trials[t].trial = t;
             trials[t].plan = plan;
@@ -288,18 +438,23 @@ runFaultCampaign(const Workload &workload, const SimConfig &config,
         }
     }
 
+    // An outcome is a transient HOST error — retryable — when the
+    // exception fell outside the simulated-fault taxonomy, or the
+    // test hook says so. Simulated hangs/fatals/panics are terminal
+    // classifications of the injected flip, never retried.
+    const auto transientHostError = [&spec](const SimOutcome &o,
+                                            unsigned trial,
+                                            unsigned attempt) {
+        if (spec.injectHostError &&
+            spec.injectHostError(trial, attempt)) {
+            return true;
+        }
+        return !o.ok() && o.error().kind == SimError::Kind::Other;
+    };
+
     // Run pending trials in chunks so a killed campaign loses at
     // most one chunk of work. Chunking is a checkpoint-granularity
     // choice only; results are submission-indexed and deterministic.
-    std::ofstream checkpoint;
-    if (!spec.checkpointPath.empty()) {
-        checkpoint.open(spec.checkpointPath, std::ios::app);
-        if (!checkpoint) {
-            fatal(strf("fault campaign: cannot open checkpoint '",
-                       spec.checkpointPath, "' for append"));
-        }
-    }
-
     const std::size_t chunkSize =
         std::max<std::size_t>(std::size_t{runner.jobs()} * 4, 16);
     for (std::size_t base = 0; base < pending.size();
@@ -312,6 +467,13 @@ runFaultCampaign(const Workload &workload, const SimConfig &config,
             SimJob &job = batch[i];
             job.workload = &workload;
             job.config = config;
+            // Injected runs step SMs serially anyway (GpuCore clamps
+            // with a warning); request it up front so a campaign
+            // does not emit one warning per trial. Results are
+            // bit-identical at any host-thread count. The clean
+            // reference run above keeps the user's threading.
+            if (job.config.hostThreads > 1)
+                job.config.hostThreads = 1;
             job.fault = trials[pending[base + i]].plan;
             job.watchdog = limits;
         }
@@ -319,16 +481,49 @@ runFaultCampaign(const Workload &workload, const SimConfig &config,
         const std::vector<SimOutcome> outcomes = runner.runAll(batch);
         for (std::size_t i = 0; i < n; ++i) {
             FaultTrialResult &t = trials[pending[base + i]];
-            t.outcome = classifyTrial(outcomes[i], oracle);
-            // A trial that crashed or hung was certainly struck by
-            // its flip; completed trials report landing precisely.
-            t.landed = !outcomes[i].ok() ||
-                outcomes[i].value().fault.landed;
-            if (checkpoint.is_open())
-                checkpoint << trialLine(spec.seed, t) << "\n";
+            SimOutcome outcome = outcomes[i];
+            unsigned attempt = 0;
+            bool transient = transientHostError(outcome, t.trial, 0);
+            while (transient && attempt < spec.retries) {
+                ++attempt;
+                ++summary.retries;
+                // Linear backoff: transient host failures (memory
+                // pressure, thread spawn) usually clear quickly; the
+                // simulated result is wall-clock independent.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10 * attempt));
+                const std::vector<SimJob> one(1, batch[i]);
+                outcome = runner.runAll(one)[0];
+                transient =
+                    transientHostError(outcome, t.trial, attempt);
+            }
+            if (transient) {
+                // Degrade gracefully: record the loss, keep going.
+                t.outcome = FaultOutcome::Fatal;
+                t.landed = false;
+                warn(strf("fault campaign: trial ", t.trial,
+                          " failed with a host error after ",
+                          attempt + 1, " attempt(s)",
+                          !outcome.ok()
+                              ? strf(": ", outcome.error().message)
+                              : std::string(),
+                          "; recording outcome=fatal"));
+            } else {
+                t.outcome = classifyTrial(outcome, oracle);
+                // A trial that crashed or hung was certainly struck
+                // by its flip; completed trials report landing
+                // precisely.
+                t.landed =
+                    !outcome.ok() || outcome.value().fault.landed;
+                t.healed = outcome.ok() &&
+                    outcome.value().fault.repairedByRefetch;
+            }
+            lines.push_back(trialLine(spec.seed, t));
         }
-        if (checkpoint.is_open())
-            checkpoint.flush();
+        if (!spec.checkpointPath.empty()) {
+            writeCheckpointFile(spec.checkpointPath, lines);
+            ++summary.checkpointWrites;
+        }
     }
 
     for (const FaultTrialResult &t : trials) {
@@ -337,10 +532,15 @@ runFaultCampaign(const Workload &workload, const SimConfig &config,
           case FaultOutcome::Sdc:      ++summary.sdc;      break;
           case FaultOutcome::Detected: ++summary.detected; break;
           case FaultOutcome::Hang:     ++summary.hang;     break;
+          case FaultOutcome::Fatal:    ++summary.fatal;    break;
         }
         if (t.landed)
             ++summary.landed;
+        if (t.healed)
+            ++summary.healed;
     }
+    if (metricsAggregationEnabled())
+        summary.exportMetrics(globalMetrics());
     if (outTrials)
         *outTrials = std::move(trials);
     return summary;

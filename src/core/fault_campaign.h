@@ -13,23 +13,36 @@
  *               registers or memory differ from the oracle.
  *   - Detected: the machine noticed — parity flagged the flip, or
  *               the corrupted state drove the simulator into a
- *               fatal()/panic() (e.g. the maxCycles deadlock guard).
+ *               fatal()/panic() (e.g. the maxCycles deadlock guard
+ *               or the SmCore warp-admission guard).
  *   - Hang:     the per-trial watchdog expired (the sim ran far past
  *               the clean run's cycle count without the deadlock
  *               guard tripping).
+ *   - Fatal:    the HOST failed, not the simulated machine — a
+ *               transient error (e.g. resource exhaustion) persisted
+ *               through every retry. The trial is recorded and the
+ *               campaign continues; Fatal trials are excluded from
+ *               the AVF denominator because they carry no
+ *               architectural information.
  *
  * Campaigns are deterministic: trial plans are a pure function of
- * (seed, trial index), execution goes through ParallelRunner::
- * runAll() whose results are submission-indexed, and the summary is
- * byte-identical at any job count. Long campaigns checkpoint to an
- * append-only JSONL file keyed by the seed, so a killed campaign
- * resumes without re-running completed trials.
+ * (seed, trial index) — on a multi-SM device the per-SM placement of
+ * a plan is DERIVED from the clean run's CTA placements, never drawn,
+ * so the random stream is byte-identical to the historical single-SM
+ * derivation — execution goes through ParallelRunner::runAll() whose
+ * results are submission-indexed, and the summary is byte-identical
+ * at any job count and any host-thread count. Long campaigns
+ * checkpoint to a JSONL file keyed by the seed, rewritten atomically
+ * (tmp file + rename) after every chunk, so a killed campaign
+ * resumes without re-running completed trials and a crash mid-write
+ * can at worst truncate one trailing line, which resume tolerates.
  */
 
 #ifndef BOWSIM_CORE_FAULT_CAMPAIGN_H
 #define BOWSIM_CORE_FAULT_CAMPAIGN_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,10 +58,11 @@ enum class FaultOutcome
     Masked,
     Sdc,
     Detected,
-    Hang
+    Hang,
+    Fatal
 };
 
-/** "masked" / "sdc" / "detected" / "hang". */
+/** "masked" / "sdc" / "detected" / "hang" / "fatal". */
 std::string faultOutcomeName(FaultOutcome o);
 
 /** One finished trial. */
@@ -60,6 +74,9 @@ struct FaultTrialResult
     /** The flip struck live data (as opposed to a non-resident or
      *  stale target). */
     bool landed = false;
+    /** A clean copy repaired the corrupted state before it became
+     *  architectural (FaultReport::repairedByRefetch). */
+    bool healed = false;
 };
 
 /** What to run. */
@@ -67,11 +84,29 @@ struct CampaignSpec
 {
     unsigned trials = 0;
     std::uint64_t seed = 0;
-    /** Sites to draw from; filtered against the architecture first
+    /** Sites to draw from; filtered against the configuration first
      *  (see validSites()). */
     std::vector<FaultSite> sites;
-    /** Append-only JSONL checkpoint ("" disables checkpointing). */
+    /** JSONL checkpoint ("" disables checkpointing). Rewritten
+     *  atomically (tmp + rename) after each chunk. */
     std::string checkpointPath;
+    /** Restrict per-SM sites (rf/boc/rfc) to flips on warps the
+     *  clean run placed on these SM indices; empty = all SMs. The
+     *  device sites (l2/cta) are chip-wide and ignore the filter. */
+    std::vector<unsigned> sms;
+    /** Re-run a trial up to this many times when the HOST fails
+     *  transiently (exception outside the simulated-fault taxonomy).
+     *  A trial still failing after the budget is recorded as
+     *  FaultOutcome::Fatal and the campaign continues. Simulated
+     *  hangs/panics are terminal classifications, never retried. */
+    unsigned retries = 0;
+    /** Test-only hook: pretend attempt @p attempt of trial @p trial
+     *  hit a transient host error even though the simulation
+     *  succeeded — exercises the retry/degradation path without a
+     *  real host failure. Consulted exactly once per attempt; must
+     *  be a pure function of its arguments. */
+    std::function<bool(unsigned trial, unsigned attempt)>
+        injectHostError;
 };
 
 /** Aggregate of one campaign. */
@@ -82,20 +117,42 @@ struct CampaignSummary
     unsigned sdc = 0;
     unsigned detected = 0;
     unsigned hang = 0;
+    /** Trials lost to persistent host errors (see CampaignSpec::
+     *  retries); excluded from the AVF denominator. */
+    unsigned fatal = 0;
     unsigned landed = 0;
     /** Trials restored from the checkpoint instead of re-run. */
     unsigned resumed = 0;
+    /** Single-trial re-runs taken for transient host errors. */
+    unsigned retries = 0;
+    /** Completed trials whose corruption was healed by a refetch
+     *  (clean BOC restore, or an L2 line refetched after eviction). */
+    unsigned healed = 0;
+    /** Malformed checkpoint lines tolerated on resume (a killed
+     *  campaign's torn trailing write); the affected trials re-ran. */
+    unsigned truncatedLines = 0;
+    /** Atomic checkpoint rewrites performed. */
+    unsigned checkpointWrites = 0;
 
-    /** Architectural vulnerability: the fraction of trials whose
-     *  flip was not masked. */
+    /** Architectural vulnerability: the fraction of classified
+     *  trials whose flip was not masked. Host-fatal trials carry no
+     *  architectural information and drop out of the denominator
+     *  (identical to the historical trials-based figure whenever
+     *  fatal == 0). */
     double
     avfPct() const
     {
-        return trials
-            ? 100.0 * static_cast<double>(trials - masked) /
-              static_cast<double>(trials)
+        const unsigned classified = trials - fatal;
+        return classified
+            ? 100.0 * static_cast<double>(classified - masked) /
+              static_cast<double>(classified)
             : 0.0;
     }
+
+    /** Publish the campaign.* counters (trials, per-outcome counts,
+     *  landed/resumed/retries/healed/truncated_lines/
+     *  checkpoint_writes, avf_pct) into @p out. */
+    void exportMetrics(MetricsRegistry &out) const;
 };
 
 /**
@@ -107,14 +164,27 @@ std::vector<FaultSite> validSites(Architecture arch,
                                   const std::vector<FaultSite> &requested);
 
 /**
+ * Configuration-aware overload: additionally admits the device-level
+ * sites — L2 lines and CTA-scheduler records — which only exist on
+ * the GPU path (config.numSms > 1; a single SM has a private L2 and
+ * receives every CTA up front, so there is nothing chip-level to
+ * strike).
+ */
+std::vector<FaultSite> validSites(const SimConfig &config,
+                                  const std::vector<FaultSite> &requested);
+
+/**
  * Run @p spec.trials single-bit-flip trials of @p workload under
  * @p config and classify each against the functional oracle.
  *
- * The fault-cycle window and the per-trial watchdog budget are
+ * The fault-cycle window, the per-trial watchdog budget and (on a
+ * multi-SM device) the CTA placements that anchor per-SM plans are
  * derived from a clean (fault-free) run of the same configuration.
  * Execution goes through ParallelRunner::runAll() with @p runner's
  * job count; per-trial results optionally land in @p outTrials
- * (indexed by trial).
+ * (indexed by trial). When metrics aggregation is on (see
+ * setMetricsAggregation()), the summary's campaign.* counters are
+ * also published into globalMetrics().
  */
 CampaignSummary runFaultCampaign(
     const Workload &workload, const SimConfig &config,

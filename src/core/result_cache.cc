@@ -170,6 +170,9 @@ simCacheKey(const Workload &workload, const SimConfig &c,
     h.scalar(fault.reg);
     h.scalar(fault.bit);
     h.scalar(fault.cycle);
+    h.scalar(fault.sm);
+    h.scalar(fault.addr);
+    h.scalar(fault.cta);
     return h.value();
 }
 

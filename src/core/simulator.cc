@@ -60,6 +60,7 @@ Simulator::run(const Launch &launch, FaultInjector *injector,
         out.metrics.setCounter("gpu.occupancy_cap",
                                occupancyCap(config_, *toRun));
         const auto ctas = partitionCtas(*toRun);
+        out.ctaPlacements.assign(ctas.size(), 0);
         out.metrics.setCounter("gpu.cta.launched", ctas.size());
         out.metrics.setCounter("gpu.cta.warps_per_cta",
                                toRun->warpsPerCta);
@@ -71,19 +72,23 @@ Simulator::run(const Launch &launch, FaultInjector *injector,
         exportEnergyMetrics(out.energy, out.metrics, "sm0.energy");
     } else {
         // GPU path: numSms SmCores behind the CTA scheduler and the
-        // shared banked L2 (src/gpu/). The fault-injection and trace
-        // subsystems are single-SM instruments.
-        if (injector) {
-            fatal("Simulator: fault injection supports --num-sms 1 "
-                  "only");
-        }
+        // shared banked L2 (src/gpu/). Fault injection routes per-SM
+        // sites to the targeted SmCore and device sites (l2/cta) to
+        // the GpuCore's DeviceFaultInjector; tracing stays a
+        // single-SM instrument.
         if (tracer)
             fatal("Simulator: event tracing supports --num-sms 1 only");
 
-        GpuCore gpu(config_, *toRun, watchdog);
+        GpuCore gpu(config_, *toRun, watchdog, injector);
         out.stats = gpu.run();
         out.finalRegs = gpu.finalRegs();
         out.finalMem = gpu.memory();
+        out.ctaPlacements = gpu.ctaPlacements();
+        if (injector) {
+            out.fault = gpu.deviceFaultReport()
+                ? *gpu.deviceFaultReport()
+                : injector->report();
+        }
         gpu.exportMetrics(out.metrics);
         out.energy = computeEnergy(out.stats, energyParams_,
                                    config_.faultProtection);

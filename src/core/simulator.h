@@ -34,6 +34,11 @@ struct SimResult
     std::vector<RegFileState> finalRegs;
     MemoryStore finalMem;
     FaultReport fault;          ///< injection outcome (if armed)
+    /** SM index each CTA ran on (all zero on the single-SM path).
+     *  Campaigns feed this back into makeFaultPlan's
+     *  FaultPlanContext so per-SM plans derive FaultPlan::sm from
+     *  the clean run's placements. */
+    std::vector<unsigned> ctaPlacements;
     /** Full per-run metrics snapshot under the stable dotted names
      *  of docs/OBSERVABILITY.md (every RunStats/energy/tag figure
      *  plus the per-component StatGroups). */

@@ -61,6 +61,18 @@ CtaScheduler::CtaScheduler(const SimConfig &config,
     }
 }
 
+bool
+CtaScheduler::corruptPending(unsigned cta, unsigned bit)
+{
+    if (!pending(cta))
+        return false;
+    // WarpId is 16-bit: clamp the flip inside the record's width so
+    // it can never truncate into a silent no-op.
+    ctas_[cta].firstWarp = static_cast<WarpId>(
+        ctas_[cta].firstWarp ^ (1u << (bit % 16)));
+    return true;
+}
+
 std::vector<CtaScheduler::Placement>
 CtaScheduler::place(std::vector<unsigned> &residentWarps)
 {

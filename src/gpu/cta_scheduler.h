@@ -70,6 +70,23 @@ class CtaScheduler
         return placements_;
     }
 
+    /** CTA @p cta has not been handed to an SM yet. */
+    bool pending(unsigned cta) const
+    {
+        return cta >= next_ && cta < ctas_.size();
+    }
+
+    /**
+     * Fault-injection hook (gpu/device_fault.h): flip bit @p bit of
+     * pending CTA @p cta's placement record (its firstWarp field).
+     * The corrupt record flows through place()/assignWarps like any
+     * real one; an out-of-range result trips the SmCore guard
+     * (panic, classified "detected"), an in-range one mis-launches
+     * warps and is classified by the functional oracle.
+     * @return whether the record was still pending (the flip landed).
+     */
+    bool corruptPending(unsigned cta, unsigned bit);
+
   private:
     const SimConfig *config_;
     std::vector<Cta> ctas_;

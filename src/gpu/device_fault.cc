@@ -1,0 +1,76 @@
+#include "gpu/device_fault.h"
+
+#include "common/log.h"
+#include "gpu/cta_scheduler.h"
+#include "gpu/shared_l2.h"
+
+namespace bow {
+
+DeviceFaultInjector::DeviceFaultInjector(const FaultPlan &plan)
+    : plan_(plan)
+{
+    if (faultSiteIsPerSm(plan.site))
+        panic("DeviceFaultInjector: per-SM site routed to the device "
+              "injector");
+    report_.enabled = plan.enabled;
+}
+
+void
+DeviceFaultInjector::onCycle(Cycle now, MemoryStore &mem, SharedL2 *l2,
+                             CtaScheduler &sched)
+{
+    if (!plan_.enabled)
+        return;
+
+    if (pendingHeal_) {
+        // Write-through lines are clean: once the corrupt line is
+        // evicted, the refetch from DRAM restores the pristine word —
+        // unless a store superseded the corruption first (the stored
+        // value went through to DRAM, so there is nothing to heal).
+        if (l2 && !l2->lineResident(plan_.addr)) {
+            if (mem.load(MemSpace::Global, plan_.addr) ==
+                corruptValue_) {
+                mem.store(MemSpace::Global, plan_.addr,
+                          corruptValue_ ^ flipMask());
+                report_.repairedByRefetch = true;
+            }
+            pendingHeal_ = false;
+        }
+        return;
+    }
+
+    if (!report_.fired && now == plan_.cycle)
+        fire(mem, l2, sched);
+}
+
+void
+DeviceFaultInjector::fire(MemoryStore &mem, SharedL2 *l2,
+                          CtaScheduler &sched)
+{
+    report_.fired = true;
+
+    switch (plan_.site) {
+      case FaultSite::L2Line: {
+        if (!l2 || !l2->lineResident(plan_.addr))
+            return;             // masked: the strike hit an empty line
+        report_.landed = true;
+        corruptValue_ =
+            mem.load(MemSpace::Global, plan_.addr) ^ flipMask();
+        mem.store(MemSpace::Global, plan_.addr, corruptValue_);
+        pendingHeal_ = true;
+        return;
+      }
+
+      case FaultSite::CtaSched:
+        report_.landed = sched.corruptPending(plan_.cta, plan_.bit);
+        return;
+
+      case FaultSite::RfBank:
+      case FaultSite::BocEntry:
+      case FaultSite::RfcEntry:
+        break;                  // rejected by the constructor
+    }
+    panic("DeviceFaultInjector::fire: bad site");
+}
+
+} // namespace bow

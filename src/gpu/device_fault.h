@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Device-level fault injection: single-bit upsets in GPU state that
+ * is shared by every SM and therefore outside any one SmCore's
+ * FaultInjector — the chip-level L2 data array and the CTA
+ * scheduler's pending-placement records.
+ *
+ *  - L2Line site: the architectural word lives in the shared
+ *    MemoryStore while SharedL2 tracks only residency (exactly the
+ *    RF/BOC split inside an SM). The flip strikes the L2 copy of
+ *    plan.addr, conditioned on the line being resident at the fault
+ *    cycle; a non-resident line is fired-but-not-landed. Because the
+ *    L2 is write-through, the line is always clean: once it is
+ *    evicted, the refetch from DRAM heals the corruption — unless a
+ *    store superseded the corrupt word first, in which case whatever
+ *    propagated stands (mirrors the BOC clean-entry restore). A line
+ *    still resident (and still corrupt) when the run drains stays
+ *    corrupt: later readers would see the flipped value.
+ *
+ *  - CtaSched site: the flip strikes pending CTA plan.cta's
+ *    placement record (its firstWarp field) at the fault cycle,
+ *    before that cycle's placement decisions. An already-placed CTA
+ *    is fired-but-not-landed. A corrupt record that walks out of the
+ *    launch's warp range trips the SmCore admission guard (panic,
+ *    classified "detected"); an in-range one mis-launches warps and
+ *    is classified by the functional oracle like any other flip.
+ *
+ * SimConfig::faultProtection models codes on the small per-SM
+ * operand structures only (docs/RESILIENCE.md); the device sites are
+ * modelled unprotected.
+ */
+
+#ifndef BOWSIM_GPU_DEVICE_FAULT_H
+#define BOWSIM_GPU_DEVICE_FAULT_H
+
+#include "common/types.h"
+#include "sm/fault_injector.h"
+#include "sm/memory_model.h"
+
+namespace bow {
+
+class SharedL2;
+class CtaScheduler;
+
+/** Applies one device-site FaultPlan to a running GpuCore. The core
+ *  calls onCycle() at the top of every global cycle (before CTA
+ *  placement, so cycle-0 scheduler flips can land under the static
+ *  round-robin policy). */
+class DeviceFaultInjector
+{
+  public:
+    /** @p plan must target a device site (L2Line or CtaSched). */
+    explicit DeviceFaultInjector(const FaultPlan &plan);
+
+    void onCycle(Cycle now, MemoryStore &mem, SharedL2 *l2,
+                 CtaScheduler &sched);
+
+    const FaultReport &report() const { return report_; }
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    void fire(MemoryStore &mem, SharedL2 *l2, CtaScheduler &sched);
+
+    Value flipMask() const { return Value{1} << (plan_.bit % 32); }
+
+    FaultPlan plan_;
+    FaultReport report_;
+    /** L2Line: a corrupt resident line awaits eviction; heal the
+     *  MemoryStore word from the (conceptually clean) DRAM copy when
+     *  the line departs, iff the corrupt value still stands. */
+    bool pendingHeal_ = false;
+    Value corruptValue_ = 0;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_GPU_DEVICE_FAULT_H

@@ -9,7 +9,7 @@
 namespace bow {
 
 GpuCore::GpuCore(const SimConfig &config, const Launch &launch,
-                 const Watchdog *watchdog)
+                 const Watchdog *watchdog, FaultInjector *injector)
     : config_(config),
       launch_(&launch),
       sched_(config_, partitionCtas(launch),
@@ -36,6 +36,30 @@ GpuCore::GpuCore(const SimConfig &config, const Launch &launch,
     hostThreads_ = std::min(resolveHostThreads(config_.hostThreads),
                             config_.numSms);
 
+    // Fault injection is incompatible with staged-memory dispatch
+    // (the injector observes mid-cycle state that staging reorders):
+    // fall back to serial stepping instead of tripping the SmCore
+    // panic. Results are bit-identical either way, only slower.
+    if (injector && injector->plan().enabled && hostThreads_ > 1) {
+        warn(strf("GpuCore: fault injector active; stepping SMs "
+                  "serially instead of on ", hostThreads_,
+                  " host threads"));
+        hostThreads_ = 1;
+    }
+
+    // Route the plan: device sites arm the GPU-level injector; per-SM
+    // sites attach the injector to the one SM the plan targets. An
+    // out-of-range plan.sm attaches nowhere — the fault can only miss
+    // (fired-but-not-landed at worst), never crash the run.
+    FaultInjector *perSm = nullptr;
+    if (injector && injector->plan().enabled) {
+        const FaultPlan &plan = injector->plan();
+        if (faultSiteIsPerSm(plan.site))
+            perSm = injector;
+        else
+            deviceFault_ = std::make_unique<DeviceFaultInjector>(plan);
+    }
+
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s) {
         SmContext ctx;
@@ -45,8 +69,10 @@ GpuCore::GpuCore(const SimConfig &config, const Launch &launch,
         ctx.residentCap = cap_;
         ctx.externalAdmission = true;
         ctx.stagedMemory = hostThreads_ > 1;
+        FaultInjector *smInjector =
+            perSm && injector->plan().sm == s ? perSm : nullptr;
         sms_.push_back(std::make_unique<SmCore>(
-            config_, launch, ctx, nullptr, watchdog, nullptr));
+            config_, launch, ctx, smInjector, watchdog, nullptr));
     }
     activeScratch_.reserve(config_.numSms);
 }
@@ -89,6 +115,13 @@ GpuCore::run()
     std::vector<unsigned> resident(config_.numSms, 0);
 
     while (true) {
+        // Device-site faults strike before this cycle's placement
+        // decisions, so a cycle-0 CTA-record flip lands even under
+        // the static round-robin policy (which places everything on
+        // the first place() call).
+        if (deviceFault_)
+            deviceFault_->onCycle(gcycle_, mem_, l2_.get(), sched_);
+
         if (!sched_.allPlaced()) {
             for (unsigned s = 0; s < config_.numSms; ++s)
                 resident[s] = sms_[s]->unfinishedAssigned();
@@ -123,12 +156,28 @@ GpuCore::run()
             }
             target = std::min(target, wake);
         }
+        // Never jump past an unfired device fault: the residency /
+        // pending-CTA probe must run on exactly the planned cycle.
+        // (Per-SM plans need no clamp — the injected SM disables its
+        // own fast-forward, pinning the global clock.)
+        if (deviceFault_ && !deviceFault_->report().fired &&
+            target != kNoCycle &&
+            target > deviceFault_->plan().cycle) {
+            target = std::max(deviceFault_->plan().cycle, gcycle_);
+        }
         if (target != kNoCycle && target > gcycle_) {
             for (unsigned s = 0; s < config_.numSms; ++s) {
                 if (!sms_[s]->finished())
                     sms_[s]->fastForwardTo(target);
             }
             gcycle_ = target;
+            // The top-of-loop probe ran before the jump, so a fault
+            // planned for the landing cycle (the clamp above steers
+            // the jump onto it) must be probed again or it would
+            // only be seen at target+1, after its cycle has passed.
+            if (deviceFault_)
+                deviceFault_->onCycle(gcycle_, mem_, l2_.get(),
+                                      sched_);
         }
 
         // Fixed SM-index stepping order = deterministic cross-SM

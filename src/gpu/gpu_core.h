@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "gpu/cta_scheduler.h"
+#include "gpu/device_fault.h"
 #include "gpu/shared_l2.h"
 #include "gpu/step_team.h"
 #include "sm/sm_core.h"
@@ -52,9 +53,20 @@ class GpuCore
      *                 and a finished SM stops consuming budget.
      *                 HangError/FatalError from an SM are rethrown
      *                 prefixed with "sm<N>: ".
+     * @param injector Optional fault injector. Per-SM sites
+     *                 (rf/boc/rfc) attach it to the SM named by
+     *                 FaultPlan::sm; device sites (l2/cta) arm an
+     *                 internal DeviceFaultInjector instead (its
+     *                 report is read via deviceFaultReport()). An
+     *                 active injector forces serial SM stepping:
+     *                 hostThreads is clamped to 1 with a one-line
+     *                 warning, never a panic (injection hooks observe
+     *                 mid-cycle state that staged-memory dispatch
+     *                 would reorder).
      */
     GpuCore(const SimConfig &config, const Launch &launch,
-            const Watchdog *watchdog = nullptr);
+            const Watchdog *watchdog = nullptr,
+            FaultInjector *injector = nullptr);
 
     /** Simulate the whole grid to completion; returns the aggregate
      *  statistics (cycles = global makespan, counts summed across
@@ -99,8 +111,17 @@ class GpuCore
     void exportMetrics(MetricsRegistry &out) const;
 
     /** Host threads the cycle loop will use (>= 1, resolved from
-     *  config.hostThreads; see src/core/host_threads.h). */
+     *  config.hostThreads; see src/core/host_threads.h). Always 1
+     *  while a fault injector is armed (serial fallback). */
     unsigned hostThreads() const { return hostThreads_; }
+
+    /** Report of the device-site injector, or nullptr when the armed
+     *  plan targets a per-SM site (read the FaultInjector's own
+     *  report) or no injector is armed. */
+    const FaultReport *deviceFaultReport() const
+    {
+        return deviceFault_ ? &deviceFault_->report() : nullptr;
+    }
 
   private:
     /** Step SM @p s serially, wrapping HangError/FatalError with the
@@ -115,6 +136,8 @@ class GpuCore
     const Launch *launch_;
     MemoryStore mem_;
     std::unique_ptr<SharedL2> l2_;
+    /** Armed for device-site plans (L2Line / CtaSched) only. */
+    std::unique_ptr<DeviceFaultInjector> deviceFault_;
     std::vector<std::unique_ptr<SmCore>> sms_;
     CtaScheduler sched_;
     unsigned cap_ = 0;

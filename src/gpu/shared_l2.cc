@@ -25,6 +25,13 @@ SharedL2::SharedL2(const SimConfig &config)
         b.tags.init(bytesPerBank, config.l2LineBytes, config.l2Ways);
 }
 
+bool
+SharedL2::lineResident(std::uint32_t addr) const
+{
+    const std::uint64_t line = addr >> lineShift_;
+    return banks_[line % banks_.size()].tags.probeLine(addr);
+}
+
 unsigned
 SharedL2::access(std::uint32_t addr, bool isStore, Cycle now)
 {

@@ -48,6 +48,13 @@ class SharedL2
         return static_cast<unsigned>(banks_.size());
     }
 
+    /**
+     * Whether @p addr's line is currently resident in its bank's tag
+     * array. Pure probe for the fault injector: no allocation, no
+     * LRU update — observing residency must not perturb timing.
+     */
+    bool lineResident(std::uint32_t addr) const;
+
     const StatGroup &stats() const { return stats_; }
 
   private:

@@ -15,6 +15,8 @@ faultSiteName(FaultSite s)
       case FaultSite::RfBank:   return "rf";
       case FaultSite::BocEntry: return "boc";
       case FaultSite::RfcEntry: return "rfc";
+      case FaultSite::L2Line:   return "l2";
+      case FaultSite::CtaSched: return "cta";
     }
     panic("faultSiteName: bad site");
 }
@@ -28,7 +30,19 @@ parseFaultSite(const std::string &name)
         return FaultSite::BocEntry;
     if (name == "rfc")
         return FaultSite::RfcEntry;
-    fatal(strf("unknown fault site '", name, "' (want rf, boc or rfc)"));
+    if (name == "l2")
+        return FaultSite::L2Line;
+    if (name == "cta")
+        return FaultSite::CtaSched;
+    fatal(strf("unknown fault site '", name,
+               "' (want rf, boc, rfc, l2 or cta)"));
+}
+
+bool
+faultSiteIsPerSm(FaultSite s)
+{
+    return s == FaultSite::RfBank || s == FaultSite::BocEntry ||
+        s == FaultSite::RfcEntry;
 }
 
 std::string
@@ -36,14 +50,24 @@ FaultPlan::describe() const
 {
     if (!enabled)
         return "none";
+    switch (site) {
+      case FaultSite::L2Line:
+        return strf("l2 a", addr, " bit", bit, " @", cycle);
+      case FaultSite::CtaSched:
+        return strf("cta c", cta, " bit", bit, " @", cycle);
+      default:
+        break;
+    }
+    // The " sm<N>" suffix appears only off SM 0 so single-SM
+    // descriptions (and the logs/tests built on them) are unchanged.
     return strf(faultSiteName(site), " w", warp, " r", reg, " bit", bit,
-                " @", cycle);
+                " @", cycle, sm ? strf(" sm", sm) : "");
 }
 
 FaultPlan
 makeFaultPlan(std::uint64_t seed, unsigned trial,
               const std::vector<FaultSite> &sites, const Launch &launch,
-              Cycle cycleWindow)
+              Cycle cycleWindow, const FaultPlanContext *ctx)
 {
     if (sites.empty())
         fatal("makeFaultPlan: no fault sites requested");
@@ -51,6 +75,57 @@ makeFaultPlan(std::uint64_t seed, unsigned trial,
         fatal("makeFaultPlan: launch has no warps");
     if (cycleWindow == 0)
         fatal("makeFaultPlan: empty cycle window");
+
+    // Golden-ratio mixing keeps per-trial streams independent while
+    // the whole campaign stays a pure function of (seed, trial).
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (std::uint64_t{trial} + 1)));
+
+    FaultPlan p;
+    p.enabled = true;
+    p.site = sites[rng.below(sites.size())];
+
+    if (p.site == FaultSite::L2Line) {
+        // Candidate addresses: every distinct global word the clean
+        // run wrote (ctx->globalAddrs — covers runtime-computed
+        // addresses), falling back to the launch's initMem words.
+        // Either way the words are in the functional store, so a
+        // flip + refetch-heal toggles values the oracle comparison
+        // actually inspects.
+        std::vector<std::uint32_t> addrs;
+        if (ctx && !ctx->globalAddrs.empty()) {
+            addrs = ctx->globalAddrs;
+        } else {
+            std::set<std::uint32_t> addrSet;
+            for (const auto &[space, addr, val] : launch.initMem) {
+                if (space == MemSpace::Global)
+                    addrSet.insert(addr);
+            }
+            addrs.assign(addrSet.begin(), addrSet.end());
+        }
+        if (addrs.empty())
+            addrs.push_back(0);
+        p.addr = addrs[rng.below(addrs.size())];
+        p.bit = static_cast<unsigned>(rng.below(32));
+        p.cycle = rng.below(cycleWindow);
+        return p;
+    }
+
+    if (p.site == FaultSite::CtaSched) {
+        const unsigned perCta = std::max(1u, launch.warpsPerCta);
+        const unsigned numCtas =
+            (launch.numWarps + perCta - 1) / perCta;
+        p.cta = static_cast<unsigned>(rng.below(numCtas));
+        // Flip within (or just above) the width of real warp indices
+        // so the campaign sees both survivable mis-placements and
+        // out-of-range records the machine detects. Capped to the
+        // 16-bit WarpId record width.
+        unsigned bitBound = 2;
+        while ((1u << bitBound) < launch.numWarps && bitBound < 14)
+            ++bitBound;
+        p.bit = static_cast<unsigned>(rng.below(bitBound + 2));
+        p.cycle = rng.below(cycleWindow);
+        return p;
+    }
 
     // Candidate registers: every destination the program writes.
     // Flips in never-written registers would be trivially masked for
@@ -73,17 +148,42 @@ makeFaultPlan(std::uint64_t seed, unsigned trial,
     if (regs.empty())
         regs.push_back(0);
 
-    // Golden-ratio mixing keeps per-trial streams independent while
-    // the whole campaign stays a pure function of (seed, trial).
-    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (std::uint64_t{trial} + 1)));
+    // The SM a warp runs on is derived from the clean run's CTA
+    // placement, never drawn — so the draw sequence below is
+    // byte-identical to the historical single-SM derivation.
+    const unsigned perCta = std::max(1u, launch.warpsPerCta);
+    auto smOfWarp = [&](WarpId w) -> unsigned {
+        if (!ctx || ctx->ctaPlacements.empty())
+            return 0;
+        const std::size_t cta = w / perCta;
+        return cta < ctx->ctaPlacements.size()
+            ? ctx->ctaPlacements[cta]
+            : 0;
+    };
 
-    FaultPlan p;
-    p.enabled = true;
-    p.site = sites[rng.below(sites.size())];
-    p.warp = static_cast<WarpId>(rng.below(launch.numWarps));
+    if (ctx && !ctx->sms.empty()) {
+        // --fault-sms: restrict the warp draw to warps the clean run
+        // placed on an allowed SM. (The all-SMs case keeps the empty
+        // filter and the identity draw below.)
+        std::vector<WarpId> candidates;
+        for (WarpId w = 0; w < launch.numWarps; ++w) {
+            const unsigned sm = smOfWarp(w);
+            if (std::find(ctx->sms.begin(), ctx->sms.end(), sm) !=
+                ctx->sms.end()) {
+                candidates.push_back(w);
+            }
+        }
+        if (candidates.empty())
+            fatal("makeFaultPlan: --fault-sms selects no warps "
+                  "(no CTA was placed on the listed SMs)");
+        p.warp = candidates[rng.below(candidates.size())];
+    } else {
+        p.warp = static_cast<WarpId>(rng.below(launch.numWarps));
+    }
     p.reg = regs[rng.below(regs.size())];
     p.bit = static_cast<unsigned>(rng.below(32));
     p.cycle = rng.below(cycleWindow);
+    p.sm = smOfWarp(p.warp);
     return p;
 }
 
@@ -203,6 +303,13 @@ FaultInjector::fire(std::vector<Warp> &warps,
         warp.regs[plan_.reg] ^= flipMask();
         return;
       }
+
+      case FaultSite::L2Line:
+      case FaultSite::CtaSched:
+        // Device-level sites are handled by the GpuCore's
+        // DeviceFaultInjector (gpu/device_fault.h); inside one SM
+        // they have nothing to strike.
+        return;
     }
 }
 

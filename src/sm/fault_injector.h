@@ -58,19 +58,34 @@ enum class FaultSite
 {
     RfBank,     ///< a register-file bank cell
     BocEntry,   ///< a bypass-operand-collector entry
-    RfcEntry    ///< a register-file-cache entry
+    RfcEntry,   ///< a register-file-cache entry
+    L2Line,     ///< a shared-L2 data-array line word (numSms > 1)
+    CtaSched    ///< a pending CTA's placement record (numSms > 1)
 };
 
-/** Short site name used by the CLI and reports ("rf"/"boc"/"rfc"). */
+/** Short site name used by the CLI and reports
+ *  ("rf"/"boc"/"rfc"/"l2"/"cta"). */
 std::string faultSiteName(FaultSite s);
 
-/** Parse "rf" / "boc" / "rfc"; fatal()s on anything else. */
+/** Parse "rf" / "boc" / "rfc" / "l2" / "cta"; fatal()s on anything
+ *  else. */
 FaultSite parseFaultSite(const std::string &name);
+
+/** The site lives inside one SM (as opposed to device-level state
+ *  shared by every SM: the L2 and the CTA scheduler). */
+bool faultSiteIsPerSm(FaultSite s);
 
 /**
  * One deterministic fault: a single bit flip at a fixed site, warp,
  * register, bit position and cycle. Folded into the simulation cache
  * key so faulty and clean runs never alias.
+ *
+ * Per-SM sites (rf/boc/rfc) additionally carry `sm`, the SM the
+ * clean run placed the target warp's CTA on — derived from the
+ * placement, never drawn, so single-SM plans are byte-identical to
+ * the historical derivation. Device sites use `addr` (L2Line: the
+ * global byte address whose line the flip strikes) or `cta`
+ * (CtaSched: the pending CTA whose placement record is corrupted).
  */
 struct FaultPlan
 {
@@ -80,21 +95,56 @@ struct FaultPlan
     RegId reg = 0;
     unsigned bit = 0;
     Cycle cycle = 0;
+    /** SM holding the target warp (per-SM sites; derived, see above). */
+    unsigned sm = 0;
+    /** Global byte address (L2Line site only). */
+    std::uint32_t addr = 0;
+    /** CTA index (CtaSched site only). */
+    unsigned cta = 0;
 
     /** Compact human-readable description for logs and checkpoints. */
     std::string describe() const;
 };
 
 /**
+ * Device context for plan derivation when the campaign targets a
+ * multi-SM configuration. All fields are outputs of the clean
+ * (fault-free) run of the same (workload, config), so plans remain a
+ * pure function of campaign inputs.
+ */
+struct FaultPlanContext
+{
+    /** SM index each CTA ran on in the clean run (empty = every CTA
+     *  on SM 0, the single-SM layout). */
+    std::vector<unsigned> ctaPlacements;
+    /** SMs eligible for per-SM sites (--fault-sms; empty = all). */
+    std::vector<unsigned> sms;
+    unsigned numSms = 1;
+    /** L2Line candidate pool: the distinct Global addresses the
+     *  clean run wrote (MemoryStore::globalAddrs()), sorted. When
+     *  empty the draw falls back to the launch's initMem words —
+     *  generated workloads compute their addresses at runtime, so
+     *  without this pool every L2 draw would strike address 0. */
+    std::vector<std::uint32_t> globalAddrs;
+};
+
+/**
  * Derive trial @p trial of a campaign from @p seed: uniform over the
- * requested sites, the launch's warps, the destination registers the
- * program actually writes, the 32 value bits and cycles in
- * [0, cycleWindow). Deterministic: same (seed, trial, sites, launch,
- * window) always yields the same plan.
+ * requested sites, then site-specific coordinates — per-SM sites
+ * draw a warp (optionally restricted to SMs in @p ctx->sms), the
+ * destination registers the program actually writes, the 32 value
+ * bits and a cycle in [0, cycleWindow); L2Line draws a global
+ * address from @p ctx->globalAddrs (falling back to the launch's
+ * initMem words); CtaSched draws a CTA index.
+ * Deterministic: same (seed, trial, sites, launch, window, ctx)
+ * always yields the same plan, and with a null / single-SM context
+ * the per-SM draw order matches the historical single-SM derivation
+ * bit-for-bit.
  */
 FaultPlan makeFaultPlan(std::uint64_t seed, unsigned trial,
                         const std::vector<FaultSite> &sites,
-                        const Launch &launch, Cycle cycleWindow);
+                        const Launch &launch, Cycle cycleWindow,
+                        const FaultPlanContext *ctx = nullptr);
 
 /** What happened to the injected fault (filled in during the run). */
 struct FaultReport

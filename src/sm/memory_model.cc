@@ -1,5 +1,7 @@
 #include "sm/memory_model.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "gpu/shared_l2.h"
 
@@ -71,6 +73,17 @@ MemoryStore::contentsEqual(const MemoryStore &other) const
         const_ == other.const_;
 }
 
+std::vector<std::uint32_t>
+MemoryStore::globalAddrs() const
+{
+    std::vector<std::uint32_t> addrs;
+    addrs.reserve(global_.size());
+    for (const auto &[addr, val] : global_)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    return addrs;
+}
+
 void
 CacheTagArray::init(unsigned bytes, unsigned lineBytes,
                     unsigned nways)
@@ -110,6 +123,20 @@ CacheTagArray::accessLine(std::uint32_t addr, bool allocate)
         }
         tags[base + victim] = tag;
         lru[base + victim] = tick;
+    }
+    return false;
+}
+
+bool
+CacheTagArray::probeLine(std::uint32_t addr) const
+{
+    const std::uint64_t line = addr >> lineShift;
+    const unsigned set = static_cast<unsigned>(line % sets);
+    const std::uint64_t tag = line / sets;
+    const std::size_t base = static_cast<std::size_t>(set) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (tags[base + w] == tag)
+            return true;
     }
     return false;
 }

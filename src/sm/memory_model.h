@@ -47,6 +47,11 @@ class MemoryStore
     /** True when the two stores have identical written contents. */
     bool contentsEqual(const MemoryStore &other) const;
 
+    /** Every written Global address, sorted ascending — the
+     *  deterministic candidate pool for L2-line fault targeting
+     *  (fault plans must not depend on hash-map iteration order). */
+    std::vector<std::uint32_t> globalAddrs() const;
+
   private:
     const std::unordered_map<std::uint32_t, Value> &
     spaceMap(MemSpace space) const;
@@ -78,6 +83,8 @@ struct CacheTagArray
     void init(unsigned bytes, unsigned lineBytes, unsigned nways);
     /** Probe for @p addr; allocates on miss. @return hit? */
     bool accessLine(std::uint32_t addr, bool allocate);
+    /** Pure residency probe: no allocation, no LRU/tick update. */
+    bool probeLine(std::uint32_t addr) const;
 };
 
 class SharedL2;

@@ -1,0 +1,751 @@
+/**
+ * @file
+ * Device-scale fault-campaign tests: multi-SM campaign determinism
+ * across job counts, host-thread counts and SM counts; the GpuCore
+ * serial fallback under an armed injector; crash-safe checkpoint
+ * resume (including a torn trailing line); transient-host-error
+ * retry and graceful degradation to outcome=fatal; the campaign.*
+ * metrics export; and the device fault sites themselves — SharedL2
+ * line flips with refetch-heal semantics and CTA-scheduler record
+ * corruption. Runs under ASan+UBSan as a tier-1 memory-safety
+ * configuration (tests/CMakeLists.txt).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "core/fault_campaign.h"
+#include "core/parallel_runner.h"
+#include "core/result_cache.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "gpu/cta_scheduler.h"
+#include "gpu/device_fault.h"
+#include "gpu/gpu_core.h"
+#include "gpu/shared_l2.h"
+#include "workloads/builder.h"
+#include "workloads/registry.h"
+
+using namespace bow;
+
+namespace {
+
+constexpr double kScale = 0.05;
+
+Workload
+wrap(const std::string &name, Launch launch)
+{
+    Workload wl;
+    wl.name = name;
+    wl.scale = 1.0;
+    wl.launch = std::move(launch);
+    return wl;
+}
+
+/** Two-CTA launch whose warps all read one global word twice, with a
+ *  long nop stretch in between — a window where an L2 flip of that
+ *  word is certainly resident and certainly re-read. */
+Launch
+l2ReaderLaunch()
+{
+    KernelBuilder kb("l2_reader");
+    kb.movImm(1, 0x40);
+    kb.load(Opcode::LD_GLOBAL, 2, 1, 0);
+    for (int i = 0; i < 120; ++i)
+        kb.nop();
+    kb.load(Opcode::LD_GLOBAL, 3, 1, 0);
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = 2;
+    launch.warpsPerCta = 1;
+    launch.initMem.emplace_back(MemSpace::Global, 0x40, Value{5});
+    return launch;
+}
+
+/** Four warps in two CTAs — the shape the CTA-record corruption
+ *  tests flip around. */
+Launch
+fourWarpLaunch()
+{
+    KernelBuilder kb("four_warps");
+    kb.movImm(1, 7);
+    for (int i = 0; i < 20; ++i)
+        kb.nop();
+    kb.alu2(Opcode::ADD, 2, 1, 1);
+    kb.exit();
+
+    Launch launch;
+    launch.kernel = kb.build();
+    launch.numWarps = 4;
+    launch.warpsPerCta = 2;
+    return launch;
+}
+
+void
+expectSummariesEqual(const CampaignSummary &a, const CampaignSummary &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.hang, b.hang);
+    EXPECT_EQ(a.fatal, b.fatal);
+    EXPECT_EQ(a.landed, b.landed);
+    EXPECT_EQ(a.healed, b.healed);
+    EXPECT_DOUBLE_EQ(a.avfPct(), b.avfPct());
+}
+
+/** Full metric-registry equality (names, kinds, exact values). */
+void
+expectRegistriesEqual(const MetricsRegistry &a, const MetricsRegistry &b)
+{
+    std::vector<std::string> names = a.names();
+    for (const std::string &n : b.names()) {
+        if (!a.has(n))
+            names.push_back(n);
+    }
+    for (const std::string &n : names) {
+        ASSERT_TRUE(a.has(n)) << n;
+        ASSERT_TRUE(b.has(n)) << n;
+        ASSERT_EQ(a.kindOf(n), b.kindOf(n)) << n;
+        switch (a.kindOf(n)) {
+          case MetricKind::Counter:
+            EXPECT_EQ(a.counter(n), b.counter(n)) << n;
+            break;
+          case MetricKind::Value:
+            EXPECT_EQ(a.value(n), b.value(n)) << n;
+            break;
+          case MetricKind::Hist:
+            EXPECT_EQ(a.hist(n), b.hist(n)) << n;
+            break;
+        }
+    }
+}
+
+class FaultCampaignTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { globalResultCache().reset(); }
+    void TearDown() override
+    {
+        globalResultCache().reset();
+        ParallelRunner::setDefaultJobs(0);
+        setMetricsAggregation(false);
+    }
+};
+
+// Acceptance: identical seeds yield identical per-SM/per-site flip
+// schedules and identical classification at any --jobs count, any
+// hostThreads count and any SM count.
+TEST_F(FaultCampaignTest, DeterministicAcrossJobsHostThreadsAndSms)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+
+    for (unsigned numSms : {1u, 4u, 28u}) {
+        SimConfig base = configFor(Architecture::BOW_WR, 6);
+        base.numSms = numSms;
+
+        CampaignSpec spec;
+        spec.trials = 8;
+        spec.seed = 0xD15EA5E;
+        spec.sites = validSites(
+            base, {FaultSite::RfBank, FaultSite::BocEntry,
+                   FaultSite::L2Line, FaultSite::CtaSched});
+
+        globalResultCache().reset();
+        std::vector<FaultTrialResult> refTrials;
+        const CampaignSummary ref = runFaultCampaign(
+            wl, base, spec, ParallelRunner(1), &refTrials);
+        MetricsRegistry refReg;
+        ref.exportMetrics(refReg);
+
+        for (unsigned jobs : {1u, 4u}) {
+            for (unsigned hostThreads : {1u, 4u}) {
+                if (jobs == 1 && hostThreads == 1)
+                    continue;
+                SimConfig cfg = base;
+                cfg.hostThreads = hostThreads;
+                globalResultCache().reset();
+                std::vector<FaultTrialResult> trials;
+                const CampaignSummary s = runFaultCampaign(
+                    wl, cfg, spec, ParallelRunner(jobs), &trials);
+                SCOPED_TRACE(strf("numSms=", numSms, " jobs=", jobs,
+                                  " hostThreads=", hostThreads));
+                expectSummariesEqual(ref, s);
+                MetricsRegistry reg;
+                s.exportMetrics(reg);
+                expectRegistriesEqual(refReg, reg);
+                ASSERT_EQ(refTrials.size(), trials.size());
+                for (std::size_t i = 0; i < trials.size(); ++i) {
+                    EXPECT_EQ(refTrials[i].plan.describe(),
+                              trials[i].plan.describe())
+                        << i;
+                    EXPECT_EQ(refTrials[i].outcome, trials[i].outcome)
+                        << i;
+                }
+            }
+        }
+    }
+}
+
+// Satellite: an armed injector forces GpuCore into serial stepping
+// with a warning instead of the staged-memory panic, and the result
+// is bit-identical to a serial run.
+TEST_F(FaultCampaignTest, InjectorForcesSerialSmStepping)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = 4;
+    cfg.hostThreads = 4;
+
+    // Clean run: the requested thread budget sticks.
+    {
+        GpuCore clean(cfg, wl.launch);
+        EXPECT_EQ(clean.hostThreads(), 4u);
+    }
+
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.site = FaultSite::RfBank;
+    plan.warp = 0;
+    plan.reg = 1;
+    plan.bit = 2;
+    plan.cycle = 3;
+
+    FaultInjector par(plan, FaultProtection::None);
+    GpuCore gpu(cfg, wl.launch, nullptr, &par);
+    EXPECT_EQ(gpu.hostThreads(), 1u);   // serial fallback, no panic
+    const RunStats statsPar = gpu.run();
+
+    SimConfig serial = cfg;
+    serial.hostThreads = 1;
+    FaultInjector ser(plan, FaultProtection::None);
+    GpuCore ref(serial, wl.launch, nullptr, &ser);
+    const RunStats statsSer = ref.run();
+
+    EXPECT_EQ(statsPar.cycles, statsSer.cycles);
+    EXPECT_EQ(statsPar.instructions, statsSer.instructions);
+    ASSERT_EQ(gpu.finalRegs().size(), ref.finalRegs().size());
+    for (std::size_t w = 0; w < gpu.finalRegs().size(); ++w)
+        EXPECT_EQ(gpu.finalRegs()[w], ref.finalRegs()[w]) << w;
+    EXPECT_EQ(par.report().fired, ser.report().fired);
+    EXPECT_EQ(par.report().landed, ser.report().landed);
+}
+
+// Satellite: a checkpoint whose final line was torn mid-write (the
+// classic kill-during-append) is tolerated — the torn trial re-runs
+// and the resumed campaign byte-matches an uninterrupted one.
+TEST_F(FaultCampaignTest, TruncatedCheckpointLineIsSkippedAndRerun)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = 4;
+    const ParallelRunner runner(1);
+
+    const std::string path =
+        testing::TempDir() + "fault_ckpt_torn.jsonl";
+    std::remove(path.c_str());
+
+    CampaignSpec spec;
+    spec.trials = 8;
+    spec.seed = 31;
+    spec.sites = validSites(
+        cfg, {FaultSite::RfBank, FaultSite::L2Line,
+              FaultSite::CtaSched});
+    spec.checkpointPath = path;
+
+    const CampaignSummary full =
+        runFaultCampaign(wl, cfg, spec, runner);
+    EXPECT_GT(full.checkpointWrites, 0u);
+
+    // Tear the checkpoint: drop the second half of the last line.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), spec.trials);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (std::size_t i = 0; i + 1 < lines.size(); ++i)
+            out << lines[i] << "\n";
+        out << lines.back().substr(0, lines.back().size() / 2);
+    }
+
+    globalResultCache().reset();
+    std::vector<FaultTrialResult> resumedTrials;
+    const CampaignSummary resumed =
+        runFaultCampaign(wl, cfg, spec, runner, &resumedTrials);
+    EXPECT_EQ(resumed.truncatedLines, 1u);
+    EXPECT_EQ(resumed.resumed, spec.trials - 1);
+    expectSummariesEqual(full, resumed);
+
+    // And a fresh uninterrupted campaign agrees trial by trial.
+    globalResultCache().reset();
+    CampaignSpec fresh = spec;
+    fresh.checkpointPath.clear();
+    std::vector<FaultTrialResult> freshTrials;
+    const CampaignSummary direct =
+        runFaultCampaign(wl, cfg, fresh, runner, &freshTrials);
+    expectSummariesEqual(direct, resumed);
+    ASSERT_EQ(freshTrials.size(), resumedTrials.size());
+    for (std::size_t i = 0; i < freshTrials.size(); ++i)
+        EXPECT_EQ(freshTrials[i].outcome, resumedTrials[i].outcome)
+            << i;
+
+    std::remove(path.c_str());
+}
+
+// Device-site plans (sm/addr/cta) round-trip through the checkpoint
+// codec: a fully-checkpointed campaign resumes without a single new
+// fault simulation and without tripping the plan-match validation.
+TEST_F(FaultCampaignTest, DeviceSitePlansRoundTripThroughCheckpoint)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = 4;
+    const ParallelRunner runner(1);
+
+    const std::string path =
+        testing::TempDir() + "fault_ckpt_device.jsonl";
+    std::remove(path.c_str());
+
+    CampaignSpec spec;
+    spec.trials = 10;
+    spec.seed = 77;
+    spec.sites = validSites(
+        cfg, {FaultSite::RfBank, FaultSite::BocEntry,
+              FaultSite::L2Line, FaultSite::CtaSched});
+    spec.checkpointPath = path;
+
+    std::vector<FaultTrialResult> first;
+    runFaultCampaign(wl, cfg, spec, runner, &first);
+
+    globalResultCache().reset();
+    const std::uint64_t before = ParallelRunner::simulationsRun();
+    std::vector<FaultTrialResult> second;
+    const CampaignSummary resumed =
+        runFaultCampaign(wl, cfg, spec, runner, &second);
+    // Only the clean reference run simulates again.
+    EXPECT_EQ(ParallelRunner::simulationsRun() - before, 1u);
+    EXPECT_EQ(resumed.resumed, spec.trials);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].plan.describe(), second[i].plan.describe())
+            << i;
+        EXPECT_EQ(first[i].outcome, second[i].outcome) << i;
+    }
+
+    std::remove(path.c_str());
+}
+
+// Regression: the healed (repaired-by-refetch) count survives a
+// resume. It is persisted per checkpoint row — recomputing it would
+// need the simulation the resume exists to skip.
+TEST_F(FaultCampaignTest, HealedCountSurvivesResume)
+{
+    // BTREE at this scale/seed produces refetch-healed trials
+    // (asserted below so a workload change cannot hollow the test).
+    const Workload wl = workloads::make("BTREE", 0.1);
+    const SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    const ParallelRunner runner(1);
+
+    const std::string path =
+        testing::TempDir() + "fault_ckpt_healed.jsonl";
+    std::remove(path.c_str());
+
+    CampaignSpec spec;
+    spec.trials = 20;
+    spec.seed = 7;
+    spec.sites = {FaultSite::RfBank, FaultSite::BocEntry};
+    spec.checkpointPath = path;
+
+    const CampaignSummary fresh =
+        runFaultCampaign(wl, cfg, spec, runner);
+    ASSERT_GT(fresh.healed, 0u);
+
+    globalResultCache().reset();
+    const CampaignSummary resumed =
+        runFaultCampaign(wl, cfg, spec, runner);
+    EXPECT_EQ(resumed.resumed, spec.trials);
+    expectSummariesEqual(fresh, resumed);
+
+    std::remove(path.c_str());
+}
+
+// Satellite: transient host errors are retried with backoff; a trial
+// that keeps failing degrades to outcome=fatal without sinking the
+// campaign, drops out of the AVF denominator, and is given a fresh
+// chance on resume.
+TEST_F(FaultCampaignTest, TransientHostErrorsRetryThenDegrade)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    const SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    const ParallelRunner runner(1);
+
+    CampaignSpec spec;
+    spec.trials = 6;
+    spec.seed = 13;
+    spec.sites = {FaultSite::RfBank};
+
+    // Reference: no host errors.
+    std::vector<FaultTrialResult> refTrials;
+    const CampaignSummary ref =
+        runFaultCampaign(wl, cfg, spec, runner, &refTrials);
+    ASSERT_EQ(ref.fatal, 0u);
+
+    // One flaky trial that heals on its first retry.
+    globalResultCache().reset();
+    CampaignSpec flaky = spec;
+    flaky.retries = 2;
+    flaky.injectHostError = [](unsigned trial, unsigned attempt) {
+        return trial == 3 && attempt == 0;
+    };
+    std::vector<FaultTrialResult> flakyTrials;
+    const CampaignSummary healed =
+        runFaultCampaign(wl, cfg, flaky, runner, &flakyTrials);
+    EXPECT_EQ(healed.retries, 1u);
+    EXPECT_EQ(healed.fatal, 0u);
+    expectSummariesEqual(ref, healed);
+    for (std::size_t i = 0; i < refTrials.size(); ++i)
+        EXPECT_EQ(refTrials[i].outcome, flakyTrials[i].outcome) << i;
+
+    // A persistently failing trial exhausts the budget and degrades.
+    globalResultCache().reset();
+    const std::string path =
+        testing::TempDir() + "fault_ckpt_fatal.jsonl";
+    std::remove(path.c_str());
+    CampaignSpec broken = spec;
+    broken.retries = 1;
+    broken.checkpointPath = path;
+    broken.injectHostError = [](unsigned trial, unsigned) {
+        return trial == 2;
+    };
+    const CampaignSummary degraded =
+        runFaultCampaign(wl, cfg, broken, runner);
+    EXPECT_EQ(degraded.fatal, 1u);
+    EXPECT_EQ(degraded.retries, 1u);
+    EXPECT_EQ(degraded.masked + degraded.sdc + degraded.detected +
+                  degraded.hang,
+              spec.trials - 1);
+    // Fatal trials drop out of the AVF denominator.
+    const unsigned classified = degraded.trials - degraded.fatal;
+    EXPECT_DOUBLE_EQ(degraded.avfPct(),
+                     100.0 * (classified - degraded.masked) /
+                         classified);
+
+    // The fatal row is in the checkpoint, and a resume without the
+    // hook re-runs exactly that one trial and matches the reference.
+    {
+        std::ifstream in(path);
+        std::stringstream text;
+        text << in.rdbuf();
+        EXPECT_NE(text.str().find("\"outcome\":\"fatal\""),
+                  std::string::npos);
+    }
+    globalResultCache().reset();
+    CampaignSpec recover = spec;
+    recover.checkpointPath = path;
+    std::vector<FaultTrialResult> recoveredTrials;
+    const CampaignSummary recovered =
+        runFaultCampaign(wl, cfg, recover, runner, &recoveredTrials);
+    EXPECT_EQ(recovered.resumed, spec.trials - 1);
+    EXPECT_EQ(recovered.fatal, 0u);
+    expectSummariesEqual(ref, recovered);
+
+    std::remove(path.c_str());
+}
+
+// The campaign.* counters are published into globalMetrics() when
+// aggregation is on (the --metrics-out path), and not otherwise.
+TEST_F(FaultCampaignTest, ExportsCampaignMetrics)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    const SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+
+    CampaignSpec spec;
+    spec.trials = 4;
+    spec.seed = 3;
+    spec.sites = {FaultSite::RfBank};
+
+    globalMetrics().clear();
+    const CampaignSummary quiet =
+        runFaultCampaign(wl, cfg, spec, ParallelRunner(1));
+    EXPECT_FALSE(globalMetrics().has("campaign.trials"));
+
+    MetricsRegistry reg;
+    quiet.exportMetrics(reg);
+    EXPECT_EQ(reg.counter("campaign.trials"), spec.trials);
+    EXPECT_EQ(reg.counter("campaign.masked"), quiet.masked);
+    EXPECT_EQ(reg.counter("campaign.sdc"), quiet.sdc);
+    EXPECT_EQ(reg.counter("campaign.detected"), quiet.detected);
+    EXPECT_EQ(reg.counter("campaign.hang"), quiet.hang);
+    EXPECT_EQ(reg.counter("campaign.fatal"), quiet.fatal);
+    EXPECT_EQ(reg.counter("campaign.landed"), quiet.landed);
+    EXPECT_EQ(reg.value("campaign.avf_pct"), quiet.avfPct());
+
+    setMetricsAggregation(true);
+    globalResultCache().reset();
+    runFaultCampaign(wl, cfg, spec, ParallelRunner(1));
+    EXPECT_TRUE(globalMetrics().has("campaign.trials"));
+    EXPECT_EQ(globalMetrics().counter("campaign.trials"),
+              spec.trials);
+    setMetricsAggregation(false);
+    globalMetrics().clear();
+}
+
+// Single-SM byte-compatibility guard: a plan derived with a
+// FaultPlanContext describing a single-SM device is identical (every
+// field, every trial) to the historical context-free derivation.
+TEST_F(FaultCampaignTest, SingleSmPlansAreByteCompatible)
+{
+    const Workload wl = workloads::make("BTREE", kScale);
+    const std::vector<FaultSite> sites = {FaultSite::RfBank,
+                                          FaultSite::BocEntry};
+    FaultPlanContext ctx;
+    ctx.ctaPlacements.assign(wl.launch.numWarps, 0);
+    ctx.numSms = 1;
+
+    for (unsigned trial = 0; trial < 64; ++trial) {
+        const FaultPlan bare =
+            makeFaultPlan(42, trial, sites, wl.launch, 5000);
+        const FaultPlan withCtx =
+            makeFaultPlan(42, trial, sites, wl.launch, 5000, &ctx);
+        EXPECT_EQ(bare.site, withCtx.site);
+        EXPECT_EQ(bare.warp, withCtx.warp);
+        EXPECT_EQ(bare.reg, withCtx.reg);
+        EXPECT_EQ(bare.bit, withCtx.bit);
+        EXPECT_EQ(bare.cycle, withCtx.cycle);
+        EXPECT_EQ(bare.sm, 0u);
+        EXPECT_EQ(withCtx.sm, 0u);
+        // The " sm<N>" describe() suffix stays off on SM 0.
+        EXPECT_EQ(bare.describe(), withCtx.describe());
+    }
+
+    // An all-SMs --fault-sms filter on one SM is also the identity.
+    FaultPlanContext all = ctx;
+    all.sms = {0};
+    for (unsigned trial = 0; trial < 16; ++trial) {
+        const FaultPlan bare =
+            makeFaultPlan(7, trial, sites, wl.launch, 1000);
+        const FaultPlan filtered =
+            makeFaultPlan(7, trial, sites, wl.launch, 1000, &all);
+        EXPECT_EQ(bare.describe(), filtered.describe());
+    }
+}
+
+// --fault-sms: per-SM flips restrict to warps the clean run placed
+// on the listed SMs; an impossible filter is a fatal error.
+TEST_F(FaultCampaignTest, SmFilterRestrictsPerSmPlans)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = 4;
+
+    CampaignSpec spec;
+    spec.trials = 8;
+    spec.seed = 11;
+    spec.sites = {FaultSite::RfBank};
+    spec.sms = {2};
+
+    std::vector<FaultTrialResult> trials;
+    runFaultCampaign(wl, cfg, spec, ParallelRunner(1), &trials);
+    for (const FaultTrialResult &t : trials)
+        EXPECT_EQ(t.plan.sm, 2u) << t.plan.describe();
+
+    CampaignSpec bad = spec;
+    bad.sms = {7};
+    EXPECT_THROW(
+        runFaultCampaign(wl, cfg, bad, ParallelRunner(1)),
+        FatalError);
+}
+
+// ---- Device fault sites -------------------------------------------
+
+TEST(SharedL2Fault, ProbeLineIsPureAndPrecise)
+{
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = 2;
+    SharedL2 l2(cfg);
+
+    EXPECT_FALSE(l2.lineResident(0x40));
+    l2.access(0x40, /*isStore=*/false, /*now=*/0);
+    EXPECT_TRUE(l2.lineResident(0x40));
+    // Same line, different word: still resident. Different line: not.
+    EXPECT_TRUE(l2.lineResident(0x44));
+    EXPECT_FALSE(l2.lineResident(0x40 + 4 * cfg.l2LineBytes));
+
+    // Probing is pure: no load/store accounting moves.
+    const std::uint64_t loads = l2.stats().counterValue("loads");
+    const std::uint64_t misses = l2.stats().counterValue("misses");
+    for (int i = 0; i < 100; ++i)
+        l2.lineResident(0x40);
+    EXPECT_EQ(l2.stats().counterValue("loads"), loads);
+    EXPECT_EQ(l2.stats().counterValue("misses"), misses);
+}
+
+// A flip on a resident L2 line corrupts readers while it stays
+// resident; eviction refetches the pristine DRAM copy (write-through
+// lines are clean) unless a store superseded the corruption.
+TEST(SharedL2Fault, FlipHealsOnEvictionUnlessSuperseded)
+{
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = 2;
+    // Tiny direct-mapped single-bank L2: two sets, so line 0x80 and
+    // line 0x180 conflict and the second access evicts the first.
+    cfg.l2Banks = 1;
+    cfg.l2Ways = 1;
+    cfg.l2Bytes = 2 * cfg.l2LineBytes;
+
+    CtaScheduler sched(cfg, {}, 1);
+
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.site = FaultSite::L2Line;
+    plan.addr = 0x80;
+    plan.bit = 0;
+    plan.cycle = 5;
+
+    {
+        // Heal: flip, then evict with the word untouched.
+        MemoryStore mem;
+        mem.store(MemSpace::Global, 0x80, 7);
+        SharedL2 l2(cfg);
+        l2.access(0x80, false, 0);
+        DeviceFaultInjector dev(plan);
+        dev.onCycle(5, mem, &l2, sched);
+        EXPECT_TRUE(dev.report().fired);
+        EXPECT_TRUE(dev.report().landed);
+        EXPECT_EQ(mem.load(MemSpace::Global, 0x80), 7u ^ 1u);
+
+        l2.access(0x180, false, 10);    // conflicting line: evict
+        EXPECT_FALSE(l2.lineResident(0x80));
+        dev.onCycle(11, mem, &l2, sched);
+        EXPECT_EQ(mem.load(MemSpace::Global, 0x80), 7u);
+        EXPECT_TRUE(dev.report().repairedByRefetch);
+    }
+    {
+        // Superseded: a store overwrites the corrupt word before the
+        // eviction; whatever propagated stands — no heal.
+        MemoryStore mem;
+        mem.store(MemSpace::Global, 0x80, 7);
+        SharedL2 l2(cfg);
+        l2.access(0x80, false, 0);
+        DeviceFaultInjector dev(plan);
+        dev.onCycle(5, mem, &l2, sched);
+        mem.store(MemSpace::Global, 0x80, 99);  // write-through store
+
+        l2.access(0x180, false, 10);
+        dev.onCycle(11, mem, &l2, sched);
+        EXPECT_EQ(mem.load(MemSpace::Global, 0x80), 99u);
+        EXPECT_FALSE(dev.report().repairedByRefetch);
+    }
+    {
+        // Not resident at the fault cycle: fired but not landed.
+        MemoryStore mem;
+        mem.store(MemSpace::Global, 0x80, 7);
+        SharedL2 l2(cfg);
+        DeviceFaultInjector dev(plan);
+        dev.onCycle(5, mem, &l2, sched);
+        EXPECT_TRUE(dev.report().fired);
+        EXPECT_FALSE(dev.report().landed);
+        EXPECT_EQ(mem.load(MemSpace::Global, 0x80), 7u);
+    }
+}
+
+// End-to-end through the Simulator: an L2 flip that stays resident
+// until the drain is silent data corruption the oracle catches.
+TEST(SharedL2Fault, ResidentFlipSurfacesAsSdc)
+{
+    const Workload wl = wrap("l2_reader", l2ReaderLaunch());
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = 2;
+
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.site = FaultSite::L2Line;
+    plan.addr = 0x40;
+    plan.bit = 0;
+    plan.cycle = 60;    // mid-nop stretch: loaded, not yet re-read
+
+    FaultInjector inj(plan, FaultProtection::None);
+    const Simulator sim(cfg);
+    const SimResult res = sim.run(wl.launch, &inj);
+    EXPECT_TRUE(res.fault.fired);
+    EXPECT_TRUE(res.fault.landed);
+    EXPECT_FALSE(res.fault.repairedByRefetch);
+    // First read saw the pristine word, the re-read the corrupt one,
+    // and the corruption survives in final memory.
+    for (unsigned w = 0; w < 2; ++w) {
+        EXPECT_EQ(res.finalRegs[w][2], 5u) << w;
+        EXPECT_EQ(res.finalRegs[w][3], 5u ^ 1u) << w;
+    }
+    EXPECT_EQ(res.finalMem.load(MemSpace::Global, 0x40), 5u ^ 1u);
+}
+
+// CTA-record corruption: an out-of-range firstWarp trips the SmCore
+// admission guard (panic — "detected"); an in-range one mis-launches
+// and the campaign classifies it via the oracle.
+TEST(SharedL2Fault, CtaRecordCorruptionIsDetectedOrClassified)
+{
+    const Workload wl = wrap("four_warps", fourWarpLaunch());
+    SimConfig cfg = configFor(Architecture::BOW_WR, 6);
+    cfg.numSms = 2;
+
+    // bit 4 walks CTA 1's firstWarp (2) to 18 > numWarps: the
+    // admission guard must panic, not scribble.
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.site = FaultSite::CtaSched;
+    plan.cta = 1;
+    plan.bit = 4;
+    plan.cycle = 0;     // RR places everything on the first cycle
+
+    {
+        FaultInjector inj(plan, FaultProtection::None);
+        const Simulator sim(cfg);
+        EXPECT_THROW(sim.run(wl.launch, &inj), PanicError);
+    }
+
+    // A flip after placement is fired-but-not-landed (masked). RR
+    // places every CTA on cycle 0, so cycle 10 is mid-run but late.
+    {
+        FaultPlan late = plan;
+        late.cycle = 10;
+        FaultInjector inj(late, FaultProtection::None);
+        const Simulator sim(cfg);
+        const SimResult res = sim.run(wl.launch, &inj);
+        EXPECT_TRUE(res.fault.fired);
+        EXPECT_FALSE(res.fault.landed);
+    }
+
+    // Campaign-level: every cta-site trial classifies cleanly and
+    // the taxonomy accounts for all of them.
+    CampaignSpec spec;
+    spec.trials = 12;
+    spec.seed = 17;
+    spec.sites = {FaultSite::CtaSched};
+    std::vector<FaultTrialResult> trials;
+    globalResultCache().reset();
+    const CampaignSummary s = runFaultCampaign(
+        wl, cfg, spec, ParallelRunner(1), &trials);
+    EXPECT_EQ(s.masked + s.sdc + s.detected + s.hang, spec.trials);
+    EXPECT_EQ(s.fatal, 0u);
+    for (const FaultTrialResult &t : trials)
+        EXPECT_EQ(t.plan.site, FaultSite::CtaSched);
+    globalResultCache().reset();
+    ParallelRunner::setDefaultJobs(0);
+}
+
+} // namespace

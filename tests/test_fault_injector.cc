@@ -163,27 +163,43 @@ TEST_F(FaultInjectorTest, RfFlipCorruptsDependentComputation)
               (golden.finalRegs[0][1] ^ (1u << 3)) * 2);
 }
 
-TEST_F(FaultInjectorTest, MultiSmCampaignIsRejectedUpFront)
+TEST_F(FaultInjectorTest, MultiSmCampaignRunsAndDerivesSmPlacement)
 {
-    // Fault injection is a single-SM instrument.  Without the entry
-    // guard every trial would trip Simulator's per-run fatal, be
-    // classified "detected", and the campaign would report a bogus
-    // 100% AVF instead of failing.
+    // PR lifted the historical single-SM guard: campaigns now run on
+    // the GPU path, with per-SM plans anchored to the clean run's
+    // CTA placements and the same (warp, reg, bit, cycle) draws as
+    // the single-SM derivation — only FaultPlan::sm is new, and it
+    // is derived, never drawn.
     const Workload wl = workloads::make("VECTORADD", kScale);
     CampaignSpec spec;
-    spec.trials = 3;
+    spec.trials = 6;
     spec.seed = 5;
     spec.sites = {FaultSite::RfBank};
 
     SimConfig cfg = configFor(Architecture::BOW_WR, 6);
     cfg.numSms = 2;
-    try {
-        runFaultCampaign(wl, cfg, spec, ParallelRunner(1));
-        FAIL() << "expected FatalError";
-    } catch (const FatalError &e) {
-        EXPECT_NE(std::string(e.what()).find("numSms == 1"),
-                  std::string::npos)
-            << e.what();
+    std::vector<FaultTrialResult> trials;
+    const CampaignSummary s =
+        runFaultCampaign(wl, cfg, spec, ParallelRunner(1), &trials);
+    EXPECT_EQ(s.masked + s.sdc + s.detected + s.hang + s.fatal,
+              spec.trials);
+    EXPECT_EQ(s.fatal, 0u);
+
+    SimConfig single = cfg;
+    single.numSms = 1;
+    std::vector<FaultTrialResult> singleTrials;
+    globalResultCache().reset();
+    runFaultCampaign(wl, single, spec, ParallelRunner(1),
+                     &singleTrials);
+    ASSERT_EQ(trials.size(), singleTrials.size());
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+        // The cycle draw is bounded by each config's own clean cycle
+        // count, so only the structural draws must agree.
+        EXPECT_EQ(trials[i].plan.warp, singleTrials[i].plan.warp) << i;
+        EXPECT_EQ(trials[i].plan.reg, singleTrials[i].plan.reg) << i;
+        EXPECT_EQ(trials[i].plan.bit, singleTrials[i].plan.bit) << i;
+        EXPECT_LT(trials[i].plan.sm, 2u) << i;
+        EXPECT_EQ(singleTrials[i].plan.sm, 0u) << i;
     }
 }
 
