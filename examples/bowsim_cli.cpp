@@ -39,6 +39,18 @@
  *                         timings, into --manifest-out
  *     --csv               machine-readable one-line output
  *
+ *   Remote execution (docs/SERVICE.md; needs a running bowsimd):
+ *     --remote SOCKET     submit the sweep to the bowsimd daemon at
+ *                         SOCKET instead of simulating locally;
+ *                         results print in the local format and a
+ *                         "# remote:" stderr line reports where they
+ *                         came from (memory / store / simulated)
+ *     --shutdown          with --remote: ask the daemon to exit
+ *
+ *   The BOWSIM_STORE_DIR environment variable attaches the on-disk
+ *   result store to any local run (benches included) — no daemon
+ *   required; see docs/SERVICE.md.
+ *
  *   Observability (docs/OBSERVABILITY.md; all accept --flag=VALUE):
  *     --metrics-out FILE  full metrics registry as JSON (aggregated
  *                         over the suite for --workload ALL)
@@ -91,6 +103,7 @@
 #include "core/sweep.h"
 #include "isa/assembler.h"
 #include "isa/sass_import.h"
+#include "service/remote_client.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -133,7 +146,8 @@ usage()
         "                  [--fault-protection P] [--fault-retries N]\n"
         "                  [--fault-checkpoint FILE]\n"
         "                  [--metrics-out FILE] [--trace-out FILE]\n"
-        "                  [--trace-cycles A:B] [--manifest-out FILE]\n";
+        "                  [--trace-cycles A:B] [--manifest-out FILE]\n"
+        "                  [--remote SOCKET [--shutdown]]\n";
     std::exit(1);
 }
 
@@ -339,6 +353,102 @@ runAllWorkloads(const SimConfig &config, double scale, bool csv,
     return 0;
 }
 
+/**
+ * --remote: submit the sweep to a bowsimd daemon and print the
+ * replies in exactly the local formats, so cold (simulated) and warm
+ * (store-served) runs are byte-identical on stdout — the property the
+ * CI service job diffs. Provenance goes to stderr only.
+ */
+int
+runRemote(const std::string &socketPath, const std::string &workload,
+          const SimConfig &config, double scale, bool csv)
+{
+    std::vector<RemoteJobSpec> jobs;
+    const bool all = workload == "ALL" || workload == "all";
+    if (all) {
+        for (const std::string &name : workloads::allNames())
+            jobs.push_back({name, scale, config});
+    } else {
+        jobs.push_back({workload, scale, config});
+    }
+
+    std::vector<RemoteSummary> summaries;
+    const RemoteSweepStats stats =
+        runRemoteSweep(socketPath, jobs, summaries);
+
+    if (all) {
+        if (csv) {
+            std::cout << "kernel,arch,iw,cycles,insts,ipc,rf_reads,"
+                         "rf_writes,boc_forwards,energy_pj\n";
+            for (const RemoteSummary &s : summaries) {
+                std::cout << s.workload << "," << s.arch << ","
+                          << config.windowSize << "," << s.cycles
+                          << "," << s.instructions << "," << s.ipc()
+                          << "," << s.rfReads << "," << s.rfWrites
+                          << "," << s.bocForwards << ","
+                          << s.energyTotalPj << "\n";
+            }
+        } else {
+            printConfigBanner(std::cout, config);
+            Table t(strf("Suite results - ", archName(config.arch),
+                         " (IW ", config.windowSize, ")"));
+            t.setHeader({"benchmark", "cycles", "insts", "IPC",
+                         "RF reads", "RF writes", "BOC fwds",
+                         "energy uJ"});
+            for (const RemoteSummary &s : summaries) {
+                t.beginRow().cell(s.workload)
+                    .cell(s.cycles)
+                    .cell(s.instructions)
+                    .cell(s.ipc(), 3)
+                    .cell(s.rfReads)
+                    .cell(s.rfWrites)
+                    .cell(s.bocForwards)
+                    .cell(s.energyTotalPj / 1e6, 2);
+            }
+            t.print(std::cout);
+        }
+    } else {
+        const RemoteSummary &s = summaries.front();
+        if (csv) {
+            std::cout << "kernel,arch,iw,cycles,insts,ipc,rf_reads,"
+                         "rf_writes,boc_forwards,energy_pj\n";
+            std::cout << s.workload << "," << s.arch << ","
+                      << config.windowSize << "," << s.cycles << ","
+                      << s.instructions << "," << s.ipc() << ","
+                      << s.rfReads << "," << s.rfWrites << ","
+                      << s.bocForwards << "," << s.energyTotalPj
+                      << "\n";
+        } else {
+            printConfigBanner(std::cout, config);
+            std::cout << "kernel:         " << s.workload << "\n"
+                      << "architecture:   " << s.arch << " (IW "
+                      << config.windowSize << ")\n"
+                      << "cycles:         " << s.cycles << "\n"
+                      << "instructions:   " << s.instructions << "\n"
+                      << "IPC:            " << s.ipc() << "\n"
+                      << "RF reads:       " << s.rfReads << "\n"
+                      << "RF writes:      " << s.rfWrites << "\n"
+                      << "BOC forwards:   " << s.bocForwards << "\n"
+                      << "consolidated:   " << s.consolidatedWrites
+                      << "\n"
+                      << "transient drops: " << s.transientDrops
+                      << "\n"
+                      << "dynamic energy: " << s.energyTotalPj / 1e6
+                      << " uJ\n";
+        }
+    }
+
+    // Machine-greppable provenance for the CI gates; stderr so the
+    // stdout byte-diff between cold and warm runs stays empty.
+    std::cerr << "# remote: results=" << stats.results
+              << " memory_hits=" << stats.memoryHits
+              << " store_hits=" << stats.storeHits
+              << " simulated=" << stats.simulated
+              << " invalidated=" << stats.invalidated
+              << " torn=" << stats.torn << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -363,6 +473,8 @@ main(int argc, char **argv)
     std::string traceOut;
     std::string traceCycles;
     std::string manifestOut;
+    std::string remoteSocket;
+    bool remoteShutdownFlag = false;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -450,9 +562,42 @@ main(int argc, char **argv)
             traceCycles = v;
         else if (const char *v = valueOf(a, "--manifest-out", i))
             manifestOut = v;
+        else if (const char *v = valueOf(a, "--remote", i))
+            remoteSocket = v;
+        else if (!std::strcmp(a, "--shutdown"))
+            remoteShutdownFlag = true;
         else
             usage();
     }
+
+        if (remoteShutdownFlag && remoteSocket.empty())
+            fatal("--shutdown needs --remote SOCKET");
+        if (!remoteSocket.empty()) {
+            if (remoteShutdownFlag) {
+                if (!remoteShutdown(remoteSocket))
+                    fatal("remote: daemon did not acknowledge "
+                          "shutdown");
+                std::cerr << "# remote: daemon at " << remoteSocket
+                          << " shutting down\n";
+                return 0;
+            }
+            // Only registry workloads ship over the wire: the daemon
+            // holds the binaries, the client just names the job.
+            if (!asmFile.empty() || !sassFile.empty())
+                fatal("--remote runs registry workloads only "
+                      "(no --asm/--sass)");
+            if (faults)
+                fatal("--faults is not supported with --remote");
+            if (reorder)
+                fatal("--reorder is not supported with --remote");
+            if (!traceOut.empty() || !metricsOut.empty() ||
+                !manifestOut.empty() || profile) {
+                fatal("observability outputs are local-only; drop "
+                      "them with --remote");
+            }
+            return runRemote(remoteSocket, workload, config, scale,
+                             csv);
+        }
 
         if (workload == "ALL" || workload == "all") {
             if (faults)

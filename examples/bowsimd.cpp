@@ -1,0 +1,107 @@
+/**
+ * @file
+ * bowsimd: the persistent simulation service (docs/SERVICE.md).
+ * Listens on a Unix-domain socket, serves batched sweep requests
+ * from any number of concurrent clients, and — with a result store
+ * attached — answers every previously simulated (workload, config)
+ * from disk, across restarts.
+ *
+ * Usage:
+ *   bowsimd --socket PATH [--store-dir DIR] [--jobs N]
+ *     --socket PATH     Unix-domain socket to listen on (required)
+ *     --store-dir DIR   attach the on-disk result store at DIR
+ *                       (BOWSIM_STORE_DIR is honoured when the flag
+ *                       is absent)
+ *     --jobs N          ParallelRunner workers per sweep (default:
+ *                       BOWSIM_JOBS or all hardware threads)
+ *
+ * Runs until a client sends {"type":"shutdown"} (`bowsim_cli
+ * --remote PATH --shutdown`) or SIGINT/SIGTERM arrives.
+ */
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+
+#include "common/log.h"
+#include "service/daemon.h"
+#include "service/result_store.h"
+
+namespace {
+
+std::atomic<bool> gInterrupted{false};
+
+void
+onSignal(int)
+{
+    gInterrupted.store(true);
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: bowsimd --socket PATH [--store-dir DIR] "
+                 "[--jobs N]\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bow;
+
+    std::string socketPath;
+    std::string storeDir;
+    unsigned jobs = 0;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--socket"))
+            socketPath = need(i);
+        else if (!std::strcmp(a, "--store-dir"))
+            storeDir = need(i);
+        else if (!std::strcmp(a, "--jobs"))
+            jobs = static_cast<unsigned>(std::atoi(need(i)));
+        else
+            usage();
+    }
+    if (socketPath.empty())
+        usage();
+
+    try {
+        const ResultStore *store = storeDir.empty()
+            ? attachGlobalResultStoreFromEnv()
+            : attachGlobalResultStore(storeDir);
+
+        DaemonOptions options;
+        options.socketPath = socketPath;
+        options.jobs = jobs;
+        Daemon daemon(options);
+        daemon.start();
+        std::cerr << "# bowsimd: listening on " << socketPath
+                  << " (store "
+                  << (store ? store->dir() : std::string("none"))
+                  << ")\n";
+
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        daemon.wait(&gInterrupted);
+        daemon.stop();
+        std::cerr << "# bowsimd: served " << daemon.sweepsServed()
+                  << " sweeps, exiting\n";
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    } catch (const PanicError &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+    return 0;
+}

@@ -9,6 +9,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "core/thread_pool.h"
+#include "service/result_store.h"
 
 namespace bow {
 
@@ -21,6 +22,13 @@ std::atomic<std::uint64_t> gSimulationsRun{0};
 std::shared_ptr<const SimResult>
 simulateCached(const SimJob &job)
 {
+    // One-shot BOWSIM_STORE_DIR wiring: every simulation path in the
+    // process (benches, CLI, daemon) funnels through here, so the
+    // on-disk tier attaches without any per-tool code.
+    static const bool envAttached =
+        (attachGlobalResultStoreFromEnv(), true);
+    (void)envAttached;
+
     const std::uint64_t key =
         simCacheKey(*job.workload, job.config, job.fault);
     if (auto hit = globalResultCache().lookup(key))

@@ -179,13 +179,31 @@ simCacheKey(const Workload &workload, const SimConfig &c,
 std::shared_ptr<const SimResult>
 ResultCache::lookup(std::uint64_t key)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = map_.find(key);
-    if (it == map_.end()) {
+    ResultTier *tier = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            return it->second;
+        }
         ++misses_;
-        return nullptr;
+        tier = tier_;
     }
-    ++hits_;
+    if (tier == nullptr)
+        return nullptr;
+
+    // Tier I/O runs outside the mutex: a slow disk must not
+    // serialize the other workers' memory hits.
+    std::shared_ptr<const SimResult> stored = tier->load(key);
+    if (stored == nullptr)
+        return nullptr;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // First writer wins, as in insert(): a racing compute or tier
+    // load published identical bits.
+    auto [it, inserted] = map_.emplace(key, std::move(stored));
+    ++storeHits_;
     return it->second;
 }
 
@@ -193,9 +211,42 @@ std::shared_ptr<const SimResult>
 ResultCache::insert(std::uint64_t key,
                     std::shared_ptr<const SimResult> result)
 {
+    ResultTier *tier = nullptr;
+    std::shared_ptr<const SimResult> winner;
+    bool fresh = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = map_.emplace(key, std::move(result));
+        winner = it->second;
+        fresh = inserted;
+        tier = tier_;
+    }
+    // Write-through outside the lock; only the first insert pays it
+    // (tier loads are memoized via lookup(), never re-published).
+    if (fresh && tier != nullptr)
+        tier->publish(key, *winner);
+    return winner;
+}
+
+void
+ResultCache::attachTier(ResultTier *tier)
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = map_.emplace(key, std::move(result));
-    return it->second;
+    tier_ = tier;
+}
+
+bool
+ResultCache::hasTier() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tier_ != nullptr;
+}
+
+std::uint64_t
+ResultCache::storeHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return storeHits_;
 }
 
 std::uint64_t
@@ -226,6 +277,7 @@ ResultCache::reset()
     map_.clear();
     hits_ = 0;
     misses_ = 0;
+    storeHits_ = 0;
 }
 
 ResultCache &

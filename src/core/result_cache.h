@@ -48,40 +48,90 @@ std::uint64_t simCacheKey(const Workload &workload,
                           const FaultPlan &fault);
 
 /**
+ * A persistent second tier behind the in-memory ResultCache — the
+ * interface the on-disk result store (service/result_store.h)
+ * implements. Kept abstract here so core/ carries no dependency on
+ * the service layer's codec or filesystem code.
+ *
+ * Implementations must be thread-safe: ParallelRunner workers call
+ * load()/publish() concurrently, and the cache deliberately performs
+ * tier I/O outside its own mutex so disk latency never serializes
+ * the workers.
+ */
+class ResultTier
+{
+  public:
+    virtual ~ResultTier() = default;
+
+    /** The stored result for @p key, or nullptr (miss, torn entry,
+     *  stale version — all equivalent to "recompute"). */
+    virtual std::shared_ptr<const SimResult>
+    load(std::uint64_t key) = 0;
+
+    /** Durably publish @p result under @p key (atomic replace). */
+    virtual void publish(std::uint64_t key,
+                         const SimResult &result) = 0;
+};
+
+/**
  * Mutex-guarded map from simCacheKey() to the finished result.
  *
  * Results are stored behind shared_ptr<const SimResult> so hits can
  * be handed out without copying the (potentially large) final
  * register and memory state. The cache never evicts; a bench process
  * runs a bounded set of configurations.
+ *
+ * Optionally backed by a ResultTier: a memory miss consults the
+ * tier before reporting a miss (a tier hit is memoized and counted
+ * in storeHits()), and every insert() of a freshly computed result
+ * is written through to the tier. That is how BOWSIM_STORE_DIR
+ * turns every bench/CLI/daemon process into a client of the same
+ * on-disk memo table (docs/SERVICE.md).
  */
 class ResultCache
 {
   public:
-    /** The result for @p key, or nullptr on miss. Counts hit/miss. */
+    /** The result for @p key, or nullptr on miss. Counts hit/miss;
+     *  consults the backing tier on a memory miss. */
     std::shared_ptr<const SimResult> lookup(std::uint64_t key);
 
     /**
      * Publish @p result under @p key. First writer wins: when two
      * threads simulated the same key concurrently, the result already
-     * stored is returned (both are identical anyway).
+     * stored is returned (both are identical anyway). A first-time
+     * insert is written through to the backing tier.
      */
     std::shared_ptr<const SimResult>
     insert(std::uint64_t key, std::shared_ptr<const SimResult> result);
 
+    /**
+     * Attach (or with nullptr, detach) the persistent second tier.
+     * Non-owning: @p tier must outlive every lookup()/insert() that
+     * can still see it.
+     */
+    void attachTier(ResultTier *tier);
+
+    /** True when a persistent tier is attached. */
+    bool hasTier() const;
+
     std::uint64_t hits() const;
     std::uint64_t misses() const;
+    /** Memory misses that were served from the backing tier. */
+    std::uint64_t storeHits() const;
     std::size_t size() const;
 
-    /** Drop all entries and zero the counters (tests only). */
+    /** Drop all entries and zero the counters (tests only; the
+     *  attached tier, if any, is kept). */
     void reset();
 
   private:
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t,
                        std::shared_ptr<const SimResult>> map_;
+    ResultTier *tier_ = nullptr;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t storeHits_ = 0;
 };
 
 /** The process-wide cache used by ParallelRunner and the benches. */

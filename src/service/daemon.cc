@@ -1,0 +1,312 @@
+#include "service/daemon.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+#include "common/log.h"
+#include "core/parallel_runner.h"
+#include "core/run_manifest.h"
+#include "service/result_store.h"
+#include "service/sim_codec.h"
+#include "service/wire.h"
+#include "workloads/registry.h"
+
+namespace bow {
+
+namespace {
+
+/** The display fields a client needs to print a sweep row; the full
+ *  result (registers, memory, metrics) stays daemon-side. */
+JsonValue
+summarize(const std::string &workload, const SimResult &r)
+{
+    JsonValue s = JsonValue::object();
+    s.set("workload", workload);
+    s.set("arch", r.arch);
+    s.set("window_size", std::uint64_t{r.windowSize});
+    s.set("cycles", std::uint64_t{r.stats.cycles});
+    s.set("instructions", r.stats.instructions);
+    s.set("rf_reads", r.stats.rfReads);
+    s.set("rf_writes", r.stats.rfWrites);
+    s.set("boc_forwards", r.stats.bocForwards);
+    s.set("consolidated_writes", r.stats.consolidatedWrites);
+    s.set("transient_drops", r.stats.transientDrops);
+    s.set("energy_total_pj", r.energy.totalPj);
+    return s;
+}
+
+JsonValue
+errorMessage(const std::string &message)
+{
+    JsonValue e = JsonValue::object();
+    e.set("type", "error");
+    e.set("message", message);
+    return e;
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options))
+{}
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+void
+Daemon::start()
+{
+    if (options_.socketPath.empty())
+        fatal("bowsimd: empty socket path");
+    listenFd_ = listenUnix(options_.socketPath);
+    acceptThread_ = std::thread(&Daemon::acceptLoop, this);
+}
+
+void
+Daemon::acceptLoop()
+{
+    for (;;) {
+        const int listenFd = listenFd_.load();
+        if (listenFd < 0)
+            return; // stop() already retired the socket
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // stop() closed the listening socket (or it broke);
+            // either way the daemon is done accepting.
+            return;
+        }
+        if (stopping_.load()) {
+            closeFd(fd);
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        activeFds_.push_back(fd);
+        connThreads_.emplace_back(&Daemon::serveConnection, this, fd);
+    }
+}
+
+JsonValue
+Daemon::pongMessage() const
+{
+    JsonValue pong = JsonValue::object();
+    pong.set("type", "pong");
+    pong.set("version", RunManifest::buildVersion());
+    pong.set("schema", simSchemaHash());
+    const ResultStore *store = globalResultStore();
+    pong.set("store_dir",
+             store ? JsonValue(store->dir()) : JsonValue());
+    pong.set("jobs", std::uint64_t{ParallelRunner(options_.jobs)
+                                       .jobs()});
+    return pong;
+}
+
+bool
+Daemon::handleSweep(const JsonValue &request, int fd)
+{
+    const JsonValue *jobsJson = request.find("jobs");
+    if (jobsJson == nullptr ||
+        jobsJson->kind() != JsonValue::Kind::Array) {
+        return writeFrame(fd, errorMessage(
+            "sweep: missing 'jobs' array"));
+    }
+
+    // Materialize the workloads first (reserve: SimJob borrows
+    // pointers into this vector, so it must never reallocate).
+    std::vector<Workload> workloadPool;
+    std::vector<SimJob> jobs;
+    workloadPool.reserve(jobsJson->size());
+    jobs.reserve(jobsJson->size());
+    for (const JsonValue &spec : jobsJson->items()) {
+        const JsonValue *name = spec.find("workload");
+        const JsonValue *scale = spec.find("scale");
+        const JsonValue *config = spec.find("config");
+        if (name == nullptr ||
+            name->kind() != JsonValue::Kind::String ||
+            scale == nullptr || !scale->isNumber() ||
+            config == nullptr) {
+            return writeFrame(fd, errorMessage(
+                "sweep: job wants workload, scale and config"));
+        }
+        workloadPool.push_back(
+            workloads::make(name->asString(), scale->asDouble()));
+        jobs.emplace_back(workloadPool.back(),
+                          simConfigFromJson(*config));
+    }
+
+    // Counter snapshots bracket the batch so the done-trailer
+    // reports this sweep's deltas (approximate under concurrent
+    // clients, exact for a single client — which is what the CI
+    // gates drive).
+    ResultCache &cache = globalResultCache();
+    ResultStore *store = globalResultStore();
+    const std::uint64_t memHits0 = cache.hits();
+    const std::uint64_t storeHits0 = cache.storeHits();
+    const std::uint64_t sims0 = ParallelRunner::simulationsRun();
+    const std::uint64_t invalidated0 =
+        store ? store->invalidated() : 0;
+    const std::uint64_t torn0 = store ? store->torn() : 0;
+
+    const std::vector<SimOutcome> outcomes =
+        ParallelRunner(options_.jobs).runAll(jobs);
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+
+    // Stream per-job frames in submission order — the client prints
+    // as rows arrive and its output is deterministic at any daemon
+    // job count, for the same reason bench tables are.
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        JsonValue frame = JsonValue::object();
+        frame.set("type", "result");
+        frame.set("index", std::uint64_t{i});
+        if (outcomes[i].ok()) {
+            frame.set("ok", true);
+            frame.set("summary", summarize(workloadPool[i].name,
+                                           outcomes[i].value()));
+        } else {
+            frame.set("ok", false);
+            JsonValue err = JsonValue::object();
+            err.set("kind",
+                    simErrorKindName(outcomes[i].error().kind));
+            err.set("message", outcomes[i].error().message);
+            frame.set("error", std::move(err));
+        }
+        if (!writeFrame(fd, frame))
+            return false;
+    }
+
+    JsonValue done = JsonValue::object();
+    done.set("type", "done");
+    done.set("results", std::uint64_t{outcomes.size()});
+    done.set("memory_hits", cache.hits() - memHits0);
+    done.set("store_hits", cache.storeHits() - storeHits0);
+    done.set("simulated", ParallelRunner::simulationsRun() - sims0);
+    done.set("invalidated",
+             store ? store->invalidated() - invalidated0 : 0);
+    done.set("torn", store ? store->torn() - torn0 : 0);
+    return writeFrame(fd, done);
+}
+
+void
+Daemon::serveConnection(int fd)
+{
+    try {
+        for (;;) {
+            std::optional<JsonValue> frame;
+            try {
+                frame = readFrame(fd);
+            } catch (const FatalError &) {
+                break;  // framing lost; drop the connection
+            }
+            if (!frame)
+                break;  // clean EOF
+
+            const JsonValue *type = frame->find("type");
+            const std::string kind =
+                (type && type->kind() == JsonValue::Kind::String)
+                    ? type->asString()
+                    : "";
+            if (kind == "ping") {
+                if (!writeFrame(fd, pongMessage()))
+                    break;
+            } else if (kind == "sweep") {
+                bool alive = true;
+                try {
+                    alive = handleSweep(*frame, fd);
+                } catch (const FatalError &e) {
+                    // Bad request (unknown workload, malformed
+                    // config): report and keep the connection.
+                    alive = writeFrame(fd, errorMessage(e.what()));
+                }
+                if (!alive)
+                    break;
+            } else if (kind == "shutdown") {
+                JsonValue bye = JsonValue::object();
+                bye.set("type", "bye");
+                writeFrame(fd, bye);
+                {
+                    std::lock_guard<std::mutex> lock(waitMutex_);
+                    shutdownRequested_ = true;
+                }
+                waitCv_.notify_all();
+                break;
+            } else {
+                if (!writeFrame(fd, errorMessage(
+                        strf("unknown message type '", kind, "'"))))
+                    break;
+            }
+        }
+    } catch (const std::exception &e) {
+        warn(strf("bowsimd: connection error: ", e.what()));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        activeFds_.erase(std::remove(activeFds_.begin(),
+                                     activeFds_.end(), fd),
+                         activeFds_.end());
+    }
+    closeFd(fd);
+}
+
+void
+Daemon::wait(const std::atomic<bool> *interrupted)
+{
+    std::unique_lock<std::mutex> lock(waitMutex_);
+    // Timed waits so a signal-handler flag (which cannot touch the
+    // condition variable) still gets noticed promptly.
+    while (!shutdownRequested_) {
+        if (interrupted != nullptr && interrupted->load())
+            return;
+        waitCv_.wait_for(lock, std::chrono::milliseconds(200));
+    }
+}
+
+void
+Daemon::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+
+    // Break the accept loop, then every blocked connection read.
+    const int listenFd = listenFd_.exchange(-1);
+    if (listenFd >= 0) {
+        ::shutdown(listenFd, SHUT_RDWR);
+        closeFd(listenFd);
+    }
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const int fd : activeFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // No lock while joining: the threads themselves take connMutex_
+    // to deregister, and no new threads can appear (accept loop is
+    // gone, stopping_ is set).
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        threads.swap(connThreads_);
+    }
+    for (std::thread &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+    if (!options_.socketPath.empty())
+        ::unlink(options_.socketPath.c_str());
+
+    {
+        std::lock_guard<std::mutex> lock(waitMutex_);
+        shutdownRequested_ = true;
+    }
+    waitCv_.notify_all();
+}
+
+} // namespace bow

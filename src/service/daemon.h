@@ -1,0 +1,115 @@
+/**
+ * @file
+ * bowsimd: the persistent simulation service. A Daemon listens on a
+ * Unix-domain socket, accepts batched sweep requests (wire.h
+ * framing, docs/SERVICE.md message catalogue), shards each batch
+ * across a ParallelRunner, and streams per-job results back in
+ * submission order. Every simulation funnels through the process's
+ * ResultCache — and through the on-disk ResultStore when one is
+ * attached — so a warm daemon answers repeat sweeps without
+ * simulating anything, and any number of concurrent clients share
+ * one ever-growing memo table.
+ *
+ * Messages (client -> daemon):
+ *   {"type":"ping"}                    liveness + identity probe
+ *   {"type":"sweep","jobs":[...]}      run a batch (see below)
+ *   {"type":"shutdown"}                stop accepting, exit serve()
+ *
+ * One sweep job: {"workload":NAME,"scale":S,"config":{...}} with the
+ * config in sim_codec.h form. Responses to one sweep: for each job,
+ * in submission order, {"type":"result","index":i,"ok":...}, then a
+ * {"type":"done"} trailer with cache/store counter deltas.
+ */
+
+#ifndef BOWSIM_SERVICE_DAEMON_H
+#define BOWSIM_SERVICE_DAEMON_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace bow {
+
+struct DaemonOptions
+{
+    /** Unix-domain socket path to listen on. */
+    std::string socketPath;
+
+    /** ParallelRunner worker count per sweep (0 = engine default). */
+    unsigned jobs = 0;
+};
+
+/**
+ * The service core, embeddable for tests: start() binds and serves
+ * from a background thread, stop() tears everything down (including
+ * connections blocked mid-read). The bowsimd binary is a thin main
+ * around this class.
+ */
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions options);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** Bind the socket and start the accept loop.
+     *  @throws FatalError when the socket cannot be bound. */
+    void start();
+
+    /**
+     * Block until a client's shutdown request (or stop() from
+     * another thread, or @p interrupted returns true; polled a few
+     * times a second so a signal flag works).
+     */
+    void wait(const std::atomic<bool> *interrupted = nullptr);
+
+    /** Stop accepting, unblock every connection, join all threads
+     *  and remove the socket file. Idempotent. */
+    void stop();
+
+    const std::string &socketPath() const
+    {
+        return options_.socketPath;
+    }
+
+    /** Sweeps served since start() (all connections). */
+    std::uint64_t sweepsServed() const { return sweeps_.load(); }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    /** Handle one sweep request, streaming result frames to @p fd.
+     *  @return false when the client hung up mid-stream. */
+    bool handleSweep(const JsonValue &request, int fd);
+
+    JsonValue pongMessage() const;
+
+    DaemonOptions options_;
+    /** Atomic: stop() retires the fd while acceptLoop blocks on it. */
+    std::atomic<int> listenFd_{-1};
+    std::thread acceptThread_;
+
+    std::mutex connMutex_;
+    std::vector<int> activeFds_;
+    std::vector<std::thread> connThreads_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> sweeps_{0};
+
+    std::mutex waitMutex_;
+    std::condition_variable waitCv_;
+    bool shutdownRequested_ = false;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_SERVICE_DAEMON_H

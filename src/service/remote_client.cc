@@ -1,0 +1,214 @@
+#include "service/remote_client.h"
+
+#include "common/log.h"
+#include "service/sim_codec.h"
+#include "service/wire.h"
+
+namespace bow {
+
+namespace {
+
+/** RAII socket so protocol errors cannot leak the fd. */
+class ClientSocket
+{
+  public:
+    explicit ClientSocket(const std::string &path)
+        : fd_(connectUnix(path))
+    {}
+    ~ClientSocket() { closeFd(fd_); }
+    ClientSocket(const ClientSocket &) = delete;
+    ClientSocket &operator=(const ClientSocket &) = delete;
+    int fd() const { return fd_; }
+
+  private:
+    int fd_;
+};
+
+/** Next frame, or a fatal on EOF (the caller expected an answer). */
+JsonValue
+expectFrame(int fd)
+{
+    std::optional<JsonValue> frame = readFrame(fd);
+    if (!frame)
+        fatal("remote: daemon closed the connection mid-reply");
+    return std::move(*frame);
+}
+
+std::string
+frameType(const JsonValue &frame)
+{
+    const JsonValue *type = frame.find("type");
+    return (type && type->kind() == JsonValue::Kind::String)
+        ? type->asString()
+        : "";
+}
+
+/** Surface a daemon-side {"type":"error"} frame as a FatalError. */
+[[noreturn]] void
+raiseRemoteError(const JsonValue &frame)
+{
+    const JsonValue *msg = frame.find("message");
+    fatal(strf("remote: daemon error: ",
+               (msg && msg->kind() == JsonValue::Kind::String)
+                   ? msg->asString()
+                   : std::string("(no message)")));
+}
+
+std::uint64_t
+getUint(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || v->kind() != JsonValue::Kind::Uint)
+        fatal(strf("remote: reply missing integer '", key, "'"));
+    return v->asUint();
+}
+
+std::string
+getString(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || v->kind() != JsonValue::Kind::String)
+        fatal(strf("remote: reply missing string '", key, "'"));
+    return v->asString();
+}
+
+RemoteSummary
+summaryFromJson(const JsonValue &s)
+{
+    RemoteSummary out;
+    out.workload = getString(s, "workload");
+    out.arch = getString(s, "arch");
+    out.windowSize = static_cast<unsigned>(getUint(s, "window_size"));
+    out.cycles = getUint(s, "cycles");
+    out.instructions = getUint(s, "instructions");
+    out.rfReads = getUint(s, "rf_reads");
+    out.rfWrites = getUint(s, "rf_writes");
+    out.bocForwards = getUint(s, "boc_forwards");
+    out.consolidatedWrites = getUint(s, "consolidated_writes");
+    out.transientDrops = getUint(s, "transient_drops");
+    const JsonValue *energy = s.find("energy_total_pj");
+    if (energy == nullptr || !energy->isNumber())
+        fatal("remote: reply missing 'energy_total_pj'");
+    out.energyTotalPj = energy->asDouble();
+    return out;
+}
+
+} // namespace
+
+RemoteSweepStats
+runRemoteSweep(const std::string &socketPath,
+               const std::vector<RemoteJobSpec> &jobs,
+               std::vector<RemoteSummary> &summaries)
+{
+    ClientSocket sock(socketPath);
+
+    JsonValue request = JsonValue::object();
+    request.set("type", "sweep");
+    JsonValue jobsJson = JsonValue::array();
+    for (const RemoteJobSpec &job : jobs) {
+        JsonValue spec = JsonValue::object();
+        spec.set("workload", job.workload);
+        spec.set("scale", job.scale);
+        spec.set("config", simConfigToJson(job.config));
+        jobsJson.push(std::move(spec));
+    }
+    request.set("jobs", std::move(jobsJson));
+    if (!writeFrame(sock.fd(), request))
+        fatal("remote: daemon hung up before the request was sent");
+
+    summaries.assign(jobs.size(), RemoteSummary{});
+    std::vector<bool> seen(jobs.size(), false);
+    std::string firstError;
+
+    RemoteSweepStats stats;
+    for (;;) {
+        JsonValue frame = expectFrame(sock.fd());
+        const std::string type = frameType(frame);
+        if (type == "error")
+            raiseRemoteError(frame);
+        if (type == "result") {
+            const std::uint64_t index = getUint(frame, "index");
+            if (index >= jobs.size())
+                fatal("remote: result index out of range");
+            const JsonValue *ok = frame.find("ok");
+            if (ok == nullptr ||
+                ok->kind() != JsonValue::Kind::Bool) {
+                fatal("remote: result frame missing 'ok'");
+            }
+            if (ok->asBool()) {
+                const JsonValue *summary = frame.find("summary");
+                if (summary == nullptr)
+                    fatal("remote: result frame missing 'summary'");
+                summaries[index] = summaryFromJson(*summary);
+            } else if (firstError.empty()) {
+                // Frames arrive in submission order, so the first
+                // failure seen is the lowest-indexed one — the same
+                // failure a local strict run() would surface.
+                const JsonValue *err = frame.find("error");
+                const JsonValue *msg =
+                    err ? err->find("message") : nullptr;
+                firstError =
+                    (msg && msg->kind() == JsonValue::Kind::String)
+                        ? msg->asString()
+                        : "remote job failed";
+            }
+            seen[index] = true;
+            continue;
+        }
+        if (type == "done") {
+            stats.results = getUint(frame, "results");
+            stats.memoryHits = getUint(frame, "memory_hits");
+            stats.storeHits = getUint(frame, "store_hits");
+            stats.simulated = getUint(frame, "simulated");
+            stats.invalidated = getUint(frame, "invalidated");
+            stats.torn = getUint(frame, "torn");
+            break;
+        }
+        fatal(strf("remote: unexpected frame type '", type, "'"));
+    }
+
+    if (!firstError.empty())
+        fatal(firstError);
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        if (!seen[i])
+            fatal(strf("remote: no result for job ", i));
+    }
+    return stats;
+}
+
+RemotePong
+remotePing(const std::string &socketPath)
+{
+    ClientSocket sock(socketPath);
+    JsonValue ping = JsonValue::object();
+    ping.set("type", "ping");
+    if (!writeFrame(sock.fd(), ping))
+        fatal("remote: daemon hung up during ping");
+    const JsonValue frame = expectFrame(sock.fd());
+    if (frameType(frame) != "pong")
+        fatal("remote: expected pong");
+    RemotePong pong;
+    pong.version = getString(frame, "version");
+    pong.schema = getUint(frame, "schema");
+    const JsonValue *dir = frame.find("store_dir");
+    if (dir != nullptr && dir->kind() == JsonValue::Kind::String) {
+        pong.hasStore = true;
+        pong.storeDir = dir->asString();
+    }
+    pong.jobs = static_cast<unsigned>(getUint(frame, "jobs"));
+    return pong;
+}
+
+bool
+remoteShutdown(const std::string &socketPath)
+{
+    ClientSocket sock(socketPath);
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "shutdown");
+    if (!writeFrame(sock.fd(), msg))
+        return false;
+    const std::optional<JsonValue> frame = readFrame(sock.fd());
+    return frame && frameType(*frame) == "bye";
+}
+
+} // namespace bow

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Client side of the bowsimd protocol: submit a batched sweep over
+ * the daemon's Unix-domain socket and collect the per-job summaries
+ * in submission order. This is the engine behind `bowsim_cli
+ * --remote` and is exercised directly by the RemoteCli test suite,
+ * so the binary's remote path and the tested path are one code
+ * path (docs/SERVICE.md).
+ */
+
+#ifndef BOWSIM_SERVICE_REMOTE_CLIENT_H
+#define BOWSIM_SERVICE_REMOTE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sm/sim_config.h"
+
+namespace bow {
+
+/** One job of a remote sweep: a registry workload + a machine. */
+struct RemoteJobSpec
+{
+    std::string workload;
+    double scale = 1.0;
+    SimConfig config;
+};
+
+/** The display summary the daemon returns for one finished job. */
+struct RemoteSummary
+{
+    std::string workload;
+    std::string arch;
+    unsigned windowSize = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t rfReads = 0;
+    std::uint64_t rfWrites = 0;
+    std::uint64_t bocForwards = 0;
+    std::uint64_t consolidatedWrites = 0;
+    std::uint64_t transientDrops = 0;
+    double energyTotalPj = 0.0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** The done-trailer of one sweep: where the results came from. */
+struct RemoteSweepStats
+{
+    std::uint64_t results = 0;
+    std::uint64_t memoryHits = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t simulated = 0;
+    std::uint64_t invalidated = 0;
+    std::uint64_t torn = 0;
+};
+
+/** The daemon's pong identity frame. */
+struct RemotePong
+{
+    std::string version;
+    std::uint64_t schema = 0;
+    bool hasStore = false;
+    std::string storeDir;
+    unsigned jobs = 0;
+};
+
+/**
+ * Run @p jobs on the daemon at @p socketPath. @p summaries comes
+ * back indexed exactly like @p jobs.
+ * @throws FatalError on connection/protocol errors or when any job
+ * fails remotely (lowest-indexed failure first, mirroring
+ * ParallelRunner::run's strict contract).
+ */
+RemoteSweepStats runRemoteSweep(const std::string &socketPath,
+                                const std::vector<RemoteJobSpec> &jobs,
+                                std::vector<RemoteSummary> &summaries);
+
+/** Liveness/identity probe. @throws FatalError when unreachable. */
+RemotePong remotePing(const std::string &socketPath);
+
+/** Ask the daemon to shut down. @return true on an acknowledged
+ *  ("bye") shutdown. */
+bool remoteShutdown(const std::string &socketPath);
+
+} // namespace bow
+
+#endif // BOWSIM_SERVICE_REMOTE_CLIENT_H

@@ -1,0 +1,265 @@
+#include "service/result_store.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+#include "core/run_manifest.h"
+#include "service/sim_codec.h"
+
+namespace bow {
+
+namespace {
+
+/** On-disk entry format; bumped only for layout changes that the
+ *  schema hash cannot see (it covers the payload codec). */
+constexpr const char *kStoreFormat = "bowsim-result-store-v1";
+
+std::string
+keyHex(std::uint64_t key)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+StoreVersion
+StoreVersion::current()
+{
+    StoreVersion v;
+    v.schemaHash = simSchemaHash();
+    v.binaryVersion = RunManifest::buildVersion();
+    if (const char *salt = std::getenv("BOWSIM_STORE_VERSION_SALT")) {
+        v.binaryVersion += '+';
+        v.binaryVersion += salt;
+    }
+    return v;
+}
+
+ResultStore::ResultStore(std::string dir, StoreVersion version)
+    : dir_(std::move(dir)), version_(std::move(version))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        fatal(strf("result store: cannot create directory '", dir_,
+                   "': ", ec.message()));
+    }
+}
+
+std::string
+ResultStore::entryPath(std::uint64_t key) const
+{
+    return dir_ + "/" + keyHex(key) + ".json";
+}
+
+std::shared_ptr<const SimResult>
+ResultStore::load(std::uint64_t key)
+{
+    const std::string path = entryPath(key);
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+
+    // Anything that fails from here on is an entry we must not
+    // serve; delete it so the recompute happens exactly once and
+    // the rewritten entry is clean again.
+    const auto drop = [&](std::atomic<std::uint64_t> &counter) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        std::remove(path.c_str());
+        return nullptr;
+    };
+
+    JsonValue entry;
+    try {
+        entry = parseJson(text);
+    } catch (const FatalError &) {
+        // Torn or truncated write (the same taxonomy as the
+        // campaign checkpoints' trailing-line tolerance).
+        return drop(torn_);
+    }
+
+    try {
+        const JsonValue *format = entry.find("store");
+        if (format == nullptr ||
+            format->kind() != JsonValue::Kind::String) {
+            return drop(torn_);
+        }
+        if (format->asString() != kStoreFormat)
+            return drop(invalidated_);
+
+        const JsonValue *schema = entry.find("schema");
+        const JsonValue *binary = entry.find("binary");
+        if (schema == nullptr ||
+            schema->kind() != JsonValue::Kind::Uint ||
+            binary == nullptr ||
+            binary->kind() != JsonValue::Kind::String) {
+            return drop(torn_);
+        }
+        if (schema->asUint() != version_.schemaHash ||
+            binary->asString() != version_.binaryVersion) {
+            return drop(invalidated_);
+        }
+
+        const JsonValue *storedKey = entry.find("key");
+        if (storedKey == nullptr ||
+            storedKey->kind() != JsonValue::Kind::Uint ||
+            storedKey->asUint() != key) {
+            return drop(torn_);
+        }
+
+        const JsonValue *payload = entry.find("result");
+        if (payload == nullptr)
+            return drop(torn_);
+        auto result = std::make_shared<SimResult>(
+            simResultFromJson(*payload));
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return result;
+    } catch (const FatalError &) {
+        // Structurally valid JSON whose payload does not decode:
+        // same treatment as a torn entry.
+        return drop(torn_);
+    }
+}
+
+void
+ResultStore::publish(std::uint64_t key, const SimResult &result)
+{
+    JsonValue entry = JsonValue::object();
+    entry.set("store", kStoreFormat);
+    entry.set("schema", version_.schemaHash);
+    entry.set("binary", version_.binaryVersion);
+    entry.set("key", key);
+    entry.set("result", simResultToJson(result));
+    const std::string text = entry.dump();
+
+    // Private tmp name per (process, publish): two concurrent
+    // writers of the same key never share a tmp file, and each
+    // rename atomically replaces the target with a complete entry.
+    const std::string path = entryPath(key);
+    const std::string tmp = strf(
+        path, ".tmp.", ::getpid(), ".",
+        tmpSeq_.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << text << '\n';
+        out.flush();
+        if (!out) {
+            // A full or broken disk must not fail the simulation
+            // that produced the result; the store just stays cold.
+            warn(strf("result store: cannot write '", tmp, "'"));
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn(strf("result store: cannot rename '", tmp, "' over '",
+                  path, "'"));
+        std::remove(tmp.c_str());
+        return;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::mutex gStoreMutex;
+// keepalive for the attached store and any detached predecessors
+// (outstanding readers may still hold raw pointers).
+std::vector<std::shared_ptr<ResultStore>> gStores;
+ResultStore *gAttached = nullptr;
+bool gEnvChecked = false;
+
+void
+printStoreSummary()
+{
+    std::lock_guard<std::mutex> lock(gStoreMutex);
+    if (gAttached == nullptr)
+        return;
+    std::cerr << "# result-store: dir=" << gAttached->dir()
+              << " hits=" << gAttached->hits()
+              << " stores=" << gAttached->stores()
+              << " invalidated=" << gAttached->invalidated()
+              << " torn=" << gAttached->torn() << "\n";
+}
+
+} // namespace
+
+ResultStore *
+attachGlobalResultStore(const std::string &dir, StoreVersion version)
+{
+    std::lock_guard<std::mutex> lock(gStoreMutex);
+    if (gAttached != nullptr) {
+        if (gAttached->dir() != dir) {
+            fatal(strf("result store: already attached at '",
+                       gAttached->dir(), "', refusing to switch to '",
+                       dir, "'"));
+        }
+        return gAttached;
+    }
+    gStores.push_back(
+        std::make_shared<ResultStore>(dir, std::move(version)));
+    gAttached = gStores.back().get();
+    globalResultCache().attachTier(gAttached);
+    return gAttached;
+}
+
+ResultStore *
+attachGlobalResultStoreFromEnv()
+{
+    {
+        std::lock_guard<std::mutex> lock(gStoreMutex);
+        if (gEnvChecked)
+            return gAttached;
+        gEnvChecked = true;
+    }
+    const char *dir = std::getenv("BOWSIM_STORE_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return nullptr;
+    ResultStore *store = attachGlobalResultStore(dir);
+    // Visible proof of reuse for the warm-sweep recipes: one stderr
+    // line at exit, never on stdout (bench stdout is diffed
+    // byte-for-byte in CI).
+    std::atexit(printStoreSummary);
+    return store;
+}
+
+ResultStore *
+globalResultStore()
+{
+    std::lock_guard<std::mutex> lock(gStoreMutex);
+    return gAttached;
+}
+
+void
+detachGlobalResultStore()
+{
+    std::lock_guard<std::mutex> lock(gStoreMutex);
+    if (gAttached == nullptr)
+        return;
+    globalResultCache().attachTier(nullptr);
+    gAttached = nullptr;
+    gEnvChecked = false;
+}
+
+} // namespace bow

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Content-addressed on-disk result store: a persistent map from
+ * simCacheKey() to a serialized SimResult that survives the process.
+ * This is the substrate that turns repeated sweeps into memo-table
+ * queries — the second tier behind the in-memory ResultCache, shared
+ * by the benches (BOWSIM_STORE_DIR), the CLI and the bowsimd daemon
+ * (docs/SERVICE.md).
+ *
+ * Layout: one file per entry, `<dir>/<key as %016x>.json`, holding a
+ * header (store format, schema hash, binary version) plus the
+ * sim_codec payload. Writes go through the tmp+rename atomicity
+ * discipline the fault-campaign checkpoints established: concurrent
+ * writers of the same key each rename a private tmp file over the
+ * target, and since equal keys hold bit-identical results, whichever
+ * rename lands last is indistinguishable from the first.
+ *
+ * Versioning/eviction: an entry is served only when its store
+ * format, schema hash (sim_codec.h, auto-derived from the codec's
+ * key paths) and binary version (git describe +
+ * BOWSIM_STORE_VERSION_SALT) all match the reader. Anything else —
+ * torn or truncated JSON, a key mismatch, a stale version — is
+ * deleted and reported as a miss, so a crash mid-write or a schema
+ * change costs a recompute, never a wrong result.
+ */
+
+#ifndef BOWSIM_SERVICE_RESULT_STORE_H
+#define BOWSIM_SERVICE_RESULT_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/result_cache.h"
+
+namespace bow {
+
+/** What must match for a stored entry to be served. */
+struct StoreVersion
+{
+    /** Codec shape (sim_codec's simSchemaHash() by default). */
+    std::uint64_t schemaHash = 0;
+
+    /**
+     * Identity of the producing binary: RunManifest::buildVersion()
+     * with BOWSIM_STORE_VERSION_SALT appended when set (the salt is
+     * the CI/test hook for forcing invalidation without rebuilding).
+     */
+    std::string binaryVersion;
+
+    /** The version of the running process. */
+    static StoreVersion current();
+};
+
+class ResultStore : public ResultTier
+{
+  public:
+    /**
+     * Open (creating the directory if needed) the store at @p dir.
+     * @throws FatalError when the directory cannot be created.
+     */
+    explicit ResultStore(std::string dir,
+                         StoreVersion version = StoreVersion::current());
+
+    /** Serve @p key, or nullptr on miss/torn/stale (stale and torn
+     *  entries are deleted so they are recomputed exactly once). */
+    std::shared_ptr<const SimResult> load(std::uint64_t key) override;
+
+    /** Atomically write @p result under @p key (tmp+rename). */
+    void publish(std::uint64_t key, const SimResult &result) override;
+
+    const std::string &dir() const { return dir_; }
+    const StoreVersion &version() const { return version_; }
+
+    /** Entry file path for @p key (tests and tooling). */
+    std::string entryPath(std::uint64_t key) const;
+
+    // Counters (monotonic, thread-safe).
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t stores() const { return stores_.load(); }
+    /** Entries dropped for a store/schema/binary version mismatch. */
+    std::uint64_t invalidated() const { return invalidated_.load(); }
+    /** Entries dropped as torn/truncated/corrupt. */
+    std::uint64_t torn() const { return torn_.load(); }
+
+  private:
+    std::string dir_;
+    StoreVersion version_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> stores_{0};
+    std::atomic<std::uint64_t> invalidated_{0};
+    std::atomic<std::uint64_t> torn_{0};
+    std::atomic<std::uint64_t> tmpSeq_{0};
+};
+
+/**
+ * Attach a process-wide ResultStore at @p dir behind
+ * globalResultCache(). Idempotent for the same directory; fatal()s
+ * on an attempt to attach a second, different directory.
+ * @return the (static-lifetime) store.
+ */
+ResultStore *attachGlobalResultStore(
+    const std::string &dir,
+    StoreVersion version = StoreVersion::current());
+
+/**
+ * BOWSIM_STORE_DIR wiring: when the variable is set and no store is
+ * attached yet, attach one there and register an atexit stderr
+ * summary line ("# result-store: ..."). Called lazily from
+ * ParallelRunner's simulation path, so every bench and the CLI
+ * become store-backed without code changes. @return the store, or
+ * nullptr when the variable is unset.
+ */
+ResultStore *attachGlobalResultStoreFromEnv();
+
+/** The store attached by the helpers above, or nullptr. */
+ResultStore *globalResultStore();
+
+/** Detach the global store (tests only; the store object itself is
+ *  kept alive so outstanding readers stay valid). */
+void detachGlobalResultStore();
+
+} // namespace bow
+
+#endif // BOWSIM_SERVICE_RESULT_STORE_H

@@ -1,0 +1,503 @@
+#include "service/sim_codec.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace bow {
+
+namespace {
+
+/** Codec generation, folded into simSchemaHash() so a representation
+ *  change that keeps every key name still invalidates the store. */
+constexpr const char *kCodecVersion = "bowsim-sim-codec-v1";
+
+const JsonValue &
+member(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        fatal(strf("sim codec: missing member '", key, "'"));
+    return *v;
+}
+
+std::uint64_t
+getUint(const JsonValue &obj, const char *key)
+{
+    const JsonValue &v = member(obj, key);
+    if (v.kind() != JsonValue::Kind::Uint)
+        fatal(strf("sim codec: member '", key, "' is not an integer"));
+    return v.asUint();
+}
+
+unsigned
+getUnsigned(const JsonValue &obj, const char *key)
+{
+    return static_cast<unsigned>(getUint(obj, key));
+}
+
+/** Numbers decode exactly (shortest-round-trip render); null is the
+ *  JSON spelling of NaN (common/json.h). */
+double
+getDouble(const JsonValue &obj, const char *key)
+{
+    const JsonValue &v = member(obj, key);
+    if (v.isNull())
+        return std::nan("");
+    if (!v.isNumber())
+        fatal(strf("sim codec: member '", key, "' is not a number"));
+    return v.asDouble();
+}
+
+bool
+getBool(const JsonValue &obj, const char *key)
+{
+    const JsonValue &v = member(obj, key);
+    if (v.kind() != JsonValue::Kind::Bool)
+        fatal(strf("sim codec: member '", key, "' is not a bool"));
+    return v.asBool();
+}
+
+const JsonValue &
+getArray(const JsonValue &obj, const char *key)
+{
+    const JsonValue &v = member(obj, key);
+    if (v.kind() != JsonValue::Kind::Array)
+        fatal(strf("sim codec: member '", key, "' is not an array"));
+    return v;
+}
+
+JsonValue
+histToJson(const std::vector<std::uint64_t> &buckets)
+{
+    JsonValue arr = JsonValue::array();
+    for (std::uint64_t b : buckets)
+        arr.push(b);
+    return arr;
+}
+
+std::vector<std::uint64_t>
+histFromJson(const JsonValue &obj, const char *key)
+{
+    const JsonValue &arr = getArray(obj, key);
+    std::vector<std::uint64_t> buckets;
+    buckets.reserve(arr.size());
+    for (const JsonValue &v : arr.items()) {
+        if (v.kind() != JsonValue::Kind::Uint)
+            fatal(strf("sim codec: '", key,
+                       "' bucket is not an integer"));
+        buckets.push_back(v.asUint());
+    }
+    return buckets;
+}
+
+JsonValue
+statsToJson(const RunStats &s)
+{
+    JsonValue o = JsonValue::object();
+    o.set("cycles", std::uint64_t{s.cycles});
+    o.set("instructions", s.instructions);
+    o.set("oc_cycles_mem", s.ocCyclesMem);
+    o.set("oc_cycles_nonmem", s.ocCyclesNonMem);
+    o.set("total_cycles_mem", s.totalCyclesMem);
+    o.set("total_cycles_nonmem", s.totalCyclesNonMem);
+    o.set("insts_mem", s.instsMem);
+    o.set("insts_nonmem", s.instsNonMem);
+    o.set("rf_reads", s.rfReads);
+    o.set("rf_writes", s.rfWrites);
+    o.set("boc_forwards", s.bocForwards);
+    o.set("boc_deposits", s.bocDeposits);
+    o.set("boc_result_writes", s.bocResultWrites);
+    o.set("rfc_reads", s.rfcReads);
+    o.set("rfc_writes", s.rfcWrites);
+    o.set("consolidated_writes", s.consolidatedWrites);
+    o.set("transient_drops", s.transientDrops);
+    o.set("safety_writes", s.safetyWrites);
+    o.set("dest_rf_only", s.destRfOnly);
+    o.set("dest_boc_only", s.destBocOnly);
+    o.set("dest_boc_and_rf", s.destBocAndRf);
+    o.set("src_operand_hist", histToJson(s.srcOperandHist));
+    o.set("boc_occupancy_hist", histToJson(s.bocOccupancyHist));
+    o.set("bank_read_conflicts", s.bankReadConflicts);
+    o.set("bank_write_conflicts", s.bankWriteConflicts);
+    o.set("l1_hits", s.l1Hits);
+    o.set("l1_misses", s.l1Misses);
+    o.set("peak_resident", s.peakResident);
+    o.set("fastforward_cycles", s.fastforwardCycles);
+    return o;
+}
+
+RunStats
+statsFromJson(const JsonValue &o)
+{
+    RunStats s;
+    s.cycles = getUint(o, "cycles");
+    s.instructions = getUint(o, "instructions");
+    s.ocCyclesMem = getUint(o, "oc_cycles_mem");
+    s.ocCyclesNonMem = getUint(o, "oc_cycles_nonmem");
+    s.totalCyclesMem = getUint(o, "total_cycles_mem");
+    s.totalCyclesNonMem = getUint(o, "total_cycles_nonmem");
+    s.instsMem = getUint(o, "insts_mem");
+    s.instsNonMem = getUint(o, "insts_nonmem");
+    s.rfReads = getUint(o, "rf_reads");
+    s.rfWrites = getUint(o, "rf_writes");
+    s.bocForwards = getUint(o, "boc_forwards");
+    s.bocDeposits = getUint(o, "boc_deposits");
+    s.bocResultWrites = getUint(o, "boc_result_writes");
+    s.rfcReads = getUint(o, "rfc_reads");
+    s.rfcWrites = getUint(o, "rfc_writes");
+    s.consolidatedWrites = getUint(o, "consolidated_writes");
+    s.transientDrops = getUint(o, "transient_drops");
+    s.safetyWrites = getUint(o, "safety_writes");
+    s.destRfOnly = getUint(o, "dest_rf_only");
+    s.destBocOnly = getUint(o, "dest_boc_only");
+    s.destBocAndRf = getUint(o, "dest_boc_and_rf");
+    s.srcOperandHist = histFromJson(o, "src_operand_hist");
+    s.bocOccupancyHist = histFromJson(o, "boc_occupancy_hist");
+    s.bankReadConflicts = getUint(o, "bank_read_conflicts");
+    s.bankWriteConflicts = getUint(o, "bank_write_conflicts");
+    s.l1Hits = getUint(o, "l1_hits");
+    s.l1Misses = getUint(o, "l1_misses");
+    s.peakResident = getUint(o, "peak_resident");
+    s.fastforwardCycles = getUint(o, "fastforward_cycles");
+    return s;
+}
+
+JsonValue
+energyToJson(const EnergyBreakdown &e)
+{
+    JsonValue o = JsonValue::object();
+    o.set("rf_dynamic_pj", e.rfDynamicPj);
+    o.set("overhead_pj", e.overheadPj);
+    o.set("protection_pj", e.protectionPj);
+    o.set("total_pj", e.totalPj);
+    return o;
+}
+
+EnergyBreakdown
+energyFromJson(const JsonValue &o)
+{
+    EnergyBreakdown e;
+    e.rfDynamicPj = getDouble(o, "rf_dynamic_pj");
+    e.overheadPj = getDouble(o, "overhead_pj");
+    e.protectionPj = getDouble(o, "protection_pj");
+    e.totalPj = getDouble(o, "total_pj");
+    return e;
+}
+
+JsonValue
+tagsToJson(const TagStats &t)
+{
+    JsonValue o = JsonValue::object();
+    o.set("rf_only", t.rfOnly);
+    o.set("boc_only", t.bocOnly);
+    o.set("boc_and_rf", t.bocAndRf);
+    return o;
+}
+
+TagStats
+tagsFromJson(const JsonValue &o)
+{
+    TagStats t;
+    t.rfOnly = getUint(o, "rf_only");
+    t.bocOnly = getUint(o, "boc_only");
+    t.bocAndRf = getUint(o, "boc_and_rf");
+    return t;
+}
+
+JsonValue
+faultToJson(const FaultReport &f)
+{
+    JsonValue o = JsonValue::object();
+    o.set("enabled", f.enabled);
+    o.set("fired", f.fired);
+    o.set("landed", f.landed);
+    o.set("stale_masked", f.staleMasked);
+    o.set("detected_by_parity", f.detectedByParity);
+    o.set("corrected_by_ecc", f.correctedByEcc);
+    o.set("repaired_by_refetch", f.repairedByRefetch);
+    return o;
+}
+
+FaultReport
+faultFromJson(const JsonValue &o)
+{
+    FaultReport f;
+    f.enabled = getBool(o, "enabled");
+    f.fired = getBool(o, "fired");
+    f.landed = getBool(o, "landed");
+    f.staleMasked = getBool(o, "stale_masked");
+    f.detectedByParity = getBool(o, "detected_by_parity");
+    f.correctedByEcc = getBool(o, "corrected_by_ecc");
+    f.repairedByRefetch = getBool(o, "repaired_by_refetch");
+    return f;
+}
+
+/** Per-warp register file as an array with trailing zeros trimmed
+ *  (deterministic, and final register images are mostly sparse). */
+JsonValue
+regsToJson(const std::vector<RegFileState> &regs)
+{
+    JsonValue arr = JsonValue::array();
+    for (const RegFileState &file : regs) {
+        std::size_t n = file.size();
+        while (n > 0 && file[n - 1] == 0)
+            --n;
+        JsonValue warp = JsonValue::array();
+        for (std::size_t i = 0; i < n; ++i)
+            warp.push(std::uint64_t{file[i]});
+        arr.push(std::move(warp));
+    }
+    return arr;
+}
+
+std::vector<RegFileState>
+regsFromJson(const JsonValue &o, const char *key)
+{
+    const JsonValue &arr = getArray(o, key);
+    std::vector<RegFileState> regs;
+    regs.reserve(arr.size());
+    for (const JsonValue &warp : arr.items()) {
+        if (warp.kind() != JsonValue::Kind::Array ||
+            warp.size() > std::tuple_size_v<RegFileState>) {
+            fatal("sim codec: malformed register-file image");
+        }
+        RegFileState file{};
+        for (std::size_t i = 0; i < warp.size(); ++i)
+            file[i] = static_cast<Value>(warp.at(i).asUint());
+        regs.push_back(file);
+    }
+    return regs;
+}
+
+/** Memory image as [space, addr, value] triples in the deterministic
+ *  exportEntries() order. */
+JsonValue
+memToJson(const MemoryStore &mem)
+{
+    JsonValue arr = JsonValue::array();
+    for (const MemoryStore::Entry &e : mem.exportEntries()) {
+        JsonValue triple = JsonValue::array();
+        triple.push(std::uint64_t{static_cast<unsigned>(e.space)});
+        triple.push(std::uint64_t{e.addr});
+        triple.push(std::uint64_t{e.value});
+        arr.push(std::move(triple));
+    }
+    return arr;
+}
+
+MemoryStore
+memFromJson(const JsonValue &o, const char *key)
+{
+    const JsonValue &arr = getArray(o, key);
+    MemoryStore mem;
+    for (const JsonValue &triple : arr.items()) {
+        if (triple.kind() != JsonValue::Kind::Array ||
+            triple.size() != 3) {
+            fatal("sim codec: malformed memory entry");
+        }
+        const auto space = triple.at(0).asUint();
+        if (space > static_cast<unsigned>(MemSpace::Const))
+            fatal("sim codec: bad memory space");
+        mem.store(static_cast<MemSpace>(space),
+                  static_cast<std::uint32_t>(triple.at(1).asUint()),
+                  static_cast<Value>(triple.at(2).asUint()));
+    }
+    return mem;
+}
+
+/** Recursively collect "a.b.c" key paths for simSchemaHash(). */
+void
+collectKeyPaths(const JsonValue &v, const std::string &prefix,
+                std::vector<std::string> &paths)
+{
+    if (v.kind() != JsonValue::Kind::Object)
+        return;
+    for (const auto &[key, val] : v.members()) {
+        const std::string path =
+            prefix.empty() ? key : prefix + "." + key;
+        paths.push_back(path);
+        collectKeyPaths(val, path, paths);
+    }
+}
+
+} // namespace
+
+JsonValue
+simConfigToJson(const SimConfig &c)
+{
+    JsonValue o = JsonValue::object();
+    o.set("num_schedulers", std::uint64_t{c.numSchedulers});
+    o.set("issue_per_scheduler", std::uint64_t{c.issuePerScheduler});
+    o.set("max_resident_warps", std::uint64_t{c.maxResidentWarps});
+    o.set("num_banks", std::uint64_t{c.numBanks});
+    o.set("rf_bytes_per_sm", std::uint64_t{c.rfBytesPerSm});
+    o.set("num_collectors", std::uint64_t{c.numCollectors});
+    o.set("collector_ports", std::uint64_t{c.collectorPorts});
+    o.set("sched_policy",
+          std::uint64_t{static_cast<unsigned>(c.schedPolicy)});
+    o.set("alu_latency", std::uint64_t{c.aluLatency});
+    o.set("sfu_latency", std::uint64_t{c.sfuLatency});
+    o.set("ctrl_latency", std::uint64_t{c.ctrlLatency});
+    o.set("alu_width", std::uint64_t{c.aluWidth});
+    o.set("sfu_width", std::uint64_t{c.sfuWidth});
+    o.set("ldst_width", std::uint64_t{c.ldstWidth});
+    o.set("l1_latency", std::uint64_t{c.l1Latency});
+    o.set("l2_latency", std::uint64_t{c.l2Latency});
+    o.set("dram_latency", std::uint64_t{c.dramLatency});
+    o.set("l1_bytes", std::uint64_t{c.l1Bytes});
+    o.set("l1_line_bytes", std::uint64_t{c.l1LineBytes});
+    o.set("l1_ways", std::uint64_t{c.l1Ways});
+    o.set("l2_bytes", std::uint64_t{c.l2Bytes});
+    o.set("l2_line_bytes", std::uint64_t{c.l2LineBytes});
+    o.set("l2_ways", std::uint64_t{c.l2Ways});
+    o.set("shared_latency", std::uint64_t{c.sharedLatency});
+    o.set("max_pending_loads", std::uint64_t{c.maxPendingLoads});
+    o.set("num_sms", std::uint64_t{c.numSms});
+    o.set("cta_policy",
+          std::uint64_t{static_cast<unsigned>(c.ctaPolicy)});
+    o.set("l2_banks", std::uint64_t{c.l2Banks});
+    o.set("l2_mshrs_per_bank", std::uint64_t{c.l2MshrsPerBank});
+    o.set("arch", std::uint64_t{static_cast<unsigned>(c.arch)});
+    o.set("window_size", std::uint64_t{c.windowSize});
+    o.set("boc_entries", std::uint64_t{c.bocEntries});
+    o.set("extended_window", c.extendedWindow);
+    o.set("rfc_entries_per_warp", std::uint64_t{c.rfcEntriesPerWarp});
+    o.set("fault_protection",
+          std::uint64_t{static_cast<unsigned>(c.faultProtection)});
+    o.set("max_cycles", c.maxCycles);
+    o.set("host_fastforward", c.hostFastForward);
+    o.set("host_threads", std::uint64_t{c.hostThreads});
+    return o;
+}
+
+SimConfig
+simConfigFromJson(const JsonValue &o)
+{
+    SimConfig c;
+    c.numSchedulers = getUnsigned(o, "num_schedulers");
+    c.issuePerScheduler = getUnsigned(o, "issue_per_scheduler");
+    c.maxResidentWarps = getUnsigned(o, "max_resident_warps");
+    c.numBanks = getUnsigned(o, "num_banks");
+    c.rfBytesPerSm = getUnsigned(o, "rf_bytes_per_sm");
+    c.numCollectors = getUnsigned(o, "num_collectors");
+    c.collectorPorts = getUnsigned(o, "collector_ports");
+    const auto sched = getUint(o, "sched_policy");
+    if (sched > static_cast<unsigned>(SchedPolicy::TWO_LEVEL))
+        fatal("sim codec: bad sched_policy");
+    c.schedPolicy = static_cast<SchedPolicy>(sched);
+    c.aluLatency = getUnsigned(o, "alu_latency");
+    c.sfuLatency = getUnsigned(o, "sfu_latency");
+    c.ctrlLatency = getUnsigned(o, "ctrl_latency");
+    c.aluWidth = getUnsigned(o, "alu_width");
+    c.sfuWidth = getUnsigned(o, "sfu_width");
+    c.ldstWidth = getUnsigned(o, "ldst_width");
+    c.l1Latency = getUnsigned(o, "l1_latency");
+    c.l2Latency = getUnsigned(o, "l2_latency");
+    c.dramLatency = getUnsigned(o, "dram_latency");
+    c.l1Bytes = getUnsigned(o, "l1_bytes");
+    c.l1LineBytes = getUnsigned(o, "l1_line_bytes");
+    c.l1Ways = getUnsigned(o, "l1_ways");
+    c.l2Bytes = getUnsigned(o, "l2_bytes");
+    c.l2LineBytes = getUnsigned(o, "l2_line_bytes");
+    c.l2Ways = getUnsigned(o, "l2_ways");
+    c.sharedLatency = getUnsigned(o, "shared_latency");
+    c.maxPendingLoads = getUnsigned(o, "max_pending_loads");
+    c.numSms = getUnsigned(o, "num_sms");
+    const auto cta = getUint(o, "cta_policy");
+    if (cta > static_cast<unsigned>(CtaPolicy::LooseRoundRobin))
+        fatal("sim codec: bad cta_policy");
+    c.ctaPolicy = static_cast<CtaPolicy>(cta);
+    c.l2Banks = getUnsigned(o, "l2_banks");
+    c.l2MshrsPerBank = getUnsigned(o, "l2_mshrs_per_bank");
+    const auto arch = getUint(o, "arch");
+    if (arch > static_cast<unsigned>(Architecture::RFC))
+        fatal("sim codec: bad arch");
+    c.arch = static_cast<Architecture>(arch);
+    c.windowSize = getUnsigned(o, "window_size");
+    c.bocEntries = getUnsigned(o, "boc_entries");
+    c.extendedWindow = getBool(o, "extended_window");
+    c.rfcEntriesPerWarp = getUnsigned(o, "rfc_entries_per_warp");
+    const auto prot = getUint(o, "fault_protection");
+    if (prot > static_cast<unsigned>(FaultProtection::Secded))
+        fatal("sim codec: bad fault_protection");
+    c.faultProtection = static_cast<FaultProtection>(prot);
+    c.maxCycles = getUint(o, "max_cycles");
+    c.hostFastForward = getBool(o, "host_fastforward");
+    c.hostThreads = getUnsigned(o, "host_threads");
+    return c;
+}
+
+JsonValue
+simResultToJson(const SimResult &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("arch", r.arch);
+    o.set("window_size", std::uint64_t{r.windowSize});
+    o.set("stats", statsToJson(r.stats));
+    o.set("energy", energyToJson(r.energy));
+    o.set("tags", tagsToJson(r.tags));
+    o.set("fault", faultToJson(r.fault));
+    JsonValue placements = JsonValue::array();
+    for (unsigned sm : r.ctaPlacements)
+        placements.push(std::uint64_t{sm});
+    o.set("cta_placements", std::move(placements));
+    o.set("final_regs", regsToJson(r.finalRegs));
+    o.set("final_mem", memToJson(r.finalMem));
+    o.set("metrics", r.metrics.toJson());
+    return o;
+}
+
+SimResult
+simResultFromJson(const JsonValue &o)
+{
+    SimResult r;
+    const JsonValue &arch = member(o, "arch");
+    if (arch.kind() != JsonValue::Kind::String)
+        fatal("sim codec: 'arch' is not a string");
+    r.arch = arch.asString();
+    r.windowSize = getUnsigned(o, "window_size");
+    r.stats = statsFromJson(member(o, "stats"));
+    r.energy = energyFromJson(member(o, "energy"));
+    r.tags = tagsFromJson(member(o, "tags"));
+    r.fault = faultFromJson(member(o, "fault"));
+    for (const JsonValue &sm :
+         getArray(o, "cta_placements").items()) {
+        r.ctaPlacements.push_back(
+            static_cast<unsigned>(sm.asUint()));
+    }
+    r.finalRegs = regsFromJson(o, "final_regs");
+    r.finalMem = memFromJson(o, "final_mem");
+    r.metrics = MetricsRegistry::fromJson(member(o, "metrics"));
+    return r;
+}
+
+std::uint64_t
+simSchemaHash()
+{
+    // The shape of the serialization, computed once: every key path
+    // a default-constructed encode produces, plus the codec version
+    // literal. Field additions/renames change the hash without
+    // anyone having to remember a manual schema bump.
+    static const std::uint64_t hash = [] {
+        std::vector<std::string> paths;
+        paths.emplace_back(kCodecVersion);
+        collectKeyPaths(simConfigToJson(SimConfig{}), "config",
+                        paths);
+        collectKeyPaths(simResultToJson(SimResult{}), "result",
+                        paths);
+        std::uint64_t h = 0xCBF29CE484222325ull;
+        for (const std::string &p : paths) {
+            for (const char ch : p) {
+                h ^= static_cast<unsigned char>(ch);
+                h *= 0x100000001B3ull;
+            }
+            h ^= '\n';
+            h *= 0x100000001B3ull;
+        }
+        return h;
+    }();
+    return hash;
+}
+
+} // namespace bow

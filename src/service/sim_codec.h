@@ -1,0 +1,61 @@
+/**
+ * @file
+ * JSON codecs for the persistent-service layer: a full, bit-exact
+ * round trip for SimConfig (the daemon wire protocol ships
+ * configurations as JSON) and SimResult (the on-disk result store
+ * serializes finished simulations, including their MetricsRegistry).
+ *
+ * Exactness contract: decode(encode(x)) reproduces every counter,
+ * register, memory word and metric of x bit-for-bit. Doubles ride on
+ * the shortest-round-trip rendering of common/json.h (std::to_chars),
+ * so even IPC/energy figures survive unchanged; NaN serializes as
+ * null and decodes back to NaN (tests/test_result_store.cc).
+ *
+ * Schema hash: both codecs enumerate their fields explicitly, and
+ * simSchemaHash() is derived from the key paths of a
+ * default-constructed encode — adding, removing or renaming a field
+ * changes the hash automatically, which is what the result store
+ * keys its invalidation on (docs/SERVICE.md).
+ */
+
+#ifndef BOWSIM_SERVICE_SIM_CODEC_H
+#define BOWSIM_SERVICE_SIM_CODEC_H
+
+#include <cstdint>
+
+#include "common/json.h"
+#include "core/simulator.h"
+#include "sm/sim_config.h"
+
+namespace bow {
+
+/** Serialize every SimConfig field (enums as integers). */
+JsonValue simConfigToJson(const SimConfig &config);
+
+/**
+ * Rebuild a SimConfig from simConfigToJson() output.
+ * @throws FatalError on missing/mistyped members.
+ */
+SimConfig simConfigFromJson(const JsonValue &json);
+
+/** Serialize a finished simulation, metrics included. */
+JsonValue simResultToJson(const SimResult &result);
+
+/**
+ * Rebuild a SimResult from simResultToJson() output.
+ * @throws FatalError on missing/mistyped members.
+ */
+SimResult simResultFromJson(const JsonValue &json);
+
+/**
+ * FNV-1a hash over the sorted key paths of a default-constructed
+ * SimConfig + SimResult encode: the "shape" of the serialization,
+ * independent of any particular values. The result store folds this
+ * into every entry header so a codec change invalidates all stored
+ * results instead of mis-decoding them.
+ */
+std::uint64_t simSchemaHash();
+
+} // namespace bow
+
+#endif // BOWSIM_SERVICE_SIM_CODEC_H

@@ -1,0 +1,159 @@
+#include "service/wire.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace bow {
+
+namespace {
+
+/** Fill a sockaddr_un for @p path; fatal()s when it does not fit. */
+sockaddr_un
+unixAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        fatal(strf("socket path too long (", path.size(), " > ",
+                   sizeof(addr.sun_path) - 1, "): '", path, "'"));
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/** write() all of @p n bytes; false on peer hangup/error. */
+bool
+writeAll(int fd, const void *data, std::size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        // MSG_NOSIGNAL: a vanished peer must surface as an error
+        // return, not a process-killing SIGPIPE.
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** read() exactly @p n bytes. @return bytes read (short on EOF). */
+std::size_t
+readAll(int fd, void *data, std::size_t n)
+{
+    char *p = static_cast<char *>(data);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(fd, p + got, n - got, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return got;
+        }
+        if (r == 0)
+            return got;
+        got += static_cast<std::size_t>(r);
+    }
+    return got;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddr(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(strf("socket(): ", std::strerror(errno)));
+    // A stale socket file from a crashed daemon would make bind()
+    // fail; a live daemon still wins the race because we only
+    // unlink, never steal a bound name mid-listen.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal(strf("bind('", path, "'): ", std::strerror(err)));
+    }
+    if (::listen(fd, 64) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal(strf("listen('", path, "'): ", std::strerror(err)));
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddr(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(strf("socket(): ", std::strerror(errno)));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal(strf("cannot connect to bowsimd at '", path, "': ",
+                   std::strerror(err)));
+    }
+    return fd;
+}
+
+bool
+writeFrame(int fd, const JsonValue &message)
+{
+    const std::string payload = message.dump();
+    if (payload.size() > kMaxFrameBytes)
+        fatal(strf("frame too large (", payload.size(), " bytes)"));
+    const auto n = static_cast<std::uint32_t>(payload.size());
+    const unsigned char header[4] = {
+        static_cast<unsigned char>(n >> 24),
+        static_cast<unsigned char>(n >> 16),
+        static_cast<unsigned char>(n >> 8),
+        static_cast<unsigned char>(n),
+    };
+    return writeAll(fd, header, sizeof(header)) &&
+        writeAll(fd, payload.data(), payload.size());
+}
+
+std::optional<JsonValue>
+readFrame(int fd)
+{
+    unsigned char header[4];
+    const std::size_t got = readAll(fd, header, sizeof(header));
+    if (got == 0)
+        return std::nullopt;    // clean EOF between frames
+    if (got < sizeof(header))
+        fatal("wire: truncated frame header");
+    const std::uint32_t n =
+        (std::uint32_t{header[0]} << 24) |
+        (std::uint32_t{header[1]} << 16) |
+        (std::uint32_t{header[2]} << 8) | std::uint32_t{header[3]};
+    if (n > kMaxFrameBytes)
+        fatal(strf("wire: oversized frame (", n, " bytes)"));
+    std::string payload(n, '\0');
+    if (readAll(fd, payload.data(), n) != n)
+        fatal("wire: truncated frame payload");
+    return parseJson(payload);
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace bow

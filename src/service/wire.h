@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Wire layer of the bowsimd protocol: Unix-domain stream sockets
+ * plus length-prefixed JSON frames. A frame is a 4-byte big-endian
+ * payload length followed by exactly that many bytes of compact
+ * JSON (docs/SERVICE.md). The framing is symmetric — daemon and
+ * client use the same two calls — and deliberately dumb: all
+ * message semantics live in daemon.cc / remote_client.cc.
+ */
+
+#ifndef BOWSIM_SERVICE_WIRE_H
+#define BOWSIM_SERVICE_WIRE_H
+
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+
+namespace bow {
+
+/** Frames above this are a protocol violation (a length this large
+ *  is a desynchronized or hostile peer, not a real request). */
+constexpr std::uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
+
+/**
+ * Bind + listen on a Unix-domain socket at @p path, unlinking any
+ * stale socket file first. @return the listening fd.
+ * @throws FatalError on any socket/bind/listen failure (including a
+ * path longer than sockaddr_un allows).
+ */
+int listenUnix(const std::string &path);
+
+/**
+ * Connect to the daemon at @p path. @return the connected fd.
+ * @throws FatalError when the socket cannot be reached.
+ */
+int connectUnix(const std::string &path);
+
+/**
+ * Send one frame. @return false when the peer hung up (EPIPE and
+ * friends); throws nothing and never raises SIGPIPE.
+ */
+bool writeFrame(int fd, const JsonValue &message);
+
+/**
+ * Receive one frame. @return nullopt on a clean EOF at a frame
+ * boundary. @throws FatalError on a malformed frame (oversized
+ * length, truncated payload, invalid JSON) — after framing is lost
+ * the stream cannot be resynchronized.
+ */
+std::optional<JsonValue> readFrame(int fd);
+
+/** Close @p fd, ignoring errors (idempotent convenience). */
+void closeFd(int fd);
+
+} // namespace bow
+
+#endif // BOWSIM_SERVICE_WIRE_H

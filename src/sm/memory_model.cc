@@ -84,6 +84,25 @@ MemoryStore::globalAddrs() const
     return addrs;
 }
 
+std::vector<MemoryStore::Entry>
+MemoryStore::exportEntries() const
+{
+    std::vector<Entry> entries;
+    entries.reserve(global_.size() + shared_.size() + const_.size());
+    for (const MemSpace space :
+         {MemSpace::Global, MemSpace::Shared, MemSpace::Const}) {
+        const std::size_t first = entries.size();
+        for (const auto &[addr, val] : spaceMap(space))
+            entries.push_back(Entry{space, addr, val});
+        std::sort(entries.begin() + static_cast<std::ptrdiff_t>(first),
+                  entries.end(),
+                  [](const Entry &a, const Entry &b) {
+                      return a.addr < b.addr;
+                  });
+    }
+    return entries;
+}
+
 void
 CacheTagArray::init(unsigned bytes, unsigned lineBytes,
                     unsigned nways)

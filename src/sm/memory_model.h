@@ -52,6 +52,23 @@ class MemoryStore
      *  (fault plans must not depend on hash-map iteration order). */
     std::vector<std::uint32_t> globalAddrs() const;
 
+    /** One written memory word (the unit of serialization). */
+    struct Entry
+    {
+        MemSpace space = MemSpace::Global;
+        std::uint32_t addr = 0;
+        Value value = 0;
+    };
+
+    /**
+     * Every written word of every space, ordered (space, addr)
+     * ascending — a deterministic flat image for the result-store
+     * codec (service/sim_codec.h). Replaying the entries through
+     * store() on an empty MemoryStore reproduces contentsEqual()
+     * contents exactly.
+     */
+    std::vector<Entry> exportEntries() const;
+
   private:
     const std::unordered_map<std::uint32_t, Value> &
     spaceMap(MemSpace space) const;

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * The bowsimd daemon and its client library (docs/SERVICE.md),
+ * exercised end to end over real Unix-domain sockets against an
+ * in-process Daemon — the same code path `bowsim_cli --remote`
+ * drives, so the binary's remote path is tested without spawning
+ * processes.
+ *
+ * Guarantees under test:
+ *
+ *  - Protocol: ping reports the build identity; unknown message
+ *    types and malformed/unknown-workload sweeps produce error
+ *    frames that fail the client call but keep the daemon serving;
+ *    an acknowledged shutdown frame releases wait().
+ *
+ *  - Equivalence: remote summaries are bit-identical to a local
+ *    ParallelRunner run of the same jobs, and arrive in submission
+ *    order regardless of completion order.
+ *
+ *  - Concurrency (the TSan target): several clients sweeping the
+ *    same daemon simultaneously all get complete, identical answers.
+ *
+ *  - Persistence: with the global result store attached, a sweep
+ *    simulates once; after a simulated daemon restart (memory cache
+ *    cleared, new Daemon), the same sweep is served entirely from
+ *    the store — the property the CI service job gates on.
+ *
+ * Suite names start with "Daemon" / "RemoteCli" so the CI sanitizer
+ * jobs (.github/workflows/ci.yml) can select them by regex.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "core/parallel_runner.h"
+#include "core/result_cache.h"
+#include "core/run_manifest.h"
+#include "service/daemon.h"
+#include "service/remote_client.h"
+#include "service/result_store.h"
+#include "service/sim_codec.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+constexpr double kScale = 0.05; // pinned like the golden gate
+
+/** Short socket paths: sun_path caps at ~107 characters and gtest
+ *  temp roots stay well under that. */
+std::string
+socketPath(const std::string &name)
+{
+    return testing::TempDir() + name + ".sock";
+}
+
+SimConfig
+testConfig(Architecture arch = Architecture::BOW_WR)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.arch = arch;
+    return config;
+}
+
+/** A daemon running for the duration of one test. */
+class ScopedDaemon
+{
+  public:
+    explicit ScopedDaemon(const std::string &name, unsigned jobs = 2)
+        : daemon_([&] {
+              DaemonOptions options;
+              options.socketPath = socketPath(name);
+              options.jobs = jobs;
+              return options;
+          }())
+    {
+        daemon_.start();
+    }
+    ~ScopedDaemon() { daemon_.stop(); }
+    Daemon &get() { return daemon_; }
+    const std::string &path() const { return daemon_.socketPath(); }
+
+  private:
+    Daemon daemon_;
+};
+
+std::vector<RemoteJobSpec>
+specs(const std::vector<std::string> &names, const SimConfig &config,
+      double scale = kScale)
+{
+    std::vector<RemoteJobSpec> jobs;
+    for (const std::string &name : names)
+        jobs.push_back({name, scale, config});
+    return jobs;
+}
+
+/** The local truth the remote summaries must match bit-for-bit. */
+std::vector<SimResult>
+runLocally(const std::vector<RemoteJobSpec> &jobSpecs)
+{
+    std::vector<Workload> pool;
+    std::vector<SimJob> jobs;
+    pool.reserve(jobSpecs.size());
+    jobs.reserve(jobSpecs.size());
+    for (const RemoteJobSpec &spec : jobSpecs) {
+        pool.push_back(workloads::make(spec.workload, spec.scale));
+        jobs.emplace_back(pool.back(), spec.config);
+    }
+    return ParallelRunner(2).run(jobs);
+}
+
+void
+expectMatchesLocal(const RemoteSummary &remote, const SimResult &local)
+{
+    EXPECT_EQ(remote.arch, local.arch);
+    EXPECT_EQ(remote.windowSize, local.windowSize);
+    EXPECT_EQ(remote.cycles, local.stats.cycles);
+    EXPECT_EQ(remote.instructions, local.stats.instructions);
+    EXPECT_EQ(remote.rfReads, local.stats.rfReads);
+    EXPECT_EQ(remote.rfWrites, local.stats.rfWrites);
+    EXPECT_EQ(remote.bocForwards, local.stats.bocForwards);
+    EXPECT_EQ(remote.consolidatedWrites,
+              local.stats.consolidatedWrites);
+    EXPECT_EQ(remote.transientDrops, local.stats.transientDrops);
+    EXPECT_EQ(remote.energyTotalPj, local.energy.totalPj);
+    EXPECT_EQ(remote.ipc(), local.stats.ipc());
+}
+
+// ---------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------
+
+TEST(Daemon, PingReportsBuildIdentity)
+{
+    globalResultCache().reset();
+    ScopedDaemon daemon("ping");
+    const RemotePong pong = remotePing(daemon.path());
+    EXPECT_EQ(pong.version, RunManifest::buildVersion());
+    EXPECT_EQ(pong.schema, simSchemaHash());
+    EXPECT_EQ(pong.hasStore, globalResultStore() != nullptr);
+    EXPECT_GE(pong.jobs, 1u);
+}
+
+TEST(Daemon, UnreachableSocketIsFatal)
+{
+    EXPECT_THROW(remotePing(socketPath("nobody-home")), FatalError);
+}
+
+TEST(Daemon, BadRequestKeepsConnectionServing)
+{
+    globalResultCache().reset();
+    ScopedDaemon daemon("badreq");
+    const SimConfig config = testConfig();
+
+    // Unknown workload: the daemon answers with an error frame (the
+    // client surfaces it as FatalError) and must keep serving.
+    std::vector<RemoteSummary> summaries;
+    EXPECT_THROW(runRemoteSweep(daemon.path(),
+                                specs({"NO-SUCH-KERNEL"}, config),
+                                summaries),
+                 FatalError);
+
+    const auto jobs = specs({"VECTORADD"}, config);
+    const RemoteSweepStats stats =
+        runRemoteSweep(daemon.path(), jobs, summaries);
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(stats.results, 1u);
+    expectMatchesLocal(summaries[0], runLocally(jobs)[0]);
+}
+
+TEST(Daemon, ShutdownFrameReleasesWait)
+{
+    globalResultCache().reset();
+    ScopedDaemon daemon("shutdown");
+    std::atomic<bool> released{false};
+    std::thread waiter([&] {
+        daemon.get().wait();
+        released.store(true);
+    });
+    EXPECT_TRUE(remoteShutdown(daemon.path()));
+    waiter.join();
+    EXPECT_TRUE(released.load());
+}
+
+// ---------------------------------------------------------------------
+// Equivalence
+// ---------------------------------------------------------------------
+
+TEST(Daemon, SweepMatchesLocalRunBitForBit)
+{
+    globalResultCache().reset();
+    ScopedDaemon daemon("sweep");
+    const SimConfig config = testConfig(Architecture::BOW_WR_OPT);
+    const auto jobs =
+        specs({"VECTORADD", "SAD", "VECTORADD"}, config);
+
+    std::vector<RemoteSummary> summaries;
+    const RemoteSweepStats stats =
+        runRemoteSweep(daemon.path(), jobs, summaries);
+
+    ASSERT_EQ(summaries.size(), jobs.size());
+    EXPECT_EQ(stats.results, jobs.size());
+    // The duplicate VECTORADD is a memory-cache hit daemon-side.
+    EXPECT_GE(stats.memoryHits, 1u);
+
+    const std::vector<SimResult> local = runLocally(jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(summaries[i].workload, jobs[i].workload);
+        expectMatchesLocal(summaries[i], local[i]);
+    }
+}
+
+TEST(Daemon, ResultsArriveInSubmissionOrder)
+{
+    globalResultCache().reset();
+    ScopedDaemon daemon("order");
+    const SimConfig config = testConfig();
+    // Mixed sizes so completion order differs from submission order.
+    std::vector<RemoteJobSpec> jobs = specs(
+        {"BACKPROP", "VECTORADD", "SAD", "VECTORADD"}, config);
+    jobs[1].scale = 0.02;
+
+    std::vector<RemoteSummary> summaries;
+    runRemoteSweep(daemon.path(), jobs, summaries);
+    ASSERT_EQ(summaries.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(summaries[i].workload, jobs[i].workload);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency (the TSan target)
+// ---------------------------------------------------------------------
+
+TEST(Daemon, ConcurrentClientsGetCompleteIdenticalAnswers)
+{
+    globalResultCache().reset();
+    ScopedDaemon daemon("concurrent", 4);
+    const SimConfig config = testConfig();
+    const auto jobs = specs({"VECTORADD", "SAD"}, config);
+    const std::vector<SimResult> local = runLocally(jobs);
+
+    constexpr int kClients = 4;
+    std::vector<std::vector<RemoteSummary>> answers(kClients);
+    std::vector<std::thread> clients;
+    std::atomic<int> failures{0};
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                runRemoteSweep(daemon.path(), jobs, answers[c]);
+            } catch (const FatalError &) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    for (int c = 0; c < kClients; ++c) {
+        ASSERT_EQ(answers[c].size(), jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            expectMatchesLocal(answers[c][i], local[i]);
+    }
+}
+
+TEST(Daemon, StopUnblocksIdleConnections)
+{
+    globalResultCache().reset();
+    auto daemon = std::make_unique<ScopedDaemon>("stop");
+    const std::string path = daemon->path();
+
+    // A client parked in a blocking read must be released by stop()
+    // (shutdown() on its fd), not leak a thread.
+    std::thread client([&] {
+        try {
+            remotePing(path); // handshake proves we connected
+            // Second ping races stop(); either answer or a clean
+            // failure is acceptable — hanging is not.
+            remotePing(path);
+        } catch (const FatalError &) {
+        }
+    });
+    remotePing(path);
+    daemon.reset(); // stop() joins the daemon's connection threads
+    client.join();
+    EXPECT_FALSE(std::filesystem::exists(path))
+        << "stop() must unlink the socket file";
+}
+
+// ---------------------------------------------------------------------
+// Persistence across restarts
+// ---------------------------------------------------------------------
+
+TEST(Daemon, WarmSweepIsServedFromStoreAcrossRestart)
+{
+    ASSERT_EQ(globalResultStore(), nullptr)
+        << "another test leaked a global store attachment";
+    const std::string dir = testing::TempDir() + "daemon_store";
+    std::filesystem::remove_all(dir);
+    attachGlobalResultStore(dir);
+    globalResultCache().reset();
+
+    const SimConfig config = testConfig(Architecture::BOW_WR_OPT);
+    // A scale no other test uses, so the keys are certainly cold.
+    const auto jobs = specs({"VECTORADD", "SAD"}, config, 0.07);
+
+    std::vector<RemoteSummary> cold;
+    RemoteSweepStats coldStats;
+    {
+        ScopedDaemon daemon("warm1");
+        coldStats = runRemoteSweep(daemon.path(), jobs, cold);
+    }
+    EXPECT_EQ(coldStats.simulated, jobs.size());
+    EXPECT_EQ(coldStats.storeHits, 0u);
+
+    // "Restart": a new daemon with an empty memory cache. The store
+    // keeps its tier attachment across reset().
+    globalResultCache().reset();
+    std::vector<RemoteSummary> warm;
+    RemoteSweepStats warmStats;
+    {
+        ScopedDaemon daemon("warm2");
+        warmStats = runRemoteSweep(daemon.path(), jobs, warm);
+    }
+    EXPECT_EQ(warmStats.simulated, 0u)
+        << "a warm sweep must not simulate anything";
+    EXPECT_EQ(warmStats.storeHits, jobs.size());
+
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i)
+        expectMatchesLocal(warm[i], [&] {
+            SimResult local;
+            local.arch = cold[i].arch;
+            local.windowSize = cold[i].windowSize;
+            local.stats.cycles = cold[i].cycles;
+            local.stats.instructions = cold[i].instructions;
+            local.stats.rfReads = cold[i].rfReads;
+            local.stats.rfWrites = cold[i].rfWrites;
+            local.stats.bocForwards = cold[i].bocForwards;
+            local.stats.consolidatedWrites =
+                cold[i].consolidatedWrites;
+            local.stats.transientDrops = cold[i].transientDrops;
+            local.energy.totalPj = cold[i].energyTotalPj;
+            return local;
+        }());
+
+    detachGlobalResultStore();
+    globalResultCache().reset();
+}
+
+// ---------------------------------------------------------------------
+// The CLI's remote path (the RemoteCli regex target)
+// ---------------------------------------------------------------------
+
+TEST(RemoteCli, SuiteSweepMatchesLocalSuite)
+{
+    globalResultCache().reset();
+    ScopedDaemon daemon("cli_suite", 4);
+    const SimConfig config = testConfig(Architecture::BOW_WR);
+    const auto jobs = specs(workloads::allNames(), config);
+
+    std::vector<RemoteSummary> summaries;
+    const RemoteSweepStats stats =
+        runRemoteSweep(daemon.path(), jobs, summaries);
+    EXPECT_EQ(stats.results, jobs.size());
+
+    const std::vector<SimResult> local = runLocally(jobs);
+    ASSERT_EQ(summaries.size(), local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+        EXPECT_EQ(summaries[i].workload, jobs[i].workload);
+        expectMatchesLocal(summaries[i], local[i]);
+    }
+}
+
+TEST(RemoteCli, ConfigFieldsShipFaithfully)
+{
+    globalResultCache().reset();
+    ScopedDaemon daemon("cli_config");
+    SimConfig config = testConfig(Architecture::BOW_WR_OPT);
+    config.windowSize = 5;
+    config.numSms = 2;
+
+    std::vector<RemoteSummary> summaries;
+    runRemoteSweep(daemon.path(),
+                   specs({"VECTORADD"}, config), summaries);
+    ASSERT_EQ(summaries.size(), 1u);
+    expectMatchesLocal(summaries[0],
+                       runLocally(specs({"VECTORADD"}, config))[0]);
+    EXPECT_EQ(summaries[0].windowSize, 5u);
+}
+
+TEST(RemoteCli, RepeatSweepIsAllMemoryHits)
+{
+    globalResultCache().reset();
+    ScopedDaemon daemon("cli_repeat");
+    const SimConfig config = testConfig();
+    const auto jobs = specs({"VECTORADD", "SAD"}, config);
+
+    std::vector<RemoteSummary> first, second;
+    runRemoteSweep(daemon.path(), jobs, first);
+    const RemoteSweepStats stats =
+        runRemoteSweep(daemon.path(), jobs, second);
+    EXPECT_EQ(stats.simulated, 0u);
+    EXPECT_EQ(stats.memoryHits, jobs.size());
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(second[i].cycles, first[i].cycles);
+        EXPECT_EQ(second[i].energyTotalPj, first[i].energyTotalPj);
+    }
+}
+
+} // namespace
+} // namespace bow

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * The persistent result store (docs/SERVICE.md): codec bit-exactness,
+ * crash-safety of the on-disk entries, version-keyed invalidation and
+ * the ResultCache tier integration.
+ *
+ * Four families of guarantees:
+ *
+ *  - Codec: simResultToJson/FromJson reproduce every counter,
+ *    register, memory word and metric bit-for-bit (the JSON dump of
+ *    the decode equals the dump of the encode — the codec is its own
+ *    equality witness), NaN and large uint64 values included;
+ *    simConfigToJson round-trips every field; simSchemaHash() is
+ *    stable within a build and nonzero.
+ *
+ *  - Disk: a published entry is served back across store instances;
+ *    torn/truncated/garbage entries are tolerated (miss + delete,
+ *    recompute rewrites a clean entry); entries from a different
+ *    store format, schema hash or binary version are evicted, never
+ *    served; concurrent same-key writers converge via tmp+rename.
+ *
+ *  - Tier: a fresh ResultCache::insert writes through to the store;
+ *    a memory miss is served from the store, counted in storeHits()
+ *    and memoized (the second lookup is a memory hit).
+ *
+ *  - Globals: attachGlobalResultStore is idempotent per directory
+ *    and detachGlobalResultStore() restores the untiered cache.
+ *
+ * Every suite name starts with "ResultStore" so the CI sanitizer
+ * jobs (.github/workflows/ci.yml) can select the lot with one regex.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "core/result_cache.h"
+#include "core/simulator.h"
+#include "service/result_store.h"
+#include "service/sim_codec.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+constexpr double kScale = 0.05; // pinned like the golden gate
+
+/** A fresh, empty store directory under the gtest temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+SimResult
+simulate(const std::string &workload, Architecture arch)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.arch = arch;
+    const Workload wl = workloads::make(workload, kScale);
+    return Simulator(config).run(wl.launch);
+}
+
+/** The codec as its own equality witness: two results are
+ *  bit-identical iff their (exhaustive, shortest-round-trip) JSON
+ *  encodes are character-identical. */
+std::string
+fingerprint(const SimResult &result)
+{
+    return simResultToJson(result).dump();
+}
+
+// ---------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------
+
+TEST(ResultStoreCodec, ResultRoundTripIsBitExact)
+{
+    // BOW_WR_OPT populates every section: tags, BOC metrics,
+    // consolidation counters, per-warp registers and final memory.
+    const SimResult original = simulate("VECTORADD",
+                                        Architecture::BOW_WR_OPT);
+    const SimResult decoded =
+        simResultFromJson(simResultToJson(original));
+
+    EXPECT_EQ(decoded.arch, original.arch);
+    EXPECT_EQ(decoded.windowSize, original.windowSize);
+    EXPECT_EQ(decoded.stats.cycles, original.stats.cycles);
+    EXPECT_EQ(decoded.stats.instructions,
+              original.stats.instructions);
+    EXPECT_EQ(decoded.stats.rfReads, original.stats.rfReads);
+    EXPECT_EQ(decoded.stats.bocForwards, original.stats.bocForwards);
+    EXPECT_EQ(decoded.energy.totalPj, original.energy.totalPj);
+    EXPECT_EQ(fingerprint(decoded), fingerprint(original));
+}
+
+TEST(ResultStoreCodec, EveryMetricSurvives)
+{
+    const SimResult original = simulate("SAD", Architecture::BOW_WR);
+    const SimResult decoded =
+        simResultFromJson(simResultToJson(original));
+    EXPECT_EQ(decoded.metrics.toJson().dump(),
+              original.metrics.toJson().dump());
+}
+
+TEST(ResultStoreCodec, NanAndLargeValuesRoundTrip)
+{
+    SimResult r = simulate("VECTORADD", Architecture::Baseline);
+    r.energy.totalPj = std::nan("");
+    r.stats.cycles = (std::uint64_t{1} << 62) + 12345;
+
+    const SimResult decoded = simResultFromJson(simResultToJson(r));
+    EXPECT_TRUE(std::isnan(decoded.energy.totalPj));
+    EXPECT_EQ(decoded.stats.cycles,
+              (std::uint64_t{1} << 62) + 12345);
+}
+
+TEST(ResultStoreCodec, ConfigRoundTripPreservesCacheKey)
+{
+    SimConfig config = SimConfig::titanXPascal();
+    config.arch = Architecture::BOW_WR;
+    config.windowSize = 5;
+    config.numSms = 4;
+    config.schedPolicy = SchedPolicy::LRR;
+    config.extendedWindow = true;
+
+    const SimConfig decoded =
+        simConfigFromJson(simConfigToJson(config));
+    EXPECT_EQ(simConfigToJson(decoded).dump(),
+              simConfigToJson(config).dump());
+
+    // The cache key sees every simulation-relevant field, so key
+    // equality across the round trip is the semantic check.
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    EXPECT_EQ(simCacheKey(wl, decoded), simCacheKey(wl, config));
+}
+
+TEST(ResultStoreCodec, RejectsMissingAndMistypedMembers)
+{
+    const SimResult r = simulate("VECTORADD", Architecture::Baseline);
+    JsonValue json = simResultToJson(r);
+    json.set("window_size", "three"); // wrong kind
+    EXPECT_THROW(simResultFromJson(json), FatalError);
+    EXPECT_THROW(simResultFromJson(JsonValue::object()), FatalError);
+    EXPECT_THROW(simConfigFromJson(JsonValue::object()), FatalError);
+}
+
+TEST(ResultStoreCodec, SchemaHashIsStableAndNonzero)
+{
+    EXPECT_NE(simSchemaHash(), 0u);
+    EXPECT_EQ(simSchemaHash(), simSchemaHash());
+}
+
+// ---------------------------------------------------------------------
+// Disk
+// ---------------------------------------------------------------------
+
+TEST(ResultStoreDisk, PublishThenLoadAcrossInstances)
+{
+    const std::string dir = freshDir("store_basic");
+    const SimResult r = simulate("VECTORADD",
+                                 Architecture::BOW_WR_OPT);
+    const std::uint64_t key = 0x1234abcdu;
+
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.load(key), nullptr); // cold
+        EXPECT_EQ(store.misses(), 1u);
+        store.publish(key, r);
+        EXPECT_EQ(store.stores(), 1u);
+        EXPECT_TRUE(std::filesystem::exists(store.entryPath(key)));
+    }
+
+    ResultStore reopened(dir); // a new process, in effect
+    const auto loaded = reopened.load(key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(reopened.hits(), 1u);
+    EXPECT_EQ(fingerprint(*loaded), fingerprint(r));
+}
+
+TEST(ResultStoreDisk, TornEntryIsToleratedAndRecomputed)
+{
+    const std::string dir = freshDir("store_torn");
+    ResultStore store(dir);
+    const SimResult r = simulate("VECTORADD", Architecture::Baseline);
+    const std::uint64_t key = 7;
+    store.publish(key, r);
+
+    // Truncate the entry mid-file: a crash between write and rename
+    // cannot produce this (rename is atomic), but a full disk or a
+    // meddling operator can — the store must shrug, not serve junk.
+    const std::string path = store.entryPath(key);
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::getline(in, text, '\0');
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    }
+
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.torn(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(path)) <<
+        "torn entry must be deleted so it is recomputed exactly once";
+
+    // Garbage that parses as JSON but is not an entry: same story.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "{\"store\":42}";
+    }
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.torn(), 2u);
+
+    // The recompute path: publish rewrites a clean entry.
+    store.publish(key, r);
+    const auto reloaded = store.load(key);
+    ASSERT_NE(reloaded, nullptr);
+    EXPECT_EQ(fingerprint(*reloaded), fingerprint(r));
+}
+
+TEST(ResultStoreDisk, VersionMismatchEvictsInsteadOfServing)
+{
+    const std::string dir = freshDir("store_version");
+    const SimResult r = simulate("VECTORADD", Architecture::Baseline);
+    const std::uint64_t key = 9;
+
+    StoreVersion v1 = StoreVersion::current();
+    {
+        ResultStore store(dir, v1);
+        store.publish(key, r);
+    }
+
+    // A different binary (the CI gate flips this with
+    // BOWSIM_STORE_VERSION_SALT) must invalidate, never serve stale.
+    StoreVersion v2 = v1;
+    v2.binaryVersion += "+other-build";
+    {
+        ResultStore store(dir, v2);
+        EXPECT_EQ(store.load(key), nullptr);
+        EXPECT_EQ(store.invalidated(), 1u);
+        EXPECT_FALSE(std::filesystem::exists(store.entryPath(key)));
+        // Second look is a plain miss — the eviction already
+        // happened, nothing is double-counted.
+        EXPECT_EQ(store.load(key), nullptr);
+        EXPECT_EQ(store.invalidated(), 1u);
+    }
+
+    // Same for a codec-shape change.
+    {
+        ResultStore writer(dir, v1);
+        writer.publish(key, r);
+    }
+    StoreVersion v3 = v1;
+    v3.schemaHash ^= 0x1;
+    ResultStore store(dir, v3);
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.invalidated(), 1u);
+}
+
+TEST(ResultStoreDisk, KeyMismatchIsNeverServed)
+{
+    const std::string dir = freshDir("store_keymix");
+    ResultStore store(dir);
+    const SimResult r = simulate("VECTORADD", Architecture::Baseline);
+    store.publish(11, r);
+
+    // Rename the entry under a different key, as a corrupted or
+    // hand-copied store might: the embedded key wins.
+    std::filesystem::rename(store.entryPath(11),
+                            store.entryPath(12));
+    EXPECT_EQ(store.load(12), nullptr);
+    EXPECT_EQ(store.torn(), 1u);
+}
+
+TEST(ResultStoreDisk, ConcurrentSameKeyWritersConverge)
+{
+    const std::string dir = freshDir("store_race");
+    ResultStore store(dir);
+    const SimResult r = simulate("SAD", Architecture::BOW_WR);
+    const std::uint64_t key = 42;
+
+    // Equal keys hold bit-identical results, so whichever rename
+    // lands last must be indistinguishable from the first. Mixed-in
+    // readers exercise load-vs-rename (TSan covers the counters).
+    std::vector<std::thread> threads;
+    threads.reserve(8);
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&store, &r, key, t] {
+            for (int i = 0; i < 4; ++i) {
+                if ((t + i) % 2 == 0)
+                    store.publish(key, r);
+                else
+                    store.load(key);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    const auto loaded = store.load(key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(fingerprint(*loaded), fingerprint(r));
+    // No tmp droppings left behind.
+    std::size_t files = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        (void)e;
+        ++files;
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Tier integration
+// ---------------------------------------------------------------------
+
+TEST(ResultStoreTier, InsertWritesThroughAndMissReadsBack)
+{
+    const std::string dir = freshDir("store_tier");
+    ResultStore store(dir);
+    const std::uint64_t key = 77;
+    auto result = std::make_shared<const SimResult>(
+        simulate("VECTORADD", Architecture::BOW_WR));
+
+    ResultCache cache;
+    EXPECT_FALSE(cache.hasTier());
+    cache.attachTier(&store);
+    EXPECT_TRUE(cache.hasTier());
+
+    // A fresh insert is written through...
+    cache.insert(key, result);
+    EXPECT_EQ(store.stores(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(store.entryPath(key)));
+
+    // ...and a different cache (a different process, in effect)
+    // fills its memory miss from the store.
+    ResultCache other;
+    other.attachTier(&store);
+    const auto first = other.lookup(key);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(other.storeHits(), 1u);
+    EXPECT_EQ(fingerprint(*first), fingerprint(*result));
+
+    // The tier hit was memoized: the next lookup is a memory hit and
+    // the store is not consulted again.
+    const std::uint64_t storeHits = store.hits();
+    const auto second = other.lookup(key);
+    EXPECT_EQ(second.get(), first.get());
+    EXPECT_EQ(other.hits(), 1u);
+    EXPECT_EQ(store.hits(), storeHits);
+
+    // Tier-served results are never re-published to the store.
+    EXPECT_EQ(store.stores(), 1u);
+}
+
+TEST(ResultStoreTier, TierMissFallsBackToCompute)
+{
+    const std::string dir = freshDir("store_tier_miss");
+    ResultStore store(dir);
+    ResultCache cache;
+    cache.attachTier(&store);
+    EXPECT_EQ(cache.lookup(123), nullptr);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.storeHits(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Global attachment
+// ---------------------------------------------------------------------
+
+TEST(ResultStoreGlobal, AttachIsIdempotentAndDetachRestores)
+{
+    const std::string dir = freshDir("store_global");
+    ASSERT_EQ(globalResultStore(), nullptr)
+        << "another test leaked a global store attachment";
+
+    ResultStore *store = attachGlobalResultStore(dir);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(attachGlobalResultStore(dir), store);
+    EXPECT_EQ(globalResultStore(), store);
+    EXPECT_TRUE(globalResultCache().hasTier());
+
+    detachGlobalResultStore();
+    EXPECT_EQ(globalResultStore(), nullptr);
+    EXPECT_FALSE(globalResultCache().hasTier());
+    globalResultCache().reset();
+}
+
+} // namespace
+} // namespace bow
