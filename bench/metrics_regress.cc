@@ -29,6 +29,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "core/fault_campaign.h"
+#include "core/sampled.h"
 #include "core/parallel_runner.h"
 #include "workloads/registry.h"
 
@@ -247,6 +248,15 @@ main(int argc, char **argv)
         auto gateOne = [&](const std::string &slug,
                            const std::string &label,
                            MetricsRegistry actual) {
+            // Sampled runs are estimates; they must never update or
+            // satisfy the exact golden contract (core/sampled.h).
+            if (metricsAreEstimate(actual)) {
+                failures.push_back(strf(
+                    slug, " (", label, "): metrics are a sampled "
+                    "estimate; the golden gate accepts exact runs "
+                    "only"));
+                return;
+            }
             if (!perturb.empty() && actual.has(perturb) &&
                 actual.kindOf(perturb) == MetricKind::Counter) {
                 actual.addCounter(perturb, 1);

@@ -32,6 +32,16 @@
 #include "core/sweep.h"
 #include "workloads/registry.h"
 
+// Snapshot/sampled sections only when the checkout has the subsystem
+// (core/snapshot.h landed later than the stable API floor above; the
+// guard keeps the before/after compile trick working).
+#if __has_include("core/sampled.h")
+#include <cstdio>
+#include "core/sampled.h"
+#include "core/snapshot.h"
+#define BOWSIM_SIMSPEED_HAVE_SAMPLED 1
+#endif
+
 namespace {
 
 using namespace bow;
@@ -264,6 +274,98 @@ main(int argc, char **argv)
     std::cout << "parallel stepping serial/parallel stat-diff: "
               << (allMatch ? "empty" : "NON-EMPTY (BUG)") << "\n";
 
+#ifdef BOWSIM_SIMSPEED_HAVE_SAMPLED
+    // ------------------------------------------------------------------
+    // Sampled mode and snapshots (docs/PERFORMANCE.md). The scale is
+    // pinned (NOT benchScale): sampling only pays off on runs long
+    // enough that the functional-warming gaps dominate, and the CI
+    // gate (sampled KIPS > detailed KIPS) must not depend on the
+    // harness environment. The IPC error and the snapshot round-trip
+    // match are printed alongside the speedup so a timing win that
+    // broke correctness is visible in the same table.
+    // ------------------------------------------------------------------
+    constexpr double kSampledScale = 1.0;
+    const Workload sampledWl = workloads::make("BTREE", kSampledScale);
+    const SimConfig sampledConfig = configFor(Architecture::BOW_WR);
+    SampleSpec sampleSpec;
+    sampleSpec.window = 1'000;
+    sampleSpec.period = 10'000;
+
+    double detailedSecs = std::numeric_limits<double>::infinity();
+    SimResult detailedRes;
+    for (unsigned r = 0; r < repeat; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        detailedRes = Simulator(sampledConfig).run(sampledWl.launch);
+        detailedSecs = std::min(detailedSecs, secondsOf(t0));
+    }
+    double sampledSecs = std::numeric_limits<double>::infinity();
+    SimResult sampledRes;
+    SampledInfo sampledInfo;
+    for (unsigned r = 0; r < repeat; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        sampledRes = runSampled(sampledConfig, sampledWl.launch,
+                                sampleSpec, nullptr, &sampledInfo);
+        sampledSecs = std::min(sampledSecs, secondsOf(t0));
+    }
+    const double detailedKips = detailedSecs > 0.0
+        ? static_cast<double>(detailedRes.stats.instructions) /
+              detailedSecs / 1e3
+        : 0.0;
+    const double sampledKips = sampledSecs > 0.0
+        ? static_cast<double>(sampledRes.stats.instructions) /
+              sampledSecs / 1e3
+        : 0.0;
+    const double sampledErr = ipcRelError(sampledRes, detailedRes);
+
+    std::cout << "\nsampled mode (BTREE, BOW-WR, scale "
+              << kSampledScale << ", W=" << sampleSpec.window
+              << " P=" << sampleSpec.period << "):\n"
+              << "  detailed: " << formatFixed(detailedSecs, 4)
+              << "s = " << formatFixed(detailedKips, 1) << " KIPS\n"
+              << "  sampled:  " << formatFixed(sampledSecs, 4)
+              << "s = " << formatFixed(sampledKips, 1) << " KIPS ("
+              << sampledInfo.windows << " windows, "
+              << formatFixed(detailedSecs / sampledSecs, 2)
+              << "x, IPC error "
+              << formatFixed(sampledErr * 100.0, 1) << "%)\n";
+
+    // Snapshot save/resume cost, plus the round-trip match bit (the
+    // resumed run must finish bit-identical to the uninterrupted
+    // one — a fast snapshot that loses state is not a feature).
+    const std::string snapPath = outPath + ".snap.tmp";
+    SimSession snapSession(sampledConfig, sampledWl.launch);
+    while (!snapSession.finished() &&
+           snapSession.now() < detailedRes.stats.cycles / 2) {
+        if (!snapSession.stepCycle())
+            break;
+    }
+    const auto tSave = std::chrono::steady_clock::now();
+    snapSession.saveSnapshot(snapPath);
+    const double saveSecs = secondsOf(tSave);
+    const auto tResume = std::chrono::steady_clock::now();
+    auto resumedSession =
+        SimSession::resumeFromSnapshot(snapPath, sampledWl.launch);
+    const double resumeSecs = secondsOf(tResume);
+    resumedSession->runToCompletion();
+    const SimResult resumedRes = resumedSession->result();
+    const bool snapMatch =
+        resumedRes.stats.cycles == detailedRes.stats.cycles &&
+        resumedRes.stats.instructions ==
+            detailedRes.stats.instructions &&
+        resumedRes.finalRegs == detailedRes.finalRegs &&
+        resumedRes.finalMem.contentsEqual(detailedRes.finalMem) &&
+        resumedRes.metrics.toJson().dump() ==
+            detailedRes.metrics.toJson().dump();
+    std::remove(snapPath.c_str());
+
+    std::cout << "snapshot (same run, saved at cycle "
+              << snapSession.now() << "): save "
+              << formatFixed(saveSecs * 1e3, 1) << "ms, resume "
+              << formatFixed(resumeSecs * 1e3, 1)
+              << "ms, round-trip match: "
+              << (snapMatch ? "yes" : "NO (BUG)") << "\n";
+#endif // BOWSIM_SIMSPEED_HAVE_SAMPLED
+
     JsonValue root = JsonValue::object();
     root.set("schema", "bowsim-simspeed-v1");
     root.set("scale", scale);
@@ -296,6 +398,26 @@ main(int argc, char **argv)
         prows.push(std::move(row));
     }
     root.set("parallel", std::move(prows));
+#ifdef BOWSIM_SIMSPEED_HAVE_SAMPLED
+    JsonValue sampled = JsonValue::object();
+    sampled.set("workload", std::string("BTREE"));
+    sampled.set("arch", archName(Architecture::BOW_WR));
+    sampled.set("scale", kSampledScale);
+    sampled.set("window", sampleSpec.window);
+    sampled.set("period", sampleSpec.period);
+    sampled.set("windows", sampledInfo.windows);
+    sampled.set("detailed_seconds", detailedSecs);
+    sampled.set("detailed_kips", detailedKips);
+    sampled.set("sampled_seconds", sampledSecs);
+    sampled.set("sampled_kips", sampledKips);
+    sampled.set("ipc_rel_error", sampledErr);
+    root.set("sampled", std::move(sampled));
+    JsonValue snap = JsonValue::object();
+    snap.set("save_seconds", saveSecs);
+    snap.set("resume_seconds", resumeSecs);
+    snap.set("roundtrip_match", snapMatch);
+    root.set("snapshot", std::move(snap));
+#endif
     JsonValue agg = JsonValue::object();
     agg.set("cycles", totalCycles);
     agg.set("instructions", totalInsts);

@@ -39,6 +39,25 @@
  *                         timings, into --manifest-out
  *     --csv               machine-readable one-line output
  *
+ *   Snapshots and sampled mode (docs/PERFORMANCE.md; single
+ *   workload, local, clean runs only):
+ *     --snapshot-out FILE save a full-state snapshot to FILE every
+ *                         --snapshot-every cycles (atomic replace);
+ *                         a killed run resumes from the last save
+ *     --snapshot-every N  cycles between snapshot saves (default
+ *                         100000; needs --snapshot-out)
+ *     --resume FILE       resume a run from FILE instead of cycle 0.
+ *                         The snapshot's embedded configuration is
+ *                         authoritative; the launch must match
+ *                         (content-hash checked). Keeps saving to
+ *                         FILE unless --snapshot-out overrides.
+ *     --sample-window W   SMARTS-style sampled mode: simulate W
+ *                         detailed cycles per period...
+ *     --sample-period P   ...then bridge to cycle P functionally.
+ *                         Cycles/IPC become estimates (marked in
+ *                         metrics, refused by the result store and
+ *                         the golden gate).
+ *
  *   Remote execution (docs/SERVICE.md; needs a running bowsimd):
  *     --remote SOCKET     submit the sweep to the bowsimd daemon at
  *                         SOCKET instead of simulating locally;
@@ -99,7 +118,9 @@
 #include "core/fault_campaign.h"
 #include "core/parallel_runner.h"
 #include "core/run_manifest.h"
+#include "core/sampled.h"
 #include "core/simulator.h"
+#include "core/snapshot.h"
 #include "core/sweep.h"
 #include "isa/assembler.h"
 #include "isa/sass_import.h"
@@ -140,6 +161,9 @@ usage()
         "                  [--scale S] [--jobs N] [--csv]\n"
         "                  [--host-threads N]\n"
         "                  [--no-fastforward] [--profile]\n"
+        "                  [--snapshot-out FILE] [--snapshot-every N]\n"
+        "                  [--resume FILE]\n"
+        "                  [--sample-window W] [--sample-period P]\n"
         "                  [--faults N]\n"
         "                  [--fault-sites rf,boc,rfc,l2,cta]\n"
         "                  [--fault-sms LIST|all] [--seed S]\n"
@@ -475,6 +499,21 @@ main(int argc, char **argv)
     std::string manifestOut;
     std::string remoteSocket;
     bool remoteShutdownFlag = false;
+    std::string snapshotOut;
+    std::string resumeFile;
+    std::uint64_t snapshotEvery = 0;
+    std::uint64_t sampleWindow = 0;
+    std::uint64_t samplePeriod = 0;
+
+    auto parsePositive = [](const char *flag,
+                            const char *arg) -> std::uint64_t {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(arg, &end, 10);
+        if (end == arg || *end != '\0' || v == 0)
+            fatal(strf(flag, " wants a positive integer, got '", arg,
+                       "'"));
+        return v;
+    };
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -566,6 +605,17 @@ main(int argc, char **argv)
             remoteSocket = v;
         else if (!std::strcmp(a, "--shutdown"))
             remoteShutdownFlag = true;
+        else if (const char *v = valueOf(a, "--snapshot-out", i))
+            snapshotOut = v;
+        else if (!std::strcmp(a, "--snapshot-every"))
+            snapshotEvery = parsePositive("--snapshot-every",
+                                          need(i));
+        else if (const char *v = valueOf(a, "--resume", i))
+            resumeFile = v;
+        else if (!std::strcmp(a, "--sample-window"))
+            sampleWindow = parsePositive("--sample-window", need(i));
+        else if (!std::strcmp(a, "--sample-period"))
+            samplePeriod = parsePositive("--sample-period", need(i));
         else
             usage();
     }
@@ -595,8 +645,24 @@ main(int argc, char **argv)
                 fatal("observability outputs are local-only; drop "
                       "them with --remote");
             }
+            if (!snapshotOut.empty() || !resumeFile.empty() ||
+                sampleWindow || samplePeriod) {
+                fatal("snapshots and sampled mode are local-only; "
+                      "drop them with --remote");
+            }
             return runRemote(remoteSocket, workload, config, scale,
                              csv);
+        }
+
+        if (snapshotEvery && snapshotOut.empty() &&
+            resumeFile.empty())
+            fatal("--snapshot-every needs --snapshot-out or "
+                  "--resume");
+        if ((sampleWindow || samplePeriod) &&
+            (!snapshotOut.empty() || !resumeFile.empty())) {
+            fatal("sampled mode does not combine with "
+                  "--snapshot-out/--resume (an estimated run is not "
+                  "worth checkpointing)");
         }
 
         if (workload == "ALL" || workload == "all") {
@@ -604,6 +670,11 @@ main(int argc, char **argv)
                 fatal("--faults needs a single workload, not ALL");
             if (!traceOut.empty())
                 fatal("--trace-out needs a single workload, not ALL");
+            if (!snapshotOut.empty() || !resumeFile.empty() ||
+                sampleWindow || samplePeriod) {
+                fatal("snapshots and sampled mode need a single "
+                      "workload, not ALL");
+            }
             if (!metricsOut.empty() || !manifestOut.empty())
                 setMetricsAggregation(true);
             RunManifest manifest;
@@ -675,6 +746,11 @@ main(int argc, char **argv)
         wl.scale = scale;
         wl.launch = std::move(launch);
 
+        if (faults && (!snapshotOut.empty() || !resumeFile.empty() ||
+                       sampleWindow || samplePeriod)) {
+            fatal("snapshots and sampled mode do not combine with "
+                  "--faults (injection state is not serialized)");
+        }
         if (faults) {
             CampaignSpec spec;
             spec.trials = faults;
@@ -699,13 +775,65 @@ main(int argc, char **argv)
         } else if (!traceCycles.empty()) {
             fatal("--trace-cycles needs --trace-out");
         }
+        if (tracer && (!snapshotOut.empty() || !resumeFile.empty() ||
+                       sampleWindow || samplePeriod)) {
+            fatal("--trace-out does not combine with snapshots or "
+                  "sampled mode");
+        }
 
-        Simulator sim(config);
         manifest.beginPhase("simulate");
         const auto simStart = std::chrono::steady_clock::now();
-        const SimResult res =
-            sim.run(wl.launch, nullptr, nullptr,
-                    tracer ? &*tracer : nullptr);
+        SimResult res;
+        if (sampleWindow || samplePeriod) {
+            SampleSpec spec;
+            spec.window = sampleWindow;
+            spec.period = samplePeriod;
+            SampledInfo info;
+            res = runSampled(config, wl.launch, spec, nullptr,
+                             &info);
+            // Provenance on stderr only: the stdout report keeps the
+            // exact-run format (with estimated cycles/IPC in it).
+            std::cerr << "# sampled: windows=" << info.windows
+                      << " detailed_cycles=" << info.detailedCycles
+                      << " detailed_insts="
+                      << info.detailedInstructions
+                      << " functional_insts="
+                      << info.functionalInstructions
+                      << " ipc_detailed="
+                      << formatFixed(info.ipcDetailed, 4)
+                      << " (cycles/IPC are estimates)\n";
+        } else if (!resumeFile.empty() || !snapshotOut.empty()) {
+            std::unique_ptr<SimSession> session;
+            if (!resumeFile.empty()) {
+                session = SimSession::resumeFromSnapshot(resumeFile,
+                                                         wl.launch);
+                // The file's embedded config is authoritative; the
+                // report banner must describe the machine that
+                // actually ran.
+                config = session->config();
+                std::cerr << "# resumed '" << resumeFile
+                          << "' at cycle " << session->now() << "\n";
+            } else {
+                session = std::make_unique<SimSession>(config,
+                                                       wl.launch);
+            }
+            const std::string savePath =
+                !snapshotOut.empty() ? snapshotOut : resumeFile;
+            const std::uint64_t every =
+                snapshotEvery ? snapshotEvery : 100'000;
+            Cycle nextSave = session->now() + every;
+            while (session->stepCycle()) {
+                if (session->now() >= nextSave) {
+                    session->saveSnapshot(savePath);
+                    nextSave = session->now() + every;
+                }
+            }
+            res = session->result();
+        } else {
+            Simulator sim(config);
+            res = sim.run(wl.launch, nullptr, nullptr,
+                          tracer ? &*tracer : nullptr);
+        }
         const double simSecs = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - simStart).count();
         manifest.beginPhase("report");

@@ -116,6 +116,54 @@ class EventWheel
     std::size_t size() const { return size_; }
     unsigned horizon() const { return horizon_; }
 
+    /**
+     * Enumerate every pending event for serialization. Must be called
+     * at a cycle boundary (before takeDue(now)), when ring events all
+     * lie in [now, now + horizon). @p fn receives (when, item, inRing);
+     * ring events come first in cycle order (FIFO within a bucket),
+     * then overflow events in cycle order. The inRing flag matters at
+     * the window edge: an overflow event at exactly now + horizon - 1
+     * after a fast-forward has not migrated yet and must be restored
+     * into the overflow map to keep the later migration merge order
+     * identical.
+     */
+    template <typename Fn>
+    void
+    forEachEvent(Cycle now, Fn &&fn) const
+    {
+        for (Cycle d = 0; d < horizon_; ++d) {
+            const Cycle slot = (now + d) & mask_;
+            if (!(occupied_[slot >> 6] & (1ull << (slot & 63))))
+                continue;
+            for (const T &item : buckets_[slot])
+                fn(now + d, item, true);
+        }
+        for (const auto &[when, items] : overflow_) {
+            for (const T &item : items)
+                fn(when, item, false);
+        }
+    }
+
+    /**
+     * Structural insert used when restoring a snapshot: place @p item
+     * exactly where forEachEvent() reported it, bypassing the
+     * schedule() placement rule (which decides ring-vs-overflow from
+     * the *current* clock and would misplace an event saved at the
+     * window edge). Call in forEachEvent() emission order so bucket
+     * FIFO order is preserved.
+     */
+    void
+    restoreEvent(Cycle when, T item, bool inRing)
+    {
+        ++size_;
+        if (!inRing) {
+            overflow_[when].push_back(std::move(item));
+            return;
+        }
+        buckets_[when & mask_].push_back(std::move(item));
+        markOccupied(when & mask_);
+    }
+
   private:
     void
     markOccupied(Cycle slot)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the JSON state codecs (snapshots, component
+ * saveState/loadState). Decode errors are user-facing FatalErrors
+ * with the offending key in the message — a malformed snapshot must
+ * refuse cleanly, never panic.
+ */
+
+#ifndef BOWSIM_COMMON_JSON_UTIL_H
+#define BOWSIM_COMMON_JSON_UTIL_H
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace bow {
+namespace jsonio {
+
+inline const JsonValue &
+member(const JsonValue &obj, const std::string &key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        fatal("state codec: missing key '" + key + "'");
+    return *v;
+}
+
+inline std::uint64_t
+getUint(const JsonValue &obj, const std::string &key)
+{
+    return member(obj, key).asUint();
+}
+
+inline bool
+getBool(const JsonValue &obj, const std::string &key)
+{
+    return member(obj, key).asBool();
+}
+
+/** Doubles serialize as null when non-finite; map null back to NaN. */
+inline double
+getDouble(const JsonValue &obj, const std::string &key)
+{
+    const JsonValue &v = member(obj, key);
+    if (v.isNull())
+        return std::numeric_limits<double>::quiet_NaN();
+    return v.asDouble();
+}
+
+inline const JsonValue &
+getArray(const JsonValue &obj, const std::string &key)
+{
+    const JsonValue &v = member(obj, key);
+    if (v.kind() != JsonValue::Kind::Array)
+        fatal("state codec: key '" + key + "' is not an array");
+    return v;
+}
+
+} // namespace jsonio
+} // namespace bow
+
+#endif // BOWSIM_COMMON_JSON_UTIL_H

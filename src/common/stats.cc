@@ -1,11 +1,35 @@
 #include "common/stats.h"
 
+#include <cmath>
 #include <limits>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/metrics.h"
 
 namespace bow {
+
+namespace {
+
+const JsonValue &
+statMember(const JsonValue &obj, const std::string &key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        fatal("StatGroup::loadJson: missing key '" + key + "'");
+    return *v;
+}
+
+/** Doubles serialize as null when non-finite; map null back to NaN. */
+double
+statDouble(const JsonValue &v)
+{
+    if (v.kind() == JsonValue::Kind::Null)
+        return std::numeric_limits<double>::quiet_NaN();
+    return v.asDouble();
+}
+
+} // namespace
 
 double
 Average::mean() const
@@ -77,6 +101,17 @@ Histogram::mean() const
                   : std::numeric_limits<double>::quiet_NaN();
 }
 
+void
+Histogram::restore(const std::vector<std::uint64_t> &counts,
+                   std::uint64_t total, double weightedSum)
+{
+    if (counts.size() != counts_.size())
+        fatal("Histogram::restore: bucket layout mismatch");
+    counts_ = counts;
+    total_ = total;
+    weightedSum_ = weightedSum;
+}
+
 Counter &
 StatGroup::counter(const std::string &key)
 {
@@ -121,6 +156,68 @@ StatGroup::exportTo(MetricsRegistry &out,
         for (std::size_t b = 0; b < h.size(); ++b)
             buckets.push_back(h.bucket(b));
         out.setHist(prefix + "." + key, buckets);
+    }
+}
+
+JsonValue
+StatGroup::saveJson() const
+{
+    JsonValue counters = JsonValue::object();
+    for (const auto &[key, c] : counters_)
+        counters.set(key, JsonValue(c.value()));
+
+    JsonValue averages = JsonValue::object();
+    for (const auto &[key, a] : averages_) {
+        JsonValue o = JsonValue::object();
+        o.set("sum", JsonValue(a.sum()));
+        o.set("n", JsonValue(a.samples()));
+        averages.set(key, std::move(o));
+    }
+
+    JsonValue histograms = JsonValue::object();
+    for (const auto &[key, h] : histograms_) {
+        JsonValue counts = JsonValue::array();
+        for (std::size_t b = 0; b < h.size(); ++b)
+            counts.push(JsonValue(h.bucket(b)));
+        JsonValue o = JsonValue::object();
+        o.set("counts", std::move(counts));
+        o.set("total", JsonValue(h.total()));
+        o.set("wsum", JsonValue(h.weightedSum()));
+        histograms.set(key, std::move(o));
+    }
+
+    JsonValue out = JsonValue::object();
+    out.set("counters", std::move(counters));
+    out.set("averages", std::move(averages));
+    out.set("histograms", std::move(histograms));
+    return out;
+}
+
+void
+StatGroup::loadJson(const JsonValue &v)
+{
+    for (const auto &[key, val] : statMember(v, "counters").members()) {
+        Counter &c = counter(key);
+        c.reset();
+        c.inc(val.asUint());
+    }
+    for (const auto &[key, val] : statMember(v, "averages").members()) {
+        average(key).restore(statDouble(statMember(val, "sum")),
+                             statMember(val, "n").asUint());
+    }
+    for (const auto &[key, val] :
+         statMember(v, "histograms").members()) {
+        const JsonValue &countsJson = statMember(val, "counts");
+        std::vector<std::uint64_t> counts;
+        counts.reserve(countsJson.size());
+        for (const JsonValue &c : countsJson.items())
+            counts.push_back(c.asUint());
+        // Auto-create with the serialized layout; an existing
+        // histogram keeps its layout and restore() checks the match.
+        Histogram &h = histogram(key, counts.empty() ? 1
+                                                     : counts.size() - 1);
+        h.restore(counts, statMember(val, "total").asUint(),
+                  statDouble(statMember(val, "wsum")));
     }
 }
 

@@ -17,6 +17,7 @@
 namespace bow {
 
 class MetricsRegistry;
+class JsonValue;
 
 /** A monotonically increasing event counter. */
 class Counter
@@ -52,6 +53,14 @@ class Average
 
     std::uint64_t samples() const { return n_; }
     double sum() const { return sum_; }
+
+    /** Snapshot restore: overwrite the accumulator state. */
+    void
+    restore(double sum, std::uint64_t n)
+    {
+        sum_ = sum;
+        n_ = n;
+    }
 
     /**
      * Mean of all samples; NaN when empty. An empty average has no
@@ -99,6 +108,15 @@ class Histogram
      *  NaN when no observation was recorded (null in JSON). */
     double mean() const;
 
+    /** Weighted sum accumulator backing mean(); exposed so snapshots
+     *  can round-trip it bit-exactly. */
+    double weightedSum() const { return weightedSum_; }
+
+    /** Snapshot restore: overwrite all accumulators. @p counts must
+     *  match the bucket layout this histogram was built with. */
+    void restore(const std::vector<std::uint64_t> &counts,
+                 std::uint64_t total, double weightedSum);
+
   private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
@@ -139,6 +157,21 @@ class StatGroup
      */
     void exportTo(MetricsRegistry &out,
                   const std::string &prefix) const;
+
+    /**
+     * Serialize every counter, average and histogram for a snapshot.
+     * Doubles keep full precision through the JSON codec (shortest
+     * round-trip formatting); empty means are NaN and render as null.
+     */
+    JsonValue saveJson() const;
+
+    /**
+     * Snapshot restore: overwrite this group's state from saveJson()
+     * output. Nodes are mutated in place through the auto-creating
+     * lookups, so raw Counter pointers cached by the owning model
+     * stay valid across a restore.
+     */
+    void loadJson(const JsonValue &v);
 
   private:
     std::string name_;

@@ -8,8 +8,13 @@
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "core/snapshot.h"
 #include "core/thread_pool.h"
 #include "service/result_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 namespace bow {
 
@@ -17,6 +22,112 @@ namespace {
 
 std::atomic<unsigned> gDefaultJobs{0};
 std::atomic<std::uint64_t> gSimulationsRun{0};
+
+/**
+ * Warm-start policy (docs/SERVICE.md, EXPERIMENTS.md): when
+ * BOWSIM_SNAPSHOT_DIR is set, every cache-missing clean job
+ * periodically saves a full-state snapshot keyed by its simCacheKey,
+ * and a later process resumes from it instead of re-simulating from
+ * cycle 0. BOWSIM_SNAPSHOT_EVERY overrides the save cadence
+ * (simulated cycles between saves).
+ */
+struct SnapshotPolicy
+{
+    std::string dir;               ///< empty = warm start off
+    std::uint64_t every = 250'000; ///< cycles between saves
+};
+
+const SnapshotPolicy &
+snapshotPolicy()
+{
+    static const SnapshotPolicy policy = [] {
+        SnapshotPolicy p;
+        const char *dir = std::getenv("BOWSIM_SNAPSHOT_DIR");
+        if (dir == nullptr || *dir == '\0')
+            return p;
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            warn(strf("warm start: cannot create snapshot dir '",
+                      dir, "': ", ec.message(), "; disabled"));
+            return p;
+        }
+        p.dir = dir;
+        if (const char *env = std::getenv("BOWSIM_SNAPSHOT_EVERY")) {
+            char *end = nullptr;
+            const long long v = std::strtoll(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0) {
+                p.every = static_cast<std::uint64_t>(v);
+            } else {
+                warn(strf("ignoring BOWSIM_SNAPSHOT_EVERY='", env,
+                          "' (want a positive integer)"));
+            }
+        }
+        return p;
+    }();
+    return policy;
+}
+
+std::string
+snapshotPath(const SnapshotPolicy &policy, std::uint64_t key)
+{
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return policy.dir + "/" + hex + ".snap.json";
+}
+
+/** Run one clean job through a SimSession with periodic snapshot
+ *  saves, resuming from an existing snapshot when one is valid. */
+SimResult
+simulateWarmStart(const SimJob &job, const SnapshotPolicy &policy,
+                  std::uint64_t key, const Watchdog *watchdog)
+{
+    const std::string path = snapshotPath(policy, key);
+
+    std::unique_ptr<SimSession> session;
+    if (std::ifstream(path).good()) {
+        try {
+            session = SimSession::resumeFromSnapshot(
+                path, job.workload->launch, watchdog);
+        } catch (const FatalError &e) {
+            // Torn, stale or mismatched snapshot: cold-start and let
+            // the periodic save overwrite it with a clean one.
+            warn(strf("warm start: ignoring snapshot '", path,
+                      "': ", e.what()));
+            session.reset();
+        }
+    }
+    if (!session) {
+        session = std::make_unique<SimSession>(
+            job.config, job.workload->launch, nullptr, watchdog);
+    }
+
+    bool saveFailed = false;
+    Cycle nextSave = session->now() + policy.every;
+    while (session->stepCycle()) {
+        if (session->now() >= nextSave) {
+            if (!saveFailed) {
+                try {
+                    session->saveSnapshot(path);
+                } catch (const FatalError &e) {
+                    // A full disk must not fail the simulation; stop
+                    // trying (and warn once).
+                    warn(strf("warm start: ", e.what(),
+                              "; periodic saves disabled for this "
+                              "job"));
+                    saveFailed = true;
+                }
+            }
+            nextSave = session->now() + policy.every;
+        }
+    }
+    SimResult result = session->result();
+    // The finished result goes to the cache/store; the intermediate
+    // snapshot has served its purpose.
+    std::remove(path.c_str());
+    return result;
+}
 
 /** Simulate one job, consulting and feeding the global cache. */
 std::shared_ptr<const SimResult>
@@ -34,18 +145,27 @@ simulateCached(const SimJob &job)
     if (auto hit = globalResultCache().lookup(key))
         return hit;
 
-    Simulator sim(job.config);
-    std::optional<FaultInjector> injector;
-    if (job.fault.enabled)
-        injector.emplace(job.fault, job.config.faultProtection);
     std::optional<Watchdog> watchdog;
     if (job.watchdog.any())
         watchdog.emplace(job.watchdog);
 
-    auto result = std::make_shared<const SimResult>(
-        sim.run(job.workload->launch,
-                injector ? &*injector : nullptr,
-                watchdog ? &*watchdog : nullptr));
+    std::shared_ptr<const SimResult> result;
+    const SnapshotPolicy &snapPolicy = snapshotPolicy();
+    if (!snapPolicy.dir.empty() && !job.fault.enabled) {
+        // Warm start: fault jobs are excluded (snapshots refuse an
+        // armed injector), clean jobs resume mid-run.
+        result = std::make_shared<const SimResult>(simulateWarmStart(
+            job, snapPolicy, key, watchdog ? &*watchdog : nullptr));
+    } else {
+        Simulator sim(job.config);
+        std::optional<FaultInjector> injector;
+        if (job.fault.enabled)
+            injector.emplace(job.fault, job.config.faultProtection);
+        result = std::make_shared<const SimResult>(
+            sim.run(job.workload->launch,
+                    injector ? &*injector : nullptr,
+                    watchdog ? &*watchdog : nullptr));
+    }
     gSimulationsRun.fetch_add(1, std::memory_order_relaxed);
     // First writer wins; concurrent duplicates computed the same
     // bits, so which copy survives is unobservable.

@@ -96,6 +96,14 @@ hashLaunch(Fnv1a &h, const Launch &launch)
 } // namespace
 
 std::uint64_t
+launchContentHash(const Launch &launch)
+{
+    Fnv1a h;
+    hashLaunch(h, launch);
+    return h.value();
+}
+
+std::uint64_t
 simCacheKey(const Workload &workload, const SimConfig &c)
 {
     Fnv1a h;

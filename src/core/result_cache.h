@@ -34,6 +34,16 @@ std::uint64_t simCacheKey(const Workload &workload,
                           const SimConfig &config);
 
 /**
+ * FNV-1a hash over the full content of @p launch: every instruction
+ * of every kernel plus the initial register/memory image (the same
+ * launch component simCacheKey folds in). Snapshot headers pin the
+ * launch a serialized simulation belongs to with this hash, so a
+ * resume against a different program is refused instead of
+ * mis-decoding.
+ */
+std::uint64_t launchContentHash(const Launch &launch);
+
+/**
  * Key for a fault-injection run: the clean key extended with the
  * complete FaultPlan, so a faulty run can never alias the clean run
  * of the same (workload, config) — or a different trial's fault.

@@ -1,0 +1,152 @@
+#include "core/sampled.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "core/snapshot.h"
+
+namespace bow {
+
+namespace {
+
+/** Upper bound on quiesce/drain cycles per window: the deepest
+ *  pipeline state drains within a few memory round trips, so hitting
+ *  this means the freeze logic is broken, not the workload. */
+constexpr std::uint64_t kQuiesceGuard = 1'000'000;
+
+void
+stepUntilQuiet(SimSession &session, const char *phase)
+{
+    std::uint64_t guard = 0;
+    while (!session.pipelineQuiet()) {
+        if (!session.stepCycle())
+            return; // finished: trivially quiet
+        if (++guard > kQuiesceGuard)
+            panic(strf("runSampled: pipeline failed to ", phase,
+                       " within ", kQuiesceGuard, " cycles"));
+    }
+}
+
+} // namespace
+
+void
+SampleSpec::validate() const
+{
+    if (window == 0)
+        fatal("sampled mode: --sample-window must be > 0");
+    if (period <= window) {
+        fatal(strf("sampled mode: --sample-period (", period,
+                   ") must exceed --sample-window (", window, ")"));
+    }
+}
+
+SimResult
+runSampled(const SimConfig &config, const Launch &launch,
+           const SampleSpec &spec, const Watchdog *watchdog,
+           SampledInfo *infoOut)
+{
+    spec.validate();
+
+    SimSession session(config, launch, nullptr, watchdog, nullptr);
+    SampledInfo info;
+
+    while (!session.finished()) {
+        // Detailed window: full cycle-level simulation for `window`
+        // cycles (idle fast-forward may overshoot; the overshoot is
+        // detailed simulation too, so it stays in the IPC sample).
+        const Cycle winStart = session.now();
+        const std::uint64_t instStart = session.liveInstructions();
+        while (!session.finished() &&
+               session.now() - winStart < spec.window) {
+            if (!session.stepCycle())
+                break;
+        }
+        info.detailedCycles += session.now() - winStart;
+        info.detailedInstructions +=
+            session.liveInstructions() - instStart;
+        ++info.windows;
+        if (session.finished())
+            break;
+
+        // Quiesce: freeze issue, drain the pipeline, spill BOC/RFC
+        // operand state home, drain the spill writes. The quiesce
+        // cycles are simulated but deliberately excluded from the
+        // IPC sample (they run a half-empty pipeline).
+        session.setIssueFrozen(true);
+        stepUntilQuiet(session, "quiesce");
+        if (session.finished()) {
+            session.setIssueFrozen(false);
+            break;
+        }
+        session.flushOperandState();
+        stepUntilQuiet(session, "drain flushed writes");
+
+        // Functional-warming gap: bridge `period - window` cycles at
+        // the IPC measured so far.
+        const double ipc = info.detailedCycles
+            ? static_cast<double>(info.detailedInstructions) /
+              static_cast<double>(info.detailedCycles)
+            : 0.0;
+        const auto budget = static_cast<std::uint64_t>(
+            std::llround(ipc * static_cast<double>(spec.period -
+                                                   spec.window)));
+        if (budget > 0)
+            info.functionalInstructions +=
+                session.functionalAdvance(budget);
+        session.setIssueFrozen(false);
+    }
+    session.setIssueFrozen(false);
+
+    SimResult out = session.result();
+
+    // Extrapolate: total cycles = total instructions at the detailed
+    // windows' measured IPC. With no instructions sampled (degenerate
+    // programs) the detailed count stands.
+    info.ipcDetailed = info.detailedCycles
+        ? static_cast<double>(info.detailedInstructions) /
+          static_cast<double>(info.detailedCycles)
+        : 0.0;
+    info.estimatedCycles = out.stats.cycles;
+    if (info.ipcDetailed > 0.0) {
+        info.estimatedCycles = static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(out.stats.instructions) /
+            info.ipcDetailed));
+    }
+
+    out.estimate = true;
+    out.stats.cycles = info.estimatedCycles;
+    out.metrics.setCounter("gpu.cycles", out.stats.cycles);
+    out.metrics.setValue("gpu.ipc", out.stats.ipc());
+    out.metrics.setCounter("sampled.estimate", 1);
+    out.metrics.setCounter("sampled.windows", info.windows);
+    out.metrics.setCounter("sampled.detailed_cycles",
+                           info.detailedCycles);
+    out.metrics.setCounter("sampled.detailed_instructions",
+                           info.detailedInstructions);
+    out.metrics.setCounter("sampled.functional_instructions",
+                           info.functionalInstructions);
+    out.metrics.setValue("sampled.ipc_detailed", info.ipcDetailed);
+
+    if (infoOut)
+        *infoOut = info;
+    return out;
+}
+
+double
+ipcRelError(const SimResult &estimate, const SimResult &reference)
+{
+    const double ref = reference.stats.ipc();
+    if (ref == 0.0)
+        return estimate.stats.ipc() == 0.0 ? 0.0 : 1.0;
+    return std::fabs(estimate.stats.ipc() - ref) / ref;
+}
+
+bool
+metricsAreEstimate(const MetricsRegistry &metrics)
+{
+    return metrics.has("sampled.estimate") &&
+        metrics.kindOf("sampled.estimate") == MetricKind::Counter &&
+        metrics.counter("sampled.estimate") != 0;
+}
+
+} // namespace bow

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SMARTS-style sampled simulation (Wunderlich et al., ISCA'03,
+ * adapted to the BOW pipeline): alternate short *detailed* windows —
+ * full cycle-level simulation — with long *functional-warming* gaps
+ * where instructions execute architecturally (registers, memory and
+ * cache tags stay warm) but the pipeline clock does not advance.
+ * Total cycles are extrapolated from the detailed windows' IPC, so a
+ * sampled run trades a bounded IPC error for a large host-speed win
+ * (docs/PERFORMANCE.md "Sampled mode").
+ *
+ * Between a window and its gap the pipeline is *quiesced*: issue is
+ * frozen, in-flight instructions drain, and the BOC/RFC operand
+ * state is flushed back to the register file so the architectural
+ * registers are the single source of truth before functional
+ * execution takes over (SmCore::flushOperandState).
+ *
+ * Sampled results are estimates, and the plumbing enforces that:
+ * SimResult::estimate is set, `sampled.*` metrics mark the registry,
+ * the result store refuses to publish them, and the golden
+ * regression gate rejects them (metricsAreEstimate).
+ */
+
+#ifndef BOWSIM_CORE_SAMPLED_H
+#define BOWSIM_CORE_SAMPLED_H
+
+#include "core/simulator.h"
+
+namespace bow {
+
+class Watchdog;
+
+/** Sampling schedule: each period simulates `window` detailed cycles
+ *  and bridges the remaining `period - window` cycles functionally. */
+struct SampleSpec
+{
+    std::uint64_t window = 0; ///< detailed cycles per period
+    std::uint64_t period = 0; ///< total cycles per period
+
+    bool enabled() const { return window > 0 || period > 0; }
+
+    /** FatalError unless 0 < window < period. */
+    void validate() const;
+};
+
+/** Host-side accounting of one sampled run (for reports/benches). */
+struct SampledInfo
+{
+    std::uint64_t windows = 0;          ///< detailed windows run
+    std::uint64_t detailedCycles = 0;   ///< cycles simulated in full
+    std::uint64_t detailedInstructions = 0;
+    std::uint64_t functionalInstructions = 0;
+    double ipcDetailed = 0.0;           ///< measured over the windows
+    std::uint64_t estimatedCycles = 0;  ///< extrapolated total
+};
+
+/**
+ * Run @p launch under @p config with the SMARTS schedule @p spec.
+ * The returned SimResult has estimate == true; stats.cycles (and the
+ * gpu.cycles / gpu.ipc metrics) hold the extrapolated totals, while
+ * instruction and access counters cover the whole program (detailed
+ * + functional). Incompatible with fault injection and tracing.
+ */
+SimResult runSampled(const SimConfig &config, const Launch &launch,
+                     const SampleSpec &spec,
+                     const Watchdog *watchdog = nullptr,
+                     SampledInfo *infoOut = nullptr);
+
+/** |est - ref| / ref over the two results' IPC (the SMARTS accuracy
+ *  figure); @p reference must be an exact run. */
+double ipcRelError(const SimResult &estimate,
+                   const SimResult &reference);
+
+/** True when @p metrics came from a sampled (estimated) run — the
+ *  marker the golden gate keys its rejection on. */
+bool metricsAreEstimate(const MetricsRegistry &metrics);
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_SAMPLED_H

@@ -1,8 +1,7 @@
 #include "core/simulator.h"
 
 #include "common/log.h"
-#include "gpu/cta_scheduler.h"
-#include "gpu/gpu_core.h"
+#include "core/snapshot.h"
 #include "isa/disassembler.h"
 
 namespace bow {
@@ -17,95 +16,13 @@ SimResult
 Simulator::run(const Launch &launch, FaultInjector *injector,
                const Watchdog *watchdog, TraceSink *tracer) const
 {
-    SimResult out;
-    out.arch = archName(config_.arch);
-    out.windowSize = config_.windowSize;
-
-    const Launch *toRun = &launch;
-    Launch tagged;
-    if (config_.arch == Architecture::BOW_WR_OPT) {
-        tagged = launch;
-        if (tagged.warpKernels.empty()) {
-            out.tags = tagWritebacks(tagged.kernel,
-                                     config_.windowSize);
-        } else {
-            for (Kernel &k : tagged.warpKernels) {
-                const TagStats s = tagWritebacks(k,
-                                                 config_.windowSize);
-                out.tags.rfOnly += s.rfOnly;
-                out.tags.bocOnly += s.bocOnly;
-                out.tags.bocAndRf += s.bocAndRf;
-            }
-        }
-        toRun = &tagged;
-    }
-
-    if (config_.numSms <= 1) {
-        // Legacy single-SM path, preserved bit-for-bit (the golden
-        // gate and the GpuCore numSms=1 parity test both pin it).
-        SmCore core(config_, *toRun, injector, watchdog, tracer);
-        out.stats = core.run();
-        out.finalRegs = core.finalRegs();
-        out.finalMem = core.memory();
-        if (injector)
-            out.fault = injector->report();
-        core.exportMetrics(out.metrics);
-        out.metrics.setCounter("gpu.num_sms", 1);
-        out.metrics.setCounter("gpu.cycles", out.stats.cycles);
-        out.metrics.setCounter("gpu.instructions",
-                               out.stats.instructions);
-        out.metrics.setValue("gpu.ipc", out.stats.ipc());
-        out.metrics.setCounter("gpu.peak_resident_warps",
-                               out.stats.peakResident);
-        out.metrics.setCounter("gpu.occupancy_cap",
-                               occupancyCap(config_, *toRun));
-        const auto ctas = partitionCtas(*toRun);
-        out.ctaPlacements.assign(ctas.size(), 0);
-        out.metrics.setCounter("gpu.cta.launched", ctas.size());
-        out.metrics.setCounter("gpu.cta.warps_per_cta",
-                               toRun->warpsPerCta);
-        out.metrics.setHist(
-            "gpu.cta.per_sm",
-            {static_cast<std::uint64_t>(ctas.size())});
-        out.energy = computeEnergy(out.stats, energyParams_,
-                                   config_.faultProtection);
-        exportEnergyMetrics(out.energy, out.metrics, "sm0.energy");
-    } else {
-        // GPU path: numSms SmCores behind the CTA scheduler and the
-        // shared banked L2 (src/gpu/). Fault injection routes per-SM
-        // sites to the targeted SmCore and device sites (l2/cta) to
-        // the GpuCore's DeviceFaultInjector; tracing stays a
-        // single-SM instrument.
-        if (tracer)
-            fatal("Simulator: event tracing supports --num-sms 1 only");
-
-        GpuCore gpu(config_, *toRun, watchdog, injector);
-        out.stats = gpu.run();
-        out.finalRegs = gpu.finalRegs();
-        out.finalMem = gpu.memory();
-        out.ctaPlacements = gpu.ctaPlacements();
-        if (injector) {
-            out.fault = gpu.deviceFaultReport()
-                ? *gpu.deviceFaultReport()
-                : injector->report();
-        }
-        gpu.exportMetrics(out.metrics);
-        out.energy = computeEnergy(out.stats, energyParams_,
-                                   config_.faultProtection);
-        for (unsigned s = 0; s < gpu.numSms(); ++s) {
-            exportEnergyMetrics(
-                computeEnergy(gpu.smStats(s), energyParams_,
-                              config_.faultProtection),
-                out.metrics, strf("sm", s, ".energy"));
-        }
-    }
-
-    // GPU-level snapshot entries shared by both paths.
-    exportEnergyMetrics(out.energy, out.metrics, "gpu.energy");
-    out.metrics.setCounter("gpu.tags.rf_only", out.tags.rfOnly);
-    out.metrics.setCounter("gpu.tags.boc_only", out.tags.bocOnly);
-    out.metrics.setCounter("gpu.tags.boc_and_rf", out.tags.bocAndRf);
-    return out;
+    // The stepwise session (core/snapshot.h) is the one
+    // implementation of a run: compiler tagging, the legacy
+    // single-SM path, the GpuCore path and the full result assembly
+    // all live there, shared with snapshot resume and sampled mode.
+    SimSession session(config_, launch, injector, watchdog, tracer);
+    session.runToCompletion();
+    return session.result();
 }
 
 void

@@ -43,6 +43,11 @@ struct SimResult
      *  of docs/OBSERVABILITY.md (every RunStats/energy/tag figure
      *  plus the per-component StatGroups). */
     MetricsRegistry metrics;
+    /** True for SMARTS-style sampled runs (core/sampled.h): cycles
+     *  and IPC are extrapolated estimates, not exact simulation.
+     *  Estimated results are refused by the result store and the
+     *  golden regression gate. */
+    bool estimate = false;
 };
 
 /**

@@ -1,0 +1,430 @@
+#include "core/snapshot.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/json.h"
+#include "common/json_util.h"
+#include "common/log.h"
+#include "core/result_cache.h"
+#include "core/run_manifest.h"
+#include "gpu/cta_scheduler.h"
+#include "gpu/gpu_core.h"
+#include "service/sim_codec.h"
+#include "workloads/builder.h"
+
+namespace bow {
+
+const char *const kSnapshotFormat = "bowsim-snapshot-v1";
+
+namespace {
+
+/**
+ * Snapshot codec generation, folded into snapshotSchemaHash(). The
+ * schema hash only sees object *keys*; the positional tuple layouts
+ * (collector slots, completions, ExecEffects, cache ways) are
+ * invisible to it — bump this literal whenever one of those tuple
+ * shapes changes.
+ */
+constexpr const char *kSnapshotCodecVersion = "bowsim-snapshot-codec-v1";
+
+/** Recursively collect "a.b.c" key paths (objects only), the same
+ *  shape probe service/sim_codec.cc uses for simSchemaHash(). */
+void
+collectKeyPaths(const JsonValue &v, const std::string &prefix,
+                std::vector<std::string> &paths)
+{
+    if (v.kind() != JsonValue::Kind::Object)
+        return;
+    for (const auto &[key, val] : v.members()) {
+        const std::string path =
+            prefix.empty() ? key : prefix + "." + key;
+        paths.push_back(path);
+        collectKeyPaths(val, path, paths);
+    }
+}
+
+/** Tiny two-warp launch used to probe the snapshot encode shape. */
+Launch
+probeLaunch()
+{
+    KernelBuilder b("snapshot-schema-probe");
+    b.movImm(0, 1);
+    b.exit();
+    Launch l;
+    l.kernel = b.build();
+    l.numWarps = 2;
+    l.warpsPerCta = 1;
+    return l;
+}
+
+} // namespace
+
+std::uint64_t
+snapshotSchemaHash()
+{
+    // The shape of the serialization, computed once: every key path
+    // a freshly constructed core encodes, across the collector
+    // architectures (their state trees differ: BOCs vs shared slots
+    // vs RFCs) and across the single-/multi-SM shapes, folded with
+    // the sim_codec schema (the embedded SimConfig rides on it).
+    static const std::uint64_t hash = [] {
+        std::vector<std::string> paths;
+        paths.emplace_back(kSnapshotCodecVersion);
+        const Launch probe = probeLaunch();
+        for (const Architecture arch :
+             {Architecture::Baseline, Architecture::BOW_WR_OPT,
+              Architecture::RFC}) {
+            SimConfig c;
+            c.arch = arch;
+            const SmCore core(c, probe);
+            collectKeyPaths(core.saveState(),
+                            strf("sm_arch", static_cast<int>(arch)),
+                            paths);
+        }
+        {
+            SimConfig c;
+            c.numSms = 2;
+            c.hostThreads = 1;
+            const GpuCore gpu(c, probe);
+            collectKeyPaths(gpu.saveState(), "gpu", paths);
+        }
+        std::uint64_t h = 0xCBF29CE484222325ull;
+        for (const std::string &p : paths) {
+            for (const char ch : p) {
+                h ^= static_cast<unsigned char>(ch);
+                h *= 0x100000001B3ull;
+            }
+            h ^= '\n';
+            h *= 0x100000001B3ull;
+        }
+        h ^= simSchemaHash();
+        h *= 0x100000001B3ull;
+        return h;
+    }();
+    return hash;
+}
+
+std::string
+snapshotBinaryVersion()
+{
+    std::string v = RunManifest::buildVersion();
+    if (const char *salt = std::getenv("BOWSIM_STORE_VERSION_SALT")) {
+        v += '+';
+        v += salt;
+    }
+    return v;
+}
+
+SimSession::SimSession(const SimConfig &config, const Launch &launch,
+                       FaultInjector *injector,
+                       const Watchdog *watchdog, TraceSink *tracer)
+    : config_(config),
+      launch_(launch),
+      launchHash_(launchContentHash(launch)),
+      injector_(injector),
+      tracer_(tracer)
+{
+    config_.validate();
+
+    // Mirror Simulator::run's compiler stage: BOW-WR launches are
+    // tagged on the owned copy (the hash above is of the ORIGINAL
+    // launch, so snapshots match what the caller will supply on
+    // resume, before tagging).
+    if (config_.arch == Architecture::BOW_WR_OPT) {
+        if (launch_.warpKernels.empty()) {
+            tags_ = tagWritebacks(launch_.kernel, config_.windowSize);
+        } else {
+            for (Kernel &k : launch_.warpKernels) {
+                const TagStats s = tagWritebacks(k,
+                                                 config_.windowSize);
+                tags_.rfOnly += s.rfOnly;
+                tags_.bocOnly += s.bocOnly;
+                tags_.bocAndRf += s.bocAndRf;
+            }
+        }
+    }
+
+    if (config_.numSms <= 1) {
+        core_ = std::make_unique<SmCore>(config_, launch_, injector,
+                                         watchdog, tracer);
+    } else {
+        if (tracer)
+            fatal("Simulator: event tracing supports --num-sms 1 only");
+        gpu_ = std::make_unique<GpuCore>(config_, launch_, watchdog,
+                                         injector);
+    }
+}
+
+SimSession::~SimSession() = default;
+
+bool
+SimSession::stepCycle()
+{
+    if (core_) {
+        if (core_->finished())
+            return false;
+        core_->step();
+        // Same idle fast-forward decision SmCore::run makes: when the
+        // cycle just simulated was provably inert, nextWakeCycle()
+        // points past now() and the gap is skipped; otherwise it
+        // returns now() and this is a no-op.
+        if (!core_->finished()) {
+            const Cycle target = core_->nextWakeCycle();
+            if (target != kNoCycle && target > core_->now())
+                core_->fastForwardTo(target);
+        }
+        return true;
+    }
+    return gpu_->stepCycle();
+}
+
+void
+SimSession::runToCompletion()
+{
+    while (stepCycle()) {
+    }
+}
+
+bool
+SimSession::finished() const
+{
+    return core_ ? core_->finished() : gpu_->finished();
+}
+
+Cycle
+SimSession::now() const
+{
+    return core_ ? core_->now() : gpu_->gcycle();
+}
+
+std::uint64_t
+SimSession::liveInstructions() const
+{
+    return core_ ? core_->liveStats().instructions
+                 : gpu_->liveInstructions();
+}
+
+SimResult
+SimSession::result()
+{
+    if (resultTaken_)
+        panic("SimSession::result: already taken");
+    resultTaken_ = true;
+
+    const EnergyParams energyParams;
+    SimResult out;
+    out.arch = archName(config_.arch);
+    out.windowSize = config_.windowSize;
+    out.tags = tags_;
+
+    if (core_) {
+        // Legacy single-SM path: identical export sequence to
+        // Simulator::run (the differential suite pins byte equality).
+        out.stats = core_->finalize();
+        out.finalRegs = core_->finalRegs();
+        out.finalMem = core_->memory();
+        if (injector_)
+            out.fault = injector_->report();
+        core_->exportMetrics(out.metrics);
+        out.metrics.setCounter("gpu.num_sms", 1);
+        out.metrics.setCounter("gpu.cycles", out.stats.cycles);
+        out.metrics.setCounter("gpu.instructions",
+                               out.stats.instructions);
+        out.metrics.setValue("gpu.ipc", out.stats.ipc());
+        out.metrics.setCounter("gpu.peak_resident_warps",
+                               out.stats.peakResident);
+        out.metrics.setCounter("gpu.occupancy_cap",
+                               occupancyCap(config_, launch_));
+        const auto ctas = partitionCtas(launch_);
+        out.ctaPlacements.assign(ctas.size(), 0);
+        out.metrics.setCounter("gpu.cta.launched", ctas.size());
+        out.metrics.setCounter("gpu.cta.warps_per_cta",
+                               launch_.warpsPerCta);
+        out.metrics.setHist(
+            "gpu.cta.per_sm",
+            {static_cast<std::uint64_t>(ctas.size())});
+        out.energy = computeEnergy(out.stats, energyParams,
+                                   config_.faultProtection);
+        exportEnergyMetrics(out.energy, out.metrics, "sm0.energy");
+    } else {
+        out.stats = gpu_->finishRun();
+        out.finalRegs = gpu_->finalRegs();
+        out.finalMem = gpu_->memory();
+        out.ctaPlacements = gpu_->ctaPlacements();
+        if (injector_) {
+            out.fault = gpu_->deviceFaultReport()
+                ? *gpu_->deviceFaultReport()
+                : injector_->report();
+        }
+        gpu_->exportMetrics(out.metrics);
+        out.energy = computeEnergy(out.stats, energyParams,
+                                   config_.faultProtection);
+        for (unsigned s = 0; s < gpu_->numSms(); ++s) {
+            exportEnergyMetrics(
+                computeEnergy(gpu_->smStats(s), energyParams,
+                              config_.faultProtection),
+                out.metrics, strf("sm", s, ".energy"));
+        }
+    }
+
+    exportEnergyMetrics(out.energy, out.metrics, "gpu.energy");
+    out.metrics.setCounter("gpu.tags.rf_only", out.tags.rfOnly);
+    out.metrics.setCounter("gpu.tags.boc_only", out.tags.bocOnly);
+    out.metrics.setCounter("gpu.tags.boc_and_rf", out.tags.bocAndRf);
+    return out;
+}
+
+void
+SimSession::saveSnapshot(const std::string &path) const
+{
+    if (injector_)
+        fatal("snapshot: cannot snapshot a run with a fault injector "
+              "armed (injected state is not serialized)");
+    if (tracer_)
+        fatal("snapshot: cannot snapshot a traced run");
+
+    JsonValue entry = JsonValue::object();
+    entry.set("format", kSnapshotFormat);
+    entry.set("schema", snapshotSchemaHash());
+    entry.set("binary", snapshotBinaryVersion());
+    entry.set("launch", launchHash_);
+    entry.set("cycle", now());
+    entry.set("config", simConfigToJson(config_));
+    entry.set("state", core_ ? core_->saveState()
+                             : gpu_->saveState());
+
+    // Atomic publish, result-store style: unique tmp name in the
+    // target directory, then rename. A crash mid-write leaves only a
+    // tmp file; a concurrent writer's rename is a same-bits replace.
+    static std::atomic<unsigned> seq{0};
+    const std::string tmp =
+        strf(path, ".tmp.", ::getpid(), ".",
+             seq.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream outFile(tmp,
+                              std::ios::binary | std::ios::trunc);
+        outFile << entry.dump();
+        outFile.flush();
+        if (!outFile) {
+            std::remove(tmp.c_str());
+            fatal(strf("snapshot: cannot write '", tmp, "'"));
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal(strf("snapshot: cannot rename '", tmp, "' to '", path,
+                   "'"));
+    }
+}
+
+std::unique_ptr<SimSession>
+SimSession::resumeFromSnapshot(const std::string &path,
+                               const Launch &launch,
+                               const Watchdog *watchdog)
+{
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            fatal(strf("snapshot: cannot read '", path, "'"));
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+
+    JsonValue entry;
+    try {
+        entry = parseJson(text);
+    } catch (const FatalError &e) {
+        fatal(strf("snapshot '", path, "' is torn or truncated: ",
+                   e.what()));
+    }
+
+    const JsonValue *format = entry.find("format");
+    if (format == nullptr ||
+        format->kind() != JsonValue::Kind::String ||
+        format->asString() != kSnapshotFormat) {
+        fatal(strf("snapshot '", path,
+                   "': not a bowsim snapshot file (format marker "
+                   "missing or unknown)"));
+    }
+    if (jsonio::getUint(entry, "schema") != snapshotSchemaHash()) {
+        fatal(strf("snapshot '", path,
+                   "' was written with an incompatible snapshot "
+                   "codec (schema hash mismatch); delete it and "
+                   "re-run from scratch"));
+    }
+    const std::string binary =
+        jsonio::member(entry, "binary").asString();
+    if (binary != snapshotBinaryVersion()) {
+        fatal(strf("snapshot '", path,
+                   "' was written by a different bowsim build ('",
+                   binary, "' vs '", snapshotBinaryVersion(),
+                   "'); snapshots do not cross binary versions"));
+    }
+    if (jsonio::getUint(entry, "launch") != launchContentHash(launch)) {
+        fatal(strf("snapshot '", path,
+                   "' belongs to a different launch (program content "
+                   "hash mismatch)"));
+    }
+
+    // The embedded configuration is authoritative: rebuild the exact
+    // machine the snapshot was taken on.
+    const SimConfig config =
+        simConfigFromJson(jsonio::member(entry, "config"));
+    auto session = std::unique_ptr<SimSession>(new SimSession(
+        config, launch, nullptr, watchdog, nullptr));
+
+    const JsonValue &state = jsonio::member(entry, "state");
+    if (session->core_)
+        session->core_->loadState(state);
+    else
+        session->gpu_->loadState(state);
+
+    const Cycle cycle = jsonio::getUint(entry, "cycle");
+    if (session->now() != cycle) {
+        fatal(strf("snapshot '", path, "': header cycle ", cycle,
+                   " disagrees with restored state cycle ",
+                   session->now()));
+    }
+    return session;
+}
+
+void
+SimSession::setIssueFrozen(bool frozen)
+{
+    if (core_)
+        core_->setIssueFrozen(frozen);
+    else
+        gpu_->setIssueFrozen(frozen);
+}
+
+bool
+SimSession::pipelineQuiet() const
+{
+    return core_ ? core_->pipelineQuiet() : gpu_->pipelineQuiet();
+}
+
+void
+SimSession::flushOperandState()
+{
+    if (core_)
+        core_->flushOperandState();
+    else
+        gpu_->flushOperandState();
+}
+
+std::uint64_t
+SimSession::functionalAdvance(std::uint64_t budget)
+{
+    return core_ ? core_->functionalAdvance(budget)
+                 : gpu_->functionalAdvance(budget);
+}
+
+} // namespace bow

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Full-state simulation snapshots. A SimSession is the stepwise form
+ * of Simulator::run — it owns the (possibly compiler-tagged) launch
+ * copy and the SmCore or GpuCore behind it, advances one global
+ * cycle at a time, and can serialize the complete
+ * microarchitectural state at any cycle boundary into a
+ * schema-hashed JSON file (written atomically, tmp+rename, like the
+ * result store's entries). Restoring the file into a fresh process
+ * resumes the simulation bit-exactly: the differential suite
+ * (tests/test_snapshot.cc) pins byte-identical SimResults and metric
+ * registries against the uninterrupted run.
+ *
+ * Snapshot headers carry four validity checks, each refused with a
+ * clear FatalError (never a panic):
+ *  - format literal ("bowsim-snapshot-v1"),
+ *  - snapshot schema hash (key paths of a default-shaped encode, so
+ *    codec changes invalidate old files automatically),
+ *  - binary version (RunManifest::buildVersion, salted like the
+ *    result store via BOWSIM_STORE_VERSION_SALT),
+ *  - launch content hash (the program the snapshot belongs to).
+ *
+ * The embedded SimConfig is authoritative on resume: the caller
+ * supplies only the launch, and the session is rebuilt from the
+ * stored configuration.
+ */
+
+#ifndef BOWSIM_CORE_SNAPSHOT_H
+#define BOWSIM_CORE_SNAPSHOT_H
+
+#include <memory>
+#include <string>
+
+#include "core/simulator.h"
+
+namespace bow {
+
+class GpuCore;
+class TraceSink;
+class Watchdog;
+
+/** On-disk snapshot format literal (header "format" member). */
+extern const char *const kSnapshotFormat;
+
+/**
+ * FNV-1a over the sorted key paths of default-shaped snapshot
+ * encodes (one per collector architecture, single- and multi-SM),
+ * folded with simSchemaHash(). Any snapshot codec change — here, in
+ * SmCore/GpuCore saveState, or in a component codec — changes the
+ * hash and invalidates existing files.
+ */
+std::uint64_t snapshotSchemaHash();
+
+/** Binary version string stamped into snapshot headers (identical
+ *  policy to the result store: build version + optional
+ *  BOWSIM_STORE_VERSION_SALT suffix). */
+std::string snapshotBinaryVersion();
+
+/**
+ * Stepwise simulation session: everything Simulator::run does, but
+ * resumable. Construction mirrors Simulator::run exactly (BOW_WR_OPT
+ * launches are copied and tagged; numSms <= 1 builds the legacy
+ * single-SM core, larger grids a GpuCore), so
+ * `SimSession s(...); s.runToCompletion(); s.result()` is
+ * bit-identical to Simulator::run — the golden gate pins this.
+ */
+class SimSession
+{
+  public:
+    /** See Simulator::run for the parameter contract. */
+    SimSession(const SimConfig &config, const Launch &launch,
+               FaultInjector *injector = nullptr,
+               const Watchdog *watchdog = nullptr,
+               TraceSink *tracer = nullptr);
+    ~SimSession();
+
+    SimSession(const SimSession &) = delete;
+    SimSession &operator=(const SimSession &) = delete;
+
+    /** Advance one global cycle; false once the launch has drained
+     *  (without consuming a cycle). */
+    bool stepCycle();
+
+    /** Step until finished. */
+    void runToCompletion();
+
+    bool finished() const;
+
+    /** Current global cycle. */
+    Cycle now() const;
+
+    /** Instructions retired so far (live; sampled mode reads this
+     *  between windows). */
+    std::uint64_t liveInstructions() const;
+
+    /**
+     * Seal the finished run and assemble the full SimResult —
+     * statistics, energy, tags, final registers/memory, fault
+     * report, CTA placements and the complete metrics registry —
+     * exactly as Simulator::run returns it. Call once, after the
+     * session finished.
+     */
+    SimResult result();
+
+    /**
+     * Serialize the complete simulation state to @p path (atomic
+     * tmp+rename). Only legal at a cycle boundary on a session with
+     * no fault injector or tracer attached; refuses (FatalError)
+     * otherwise.
+     */
+    void saveSnapshot(const std::string &path) const;
+
+    /**
+     * Rebuild a session from a snapshot file. @p launch must be the
+     * same launch the snapshot was taken from (content-hash
+     * checked); the SimConfig comes from the file. Torn/truncated
+     * files and schema/binary/launch mismatches raise FatalError
+     * with a clear message.
+     */
+    static std::unique_ptr<SimSession>
+    resumeFromSnapshot(const std::string &path, const Launch &launch,
+                       const Watchdog *watchdog = nullptr);
+
+    const SimConfig &config() const { return config_; }
+
+    // --- sampled-mode hooks (core/sampled.cc) ---
+    void setIssueFrozen(bool frozen);
+    bool pipelineQuiet() const;
+    void flushOperandState();
+    std::uint64_t functionalAdvance(std::uint64_t budget);
+
+  private:
+    SimConfig config_;
+    Launch launch_;            ///< owned copy (tagged for BOW_WR_OPT)
+    std::uint64_t launchHash_; ///< content hash of the ORIGINAL launch
+    TagStats tags_;
+    FaultInjector *injector_ = nullptr;
+    TraceSink *tracer_ = nullptr;
+    std::unique_ptr<SmCore> core_;  ///< numSms <= 1 (legacy path)
+    std::unique_ptr<GpuCore> gpu_;  ///< numSms > 1
+    bool resultTaken_ = false;
+};
+
+} // namespace bow
+
+#endif // BOWSIM_CORE_SNAPSHOT_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/json_util.h"
 #include "common/log.h"
 
 namespace bow {
@@ -116,6 +117,52 @@ CtaScheduler::place(std::vector<unsigned> &residentWarps)
             break;
     }
     return out;
+}
+
+JsonValue
+CtaScheduler::saveState() const
+{
+    JsonValue placements = JsonValue::array();
+    for (unsigned sm : placements_)
+        placements.push(JsonValue(std::uint64_t(sm)));
+    // The pending CTA records themselves are serialized too: a
+    // device-fault corruption of a pending record must survive a
+    // snapshot (corruptPending edits firstWarp in place).
+    JsonValue ctas = JsonValue::array();
+    for (const Cta &cta : ctas_) {
+        JsonValue o = JsonValue::array();
+        o.push(JsonValue(std::uint64_t(cta.firstWarp)));
+        o.push(JsonValue(std::uint64_t(cta.numWarps)));
+        ctas.push(std::move(o));
+    }
+    JsonValue out = JsonValue::object();
+    out.set("ctas", std::move(ctas));
+    out.set("placements", std::move(placements));
+    out.set("next", JsonValue(std::uint64_t(next_)));
+    out.set("rotor", JsonValue(std::uint64_t(rotor_)));
+    return out;
+}
+
+void
+CtaScheduler::loadState(const JsonValue &v)
+{
+    const JsonValue &ctas = jsonio::getArray(v, "ctas");
+    const JsonValue &placements = jsonio::getArray(v, "placements");
+    if (ctas.size() != ctas_.size() ||
+        placements.size() != placements_.size()) {
+        fatal("CtaScheduler::loadState: CTA count mismatch");
+    }
+    for (std::size_t i = 0; i < ctas_.size(); ++i) {
+        ctas_[i].firstWarp =
+            static_cast<WarpId>(ctas.at(i).at(0).asUint());
+        ctas_[i].numWarps =
+            static_cast<unsigned>(ctas.at(i).at(1).asUint());
+    }
+    for (std::size_t i = 0; i < placements_.size(); ++i)
+        placements_[i] =
+            static_cast<unsigned>(placements.at(i).asUint());
+    next_ = jsonio::getUint(v, "next");
+    rotor_ = static_cast<unsigned>(jsonio::getUint(v, "rotor"));
 }
 
 } // namespace bow

@@ -21,6 +21,8 @@
 
 namespace bow {
 
+class JsonValue;
+
 /** One cooperative thread array: a contiguous warp range. */
 struct Cta
 {
@@ -86,6 +88,12 @@ class CtaScheduler
      * @return whether the record was still pending (the flip landed).
      */
     bool corruptPending(unsigned cta, unsigned bit);
+
+    /** Serialize placement progress for a snapshot (the CTA partition
+     *  itself is derived from the launch and only validated). */
+    JsonValue saveState() const;
+    /** Overwrite placement progress from saveState() output. */
+    void loadState(const JsonValue &v);
 
   private:
     const SimConfig *config_;

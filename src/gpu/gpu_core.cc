@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/json.h"
+#include "common/json_util.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "core/host_threads.h"
@@ -110,11 +112,20 @@ GpuCore::run()
 {
     if (ran_)
         panic("GpuCore::run: already ran");
+    while (stepCycle()) {
+    }
+    return finishRun();
+}
+
+bool
+GpuCore::stepCycle()
+{
+    if (ran_)
+        panic("GpuCore::stepCycle after finishRun()");
 
     const std::vector<Cta> &ctas = sched_.ctas();
-    std::vector<unsigned> resident(config_.numSms, 0);
 
-    while (true) {
+    {
         // Device-site faults strike before this cycle's placement
         // decisions, so a cycle-0 CTA-record flip lands even under
         // the static round-robin policy (which places everything on
@@ -122,11 +133,15 @@ GpuCore::run()
         if (deviceFault_)
             deviceFault_->onCycle(gcycle_, mem_, l2_.get(), sched_);
 
-        if (!sched_.allPlaced()) {
+        // While issue is frozen (sampled-mode quiesce) placement
+        // pauses too: activating warps that cannot issue would only
+        // skew their GTO age.
+        if (!sched_.allPlaced() && !issueFrozen_) {
+            residentScratch_.assign(config_.numSms, 0);
             for (unsigned s = 0; s < config_.numSms; ++s)
-                resident[s] = sms_[s]->unfinishedAssigned();
+                residentScratch_[s] = sms_[s]->unfinishedAssigned();
             for (const CtaScheduler::Placement &p :
-                 sched_.place(resident)) {
+                 sched_.place(residentScratch_)) {
                 sms_[p.sm]->assignWarps(ctas[p.cta].firstWarp,
                                         ctas[p.cta].numWarps);
             }
@@ -136,7 +151,7 @@ GpuCore::run()
         for (unsigned s = 0; done && s < config_.numSms; ++s)
             done = sms_[s]->finished();
         if (done)
-            break;
+            return false;
 
         // Idle fast-forward across the whole GPU: only when every
         // unfinished SM is provably inert may the global clock jump,
@@ -223,6 +238,34 @@ GpuCore::run()
         }
         ++gcycle_;
     }
+    return true;
+}
+
+bool
+GpuCore::finished() const
+{
+    if (!sched_.allPlaced())
+        return false;
+    for (const auto &sm : sms_) {
+        if (!sm->finished())
+            return false;
+    }
+    return true;
+}
+
+RunStats
+GpuCore::finishRun()
+{
+    if (ran_)
+        panic("GpuCore::finishRun: already ran");
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        if (!sms_[s]->finished())
+            panic("GpuCore::finishRun before the grid drained");
+    }
+    if (!sched_.allPlaced())
+        panic("GpuCore::finishRun with unplaced CTAs");
+
+    const std::vector<Cta> &ctas = sched_.ctas();
 
     perSm_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s)
@@ -334,6 +377,120 @@ GpuCore::exportMetrics(MetricsRegistry &out) const
 
     if (l2_)
         l2_->stats().exportTo(out, "gpu.l2");
+}
+
+JsonValue
+GpuCore::saveState() const
+{
+    if (ran_)
+        fatal("GpuCore::saveState: run already finalized");
+    JsonValue out = JsonValue::object();
+    out.set("gcycle", JsonValue(gcycle_));
+    out.set("mem", memoryStoreToJson(mem_));
+    out.set("l2", l2_ ? l2_->saveState() : JsonValue());
+    out.set("sched", sched_.saveState());
+    JsonValue sms = JsonValue::array();
+    for (const auto &sm : sms_)
+        sms.push(sm->saveState());
+    out.set("sms", std::move(sms));
+    return out;
+}
+
+void
+GpuCore::loadState(const JsonValue &v)
+{
+    if (deviceFault_) {
+        fatal("GpuCore::loadState: cannot resume with a device "
+              "fault plan armed");
+    }
+    if (gcycle_ != 0)
+        panic("GpuCore::loadState: core already stepped");
+    gcycle_ = jsonio::getUint(v, "gcycle");
+    mem_ = memoryStoreFromJson(jsonio::member(v, "mem"));
+    const JsonValue &l2 = jsonio::member(v, "l2");
+    if (l2_) {
+        if (l2.isNull())
+            fatal("GpuCore::loadState: snapshot lacks shared-L2 "
+                  "state");
+        l2_->loadState(l2);
+    } else if (!l2.isNull()) {
+        fatal("GpuCore::loadState: snapshot carries shared-L2 state "
+              "but this device has none");
+    }
+    sched_.loadState(jsonio::member(v, "sched"));
+    const JsonValue &sms = jsonio::getArray(v, "sms");
+    if (sms.size() != sms_.size())
+        fatal("GpuCore::loadState: SM count mismatch");
+    for (std::size_t s = 0; s < sms_.size(); ++s)
+        sms_[s]->loadState(sms.at(s));
+}
+
+void
+GpuCore::setIssueFrozen(bool frozen)
+{
+    issueFrozen_ = frozen;
+    for (auto &sm : sms_)
+        sm->setIssueFrozen(frozen);
+}
+
+bool
+GpuCore::pipelineQuiet() const
+{
+    for (const auto &sm : sms_) {
+        if (!sm->pipelineQuiet())
+            return false;
+    }
+    return true;
+}
+
+void
+GpuCore::flushOperandState()
+{
+    for (auto &sm : sms_)
+        sm->flushOperandState();
+}
+
+std::uint64_t
+GpuCore::functionalAdvance(std::uint64_t budget)
+{
+    // Per-SM slice per round: coarse interleaving is fine (the
+    // functional semantics are warp-order insensitive for the
+    // workload suite), but admission must run between rounds so a
+    // draining grid keeps filling SMs like the timing loop would.
+    constexpr std::uint64_t kSlice = 1024;
+    const std::vector<Cta> &ctas = sched_.ctas();
+    std::uint64_t done = 0;
+    bool progress = true;
+    while (done < budget && progress) {
+        progress = false;
+        if (!sched_.allPlaced()) {
+            residentScratch_.assign(config_.numSms, 0);
+            for (unsigned s = 0; s < config_.numSms; ++s)
+                residentScratch_[s] = sms_[s]->unfinishedAssigned();
+            for (const CtaScheduler::Placement &p :
+                 sched_.place(residentScratch_)) {
+                sms_[p.sm]->assignWarps(ctas[p.cta].firstWarp,
+                                        ctas[p.cta].numWarps);
+            }
+        }
+        for (unsigned s = 0;
+             s < config_.numSms && done < budget; ++s) {
+            const std::uint64_t got = sms_[s]->functionalAdvance(
+                std::min<std::uint64_t>(kSlice, budget - done));
+            done += got;
+            progress = progress || got > 0;
+        }
+    }
+    return done;
+}
+
+std::uint64_t
+GpuCore::liveInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sm : sms_)
+        total += sm->liveStats().instructions;
+    return total;
 }
 
 } // namespace bow

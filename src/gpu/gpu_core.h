@@ -70,8 +70,61 @@ class GpuCore
 
     /** Simulate the whole grid to completion; returns the aggregate
      *  statistics (cycles = global makespan, counts summed across
-     *  SMs, peakResident = max over SMs). */
+     *  SMs, peakResident = max over SMs). Equivalent to
+     *  `while (stepCycle()) {}` followed by finishRun(). */
     RunStats run();
+
+    /**
+     * Advance one global cycle: probe the device-fault injector,
+     * place pending CTAs, fast-forward across provably inert SMs,
+     * then step every unfinished SM in the fixed SM-index order
+     * (parallel or serial) and drain staged memory. Returns false —
+     * without consuming a cycle — once the whole grid has drained.
+     */
+    bool stepCycle();
+
+    /** Seal a finished grid: per-SM finalize, aggregate statistics,
+     *  merge final registers. Panics unless every SM has finished. */
+    RunStats finishRun();
+
+    /** Global GPU cycle (lockstep across all SMs). */
+    Cycle gcycle() const { return gcycle_; }
+
+    /** Every CTA placed and every SM drained. */
+    bool finished() const;
+
+    // --- snapshots (core/snapshot.h) ---
+
+    /** Serialize the complete device state at a global cycle
+     *  boundary: shared memory, shared L2, CTA-scheduler progress
+     *  and every SM's full microarchitectural state. */
+    JsonValue saveState() const;
+    /** Restore from saveState() output; only legal on a freshly
+     *  constructed core with no fault injector armed. */
+    void loadState(const JsonValue &v);
+
+    // --- sampled mode (core/sampled.h) ---
+
+    /** Freeze/unfreeze instruction issue on every SM; while frozen,
+     *  CTA placement also pauses so no new warps activate. */
+    void setIssueFrozen(bool frozen);
+
+    /** Every SM's pipeline has drained (see SmCore::pipelineQuiet). */
+    bool pipelineQuiet() const;
+
+    /** Flush BOC/RFC contents on every SM (SmCore's contract). */
+    void flushOperandState();
+
+    /**
+     * Functionally execute up to @p budget instructions across all
+     * SMs in ascending SM-index order (the same cross-SM memory
+     * arbitration the timing loop uses), admitting pending CTAs as
+     * warps retire. Clock does not advance.
+     */
+    std::uint64_t functionalAdvance(std::uint64_t budget);
+
+    /** Instructions completed so far across all SMs (live). */
+    std::uint64_t liveInstructions() const;
 
     unsigned numSms() const { return config_.numSms; }
 
@@ -157,6 +210,10 @@ class GpuCore
     /** Unfinished SM indices of the current cycle, ascending
      *  (per-cycle scratch; the hot loop never allocates). */
     std::vector<unsigned> activeScratch_;
+    /** Per-SM resident-warp counts (per-cycle scratch). */
+    std::vector<unsigned> residentScratch_;
+    /** Sampled-mode quiesce: pause CTA placement and warp issue. */
+    bool issueFrozen_ = false;
 };
 
 } // namespace bow

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/json_util.h"
 #include "common/log.h"
 
 namespace bow {
@@ -74,6 +75,46 @@ SharedL2::access(std::uint32_t addr, bool isStore, Cycle now)
     bank.inflight.push_back(admitted + config_->dramLatency);
     return static_cast<unsigned>(admitted - now) + config_->l2Latency +
         config_->dramLatency;
+}
+
+JsonValue
+SharedL2::saveState() const
+{
+    JsonValue banks = JsonValue::array();
+    for (const Bank &bank : banks_) {
+        JsonValue inflight = JsonValue::array();
+        for (Cycle c : bank.inflight)
+            inflight.push(JsonValue(c));
+        JsonValue o = JsonValue::object();
+        o.set("tags", cacheTagsToJson(bank.tags));
+        o.set("next_free", JsonValue(bank.nextFree));
+        o.set("inflight", std::move(inflight));
+        banks.push(std::move(o));
+    }
+    JsonValue out = JsonValue::object();
+    out.set("banks", std::move(banks));
+    out.set("stats", stats_.saveJson());
+    return out;
+}
+
+void
+SharedL2::loadState(const JsonValue &v)
+{
+    const JsonValue &banks = jsonio::getArray(v, "banks");
+    if (banks.size() != banks_.size())
+        fatal("SharedL2::loadState: bank count mismatch");
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        const JsonValue &o = banks.at(b);
+        Bank &bank = banks_[b];
+        cacheTagsFromJson(bank.tags, jsonio::member(o, "tags"));
+        bank.nextFree = jsonio::getUint(o, "next_free");
+        bank.inflight.clear();
+        for (const JsonValue &c :
+             jsonio::getArray(o, "inflight").items()) {
+            bank.inflight.push_back(c.asUint());
+        }
+    }
+    stats_.loadJson(jsonio::member(v, "stats"));
 }
 
 } // namespace bow

@@ -57,6 +57,11 @@ class SharedL2
 
     const StatGroup &stats() const { return stats_; }
 
+    /** Serialize bank tags/ports/MSHRs + stats for a snapshot. */
+    JsonValue saveState() const;
+    /** Overwrite contents from saveState() output. */
+    void loadState(const JsonValue &v);
+
   private:
     /** One slice: tags + a serial service port + its MSHR file. */
     struct Bank

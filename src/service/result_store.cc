@@ -145,6 +145,12 @@ ResultStore::load(std::uint64_t key)
 void
 ResultStore::publish(std::uint64_t key, const SimResult &result)
 {
+    // Sampled (estimated) results never enter the store: a later
+    // exact run with the same key must not be served an
+    // approximation (core/sampled.h).
+    if (result.estimate)
+        return;
+
     JsonValue entry = JsonValue::object();
     entry.set("store", kStoreFormat);
     entry.set("schema", version_.schemaHash);

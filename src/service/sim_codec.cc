@@ -445,6 +445,7 @@ simResultToJson(const SimResult &r)
     o.set("final_regs", regsToJson(r.finalRegs));
     o.set("final_mem", memToJson(r.finalMem));
     o.set("metrics", r.metrics.toJson());
+    o.set("estimate", r.estimate);
     return o;
 }
 
@@ -469,6 +470,7 @@ simResultFromJson(const JsonValue &o)
     r.finalRegs = regsFromJson(o, "final_regs");
     r.finalMem = memFromJson(o, "final_mem");
     r.metrics = MetricsRegistry::fromJson(member(o, "metrics"));
+    r.estimate = getBool(o, "estimate");
     return r;
 }
 

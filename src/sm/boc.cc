@@ -1,5 +1,6 @@
 #include "sm/boc.h"
 
+#include "common/json_util.h"
 #include "common/log.h"
 
 namespace bow {
@@ -289,6 +290,48 @@ Boc::holdsDirty(RegId reg) const
             return true;
     }
     return false;
+}
+
+JsonValue
+Boc::saveState() const
+{
+    JsonValue entries = JsonValue::array();
+    for (const BocEntry &e : entries_) {
+        JsonValue a = JsonValue::array();
+        a.push(JsonValue(std::uint64_t(e.reg)));
+        a.push(JsonValue(e.valid));
+        a.push(JsonValue(e.fetching));
+        a.push(JsonValue(e.dirty));
+        a.push(JsonValue(e.noRfWb));
+        a.push(JsonValue(e.lastUse));
+        a.push(JsonValue(e.allocSeq));
+        entries.push(std::move(a));
+    }
+    JsonValue out = JsonValue::object();
+    out.set("entries", std::move(entries));
+    out.set("head_seq", JsonValue(headSeq_));
+    return out;
+}
+
+void
+Boc::loadState(const JsonValue &v)
+{
+    const JsonValue &entries = jsonio::getArray(v, "entries");
+    if (entries.size() > capacity_)
+        fatal("Boc::loadState: more entries than capacity");
+    entries_.clear();
+    for (const JsonValue &a : entries.items()) {
+        BocEntry e;
+        e.reg = static_cast<RegId>(a.at(0).asUint());
+        e.valid = a.at(1).asBool();
+        e.fetching = a.at(2).asBool();
+        e.dirty = a.at(3).asBool();
+        e.noRfWb = a.at(4).asBool();
+        e.lastUse = a.at(5).asUint();
+        e.allocSeq = a.at(6).asUint();
+        entries_.push_back(e);
+    }
+    headSeq_ = jsonio::getUint(v, "head_seq");
 }
 
 } // namespace bow

@@ -22,6 +22,8 @@
 
 namespace bow {
 
+class JsonValue;
+
 /** One register entry inside a BOC. */
 struct BocEntry
 {
@@ -170,6 +172,14 @@ class Boc
      * architectural state with no backing copy to recover from.
      */
     bool holdsDirty(RegId reg) const;
+
+    /** Serialize entry slots + window head for a snapshot. Slot
+     *  positions are preserved — allocation scans and FIFO victim
+     *  selection depend on them. */
+    JsonValue saveState() const;
+    /** Overwrite contents from saveState() output; the shape
+     *  parameters (arch/window/capacity) stay construction-time. */
+    void loadState(const JsonValue &v);
 
   private:
     BocEntry *find(RegId reg);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/json_util.h"
 #include "common/log.h"
 #include "gpu/shared_l2.h"
 
@@ -205,6 +206,91 @@ MemoryTiming::access(MemSpace space, std::uint32_t addr, bool isStore,
     stats_.counter("l2_misses").inc();
     return config_->l1Latency + config_->l2Latency +
         config_->dramLatency;
+}
+
+JsonValue
+cacheTagsToJson(const CacheTagArray &t)
+{
+    JsonValue tags = JsonValue::array();
+    for (std::uint64_t v : t.tags)
+        tags.push(JsonValue(v));
+    JsonValue lru = JsonValue::array();
+    for (std::uint64_t v : t.lru)
+        lru.push(JsonValue(v));
+    JsonValue out = JsonValue::object();
+    out.set("sets", JsonValue(std::uint64_t(t.sets)));
+    out.set("ways", JsonValue(std::uint64_t(t.ways)));
+    out.set("tags", std::move(tags));
+    out.set("lru", std::move(lru));
+    out.set("tick", JsonValue(t.tick));
+    return out;
+}
+
+void
+cacheTagsFromJson(CacheTagArray &t, const JsonValue &v)
+{
+    if (jsonio::getUint(v, "sets") != t.sets ||
+        jsonio::getUint(v, "ways") != t.ways) {
+        fatal("CacheTagArray restore: geometry mismatch");
+    }
+    const JsonValue &tags = jsonio::getArray(v, "tags");
+    const JsonValue &lru = jsonio::getArray(v, "lru");
+    if (tags.size() != t.tags.size() || lru.size() != t.lru.size())
+        fatal("CacheTagArray restore: array size mismatch");
+    for (std::size_t i = 0; i < t.tags.size(); ++i)
+        t.tags[i] = tags.at(i).asUint();
+    for (std::size_t i = 0; i < t.lru.size(); ++i)
+        t.lru[i] = lru.at(i).asUint();
+    t.tick = jsonio::getUint(v, "tick");
+}
+
+JsonValue
+memoryStoreToJson(const MemoryStore &m)
+{
+    JsonValue out = JsonValue::array();
+    for (const MemoryStore::Entry &e : m.exportEntries()) {
+        JsonValue triple = JsonValue::array();
+        triple.push(
+            JsonValue(std::uint64_t(static_cast<unsigned>(e.space))));
+        triple.push(JsonValue(std::uint64_t(e.addr)));
+        triple.push(JsonValue(std::uint64_t(e.value)));
+        out.push(std::move(triple));
+    }
+    return out;
+}
+
+MemoryStore
+memoryStoreFromJson(const JsonValue &v)
+{
+    MemoryStore m;
+    for (const JsonValue &triple : v.items()) {
+        const unsigned space =
+            static_cast<unsigned>(triple.at(0).asUint());
+        if (space > static_cast<unsigned>(MemSpace::Const))
+            fatal("MemoryStore restore: bad address space");
+        m.store(static_cast<MemSpace>(space),
+                static_cast<std::uint32_t>(triple.at(1).asUint()),
+                static_cast<Value>(triple.at(2).asUint()));
+    }
+    return m;
+}
+
+JsonValue
+MemoryTiming::saveState() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("l1", cacheTagsToJson(l1_));
+    out.set("l2", cacheTagsToJson(l2_));
+    out.set("stats", stats_.saveJson());
+    return out;
+}
+
+void
+MemoryTiming::loadState(const JsonValue &v)
+{
+    cacheTagsFromJson(l1_, jsonio::member(v, "l1"));
+    cacheTagsFromJson(l2_, jsonio::member(v, "l2"));
+    stats_.loadJson(jsonio::member(v, "stats"));
 }
 
 } // namespace bow

@@ -104,6 +104,15 @@ struct CacheTagArray
     bool probeLine(std::uint32_t addr) const;
 };
 
+/** Snapshot codec for one tag array (geometry checked on restore). */
+JsonValue cacheTagsToJson(const CacheTagArray &t);
+void cacheTagsFromJson(CacheTagArray &t, const JsonValue &v);
+
+/** Snapshot codec for the functional memory image: [space, addr,
+ *  value] triples in exportEntries() order, replayed through store(). */
+JsonValue memoryStoreToJson(const MemoryStore &m);
+MemoryStore memoryStoreFromJson(const JsonValue &v);
+
 class SharedL2;
 
 /**
@@ -142,6 +151,12 @@ class MemoryTiming
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
+
+    /** Serialize L1/L2 tags + stats for a snapshot (the attached
+     *  SharedL2, if any, serializes with its owning GpuCore). */
+    JsonValue saveState() const;
+    /** Overwrite timing state from saveState() output. */
+    void loadState(const JsonValue &v);
 
   private:
     const SimConfig *config_;

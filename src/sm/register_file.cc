@@ -1,8 +1,67 @@
 #include "sm/register_file.h"
 
+#include "common/json_util.h"
 #include "common/log.h"
 
 namespace bow {
+
+namespace {
+
+JsonValue
+rfRequestToJson(const RfRequest &r)
+{
+    JsonValue a = JsonValue::array();
+    a.push(JsonValue(r.isWrite));
+    a.push(JsonValue(std::uint64_t(r.warp)));
+    a.push(JsonValue(std::uint64_t(r.reg)));
+    a.push(JsonValue(std::uint64_t(r.collector)));
+    a.push(JsonValue(r.releaseOnComplete));
+    a.push(JsonValue(r.rfcHit));
+    return a;
+}
+
+RfRequest
+rfRequestFromJson(const JsonValue &a)
+{
+    RfRequest r;
+    r.isWrite = a.at(0).asBool();
+    r.warp = static_cast<WarpId>(a.at(1).asUint());
+    r.reg = static_cast<RegId>(a.at(2).asUint());
+    r.collector = static_cast<std::uint32_t>(a.at(3).asUint());
+    r.releaseOnComplete = a.at(4).asBool();
+    r.rfcHit = a.at(5).asBool();
+    return r;
+}
+
+JsonValue
+queuesToJson(const std::vector<std::deque<RfRequest>> &queues)
+{
+    JsonValue out = JsonValue::array();
+    for (const auto &q : queues) {
+        JsonValue bank = JsonValue::array();
+        for (const RfRequest &r : q)
+            bank.push(rfRequestToJson(r));
+        out.push(std::move(bank));
+    }
+    return out;
+}
+
+void
+queuesFromJson(std::vector<std::deque<RfRequest>> &queues,
+               const JsonValue &v, std::size_t &pending)
+{
+    if (v.size() != queues.size())
+        fatal("RegisterFile::loadState: bank count mismatch");
+    for (std::size_t b = 0; b < queues.size(); ++b) {
+        queues[b].clear();
+        for (const JsonValue &r : v.at(b).items()) {
+            queues[b].push_back(rfRequestFromJson(r));
+            ++pending;
+        }
+    }
+}
+
+} // namespace
 
 RegisterFile::RegisterFile(const SimConfig &config)
     : config_(&config),
@@ -57,6 +116,26 @@ RegisterFile::pushWrite(WarpId warp, RegId reg, bool releaseOnComplete)
     writeQueues_[bank].push_back(req);
     ++pending_;
     writeRequests_->inc();
+}
+
+JsonValue
+RegisterFile::saveState() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("reads", queuesToJson(readQueues_));
+    out.set("writes", queuesToJson(writeQueues_));
+    out.set("stats", stats_.saveJson());
+    return out;
+}
+
+void
+RegisterFile::loadState(const JsonValue &v)
+{
+    pending_ = 0;
+    queuesFromJson(readQueues_, jsonio::getArray(v, "reads"), pending_);
+    queuesFromJson(writeQueues_, jsonio::getArray(v, "writes"),
+                   pending_);
+    stats_.loadJson(jsonio::member(v, "stats"));
 }
 
 std::vector<RfRequest>

@@ -81,6 +81,11 @@ class RegisterFile
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Serialize queued requests + stats for a snapshot. */
+    JsonValue saveState() const;
+    /** Overwrite queue contents from saveState() output. */
+    void loadState(const JsonValue &v);
+
   private:
     const SimConfig *config_;
     std::vector<std::deque<RfRequest>> readQueues_;

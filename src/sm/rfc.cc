@@ -1,5 +1,6 @@
 #include "sm/rfc.h"
 
+#include "common/json_util.h"
 #include "common/log.h"
 
 namespace bow {
@@ -74,6 +75,40 @@ Rfc::flushDirty()
     }
     entries_.clear();
     return out;
+}
+
+JsonValue
+Rfc::saveState() const
+{
+    JsonValue entries = JsonValue::array();
+    for (const Entry &e : entries_) {
+        JsonValue a = JsonValue::array();
+        a.push(JsonValue(std::uint64_t(e.reg)));
+        a.push(JsonValue(e.dirty));
+        a.push(JsonValue(e.allocTick));
+        entries.push(std::move(a));
+    }
+    JsonValue out = JsonValue::object();
+    out.set("entries", std::move(entries));
+    out.set("tick", JsonValue(tick_));
+    return out;
+}
+
+void
+Rfc::loadState(const JsonValue &v)
+{
+    const JsonValue &entries = jsonio::getArray(v, "entries");
+    if (entries.size() > capacity_)
+        fatal("Rfc::loadState: more entries than capacity");
+    entries_.clear();
+    for (const JsonValue &a : entries.items()) {
+        Entry e;
+        e.reg = static_cast<RegId>(a.at(0).asUint());
+        e.dirty = a.at(1).asBool();
+        e.allocTick = a.at(2).asUint();
+        entries_.push_back(e);
+    }
+    tick_ = jsonio::getUint(v, "tick");
 }
 
 } // namespace bow

@@ -18,6 +18,8 @@
 
 namespace bow {
 
+class JsonValue;
+
 /** One warp's register-file cache. */
 class Rfc
 {
@@ -44,6 +46,11 @@ class Rfc
      *  RFC is write-allocate, so resident entries are dirty until
      *  flushed). Fault-injection exposure query. */
     bool holdsDirty(RegId reg) const;
+
+    /** Serialize entries + allocation clock for a snapshot. */
+    JsonValue saveState() const;
+    /** Overwrite contents from saveState() output. */
+    void loadState(const JsonValue &v);
 
   private:
     struct Entry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/json_util.h"
 #include "common/log.h"
 
 namespace bow {
@@ -81,6 +82,36 @@ WarpSchedulers::noteIssue(unsigned sid, WarpId w)
         panic("WarpSchedulers::noteIssue: bad scheduler id");
     greedy_[sid] = w;
     ++rotor_[sid];
+}
+
+JsonValue
+WarpSchedulers::saveState() const
+{
+    JsonValue greedy = JsonValue::array();
+    for (WarpId w : greedy_)
+        greedy.push(JsonValue(std::uint64_t(w)));
+    JsonValue rotor = JsonValue::array();
+    for (unsigned r : rotor_)
+        rotor.push(JsonValue(std::uint64_t(r)));
+    JsonValue out = JsonValue::object();
+    out.set("greedy", std::move(greedy));
+    out.set("rotor", std::move(rotor));
+    return out;
+}
+
+void
+WarpSchedulers::loadState(const JsonValue &v)
+{
+    const JsonValue &greedy = jsonio::getArray(v, "greedy");
+    const JsonValue &rotor = jsonio::getArray(v, "rotor");
+    if (greedy.size() != greedy_.size() ||
+        rotor.size() != rotor_.size()) {
+        fatal("WarpSchedulers::loadState: scheduler count mismatch");
+    }
+    for (std::size_t i = 0; i < greedy_.size(); ++i)
+        greedy_[i] = static_cast<WarpId>(greedy.at(i).asUint());
+    for (std::size_t i = 0; i < rotor_.size(); ++i)
+        rotor_[i] = static_cast<unsigned>(rotor.at(i).asUint());
 }
 
 } // namespace bow

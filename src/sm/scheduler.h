@@ -21,6 +21,8 @@
 
 namespace bow {
 
+class JsonValue;
+
 /** All of an SM's warp schedulers. */
 class WarpSchedulers
 {
@@ -42,6 +44,11 @@ class WarpSchedulers
 
     /** Record that @p w issued (updates GTO greediness / LRR rotor). */
     void noteIssue(unsigned sid, WarpId w);
+
+    /** Serialize per-scheduler favourites/rotors for a snapshot. */
+    JsonValue saveState() const;
+    /** Overwrite scheduler state from saveState() output. */
+    void loadState(const JsonValue &v);
 
   private:
     const SimConfig *config_;

@@ -1,5 +1,6 @@
 #include "sm/scoreboard.h"
 
+#include "common/json_util.h"
 #include "common/log.h"
 
 namespace bow {
@@ -132,6 +133,68 @@ Scoreboard::addStalls(const std::array<std::uint64_t, 3> &delta,
     rawStalls_->inc(delta[0] * times);
     wawStalls_->inc(delta[1] * times);
     warStalls_->inc(delta[2] * times);
+}
+
+JsonValue
+Scoreboard::saveState() const
+{
+    // Sparse per-warp reservation image: [reg, count] pairs; warps
+    // with no reservations serialize as null.
+    JsonValue warps = JsonValue::array();
+    for (const PerWarp &pw : warps_) {
+        JsonValue writes = JsonValue::array();
+        JsonValue reads = JsonValue::array();
+        for (unsigned r = 0; r < 256; ++r) {
+            if (pw.pendingWrites[r]) {
+                JsonValue p = JsonValue::array();
+                p.push(JsonValue(std::uint64_t(r)));
+                p.push(JsonValue(std::uint64_t(pw.pendingWrites[r])));
+                writes.push(std::move(p));
+            }
+            if (pw.pendingReads[r]) {
+                JsonValue p = JsonValue::array();
+                p.push(JsonValue(std::uint64_t(r)));
+                p.push(JsonValue(std::uint64_t(pw.pendingReads[r])));
+                reads.push(std::move(p));
+            }
+        }
+        if (writes.size() == 0 && reads.size() == 0) {
+            warps.push(JsonValue());
+            continue;
+        }
+        JsonValue o = JsonValue::object();
+        o.set("w", std::move(writes));
+        o.set("r", std::move(reads));
+        warps.push(std::move(o));
+    }
+    JsonValue out = JsonValue::object();
+    out.set("warps", std::move(warps));
+    out.set("stats", stats_.saveJson());
+    return out;
+}
+
+void
+Scoreboard::loadState(const JsonValue &v)
+{
+    const JsonValue &warps = jsonio::getArray(v, "warps");
+    if (warps.size() != warps_.size())
+        fatal("Scoreboard::loadState: warp count mismatch");
+    for (std::size_t w = 0; w < warps_.size(); ++w) {
+        PerWarp &pw = warps_[w];
+        pw = PerWarp{};
+        const JsonValue &o = warps.at(w);
+        if (o.isNull())
+            continue;
+        for (const JsonValue &p : jsonio::getArray(o, "w").items()) {
+            pw.pendingWrites[p.at(0).asUint() & 0xFF] =
+                static_cast<std::uint8_t>(p.at(1).asUint());
+        }
+        for (const JsonValue &p : jsonio::getArray(o, "r").items()) {
+            pw.pendingReads[p.at(0).asUint() & 0xFF] =
+                static_cast<std::uint8_t>(p.at(1).asUint());
+        }
+    }
+    stats_.loadJson(jsonio::member(v, "stats"));
 }
 
 bool

@@ -81,6 +81,11 @@ class Scoreboard
      *  observability layer exports it as `sm0.scoreboard.*`. */
     const StatGroup &stats() const { return stats_; }
 
+    /** Serialize reservations + stats for a snapshot. */
+    JsonValue saveState() const;
+    /** Overwrite this scoreboard's state from saveState() output. */
+    void loadState(const JsonValue &v);
+
   private:
     struct PerWarp
     {

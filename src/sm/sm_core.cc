@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/json.h"
+#include "common/json_util.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/trace_events.h"
@@ -730,7 +732,8 @@ SmCore::cycle()
     processCompletions();
     collectPhase();
     dispatchPhase();
-    issuePhase();
+    if (!issueFrozen_)
+        issuePhase();
     samplePhase(1);
     if (ffEnabled_) {
         lastCycleInert_ = !cycleDidWork_;
@@ -1091,6 +1094,606 @@ SmCore::exportMetrics(MetricsRegistry &out) const
     memTiming_.stats().exportTo(out, p + "mem");
     units_.stats().exportTo(out, p + "exec");
     scoreboard_.stats().exportTo(out, p + "scoreboard");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization
+// ---------------------------------------------------------------------------
+
+JsonValue
+runStatsToJson(const RunStats &s)
+{
+    JsonValue v = JsonValue::object();
+    v.set("cycles", JsonValue(s.cycles));
+    v.set("instructions", JsonValue(s.instructions));
+    v.set("oc_cycles_mem", JsonValue(s.ocCyclesMem));
+    v.set("oc_cycles_nonmem", JsonValue(s.ocCyclesNonMem));
+    v.set("total_cycles_mem", JsonValue(s.totalCyclesMem));
+    v.set("total_cycles_nonmem", JsonValue(s.totalCyclesNonMem));
+    v.set("insts_mem", JsonValue(s.instsMem));
+    v.set("insts_nonmem", JsonValue(s.instsNonMem));
+    v.set("rf_reads", JsonValue(s.rfReads));
+    v.set("rf_writes", JsonValue(s.rfWrites));
+    v.set("boc_forwards", JsonValue(s.bocForwards));
+    v.set("boc_deposits", JsonValue(s.bocDeposits));
+    v.set("boc_result_writes", JsonValue(s.bocResultWrites));
+    v.set("rfc_reads", JsonValue(s.rfcReads));
+    v.set("rfc_writes", JsonValue(s.rfcWrites));
+    v.set("consolidated_writes", JsonValue(s.consolidatedWrites));
+    v.set("transient_drops", JsonValue(s.transientDrops));
+    v.set("safety_writes", JsonValue(s.safetyWrites));
+    v.set("dest_rf_only", JsonValue(s.destRfOnly));
+    v.set("dest_boc_only", JsonValue(s.destBocOnly));
+    v.set("dest_boc_and_rf", JsonValue(s.destBocAndRf));
+    JsonValue srcHist = JsonValue::array();
+    for (std::uint64_t n : s.srcOperandHist)
+        srcHist.push(JsonValue(n));
+    v.set("src_operand_hist", std::move(srcHist));
+    JsonValue occHist = JsonValue::array();
+    for (std::uint64_t n : s.bocOccupancyHist)
+        occHist.push(JsonValue(n));
+    v.set("boc_occupancy_hist", std::move(occHist));
+    v.set("bank_read_conflicts", JsonValue(s.bankReadConflicts));
+    v.set("bank_write_conflicts", JsonValue(s.bankWriteConflicts));
+    v.set("l1_hits", JsonValue(s.l1Hits));
+    v.set("l1_misses", JsonValue(s.l1Misses));
+    v.set("peak_resident", JsonValue(s.peakResident));
+    v.set("fastforward_cycles", JsonValue(s.fastforwardCycles));
+    return v;
+}
+
+RunStats
+runStatsFromJson(const JsonValue &v)
+{
+    RunStats s;
+    s.cycles = jsonio::getUint(v, "cycles");
+    s.instructions = jsonio::getUint(v, "instructions");
+    s.ocCyclesMem = jsonio::getUint(v, "oc_cycles_mem");
+    s.ocCyclesNonMem = jsonio::getUint(v, "oc_cycles_nonmem");
+    s.totalCyclesMem = jsonio::getUint(v, "total_cycles_mem");
+    s.totalCyclesNonMem = jsonio::getUint(v, "total_cycles_nonmem");
+    s.instsMem = jsonio::getUint(v, "insts_mem");
+    s.instsNonMem = jsonio::getUint(v, "insts_nonmem");
+    s.rfReads = jsonio::getUint(v, "rf_reads");
+    s.rfWrites = jsonio::getUint(v, "rf_writes");
+    s.bocForwards = jsonio::getUint(v, "boc_forwards");
+    s.bocDeposits = jsonio::getUint(v, "boc_deposits");
+    s.bocResultWrites = jsonio::getUint(v, "boc_result_writes");
+    s.rfcReads = jsonio::getUint(v, "rfc_reads");
+    s.rfcWrites = jsonio::getUint(v, "rfc_writes");
+    s.consolidatedWrites = jsonio::getUint(v, "consolidated_writes");
+    s.transientDrops = jsonio::getUint(v, "transient_drops");
+    s.safetyWrites = jsonio::getUint(v, "safety_writes");
+    s.destRfOnly = jsonio::getUint(v, "dest_rf_only");
+    s.destBocOnly = jsonio::getUint(v, "dest_boc_only");
+    s.destBocAndRf = jsonio::getUint(v, "dest_boc_and_rf");
+    s.srcOperandHist.clear();
+    for (const JsonValue &n :
+         jsonio::getArray(v, "src_operand_hist").items()) {
+        s.srcOperandHist.push_back(n.asUint());
+    }
+    s.bocOccupancyHist.clear();
+    for (const JsonValue &n :
+         jsonio::getArray(v, "boc_occupancy_hist").items()) {
+        s.bocOccupancyHist.push_back(n.asUint());
+    }
+    s.bankReadConflicts = jsonio::getUint(v, "bank_read_conflicts");
+    s.bankWriteConflicts = jsonio::getUint(v, "bank_write_conflicts");
+    s.l1Hits = jsonio::getUint(v, "l1_hits");
+    s.l1Misses = jsonio::getUint(v, "l1_misses");
+    s.peakResident = jsonio::getUint(v, "peak_resident");
+    s.fastforwardCycles = jsonio::getUint(v, "fastforward_cycles");
+    return s;
+}
+
+namespace {
+
+/** Trim a register file to its last non-zero value; restore
+ *  zero-fills the tail. Keeps snapshots compact without losing
+ *  information. */
+JsonValue
+regsToJson(const RegFileState &regs)
+{
+    std::size_t n = regs.size();
+    while (n > 0 && regs[n - 1] == 0)
+        --n;
+    JsonValue out = JsonValue::array();
+    for (std::size_t i = 0; i < n; ++i)
+        out.push(JsonValue(std::uint64_t(regs[i])));
+    return out;
+}
+
+void
+regsFromJson(RegFileState &regs, const JsonValue &v)
+{
+    if (v.size() > regs.size())
+        fatal("SmCore snapshot: register array too long");
+    regs.fill(0);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        regs[i] = static_cast<Value>(v.at(i).asUint());
+}
+
+/** Positional: [warp, idx, seq, issue, toRequest[], awaiting[],
+ *  outstanding, memIndex, readyCycle]. Only inUse slots are stored. */
+JsonValue
+slotToJson(const InstSlot &s)
+{
+    JsonValue regs = JsonValue::array();
+    for (RegId r : s.toRequest)
+        regs.push(JsonValue(std::uint64_t(r)));
+    JsonValue waits = JsonValue::array();
+    for (RegId r : s.awaiting)
+        waits.push(JsonValue(std::uint64_t(r)));
+    JsonValue out = JsonValue::array();
+    out.push(JsonValue(std::uint64_t(s.warp)));
+    out.push(JsonValue(std::uint64_t(s.idx)));
+    out.push(JsonValue(s.seq));
+    out.push(JsonValue(s.issueCycle));
+    out.push(std::move(regs));
+    out.push(std::move(waits));
+    out.push(JsonValue(std::uint64_t(s.outstanding)));
+    out.push(JsonValue(std::uint64_t(s.memIndex)));
+    out.push(JsonValue(s.readyCycle));
+    return out;
+}
+
+InstSlot
+slotFromJson(const JsonValue &v)
+{
+    if (v.size() != 9)
+        fatal("SmCore snapshot: malformed collector-slot record");
+    InstSlot s;
+    s.inUse = true;
+    s.warp = static_cast<WarpId>(v.at(0).asUint());
+    s.idx = static_cast<InstIdx>(v.at(1).asUint());
+    s.seq = v.at(2).asUint();
+    s.issueCycle = v.at(3).asUint();
+    for (const JsonValue &r : v.at(4).items())
+        s.toRequest.push_back(static_cast<RegId>(r.asUint()));
+    for (const JsonValue &r : v.at(5).items())
+        s.awaiting.push_back(static_cast<RegId>(r.asUint()));
+    s.outstanding = static_cast<std::uint8_t>(v.at(6).asUint());
+    s.memIndex = static_cast<std::uint32_t>(v.at(7).asUint());
+    s.readyCycle = v.at(8).asUint();
+    return s;
+}
+
+/** Positional: [guardPassed, wrote, result, branchTaken, nextPc,
+ *  warpDone, isMem, space, addr]. */
+JsonValue
+effectToJson(const ExecEffect &fx)
+{
+    JsonValue out = JsonValue::array();
+    out.push(JsonValue(fx.guardPassed));
+    out.push(JsonValue(fx.wrote));
+    out.push(JsonValue(std::uint64_t(fx.result)));
+    out.push(JsonValue(fx.branchTaken));
+    out.push(JsonValue(std::uint64_t(fx.nextPc)));
+    out.push(JsonValue(fx.warpDone));
+    out.push(JsonValue(fx.isMem));
+    out.push(JsonValue(std::uint64_t(fx.space)));
+    out.push(JsonValue(std::uint64_t(fx.addr)));
+    return out;
+}
+
+ExecEffect
+effectFromJson(const JsonValue &v)
+{
+    if (v.size() != 9)
+        fatal("SmCore snapshot: malformed exec-effect record");
+    ExecEffect fx;
+    fx.guardPassed = v.at(0).asBool();
+    fx.wrote = v.at(1).asBool();
+    fx.result = static_cast<Value>(v.at(2).asUint());
+    fx.branchTaken = v.at(3).asBool();
+    fx.nextPc = static_cast<InstIdx>(v.at(4).asUint());
+    fx.warpDone = v.at(5).asBool();
+    fx.isMem = v.at(6).asBool();
+    fx.space = static_cast<MemSpace>(v.at(7).asUint());
+    fx.addr = static_cast<std::uint32_t>(v.at(8).asUint());
+    return fx;
+}
+
+} // namespace
+
+JsonValue
+SmCore::saveState() const
+{
+    if (ran_)
+        fatal("SmCore::saveState: run already finalized");
+    if (!stagedMem_.empty())
+        panic("SmCore::saveState: staged memory FIFO not drained");
+
+    JsonValue out = JsonValue::object();
+    out.set("now", JsonValue(now_));
+    out.set("busy_cycles", JsonValue(busyCycles_));
+    out.set("outstanding_loads",
+            JsonValue(std::uint64_t(outstandingLoads_)));
+    out.set("resident_warps",
+            JsonValue(std::uint64_t(residentWarps_)));
+    JsonValue assigned = JsonValue::array();
+    for (WarpId w : assigned_)
+        assigned.push(JsonValue(std::uint64_t(w)));
+    out.set("assigned", std::move(assigned));
+    out.set("next_to_activate",
+            JsonValue(std::uint64_t(nextToActivate_)));
+    out.set("ctas_assigned", JsonValue(std::uint64_t(ctasAssigned_)));
+    out.set("finished_warps",
+            JsonValue(std::uint64_t(finishedWarps_)));
+    out.set("last_cycle_inert", JsonValue(lastCycleInert_));
+    JsonValue inert = JsonValue::array();
+    for (std::uint64_t d : inertStallDelta_)
+        inert.push(JsonValue(d));
+    out.set("inert_stall_delta", std::move(inert));
+    out.set("stats", runStatsToJson(stats_));
+
+    // Warps: null = untouched (Inactive), a bare state for Finished
+    // (registers live in final_regs), the full context otherwise.
+    JsonValue warps = JsonValue::array();
+    for (const Warp &w : warps_) {
+        if (w.state == WarpState::Inactive) {
+            warps.push(JsonValue());
+            continue;
+        }
+        JsonValue rec = JsonValue::object();
+        rec.set("state",
+                JsonValue(std::uint64_t(static_cast<int>(w.state))));
+        if (w.state != WarpState::Finished) {
+            rec.set("pc", JsonValue(std::uint64_t(w.pc)));
+            rec.set("regs", regsToJson(w.regs));
+            rec.set("waiting_branch", JsonValue(w.waitingBranch));
+            rec.set("next_seq", JsonValue(w.nextSeq));
+            rec.set("in_flight", JsonValue(std::uint64_t(w.inFlight)));
+            rec.set("last_issue", JsonValue(w.lastIssue));
+            rec.set("activated", JsonValue(w.activated));
+            rec.set("mem_issued",
+                    JsonValue(std::uint64_t(w.memIssued)));
+            rec.set("mem_dispatched",
+                    JsonValue(std::uint64_t(w.memDispatched)));
+            rec.set("pending_loads",
+                    JsonValue(std::uint64_t(w.pendingLoads)));
+        }
+        warps.push(std::move(rec));
+    }
+    out.set("warps", std::move(warps));
+
+    JsonValue finals = JsonValue::array();
+    for (WarpId w = 0; w < warps_.size(); ++w) {
+        if (warps_[w].state != WarpState::Finished)
+            continue;
+        JsonValue pair = JsonValue::array();
+        pair.push(JsonValue(std::uint64_t(w)));
+        pair.push(regsToJson(finalRegs_[w]));
+        finals.push(std::move(pair));
+    }
+    out.set("final_regs", std::move(finals));
+
+    out.set("scoreboard", scoreboard_.saveState());
+    out.set("rf", rf_.saveState());
+    out.set("mem_timing", memTiming_.saveState());
+    out.set("exec_stats", units_.stats().saveJson());
+    out.set("schedulers", schedulers_.saveState());
+
+    if (usesBoc()) {
+        // Per-warp windows: slots stored sparsely as [position,
+        // record] pairs (allocation scans and FIFO victim choice
+        // depend on position), BOCs as engaged-or-null.
+        JsonValue slots = JsonValue::array();
+        JsonValue bocs = JsonValue::array();
+        JsonValue fetches = JsonValue::array();
+        for (WarpId w = 0; w < warps_.size(); ++w) {
+            if (!bocs_[w]) {
+                slots.push(JsonValue());
+                bocs.push(JsonValue());
+            } else {
+                JsonValue used = JsonValue::array();
+                for (std::size_t i = 0; i < warpSlots_[w].size();
+                     ++i) {
+                    if (!warpSlots_[w][i].inUse)
+                        continue;
+                    JsonValue pair = JsonValue::array();
+                    pair.push(JsonValue(std::uint64_t(i)));
+                    pair.push(slotToJson(warpSlots_[w][i]));
+                    used.push(std::move(pair));
+                }
+                slots.push(std::move(used));
+                bocs.push(bocs_[w]->saveState());
+            }
+            fetches.push(
+                JsonValue(std::uint64_t(bocFetchOutstanding_[w])));
+        }
+        out.set("warp_slots", std::move(slots));
+        out.set("bocs", std::move(bocs));
+        out.set("boc_fetch_outstanding", std::move(fetches));
+    } else {
+        JsonValue slots = JsonValue::array();
+        for (const InstSlot &s : sharedSlots_)
+            slots.push(s.inUse ? slotToJson(s) : JsonValue());
+        out.set("shared_slots", std::move(slots));
+        if (config_.arch == Architecture::RFC) {
+            JsonValue rfcs = JsonValue::array();
+            for (const Rfc &r : rfcs_)
+                rfcs.push(r.saveState());
+            out.set("rfcs", std::move(rfcs));
+        }
+    }
+
+    // Pending completions, in the wheel's exact structural order
+    // (ring FIFO first, then overflow): [when, inRing, warp, idx,
+    // seq, issue, ready, dispatch, effect].
+    JsonValue comps = JsonValue::array();
+    completions_.forEachEvent(
+        now_, [&](Cycle when, const Completion &c, bool inRing) {
+            JsonValue rec = JsonValue::array();
+            rec.push(JsonValue(when));
+            rec.push(JsonValue(inRing));
+            rec.push(JsonValue(std::uint64_t(c.warp)));
+            rec.push(JsonValue(std::uint64_t(c.idx)));
+            rec.push(JsonValue(c.seq));
+            rec.push(JsonValue(c.issueCycle));
+            rec.push(JsonValue(c.readyCycle));
+            rec.push(JsonValue(c.dispatchCycle));
+            rec.push(effectToJson(c.fx));
+            comps.push(std::move(rec));
+        });
+    out.set("completions", std::move(comps));
+
+    // Functional memory only when this SM owns it; a GpuCore's
+    // shared store is serialized once, by the GpuCore.
+    if (mem_ == &ownMem_)
+        out.set("own_mem", memoryStoreToJson(ownMem_));
+    return out;
+}
+
+void
+SmCore::loadState(const JsonValue &v)
+{
+    if (injector_ || tracer_) {
+        fatal("SmCore::loadState: cannot resume with a fault "
+              "injector or tracer attached");
+    }
+    if (now_ != 0 || busyCycles_ != 0)
+        panic("SmCore::loadState: core already stepped");
+    if (ran_)
+        panic("SmCore::loadState after finalize()");
+
+    now_ = jsonio::getUint(v, "now");
+    busyCycles_ = jsonio::getUint(v, "busy_cycles");
+    outstandingLoads_ = static_cast<unsigned>(
+        jsonio::getUint(v, "outstanding_loads"));
+    residentWarps_ = static_cast<unsigned>(
+        jsonio::getUint(v, "resident_warps"));
+    assigned_.clear();
+    for (const JsonValue &w : jsonio::getArray(v, "assigned").items())
+        assigned_.push_back(static_cast<WarpId>(w.asUint()));
+    nextToActivate_ = jsonio::getUint(v, "next_to_activate");
+    ctasAssigned_ = static_cast<unsigned>(
+        jsonio::getUint(v, "ctas_assigned"));
+    finishedWarps_ = static_cast<unsigned>(
+        jsonio::getUint(v, "finished_warps"));
+    lastCycleInert_ = jsonio::getBool(v, "last_cycle_inert");
+    const JsonValue &inert = jsonio::getArray(v, "inert_stall_delta");
+    if (inert.size() != inertStallDelta_.size())
+        fatal("SmCore snapshot: malformed inert_stall_delta");
+    for (std::size_t i = 0; i < inertStallDelta_.size(); ++i)
+        inertStallDelta_[i] = inert.at(i).asUint();
+    stats_ = runStatsFromJson(jsonio::member(v, "stats"));
+
+    const JsonValue &warps = jsonio::getArray(v, "warps");
+    if (warps.size() != warps_.size())
+        fatal("SmCore snapshot: warp count mismatch");
+    for (WarpId w = 0; w < warps_.size(); ++w) {
+        const JsonValue &rec = warps.at(w);
+        Warp &warp = warps_[w];
+        warp = Warp{};
+        warp.id = w;
+        if (rec.isNull())
+            continue;
+        warp.state = static_cast<WarpState>(
+            jsonio::getUint(rec, "state"));
+        if (warp.state == WarpState::Finished)
+            continue;
+        warp.pc = static_cast<InstIdx>(jsonio::getUint(rec, "pc"));
+        regsFromJson(warp.regs, jsonio::getArray(rec, "regs"));
+        warp.waitingBranch = jsonio::getBool(rec, "waiting_branch");
+        warp.nextSeq = jsonio::getUint(rec, "next_seq");
+        warp.inFlight = static_cast<unsigned>(
+            jsonio::getUint(rec, "in_flight"));
+        warp.lastIssue = jsonio::getUint(rec, "last_issue");
+        warp.activated = jsonio::getUint(rec, "activated");
+        warp.memIssued = static_cast<std::uint32_t>(
+            jsonio::getUint(rec, "mem_issued"));
+        warp.memDispatched = static_cast<std::uint32_t>(
+            jsonio::getUint(rec, "mem_dispatched"));
+        warp.pendingLoads = static_cast<std::uint32_t>(
+            jsonio::getUint(rec, "pending_loads"));
+    }
+
+    for (RegFileState &regs : finalRegs_)
+        regs.fill(0);
+    for (const JsonValue &pair :
+         jsonio::getArray(v, "final_regs").items()) {
+        const WarpId w = static_cast<WarpId>(pair.at(0).asUint());
+        if (w >= finalRegs_.size())
+            fatal("SmCore snapshot: final_regs warp out of range");
+        regsFromJson(finalRegs_[w], pair.at(1));
+    }
+
+    scoreboard_.loadState(jsonio::member(v, "scoreboard"));
+    rf_.loadState(jsonio::member(v, "rf"));
+    memTiming_.loadState(jsonio::member(v, "mem_timing"));
+    units_.stats().loadJson(jsonio::member(v, "exec_stats"));
+    schedulers_.loadState(jsonio::member(v, "schedulers"));
+
+    if (usesBoc()) {
+        const JsonValue &slots = jsonio::getArray(v, "warp_slots");
+        const JsonValue &bocs = jsonio::getArray(v, "bocs");
+        const JsonValue &fetches =
+            jsonio::getArray(v, "boc_fetch_outstanding");
+        if (slots.size() != warps_.size() ||
+            bocs.size() != warps_.size() ||
+            fetches.size() != warps_.size()) {
+            fatal("SmCore snapshot: warp window count mismatch");
+        }
+        for (WarpId w = 0; w < warps_.size(); ++w) {
+            bocFetchOutstanding_[w] = static_cast<std::uint8_t>(
+                fetches.at(w).asUint());
+            if (bocs.at(w).isNull()) {
+                bocs_[w].reset();
+                warpSlots_[w].clear();
+                continue;
+            }
+            bocs_[w].emplace(config_.arch, config_.windowSize,
+                             config_.effectiveBocEntries(),
+                             config_.extendedWindow);
+            bocs_[w]->loadState(bocs.at(w));
+            warpSlots_[w].assign(config_.windowSize, InstSlot{});
+            for (const JsonValue &pair : slots.at(w).items()) {
+                const std::size_t pos = pair.at(0).asUint();
+                if (pos >= warpSlots_[w].size())
+                    fatal("SmCore snapshot: slot position out of "
+                          "range");
+                warpSlots_[w][pos] = slotFromJson(pair.at(1));
+            }
+        }
+    } else {
+        const JsonValue &slots = jsonio::getArray(v, "shared_slots");
+        if (slots.size() != sharedSlots_.size())
+            fatal("SmCore snapshot: collector count mismatch");
+        for (std::size_t i = 0; i < sharedSlots_.size(); ++i) {
+            sharedSlots_[i] = slots.at(i).isNull()
+                ? InstSlot{}
+                : slotFromJson(slots.at(i));
+        }
+        if (config_.arch == Architecture::RFC) {
+            const JsonValue &rfcs = jsonio::getArray(v, "rfcs");
+            if (rfcs.size() != rfcs_.size())
+                fatal("SmCore snapshot: RFC count mismatch");
+            for (std::size_t i = 0; i < rfcs_.size(); ++i)
+                rfcs_[i].loadState(rfcs.at(i));
+        }
+    }
+
+    for (const JsonValue &rec :
+         jsonio::getArray(v, "completions").items()) {
+        if (rec.size() != 9)
+            fatal("SmCore snapshot: malformed completion record");
+        Completion c;
+        const Cycle when = rec.at(0).asUint();
+        const bool inRing = rec.at(1).asBool();
+        c.warp = static_cast<WarpId>(rec.at(2).asUint());
+        c.idx = static_cast<InstIdx>(rec.at(3).asUint());
+        c.seq = rec.at(4).asUint();
+        c.issueCycle = rec.at(5).asUint();
+        c.readyCycle = rec.at(6).asUint();
+        c.dispatchCycle = rec.at(7).asUint();
+        c.fx = effectFromJson(rec.at(8));
+        completions_.restoreEvent(when, std::move(c), inRing);
+    }
+
+    if (mem_ == &ownMem_) {
+        ownMem_ =
+            memoryStoreFromJson(jsonio::member(v, "own_mem"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sampled mode (SMARTS-style) support
+// ---------------------------------------------------------------------------
+
+bool
+SmCore::pipelineQuiet() const
+{
+    if (!completions_.empty() || rf_.pending() != 0 ||
+        !stagedMem_.empty()) {
+        return false;
+    }
+    for (const Warp &warp : warps_) {
+        if (warp.inFlight)
+            return false;
+    }
+    return true;
+}
+
+void
+SmCore::flushOperandState()
+{
+    if (!pipelineQuiet())
+        panic("SmCore::flushOperandState: pipeline not quiet");
+    for (Warp &warp : warps_) {
+        if (warp.state != WarpState::Active)
+            continue;
+        if (usesBoc()) {
+            flushScratch_.clear();
+            bocs_[warp.id]->flushInto(flushScratch_);
+            for (const BocEviction &ev : flushScratch_)
+                handleEviction(warp.id, ev);
+            // A flushed window restarts empty, like a freshly
+            // activated warp's.
+            bocs_[warp.id].emplace(config_.arch, config_.windowSize,
+                                   config_.effectiveBocEntries(),
+                                   config_.extendedWindow);
+        } else if (config_.arch == Architecture::RFC) {
+            for (RegId r : rfcs_[warp.id].flushDirty())
+                rf_.pushWrite(warp.id, r, false);
+        }
+    }
+    // The flush queued RF writes: the SM is no longer provably inert.
+    lastCycleInert_ = false;
+}
+
+std::uint64_t
+SmCore::functionalAdvance(std::uint64_t budget)
+{
+    if (!pipelineQuiet())
+        panic("SmCore::functionalAdvance: pipeline not quiet");
+    // Round-robin in chunks so concurrent warps interleave roughly
+    // fairly; the functional oracle is warp-order insensitive for
+    // every workload the suite runs (verifyAgainstFunctional pins
+    // that), so the interleaving only shapes which warps reach the
+    // next detailed window first.
+    constexpr std::uint64_t kChunk = 32;
+    std::uint64_t done = 0;
+    bool anyRunnable = true;
+    while (done < budget && anyRunnable) {
+        anyRunnable = false;
+        for (WarpId w = 0; w < warps_.size() && done < budget; ++w) {
+            Warp &warp = warps_[w];
+            if (warp.state != WarpState::Active)
+                continue;
+            anyRunnable = true;
+            const Kernel &kernel = kernelOf(w);
+            for (std::uint64_t i = 0; i < kChunk && done < budget;
+                 ++i) {
+                const Instruction &inst = kernel.inst(warp.pc);
+                const ExecEffect fx = evaluate(
+                    kernel, warp.pc, warp.regs, w,
+                    static_cast<unsigned>(warps_.size()), *mem_);
+                if (fx.wrote)
+                    warp.regs[inst.dst] = fx.result;
+                ++stats_.instructions;
+                if (inst.isMemory())
+                    ++stats_.instsMem;
+                else
+                    ++stats_.instsNonMem;
+                // Warm the caches: tags and LRU advance, timing
+                // queues tick at a frozen clock.
+                if (inst.isMemory() && fx.guardPassed) {
+                    memTiming_.access(fx.space, fx.addr,
+                                      opcodeInfo(inst.op).isStore,
+                                      now_);
+                }
+                ++done;
+                if (fx.warpDone) {
+                    finishWarp(warp);
+                    break;
+                }
+                warp.pc = fx.nextPc;
+            }
+        }
+    }
+    lastCycleInert_ = false;
+    return done;
 }
 
 } // namespace bow

@@ -32,6 +32,7 @@
 namespace bow {
 
 class FaultInjector;
+class JsonValue;
 class MetricsRegistry;
 class TraceSink;
 class Watchdog;
@@ -107,6 +108,12 @@ struct RunStats
      *  accounting only; they are fully included in `cycles`). */
     std::uint64_t fastforwardCycles = 0;
 };
+
+/** Serialize @p s under the same snake_case keys service/sim_codec.cc
+ *  uses for SimResult stats, so snapshot and result encodings agree. */
+JsonValue runStatsToJson(const RunStats &s);
+/** Inverse of runStatsToJson (fatal on missing/odd-shaped keys). */
+RunStats runStatsFromJson(const JsonValue &v);
 
 /** One in-flight instruction occupying a collector slot. */
 struct InstSlot
@@ -312,6 +319,68 @@ class SmCore
      */
     void exportMetrics(MetricsRegistry &out) const;
 
+    // --- snapshots (core/snapshot.h) ---
+
+    /**
+     * Serialize the complete mid-run microarchitectural state of this
+     * SM — warps, registers, collector slots, BOC/RFC contents,
+     * scoreboard, RF bank queues, pending completions, schedulers,
+     * caches and statistics — at a cycle boundary (i.e. between two
+     * step() calls, never mid-cycle). The staged-memory FIFO must be
+     * drained (GpuCore's barrier guarantees this). Restoring the
+     * result with loadState() into an SmCore built from the same
+     * config+launch resumes bit-exactly.
+     */
+    JsonValue saveState() const;
+
+    /**
+     * Overwrite this SM's state from saveState() output. Only legal
+     * on a freshly constructed core (before any step()) with no fault
+     * injector or tracer attached; decode problems are fatal(), never
+     * a panic.
+     */
+    void loadState(const JsonValue &v);
+
+    // --- sampled mode (core/sampled.h) ---
+
+    /** While frozen, issuePhase is skipped: in-flight instructions
+     *  drain but no new ones enter the pipeline. Used to quiesce an
+     *  SM at the end of a detailed sample window. */
+    void setIssueFrozen(bool frozen) { issueFrozen_ = frozen; }
+
+    /** No instruction anywhere in the pipeline: nothing in flight,
+     *  no pending completions, no queued RF requests, nothing
+     *  staged. The state a sample window must reach before the
+     *  functional gap may run. */
+    bool pipelineQuiet() const;
+
+    /**
+     * Spill live operand state back to the register file so the
+     * architectural registers are the single source of truth: BOCs
+     * are flushed (write-bypassed values forced home, "safety"
+     * writes) and re-created empty, dirty RFC entries written back.
+     * The resulting RF writes drain through the banked ports on
+     * subsequent (issue-frozen) cycles. Requires pipelineQuiet().
+     */
+    void flushOperandState();
+
+    /**
+     * Functionally execute up to @p budget instructions round-robin
+     * across this SM's active warps without advancing the clock —
+     * the SMARTS-style warming gap between detailed windows.
+     * Architectural registers, memory and cache tags stay warm
+     * (accesses touch the L1/L2 tag arrays); timing state does not
+     * advance. Finishing warps retire and queued warps are admitted.
+     * Requires pipelineQuiet() and a flushed operand state.
+     * @return instructions actually executed (< budget only when the
+     *         SM ran out of runnable warps).
+     */
+    std::uint64_t functionalAdvance(std::uint64_t budget);
+
+    /** Live (pre-finalize) aggregate counters; sampled mode reads
+     *  instruction counts between windows. */
+    const RunStats &liveStats() const { return stats_; }
+
   private:
     /** A completed execution awaiting retire-side effects. */
     struct Completion
@@ -441,6 +510,9 @@ class SmCore
     /** Set by the pipeline phases whenever the current cycle does
      *  observable work; cleared at the top of cycle(). */
     bool cycleDidWork_ = false;
+
+    /** Sampled-mode quiesce: skip issuePhase while set. */
+    bool issueFrozen_ = false;
 
     // --- per-cycle scratch buffers (docs/PERFORMANCE.md: the hot
     // path never allocates; these are cleared and refilled every

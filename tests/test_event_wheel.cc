@@ -150,6 +150,70 @@ TEST(EventWheel, BeyondHorizonEventsMigrateFromOverflow)
     EXPECT_TRUE(wheel.empty());
 }
 
+TEST(EventWheel, SerializationBoundaryCases)
+{
+    // The snapshot codec walks the wheel with forEachEvent() and
+    // rebuilds it with restoreEvent(). Two window-edge cases are easy
+    // to get wrong and must stay pinned:
+    //  - an event due at exactly `now` must be emitted and, after the
+    //    round trip, still fire at `now` (losing it would deadlock
+    //    the resumed retirement),
+    //  - an overflow event at now + horizon - 1 (legal after a
+    //    fast-forward: schedule() only migrates on takeDue) must keep
+    //    inRing=false so the restored wheel merges it in the same
+    //    order the original would have.
+    EventWheel<int> wheel(64);
+    const unsigned horizon = wheel.horizon();
+    const Cycle now = 1000;
+    wheel.schedule(now - 1, now, 1);       // due this very cycle
+    wheel.schedule(now - 1, now + 3, 2);   // plain ring event
+    // Forced into overflow: scheduled far out, then the clock jumped
+    // (fast-forward) so it now sits inside the window, unmigrated.
+    wheel.schedule(0, now + horizon - 1, 3);
+
+    struct Saved
+    {
+        Cycle when;
+        int item;
+        bool inRing;
+    };
+    std::vector<Saved> saved;
+    wheel.forEachEvent(now, [&](Cycle when, int item, bool inRing) {
+        saved.push_back({when, item, inRing});
+    });
+    ASSERT_EQ(saved.size(), 3u);
+    EXPECT_EQ(saved[0].when, now);
+    EXPECT_EQ(saved[0].item, 1);
+    EXPECT_TRUE(saved[0].inRing);
+    EXPECT_EQ(saved[2].when, now + horizon - 1);
+    EXPECT_EQ(saved[2].item, 3);
+    EXPECT_FALSE(saved[2].inRing) <<
+        "unmigrated overflow event must restore into the overflow map";
+
+    EventWheel<int> restored(64);
+    for (const Saved &s : saved)
+        restored.restoreEvent(s.when, s.item, s.inRing);
+    EXPECT_EQ(restored.size(), wheel.size());
+
+    // The at-boundary event fires immediately on the restored wheel.
+    EXPECT_EQ(restored.nextEventCycle(now), now);
+    std::vector<int> out;
+    EXPECT_TRUE(restored.takeDue(now, out));
+    EXPECT_EQ(out, (std::vector<int>{1}));
+
+    // And the two wheels drain identically from here.
+    std::vector<int> expect;
+    Cycle cursor = now;
+    wheel.takeDue(cursor, expect);
+    while (!wheel.empty() || !restored.empty()) {
+        ++cursor;
+        const bool a = wheel.takeDue(cursor, expect);
+        const bool b = restored.takeDue(cursor, out);
+        ASSERT_EQ(a, b) << "cycle " << cursor;
+        ASSERT_EQ(out, expect) << "cycle " << cursor;
+    }
+}
+
 TEST(EventWheel, SchedulingIntoThePastPanics)
 {
     EventWheel<int> wheel(64);

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Full-state snapshot correctness (core/snapshot.h). Three families
+ * of guarantees:
+ *
+ *  - Differential: snapshot a run at a mid-run cycle, restore the
+ *    file into a fresh session, run both the resumed and the
+ *    uninterrupted session to completion — the SimResults are
+ *    byte-identical under the exhaustive sim_codec fingerprint
+ *    (every stat, metric, final register and memory word), across
+ *    real workloads, fuzzed kernels, all four architectures, SM
+ *    counts {1, 2, 4, 28}, host-thread counts {1, 4} and idle
+ *    fast-forward on/off. Saving is also side-effect free: the
+ *    interrupted session finishes to the same bits.
+ *
+ *  - Codec: snapshotSchemaHash() is stable and nonzero; a saved file
+ *    carries the complete validity header (format literal, schema
+ *    hash, binary version, launch hash, cycle, embedded config).
+ *
+ *  - Robustness (mirrors the result-store suite): torn/truncated
+ *    files, non-snapshot JSON, schema-hash drift, a different build
+ *    and a different launch are each refused with a clear FatalError
+ *    — never a panic, never a silently wrong resume. Snapshots of
+ *    fault-injected runs are refused at save time.
+ *
+ * Every suite name starts with "Snapshot" so the CI sanitizer jobs
+ * (.github/workflows/ci.yml) can select the lot with one regex.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/json_util.h"
+#include "common/log.h"
+#include "core/result_cache.h"
+#include "core/snapshot.h"
+#include "core/sweep.h"
+#include "service/sim_codec.h"
+#include "sm/fault_injector.h"
+#include "tests/fuzz_kernels.h"
+#include "workloads/registry.h"
+
+namespace bow {
+namespace {
+
+constexpr double kScale = 0.05; // pinned like the golden gate
+
+/** The codec as its own equality witness (see test_result_store.cc). */
+std::string
+fingerprint(const SimResult &result)
+{
+    return simResultToJson(result).dump();
+}
+
+/** A unique snapshot path under the gtest temp root. */
+std::string
+freshSnapshotPath()
+{
+    static std::atomic<unsigned> seq{0};
+    return testing::TempDir() + "snap_" +
+           std::to_string(seq.fetch_add(1)) + ".snap.json";
+}
+
+/** Run the FatalError-throwing @p fn and hand back the message; a
+ *  PanicError (or no throw) fails the test. */
+template <typename Fn>
+std::string
+fatalMessage(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const FatalError &e) {
+        return e.what();
+    } catch (const PanicError &e) {
+        ADD_FAILURE() << "panicked instead of failing cleanly: "
+                      << e.what();
+        return {};
+    }
+    ADD_FAILURE() << "expected a FatalError";
+    return {};
+}
+
+void
+expectMessageContains(const std::string &message,
+                      const std::string &needle)
+{
+    EXPECT_NE(message.find(needle), std::string::npos)
+        << "message: " << message;
+}
+
+/**
+ * The differential harness: reference run uninterrupted; second run
+ * snapshotted roughly a third of the way through; snapshot restored
+ * into a fresh session and run out. All three results must be
+ * byte-identical.
+ */
+void
+roundTrip(const Launch &launch, const SimConfig &config,
+          const std::string &label)
+{
+    SCOPED_TRACE(label);
+
+    SimSession reference(config, launch);
+    reference.runToCompletion();
+    const SimResult refResult = reference.result();
+    const std::string refFp = fingerprint(refResult);
+
+    SimSession live(config, launch);
+    const Cycle target =
+        std::max<Cycle>(1, refResult.stats.cycles / 3);
+    while (!live.finished() && live.now() < target) {
+        if (!live.stepCycle())
+            break;
+    }
+
+    const std::string path = freshSnapshotPath();
+    live.saveSnapshot(path);
+
+    auto resumed = SimSession::resumeFromSnapshot(path, launch);
+    ASSERT_NE(resumed, nullptr);
+    EXPECT_EQ(resumed->now(), live.now());
+    resumed->runToCompletion();
+    EXPECT_EQ(fingerprint(resumed->result()), refFp)
+        << "resumed run diverged from the uninterrupted run";
+
+    // Saving must be a pure read of the state: the interrupted
+    // session keeps going and lands on the same bits.
+    live.runToCompletion();
+    EXPECT_EQ(fingerprint(live.result()), refFp)
+        << "saveSnapshot perturbed the live session";
+
+    std::filesystem::remove(path);
+}
+
+/** A mid-run session over a real workload, for the robustness tests
+ *  (returns the saved path; config/launch via out-params). */
+std::string
+savedWorkloadSnapshot(Launch &launchOut)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    launchOut = wl.launch;
+    SimSession session(configFor(Architecture::BOW_WR), launchOut);
+    for (int i = 0; i < 200 && session.stepCycle(); ++i) {
+    }
+    const std::string path = freshSnapshotPath();
+    session.saveSnapshot(path);
+    return path;
+}
+
+JsonValue
+readSnapshotJson(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseJson(text.str());
+}
+
+void
+writeSnapshotJson(const std::string &path, const JsonValue &entry)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << entry.dump();
+}
+
+// ---------------------------------------------------------------------
+// Differential: real workloads.
+// ---------------------------------------------------------------------
+
+TEST(SnapshotDifferential, RealWorkloadsRoundTrip)
+{
+    const struct
+    {
+        const char *workload;
+        Architecture arch;
+    } cases[] = {
+        {"VECTORADD", Architecture::Baseline},
+        {"BFS", Architecture::BOW_WR},
+        {"BTREE", Architecture::BOW_WR_OPT},
+        {"BFS", Architecture::RFC},
+    };
+    for (const auto &c : cases) {
+        const Workload wl = workloads::make(c.workload, kScale);
+        roundTrip(wl.launch, configFor(c.arch),
+                  strf(c.workload, "/", archName(c.arch)));
+    }
+}
+
+TEST(SnapshotDifferential, MultiSmRealWorkloadsRoundTrip)
+{
+    {
+        const Workload wl = workloads::make("BFS", kScale);
+        SimConfig config = configFor(Architecture::BOW_WR);
+        config.numSms = 2;
+        roundTrip(wl.launch, config, "BFS/bow-wr/2sm");
+    }
+    {
+        const Workload wl = workloads::make("BTREE", kScale);
+        SimConfig config = configFor(Architecture::BOW_WR_OPT);
+        config.numSms = 4;
+        roundTrip(wl.launch, config, "BTREE/bow-wr-opt/4sm");
+    }
+}
+
+TEST(SnapshotDifferential, MetricsRegistrySurvivesVerbatim)
+{
+    // fingerprint() already covers the registry via the result codec;
+    // this spells the metric contract out on its own so a codec
+    // change that drops metrics cannot hide.
+    const Workload wl = workloads::make("BTREE", kScale);
+    const SimConfig config = configFor(Architecture::BOW_WR_OPT);
+
+    SimSession reference(config, wl.launch);
+    reference.runToCompletion();
+    const SimResult refResult = reference.result();
+
+    SimSession live(config, wl.launch);
+    for (int i = 0; i < 500 && live.stepCycle(); ++i) {
+    }
+    const std::string path = freshSnapshotPath();
+    live.saveSnapshot(path);
+    auto resumed = SimSession::resumeFromSnapshot(path, wl.launch);
+    resumed->runToCompletion();
+    const SimResult resResult = resumed->result();
+
+    EXPECT_EQ(resResult.metrics.toJson().dump(),
+              refResult.metrics.toJson().dump());
+    std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Differential: fuzzed kernels across the config space.
+// ---------------------------------------------------------------------
+
+class SnapshotFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SnapshotFuzz, BitIdenticalAcrossArchsAndSmCounts)
+{
+    Launch launch = fuzzKernelLaunch(GetParam());
+    launch.warpsPerCta = 1 + static_cast<unsigned>(GetParam() % 4);
+
+    for (Architecture arch :
+         {Architecture::Baseline, Architecture::BOW_WR,
+          Architecture::BOW_WR_OPT, Architecture::RFC}) {
+        for (unsigned numSms : {1u, 2u, 4u}) {
+            SimConfig config = configFor(arch);
+            config.numSms = numSms;
+            roundTrip(launch, config,
+                      strf("seed=", GetParam(), " arch=",
+                           archName(arch), " numSms=", numSms));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzz,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(SnapshotFuzzWide, DeviceScaleAndHostThreads)
+{
+    // The full device (28 SMs) stepped by a 4-thread host pool, plus
+    // the hostThreads {1, 4} split at a smaller SM count: snapshots
+    // must not depend on how the host parallelizes a cycle.
+    for (const std::uint64_t seed : {7ull, 42ull}) {
+        Launch launch = fuzzKernelLaunch(seed);
+        launch.warpsPerCta = 1 + static_cast<unsigned>(seed % 4);
+        for (const auto &[numSms, hostThreads] :
+             {std::pair<unsigned, unsigned>{28, 4},
+              {4, 1},
+              {4, 4}}) {
+            SimConfig config = configFor(Architecture::BOW_WR_OPT);
+            config.numSms = numSms;
+            config.hostThreads = hostThreads;
+            roundTrip(launch, config,
+                      strf("seed=", seed, " numSms=", numSms,
+                           " hostThreads=", hostThreads));
+        }
+    }
+}
+
+TEST(SnapshotFuzzWide, FastForwardOffRoundTrips)
+{
+    Launch launch = fuzzKernelLaunch(42);
+    launch.warpsPerCta = 2;
+    for (unsigned numSms : {1u, 4u}) {
+        SimConfig config = configFor(Architecture::BOW_WR);
+        config.numSms = numSms;
+        config.hostFastForward = false;
+        roundTrip(launch, config,
+                  strf("ff=off numSms=", numSms));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec.
+// ---------------------------------------------------------------------
+
+TEST(SnapshotCodec, SchemaHashIsStableAndNonzero)
+{
+    EXPECT_NE(snapshotSchemaHash(), 0u);
+    EXPECT_EQ(snapshotSchemaHash(), snapshotSchemaHash());
+    // The snapshot schema rides on the result codec's: a sim_codec
+    // shape change must invalidate snapshots too, which it can only
+    // do if the two hashes are coupled (snapshot.cc folds them).
+    EXPECT_NE(snapshotSchemaHash(), simSchemaHash());
+}
+
+TEST(SnapshotCodec, SavedFileCarriesValidityHeader)
+{
+    Launch launch;
+    const std::string path = savedWorkloadSnapshot(launch);
+    const JsonValue entry = readSnapshotJson(path);
+
+    EXPECT_EQ(jsonio::member(entry, "format").asString(),
+              std::string(kSnapshotFormat));
+    EXPECT_EQ(jsonio::getUint(entry, "schema"), snapshotSchemaHash());
+    EXPECT_EQ(jsonio::member(entry, "binary").asString(),
+              snapshotBinaryVersion());
+    EXPECT_EQ(jsonio::getUint(entry, "launch"),
+              launchContentHash(launch));
+    EXPECT_NE(entry.find("cycle"), nullptr);
+    EXPECT_NE(entry.find("config"), nullptr);
+    EXPECT_NE(entry.find("state"), nullptr);
+    std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Robustness: every bad file is refused with a clear FatalError.
+// ---------------------------------------------------------------------
+
+TEST(SnapshotRobust, MissingFileIsRefused)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    const std::string msg = fatalMessage([&] {
+        SimSession::resumeFromSnapshot(
+            testing::TempDir() + "does_not_exist.snap.json",
+            wl.launch);
+    });
+    expectMessageContains(msg, "does_not_exist");
+}
+
+TEST(SnapshotRobust, TornFileIsRefusedNotPanicked)
+{
+    Launch launch;
+    const std::string path = savedWorkloadSnapshot(launch);
+
+    // Truncate mid-file, as a full disk or a killed writer that
+    // bypassed tmp+rename would.
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::getline(in, text, '\0');
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    }
+
+    const std::string msg = fatalMessage(
+        [&] { SimSession::resumeFromSnapshot(path, launch); });
+    expectMessageContains(msg, "torn or truncated");
+    std::filesystem::remove(path);
+}
+
+TEST(SnapshotRobust, NonSnapshotJsonIsRefused)
+{
+    Launch launch;
+    const std::string path = savedWorkloadSnapshot(launch);
+
+    // Valid JSON, wrong file kind (a result-store entry, say).
+    writeSnapshotJson(path, JsonValue::object());
+    expectMessageContains(
+        fatalMessage(
+            [&] { SimSession::resumeFromSnapshot(path, launch); }),
+        "not a bowsim snapshot file");
+    std::filesystem::remove(path);
+}
+
+TEST(SnapshotRobust, SchemaMismatchIsRefused)
+{
+    Launch launch;
+    const std::string path = savedWorkloadSnapshot(launch);
+
+    JsonValue entry = readSnapshotJson(path);
+    entry.set("schema", jsonio::getUint(entry, "schema") ^ 0x1);
+    writeSnapshotJson(path, entry);
+
+    expectMessageContains(
+        fatalMessage(
+            [&] { SimSession::resumeFromSnapshot(path, launch); }),
+        "schema hash mismatch");
+    std::filesystem::remove(path);
+}
+
+TEST(SnapshotRobust, BinaryVersionMismatchIsRefused)
+{
+    Launch launch;
+    const std::string path = savedWorkloadSnapshot(launch);
+
+    JsonValue entry = readSnapshotJson(path);
+    entry.set("binary", snapshotBinaryVersion() + "+other-build");
+    writeSnapshotJson(path, entry);
+
+    expectMessageContains(
+        fatalMessage(
+            [&] { SimSession::resumeFromSnapshot(path, launch); }),
+        "different bowsim build");
+    std::filesystem::remove(path);
+}
+
+TEST(SnapshotRobust, WrongLaunchIsRefused)
+{
+    Launch launch;
+    const std::string path = savedWorkloadSnapshot(launch);
+
+    // Resuming VECTORADD's snapshot under a fuzz kernel must be
+    // caught by the content hash, not crash deep in loadState.
+    const Launch other = fuzzKernelLaunch(1);
+    expectMessageContains(
+        fatalMessage(
+            [&] { SimSession::resumeFromSnapshot(path, other); }),
+        "different launch");
+    std::filesystem::remove(path);
+}
+
+TEST(SnapshotRobust, FaultInjectedRunsRefuseToSnapshot)
+{
+    // Injected state (armed plans, flipped bits in flight) is not
+    // serialized; the save must refuse rather than produce a
+    // snapshot that silently drops the fault.
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.cycle = 100;
+    FaultInjector injector(plan, FaultProtection::None);
+
+    const SimConfig config = configFor(Architecture::BOW_WR);
+    SimSession session(config, wl.launch, &injector);
+    for (int i = 0; i < 10 && session.stepCycle(); ++i) {
+    }
+    expectMessageContains(
+        fatalMessage(
+            [&] { session.saveSnapshot(freshSnapshotPath()); }),
+        "fault injector");
+}
+
+} // namespace
+} // namespace bow
