@@ -23,6 +23,7 @@
 #include <iostream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.h"
@@ -97,6 +98,31 @@ struct ParCell
 };
 
 /**
+ * One cell of the epoch-stepping section: VECTORADD under BOW-WR at
+ * numSms x hostThreads x epochCycles, with the same hard
+ * correctness bit as ParCell — every cell must equal the per-cycle
+ * serial reference of its SM count bit-for-bit.
+ */
+struct EpochCell
+{
+    unsigned numSms = 0;
+    unsigned hostThreads = 0;
+    unsigned epochCycles = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double seconds = 0.0;  ///< best (minimum) of the repeats
+    bool statsMatch = false;
+
+    double
+    kips() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(instructions) / seconds / 1e3
+            : 0.0;
+    }
+};
+
+/**
  * The host-thread knob travels via BOWSIM_HOST_THREADS rather than
  * SimConfig so this source still compiles against checkouts that
  * predate the config field (the harness's whole before/after trick);
@@ -107,6 +133,41 @@ setHostThreadsEnv(unsigned n)
 {
     setenv("BOWSIM_HOST_THREADS", std::to_string(n).c_str(), 1);
 }
+
+/** Same trick for the epoch-length knob: BOWSIM_EPOCH_CYCLES keeps
+ *  this source compiling against pre-epoch checkouts, which simply
+ *  ignore the variable and step per cycle. */
+void
+setEpochCyclesEnv(unsigned n)
+{
+    setenv("BOWSIM_EPOCH_CYCLES", std::to_string(n).c_str(), 1);
+}
+
+/** Scoped save/restore for one env var, so the sections below can
+ *  sweep knobs without leaking them into each other. */
+class EnvSave
+{
+  public:
+    explicit EnvSave(const char *var) : var_(var)
+    {
+        if (const char *v = std::getenv(var))
+            saved_ = v;
+        else
+            unset_ = true;
+    }
+    ~EnvSave()
+    {
+        if (unset_)
+            unsetenv(var_);
+        else
+            setenv(var_, saved_.c_str(), 1);
+    }
+
+  private:
+    const char *var_;
+    std::string saved_;
+    bool unset_ = false;
+};
 
 } // namespace
 
@@ -146,9 +207,16 @@ main(int argc, char **argv)
         Architecture::BOW_WR_OPT,
     };
 
+    const unsigned hwConcurrency = std::thread::hardware_concurrency();
     std::cout << "bowsim simspeed: host-throughput benchmark\n"
               << "# workload scale " << scale << ", " << repeat
-              << " repeat(s) per cell, best counts\n\n";
+              << " repeat(s) per cell, best counts\n";
+    if (hwConcurrency <= 1)
+        std::cout << "# warning: hardware_concurrency() <= 1 — "
+                     "parallel/epoch stepping cannot be faster than "
+                     "serial on this host; KIPS comparisons below "
+                     "measure overhead only\n";
+    std::cout << "\n";
 
     Table table("host simulation speed");
     table.setHeader({"workload", "arch", "cycles", "insts", "seconds",
@@ -219,6 +287,12 @@ main(int argc, char **argv)
     const char *prevEnv = std::getenv("BOWSIM_HOST_THREADS");
     const std::string prevEnvSaved = prevEnv ? prevEnv : "";
 
+    // Pin the epoch knob to per-cycle for this section so it keeps
+    // measuring the barrier-per-cycle scheme in isolation (restored
+    // when main returns; pre-epoch checkouts ignore the variable).
+    const EnvSave epochEnvSave("BOWSIM_EPOCH_CYCLES");
+    setEpochCyclesEnv(1);
+
     std::vector<ParCell> pcells;
     for (unsigned numSms : {4u, 28u}) {
         SimConfig config = configFor(Architecture::BOW_WR);
@@ -273,6 +347,127 @@ main(int argc, char **argv)
         allMatch = allMatch && c.statsMatch;
     std::cout << "parallel stepping serial/parallel stat-diff: "
               << (allMatch ? "empty" : "NON-EMPTY (BUG)") << "\n";
+
+    // ------------------------------------------------------------------
+    // Epoch stepping (docs/PERFORMANCE.md): relaxed bounded-lag SM
+    // synchronization. Each SM free-runs up to epochCycles cycles
+    // between barriers, with memory-system effects committed at the
+    // barrier in global (cycle, smIndex) order — so every cell must
+    // still match the per-cycle serial reference bit-for-bit while
+    // paying 1/epochCycles as many barrier crossings.
+    // ------------------------------------------------------------------
+    std::cout << "\n";
+    Table etable("epoch stepping (VECTORADD, BOW-WR)");
+    etable.setHeader({"SMs", "host-threads", "epoch", "cycles",
+                      "insts", "seconds", "KIPS", "match"});
+
+    std::vector<EpochCell> ecells;
+    for (unsigned numSms : {4u, 28u}) {
+        SimConfig config = configFor(Architecture::BOW_WR);
+        config.numSms = numSms;
+        const Simulator sim(config);
+
+        // Per-cycle serial reference for the match bit (untimed).
+        setHostThreadsEnv(1);
+        setEpochCyclesEnv(1);
+        const SimResult ref = sim.run(va.launch);
+        const std::string refMetrics = ref.metrics.toJson().dump();
+
+        for (unsigned hostThreads : {1u, 2u}) {
+            for (unsigned epochCycles : {1u, 8u, 64u, 256u}) {
+                setHostThreadsEnv(hostThreads);
+                setEpochCyclesEnv(epochCycles);
+                EpochCell cell;
+                cell.numSms = numSms;
+                cell.hostThreads = hostThreads;
+                cell.epochCycles = epochCycles;
+                cell.seconds =
+                    std::numeric_limits<double>::infinity();
+                for (unsigned r = 0; r < repeat; ++r) {
+                    const auto t0 = std::chrono::steady_clock::now();
+                    const SimResult res = sim.run(va.launch);
+                    const double secs = secondsOf(t0);
+                    cell.seconds = std::min(cell.seconds, secs);
+                    cell.cycles = res.stats.cycles;
+                    cell.instructions = res.stats.instructions;
+                    cell.statsMatch =
+                        res.stats.cycles == ref.stats.cycles &&
+                        res.stats.instructions ==
+                            ref.stats.instructions &&
+                        res.finalRegs == ref.finalRegs &&
+                        res.finalMem.contentsEqual(ref.finalMem) &&
+                        res.metrics.toJson().dump() == refMetrics;
+                }
+                ecells.push_back(cell);
+                etable.beginRow()
+                    .cell(static_cast<std::uint64_t>(cell.numSms))
+                    .cell(
+                        static_cast<std::uint64_t>(cell.hostThreads))
+                    .cell(
+                        static_cast<std::uint64_t>(cell.epochCycles))
+                    .cell(cell.cycles)
+                    .cell(cell.instructions)
+                    .cell(cell.seconds, 4)
+                    .cell(cell.kips(), 1)
+                    .cell(cell.statsMatch ? "yes" : "NO");
+            }
+        }
+    }
+    etable.print(std::cout);
+
+    bool epochAllMatch = true;
+    for (const EpochCell &c : ecells)
+        epochAllMatch = epochAllMatch && c.statsMatch;
+    std::cout << "epoch stepping serial/epoch stat-diff: "
+              << (epochAllMatch ? "empty" : "NON-EMPTY (BUG)")
+              << "\n";
+
+    // Per-cycle barrier cost estimate: the same 2-SM simulation run
+    // serially and with one extra stepping thread at epoch=1. Every
+    // cycle then crosses the team barrier twice (start + finish), so
+    // the wall-clock delta per simulated cycle is a direct estimate
+    // of the synchronization overhead that epoch stepping amortizes.
+    // Negative values just mean real parallel speedup outweighed the
+    // barrier cost on this host; the raw number is recorded either
+    // way.
+    double barrierNsPerCycle = 0.0;
+    {
+        SimConfig config = configFor(Architecture::BOW_WR);
+        config.numSms = 2;
+        const Simulator sim(config);
+        setEpochCyclesEnv(1);
+        double serialSecs = std::numeric_limits<double>::infinity();
+        double pairSecs = std::numeric_limits<double>::infinity();
+        std::uint64_t barCycles = 0;
+        setHostThreadsEnv(1);
+        for (unsigned r = 0; r < repeat; ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const SimResult res = sim.run(va.launch);
+            serialSecs = std::min(serialSecs, secondsOf(t0));
+            barCycles = res.stats.cycles;
+        }
+        setHostThreadsEnv(2);
+        for (unsigned r = 0; r < repeat; ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            (void)sim.run(va.launch);
+            pairSecs = std::min(pairSecs, secondsOf(t0));
+        }
+        if (barCycles > 0)
+            barrierNsPerCycle = (pairSecs - serialSecs) /
+                static_cast<double>(barCycles) * 1e9;
+        std::cout << "barrier cost (2 SMs, ht=2 vs serial): "
+                  << formatFixed(barrierNsPerCycle, 1)
+                  << " ns/cycle over " << barCycles << " cycles\n";
+    }
+
+    // The epoch/barrier sweeps above leave the knobs at their last
+    // values; put them back so the sections below time the default
+    // serial per-cycle configuration.
+    if (prevEnvSaved.empty() && !prevEnv)
+        unsetenv("BOWSIM_HOST_THREADS");
+    else
+        setenv("BOWSIM_HOST_THREADS", prevEnvSaved.c_str(), 1);
+    setEpochCyclesEnv(1);
 
 #ifdef BOWSIM_SIMSPEED_HAVE_SAMPLED
     // ------------------------------------------------------------------
@@ -398,6 +593,27 @@ main(int argc, char **argv)
         prows.push(std::move(row));
     }
     root.set("parallel", std::move(prows));
+    JsonValue erows = JsonValue::array();
+    for (const EpochCell &c : ecells) {
+        JsonValue row = JsonValue::object();
+        row.set("workload", std::string("VECTORADD"));
+        row.set("arch", archName(Architecture::BOW_WR));
+        row.set("num_sms", static_cast<std::uint64_t>(c.numSms));
+        row.set("host_threads",
+                static_cast<std::uint64_t>(c.hostThreads));
+        row.set("epoch_cycles",
+                static_cast<std::uint64_t>(c.epochCycles));
+        row.set("cycles", c.cycles);
+        row.set("instructions", c.instructions);
+        row.set("seconds", c.seconds);
+        row.set("kips", c.kips());
+        row.set("stats_match", c.statsMatch);
+        erows.push(std::move(row));
+    }
+    root.set("epoch", std::move(erows));
+    root.set("hw_concurrency",
+             static_cast<std::uint64_t>(hwConcurrency));
+    root.set("barrier_ns_per_cycle", barrierNsPerCycle);
 #ifdef BOWSIM_SIMSPEED_HAVE_SAMPLED
     JsonValue sampled = JsonValue::object();
     sampled.set("workload", std::string("BTREE"));

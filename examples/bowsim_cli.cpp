@@ -31,6 +31,11 @@
  *                         BOWSIM_HOST_THREADS or all hardware
  *                         threads; bit-identical results at any N,
  *                         see docs/PERFORMANCE.md)
+ *     --epoch-cycles N    cycles each SM free-runs between global
+ *                         barriers (needs --num-sms > 1; default
+ *                         BOWSIM_EPOCH_CYCLES or 1 = per-cycle
+ *                         lockstep; bit-identical results at any N,
+ *                         see docs/PERFORMANCE.md "Epoch stepping")
  *     --no-fastforward    disable the host-side idle fast-forward
  *                         (bit-identical results either way; see
  *                         docs/PERFORMANCE.md)
@@ -159,7 +164,7 @@ usage()
         "                  [--num-sms N] [--cta-policy rr|lrr]\n"
         "                  [--l2-banks N]\n"
         "                  [--scale S] [--jobs N] [--csv]\n"
-        "                  [--host-threads N]\n"
+        "                  [--host-threads N] [--epoch-cycles N]\n"
         "                  [--no-fastforward] [--profile]\n"
         "                  [--snapshot-out FILE] [--snapshot-every N]\n"
         "                  [--resume FILE]\n"
@@ -176,10 +181,10 @@ usage()
 }
 
 /**
- * Value of a thread-count flag: a strictly positive integer. Zero,
- * negatives and non-numeric values all fail with one clear message —
- * a stray 0 silently meaning "auto" was too easy to reach from a
- * typo or an empty shell variable.
+ * Value of a strictly-positive count flag (--jobs, --host-threads,
+ * --epoch-cycles). Zero, negatives and non-numeric values all fail
+ * with one clear message — a stray 0 silently meaning "auto" was too
+ * easy to reach from a typo or an empty shell variable.
  */
 unsigned
 parseThreadCount(const char *flag, const char *arg)
@@ -573,6 +578,9 @@ main(int argc, char **argv)
         else if (!std::strcmp(a, "--host-threads"))
             config.hostThreads =
                 parseThreadCount("--host-threads", need(i));
+        else if (!std::strcmp(a, "--epoch-cycles"))
+            config.epochCycles =
+                parseThreadCount("--epoch-cycles", need(i));
         else if (!std::strcmp(a, "--faults"))
             faults = static_cast<unsigned>(std::atoi(need(i)));
         else if (!std::strcmp(a, "--fault-sites"))

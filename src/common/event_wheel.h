@@ -116,6 +116,26 @@ class EventWheel
     std::size_t size() const { return size_; }
     unsigned horizon() const { return horizon_; }
 
+    /** Whether any event sits in the overflow map (beyond the ring
+     *  horizon). Cheap probe for the epoch-stepping hazard check. */
+    bool hasOverflow() const { return !overflow_.empty(); }
+
+    /**
+     * Whether an overflow event is due at exactly cycle @p when.
+     * Epoch stepping uses this to detect the one boundary case where
+     * free-running past a dispatch cycle could merge ring and
+     * overflow events of the same cycle in the wrong FIFO order: an
+     * event scheduled at distance exactly `horizon()` lands in the
+     * ring, but an earlier-scheduled overflow event for that same
+     * cycle migrates in later — serial stepping would have migrated
+     * it first.
+     */
+    bool
+    overflowContains(Cycle when) const
+    {
+        return overflow_.find(when) != overflow_.end();
+    }
+
     /**
      * Enumerate every pending event for serialization. Must be called
      * at a cycle boundary (before takeDue(now)), when ring events all

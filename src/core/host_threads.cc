@@ -9,27 +9,51 @@
 
 namespace bow {
 
+namespace {
+
+/** Strict digits-only positive-integer env parse: strtol alone would
+ *  silently accept leading whitespace or a sign, and a half-garbled
+ *  value should warn, not steer the knob. Returns 0 when unset or
+ *  invalid (after warning). */
+unsigned
+positiveEnv(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return 0;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (std::isdigit(static_cast<unsigned char>(env[0])) &&
+        *end == '\0' && v > 0)
+        return static_cast<unsigned>(v);
+    warn(strf("ignoring ", name, "='", env,
+              "' (want a positive integer)"));
+    return 0;
+}
+
+} // namespace
+
 unsigned
 resolveHostThreads(unsigned configured)
 {
     if (configured >= 1)
         return configured;
-    if (const char *env = std::getenv("BOWSIM_HOST_THREADS")) {
-        // Strict digits-only parse: strtol alone would silently
-        // accept leading whitespace or a sign, and a half-garbled
-        // value should warn, not steer the thread count.
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (std::isdigit(static_cast<unsigned char>(env[0])) &&
-            *end == '\0' && v > 0)
-            return static_cast<unsigned>(v);
-        warn(strf("ignoring BOWSIM_HOST_THREADS='", env,
-                  "' (want a positive integer)"));
-    }
+    if (const unsigned v = positiveEnv("BOWSIM_HOST_THREADS"))
+        return v;
     if (ThreadPool::insideWorker())
         return 1;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+unsigned
+resolveEpochCycles(unsigned configured)
+{
+    if (configured >= 1)
+        return configured;
+    if (const unsigned v = positiveEnv("BOWSIM_EPOCH_CYCLES"))
+        return v;
+    return 1;
 }
 
 } // namespace bow

@@ -26,6 +26,16 @@ namespace bow {
  */
 unsigned resolveHostThreads(unsigned configured);
 
+/**
+ * Effective epoch length for one GpuCore, always >= 1.
+ *
+ * @p configured is SimConfig::epochCycles: any explicit value >= 1
+ * is honoured as-is. 0 means auto: BOWSIM_EPOCH_CYCLES if set to a
+ * positive integer (anything else warns and is ignored), else 1
+ * (per-cycle stepping, the conservative default).
+ */
+unsigned resolveEpochCycles(unsigned configured);
+
 } // namespace bow
 
 #endif // BOWSIM_CORE_HOST_THREADS_H

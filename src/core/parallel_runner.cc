@@ -1,9 +1,12 @@
 #include "core/parallel_runner.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 
 #include "common/log.h"
@@ -129,6 +132,53 @@ simulateWarmStart(const SimJob &job, const SnapshotPolicy &policy,
     return result;
 }
 
+/**
+ * Single-flight guard: at most one thread computes a given cache key
+ * at a time. Duplicate jobs inside one batch (or across concurrent
+ * batches) used to race past the cache lookup together and both
+ * simulate; besides the wasted work, that made cache-hit counts
+ * nondeterministic — a sweep containing the same workload twice
+ * could report zero memory hits when the duplicates overlapped.
+ * Waiters block until the owner publishes (or fails), then re-consult
+ * the cache, so the duplicate is always a hit.
+ */
+struct InflightKeys
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::set<std::uint64_t> keys;
+};
+
+InflightKeys &
+inflightKeys()
+{
+    static InflightKeys keys;
+    return keys;
+}
+
+/** RAII ownership of a key's single-flight slot: erases the key and
+ *  wakes the waiters even when the computation throws (a waiter then
+ *  retries and surfaces its own error). */
+class InflightClaim
+{
+  public:
+    explicit InflightClaim(std::uint64_t key) : key_(key) {}
+    ~InflightClaim()
+    {
+        InflightKeys &inflight = inflightKeys();
+        {
+            std::lock_guard<std::mutex> lock(inflight.mu);
+            inflight.keys.erase(key_);
+        }
+        inflight.cv.notify_all();
+    }
+    InflightClaim(const InflightClaim &) = delete;
+    InflightClaim &operator=(const InflightClaim &) = delete;
+
+  private:
+    std::uint64_t key_;
+};
+
 /** Simulate one job, consulting and feeding the global cache. */
 std::shared_ptr<const SimResult>
 simulateCached(const SimJob &job)
@@ -144,6 +194,31 @@ simulateCached(const SimJob &job)
         simCacheKey(*job.workload, job.config, job.fault);
     if (auto hit = globalResultCache().lookup(key))
         return hit;
+
+    // Claim the key, waiting out any in-flight computation of the
+    // same key first. Re-consult the cache only after an actual wait:
+    // the usual outcome is that the previous owner published a result
+    // (count it as the cache hit it is); falling through means the
+    // owner failed or the entry was evicted, and this thread
+    // recomputes. Skipping the re-lookup on the uncontended path
+    // keeps a plain miss counting as exactly one miss.
+    bool waited = false;
+    {
+        InflightKeys &inflight = inflightKeys();
+        std::unique_lock<std::mutex> lock(inflight.mu);
+        if (inflight.keys.find(key) != inflight.keys.end()) {
+            waited = true;
+            inflight.cv.wait(lock, [&] {
+                return inflight.keys.find(key) == inflight.keys.end();
+            });
+        }
+        inflight.keys.insert(key);
+    }
+    InflightClaim claim(key);
+    if (waited) {
+        if (auto hit = globalResultCache().lookup(key))
+            return hit;
+    }
 
     std::optional<Watchdog> watchdog;
     if (job.watchdog.any())

@@ -156,9 +156,9 @@ simCacheKey(const Workload &workload, const SimConfig &c)
     h.scalar(c.rfcEntriesPerWarp);
     h.scalar(c.maxCycles);
     h.scalar(static_cast<int>(c.faultProtection));
-    // hostFastForward and hostThreads are deliberately NOT hashed:
-    // they are host-speed knobs with bit-identical simulated
-    // results, so every setting must share one cache entry.
+    // hostFastForward, hostThreads and epochCycles are deliberately
+    // NOT hashed: they are host-speed knobs with bit-identical
+    // simulated results, so every setting must share one cache entry.
     return h.value();
 }
 

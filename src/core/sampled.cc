@@ -47,7 +47,15 @@ runSampled(const SimConfig &config, const Launch &launch,
 {
     spec.validate();
 
-    SimSession session(config, launch, nullptr, watchdog, nullptr);
+    // Sampled windows are measured in individual stepCycle() calls
+    // (the window/period bookkeeping below reads session.now() after
+    // every step), so epoch stepping — which advances many cycles per
+    // call — would blow straight through window boundaries. Force
+    // per-cycle stepping; sampling is an approximation mode anyway,
+    // never compared bit-for-bit against epoch runs.
+    SimConfig perCycle = config;
+    perCycle.epochCycles = 1;
+    SimSession session(perCycle, launch, nullptr, watchdog, nullptr);
     SampledInfo info;
 
     while (!session.finished()) {

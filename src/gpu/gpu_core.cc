@@ -62,6 +62,21 @@ GpuCore::GpuCore(const SimConfig &config, const Launch &launch,
             deviceFault_ = std::make_unique<DeviceFaultInjector>(plan);
     }
 
+    // Epoch stepping decouples the SMs between barriers; it needs
+    // more than one SM to decouple, and a per-SM fault injector
+    // observes mid-cycle state that staged-memory dispatch would
+    // reorder (same rule as the hostThreads clamp above). Device-site
+    // plans stay compatible: stepEpoch() clamps the epoch target to
+    // the planned cycle until the fault fires.
+    epochCycles_ = resolveEpochCycles(config_.epochCycles);
+    if (config_.numSms == 1)
+        epochCycles_ = 1;
+    if (perSm && epochCycles_ > 1) {
+        warn(strf("GpuCore: per-SM fault injector active; stepping "
+                  "per cycle instead of in epochs of ", epochCycles_));
+        epochCycles_ = 1;
+    }
+
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s) {
         SmContext ctx;
@@ -70,7 +85,7 @@ GpuCore::GpuCore(const SimConfig &config, const Launch &launch,
         ctx.sharedL2 = l2_.get();
         ctx.residentCap = cap_;
         ctx.externalAdmission = true;
-        ctx.stagedMemory = hostThreads_ > 1;
+        ctx.stagedMemory = hostThreads_ > 1 || epochCycles_ > 1;
         FaultInjector *smInjector =
             perSm && injector->plan().sm == s ? perSm : nullptr;
         sms_.push_back(std::make_unique<SmCore>(
@@ -153,6 +168,19 @@ GpuCore::stepCycle()
         if (done)
             return false;
 
+        // Epoch stepping (docs/PERFORMANCE.md "Epoch stepping"):
+        // once every CTA is placed, the coordinator no longer needs
+        // a per-cycle decision point, so the SMs may free-run a whole
+        // epoch between barriers. While placement is pending (or
+        // sampled-mode quiesce holds issue frozen) the per-cycle path
+        // below keeps the cycle-granular coordination those features
+        // rely on; both paths produce bit-identical results, so they
+        // can alternate freely.
+        if (epochCycles_ > 1 && sched_.allPlaced() && !issueFrozen_) {
+            stepEpoch();
+            return true;
+        }
+
         // Idle fast-forward across the whole GPU: only when every
         // unfinished SM is provably inert may the global clock jump,
         // and only to the earliest wake-up among them — which keeps
@@ -215,11 +243,7 @@ GpuCore::stepCycle()
             // budget trips are per-SM-deterministic), and the
             // staged memory accesses drain in ascending SM-index
             // order.
-            if (!team_) {
-                team_ = std::make_unique<StepTeam>(
-                    hostThreads_, config_.numSms,
-                    [this](unsigned s) { sms_[s]->step(); });
-            }
+            ensureTeam();
             team_->stepAll(activeScratch_);
             for (unsigned s : activeScratch_) {
                 if (team_->error(s))
@@ -239,6 +263,277 @@ GpuCore::stepCycle()
         ++gcycle_;
     }
     return true;
+}
+
+void
+GpuCore::ensureTeam()
+{
+    if (team_)
+        return;
+    team_ = std::make_unique<StepTeam>(
+        hostThreads_, config_.numSms,
+        [this](unsigned s) {
+            // epochTarget_ is published by stepAll()'s start
+            // barrier: kNoCycle selects a plain per-cycle step,
+            // anything else an epoch free-run round toward that
+            // target.
+            if (epochTarget_ != kNoCycle)
+                sms_[s]->runEpoch(epochTarget_);
+            else
+                sms_[s]->step();
+        });
+}
+
+void
+GpuCore::stepEpoch()
+{
+    const Cycle t0 = gcycle_;
+    Cycle target = t0 + epochCycles_;
+    // Never free-run past an unfired device fault: the epoch
+    // boundary must land exactly on the planned cycle so the
+    // top-of-stepCycle probe observes the same pre-cycle state it
+    // would under per-cycle stepping.
+    if (deviceFault_ && !deviceFault_->report().fired) {
+        target = std::min(
+            target, std::max(deviceFault_->plan().cycle, t0 + 1));
+    }
+
+    activeScratch_.clear();
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        if (!sms_[s]->finished()) {
+            sms_[s]->beginEpoch(t0);
+            activeScratch_.push_back(s);
+        }
+    }
+
+    // Free-run / commit rounds: every SM short of the target runs
+    // until it reaches it, finishes, or stalls on an uncommitted
+    // staged access; then the coordinator commits every staged
+    // access that is globally safe — strictly below the least
+    // (cycle, smIndex) any still-running SM could yet stage — which
+    // always includes the whole queue of the least-advanced SM, so
+    // each round makes progress.
+    for (;;) {
+        runScratch_.clear();
+        for (unsigned s : activeScratch_) {
+            if (!sms_[s]->finished() && sms_[s]->now() < target)
+                runScratch_.push_back(s);
+        }
+        if (runScratch_.empty())
+            break;
+
+        if (hostThreads_ > 1 && runScratch_.size() >= 2) {
+            ensureTeam();
+            epochTarget_ = target;
+            team_->stepAll(runScratch_);
+            epochTarget_ = kNoCycle;
+            // Serial equivalence for errors: the serial loop throws
+            // from the SM that trips first, i.e. the errored SM with
+            // the least (cycle, smIndex) at the time of the trip.
+            unsigned bad = config_.numSms;
+            for (unsigned s : runScratch_) {
+                if (!team_->error(s))
+                    continue;
+                if (bad == config_.numSms ||
+                    sms_[s]->now() < sms_[bad]->now()) {
+                    bad = s;
+                }
+            }
+            if (bad != config_.numSms)
+                rethrowSmError(bad, team_->error(bad));
+        } else {
+            for (unsigned s : runScratch_) {
+                try {
+                    sms_[s]->runEpoch(target);
+                } catch (const HangError &e) {
+                    throw HangError(strf("sm", s, ": ", e.what()));
+                } catch (const FatalError &e) {
+                    throw FatalError(strf("sm", s, ": ", e.what()));
+                }
+            }
+        }
+
+        // The least (now, smIndex) among SMs still short of the
+        // target bounds what they may stage next; everything
+        // strictly below it is final and safe to commit. Ascending
+        // scan + strict < keeps the lowest SM index on ties.
+        Cycle limitCycle = kNoCycle;
+        unsigned limitSm = 0;
+        for (unsigned s : activeScratch_) {
+            if (sms_[s]->finished() || sms_[s]->now() >= target)
+                continue;
+            if (limitCycle == kNoCycle ||
+                sms_[s]->now() < limitCycle) {
+                limitCycle = sms_[s]->now();
+                limitSm = s;
+            }
+        }
+        commitStagedBelow(limitCycle, limitSm);
+    }
+
+    // Everyone reached the target (or finished): all staged accesses
+    // are at cycles below the target and nothing can be staged
+    // before it anymore — drain completely, so the epoch boundary is
+    // a clean global state (snapshots and the next epoch see empty
+    // queues).
+    commitStagedBelow(kNoCycle, 0);
+
+    // Fast-forward credit mirrors the per-cycle path, which never
+    // jumps once an unfired device fault's planned cycle has been
+    // reached (the clamp above pins target to gcycle_, suppressing
+    // the jump outright) — so workless cycles in that pinned regime
+    // were stepped uncredited there and must stay uncredited here.
+    // Epochs *before* the planned cycle are unaffected: the target
+    // clamp already keeps all their cycles below the plan.
+    if (deviceFault_ && !deviceFault_->report().fired &&
+        t0 >= deviceFault_->plan().cycle) {
+        epochEndPrev_ = target;
+        epochEndPrevCredited_ = false;
+    } else {
+        // One more serial quirk: a jump clamped by a then-unfired
+        // fault *lands on* the planned cycle and steps it without
+        // credit, even when it is globally workless (the fault fires
+        // at that cycle's probe, so by stepping time report().fired
+        // is already true). That landing happened exactly when the
+        // previous epoch ended here with its final cycle credited.
+        const bool landedByClampedJump =
+            deviceFault_ && deviceFault_->report().fired &&
+            t0 == deviceFault_->plan().cycle &&
+            epochEndPrev_ == t0 && epochEndPrevCredited_;
+        applyFastforwardCredit(t0, target, landedByClampedJump);
+    }
+
+    // The global clock lands on the target — unless the whole grid
+    // drained mid-epoch, where serial stepping would have stopped
+    // its clock one past the last busy cycle.
+    bool allFinished = true;
+    for (unsigned s = 0; allFinished && s < config_.numSms; ++s)
+        allFinished = sms_[s]->finished();
+    if (allFinished) {
+        Cycle last = t0;
+        for (unsigned s : activeScratch_)
+            last = std::max(last, sms_[s]->now());
+        gcycle_ = last;
+    } else {
+        gcycle_ = target;
+    }
+}
+
+void
+GpuCore::commitStagedBelow(Cycle limitCycle, unsigned limitSm)
+{
+    for (;;) {
+        Cycle bestCycle = kNoCycle;
+        unsigned bestSm = 0;
+        for (unsigned s : activeScratch_) {
+            const Cycle c = sms_[s]->stagedFrontCycle();
+            if (c == kNoCycle)
+                continue;
+            if (bestCycle == kNoCycle || c < bestCycle) {
+                bestCycle = c;
+                bestSm = s;
+            }
+        }
+        if (bestCycle == kNoCycle)
+            return;
+        if (limitCycle != kNoCycle &&
+            (bestCycle > limitCycle ||
+             (bestCycle == limitCycle && bestSm >= limitSm))) {
+            return;
+        }
+        sms_[bestSm]->commitStagedFront();
+    }
+}
+
+void
+GpuCore::applyFastforwardCredit(Cycle t0, Cycle epochEnd,
+                                bool excludeT0)
+{
+    epochEndPrev_ = epochEnd;
+    epochEndPrevCredited_ = false;
+    // A cycle x was globally skippable when, for every epoch
+    // participant, x and x-1 were both workless (the serial jump
+    // decision reads the inert flag of the *previous* cycle) — or
+    // the participant had already drained by x (a finished SM does
+    // not constrain the serial jump). Intersect those per-SM
+    // eligibility sets, then credit each participant with the
+    // eligible cycles inside its own epoch span, exactly the cycles
+    // the serial loop would have jumped for it.
+    idleScratch_.clear();
+    bool first = true;
+    for (unsigned s : activeScratch_) {
+        idleScratch2_.clear();
+        for (const auto &[b, e] : sms_[s]->worklessSpans()) {
+            if (e > b + 1)
+                idleScratch2_.emplace_back(b + 1, e);
+        }
+        idleScratch2_.emplace_back(sms_[s]->now(), kNoCycle);
+        if (first) {
+            idleScratch_ = idleScratch2_;
+            first = false;
+            continue;
+        }
+        // Sorted-span intersection (both lists ascending and
+        // disjoint); result replaces the running intersection.
+        std::vector<std::pair<Cycle, Cycle>> &a = idleScratch_;
+        const std::vector<std::pair<Cycle, Cycle>> &b = idleScratch2_;
+        std::vector<std::pair<Cycle, Cycle>> merged;
+        merged.reserve(std::min(a.size(), b.size()) + 1);
+        for (std::size_t i = 0, j = 0;
+             i < a.size() && j < b.size();) {
+            const Cycle lo = std::max(a[i].first, b[j].first);
+            const Cycle hi = std::min(a[i].second, b[j].second);
+            if (hi > lo)
+                merged.emplace_back(lo, hi);
+            if (a[i].second < b[j].second)
+                ++i;
+            else
+                ++j;
+        }
+        a.swap(merged);
+        if (a.empty())
+            return;
+    }
+    if (excludeT0) {
+        // Drop the single cycle t0 from the credit set (the serial
+        // loop stepped it after landing there, uncredited).
+        std::vector<std::pair<Cycle, Cycle>> &a = idleScratch_;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            auto &[b, e] = a[i];
+            if (b > t0 || e <= t0)
+                continue;
+            if (b == t0) {
+                ++b;
+                if (e <= b)
+                    a.erase(a.begin() + static_cast<std::ptrdiff_t>(i));
+            } else if (e == t0 + 1) {
+                --e;
+            } else {
+                a.insert(a.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                         {t0 + 1, e});
+                a[i].second = t0;
+            }
+            break;
+        }
+    }
+    for (unsigned s : activeScratch_) {
+        const Cycle end = sms_[s]->now();
+        std::uint64_t credit = 0;
+        for (const auto &[b, e] : idleScratch_) {
+            const Cycle lo = std::max(b, t0);
+            const Cycle hi = std::min(e, end);
+            if (hi > lo)
+                credit += hi - lo;
+        }
+        if (credit)
+            sms_[s]->creditFastforward(credit);
+    }
+    for (const auto &[b, e] : idleScratch_) {
+        if (b <= epochEnd - 1 && epochEnd - 1 < e) {
+            epochEndPrevCredited_ = true;
+            break;
+        }
+    }
 }
 
 bool

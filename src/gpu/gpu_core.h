@@ -16,6 +16,17 @@
  * arbitration, so results stay bit-identical at any host thread
  * count (docs/PERFORMANCE.md "Parallel SM stepping").
  *
+ * With epochCycles > 1 the barrier moves from every cycle to every
+ * epoch: each SM free-runs up to epochCycles cycles (stalling early
+ * when it would consume the result of an uncommitted staged access),
+ * then the coordinator commits all staged accesses in ascending
+ * (cycle, smIndex) order — the exact serial arbitration order, since
+ * ldstWidth dispatch slots per SM per cycle drain in SM-index order
+ * under per-cycle stepping too. Commit rounds repeat until every SM
+ * reaches the epoch target, so results again stay bit-identical at
+ * any epoch length and thread count (docs/PERFORMANCE.md "Epoch
+ * stepping").
+ *
  * With numSms == 1 the single SM keeps a private L2 and receives
  * every CTA up front, which reproduces the legacy single-SM
  * Simulator path bit-for-bit (tests/test_gpu_core.cc pins this
@@ -26,6 +37,7 @@
 #define BOWSIM_GPU_GPU_CORE_H
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "gpu/cta_scheduler.h"
@@ -168,6 +180,12 @@ class GpuCore
      *  while a fault injector is armed (serial fallback). */
     unsigned hostThreads() const { return hostThreads_; }
 
+    /** Epoch length the cycle loop will use (>= 1, resolved from
+     *  config.epochCycles; see src/core/host_threads.h). Always 1
+     *  with a single SM (nothing to decouple) and while a per-SM
+     *  fault injector or tracer observes individual cycles. */
+    unsigned epochCycles() const { return epochCycles_; }
+
     /** Report of the device-site injector, or nullptr when the armed
      *  plan targets a per-SM site (read the FaultInjector's own
      *  report) or no injector is armed. */
@@ -184,6 +202,39 @@ class GpuCore
      *  would have. */
     [[noreturn]] static void rethrowSmError(unsigned s,
                                             std::exception_ptr err);
+    /** Lazily create the StepTeam; per-cycle steps and epoch rounds
+     *  share it (epochTarget_ selects the member behaviour). */
+    void ensureTeam();
+
+    /**
+     * Advance every unfinished SM from gcycle_ to the epoch target
+     * (gcycle_ + epochCycles_, clamped to an unfired device fault's
+     * planned cycle) by alternating free-run rounds with
+     * (cycle, smIndex)-ordered staged-memory commits; ends with every
+     * staged queue drained, fast-forward credit reconciled and
+     * gcycle_ at the target (docs/PERFORMANCE.md "Epoch stepping").
+     */
+    void stepEpoch();
+    /** Commit staged accesses across all SMs in ascending
+     *  (cycle, smIndex) order while that key is strictly below
+     *  (@p limitCycle, @p limitSm); kNoCycle = drain everything. */
+    void commitStagedBelow(Cycle limitCycle, unsigned limitSm);
+    /**
+     * Serial multi-SM stepping only credits fastforwardCycles for
+     * cycles every unfinished SM skipped together. An epoch free-run
+     * cannot see its siblings, so SMs record per-epoch workless
+     * spans instead; this intersects them and credits each
+     * participant with the globally-idle cycles in
+     * [@p t0, its epoch-end clock) — reproducing the serial
+     * statistic exactly.
+     *
+     * @p epochEnd is the cycle this epoch's clock lands on;
+     * @p excludeT0 drops cycle @p t0 from the credit set — used when
+     * the serial loop's fault-clamped jump would have *landed* on t0
+     * and stepped it uncredited (see stepEpoch).
+     */
+    void applyFastforwardCredit(Cycle t0, Cycle epochEnd,
+                                bool excludeT0);
 
     SimConfig config_;
     const Launch *launch_;
@@ -214,6 +265,29 @@ class GpuCore
     std::vector<unsigned> residentScratch_;
     /** Sampled-mode quiesce: pause CTA placement and warp issue. */
     bool issueFrozen_ = false;
+
+    // --- epoch stepping (docs/PERFORMANCE.md) ---
+    /** Resolved epoch length; > 1 moves the SM barrier from every
+     *  cycle to every epoch and enables staged memory dispatch. */
+    unsigned epochCycles_ = 1;
+    /** Target cycle for the StepTeam's current epoch round; kNoCycle
+     *  selects plain per-cycle step() (the team lambda reads this on
+     *  the worker threads, published by the stepAll barrier). */
+    Cycle epochTarget_ = kNoCycle;
+    /** SMs still short of the epoch target (per-round scratch). */
+    std::vector<unsigned> runScratch_;
+    /** Globally-workless span intersection (per-epoch scratch). */
+    std::vector<std::pair<Cycle, Cycle>> idleScratch_;
+    std::vector<std::pair<Cycle, Cycle>> idleScratch2_;
+    /** Where the previous epoch's clock landed, and whether the
+     *  cycle just before that landing was fast-forward credited.
+     *  Together they tell the next epoch whether the serial loop
+     *  would have *jumped onto* its start cycle — a jump clamped by
+     *  an unfired device fault lands exactly on the planned cycle
+     *  and then steps it uncredited, even though it may be globally
+     *  workless. */
+    Cycle epochEndPrev_ = kNoCycle;
+    bool epochEndPrevCredited_ = false;
 };
 
 } // namespace bow

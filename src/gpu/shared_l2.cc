@@ -36,6 +36,18 @@ SharedL2::lineResident(std::uint32_t addr) const
 unsigned
 SharedL2::access(std::uint32_t addr, bool isStore, Cycle now)
 {
+    // Every stepping mode — serial, per-cycle parallel drain, epoch
+    // commit — must present accesses in non-decreasing arrival time;
+    // the bank queues and MSHR files below silently corrupt their
+    // schedules otherwise. Cheap to check, and it turns an ordering
+    // bug in a commit path into an immediate loud failure instead of
+    // a statistics mismatch three layers up.
+    if (now < lastAccess_)
+        panic(strf("SharedL2: access at cycle ", now,
+                   " after one at cycle ", lastAccess_,
+                   " (commit order violated)"));
+    lastAccess_ = now;
+
     const std::uint64_t line = addr >> lineShift_;
     Bank &bank = banks_[line % banks_.size()];
 

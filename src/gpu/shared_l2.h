@@ -75,6 +75,10 @@ class SharedL2
     std::vector<Bank> banks_;
     unsigned lineShift_ = 0;
     StatGroup stats_;
+    /** Arrival-time watermark asserting accesses stay in order —
+     *  pure self-check, deliberately not serialized (a restored run
+     *  resumes at a cycle past every pre-snapshot access). */
+    Cycle lastAccess_ = 0;
 };
 
 } // namespace bow

@@ -14,6 +14,15 @@
  * dispatch an SmCore::step() only touches its own state, and all
  * cross-SM arbitration happens in the coordinator's ordered drain
  * between barriers. Determinism never depends on the claim order.
+ *
+ * Epoch stepping (docs/PERFORMANCE.md "Epoch stepping") reuses the
+ * same team with a different step function: each stepAll() becomes
+ * one free-run *round* toward GpuCore::epochTarget_ — an SM runs many
+ * cycles, not one, before the barrier — and the coordinator's
+ * (cycle, smIndex)-ordered commit replaces the per-cycle drain. The
+ * claim-order argument is unchanged: free-running SMs still touch
+ * only SM-private state, and the target is published to the members
+ * by the stepAll() start barrier.
  */
 
 #ifndef BOWSIM_GPU_STEP_TEAM_H

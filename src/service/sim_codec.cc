@@ -368,6 +368,7 @@ simConfigToJson(const SimConfig &c)
     o.set("max_cycles", c.maxCycles);
     o.set("host_fastforward", c.hostFastForward);
     o.set("host_threads", std::uint64_t{c.hostThreads});
+    o.set("epoch_cycles", std::uint64_t{c.epochCycles});
     return o;
 }
 
@@ -425,6 +426,7 @@ simConfigFromJson(const JsonValue &o)
     c.maxCycles = getUint(o, "max_cycles");
     c.hostFastForward = getBool(o, "host_fastforward");
     c.hostThreads = getUnsigned(o, "host_threads");
+    c.epochCycles = getUnsigned(o, "epoch_cycles");
     return c;
 }
 

@@ -195,6 +195,24 @@ struct SimConfig
      */
     unsigned hostThreads = 0;
 
+    /**
+     * Epoch length (in simulated cycles) for relaxed SM
+     * synchronization (docs/PERFORMANCE.md "Epoch stepping"). With a
+     * value E > 1 each SM of a multi-SM GpuCore free-runs up to E
+     * cycles between barriers, logging its shared-memory/L2 traffic;
+     * the coordinator then commits all logs in ascending
+     * (cycle, smIndex) order — the exact serial arbitration order —
+     * so every simulated statistic stays bit-identical at any epoch
+     * length (tests/test_host_parallel.cc EpochStep suites). 0 (the
+     * default) resolves at run start: BOWSIM_EPOCH_CYCLES if set and
+     * valid, else 1 (per-cycle stepping). Like hostThreads this is a
+     * pure host-speed knob excluded from the result-cache key; it has
+     * no effect with numSms == 1 and is clamped to 1 while a fault
+     * injector or tracer observes individual cycles. The CLI exposes
+     * it as --epoch-cycles.
+     */
+    unsigned epochCycles = 0;
+
     /** Effective BOC capacity after applying the default rule. */
     unsigned
     effectiveBocEntries() const

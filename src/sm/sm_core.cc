@@ -31,6 +31,28 @@ completionHorizon(const SimConfig &c)
     return lat;
 }
 
+/**
+ * Floor of the memory latency a staged access can add at commit
+ * time: a guard predicate may suppress the access entirely (0);
+ * otherwise Shared and Const are constant-latency paths and a global
+ * access costs at least the L1 trip (loads may add L2/DRAM and
+ * queueing on top, which only pushes the completion later). The
+ * space is opcode-static, so no operand evaluation is needed here.
+ */
+unsigned
+stagedMinExtra(const SimConfig &c, const Instruction &inst)
+{
+    if (inst.pred != kNoReg)
+        return 0;
+    switch (inst.op) {
+      case Opcode::LD_SHARED:
+      case Opcode::ST_SHARED:
+        return c.sharedLatency;
+      default:
+        return c.l1Latency;  // LD_CONST, LD_GLOBAL, ST_GLOBAL
+    }
+}
+
 } // namespace
 
 SmCore::SmCore(const SimConfig &config, const Launch &launch,
@@ -110,8 +132,18 @@ SmCore::SmCore(const SimConfig &config, const Launch &launch,
     // the steady-state hot path never touches the allocator.
     servedScratch_.reserve(config_.numBanks);
     orderScratch_.reserve(config_.maxResidentWarps);
-    if (stagedMemory_)
-        stagedMem_.reserve(config_.ldstWidth);
+    if (stagedMemory_) {
+        // Per-cycle staging holds at most ldstWidth accesses; epoch
+        // stepping accumulates across the free-run, so pre-size for
+        // a (bounded) epoch's worth to keep the hot path off the
+        // allocator.
+        stagedMem_.reserve(std::max<std::size_t>(
+            config_.ldstWidth,
+            std::min<std::size_t>(config_.epochCycles, 4096)));
+    }
+    maxNonMemLat_ = std::max(
+        {Cycle{1}, Cycle{config_.aluLatency}, Cycle{config_.sfuLatency},
+         Cycle{config_.ctrlLatency}});
     readyScratch_.reserve(usesBoc() ? config_.windowSize
                                     : config_.numCollectors);
 
@@ -500,7 +532,13 @@ SmCore::tryDispatch(InstSlot &slot)
         sa.readyCycle = slot.readyCycle == kNoCycle ? now_
                                                     : slot.readyCycle;
         sa.dispatchCycle = now_;
+        sa.minDue = now_ + std::max<Cycle>(
+            1, units_.latency(inst.op) + stagedMinExtra(config_, inst));
+        sa.srcRegs = inst.uniqueSrcRegs();
+        for (RegId r : sa.srcRegs)
+            sa.srcVals.push_back(warp.regs[r]);
         stagedMem_.push_back(sa);
+        stagedStall_ = std::min(stagedStall_, stagedStallOf(sa));
         cycleDidWork_ = true;
 
         slot = InstSlot{};
@@ -800,47 +838,134 @@ SmCore::fastForwardTo(Cycle target)
 }
 
 void
+SmCore::commitOne(const StagedAccess &sa)
+{
+    // Runs between cycles (the GpuCore barrier): now_ may already
+    // have advanced past the dispatch cycle, so every access and
+    // schedule is stamped with the recorded dispatchCycle —
+    // reproducing the inline path's timestamps, bucket placement and
+    // L2 bank/MSHR arbitration exactly. The wheel accepts it: with
+    // latency >= 1 the event is due no earlier than now_ (epoch
+    // free-run stalls before the earliest possible due cycle), and
+    // the ring-vs-overflow decision only depends on
+    // (when - dispatchCycle), identical to the serial schedule.
+    Warp &warp = warps_[sa.warp];
+    const Instruction &inst = kernelOf(sa.warp).inst(sa.idx);
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+
+    // Replay the dispatch-time source values around the evaluation:
+    // read locks released at dispatch, so a later instruction of the
+    // same warp may have legally overwritten a source register since
+    // (WAR). Memory contents, by contrast, are *meant* to be read
+    // now — commits run in global (cycle, SM) order, so the store is
+    // in exactly the state the serial loop saw at this access's
+    // dispatch. The destination needs no such care: its write lock
+    // holds until the completion retires, which is never before the
+    // commit.
+    SmallVec<Value, 4> liveVals;
+    for (std::size_t i = 0; i < sa.srcRegs.size(); ++i) {
+        liveVals.push_back(warp.regs[sa.srcRegs[i]]);
+        warp.regs[sa.srcRegs[i]] = sa.srcVals[i];
+    }
+    const ExecEffect fx =
+        evaluate(kernelOf(sa.warp), sa.idx, warp.regs, sa.warp,
+                 static_cast<unsigned>(warps_.size()), *mem_);
+    for (std::size_t i = 0; i < sa.srcRegs.size(); ++i)
+        warp.regs[sa.srcRegs[i]] = liveVals[i];
+    if (fx.wrote)
+        warp.regs[inst.dst] = fx.result;
+
+    unsigned latency = units_.latency(inst.op);
+    if (fx.guardPassed) {
+        latency += memTiming_.access(fx.space, fx.addr,
+                                     info.isStore,
+                                     sa.dispatchCycle);
+    }
+
+    Completion c;
+    c.warp = sa.warp;
+    c.idx = sa.idx;
+    c.seq = sa.seq;
+    c.fx = fx;
+    c.issueCycle = sa.issueCycle;
+    c.readyCycle = sa.readyCycle;
+    c.dispatchCycle = sa.dispatchCycle;
+    completions_.schedule(sa.dispatchCycle,
+                          sa.dispatchCycle + std::max(1u, latency),
+                          c);
+}
+
+void
 SmCore::drainStagedMem()
 {
-    // Runs between cycles (the GpuCore barrier): now_ has already
-    // advanced past the dispatch cycle, so every access and schedule
-    // is stamped with the recorded dispatchCycle — reproducing the
-    // inline path's timestamps, bucket placement and L2 bank/MSHR
-    // arbitration exactly. The wheel accepts it: with latency >= 1
-    // the event is due no earlier than now_, and the ring-vs-
-    // overflow decision only depends on (when - dispatchCycle),
-    // identical to the serial schedule.
-    for (const StagedAccess &sa : stagedMem_) {
-        Warp &warp = warps_[sa.warp];
-        const Instruction &inst = kernelOf(sa.warp).inst(sa.idx);
-        const OpcodeInfo &info = opcodeInfo(inst.op);
-
-        const ExecEffect fx =
-            evaluate(kernelOf(sa.warp), sa.idx, warp.regs, sa.warp,
-                     static_cast<unsigned>(warps_.size()), *mem_);
-        if (fx.wrote)
-            warp.regs[inst.dst] = fx.result;
-
-        unsigned latency = units_.latency(inst.op);
-        if (fx.guardPassed) {
-            latency += memTiming_.access(fx.space, fx.addr,
-                                         info.isStore,
-                                         sa.dispatchCycle);
-        }
-
-        Completion c;
-        c.warp = sa.warp;
-        c.idx = sa.idx;
-        c.seq = sa.seq;
-        c.fx = fx;
-        c.issueCycle = sa.issueCycle;
-        c.readyCycle = sa.readyCycle;
-        c.dispatchCycle = sa.dispatchCycle;
-        completions_.schedule(sa.dispatchCycle,
-                              sa.dispatchCycle + std::max(1u, latency),
-                              c);
-    }
+    while (stagedHead_ < stagedMem_.size())
+        commitOne(stagedMem_[stagedHead_++]);
     stagedMem_.clear();
+    stagedHead_ = 0;
+    stagedStall_ = kNoCycle;
+}
+
+Cycle
+SmCore::stagedFrontCycle() const
+{
+    return stagedHead_ < stagedMem_.size()
+        ? stagedMem_[stagedHead_].dispatchCycle
+        : kNoCycle;
+}
+
+void
+SmCore::commitStagedFront()
+{
+    if (stagedHead_ >= stagedMem_.size())
+        panic("SmCore::commitStagedFront: nothing staged");
+    commitOne(stagedMem_[stagedHead_++]);
+    if (stagedHead_ == stagedMem_.size()) {
+        stagedMem_.clear();
+        stagedHead_ = 0;
+        stagedStall_ = kNoCycle;
+    } else {
+        // Commits can insert overflow events (queueing-delayed L2
+        // misses), which tightens the window-edge hazard below, so
+        // the stall bound is re-derived against the live wheel.
+        recomputeStagedStall();
+    }
+}
+
+Cycle
+SmCore::stagedStallOf(const StagedAccess &sa) const
+{
+    // Free-run may not reach a cycle whose inline completion could
+    // share a wheel bucket with this access's not-yet-scheduled
+    // completion: inline (non-memory) events land at most
+    // maxNonMemLat_ ahead, so stopping maxNonMemLat_ short of the
+    // earliest possible due cycle keeps every inline schedule
+    // strictly before it — bucket FIFO order then matches the serial
+    // schedule order.
+    Cycle stall = sa.minDue > maxNonMemLat_
+        ? std::max(sa.minDue - maxNonMemLat_, sa.dispatchCycle + 1)
+        : sa.dispatchCycle + 1;
+    // Window-edge hazard: an overflow event due exactly at
+    // dispatch + horizon would migrate into the ring during cycle
+    // dispatch + 1 — before the commit schedules this access into
+    // that same bucket — whereas the serial schedule (at dispatch
+    // time) preceded the migration. Stall immediately in that rare
+    // case so the migration happens after the commit, as in serial.
+    if (completions_.hasOverflow() &&
+        completions_.overflowContains(sa.dispatchCycle +
+                                      completions_.horizon())) {
+        stall = sa.dispatchCycle + 1;
+    }
+    return stall;
+}
+
+void
+SmCore::recomputeStagedStall()
+{
+    stagedStall_ = kNoCycle;
+    for (std::size_t i = stagedHead_; i < stagedMem_.size(); ++i) {
+        stagedStall_ =
+            std::min(stagedStall_, stagedStallOf(stagedMem_[i]));
+    }
 }
 
 bool
@@ -959,16 +1084,8 @@ SmCore::deadlockDiagnostics() const
 }
 
 void
-SmCore::step()
+SmCore::stepBusy()
 {
-    if (ran_)
-        panic("SmCore::step after finalize()");
-    if (finished()) {
-        // Lockstep idle tick: keeps now_ equal to the global GPU
-        // cycle without consuming any watchdog budget.
-        ++now_;
-        return;
-    }
     if (config_.maxCycles && busyCycles_ >= config_.maxCycles) {
         fatal(strf("SmCore: kernel '",
                    kernelOf(assigned_.empty() ? 0 : assigned_[0])
@@ -981,6 +1098,100 @@ SmCore::step()
         watchdog_->checkpoint(busyCycles_);
     cycle();
     ++busyCycles_;
+}
+
+void
+SmCore::step()
+{
+    if (ran_)
+        panic("SmCore::step after finalize()");
+    if (finished()) {
+        // Lockstep idle tick: keeps now_ equal to the global GPU
+        // cycle without consuming any watchdog budget.
+        ++now_;
+        return;
+    }
+    stepBusy();
+}
+
+void
+SmCore::recordWorkless(Cycle c)
+{
+    if (!worklessSpans_.empty() && worklessSpans_.back().second == c) {
+        ++worklessSpans_.back().second;
+        return;
+    }
+    worklessSpans_.emplace_back(c, c + 1);
+}
+
+void
+SmCore::fastForwardEpoch(Cycle target)
+{
+    // Like fastForwardTo(), except the fastforwardCycles statistic is
+    // NOT credited here: in serial multi-SM stepping only the cycles
+    // every SM skipped together count as fast-forwarded, and during an
+    // epoch this SM cannot see its siblings. The jump is recorded as a
+    // workless span instead; GpuCore intersects the spans at the epoch
+    // barrier and credits exactly the globally-idle cycles
+    // (applyFastforwardCredit), so the statistic matches serial
+    // stepping bit for bit.
+    if (!ffEnabled_ || !lastCycleInert_)
+        panic("SmCore::fastForwardEpoch: SM is not provably inert");
+    if (target <= now_)
+        panic("SmCore::fastForwardEpoch: target is not in the future");
+    if (!worklessSpans_.empty() &&
+        worklessSpans_.back().second == now_) {
+        worklessSpans_.back().second = target;
+    } else {
+        worklessSpans_.emplace_back(now_, target);
+    }
+    const std::uint64_t skipped = target - now_;
+    now_ = target;
+    busyCycles_ += skipped;
+    scoreboard_.addStalls(inertStallDelta_, skipped);
+    samplePhase(skipped);
+}
+
+void
+SmCore::beginEpoch(Cycle t0)
+{
+    worklessSpans_.clear();
+    // Seed with the cycle before the epoch if it was inert: the
+    // global fast-forward decision for cycle t0 depends on whether
+    // every SM was idle *entering* the epoch, exactly like the serial
+    // loop consults lastCycleInert_ from the previous cycle.
+    if (ffEnabled_ && lastCycleInert_ && t0 > 0)
+        recordWorkless(t0 - 1);
+}
+
+void
+SmCore::runEpoch(Cycle target)
+{
+    if (ran_)
+        panic("SmCore::runEpoch after finalize()");
+    while (now_ < target && !finished()) {
+        if (stagedStall_ != kNoCycle && now_ >= stagedStall_) {
+            // Free-run bound reached: a staged access is waiting for
+            // its barrier-ordered commit. The coordinator commits and
+            // calls back in.
+            return;
+        }
+        stepBusy();
+        if (ffEnabled_ && lastCycleInert_) {
+            recordWorkless(now_ - 1);
+            if (!finished()) {
+                const Cycle next = completions_.nextEventCycle(now_);
+                if (next != kNoCycle) {
+                    Cycle jump =
+                        std::min({next, target, budgetCap()});
+                    if (stagedStall_ != kNoCycle)
+                        jump = std::min(jump, stagedStall_);
+                    if (jump > now_)
+                        fastForwardEpoch(jump);
+                }
+            }
+        }
+    }
 }
 
 RunStats

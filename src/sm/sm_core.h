@@ -12,6 +12,7 @@
 
 #include <array>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/event_wheel.h"
@@ -276,6 +277,66 @@ class SmCore
      */
     void drainStagedMem();
 
+    // --- epoch stepping (docs/PERFORMANCE.md "Epoch stepping") ---
+
+    /**
+     * Start a new epoch at cycle @p t0 (== now()): clears the
+     * workless-cycle record and carries the inert flag of the
+     * previous epoch's final cycle over as the `t0 - 1` seed, so the
+     * GpuCore's deferred fast-forward credit sees exactly the spans
+     * serial stepping would have skipped. The staged FIFO must be
+     * fully committed (epochs begin at commit boundaries).
+     */
+    void beginEpoch(Cycle t0);
+
+    /**
+     * Free-run this SM up to (at most) cycle @p target: simulate
+     * cycles — staging memory instructions as usual — until now()
+     * reaches @p target, the SM finishes, or the SM blocks on an
+     * uncommitted staged access (it may not simulate a cycle at
+     * which that access's completion could be due, nor a cycle whose
+     * inline completion could share a wheel bucket with it; see
+     * stagedStallCycle()). Provably-inert stretches are jumped like
+     * run()'s idle fast-forward, but the skipped cycles are recorded
+     * as workless spans instead of being credited to
+     * stats_.fastforwardCycles — the GpuCore reconciles the credit
+     * at the epoch barrier (creditFastforward()) so the counter
+     * stays byte-identical to serial per-cycle stepping. Budget
+     * valves (maxCycles, watchdog) trip on exactly the same busy
+     * cycle as step() would.
+     */
+    void runEpoch(Cycle target);
+
+    /** Dispatch cycle of the oldest uncommitted staged access, or
+     *  kNoCycle when the FIFO is fully committed. The GpuCore merges
+     *  these fronts across SMs in ascending (cycle, smIndex) order. */
+    Cycle stagedFrontCycle() const;
+
+    /** Commit exactly the oldest uncommitted staged access (the
+     *  FIFO front): functional evaluation, register/memory effects
+     *  and the L1/L2 timing access, stamped with its dispatch cycle
+     *  — one step of drainStagedMem(). Only while no sibling SM is
+     *  stepping. */
+    void commitStagedFront();
+
+    /** Workless (provably inert) cycle spans recorded since
+     *  beginEpoch(), as half-open [begin, end) pairs, ascending and
+     *  disjoint. May include the `t0 - 1` carry seed. */
+    const std::vector<std::pair<Cycle, Cycle>> &
+    worklessSpans() const
+    {
+        return worklessSpans_;
+    }
+
+    /** Add @p n cycles to stats_.fastforwardCycles: the epoch
+     *  barrier's deferred credit for cycles serial stepping would
+     *  have jumped with fastForwardTo(). */
+    void
+    creditFastforward(std::uint64_t n)
+    {
+        stats_.fastforwardCycles += n;
+    }
+
     Cycle now() const { return now_; }
 
     /** Warps assigned to this SM that have not yet retired. */
@@ -410,6 +471,23 @@ class SmCore
         Cycle issueCycle = 0;
         Cycle readyCycle = 0;
         Cycle dispatchCycle = 0;
+        /** Earliest cycle the commit-time completion can be due:
+         *  dispatchCycle + max(1, unitLat + the space's minimum
+         *  memory latency), or just the unit latency when a guard
+         *  predicate might suppress the access. Epoch stepping may
+         *  not free-run to (or past) this cycle while the access is
+         *  uncommitted. */
+        Cycle minDue = 0;
+        /** Dispatch-time snapshot of the source registers (guard
+         *  predicate included). Serial semantics read operands at
+         *  dispatch; read locks also release at dispatch, so by
+         *  commit time a later instruction of the same warp may
+         *  have overwritten them (WAR is legal the moment the read
+         *  lock drops). The commit temporarily replays these values
+         *  so the deferred evaluation sees exactly the registers
+         *  the inline path would have read. */
+        Instruction::SrcRegList srcRegs;
+        SmallVec<Value, 4> srcVals;
     };
 
     bool usesBoc() const;
@@ -439,6 +517,23 @@ class SmCore
     void cycle();
     /** Latest cycle the budget valves allow before tripping. */
     Cycle budgetCap() const;
+
+    /** One busy cycle: the maxCycles valve, the watchdog checkpoint
+     *  and cycle(); shared by step() and runEpoch(). */
+    void stepBusy();
+    /** Commit one staged access (the drainStagedMem() body). */
+    void commitOne(const StagedAccess &sa);
+    /** Earliest cycle the SM must not simulate while @p sa is
+     *  uncommitted (free-run stall bound; see runEpoch()). */
+    Cycle stagedStallOf(const StagedAccess &sa) const;
+    /** Recompute stagedStall_ over the uncommitted FIFO tail. */
+    void recomputeStagedStall();
+    /** Record cycle @p c as workless (merges adjacent spans). */
+    void recordWorkless(Cycle c);
+    /** Jump an inert stretch to @p target like fastForwardTo(), but
+     *  record it as a workless span instead of crediting
+     *  fastforwardCycles (epoch mode defers that to the barrier). */
+    void fastForwardEpoch(Cycle target);
 
     /** Per-warp stall snapshot reported when maxCycles trips. */
     std::string deadlockDiagnostics() const;
@@ -481,6 +576,22 @@ class SmCore
      *  drained at the GpuCore barrier. Pre-sized: at most ldstWidth
      *  memory dispatches fit one cycle. */
     std::vector<StagedAccess> stagedMem_;
+    /** Commit progress into stagedMem_ (epoch stepping commits the
+     *  FIFO incrementally; the vector is cleared once fully
+     *  committed so stagedMem_.empty() keeps meaning "nothing
+     *  outstanding"). */
+    std::size_t stagedHead_ = 0;
+    /** Earliest cycle this SM may not simulate while any staged
+     *  access is uncommitted (min of stagedStallOf() over the tail);
+     *  kNoCycle when nothing is staged. */
+    Cycle stagedStall_ = kNoCycle;
+    /** max(1, aluLatency, sfuLatency, ctrlLatency): the furthest
+     *  ahead a free-running cycle can schedule an inline (non-
+     *  memory) completion. */
+    Cycle maxNonMemLat_ = 1;
+    /** Workless cycles since beginEpoch() as merged [begin, end)
+     *  spans (epoch fast-forward credit reconciliation). */
+    std::vector<std::pair<Cycle, Cycle>> worklessSpans_;
     unsigned outstandingLoads_ = 0;
     unsigned residentWarps_ = 0;
     /** Global warp ids queued onto this SM, in arrival order. */

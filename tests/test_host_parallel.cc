@@ -24,8 +24,16 @@
  *    watchdog trip under parallel stepping reports the same "sm<N>:"
  *    error the serial loop would have.
  *
- * Every suite name starts with "HostParallel" so the CI sanitizer
- * jobs (.github/workflows/ci.yml) can select the lot with one regex.
+ * Plus epoch stepping (docs/PERFORMANCE.md "Epoch stepping"), the
+ * relaxed-synchronization extension of the same scheme: the
+ * "EpochStep*" suites pin bit-identical results across epoch lengths
+ * and thread counts (fuzz matrix + golden cases), the device-fault
+ * epoch clamp, snapshot round-trips at epoch boundaries, watchdog
+ * error parity, and the epochCycles resolution/plumbing rules.
+ *
+ * Every suite name starts with "HostParallel" or "EpochStep" so the
+ * CI sanitizer jobs (.github/workflows/ci.yml) can select the lot
+ * with one regex each.
  */
 
 #include <gtest/gtest.h>
@@ -33,6 +41,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/watchdog.h"
@@ -274,34 +283,36 @@ INSTANTIATE_TEST_SUITE_P(GoldenCases, HostParallelGolden,
 // hostThreads resolution and plumbing.
 // ---------------------------------------------------------------------
 
-/** Scoped save/clear/restore of BOWSIM_HOST_THREADS. */
+/** Scoped save/clear/restore of one environment variable
+ *  (default BOWSIM_HOST_THREADS). */
 class EnvGuard
 {
   public:
-    EnvGuard()
+    explicit EnvGuard(const char *var = kVar) : var_(var)
     {
-        if (const char *v = std::getenv(kVar)) {
+        if (const char *v = std::getenv(var_)) {
             saved_ = v;
             had_ = true;
         }
-        unsetenv(kVar);
+        unsetenv(var_);
     }
     ~EnvGuard()
     {
         if (had_)
-            setenv(kVar, saved_.c_str(), 1);
+            setenv(var_, saved_.c_str(), 1);
         else
-            unsetenv(kVar);
+            unsetenv(var_);
     }
     void
     set(const char *v) const
     {
-        setenv(kVar, v, 1);
+        setenv(var_, v, 1);
     }
 
     static constexpr const char *kVar = "BOWSIM_HOST_THREADS";
 
   private:
+    const char *var_;
     std::string saved_;
     bool had_ = false;
 };
@@ -466,6 +477,291 @@ TEST(HostParallelWatchdog, HangReportsSameSmAsSerialStepping)
     const std::string parallel = runAndCatch(2);
     EXPECT_EQ(serial, parallel);
     EXPECT_NE(parallel.find("sm0"), std::string::npos) << parallel;
+}
+
+// ---------------------------------------------------------------------
+// Epoch stepping (docs/PERFORMANCE.md "Epoch stepping"): results must
+// be bit-identical to per-cycle lockstep at any epoch length and any
+// host thread count, including every exported metric (L2 bank queues,
+// MSHR stalls, fast-forward credit). Suite names all start with
+// "EpochStep" for the CI sanitizer regexes.
+// ---------------------------------------------------------------------
+
+GpuRun
+runGpuEpoch(SimConfig config, const Launch &launch,
+            unsigned hostThreads, unsigned epochCycles)
+{
+    config.hostThreads = hostThreads;
+    config.epochCycles = epochCycles;
+    GpuCore gpu(config, launch);
+    GpuRun out;
+    out.stats = gpu.run();
+    out.finalRegs = gpu.finalRegs();
+    out.finalMem = gpu.memory();
+    gpu.exportMetrics(out.metrics);
+    return out;
+}
+
+class EpochStepFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EpochStepFuzz, ResultsInvariantToEpochLengthAndThreads)
+{
+    Launch launch = fuzzKernelLaunch(GetParam());
+    launch.warpsPerCta = 1 + static_cast<unsigned>(GetParam() % 4);
+
+    for (unsigned numSms : {1u, 4u, 28u}) {
+        SimConfig config = configFor(Architecture::BOW_WR);
+        config.numSms = numSms;
+        const GpuRun ref = runGpuEpoch(config, launch, 1, 1);
+        for (unsigned epochCycles : {1u, 7u, 64u, 1024u}) {
+            for (unsigned hostThreads : {1u, 2u, 4u}) {
+                if (epochCycles == 1 && hostThreads == 1)
+                    continue;   // that is the reference itself
+                if (numSms == 1 &&
+                    !(epochCycles == 64 && hostThreads == 4)) {
+                    // Single SM clamps every combination to the
+                    // legacy serial path; one probe is enough.
+                    continue;
+                }
+                const GpuRun got = runGpuEpoch(
+                    config, launch, hostThreads, epochCycles);
+                expectRunsIdentical(
+                    ref, got,
+                    strf("seed=", GetParam(), " numSms=", numSms,
+                         " epochCycles=", epochCycles,
+                         " hostThreads=", hostThreads));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpochStepFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+class EpochStepGolden : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(EpochStepGolden, LargeEpochBitIdenticalToPerCycle)
+{
+    const ParityCase &c = kParityCases[GetParam()];
+    const Workload wl = workloads::make(c.workload, kScale);
+    SimConfig config = configFor(c.arch);
+    config.numSms = 4;
+    const Launch launch = preprocess(wl.launch, config);
+
+    const GpuRun serial = runGpuEpoch(config, launch, 1, 1);
+    const GpuRun epochSerial = runGpuEpoch(config, launch, 1, 1024);
+    const GpuRun epochParallel = runGpuEpoch(config, launch, 4, 1024);
+    expectRunsIdentical(serial, epochSerial,
+                        strf(c.workload, "/", archName(c.arch),
+                             " epoch=1024 hostThreads=1"));
+    expectRunsIdentical(serial, epochParallel,
+                        strf(c.workload, "/", archName(c.arch),
+                             " epoch=1024 hostThreads=4"));
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenCases, EpochStepGolden,
+                         ::testing::Range<std::size_t>(
+                             0, std::size(kParityCases)));
+
+// ---------------------------------------------------------------------
+// Device-fault clamp: the epoch boundary must land exactly on the
+// planned fire cycle, so the pre-cycle probe observes the same state
+// per-cycle stepping would and the whole faulty run stays identical.
+// ---------------------------------------------------------------------
+
+TEST(EpochStepDeviceFault, FireCycleClampsEpochBoundary)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    SimConfig config = configFor(Architecture::BOW_WR);
+    config.numSms = 2;
+    const Launch launch = preprocess(wl.launch, config);
+
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.site = FaultSite::L2Line;
+    plan.addr = 0x80;
+    plan.bit = 3;
+    plan.cycle = 500;
+
+    auto runFaulty = [&](unsigned epochCycles) {
+        SimConfig faulty = config;
+        faulty.epochCycles = epochCycles;
+        FaultInjector injector(plan, FaultProtection::None);
+        GpuCore gpu(faulty, launch, nullptr, &injector);
+        GpuRun out;
+        out.stats = gpu.run();
+        out.finalRegs = gpu.finalRegs();
+        out.finalMem = gpu.memory();
+        gpu.exportMetrics(out.metrics);
+        const FaultReport *report = gpu.deviceFaultReport();
+        EXPECT_NE(report, nullptr);
+        EXPECT_TRUE(report->fired);
+        return out;
+    };
+
+    const GpuRun perCycle = runFaulty(1);
+    for (unsigned epochCycles : {7u, 64u, 1024u}) {
+        const GpuRun epoch = runFaulty(epochCycles);
+        expectRunsIdentical(perCycle, epoch,
+                            strf("epochCycles=", epochCycles));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshots: epoch boundaries are clean global states (every staged
+// queue drained), so save/load round-trips exactly like per-cycle
+// stepping.
+// ---------------------------------------------------------------------
+
+TEST(EpochStepSnapshot, SaveLoadAtEpochBoundaryRoundTrips)
+{
+    const Workload wl = workloads::make("VECTORADD", kScale);
+    SimConfig config = configFor(Architecture::BOW_WR);
+    config.numSms = 4;
+    config.epochCycles = 64;
+    config.hostThreads = 2;
+    const Launch launch = preprocess(wl.launch, config);
+
+    const GpuRun straight = runGpuEpoch(config, launch, 2, 64);
+
+    GpuCore first(config, launch);
+    for (int i = 0; i < 5 && first.stepCycle(); ++i) {
+    }
+    const JsonValue snap = first.saveState();
+
+    GpuCore resumed(config, launch);
+    resumed.loadState(snap);
+    GpuRun out;
+    out.stats = resumed.run();
+    out.finalRegs = resumed.finalRegs();
+    out.finalMem = resumed.memory();
+    resumed.exportMetrics(out.metrics);
+    expectRunsIdentical(straight, out, "resumed-at-epoch-boundary");
+}
+
+// ---------------------------------------------------------------------
+// Watchdog budget trips surface the same error as per-cycle stepping.
+// ---------------------------------------------------------------------
+
+TEST(EpochStepWatchdog, HangReportsSameSmAsPerCycle)
+{
+    Launch launch;
+    launch.kernel = hangKernel();
+    launch.warpKernels.push_back(hangKernel());
+    launch.warpKernels.push_back(hangKernel());
+    launch.numWarps = 2;
+    launch.warpsPerCta = 1;
+
+    SimConfig config = SimConfig::titanXPascal();
+    config.numSms = 2;
+    const Watchdog wd(Watchdog::Limits{/*cycleBudget=*/2000, 0.0});
+
+    auto runAndCatch = [&](unsigned hostThreads,
+                           unsigned epochCycles) {
+        config.hostThreads = hostThreads;
+        config.epochCycles = epochCycles;
+        GpuCore gpu(config, launch, &wd);
+        try {
+            gpu.run();
+        } catch (const HangError &e) {
+            return std::string(e.what());
+        }
+        ADD_FAILURE() << "expected HangError at hostThreads="
+                      << hostThreads << " epochCycles=" << epochCycles;
+        return std::string();
+    };
+
+    const std::string perCycle = runAndCatch(1, 1);
+    EXPECT_EQ(perCycle, runAndCatch(1, 64));
+    EXPECT_EQ(perCycle, runAndCatch(2, 64));
+    EXPECT_NE(perCycle.find("sm0"), std::string::npos) << perCycle;
+}
+
+// ---------------------------------------------------------------------
+// epochCycles resolution and plumbing.
+// ---------------------------------------------------------------------
+
+TEST(EpochStepConfig, ExplicitSettingBeatsEnvironment)
+{
+    EnvGuard env("BOWSIM_EPOCH_CYCLES");
+    env.set("512");
+    EXPECT_EQ(resolveEpochCycles(64), 64u);
+    EXPECT_EQ(resolveEpochCycles(1), 1u);
+}
+
+TEST(EpochStepConfig, EnvironmentOverridesAuto)
+{
+    EnvGuard env("BOWSIM_EPOCH_CYCLES");
+    env.set("512");
+    EXPECT_EQ(resolveEpochCycles(0), 512u);
+}
+
+TEST(EpochStepConfig, InvalidEnvironmentValuesAreIgnored)
+{
+    EnvGuard env("BOWSIM_EPOCH_CYCLES");
+    EXPECT_EQ(resolveEpochCycles(0), 1u);
+    for (const char *bad : {"0", "-2", "abc", "", "4x", " 4"}) {
+        env.set(bad);
+        EXPECT_EQ(resolveEpochCycles(0), 1u) << "'" << bad << "'";
+    }
+}
+
+TEST(EpochStepConfig, ExcludedFromResultCacheKey)
+{
+    // Like hostThreads: a host-speed knob with bit-identical results
+    // must share one cache entry across all settings.
+    Workload wl = workloads::make("VECTORADD", kScale);
+    SimConfig a = configFor(Architecture::BOW_WR);
+    SimConfig b = a;
+    a.epochCycles = 1;
+    b.epochCycles = 1024;
+    EXPECT_EQ(simCacheKey(wl, a), simCacheKey(wl, b));
+    b.numSms = 4;
+    EXPECT_NE(simCacheKey(wl, a), simCacheKey(wl, b));
+}
+
+TEST(EpochStepConfig, SingleSmClampsToPerCycle)
+{
+    const Launch launch = fuzzKernelLaunch(1);
+    SimConfig config = configFor(Architecture::BOW_WR);
+    config.numSms = 1;
+    config.epochCycles = 512;
+    EXPECT_EQ(GpuCore(config, launch).epochCycles(), 1u);
+    config.numSms = 2;
+    EXPECT_EQ(GpuCore(config, launch).epochCycles(), 512u);
+}
+
+TEST(EpochStepConfig, PerSmInjectorForcesPerCycle)
+{
+    // A per-SM fault injector observes mid-cycle state that staged
+    // dispatch reorders; a device-site plan only needs the epoch
+    // boundary clamped to its fire cycle.
+    const Launch launch = fuzzKernelLaunch(1);
+    SimConfig config = configFor(Architecture::BOW_WR);
+    config.numSms = 2;
+    config.epochCycles = 512;
+
+    FaultPlan perSm;
+    perSm.enabled = true;
+    perSm.site = FaultSite::RfBank;
+    perSm.cycle = 10;
+    FaultInjector smInjector(perSm, FaultProtection::None);
+    EXPECT_EQ(GpuCore(config, launch, nullptr, &smInjector)
+                  .epochCycles(),
+              1u);
+
+    FaultPlan device;
+    device.enabled = true;
+    device.site = FaultSite::L2Line;
+    device.cycle = 10;
+    FaultInjector devInjector(device, FaultProtection::None);
+    EXPECT_EQ(GpuCore(config, launch, nullptr, &devInjector)
+                  .epochCycles(),
+              512u);
 }
 
 } // namespace
